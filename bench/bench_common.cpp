@@ -1,0 +1,125 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+
+namespace ftc::bench {
+
+Config parse_args(int argc, char** argv) {
+  auto parsed = Config::from_args(argc - 1, argv + 1);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "usage: %s [key=value ...]\n  %s\n", argv[0],
+                 parsed.status().to_string().c_str());
+    std::exit(2);
+  }
+  return std::move(parsed).value();
+}
+
+destim::ExperimentConfig paper_config(std::uint32_t node_count,
+                                      cluster::FtMode mode) {
+  destim::ExperimentConfig config;
+  config.node_count = node_count;
+  config.mode = mode;
+
+  // Dataset: cosmoUniverse scaled ~8x down (DESIGN.md substitution table):
+  // 10,240 TFRecords x 16 MiB = 160 GiB.
+  config.file_count = 10240;
+  // cosmoUniverse's 8:1 train:validation split.
+  config.validation_file_count = 1280;
+  config.file_bytes = 16ULL << 20;
+  // Sample-level shuffling: 4 samples/TFRecord, so each lost file is
+  // touched by ~4 distinct clients per epoch (CosmoFlow packs 64; 4 keeps
+  // the amplification while bounding simulated events).
+  config.samples_per_file = 4;
+  config.epochs = 5;
+  config.files_per_step_per_node = 4;  // samples per node per step
+  config.compute_time_per_step = 40 * simtime::kMillisecond;
+
+  // Devices: Frontier Table II numbers.
+  config.nvme.read_bytes_per_second = 8.0e9;
+  config.nvme.write_bytes_per_second = 4.0e9;
+  config.nic_bytes_per_second = 25.0e9;  // Slingshot 200 Gb/s
+
+  // Orion: huge aggregate pool (a job rarely saturates it), but each
+  // client stream is capped and every access pays a bursty contention
+  // tail — the tail's per-step maximum is what amplifies stragglers as
+  // concurrency grows (Sec V-B1).
+  config.pfs.read_bytes_per_second = 200.0e9;
+  config.pfs.background_load_fraction = 0.3;
+  config.pfs.per_client_bytes_per_second = 400.0e6;
+  config.pfs.access_latency = 20 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 30 * simtime::kMillisecond;
+
+  // FT knobs (TIMEOUT_SECONDS / TIMEOUT_LIMIT): the paper sets the TTL
+  // just above the longest healthy-path latency, so detection is cheap
+  // relative to one PFS access.
+  config.rpc_timeout = 5 * simtime::kMillisecond;
+  config.timeout_limit = 2;
+  config.vnodes_per_node = 100;
+  config.elastic_restart_overhead = 300 * simtime::kMillisecond;
+  return config;
+}
+
+void apply_overrides(destim::ExperimentConfig& config, const Config& args) {
+  config.file_count = static_cast<std::uint32_t>(
+      args.get_int("files", config.file_count));
+  config.validation_file_count = static_cast<std::uint32_t>(
+      args.get_int("val_files", config.validation_file_count));
+  config.file_bytes = static_cast<std::uint64_t>(
+      args.get_double("file_mb",
+                      static_cast<double>(config.file_bytes) / (1 << 20)) *
+      (1 << 20));
+  config.epochs =
+      static_cast<std::uint32_t>(args.get_int("epochs", config.epochs));
+  config.samples_per_file = static_cast<std::uint32_t>(
+      args.get_int("samples_per_file", config.samples_per_file));
+  config.files_per_step_per_node = static_cast<std::uint32_t>(
+      args.get_int("files_per_step", config.files_per_step_per_node));
+  config.compute_time_per_step = simtime::from_ms(args.get_double(
+      "compute_ms", simtime::to_ms(config.compute_time_per_step)));
+  config.rpc_timeout = simtime::from_ms(
+      args.get_double("timeout_ms", simtime::to_ms(config.rpc_timeout)));
+  config.timeout_limit = static_cast<std::uint32_t>(
+      args.get_int("limit", config.timeout_limit));
+  config.vnodes_per_node = static_cast<std::uint32_t>(
+      args.get_int("vnodes", config.vnodes_per_node));
+  config.elastic_restart_overhead = simtime::from_ms(args.get_double(
+      "restart_ms", simtime::to_ms(config.elastic_restart_overhead)));
+  config.pfs.read_bytes_per_second =
+      args.get_double("pfs_gbps",
+                      config.pfs.read_bytes_per_second / 1e9) *
+      1e9;
+  config.pfs.per_client_bytes_per_second =
+      args.get_double("pfs_client_mbps",
+                      config.pfs.per_client_bytes_per_second / 1e6) *
+      1e6;
+  config.pfs.access_latency = simtime::from_ms(
+      args.get_double("pfs_lat_ms", simtime::to_ms(config.pfs.access_latency)));
+  config.pfs.access_latency_tail_mean = simtime::from_ms(args.get_double(
+      "pfs_tail_ms", simtime::to_ms(config.pfs.access_latency_tail_mean)));
+  config.shuffle_seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(config.shuffle_seed)));
+}
+
+std::vector<std::uint32_t> scales_from(const Config& args) {
+  const auto values = args.get_int_list("scales", {64, 128, 256, 512, 1024});
+  std::vector<std::uint32_t> scales;
+  scales.reserve(values.size());
+  for (std::int64_t v : values) {
+    if (v > 0) scales.push_back(static_cast<std::uint32_t>(v));
+  }
+  return scales;
+}
+
+void print_table(const std::string& title, const TextTable& table) {
+  std::printf("\n=== %s ===\n%s\n--- csv ---\n%s", title.c_str(),
+              table.to_string().c_str(), table.to_csv().c_str());
+}
+
+std::string minutes_label(double simulated_minutes) {
+  return format_double(simulated_minutes, 2);
+}
+
+}  // namespace ftc::bench

@@ -1,0 +1,43 @@
+// bench_common.hpp - Shared plumbing for the experiment binaries.
+//
+// Every bench binary reproduces one paper table/figure.  This header
+// provides the common pieces: CLI config parsing (key=value overrides over
+// paper defaults), the calibrated paper-scale DES configuration, and
+// uniform result printing (pretty table + CSV so EXPERIMENTS.md entries
+// are copy-pasteable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "destim/experiment.hpp"
+
+namespace ftc::bench {
+
+/// Parses key=value args; prints usage and exits on malformed input.
+Config parse_args(int argc, char** argv);
+
+/// The scaled-down Frontier/CosmoFlow configuration (DESIGN.md Sec 2):
+/// dataset shrunk ~8x, device/network rates from Table II, PFS job-share
+/// and fixed overheads scaled to preserve the paper's cache-vs-PFS cost
+/// ratios.  `node_count` and `mode` are the experiment axes.
+destim::ExperimentConfig paper_config(std::uint32_t node_count,
+                                      cluster::FtMode mode);
+
+/// Applies the standard overrides (files=, file_mb=, epochs=, compute_ms=,
+/// timeout_ms=, limit=, vnodes=, restart_ms=, pfs_gbps=, pfs_client_mbps=)
+/// to a config.
+void apply_overrides(destim::ExperimentConfig& config, const Config& args);
+
+/// Node-count sweep for the scaling figures; override with scales=64,128.
+std::vector<std::uint32_t> scales_from(const Config& args);
+
+/// Prints a titled table followed by its CSV form.
+void print_table(const std::string& title, const TextTable& table);
+
+/// "64, 128, ..." label helper.
+std::string minutes_label(double simulated_minutes);
+
+}  // namespace ftc::bench

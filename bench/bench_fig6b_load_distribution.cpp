@@ -1,0 +1,59 @@
+// Reproduces Figure 6(b): effect of the virtual-node count on post-failure
+// load redistribution — 1024 physical nodes, one random failure, 500
+// trials per configuration (the paper's own simulation experiment).
+//
+// Paper's shape: receiver nodes grow from ~3 (10 vnodes) toward ~300
+// (1000 vnodes) with diminishing returns past ~500 and a plateau around
+// ~350; files-per-receiver falls correspondingly; its stddev shrinks
+// (better balance), while receiver-count stddev grows.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "ring/load_distribution.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftc;
+  const Config args = bench::parse_args(argc, argv);
+
+  ring::LoadDistributionParams base;
+  base.physical_nodes = static_cast<std::uint32_t>(
+      args.get_int("nodes", 1024));
+  base.file_count = static_cast<std::uint64_t>(
+      args.get_int("files", 524288));
+  base.trials = static_cast<std::uint32_t>(args.get_int("trials", 500));
+  base.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  std::vector<std::uint32_t> vnode_counts;
+  for (std::int64_t v :
+       args.get_int_list("vnodes", {10, 50, 100, 200, 500, 1000})) {
+    if (v > 0) vnode_counts.push_back(static_cast<std::uint32_t>(v));
+  }
+
+  TextTable table({"Vnodes/node", "Receiver nodes (mean)", "+- sd",
+                   "Files/receiver (mean)", "+- sd", "Lost files (mean)",
+                   "Jain fairness", "Max on one receiver"});
+  const auto sweep = ring::run_load_distribution_sweep(base, vnode_counts);
+  for (const auto& result : sweep) {
+    table.add_row(
+        {std::to_string(result.params.vnodes_per_node),
+         format_double(result.receiver_nodes.mean(), 1),
+         format_double(result.receiver_nodes.stddev(), 1),
+         format_double(result.files_per_receiver.mean(), 1),
+         format_double(result.files_per_receiver.stddev(), 1),
+         format_double(result.lost_files.mean(), 1),
+         format_double(result.receiver_fairness.mean(), 3),
+         format_double(result.max_files_one_receiver.mean(), 1)});
+  }
+  bench::print_table(
+      "Figure 6(b): load redistribution vs virtual-node count (" +
+          std::to_string(base.physical_nodes) + " nodes, " +
+          std::to_string(base.trials) + " trials)",
+      table);
+
+  std::printf(
+      "paper reference: ~3 receivers at 10 vnodes -> ~300 at 1000; "
+      "diminishing returns past 500 (plateau ~350); files/receiver falls "
+      "and its spread tightens; the paper's production pick is 100\n");
+  return 0;
+}

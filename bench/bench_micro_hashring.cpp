@@ -1,0 +1,159 @@
+// Google-benchmark microbenchmarks for the core data structures: ring
+// lookups/updates vs the baseline placements, and the raw hash functions.
+// These quantify the per-request costs behind Fig 5(a)'s FT overhead and
+// the vnode trade-off in Sec V-B2.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "hash/fnv.hpp"
+#include "hash/murmur3.hpp"
+#include "hash/xxhash64.hpp"
+#include "ring/consistent_hash_ring.hpp"
+#include "ring/flat_hash_ring.hpp"
+#include "ring/movement_analysis.hpp"
+#include "ring/placement.hpp"
+
+namespace {
+
+using namespace ftc;
+
+const std::vector<std::string>& bench_keys() {
+  static const auto keys = ring::make_key_population(4096);
+  return keys;
+}
+
+void BM_RingLookup(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto vnodes = static_cast<std::uint32_t>(state.range(1));
+  ring::RingConfig config;
+  config.vnodes_per_node = vnodes;
+  const ring::ConsistentHashRing ring(nodes, config);
+  const auto& keys = bench_keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.owner(keys[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingLookup)
+    ->Args({64, 100})
+    ->Args({1024, 100})
+    ->Args({1024, 1000});
+
+void BM_RingLookupPrehashed(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  ring::RingConfig config;
+  config.vnodes_per_node = 100;
+  const ring::ConsistentHashRing ring(nodes, config);
+  std::uint64_t h = 0x1234;
+  for (auto _ : state) {
+    h = hash::fmix64(h);
+    benchmark::DoNotOptimize(ring.owner_of_hash(h));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingLookupPrehashed)->Arg(64)->Arg(1024);
+
+// Sorted-vector ring vs the paper's std::map ring: same asymptotics, very
+// different constants (contiguous binary search vs pointer chasing).
+void BM_FlatRingLookupPrehashed(benchmark::State& state) {
+  ring::RingConfig config;
+  config.vnodes_per_node = 100;
+  const ring::FlatHashRing ring(
+      static_cast<std::uint32_t>(state.range(0)), config);
+  std::uint64_t h = 0x1234;
+  for (auto _ : state) {
+    h = hash::fmix64(h);
+    benchmark::DoNotOptimize(ring.owner_of_hash(h));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatRingLookupPrehashed)->Arg(64)->Arg(1024);
+
+void BM_FlatRingRebuild(benchmark::State& state) {
+  ring::RingConfig config;
+  config.vnodes_per_node = 100;
+  const ring::FlatHashRing ring(
+      static_cast<std::uint32_t>(state.range(0)), config);
+  std::uint32_t victim = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto clone = ring.clone();
+    state.ResumeTiming();
+    // Full O(V*N) rebuild — the price of the read-optimized layout.
+    clone->remove_node(victim++ % static_cast<std::uint32_t>(state.range(0)));
+  }
+}
+BENCHMARK(BM_FlatRingRebuild)->Arg(64)->Arg(1024);
+
+void BM_ModuloLookup(benchmark::State& state) {
+  const auto strategy = ring::make_strategy(
+      ring::StrategyKind::kStaticModulo,
+      static_cast<std::uint32_t>(state.range(0)), 0);
+  const auto& keys = bench_keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->owner(keys[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModuloLookup)->Arg(64)->Arg(1024);
+
+void BM_RingNodeRemoval(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto vnodes = static_cast<std::uint32_t>(state.range(1));
+  ring::RingConfig config;
+  config.vnodes_per_node = vnodes;
+  const ring::ConsistentHashRing ring(nodes, config);
+  std::uint32_t victim = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto clone = ring.clone();
+    state.ResumeTiming();
+    clone->remove_node(victim++ % nodes);
+  }
+}
+BENCHMARK(BM_RingNodeRemoval)->Args({1024, 100})->Args({1024, 1000});
+
+void BM_RingConstruction(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto vnodes = static_cast<std::uint32_t>(state.range(1));
+  ring::RingConfig config;
+  config.vnodes_per_node = vnodes;
+  for (auto _ : state) {
+    ring::ConsistentHashRing ring(nodes, config);
+    benchmark::DoNotOptimize(ring.position_count());
+  }
+}
+BENCHMARK(BM_RingConstruction)->Args({64, 100})->Args({1024, 100});
+
+void BM_HashFnv(benchmark::State& state) {
+  const auto& keys = bench_keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::fnv1a64(keys[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_HashFnv);
+
+void BM_HashMurmur3(benchmark::State& state) {
+  const auto& keys = bench_keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::murmur3_64(keys[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_HashMurmur3);
+
+void BM_HashXx(benchmark::State& state) {
+  const auto& keys = bench_keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::xxhash64(keys[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_HashXx);
+
+}  // namespace

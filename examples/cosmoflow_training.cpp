@@ -1,0 +1,78 @@
+// cosmoflow_training.cpp - CosmoFlow-like elastic training over the
+// threaded cluster, comparing the three fault-tolerance modes under the
+// same two injected failures.
+//
+// Mirrors the paper's methodology end-to-end (epoch shuffling + sharding,
+// Horovod-elastic rollback on failure, SLURM-drain-style kills) and prints
+// the per-epoch PFS traffic that explains why hash-ring recaching wins:
+// FT w/ PFS keeps paying for lost files every epoch, FT w/ NVMe pays once.
+//
+//   ./cosmoflow_training [epochs] [files]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "dl/threaded_trainer.hpp"
+
+namespace {
+
+void run_mode(ftc::cluster::FtMode mode, std::uint32_t epochs,
+              std::uint32_t files) {
+  using namespace ftc;
+  using namespace std::chrono_literals;
+
+  cluster::ClusterConfig config;
+  config.node_count = 4;
+  config.client.mode = mode;
+  config.client.rpc_timeout = 50ms;
+  config.client.timeout_limit = 2;
+  config.server.async_data_mover = false;
+  cluster::Cluster cluster(config);
+  const auto paths = cluster.stage_dataset(files, /*bytes=*/512);
+
+  dl::ThreadedTrainingConfig training;
+  training.epochs = epochs;
+  // Two failures: node 2 early in epoch 1, node 0 in epoch 3.
+  training.injections.push_back({1, 4, 2});
+  if (epochs > 3) training.injections.push_back({3, 2, 0});
+
+  const auto result =
+      dl::run_threaded_training(cluster, paths, /*expected_bytes=*/512,
+                                training);
+
+  std::printf("%-11s | completed=%s restarts=%u files_read=%llu",
+              cluster::ft_mode_name(mode), result.completed ? "yes" : "NO ",
+              result.restarts,
+              static_cast<unsigned long long>(result.files_read));
+  if (!result.completed) {
+    std::printf(" abort: %s\n", result.abort_reason.c_str());
+    return;
+  }
+  std::printf(" | PFS reads/epoch:");
+  for (std::uint64_t reads : result.pfs_reads_per_epoch) {
+    std::printf(" %llu", static_cast<unsigned long long>(reads));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto epochs =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 5u;
+  const auto files =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 48u;
+
+  std::printf(
+      "CosmoFlow-like elastic training: 4 nodes, %u epochs, %u files,\n"
+      "failures: node 2 in epoch 1, node 0 in epoch 3\n\n",
+      epochs, files);
+  run_mode(ftc::cluster::FtMode::kNone, epochs, files);
+  run_mode(ftc::cluster::FtMode::kPfsRedirect, epochs, files);
+  run_mode(ftc::cluster::FtMode::kHashRingRecache, epochs, files);
+  std::printf(
+      "\nreading guide: NoFT dies at the first post-failure read; FT w/ PFS\n"
+      "shows nonzero PFS reads in EVERY post-failure epoch; FT w/ NVMe\n"
+      "refetches lost files once and returns to zero.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// scale_simulation.cpp - Drive the discrete-event substrate directly: one
+// large-scale training run with a mid-training failure, with per-epoch
+// timing and I/O breakdown.  This is the API the Fig 5 / Fig 6(a) benches
+// are built on; use it to explore configurations the paper didn't run.
+//
+//   ./scale_simulation [nodes] [mode: none|pfs|nvme]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "destim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftc;
+  using cluster::FtMode;
+
+  const auto nodes =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 128u;
+  FtMode mode = FtMode::kHashRingRecache;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "none") == 0) mode = FtMode::kNone;
+    if (std::strcmp(argv[2], "pfs") == 0) mode = FtMode::kPfsRedirect;
+  }
+
+  destim::ExperimentConfig config;
+  config.node_count = nodes;
+  config.mode = mode;
+  config.file_count = 10240;
+  config.file_bytes = 16ULL << 20;
+  config.samples_per_file = 4;
+  config.epochs = 5;
+  config.pfs.access_latency = 20 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 30 * simtime::kMillisecond;
+  config.pfs.per_client_bytes_per_second = 400.0e6;
+  config.rpc_timeout = 5 * simtime::kMillisecond;
+  config.elastic_restart_overhead = 300 * simtime::kMillisecond;
+
+  cluster::PlannedFailure failure;
+  failure.victim = nodes / 2;
+  failure.epoch = 2;
+  failure.epoch_fraction = 0.25;
+  config.failures = {failure};
+
+  std::printf("simulating %u nodes, mode=%s, one failure in epoch 2...\n\n",
+              nodes, cluster::ft_mode_name(mode));
+  const auto result = destim::run_experiment(config);
+
+  if (!result.completed) {
+    std::printf("job ABORTED: %s (after %s)\n", result.abort_reason.c_str(),
+                simtime::to_string(result.total_time).c_str());
+    return mode == FtMode::kNone ? 0 : 1;  // NoFT is expected to die
+  }
+
+  std::printf("%6s %12s %9s %10s %12s %12s %10s\n", "epoch", "duration",
+              "attempts", "PFS reads", "remote hits", "local reads",
+              "timeouts");
+  for (const auto& epoch : result.epochs) {
+    std::printf("%6u %12s %9u %10llu %12llu %12llu %10llu%s\n", epoch.epoch,
+                simtime::to_string(epoch.duration).c_str(), epoch.attempts,
+                static_cast<unsigned long long>(epoch.pfs_reads),
+                static_cast<unsigned long long>(epoch.remote_hits),
+                static_cast<unsigned long long>(epoch.local_reads),
+                static_cast<unsigned long long>(epoch.timeouts),
+                epoch.failure_during ? "   <- failure" : "");
+  }
+  std::printf(
+      "\ntotal: %s (%.2f simulated minutes), %u elastic restarts, "
+      "%llu PFS reads, %llu events simulated\n",
+      simtime::to_string(result.total_time).c_str(), result.total_minutes(),
+      result.restarts,
+      static_cast<unsigned long long>(result.total_pfs_reads),
+      static_cast<unsigned long long>(result.simulated_events));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// ttl_tuning.cpp - Measurement-driven timeout selection (Sec IV-A).
+//
+// The paper's guidance: TIMEOUT_SECONDS "only needs to be greater than the
+// longest observed latency".  This example measures real request latencies
+// against a live cluster — including a transiently slow node — and shows
+// what TTL the rule picks, then demonstrates both failure modes of a badly
+// chosen TTL: too tight flags a healthy-but-slow node; generous-but-sane
+// detects a real failure with bounded delay.
+//
+//   ./ttl_tuning
+#include <chrono>
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+
+int main() {
+  using namespace ftc;
+  using namespace std::chrono_literals;
+
+  cluster::ClusterConfig config;
+  config.node_count = 4;
+  config.client.mode = cluster::FtMode::kHashRingRecache;
+  config.client.rpc_timeout = 200ms;  // deliberately generous to start
+  config.client.timeout_limit = 2;
+  config.server.async_data_mover = false;
+  cluster::Cluster cluster(config);
+  const auto paths = cluster.stage_dataset(48, 512);
+  cluster.warm_caches(paths);
+
+  // 1. Measure: one epoch of reads gives the latency window.
+  for (const auto& path : paths) (void)cluster.client(0).read_file(path);
+  const auto& latency = cluster.client(0).latency();
+  std::printf(
+      "observed request latencies over %llu reads:\n"
+      "  p50 %.0f us | p99 %.0f us | max %.0f us\n",
+      static_cast<unsigned long long>(latency.total_recorded()),
+      latency.percentile(50), latency.percentile(99), latency.max());
+
+  // 2. The rule: TTL = max observed x safety margin.
+  const auto ttl = cluster.client(0).recommended_timeout(/*margin=*/2.0);
+  std::printf("recommended TTL (max x 2): %lld ms\n\n",
+              static_cast<long long>(ttl.count()));
+
+  // 3. A transiently slow node under a too-tight deadline: timeouts pile
+  //    up, but the counter threshold plus the eventual success keep the
+  //    node unflagged as long as the blip stays short.
+  cluster.transport().set_extra_latency(2, 30ms);
+  std::printf("node 2 now +30 ms slow; reading with the recommended TTL...\n");
+  for (const auto& path : paths) {
+    if (!cluster.client(0).read_file(path).is_ok()) {
+      std::printf("unexpected failure reading %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::printf("  node 2 flagged: %s (slow != dead when TTL is sane)\n",
+              cluster.client(0).node_failed(2) ? "YES (bad)" : "no (good)");
+  cluster.transport().set_extra_latency(2, 0ms);
+
+  // 4. A real crash is still detected within TTL x limit.
+  cluster.fail_node(1);
+  std::printf("\nnode 1 drained; next reads detect it...\n");
+  for (const auto& path : paths) (void)cluster.client(0).read_file(path);
+  std::printf("  node 1 flagged: %s; timeouts paid: %llu\n",
+              cluster.client(0).node_failed(1) ? "yes" : "NO (bad)",
+              static_cast<unsigned long long>(
+                  cluster.client(0).stats().timeouts));
+  return cluster.client(0).node_failed(1) &&
+                 !cluster.client(0).node_failed(2)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and ablation into results/.
+# Usage: scripts/run_all_experiments.sh [build_dir] [results_dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+results_dir="${2:-results}"
+mkdir -p "${results_dir}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found — build first:" >&2
+  echo "  cmake -B ${build_dir} -G Ninja && cmake --build ${build_dir}" >&2
+  exit 1
+fi
+
+for bench in "${build_dir}"/bench/bench_*; do
+  [[ -x "${bench}" && -f "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "=== ${name}"
+  "${bench}" > "${results_dir}/${name}.txt" 2> "${results_dir}/${name}.log"
+done
+
+echo "done; outputs in ${results_dir}/"

@@ -1,0 +1,76 @@
+#include "cluster/cluster.hpp"
+
+#include "common/string_util.hpp"
+
+namespace ftc::cluster {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), pfs_(config.pfs_read_latency) {
+  std::vector<NodeId> members;
+  members.reserve(config_.node_count);
+  for (NodeId n = 0; n < config_.node_count; ++n) members.push_back(n);
+
+  servers_.reserve(config_.node_count);
+  clients_.reserve(config_.node_count);
+  for (NodeId n = 0; n < config_.node_count; ++n) {
+    servers_.push_back(std::make_unique<HvacServer>(n, pfs_, config_.server));
+    HvacServer* server = servers_.back().get();
+    transport_.register_endpoint(
+        n, [server](const rpc::RpcRequest& request) {
+          return server->handle(request);
+        });
+    clients_.push_back(std::make_unique<HvacClient>(
+        n, transport_, pfs_, members, config_.client));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::vector<std::string> Cluster::stage_dataset(std::uint32_t count,
+                                                std::uint32_t bytes) {
+  const std::string prefix = "/lustre/orion/cosmoUniverse";
+  pfs_.populate_synthetic(prefix, count, bytes);
+  std::vector<std::string> paths;
+  paths.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    paths.push_back(prefix + "/file_" + zero_pad(i, 7) + ".tfrecord");
+  }
+  return paths;
+}
+
+void Cluster::warm_caches(const std::vector<std::string>& paths) {
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const NodeId reader = static_cast<NodeId>(i % config_.node_count);
+    (void)clients_[reader]->read_file(paths[i]);
+  }
+  for (auto& server : servers_) server->flush_data_mover();
+}
+
+void Cluster::fail_node(NodeId node) { transport_.kill(node); }
+
+NodeId Cluster::add_node() {
+  const auto node = static_cast<NodeId>(servers_.size());
+  servers_.push_back(std::make_unique<HvacServer>(node, pfs_, config_.server));
+  HvacServer* server = servers_.back().get();
+  transport_.register_endpoint(
+      node,
+      [server](const rpc::RpcRequest& request) {
+        return server->handle(request);
+      });
+  std::vector<NodeId> members;
+  members.reserve(servers_.size());
+  for (NodeId n = 0; n <= node; ++n) members.push_back(n);
+  clients_.push_back(std::make_unique<HvacClient>(node, transport_, pfs_,
+                                                  members, config_.client));
+  for (NodeId n = 0; n < node; ++n) clients_[n]->add_server(node);
+  config_.node_count = static_cast<std::uint32_t>(servers_.size());
+  return node;
+}
+
+std::size_t Cluster::total_cached_files() const {
+  std::size_t total = 0;
+  for (const auto& server : servers_) total += server->cached_file_count();
+  return total;
+}
+
+}  // namespace ftc::cluster

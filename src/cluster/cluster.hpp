@@ -1,0 +1,82 @@
+// cluster.hpp - Wires servers, clients, transport and PFS into a test
+// cluster.
+//
+// The threaded equivalent of one Frontier allocation running FT-Cache:
+// every node hosts an HVAC server endpoint and an HVAC client (clients and
+// servers are co-located in the real deployment).  Integration tests and
+// the quickstart example drive this directly; scale experiments use the
+// DES substrate instead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hvac_client.hpp"
+#include "cluster/hvac_server.hpp"
+#include "cluster/pfs_store.hpp"
+#include "rpc/transport.hpp"
+
+namespace ftc::cluster {
+
+struct ClusterConfig {
+  std::uint32_t node_count = 4;
+  HvacClientConfig client;
+  HvacServerConfig server;
+  /// Simulated PFS read latency (models the NVMe-vs-Lustre gap).
+  std::chrono::microseconds pfs_read_latency{0};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return config_.node_count;
+  }
+  [[nodiscard]] HvacClient& client(NodeId node) { return *clients_[node]; }
+  [[nodiscard]] HvacServer& server(NodeId node) { return *servers_[node]; }
+  [[nodiscard]] PfsStore& pfs() { return pfs_; }
+  [[nodiscard]] rpc::Transport& transport() { return transport_; }
+
+  /// Stages `count` synthetic files of `bytes` each on the PFS; returns
+  /// their paths (the dataset the job will train on).
+  std::vector<std::string> stage_dataset(std::uint32_t count,
+                                         std::uint32_t bytes);
+
+  /// Reads every file once through round-robin clients so all caches are
+  /// populated (the paper's epoch-1 warm-up) and waits for data movers.
+  void warm_caches(const std::vector<std::string>& paths);
+
+  /// Crash-stop failure injection: the node's endpoint discards requests
+  /// from now on (SLURM drain equivalent).
+  void fail_node(NodeId node);
+
+  /// Elastic scale-up: provisions a new node (server + client) and
+  /// announces it to every existing client.  Returns the new node's id.
+  /// In ring mode only ~1/(N+1) of keys migrate to it, each recached from
+  /// the PFS on first touch.
+  NodeId add_node();
+
+  [[nodiscard]] bool node_is_failed(NodeId node) const {
+    return transport_.is_killed(node);
+  }
+
+  /// Sum of cached files across all (alive) servers.
+  [[nodiscard]] std::size_t total_cached_files() const;
+
+ private:
+  ClusterConfig config_;
+  PfsStore pfs_;
+  rpc::Transport transport_;
+  std::vector<std::unique_ptr<HvacServer>> servers_;
+  std::vector<std::unique_ptr<HvacClient>> clients_;
+};
+
+}  // namespace ftc::cluster

@@ -1,0 +1,45 @@
+#include "cluster/failure_injector.hpp"
+
+#include <algorithm>
+
+namespace ftc::cluster {
+
+std::vector<PlannedFailure> plan_failures(const FailurePlanParams& params) {
+  std::vector<PlannedFailure> plan;
+  if (params.node_count == 0 || params.failure_count == 0) return plan;
+  if (params.first_eligible_epoch >= params.total_epochs) return plan;
+
+  Rng rng(params.seed);
+  // Victims without replacement; cannot kill more nodes than exist minus
+  // one survivor (someone must keep training).
+  const std::uint32_t max_failures =
+      std::min(params.failure_count, params.node_count - 1);
+  std::vector<std::uint32_t> candidates(params.node_count);
+  for (std::uint32_t i = 0; i < params.node_count; ++i) candidates[i] = i;
+  rng.shuffle(candidates);
+
+  const std::uint32_t eligible_epochs =
+      params.total_epochs - params.first_eligible_epoch;
+  plan.reserve(max_failures);
+  for (std::uint32_t i = 0; i < max_failures; ++i) {
+    PlannedFailure failure;
+    failure.victim = candidates[i];
+    failure.epoch = params.first_eligible_epoch +
+                    static_cast<std::uint32_t>(rng.below(eligible_epochs));
+    failure.epoch_fraction = rng.uniform();
+    plan.push_back(failure);
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const PlannedFailure& a, const PlannedFailure& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.epoch_fraction < b.epoch_fraction;
+            });
+  return plan;
+}
+
+void execute_plan(const std::vector<PlannedFailure>& plan,
+                  const std::function<void(std::uint32_t)>& kill_node) {
+  for (const PlannedFailure& failure : plan) kill_node(failure.victim);
+}
+
+}  // namespace ftc::cluster

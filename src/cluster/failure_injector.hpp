@@ -1,0 +1,47 @@
+// failure_injector.hpp - Randomized crash-stop failure injection.
+//
+// The experiments disable nodes "at a predefined or random point in time
+// after the first epoch" (Sec V-A3, the SLURM `State=DRAIN` method).  This
+// helper owns the randomization: victims are drawn without replacement
+// from the surviving set with a seeded Rng so every run is reproducible.
+// It is substrate-agnostic — the kill action is a callback, so the same
+// plan drives the threaded Cluster and the DES experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ftc::cluster {
+
+struct FailurePlanParams {
+  std::uint32_t node_count = 0;
+  /// Number of single-node failures to inject (the paper injects failures
+  /// five times per run in Fig 5(b)).
+  std::uint32_t failure_count = 1;
+  /// Failures are placed uniformly at random within (epoch_begin,
+  /// epoch_end) epochs, exclusive of epoch 0 (the warm-up epoch completes
+  /// before any failure, per the methodology).
+  std::uint32_t first_eligible_epoch = 1;
+  std::uint32_t total_epochs = 5;
+  std::uint64_t seed = 1234;
+};
+
+struct PlannedFailure {
+  std::uint32_t victim = 0;
+  std::uint32_t epoch = 0;       ///< epoch during which the node dies
+  double epoch_fraction = 0.0;   ///< position within that epoch [0,1)
+};
+
+/// Draws a reproducible failure schedule: distinct victims, random epochs
+/// in [first_eligible_epoch, total_epochs), sorted by time.
+std::vector<PlannedFailure> plan_failures(const FailurePlanParams& params);
+
+/// Convenience driver for substrates with an immediate kill callback:
+/// executes every planned failure now (ordering preserved).
+void execute_plan(const std::vector<PlannedFailure>& plan,
+                  const std::function<void(std::uint32_t)>& kill_node);
+
+}  // namespace ftc::cluster

@@ -1,0 +1,42 @@
+#include "cluster/fault_detector.hpp"
+
+namespace ftc::cluster {
+
+FaultDetector::FaultDetector(std::uint32_t timeout_limit)
+    : timeout_limit_(timeout_limit == 0 ? 1 : timeout_limit) {}
+
+bool FaultDetector::record_timeout(NodeId node) {
+  ++total_timeouts_;
+  if (failed_.contains(node)) return false;
+  const std::uint32_t count = ++counters_[node];
+  if (count >= timeout_limit_) {
+    failed_.insert(node);
+    counters_.erase(node);
+    return true;
+  }
+  return false;
+}
+
+void FaultDetector::record_success(NodeId node) {
+  if (failed_.contains(node)) return;
+  const auto it = counters_.find(node);
+  if (it != counters_.end() && it->second > 0) {
+    ++suppressed_;
+    counters_.erase(it);
+  }
+}
+
+bool FaultDetector::is_failed(NodeId node) const {
+  return failed_.contains(node);
+}
+
+std::uint32_t FaultDetector::timeout_count(NodeId node) const {
+  const auto it = counters_.find(node);
+  return it != counters_.end() ? it->second : 0;
+}
+
+std::vector<NodeId> FaultDetector::failed_nodes() const {
+  return {failed_.begin(), failed_.end()};
+}
+
+}  // namespace ftc::cluster

@@ -1,0 +1,58 @@
+// fault_detector.hpp - Timeout-counting failure detection (Sec IV-A).
+//
+// The paper's clients detect failures autonomously: every RPC timeout to a
+// node increments a counter; when the counter reaches TIMEOUT_LIMIT the
+// node is flagged failed, permanently (crash-stop model — drained Frontier
+// nodes do not rejoin a running job).  A successful response resets the
+// counter, which is what suppresses false positives from transient network
+// delays.  Pure policy, shared verbatim by the threaded and DES substrates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ftc::cluster {
+
+using NodeId = std::uint32_t;
+
+class FaultDetector {
+ public:
+  /// `timeout_limit` = consecutive timeouts that flag a node as failed
+  /// (the artifact's TIMEOUT_LIMIT; must be >= 1).
+  explicit FaultDetector(std::uint32_t timeout_limit = 3);
+
+  /// Records one timeout against `node`.  Returns true exactly when this
+  /// call transitions the node to the failed state.
+  bool record_timeout(NodeId node);
+
+  /// Records a successful response: clears the node's counter.  Ignored
+  /// for already-failed nodes (failure is sticky).
+  void record_success(NodeId node);
+
+  [[nodiscard]] bool is_failed(NodeId node) const;
+  [[nodiscard]] std::uint32_t timeout_count(NodeId node) const;
+  [[nodiscard]] std::uint32_t timeout_limit() const { return timeout_limit_; }
+  [[nodiscard]] std::vector<NodeId> failed_nodes() const;
+  [[nodiscard]] std::size_t failed_count() const { return failed_.size(); }
+
+  /// Total timeouts observed across all nodes (telemetry).
+  [[nodiscard]] std::uint64_t total_timeouts() const {
+    return total_timeouts_;
+  }
+  /// Counter resets caused by late successes — each one is a false
+  /// positive avoided (the ablation bench reports this).
+  [[nodiscard]] std::uint64_t suppressed_false_positives() const {
+    return suppressed_;
+  }
+
+ private:
+  std::uint32_t timeout_limit_;
+  std::unordered_map<NodeId, std::uint32_t> counters_;
+  std::unordered_set<NodeId> failed_;
+  std::uint64_t total_timeouts_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace ftc::cluster

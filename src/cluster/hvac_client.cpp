@@ -1,0 +1,221 @@
+#include "cluster/hvac_client.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+#include "hash/crc32.hpp"
+#include "ring/consistent_hash_ring.hpp"
+#include "ring/static_modulo.hpp"
+
+namespace ftc::cluster {
+
+const char* ft_mode_name(FtMode mode) {
+  switch (mode) {
+    case FtMode::kNone: return "NoFT";
+    case FtMode::kPfsRedirect: return "FT w/ PFS";
+    case FtMode::kHashRingRecache: return "FT w/ NVMe";
+  }
+  return "?";
+}
+
+HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
+                       const std::vector<NodeId>& servers,
+                       const HvacClientConfig& config)
+    : self_(self), transport_(transport), pfs_(pfs), config_(config),
+      detector_(config.timeout_limit) {
+  if (config_.mode == FtMode::kHashRingRecache) {
+    ring::RingConfig ring_config;
+    ring_config.vnodes_per_node = config_.vnodes_per_node;
+    ring_config.seed = config_.ring_seed;
+    auto ring = std::make_unique<ring::ConsistentHashRing>(ring_config);
+    for (NodeId node : servers) ring->add_node(node);
+    ring_view_ = ring.get();
+    placement_ = std::move(ring);
+  } else {
+    auto modulo = std::make_unique<ring::StaticModuloPlacement>();
+    for (NodeId node : servers) modulo->add_node(node);
+    placement_ = std::move(modulo);
+  }
+}
+
+ring::NodeId HvacClient::current_owner(const std::string& path) const {
+  return placement_->owner(path);
+}
+
+void HvacClient::add_server(NodeId node) {
+  placement_->add_node(node);
+}
+
+Status HvacClient::ping(NodeId node) {
+  rpc::RpcRequest request;
+  request.op = rpc::Op::kPing;
+  request.client_node = self_;
+  const auto start = rpc::Clock::now();
+  auto result = transport_.call(node, std::move(request),
+                                config_.rpc_timeout);
+  if (result.is_ok() && result.value().code == StatusCode::kOk) {
+    latency_.record(std::chrono::duration<double, std::micro>(
+                        rpc::Clock::now() - start)
+                        .count());
+    detector_.record_success(node);
+    return Status::ok();
+  }
+  if (!result.is_ok() &&
+      result.status().code() == StatusCode::kTimeout) {
+    on_timeout(node);
+    return result.status();
+  }
+  return result.is_ok() ? Status(result.value().code, "ping error")
+                        : result.status();
+}
+
+std::chrono::milliseconds HvacClient::recommended_timeout(
+    double margin) const {
+  const double fallback_us =
+      std::chrono::duration<double, std::micro>(config_.rpc_timeout).count();
+  const double us = latency_.recommended_timeout(margin, 16, fallback_us);
+  return std::chrono::milliseconds(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(us / 1000.0)));
+}
+
+StatusOr<std::string> HvacClient::read_from_pfs(const std::string& path) {
+  ++stats_.served_pfs_direct;
+  return pfs_.read(path);
+}
+
+void HvacClient::replicate(const std::string& path,
+                           const std::string& contents, NodeId primary) {
+  if (config_.replication_factor <= 1 || ring_view_ == nullptr) return;
+  const auto chain =
+      ring_view_->owner_chain(path, config_.replication_factor);
+  for (const ring::NodeId backup : chain) {
+    if (backup == primary || detector_.is_failed(backup)) continue;
+    rpc::RpcRequest put;
+    put.op = rpc::Op::kPut;
+    put.path = path;
+    put.payload = contents;
+    put.client_node = self_;
+    // Best effort: a slow/dead backup only costs durability, not
+    // correctness, so a timeout here feeds the detector but is not
+    // retried.
+    auto result = transport_.call(backup, std::move(put),
+                                  config_.rpc_timeout);
+    if (result.is_ok()) {
+      detector_.record_success(backup);
+      ++stats_.replicas_pushed;
+    } else if (result.status().code() == StatusCode::kTimeout) {
+      on_timeout(backup);
+    }
+  }
+}
+
+void HvacClient::on_timeout(NodeId owner) {
+  ++stats_.timeouts;
+  if (detector_.record_timeout(owner)) {
+    ++stats_.nodes_flagged;
+    FTC_LOG(kInfo, "hvac_client")
+        << "client " << self_ << " flags node " << owner << " as FAILED ("
+        << ft_mode_name(config_.mode) << ")";
+    if (config_.mode == FtMode::kHashRingRecache) {
+      // Elastic recaching: drop the dead node's virtual nodes; its keys
+      // fall to the clockwise successors from the next lookup on.
+      placement_->remove_node(owner);
+      ++stats_.ring_updates;
+    }
+  }
+}
+
+StatusOr<std::string> HvacClient::read_file(const std::string& path) {
+  ++stats_.reads;
+
+  // Bounded by the membership size: with R alive nodes a read can at worst
+  // flag R owners in sequence before the PFS terminal fallback.
+  const std::size_t max_attempts = placement_->node_count() + 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const ring::NodeId owner = placement_->owner(path);
+    if (owner == ring::kInvalidNode) {
+      // Every cache server is gone; the PFS is the only copy left.
+      return config_.mode == FtMode::kNone
+                 ? StatusOr<std::string>(
+                       Status::unavailable("no cache servers alive"))
+                 : read_from_pfs(path);
+    }
+
+    if (detector_.is_failed(owner)) {
+      // Only the PFS-redirect mode can still map keys to a flagged node
+      // (its placement is immutable); the ring modes removed it already.
+      if (config_.mode == FtMode::kPfsRedirect) return read_from_pfs(path);
+      if (config_.mode == FtMode::kNone) {
+        return Status::unavailable("owner " + std::to_string(owner) +
+                                   " failed and NoFT cannot recover");
+      }
+      // Defensive: ring mode should never get here; fall through to retry
+      // after removing the node.
+      placement_->remove_node(owner);
+      continue;
+    }
+
+    rpc::RpcRequest request;
+    request.op = rpc::Op::kReadFile;
+    request.path = path;
+    request.client_node = self_;
+    const auto call_start = rpc::Clock::now();
+    auto result = transport_.call(owner, std::move(request),
+                                  config_.rpc_timeout);
+
+    if (result.is_ok()) {
+      latency_.record(std::chrono::duration<double, std::micro>(
+                          rpc::Clock::now() - call_start)
+                          .count());
+      rpc::RpcResponse response = std::move(result).value();
+      if (response.code == StatusCode::kOk) {
+        detector_.record_success(owner);
+        if (config_.verify_checksums &&
+            hash::crc32(response.payload) != response.checksum) {
+          ++stats_.checksum_failures;
+          return Status::internal("checksum mismatch for " + path);
+        }
+        if (response.cache_hit) {
+          ++stats_.served_remote_cache;
+        } else {
+          ++stats_.served_remote_fetch;
+          // First fetch of this file: place the backup copies now, while
+          // the contents are in hand (replication extension).
+          replicate(path, response.payload, owner);
+        }
+        return std::move(response.payload);
+      }
+      // Server answered with an application error (e.g. file missing from
+      // PFS entirely): not a fault signal, surface it.
+      detector_.record_success(owner);
+      return Status(response.code, "server " + std::to_string(owner) +
+                                       " error for " + path);
+    }
+
+    const Status& status = result.status();
+    if (status.code() == StatusCode::kTimeout ||
+        status.code() == StatusCode::kUnavailable ||
+        status.code() == StatusCode::kCancelled) {
+      // All three look identical from the application's viewpoint: the
+      // node did not serve the request.
+      on_timeout(owner);
+      switch (config_.mode) {
+        case FtMode::kNone:
+          return Status::timeout("node " + std::to_string(owner) +
+                                 " unresponsive; NoFT aborts");
+        case FtMode::kPfsRedirect:
+          // Per Fig 3(a): the timed-out request itself is redirected.
+          return read_from_pfs(path);
+        case FtMode::kHashRingRecache:
+          // Retry: if the node was flagged the ring changed; otherwise the
+          // same owner gets another chance (transient delay).
+          continue;
+      }
+    }
+    return status;  // unexpected transport error
+  }
+  // Retries exhausted without a verdict — serve the authoritative copy.
+  return read_from_pfs(path);
+}
+
+}  // namespace ftc::cluster

@@ -1,0 +1,149 @@
+// hvac_client.hpp - The HVAC client library (intercept-side logic).
+//
+// In the original system this is the LD_PRELOAD shared library that
+// intercepts open/read/close; here `read_file` is the moral equivalent of
+// that intercepted path.  The client owns the three fault-tolerance
+// behaviours the paper compares:
+//
+//   kNone (NoFT)             - no detection; a timeout aborts the read and
+//                              therefore the training job (baseline HVAC).
+//   kPfsRedirect (FT w/ PFS) - Sec IV-A: timeouts increment a per-node
+//                              counter; the timed-out request (and, once
+//                              the node is flagged, all of its keys'
+//                              requests) are served from the PFS forever.
+//   kHashRingRecache         - Sec IV-B: placement is a consistent-hash
+//   (FT w/ NVMe)               ring; flagging a node removes it from the
+//                              ring so its keys fall to the clockwise
+//                              successor, which recaches them from the PFS
+//                              once and serves NVMe thereafter.
+//
+// Each client instance is used by one training process (thread) at a time,
+// but different clients share nothing — they detect failures and update
+// their rings autonomously, as in the paper (no inter-node coordination).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fault_detector.hpp"
+#include "cluster/pfs_store.hpp"
+#include "common/latency_recorder.hpp"
+#include "ring/consistent_hash_ring.hpp"
+#include "ring/placement.hpp"
+#include "rpc/transport.hpp"
+
+namespace ftc::cluster {
+
+enum class FtMode {
+  kNone,
+  kPfsRedirect,
+  kHashRingRecache,
+};
+
+const char* ft_mode_name(FtMode mode);
+
+struct HvacClientConfig {
+  FtMode mode = FtMode::kHashRingRecache;
+  /// Per-RPC deadline (the artifact's TIMEOUT_SECONDS, scaled down for an
+  /// in-process transport).
+  std::chrono::milliseconds rpc_timeout{100};
+  /// Timeouts needed to flag a node (the artifact's TIMEOUT_LIMIT).
+  std::uint32_t timeout_limit = 3;
+  /// Virtual nodes per physical node for the ring modes (paper: 100).
+  std::uint32_t vnodes_per_node = 100;
+  /// All clients of a job must share this seed to build identical rings.
+  std::uint64_t ring_seed = 0;
+  /// Verify payload CRC against the server-computed checksum.
+  bool verify_checksums = true;
+  /// Replication extension (hash-ring mode only): cache every file on the
+  /// first `replication_factor` distinct ring owners.  On a failure the
+  /// clockwise successor already holds the lost files, so recovery needs
+  /// NO PFS access at all — at replication_factor x the NVMe footprint.
+  /// 1 = the paper's system (no replication).
+  std::uint32_t replication_factor = 1;
+};
+
+class HvacClient {
+ public:
+  /// `servers` = the job's initial allocation (clients and servers are
+  /// co-located; `self` identifies this client's node for telemetry).
+  HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
+             const std::vector<NodeId>& servers,
+             const HvacClientConfig& config);
+
+  /// The intercepted read: returns file contents or an error.  With
+  /// FtMode::kNone a server timeout is fatal (returned to caller); the FT
+  /// modes mask it per their strategy.
+  StatusOr<std::string> read_file(const std::string& path);
+
+  /// Owner the client would contact for `path` right now.
+  [[nodiscard]] ring::NodeId current_owner(const std::string& path) const;
+
+  /// Elastic scale-up: a new cache server joined the job.  In ring mode
+  /// only ~1/(N+1) of keys move to it (each recached on first touch); in
+  /// the static modes this is a full re-modulo — the movement asymmetry
+  /// the paper's Sec IV-B argues from.
+  void add_server(NodeId node);
+
+  /// Observed end-to-end latencies (microseconds) of successful cache
+  /// reads — the measurement behind the TTL guidance of Sec IV-A.
+  [[nodiscard]] const LatencyRecorder& latency() const { return latency_; }
+
+  /// TTL the paper's rule would pick right now: max observed latency x
+  /// `margin`, or the configured rpc_timeout until enough samples exist.
+  [[nodiscard]] std::chrono::milliseconds recommended_timeout(
+      double margin = 2.0) const;
+
+  /// Liveness probe (diagnostics only — the FT designs never rely on
+  /// pings; detection is timeout-on-request).  Feeds the detector and the
+  /// latency window like a data request.
+  Status ping(NodeId node);
+
+  [[nodiscard]] bool node_failed(NodeId node) const {
+    return detector_.is_failed(node);
+  }
+  [[nodiscard]] const FaultDetector& detector() const { return detector_; }
+  [[nodiscard]] const HvacClientConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t served_remote_cache = 0;  ///< server had it on NVMe
+    std::uint64_t served_remote_fetch = 0;  ///< server fetched from PFS
+    std::uint64_t served_pfs_direct = 0;    ///< client read the PFS itself
+    std::uint64_t timeouts = 0;
+    std::uint64_t nodes_flagged = 0;
+    std::uint64_t ring_updates = 0;
+    std::uint64_t checksum_failures = 0;
+    std::uint64_t replicas_pushed = 0;  ///< backup kPut ops issued
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  StatusOr<std::string> read_from_pfs(const std::string& path);
+  /// Handles a timeout against `owner`: detection bookkeeping plus ring
+  /// surgery for the recaching mode.
+  void on_timeout(NodeId owner);
+  /// Pushes backup copies of `path` to the replica chain beyond the
+  /// primary (replication extension; no-op when replication_factor <= 1).
+  void replicate(const std::string& path, const std::string& contents,
+                 NodeId primary);
+
+  NodeId self_;
+  rpc::Transport& transport_;
+  PfsStore& pfs_;
+  HvacClientConfig config_;
+  /// kHashRingRecache uses the ring; the other modes use the original
+  /// static modulo placement, matching the systems compared in Sec V.
+  std::unique_ptr<ring::PlacementStrategy> placement_;
+  /// Non-owning view of placement_ when it is a ring (replication needs
+  /// owner chains); nullptr otherwise.
+  ring::ConsistentHashRing* ring_view_ = nullptr;
+  FaultDetector detector_;
+  Stats stats_;
+  LatencyRecorder latency_;
+};
+
+}  // namespace ftc::cluster

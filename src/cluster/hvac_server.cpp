@@ -1,0 +1,179 @@
+#include "cluster/hvac_server.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+#include "hash/crc32.hpp"
+
+namespace ftc::cluster {
+
+HvacServer::HvacServer(NodeId id, PfsStore& pfs,
+                       const HvacServerConfig& config)
+    : id_(id), pfs_(pfs), config_(config),
+      cache_(config.cache_capacity_bytes, config.eviction_policy) {
+  if (config_.async_data_mover) {
+    mover_ = std::thread([this] { mover_loop(); });
+  }
+}
+
+HvacServer::~HvacServer() {
+  if (mover_.joinable()) {
+    {
+      std::lock_guard lock(mover_mutex_);
+      mover_stop_ = true;
+    }
+    mover_cv_.notify_all();
+    mover_.join();
+  }
+}
+
+rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
+  switch (request.op) {
+    case rpc::Op::kReadFile:
+      return handle_read(request);
+    case rpc::Op::kPing: {
+      rpc::RpcResponse response;
+      response.code = StatusCode::kOk;
+      return response;
+    }
+    case rpc::Op::kEvict: {
+      rpc::RpcResponse response;
+      std::lock_guard lock(mutex_);
+      response.code = cache_.erase(request.path) ? StatusCode::kOk
+                                                 : StatusCode::kNotFound;
+      return response;
+    }
+    case rpc::Op::kStats: {
+      rpc::RpcResponse response;
+      const Stats s = stats();
+      response.payload = "reads=" + std::to_string(s.reads) +
+                         " hits=" + std::to_string(s.cache_hits) +
+                         " misses=" + std::to_string(s.cache_misses);
+      return response;
+    }
+    case rpc::Op::kPut: {
+      // Backup-replica placement (replication extension): store without
+      // touching the PFS.
+      rpc::RpcResponse response;
+      std::lock_guard lock(mutex_);
+      const Status put = cache_.put(request.path, request.payload,
+                                    request.payload.size());
+      response.code = put.code();
+      if (put.is_ok()) ++stats_.replicas_stored;
+      return response;
+    }
+  }
+  rpc::RpcResponse response;
+  response.code = StatusCode::kInvalidArgument;
+  return response;
+}
+
+rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
+  rpc::RpcResponse response;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.reads;
+    auto cached = cache_.get(request.path);
+    if (cached.is_ok()) {
+      ++stats_.cache_hits;
+      response.code = StatusCode::kOk;
+      response.cache_hit = true;
+      response.payload = std::move(cached).value();
+      response.checksum = hash::crc32(response.payload);
+      return response;
+    }
+    ++stats_.cache_misses;
+  }
+
+  // Miss: fetch from PFS outside the cache lock (PFS reads are slow).
+  auto from_pfs = pfs_.read(request.path);
+  if (!from_pfs.is_ok()) {
+    response.code = from_pfs.status().code();
+    return response;
+  }
+  std::string contents = std::move(from_pfs).value();
+  response.code = StatusCode::kOk;
+  response.cache_hit = false;
+  response.checksum = hash::crc32(contents);
+
+  if (config_.async_data_mover) {
+    {
+      std::lock_guard lock(mover_mutex_);
+      mover_queue_.emplace_back(request.path, contents);
+    }
+    mover_cv_.notify_one();
+    std::lock_guard lock(mutex_);
+    ++stats_.recache_enqueued;
+  } else {
+    std::lock_guard lock(mutex_);
+    ++stats_.recache_enqueued;
+    const Status put = cache_.put(request.path, contents, contents.size());
+    if (put.is_ok()) {
+      ++stats_.recache_completed;
+    } else {
+      FTC_LOG(kWarn, "hvac_server")
+          << "node " << id_ << " recache failed: " << put.to_string();
+    }
+  }
+  response.payload = std::move(contents);
+  return response;
+}
+
+void HvacServer::mover_loop() {
+  for (;;) {
+    std::pair<std::string, std::string> item;
+    {
+      std::unique_lock lock(mover_mutex_);
+      mover_cv_.wait(lock,
+                     [this] { return mover_stop_ || !mover_queue_.empty(); });
+      if (mover_queue_.empty()) {
+        if (mover_stop_) return;
+        continue;
+      }
+      item = std::move(mover_queue_.front());
+      mover_queue_.pop_front();
+      mover_busy_ = true;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      const std::uint64_t size = item.second.size();
+      if (cache_.put(item.first, std::move(item.second), size).is_ok()) {
+        ++stats_.recache_completed;
+      }
+    }
+    {
+      std::lock_guard lock(mover_mutex_);
+      mover_busy_ = false;
+    }
+    mover_cv_.notify_all();  // wake flush waiters
+  }
+}
+
+void HvacServer::flush_data_mover() {
+  if (!config_.async_data_mover) return;
+  std::unique_lock lock(mover_mutex_);
+  mover_cv_.wait(lock,
+                 [this] { return mover_queue_.empty() && !mover_busy_; });
+}
+
+HvacServer::Stats HvacServer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+bool HvacServer::has_cached(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  return cache_.contains(path);
+}
+
+std::size_t HvacServer::cached_file_count() const {
+  std::lock_guard lock(mutex_);
+  return cache_.file_count();
+}
+
+std::uint64_t HvacServer::cached_bytes() const {
+  std::lock_guard lock(mutex_);
+  return cache_.used_bytes();
+}
+
+}  // namespace ftc::cluster

@@ -1,0 +1,90 @@
+// hvac_server.hpp - The per-node HVAC cache daemon (Sec II-B).
+//
+// One instance runs on every compute node.  On a read RPC it checks the
+// node-local NVMe cache; a hit is served directly, a miss is fetched from
+// the PFS, served, and handed to the data-mover thread which copies it
+// into the cache in the background — exactly the original HVAC flow.  The
+// elastic-recaching design needs no server-side changes: a post-failure
+// new owner simply sees a miss for the lost file and the normal
+// fetch/serve/recache path restores it (one PFS access per lost file).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/fault_detector.hpp"  // NodeId
+#include "cluster/pfs_store.hpp"
+#include "rpc/message.hpp"
+#include "storage/cache_store.hpp"
+
+namespace ftc::cluster {
+
+struct HvacServerConfig {
+  /// NVMe capacity available for caching.
+  std::uint64_t cache_capacity_bytes = 1ULL << 30;
+  /// Victim selection when the dataset share exceeds the NVMe capacity.
+  storage::EvictionPolicy eviction_policy = storage::EvictionPolicy::kLru;
+  /// When false, misses are cached inline before the response returns
+  /// (deterministic mode for tests); when true, a data-mover thread does
+  /// it in the background as in the original system.
+  bool async_data_mover = true;
+};
+
+class HvacServer {
+ public:
+  HvacServer(NodeId id, PfsStore& pfs, const HvacServerConfig& config);
+  ~HvacServer();
+
+  HvacServer(const HvacServer&) = delete;
+  HvacServer& operator=(const HvacServer&) = delete;
+
+  /// RPC dispatch; register with Transport as the node's handler.
+  rpc::RpcResponse handle(const rpc::RpcRequest& request);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t pfs_fetches = 0;
+    std::uint64_t recache_enqueued = 0;
+    std::uint64_t recache_completed = 0;
+    std::uint64_t replicas_stored = 0;  ///< kPut backups accepted
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Blocks until the data-mover queue drains (test synchronization).
+  void flush_data_mover();
+
+  /// Cached-state inspection (telemetry / tests).
+  [[nodiscard]] bool has_cached(const std::string& path) const;
+  [[nodiscard]] std::size_t cached_file_count() const;
+  [[nodiscard]] std::uint64_t cached_bytes() const;
+
+ private:
+  rpc::RpcResponse handle_read(const rpc::RpcRequest& request);
+  void mover_loop();
+
+  NodeId id_;
+  PfsStore& pfs_;
+  HvacServerConfig config_;
+
+  mutable std::mutex mutex_;  ///< guards cache_ and stats_
+  storage::CacheStore cache_;
+  Stats stats_;
+
+  // Data-mover state.
+  std::mutex mover_mutex_;
+  std::condition_variable mover_cv_;
+  std::deque<std::pair<std::string, std::string>> mover_queue_;
+  bool mover_stop_ = false;
+  bool mover_busy_ = false;  ///< an item is being inserted right now
+  std::thread mover_;
+};
+
+}  // namespace ftc::cluster

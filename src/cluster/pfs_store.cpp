@@ -1,0 +1,56 @@
+#include "cluster/pfs_store.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace ftc::cluster {
+
+PfsStore::PfsStore(std::chrono::microseconds read_latency)
+    : read_latency_(read_latency) {}
+
+void PfsStore::put(const std::string& path, std::string contents) {
+  std::unique_lock lock(mutex_);
+  files_[path] = std::move(contents);
+}
+
+StatusOr<std::string> PfsStore::read(const std::string& path) const {
+  if (read_latency_.count() > 0) {
+    std::this_thread::sleep_for(read_latency_);
+  }
+  std::shared_lock lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::not_found("PFS has no file " + path);
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool PfsStore::contains(const std::string& path) const {
+  std::shared_lock lock(mutex_);
+  return files_.contains(path);
+}
+
+std::size_t PfsStore::file_count() const {
+  std::shared_lock lock(mutex_);
+  return files_.size();
+}
+
+void PfsStore::populate_synthetic(const std::string& prefix,
+                                  std::uint32_t count, std::uint32_t bytes) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Rng rng(0xDA7A0000ULL + i);
+    std::string contents;
+    contents.reserve(bytes);
+    for (std::uint32_t b = 0; b < bytes; ++b) {
+      contents.push_back(static_cast<char>('a' + rng.below(26)));
+    }
+    put(prefix + "/file_" + zero_pad(i, 7) + ".tfrecord",
+        std::move(contents));
+  }
+}
+
+}  // namespace ftc::cluster

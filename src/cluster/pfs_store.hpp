@@ -1,0 +1,56 @@
+// pfs_store.hpp - Threaded-substrate stand-in for the Lustre PFS.
+//
+// Holds the authoritative copy of every training file (the paper's Orion
+// holds the dataset; caches are derived state).  Reads optionally sleep a
+// configurable latency so integration tests can observe the NVMe-vs-PFS
+// cost gap.  Thread-safe: many clients and servers read concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.hpp"
+
+namespace ftc::cluster {
+
+class PfsStore {
+ public:
+  explicit PfsStore(
+      std::chrono::microseconds read_latency = std::chrono::microseconds{0});
+
+  /// Stores/overwrites a file (dataset staging; not latency-modelled).
+  void put(const std::string& path, std::string contents);
+
+  /// Reads a file, sleeping the configured latency first.
+  StatusOr<std::string> read(const std::string& path) const;
+
+  [[nodiscard]] bool contains(const std::string& path) const;
+  [[nodiscard]] std::size_t file_count() const;
+
+  /// Total reads served — the metric the FT designs try to minimize.
+  [[nodiscard]] std::uint64_t read_count() const { return reads_.load(); }
+
+  void set_read_latency(std::chrono::microseconds latency) {
+    read_latency_ = latency;
+  }
+  [[nodiscard]] std::chrono::microseconds read_latency() const {
+    return read_latency_;
+  }
+
+  /// Generates `count` synthetic files of `bytes` each under `prefix`,
+  /// with deterministic pseudo-random contents (seeded by the index).
+  void populate_synthetic(const std::string& prefix, std::uint32_t count,
+                          std::uint32_t bytes);
+
+ private:
+  std::chrono::microseconds read_latency_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::string> files_;
+  mutable std::atomic<std::uint64_t> reads_{0};
+};
+
+}  // namespace ftc::cluster

@@ -1,0 +1,113 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.hpp"
+
+namespace ftc {
+
+StatusOr<Config> Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::invalid_argument("expected key=value, got '" +
+                                      std::string(arg) + "'");
+    }
+    cfg.set(std::string(trim(arg.substr(0, eq))),
+            std::string(trim(arg.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+StatusOr<Config> Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open config file: " + path);
+  Config cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::invalid_argument(path + ":" + std::to_string(lineno) +
+                                      ": expected key = value");
+    }
+    cfg.set(std::string(trim(trimmed.substr(0, eq))),
+            std::string(trim(trimmed.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string fallback) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? it->second : std::move(fallback);
+}
+
+std::int64_t Config::get_int(std::string_view key,
+                             std::int64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != it->second.c_str()) ? static_cast<std::int64_t>(v) : fallback;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != it->second.c_str()) ? v : fallback;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::uint64_t Config::get_bytes(std::string_view key,
+                                std::uint64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::uint64_t v = parse_bytes(it->second);
+  return v != 0 ? v : fallback;
+}
+
+std::vector<std::int64_t> Config::get_int_list(
+    std::string_view key, std::vector<std::int64_t> fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  for (const std::string& part : split(it->second, ',')) {
+    const std::string_view t = trim(part);
+    if (t.empty()) continue;
+    char* end = nullptr;
+    const std::string copy(t);
+    const long long v = std::strtoll(copy.c_str(), &end, 10);
+    if (end == copy.c_str()) return fallback;
+    out.push_back(static_cast<std::int64_t>(v));
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace ftc

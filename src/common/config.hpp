@@ -1,0 +1,56 @@
+// config.hpp - Flat key=value configuration with typed accessors.
+//
+// Examples and benches accept "key=value" CLI arguments and optional config
+// files so experiment parameters (node counts, virtual nodes, failure
+// timing, bandwidths) are adjustable without recompiling — mirroring the
+// artifact's environment-variable knobs (FT_CACHE_SERVER_COUNT,
+// TIMEOUT_SECONDS, TIMEOUT_LIMIT, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ftc {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "a=1 b=two"-style argv tail.  Unrecognized tokens (no '=')
+  /// produce an error naming the token.
+  static StatusOr<Config> from_args(int argc, const char* const* argv);
+
+  /// Parses a file of `key = value` lines; '#' starts a comment.
+  static StatusOr<Config> from_file(const std::string& path);
+
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  /// Parses byte-size strings like "4GiB" via parse_bytes.
+  [[nodiscard]] std::uint64_t get_bytes(std::string_view key,
+                                        std::uint64_t fallback) const;
+  /// Comma-separated integer list, e.g. "64,128,256".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      std::string_view key, std::vector<std::int64_t> fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace ftc

@@ -1,0 +1,76 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace ftc {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  assert(edges_.size() >= 2 && "histogram needs at least one bucket");
+  assert(std::is_sorted(edges_.begin(), edges_.end()));
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+void Histogram::add(double x, double weight) {
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  // upper_bound returns the first edge > x; the bucket index is one less.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[idx] += weight;
+}
+
+double Histogram::total() const {
+  double t = underflow_ + overflow_;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+std::string Histogram::bucket_label(std::size_t i) const {
+  std::ostringstream os;
+  os << "[" << edges_[i] << ", " << edges_[i + 1] << ")";
+  return os.str();
+}
+
+double Histogram::bucket_fraction(std::size_t i) const {
+  const double t = total();
+  return t > 0.0 ? counts_[i] / t : 0.0;
+}
+
+void CategoricalHistogram::add(const std::string& category, double weight) {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == category) {
+      counts_[i] += weight;
+      return;
+    }
+  }
+  order_.push_back(category);
+  counts_.push_back(weight);
+}
+
+double CategoricalHistogram::count(const std::string& category) const {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == category) return counts_[i];
+  }
+  return 0.0;
+}
+
+double CategoricalHistogram::total() const {
+  double t = 0.0;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+double CategoricalHistogram::fraction(const std::string& category) const {
+  const double t = total();
+  return t > 0.0 ? count(category) / t : 0.0;
+}
+
+}  // namespace ftc

@@ -1,0 +1,61 @@
+// histogram.hpp - Fixed-bucket and categorical histograms.
+//
+// Used by the SLURM trace analyzer (Fig 2's node-count / elapsed-time
+// buckets) and by latency distribution reporting in the RPC layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftc {
+
+/// Histogram over explicit bucket edges.  A value x lands in bucket i when
+/// edges[i] <= x < edges[i+1]; values below edges[0] land in an underflow
+/// bucket and values >= edges.back() in an overflow bucket.
+class Histogram {
+ public:
+  /// `edges` must be strictly increasing and contain at least two entries.
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] double bucket_weight(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+  [[nodiscard]] double total() const;
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+
+  /// Label like "[10, 20)" for bucket i.
+  [[nodiscard]] std::string bucket_label(std::size_t i) const;
+
+  /// Fraction of total weight in bucket i (0 when empty histogram).
+  [[nodiscard]] double bucket_fraction(std::size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+/// Counts per named category, preserving insertion order for display.
+class CategoricalHistogram {
+ public:
+  void add(const std::string& category, double weight = 1.0);
+
+  [[nodiscard]] double count(const std::string& category) const;
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double fraction(const std::string& category) const;
+  [[nodiscard]] const std::vector<std::string>& categories() const {
+    return order_;
+  }
+
+ private:
+  std::vector<std::string> order_;
+  std::vector<double> counts_;
+};
+
+}  // namespace ftc

@@ -1,0 +1,84 @@
+// latency_recorder.hpp - Sliding-window latency tracking.
+//
+// The paper's TTL guidance (Sec IV-A) is operational: the timeout "only
+// needs to be greater than the longest observed latency".  This recorder
+// keeps the last N observations in a ring buffer and answers exactly that
+// question — max and percentiles over the recent window — so a client can
+// derive its TIMEOUT_SECONDS from measurements instead of folklore.
+//
+// Not thread-safe: each HvacClient owns one and is driven by one thread.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftc {
+
+class LatencyRecorder {
+ public:
+  /// `window` = number of most-recent samples retained (>= 1).
+  explicit LatencyRecorder(std::size_t window = 1024)
+      : window_(window == 0 ? 1 : window) {
+    samples_.reserve(window_);
+  }
+
+  /// Records one latency observation (any consistent unit; callers use
+  /// microseconds).
+  void record(double value) {
+    if (samples_.size() < window_) {
+      samples_.push_back(value);
+    } else {
+      samples_[cursor_] = value;
+    }
+    cursor_ = (cursor_ + 1) % window_;
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+
+  [[nodiscard]] double max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Linear-interpolated percentile over the current window, p in [0,100].
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0) return sorted.front();
+    if (p >= 100.0) return sorted.back();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  }
+
+  /// The paper's rule with a safety margin: TTL = max observed * margin.
+  /// Returns `fallback` until enough samples exist to trust the window.
+  [[nodiscard]] double recommended_timeout(double margin = 2.0,
+                                           std::size_t min_samples = 16,
+                                           double fallback = 0.0) const {
+    if (samples_.size() < min_samples) return fallback;
+    return max() * margin;
+  }
+
+ private:
+  std::size_t window_;
+  std::size_t cursor_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace ftc

@@ -1,0 +1,93 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace ftc {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace logging {
+namespace {
+
+struct State {
+  std::mutex mutex;
+  LogLevel level = LogLevel::kWarn;
+  std::function<SimTime()> time_source;
+  std::function<void(const std::string&)> sink;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+void set_level(LogLevel level) {
+  std::lock_guard lock(state().mutex);
+  state().level = level;
+}
+
+LogLevel level() {
+  // Racy read is acceptable: level changes are test-setup-time only.
+  return state().level;
+}
+
+void set_time_source(std::function<SimTime()> source) {
+  std::lock_guard lock(state().mutex);
+  state().time_source = std::move(source);
+}
+
+void clear_time_source() {
+  std::lock_guard lock(state().mutex);
+  state().time_source = nullptr;
+}
+
+void set_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard lock(state().mutex);
+  state().sink = std::move(sink);
+}
+
+void reset_sink() {
+  std::lock_guard lock(state().mutex);
+  state().sink = nullptr;
+}
+
+void emit(LogLevel level, const std::string& component,
+          const std::string& message) {
+  std::lock_guard lock(state().mutex);
+  if (level < state().level) return;
+  std::string line;
+  line.reserve(message.size() + component.size() + 32);
+  if (state().time_source) {
+    line += "[";
+    line += simtime::to_string(state().time_source());
+    line += "] ";
+  }
+  line += "[";
+  line += log_level_name(level);
+  line += "] [";
+  line += component;
+  line += "] ";
+  line += message;
+  if (state().sink) {
+    state().sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace logging
+}  // namespace ftc

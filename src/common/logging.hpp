@@ -1,0 +1,80 @@
+// logging.hpp - Minimal leveled logger.
+//
+// Thread-safe (single global mutex around emission), cheap when the level
+// is filtered out (message formatting is skipped).  The DES substrate logs
+// with the *simulated* timestamp via set_time_source so traces line up with
+// simulation time rather than wall time.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/sim_time.hpp"
+
+namespace ftc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* log_level_name(LogLevel level);
+
+/// Global logger configuration + emission.  Not a class hierarchy: the
+/// library needs exactly one sink and the simplicity keeps hot paths cheap.
+namespace logging {
+
+/// Sets the minimum level that will be emitted (default kWarn so tests and
+/// benches stay quiet unless asked).
+void set_level(LogLevel level);
+LogLevel level();
+
+/// Optional clock; when set, each line is prefixed with the simulated time.
+void set_time_source(std::function<SimTime()> source);
+void clear_time_source();
+
+/// Redirects output (default stderr).  The sink receives complete lines.
+void set_sink(std::function<void(const std::string&)> sink);
+void reset_sink();
+
+/// Emits one line at `level` tagged with `component`.
+void emit(LogLevel level, const std::string& component,
+          const std::string& message);
+
+}  // namespace logging
+
+/// Streaming helper: FTC_LOG(kInfo, "ring") << "node " << id << " removed";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)),
+        enabled_(level >= logging::level()) {}
+
+  ~LogLine() {
+    if (enabled_) logging::emit(level_, component_, stream_.str());
+  }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+#define FTC_LOG(level, component) ::ftc::LogLine(::ftc::LogLevel::level, component)
+
+}  // namespace ftc

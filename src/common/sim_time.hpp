@@ -1,0 +1,62 @@
+// sim_time.hpp - Integer-nanosecond simulated time.
+//
+// All latency/bandwidth modelling in the discrete-event substrate uses
+// SimTime to avoid floating-point drift across millions of events.  The
+// threaded substrate uses real std::chrono clocks instead; both share the
+// same policy code which is time-representation agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftc {
+
+/// Simulated time point / duration in nanoseconds since simulation start.
+/// Plain integer wrapper: arithmetic is explicit and overflow-checked by
+/// range (2^63 ns ~ 292 years of simulated time).
+using SimTime = std::int64_t;
+
+namespace simtime {
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr SimTime from_us(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimTime from_ms(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_ms(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr double to_minutes(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMinute);
+}
+
+/// Time needed to move `bytes` through a pipe of `bytes_per_second`
+/// bandwidth.  Returns at least 1 ns for any positive transfer so events
+/// always advance the clock.
+constexpr SimTime transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  if (bytes == 0 || bytes_per_second <= 0.0) return 0;
+  const double secs = static_cast<double>(bytes) / bytes_per_second;
+  const auto t = static_cast<SimTime>(secs * static_cast<double>(kSecond));
+  return t > 0 ? t : 1;
+}
+
+/// Formats a SimTime as "1h02m03.456s" style human-readable string.
+std::string to_string(SimTime t);
+
+}  // namespace simtime
+}  // namespace ftc

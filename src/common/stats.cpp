@@ -1,0 +1,122 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  return m != 0.0 ? stddev() / m : 0.0;
+}
+
+Summary::Summary(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+void Summary::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Summary::max() {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Summary::percentile(double p) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double jain_fairness(const std::vector<double>& loads) {
+  if (loads.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : loads) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+double peak_to_mean(const std::vector<double>& loads) {
+  if (loads.empty()) return 1.0;
+  double sum = 0.0;
+  double peak = loads.front();
+  for (double x : loads) {
+    sum += x;
+    peak = std::max(peak, x);
+  }
+  const double mean = sum / static_cast<double>(loads.size());
+  return mean != 0.0 ? peak / mean : 1.0;
+}
+
+}  // namespace ftc

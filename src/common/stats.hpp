@@ -1,0 +1,80 @@
+// stats.hpp - Streaming and batch statistics used by every experiment.
+//
+// RunningStats implements Welford's online algorithm (numerically stable
+// single-pass mean/variance); Summary computes order statistics from a
+// retained sample vector.  Both are used to produce the mean ± stddev rows
+// the paper reports (e.g. Fig 6(b) error bars).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftc {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly,
+  /// Chan et al. pairwise update).
+  void merge(const RunningStats& other);
+
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a retained sample: percentiles + moments.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<double> samples);
+
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+  /// Linear-interpolated percentile, p in [0,100].
+  [[nodiscard]] double percentile(double p);
+  [[nodiscard]] double median() { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Jain's fairness index over per-node loads: 1.0 = perfectly balanced,
+/// 1/n = maximally skewed.  Used by the load-distribution experiments.
+double jain_fairness(const std::vector<double>& loads);
+
+/// Max-to-mean load ratio; 1.0 = balanced.  Complements Jain's index.
+double peak_to_mean(const std::vector<double>& loads);
+
+}  // namespace ftc

@@ -1,0 +1,106 @@
+// status.hpp - Lightweight error propagation for FT-Cache.
+//
+// The library avoids exceptions on hot paths (RPC handling, ring lookups)
+// and instead returns Status / StatusOr<T>.  This mirrors the error model of
+// the original HVAC codebase where every RPC handler returns an error code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ftc {
+
+/// Error categories used across the library.  Values are stable so they can
+/// be carried across the (simulated) wire in RPC responses.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,        ///< Key/file does not exist.
+  kTimeout = 2,         ///< Operation exceeded its deadline (fault signal).
+  kUnavailable = 3,     ///< Target node is marked failed / unreachable.
+  kCapacity = 4,        ///< Device or cache out of space.
+  kInvalidArgument = 5, ///< Caller error (bad parameter).
+  kInternal = 6,        ///< Invariant violation; indicates a bug.
+  kCancelled = 7,       ///< Operation aborted (e.g. shutdown in progress).
+};
+
+/// Human-readable name of a status code ("OK", "TIMEOUT", ...).
+constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kCapacity: return "CAPACITY";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+/// Result of an operation: a code plus an optional diagnostic message.
+/// Copyable, cheap when OK (empty message).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+  static Status not_found(std::string m = {}) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status timeout(std::string m = {}) { return {StatusCode::kTimeout, std::move(m)}; }
+  static Status unavailable(std::string m = {}) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status capacity(std::string m = {}) { return {StatusCode::kCapacity, std::move(m)}; }
+  static Status invalid_argument(std::string m = {}) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status internal(std::string m = {}) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status cancelled(std::string m = {}) { return {StatusCode::kCancelled, std::move(m)}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error holder.  `value()` must only be called when `is_ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}                 // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}         // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ftc

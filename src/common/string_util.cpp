@@ -1,0 +1,126 @@
+#include "common/string_util.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftc {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string format_double(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return std::string(buf.data());
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 6> units = {"B",   "KiB", "MiB",
+                                                       "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::array<char, 64> buf{};
+  if (u == 0) {
+    std::snprintf(buf.data(), buf.size(), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f %s", v, units[u]);
+  }
+  return std::string(buf.data());
+}
+
+std::uint64_t parse_bytes(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const std::string copy(s);
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || value < 0) return 0;
+  std::string_view unit = trim(std::string_view(end));
+  double mult = 1.0;
+  if (unit.empty() || unit == "B" || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "KiB" || unit == "K" || unit == "k" || unit == "KB") {
+    mult = 1024.0;
+  } else if (unit == "MiB" || unit == "M" || unit == "MB") {
+    mult = 1024.0 * 1024.0;
+  } else if (unit == "GiB" || unit == "G" || unit == "GB") {
+    mult = 1024.0 * 1024.0 * 1024.0;
+  } else if (unit == "TiB" || unit == "T" || unit == "TB") {
+    mult = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(value * mult);
+}
+
+std::string zero_pad(std::uint64_t value, int width) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%0*llu", width,
+                static_cast<unsigned long long>(value));
+  return std::string(buf.data());
+}
+
+}  // namespace ftc
+
+// simtime::to_string lives here to keep sim_time.hpp header-only aside from
+// this one formatting function.
+#include "common/sim_time.hpp"
+
+namespace ftc::simtime {
+
+std::string to_string(SimTime t) {
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  const std::int64_t hours = t / kHour;
+  const std::int64_t minutes = (t % kHour) / kMinute;
+  const double seconds = static_cast<double>(t % kMinute) /
+                         static_cast<double>(kSecond);
+  std::array<char, 64> buf{};
+  if (hours > 0) {
+    std::snprintf(buf.data(), buf.size(), "%s%lldh%02lldm%06.3fs",
+                  neg ? "-" : "", static_cast<long long>(hours),
+                  static_cast<long long>(minutes), seconds);
+  } else if (minutes > 0) {
+    std::snprintf(buf.data(), buf.size(), "%s%lldm%06.3fs", neg ? "-" : "",
+                  static_cast<long long>(minutes), seconds);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%s%.6fs", neg ? "-" : "",
+                  static_cast<double>(t) / static_cast<double>(kSecond));
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace ftc::simtime

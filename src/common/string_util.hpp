@@ -1,0 +1,33 @@
+// string_util.hpp - Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftc {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Formats with fixed decimal places, e.g. format_double(3.14159, 2) == "3.14".
+std::string format_double(double value, int decimals);
+
+/// Renders a byte count as "1.3 TB" / "512 MiB"-style strings (binary units).
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parses "4GiB", "128KiB", "1.3TB", "512" (bytes).  Returns 0 on failure.
+std::uint64_t parse_bytes(std::string_view s);
+
+/// "file_000042.tfrecord"-style zero-padded names used by the synthetic
+/// dataset generator.
+std::string zero_pad(std::uint64_t value, int width);
+
+}  // namespace ftc

@@ -1,0 +1,37 @@
+// table.hpp - ASCII table renderer for experiment output.
+//
+// Every bench binary prints the rows/series the paper reports through this
+// one formatter so outputs are uniform and diffable (EXPERIMENTS.md records
+// them verbatim).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `decimals` places.
+  void add_row_values(const std::vector<double>& values, int decimals = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (for machine consumption alongside the pretty print).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftc

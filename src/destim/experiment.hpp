@@ -1,0 +1,196 @@
+// experiment.hpp - DES end-to-end training experiment (Fig 5 / Fig 6a).
+//
+// Reproduces the paper's Frontier runs on the discrete-event substrate:
+// N nodes train a CosmoFlow-like job for E epochs over a shared dataset
+// cached in HVAC, with crash-stop failures injected at step boundaries
+// after the first epoch, under one of the three fault-tolerance modes
+// (NoFT / FT w/ PFS / FT w/ NVMe).  Every component of the timing model —
+// NVMe, NIC, PFS (MDS + shared OST pool), RPC timeout detection, Horovod
+// elastic restart — is parameterized by ExperimentConfig; defaults follow
+// Table II and DESIGN.md's scaled-down calibration.
+//
+// What the model captures (and why the paper's shape emerges):
+//   - epoch 0 is uncached: every file is fetched once from the PFS and
+//     recached (HVAC warm-up);
+//   - cached epochs read NVMe via remote RPC at NIC speed;
+//   - a failure wastes the partial epoch (rollback to epoch start with the
+//     survivors, plus a fixed elastic-restart overhead);
+//   - after a failure each client independently pays timeout detection,
+//     then: FT w/ PFS reads every lost file from the PFS in EVERY later
+//     epoch (per-step stragglers, batch barrier amplifies), while
+//     FT w/ NVMe re-fetches each lost file ONCE and serves NVMe after;
+//   - NoFT aborts at the first post-failure read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/failure_injector.hpp"
+#include "cluster/hvac_client.hpp"  // FtMode
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "storage/nvme_model.hpp"
+#include "storage/pfs_model.hpp"
+
+namespace ftc::destim {
+
+struct ExperimentConfig {
+  // --- Topology -----------------------------------------------------------
+  std::uint32_t node_count = 64;
+  cluster::FtMode mode = cluster::FtMode::kHashRingRecache;
+
+  // --- Dataset (scaled-down cosmoUniverse; see DESIGN.md) ------------------
+  std::uint32_t file_count = 10240;
+  std::uint64_t file_bytes = 16ULL << 20;  // 16 MiB/TFRecord
+  /// Samples packed per TFRecord.  The shuffle/shard unit is the SAMPLE,
+  /// as in CosmoFlow: one file's samples land on several different nodes
+  /// each epoch, so a lost file is fetched by multiple clients per epoch —
+  /// the amplification that makes continuous PFS redirection so costly.
+  /// 1 = file-level sharding (each file read once per epoch).
+  std::uint32_t samples_per_file = 1;
+  /// Validation files read (in fixed order, step-synchronized) at the end
+  /// of every epoch — cosmoUniverse carries 65,536 validation samples
+  /// alongside the training set.  0 disables the validation phase.
+  std::uint32_t validation_file_count = 0;
+
+  // --- Training structure ---------------------------------------------------
+  std::uint32_t epochs = 5;
+  /// Samples each node consumes per step (with samples_per_file == 1 this
+  /// is files per step).
+  std::uint32_t files_per_step_per_node = 4;
+  /// Pipelined prefetch (extension; cf. the clairvoyant-prefetching line
+  /// of work the paper cites): the epoch permutation is deterministic, so
+  /// while step k computes, each node already fetches step k+1's files.
+  /// Cached-epoch I/O hides entirely under compute.
+  bool prefetch = false;
+  /// Fraction of the (shuffled) sample stream consumed per epoch
+  /// (extension): 1.0 = classic vision-style full passes; < 1 models
+  /// LLM-style partial epochs, where some lost files are never re-read
+  /// and PFS redirection's recurring penalty shrinks.
+  double epoch_subset_fraction = 1.0;
+  /// Model-state checkpoint written to the PFS at each epoch boundary
+  /// (0 = not modelled).  Checkpoint-restart reads it back on requeue.
+  std::uint64_t checkpoint_write_bytes = 0;
+  SimTime compute_time_per_step = 50 * simtime::kMillisecond;
+  std::uint64_t shuffle_seed = 2024;
+
+  // --- Devices --------------------------------------------------------------
+  storage::NvmeConfig nvme{};
+  storage::PfsConfig pfs{};
+
+  // --- Network --------------------------------------------------------------
+  double nic_bytes_per_second = 25.0e9;  // Slingshot 200 Gb/s
+  SimTime rpc_latency = 30 * simtime::kMicrosecond;
+
+  // --- Fault tolerance ------------------------------------------------------
+  /// Per-read client-side cost of the FT machinery (condition checks,
+  /// timeout tracking, mutexes — the NoFT-vs-FT gap in Fig 5a).  Applied
+  /// only when mode != kNone.
+  SimTime ft_overhead_per_read = 15 * simtime::kMicrosecond;
+  /// TIMEOUT_SECONDS equivalent: per-request deadline.
+  SimTime rpc_timeout = 100 * simtime::kMillisecond;
+  /// TIMEOUT_LIMIT equivalent: timeouts that flag a node.
+  std::uint32_t timeout_limit = 2;
+  std::uint32_t vnodes_per_node = 100;
+  std::uint64_t ring_seed = 7;
+  /// Optional per-node capacity weights (heterogeneous NVMe sizes, e.g.
+  /// the KISTI Neuron 2.9-3.5 TB mix).  Empty = uniform.  Node i gets
+  /// ~weight[i] x the average key share on the ring.  Ring mode only.
+  std::vector<double> node_weights;
+  /// Replication extension (ring mode only): each file cached on the first
+  /// `replication_factor` distinct ring owners at warm-up, so a failure is
+  /// recovered from the clockwise successor's NVMe with zero PFS traffic —
+  /// at replication_factor x the NVMe footprint.  1 = the paper's system.
+  std::uint32_t replication_factor = 1;
+  /// Fixed Horovod-elastic re-initialization cost per restart.
+  SimTime elastic_restart_overhead = 300 * simtime::kMillisecond;
+
+  /// Checkpoint-restart baseline (mode == kNone only): instead of
+  /// aborting, a failure crashes the job, which is requeued from the last
+  /// epoch-boundary checkpoint on the survivors — with COLD caches, since
+  /// node-local NVMe contents do not survive reallocation.  This is the
+  /// "model-state FT without cache FT" approach of the related work the
+  /// paper argues is insufficient (Sec I).
+  bool checkpoint_restart = false;
+  /// Requeue + checkpoint-load cost per crash (≫ elastic restart).
+  SimTime checkpoint_restart_overhead = 2 * simtime::kSecond;
+
+  // --- Failure schedule -----------------------------------------------------
+  /// Crash-stop failures; build with cluster::plan_failures or by hand.
+  std::vector<cluster::PlannedFailure> failures;
+
+  /// Transient slowdowns: the node stays alive but serves each request
+  /// `extra_latency` late during [start, start+duration).  When the extra
+  /// latency exceeds rpc_timeout the client sees timeouts on a HEALTHY
+  /// node — the false-positive scenario the timeout-counter threshold
+  /// exists to absorb (Sec IV-A).  A falsely flagged node costs the ring
+  /// mode gratuitous recaching of everything it holds.
+  struct TransientSlowdown {
+    std::uint32_t node = 0;
+    SimTime start = 0;
+    SimTime duration = 0;
+    SimTime extra_latency = 0;
+  };
+  std::vector<TransientSlowdown> slowdowns;
+
+  /// Safety cap on simulation events (0 = default cap).
+  std::uint64_t max_events = 0;
+};
+
+struct EpochRecord {
+  std::uint32_t epoch = 0;
+  /// Wall-clock (simulated) duration including failed attempts and restart
+  /// overhead attributed to this epoch.
+  SimTime duration = 0;
+  std::uint32_t attempts = 1;
+  bool failure_during = false;
+  std::uint64_t pfs_reads = 0;     ///< data fetches that hit the PFS
+  std::uint64_t local_reads = 0;   ///< served from the reader's own NVMe
+  std::uint64_t remote_hits = 0;   ///< served from a remote node's NVMe
+  std::uint64_t remote_misses = 0; ///< served via owner's PFS fetch+recache
+  std::uint64_t timeouts = 0;      ///< RPC deadline expirations observed
+  std::uint64_t false_timeouts = 0;  ///< timeouts against ALIVE nodes
+};
+
+struct ExperimentResult {
+  bool completed = false;
+  std::string abort_reason;
+  SimTime total_time = 0;
+  std::vector<EpochRecord> epochs;
+  std::uint32_t restarts = 0;
+  std::uint64_t total_pfs_reads = 0;
+  std::uint64_t total_timeouts = 0;
+  std::uint64_t simulated_events = 0;
+  /// Largest per-node cached footprint reached (capacity cost of the
+  /// replication extension).
+  std::uint64_t peak_node_cache_bytes = 0;
+  /// Alive nodes some client flagged as failed (false positives; each one
+  /// costs the ring mode gratuitous recaching).
+  std::uint64_t falsely_flagged_nodes = 0;
+  std::uint64_t total_false_timeouts = 0;
+
+  [[nodiscard]] double total_minutes() const {
+    return simtime::to_minutes(total_time);
+  }
+};
+
+/// Runs one experiment to completion (or abort) and returns the record.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Aggregate over repeated trials — the paper repeats every experiment
+/// three times (Sec V-A2).  Trials vary the shuffle and PFS-latency seeds;
+/// the failure schedule stays as configured.
+struct TrialSummary {
+  std::uint32_t trials = 0;
+  std::uint32_t completed = 0;         ///< trials that finished training
+  RunningStats total_minutes;          ///< over completed trials
+  RunningStats total_pfs_reads;
+  RunningStats restarts;
+  std::vector<ExperimentResult> results;  ///< every trial, in order
+};
+
+TrialSummary run_experiment_trials(const ExperimentConfig& base,
+                                   std::uint32_t trials);
+
+}  // namespace ftc::destim

@@ -1,0 +1,44 @@
+// cosmoflow.hpp - Constants of the paper's workload (Sec V-A2).
+//
+// CosmoFlow (MLPerf HPC) trains a 3D CNN on the cosmoUniverse dataset:
+// 1.3 TB of TFRecords, 524,288 training samples, 65,536 validation
+// samples, 5 epochs per experiment, Horovod elastic execution.  These
+// presets parameterize the synthetic dataset and the DES training model;
+// `scale` shrinks the dataset proportionally so laptop-scale runs keep the
+// paper's ratios (PFS-vs-NVMe bandwidth per byte) while finishing quickly.
+#pragma once
+
+#include <cstdint>
+
+namespace ftc::dl {
+
+struct CosmoflowWorkload {
+  std::uint64_t dataset_bytes = 1300ULL * 1000 * 1000 * 1000;  // 1.3 TB
+  std::uint32_t train_samples = 524288;
+  std::uint32_t validation_samples = 65536;
+  std::uint32_t epochs = 5;
+  /// Samples per TFRecord file in the packed layout.
+  std::uint32_t samples_per_file = 64;
+
+  [[nodiscard]] std::uint32_t train_file_count() const {
+    return train_samples / samples_per_file;
+  }
+  [[nodiscard]] std::uint64_t mean_file_bytes() const {
+    const std::uint32_t files = train_file_count();
+    return files > 0 ? dataset_bytes / files : 0;
+  }
+
+  /// Returns a copy with the dataset shrunk by `factor` (same file sizes,
+  /// fewer files) — the substitution documented in DESIGN.md.
+  [[nodiscard]] CosmoflowWorkload scaled_down(std::uint32_t factor) const {
+    CosmoflowWorkload w = *this;
+    if (factor > 1) {
+      w.dataset_bytes /= factor;
+      w.train_samples /= factor;
+      w.validation_samples /= factor;
+    }
+    return w;
+  }
+};
+
+}  // namespace ftc::dl

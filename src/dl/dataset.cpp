@@ -1,0 +1,33 @@
+#include "dl/dataset.hpp"
+
+namespace ftc::dl {
+
+Dataset::Dataset(const storage::FileCatalog& catalog,
+                 std::uint32_t samples_per_file)
+    : catalog_(catalog),
+      samples_per_file_(samples_per_file == 0 ? 1 : samples_per_file) {}
+
+std::uint32_t Dataset::files_per_step_per_node(
+    std::uint32_t global_batch_samples, std::uint32_t node_count) const {
+  if (node_count == 0 || global_batch_samples == 0) return 1;
+  const std::uint64_t files_per_step =
+      (static_cast<std::uint64_t>(global_batch_samples) + samples_per_file_ -
+       1) /
+      samples_per_file_;
+  const std::uint64_t per_node =
+      (files_per_step + node_count - 1) / node_count;
+  return per_node > 0 ? static_cast<std::uint32_t>(per_node) : 1;
+}
+
+std::uint32_t Dataset::steps_per_epoch(std::uint32_t global_batch_samples,
+                                       std::uint32_t node_count) const {
+  const std::uint32_t per_node =
+      files_per_step_per_node(global_batch_samples, node_count);
+  const std::uint64_t files_per_step =
+      static_cast<std::uint64_t>(per_node) * node_count;
+  if (files_per_step == 0) return 0;
+  return static_cast<std::uint32_t>(
+      (file_count() + files_per_step - 1) / files_per_step);
+}
+
+}  // namespace ftc::dl

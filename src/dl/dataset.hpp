@@ -1,0 +1,55 @@
+// dataset.hpp - Training-dataset view over a file catalog.
+//
+// Adds the DL-side structure (samples per file, global batch size) on top
+// of storage::FileCatalog so the trainer can convert between samples,
+// files and steps.  Reading is always whole-file (TFRecord granularity),
+// matching HVAC's file-level caching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/file_catalog.hpp"
+
+namespace ftc::dl {
+
+class Dataset {
+ public:
+  /// `samples_per_file` > 0; the catalog's files are the shuffling unit.
+  Dataset(const storage::FileCatalog& catalog, std::uint32_t samples_per_file);
+
+  [[nodiscard]] std::uint32_t file_count() const {
+    return static_cast<std::uint32_t>(catalog_.file_count());
+  }
+  [[nodiscard]] std::uint64_t sample_count() const {
+    return static_cast<std::uint64_t>(file_count()) * samples_per_file_;
+  }
+  [[nodiscard]] std::uint32_t samples_per_file() const {
+    return samples_per_file_;
+  }
+  [[nodiscard]] const storage::FileCatalog& catalog() const {
+    return catalog_;
+  }
+  [[nodiscard]] const std::string& path_of(std::uint32_t file_index) const {
+    return catalog_.file(file_index).path;
+  }
+  [[nodiscard]] std::uint64_t bytes_of(std::uint32_t file_index) const {
+    return catalog_.file(file_index).size_bytes;
+  }
+
+  /// Files each node must read per step so that the global batch consumes
+  /// `global_batch_samples` samples across `node_count` nodes (ceiling).
+  [[nodiscard]] std::uint32_t files_per_step_per_node(
+      std::uint32_t global_batch_samples, std::uint32_t node_count) const;
+
+  /// Steps needed for one epoch over the whole dataset.
+  [[nodiscard]] std::uint32_t steps_per_epoch(std::uint32_t global_batch_samples,
+                                              std::uint32_t node_count) const;
+
+ private:
+  const storage::FileCatalog& catalog_;
+  std::uint32_t samples_per_file_;
+};
+
+}  // namespace ftc::dl

@@ -1,0 +1,40 @@
+#include "dl/elastic_coordinator.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace ftc::dl {
+
+ElasticCoordinator::ElasticCoordinator(std::uint32_t node_count)
+    : alive_(node_count, true), alive_count_(node_count) {}
+
+bool ElasticCoordinator::on_node_failure(std::uint32_t node) {
+  if (node >= alive_.size() || !alive_[node]) return false;
+  alive_[node] = false;
+  --alive_count_;
+  return true;
+}
+
+bool ElasticCoordinator::is_alive(std::uint32_t node) const {
+  return node < alive_.size() && alive_[node];
+}
+
+std::vector<std::uint32_t> ElasticCoordinator::alive_nodes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(alive_count_);
+  for (std::uint32_t n = 0; n < alive_.size(); ++n) {
+    if (alive_[n]) out.push_back(n);
+  }
+  return out;
+}
+
+std::uint32_t ElasticCoordinator::rank_of(std::uint32_t node) const {
+  if (!is_alive(node)) return std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t rank = 0;
+  for (std::uint32_t n = 0; n < node; ++n) {
+    if (alive_[n]) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace ftc::dl

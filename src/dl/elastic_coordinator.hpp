@@ -1,0 +1,48 @@
+// elastic_coordinator.hpp - Horovod-elastic membership/rollback semantics.
+//
+// The paper runs CosmoFlow under `horovodrun --elastic`: when a worker
+// dies, training does not abort — it rolls back to the start of the
+// current epoch and resumes with the surviving workers (Sec V-A2).  This
+// class is the pure bookkeeping of that protocol: the alive set, the
+// rank mapping over survivors, epoch rollback decisions, and restart
+// counters.  Both the threaded trainer and the DES experiment drive it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftc::dl {
+
+class ElasticCoordinator {
+ public:
+  explicit ElasticCoordinator(std::uint32_t node_count);
+
+  /// Marks a node dead.  Returns true when this requires an epoch rollback
+  /// (i.e. the node was alive and training must restart the epoch).
+  bool on_node_failure(std::uint32_t node);
+
+  [[nodiscard]] bool is_alive(std::uint32_t node) const;
+  [[nodiscard]] std::uint32_t alive_count() const { return alive_count_; }
+  [[nodiscard]] std::uint32_t initial_count() const {
+    return static_cast<std::uint32_t>(alive_.size());
+  }
+
+  /// Alive nodes in ascending id order — the post-restart rank order
+  /// (rank i = i-th surviving node).
+  [[nodiscard]] std::vector<std::uint32_t> alive_nodes() const;
+
+  /// Rank of `node` among survivors, or UINT32_MAX when dead.
+  [[nodiscard]] std::uint32_t rank_of(std::uint32_t node) const;
+
+  /// Restart bookkeeping: the trainer calls this when it performs the
+  /// rollback the last `on_node_failure` demanded.
+  void acknowledge_restart() { ++restarts_; }
+  [[nodiscard]] std::uint32_t restart_count() const { return restarts_; }
+
+ private:
+  std::vector<bool> alive_;
+  std::uint32_t alive_count_;
+  std::uint32_t restarts_ = 0;
+};
+
+}  // namespace ftc::dl

@@ -1,0 +1,53 @@
+#include "dl/epoch_sampler.hpp"
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace ftc::dl {
+
+EpochSampler::EpochSampler(std::uint32_t file_count, std::uint64_t seed)
+    : file_count_(file_count), seed_(seed) {}
+
+std::vector<std::uint32_t> EpochSampler::epoch_permutation(
+    std::uint32_t epoch) const {
+  std::vector<std::uint32_t> order(file_count_);
+  std::iota(order.begin(), order.end(), 0);
+  // Epoch-tagged child stream: every participant derives the identical
+  // permutation with no communication.
+  Rng rng = Rng(seed_).fork(0x59A3B1ULL + epoch);
+  rng.shuffle(order);
+  return order;
+}
+
+std::uint32_t EpochSampler::shard_size(std::uint32_t rank,
+                                       std::uint32_t total) const {
+  if (total == 0 || rank >= total) return 0;
+  const std::uint32_t base = file_count_ / total;
+  const std::uint32_t remainder = file_count_ % total;
+  return base + (rank < remainder ? 1 : 0);
+}
+
+std::pair<std::uint32_t, std::uint32_t> EpochSampler::shard_bounds(
+    std::uint32_t rank, std::uint32_t total) const {
+  if (total == 0 || rank >= total) return {0, 0};
+  const std::uint32_t base = file_count_ / total;
+  const std::uint32_t remainder = file_count_ % total;
+  // Offset = rank * base + min(rank, remainder): contiguous slices.
+  const std::uint32_t begin =
+      rank * base + (rank < remainder ? rank : remainder);
+  return {begin, shard_size(rank, total)};
+}
+
+std::vector<std::uint32_t> EpochSampler::shard(std::uint32_t epoch,
+                                               std::uint32_t rank,
+                                               std::uint32_t total) const {
+  std::vector<std::uint32_t> out;
+  if (total == 0 || rank >= total) return out;
+  const std::vector<std::uint32_t> order = epoch_permutation(epoch);
+  const auto [begin, size] = shard_bounds(rank, total);
+  out.assign(order.begin() + begin, order.begin() + begin + size);
+  return out;
+}
+
+}  // namespace ftc::dl

@@ -1,0 +1,49 @@
+// epoch_sampler.hpp - Deterministic per-epoch shuffling and sharding.
+//
+// Data-parallel DL reshuffles the dataset every epoch and assigns each
+// node a disjoint shard (Sec II-A).  The permutation is a pure function of
+// (seed, epoch) so that after an elastic restart every surviving node can
+// recompute the same global order and re-shard it over the new membership
+// without communication — mirroring Horovod elastic's deterministic
+// sampler reset when training rolls back to the epoch start.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ftc::dl {
+
+class EpochSampler {
+ public:
+  EpochSampler(std::uint32_t file_count, std::uint64_t seed);
+
+  /// Global file order for an epoch (same for every caller).
+  [[nodiscard]] std::vector<std::uint32_t> epoch_permutation(
+      std::uint32_t epoch) const;
+
+  /// The contiguous slice of the epoch permutation that `rank` (0-based
+  /// among `total` participants) reads.  Ranks r < remainder get one extra
+  /// file; the union over all ranks is exactly the whole epoch.
+  [[nodiscard]] std::vector<std::uint32_t> shard(std::uint32_t epoch,
+                                                 std::uint32_t rank,
+                                                 std::uint32_t total) const;
+
+  /// Shard size for a rank without materializing the permutation.
+  [[nodiscard]] std::uint32_t shard_size(std::uint32_t rank,
+                                         std::uint32_t total) const;
+
+  /// {begin, size} of rank's slice within the epoch permutation — for
+  /// callers that materialize the permutation once and slice it N times
+  /// (the DES engine at 1024 nodes).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> shard_bounds(
+      std::uint32_t rank, std::uint32_t total) const;
+
+  [[nodiscard]] std::uint32_t file_count() const { return file_count_; }
+
+ private:
+  std::uint32_t file_count_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ftc::dl

@@ -1,0 +1,100 @@
+#include "dl/threaded_trainer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "dl/elastic_coordinator.hpp"
+#include "dl/epoch_sampler.hpp"
+
+namespace ftc::dl {
+
+ThreadedTrainingResult run_threaded_training(
+    cluster::Cluster& cluster, const std::vector<std::string>& paths,
+    std::uint32_t expected_bytes, const ThreadedTrainingConfig& config) {
+  ThreadedTrainingResult result;
+  const auto file_count = static_cast<std::uint32_t>(paths.size());
+  EpochSampler sampler(file_count, config.shuffle_seed);
+  ElasticCoordinator elastic(cluster.node_count());
+
+  std::size_t next_injection = 0;
+
+  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    bool epoch_restarted;
+    do {
+      epoch_restarted = false;
+      const std::uint64_t pfs_reads_at_start = cluster.pfs().read_count();
+      const std::vector<std::uint32_t> members = elastic.alive_nodes();
+      const auto total = static_cast<std::uint32_t>(members.size());
+      if (total == 0) {
+        result.abort_reason = "no nodes alive";
+        return result;
+      }
+
+      // Every member's shard for this epoch; read round-robin across
+      // members to approximate step-synchronized batches.
+      std::vector<std::vector<std::uint32_t>> shards(total);
+      std::size_t max_shard = 0;
+      for (std::uint32_t rank = 0; rank < total; ++rank) {
+        shards[rank] = sampler.shard(epoch, rank, total);
+        max_shard = std::max(max_shard, shards[rank].size());
+      }
+
+      std::uint64_t files_this_epoch = 0;
+      for (std::size_t position = 0;
+           position < max_shard && !epoch_restarted; ++position) {
+        for (std::uint32_t rank = 0; rank < total; ++rank) {
+          if (position >= shards[rank].size()) continue;
+
+          // Failure injection checkpoint (job-wide file counter).
+          if (next_injection < config.injections.size()) {
+            const auto& injection = config.injections[next_injection];
+            if (injection.epoch == epoch &&
+                files_this_epoch >= injection.after_files &&
+                elastic.is_alive(injection.victim)) {
+              FTC_LOG(kInfo, "trainer")
+                  << "injecting failure of node " << injection.victim
+                  << " in epoch " << epoch << " after " << files_this_epoch
+                  << " files";
+              cluster.fail_node(injection.victim);
+              ++next_injection;
+              if (elastic.on_node_failure(injection.victim)) {
+                // Horovod elastic: roll back to the epoch start with the
+                // survivors.
+                elastic.acknowledge_restart();
+                ++result.restarts;
+                epoch_restarted = true;
+                break;
+              }
+            }
+          }
+
+          const std::uint32_t node = members[rank];
+          if (!elastic.is_alive(node)) continue;
+          const std::string& path = paths[shards[rank][position]];
+          auto read = cluster.client(node).read_file(path);
+          if (!read.is_ok()) {
+            result.abort_reason = "read of " + path + " failed: " +
+                                  read.status().to_string();
+            return result;
+          }
+          ++result.files_read;
+          ++files_this_epoch;
+          result.bytes_read += read.value().size();
+          if (read.value().size() != expected_bytes) {
+            ++result.integrity_failures;
+          }
+        }
+      }
+      if (!epoch_restarted) {
+        result.pfs_reads_per_epoch.push_back(cluster.pfs().read_count() -
+                                             pfs_reads_at_start);
+      }
+    } while (epoch_restarted);
+    ++result.epochs_finished;
+  }
+
+  result.completed = true;
+  return result;
+}
+
+}  // namespace ftc::dl

@@ -1,0 +1,53 @@
+// threaded_trainer.hpp - End-to-end training loop over the threaded cluster.
+//
+// Drives a data-parallel "training job" against a cluster::Cluster the way
+// CosmoFlow-under-Horovod-elastic drives HVAC: per-epoch reshuffle and
+// shard, step-synchronized reads, crash-stop failure injection mid-epoch,
+// and rollback-to-epoch-start with the survivors (Sec V-A2/V-A3).  Wall
+// time here is not the measurement of interest (that is the DES
+// substrate's job) — this exists to verify the *semantics*: every sample
+// is readable in every epoch, under every FT mode, with data integrity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace ftc::dl {
+
+struct ThreadedTrainingConfig {
+  std::uint32_t epochs = 3;
+  std::uint64_t shuffle_seed = 99;
+
+  struct Injection {
+    std::uint32_t epoch = 1;        ///< epoch during which the node dies
+    std::uint32_t after_files = 0;  ///< files read (job-wide) into the epoch
+    cluster::NodeId victim = 0;
+  };
+  /// Failures to inject, in order.  Victims must be distinct.
+  std::vector<Injection> injections;
+};
+
+struct ThreadedTrainingResult {
+  bool completed = false;
+  std::string abort_reason;
+  std::uint32_t restarts = 0;
+  std::uint32_t epochs_finished = 0;
+  std::uint64_t files_read = 0;
+  std::uint64_t bytes_read = 0;
+  /// PFS reads observed per finished epoch (index = epoch).
+  std::vector<std::uint64_t> pfs_reads_per_epoch;
+  /// Reads that returned wrong-sized payloads (must stay 0).
+  std::uint64_t integrity_failures = 0;
+};
+
+/// Runs the job to completion or abort.  `paths` is the staged dataset
+/// (see Cluster::stage_dataset); `expected_bytes` is the per-file payload
+/// size used for integrity checks.
+ThreadedTrainingResult run_threaded_training(
+    cluster::Cluster& cluster, const std::vector<std::string>& paths,
+    std::uint32_t expected_bytes, const ThreadedTrainingConfig& config);
+
+}  // namespace ftc::dl

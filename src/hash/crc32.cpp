@@ -1,0 +1,35 @@
+#include "hash/crc32.hpp"
+
+#include <array>
+
+namespace ftc::hash {
+namespace {
+
+// Table generated at first use from the reflected polynomial 0xEDB88320.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t initial) {
+  const auto& table = crc_table();
+  std::uint32_t c = initial ^ 0xFFFFFFFFU;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace ftc::hash

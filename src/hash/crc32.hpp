@@ -1,0 +1,15 @@
+// crc32.hpp - CRC-32 (IEEE 802.3 polynomial, table-driven).
+//
+// Used for payload integrity checks in the simulated RPC layer — the data
+// mover verifies recached file contents match the PFS copy.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ftc::hash {
+
+/// Standard zlib-compatible CRC-32.
+std::uint32_t crc32(std::string_view data, std::uint32_t initial = 0);
+
+}  // namespace ftc::hash

@@ -1,0 +1,38 @@
+// fnv.hpp - FNV-1a hashing (32- and 64-bit), constexpr-capable.
+//
+// FNV-1a is the hash the original HVAC uses for its static modulo
+// partitioning of file paths; we keep it as the default key hash for the
+// baseline placement strategies so their behaviour matches upstream.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ftc::hash {
+
+constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+constexpr std::uint32_t kFnv32OffsetBasis = 0x811c9dc5U;
+constexpr std::uint32_t kFnv32Prime = 0x01000193U;
+
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = kFnv64OffsetBasis) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+constexpr std::uint32_t fnv1a32(std::string_view data,
+                                std::uint32_t seed = kFnv32OffsetBasis) {
+  std::uint32_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnv32Prime;
+  }
+  return h;
+}
+
+}  // namespace ftc::hash

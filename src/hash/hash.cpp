@@ -1,0 +1,53 @@
+#include "hash/hash.hpp"
+
+#include <vector>
+
+#include "hash/fnv.hpp"
+#include "hash/murmur3.hpp"
+#include "hash/xxhash64.hpp"
+
+namespace ftc::hash {
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFnv1a64: return "fnv1a64";
+    case Algorithm::kMurmur3_64: return "murmur3_64";
+    case Algorithm::kXxHash64: return "xxhash64";
+  }
+  return "?";
+}
+
+std::uint64_t hash_key(Algorithm algorithm, std::string_view key,
+                       std::uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kFnv1a64:
+      // Mix the seed into the offset basis; plain FNV has no seed input.
+      return fnv1a64(key, kFnv64OffsetBasis ^ fmix64(seed));
+    case Algorithm::kMurmur3_64:
+      return murmur3_64(key, static_cast<std::uint32_t>(seed ^ (seed >> 32)));
+    case Algorithm::kXxHash64:
+      return xxhash64(key, seed);
+  }
+  return 0;
+}
+
+double chi_squared_uniformity(Algorithm algorithm, std::uint64_t n,
+                              std::uint64_t buckets) {
+  if (buckets == 0 || n == 0) return 0.0;
+  std::vector<std::uint64_t> counts(buckets, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string key = "/lustre/orion/dataset/file_" + std::to_string(i) +
+                            ".tfrecord";
+    ++counts[hash_key(algorithm, key) % buckets];
+  }
+  const double expected =
+      static_cast<double>(n) / static_cast<double>(buckets);
+  double chi2 = 0.0;
+  for (std::uint64_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+}  // namespace ftc::hash

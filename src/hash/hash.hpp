@@ -1,0 +1,33 @@
+// hash.hpp - Unified key-hash interface.
+//
+// Placement strategies are parameterized over the key hash so the
+// hash-quality ablation can swap algorithms without touching ring code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ftc::hash {
+
+enum class Algorithm {
+  kFnv1a64,
+  kMurmur3_64,
+  kXxHash64,
+};
+
+const char* algorithm_name(Algorithm algorithm);
+
+/// Hashes `key` with the chosen algorithm and optional seed.  The seed
+/// parameter is what the multi-hash placement baseline varies to derive
+/// independent hash functions.
+std::uint64_t hash_key(Algorithm algorithm, std::string_view key,
+                       std::uint64_t seed = 0);
+
+/// Chi-squared uniformity statistic for hashing `n` sequential keys into
+/// `buckets` buckets; expected value ~= buckets for a uniform hash.  Used
+/// by hash-quality tests/benches.
+double chi_squared_uniformity(Algorithm algorithm, std::uint64_t n,
+                              std::uint64_t buckets);
+
+}  // namespace ftc::hash

@@ -1,0 +1,154 @@
+#include "hash/murmur3.hpp"
+
+#include <cstring>
+
+namespace ftc::hash {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr std::uint32_t fmix32(std::uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bU;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35U;
+  h ^= h >> 16;
+  return h;
+}
+
+std::uint32_t load32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian host assumed (x86-64 / aarch64).
+}
+
+std::uint64_t load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t murmur3_32(std::string_view data, std::uint32_t seed) {
+  const char* p = data.data();
+  const std::size_t len = data.size();
+  const std::size_t nblocks = len / 4;
+
+  std::uint32_t h1 = seed;
+  constexpr std::uint32_t c1 = 0xcc9e2d51U;
+  constexpr std::uint32_t c2 = 0x1b873593U;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint32_t k1 = load32(p + i * 4);
+    k1 *= c1;
+    k1 = rotl32(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl32(h1, 13);
+    h1 = h1 * 5 + 0xe6546b64U;
+  }
+
+  const char* tail = p + nblocks * 4;
+  std::uint32_t k1 = 0;
+  switch (len & 3U) {
+    case 3: k1 ^= static_cast<std::uint8_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<std::uint8_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<std::uint8_t>(tail[0]);
+      k1 *= c1;
+      k1 = rotl32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<std::uint32_t>(len);
+  return fmix32(h1);
+}
+
+std::pair<std::uint64_t, std::uint64_t> murmur3_128(std::string_view data,
+                                                    std::uint32_t seed) {
+  const char* p = data.data();
+  const std::size_t len = data.size();
+  const std::size_t nblocks = len / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+  constexpr std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  constexpr std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load64(p + i * 16);
+    std::uint64_t k2 = load64(p + i * 16 + 8);
+
+    k1 *= c1;
+    k1 = rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729ULL;
+
+    k2 *= c2;
+    k2 = rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5ULL;
+  }
+
+  const char* tail = p + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (len & 15U) {
+    case 15: k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[14])) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[13])) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[12])) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[11])) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[10])) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[9])) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[8]));
+      k2 *= c2;
+      k2 = rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[7])) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[6])) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[5])) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[4])) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[3])) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[2])) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[1])) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[0]));
+      k1 *= c1;
+      k1 = rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(len);
+  h2 ^= static_cast<std::uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+std::uint64_t murmur3_64(std::string_view data, std::uint32_t seed) {
+  return murmur3_128(data, seed).first;
+}
+
+}  // namespace ftc::hash

@@ -1,0 +1,36 @@
+// murmur3.hpp - MurmurHash3 x86_32 and x64_128 finalizing hashes.
+//
+// MurmurHash3's 128-bit variant feeds the consistent-hash ring: ring
+// positions need good avalanche behaviour so virtual nodes spread uniformly
+// on the [0, 2^64) circle (Sec IV-B of the paper relies on uniformity for
+// load balance).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace ftc::hash {
+
+/// 32-bit MurmurHash3 (x86 variant).
+std::uint32_t murmur3_32(std::string_view data, std::uint32_t seed = 0);
+
+/// 128-bit MurmurHash3 (x64 variant); returns {low64, high64}.
+std::pair<std::uint64_t, std::uint64_t> murmur3_128(std::string_view data,
+                                                    std::uint32_t seed = 0);
+
+/// Convenience: low 64 bits of murmur3_128 — the ring-position hash.
+std::uint64_t murmur3_64(std::string_view data, std::uint32_t seed = 0);
+
+/// 64-bit integer finalizer (fmix64) — used to derive virtual-node
+/// positions from (node_id, replica_index) pairs without string formatting.
+constexpr std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace ftc::hash

@@ -1,0 +1,15 @@
+// xxhash64.hpp - xxHash64 implementation.
+//
+// Provided as an alternative ring hash (faster than Murmur3 on long keys);
+// the hash-quality benchmark compares it against FNV/Murmur for ring
+// position uniformity.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ftc::hash {
+
+std::uint64_t xxhash64(std::string_view data, std::uint64_t seed = 0);
+
+}  // namespace ftc::hash

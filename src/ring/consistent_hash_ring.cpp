@@ -1,0 +1,184 @@
+#include "ring/consistent_hash_ring.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hash/murmur3.hpp"
+
+namespace ftc::ring {
+
+ConsistentHashRing::ConsistentHashRing(RingConfig config)
+    : config_(config) {
+  if (config_.vnodes_per_node == 0) config_.vnodes_per_node = 1;
+}
+
+ConsistentHashRing::ConsistentHashRing(std::uint32_t node_count,
+                                       RingConfig config)
+    : ConsistentHashRing(config) {
+  for (std::uint32_t n = 0; n < node_count; ++n) add_node(n);
+}
+
+std::uint64_t ConsistentHashRing::vnode_position(NodeId node,
+                                                 std::uint32_t replica) const {
+  // Integer mixing instead of hashing a formatted string: equivalent
+  // avalanche quality, no allocation.  The seed decorrelates independent
+  // rings (e.g. different jobs sharing nodes).
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(node) << 32) | replica;
+  return hash::fmix64(packed ^ hash::fmix64(config_.seed + 0x9E3779B97F4A7C15ULL));
+}
+
+void ConsistentHashRing::add_node(NodeId node) {
+  add_node_weighted(node, 1.0);
+}
+
+void ConsistentHashRing::add_node_weighted(NodeId node, double weight) {
+  if (node_positions_.contains(node)) return;
+  // Clamp before the cast: negative or huge weights must not wrap.
+  double scaled = weight * static_cast<double>(config_.vnodes_per_node) + 0.5;
+  if (scaled < 1.0) scaled = 1.0;
+  constexpr double kMaxReplicas = 1 << 20;
+  if (scaled > kMaxReplicas) scaled = kMaxReplicas;
+  const auto replicas = static_cast<std::uint32_t>(scaled);
+  std::vector<std::uint64_t>& positions = node_positions_[node];
+  positions.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    std::uint64_t pos = vnode_position(node, r);
+    // Linear probe on the (astronomically unlikely) collision with another
+    // node's virtual position; never drop a replica.
+    while (!ring_.try_emplace(pos, node).second) ++pos;
+    positions.push_back(pos);
+  }
+}
+
+std::size_t ConsistentHashRing::vnode_count_of(NodeId node) const {
+  const auto it = node_positions_.find(node);
+  return it != node_positions_.end() ? it->second.size() : 0;
+}
+
+void ConsistentHashRing::remove_node(NodeId node) {
+  const auto it = node_positions_.find(node);
+  if (it == node_positions_.end()) return;
+  for (std::uint64_t pos : it->second) ring_.erase(pos);
+  node_positions_.erase(it);
+}
+
+bool ConsistentHashRing::contains(NodeId node) const {
+  return node_positions_.contains(node);
+}
+
+std::vector<NodeId> ConsistentHashRing::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(node_positions_.size());
+  for (const auto& [node, positions] : node_positions_) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<PlacementStrategy> ConsistentHashRing::clone() const {
+  return std::make_unique<ConsistentHashRing>(*this);
+}
+
+std::uint64_t ConsistentHashRing::key_position(std::string_view key) const {
+  return hash::hash_key(config_.algorithm, key, config_.seed);
+}
+
+NodeId ConsistentHashRing::owner_of_hash(std::uint64_t key_hash) const {
+  if (ring_.empty()) return kInvalidNode;
+  // Clockwise successor: first virtual position >= the key's position,
+  // wrapping to the ring's first entry past the top of the circle.
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+NodeId ConsistentHashRing::owner(std::string_view key) const {
+  return owner_of_hash(key_position(key));
+}
+
+NodeId ConsistentHashRing::owner_of_hash_excluding(
+    std::uint64_t key_hash,
+    const std::function<bool(NodeId)>& excluded) const {
+  if (ring_.empty()) return kInvalidNode;
+  auto it = ring_.lower_bound(key_hash);
+  // Clockwise walk skipping excluded nodes; bounded by one full lap.
+  for (std::size_t steps = 0; steps < ring_.size(); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!excluded(it->second)) return it->second;
+    ++it;
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> ConsistentHashRing::owner_chain(std::string_view key,
+                                                    std::size_t count) const {
+  return owner_chain_of_hash(key_position(key), count);
+}
+
+std::vector<NodeId> ConsistentHashRing::owner_chain_of_hash(
+    std::uint64_t key_hash, std::size_t count) const {
+  std::vector<NodeId> chain;
+  if (ring_.empty() || count == 0) return chain;
+  const std::size_t want = std::min(count, node_positions_.size());
+  chain.reserve(want);
+  auto it = ring_.lower_bound(key_hash);
+  // Walk clockwise collecting distinct physical nodes; bounded by ring size.
+  for (std::size_t steps = 0; steps < ring_.size() && chain.size() < want;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(chain.begin(), chain.end(), it->second) == chain.end()) {
+      chain.push_back(it->second);
+    }
+    ++it;
+  }
+  return chain;
+}
+
+std::uint64_t ConsistentHashRing::fingerprint() const {
+  // Iteration over std::map is position-ordered, so the digest is a
+  // deterministic function of the ring contents.
+  std::uint64_t digest = 0x9E3779B97F4A7C15ULL;
+  for (const auto& [pos, node] : ring_) {
+    digest = hash::fmix64(digest ^ pos);
+    digest = hash::fmix64(digest ^ node);
+  }
+  return digest;
+}
+
+std::string ConsistentHashRing::describe() const {
+  std::string out = "hash_ring nodes=";
+  out += std::to_string(node_positions_.size());
+  out += " vnodes_per_node=";
+  out += std::to_string(config_.vnodes_per_node);
+  out += " seed=";
+  out += std::to_string(config_.seed);
+  out += " positions=";
+  out += std::to_string(ring_.size());
+  out += " fingerprint=";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint()));
+  out += buf;
+  return out;
+}
+
+std::unordered_map<NodeId, double> ConsistentHashRing::arc_share() const {
+  std::unordered_map<NodeId, double> share;
+  if (ring_.empty()) return share;
+  if (ring_.size() == 1) {
+    share[ring_.begin()->second] = 1.0;
+    return share;
+  }
+  constexpr double kCircle = 18446744073709551616.0;  // 2^64
+  // The arc ending at a virtual position is owned by that position's node;
+  // the first entry's arc wraps around from the last position (unsigned
+  // subtraction gives the modular distance).
+  std::uint64_t prev = ring_.rbegin()->first;
+  for (const auto& [pos, node] : ring_) {
+    share[node] += static_cast<double>(pos - prev) / kCircle;
+    prev = pos;
+  }
+  return share;
+}
+
+}  // namespace ftc::ring

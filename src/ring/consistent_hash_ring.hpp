@@ -1,0 +1,133 @@
+// consistent_hash_ring.hpp - The paper's core contribution (Sec IV-B).
+//
+// Consistent hashing on a 64-bit circle: every physical node is inserted at
+// V virtual positions; a key is owned by the first virtual node clockwise
+// from the key's hash.  The ring is a std::map<u64, NodeId> exactly as the
+// paper describes ("We implemented Hash ring with the std::map class from
+// C++ STL"); lower_bound gives the clockwise successor in O(log(V*N)).
+//
+// Failure handling: remove_node erases only the failed node's V positions.
+// Every key previously owned by the failed node falls to the next clockwise
+// virtual node — the theoretical minimum reassignment — while all other
+// keys keep their owners (the property the movement-analysis tests assert).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/hash.hpp"
+#include "ring/placement.hpp"
+
+namespace ftc::ring {
+
+struct RingConfig {
+  /// Virtual nodes per physical node.  The paper sweeps 10..1000 (Fig 6b)
+  /// and uses 100 in production runs.
+  std::uint32_t vnodes_per_node = 100;
+
+  /// Hash used for both virtual-node positions and keys.
+  hash::Algorithm algorithm = hash::Algorithm::kMurmur3_64;
+
+  /// Ring-instance seed: clients of one job must agree on it so they build
+  /// identical rings independently (the paper's clients construct the ring
+  /// locally at init; no coordination service exists).
+  std::uint64_t seed = 0;
+};
+
+class ConsistentHashRing final : public PlacementStrategy {
+ public:
+  explicit ConsistentHashRing(RingConfig config = {});
+
+  /// Convenience: ring over nodes {0..node_count-1}.
+  ConsistentHashRing(std::uint32_t node_count, RingConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "hash_ring"; }
+  [[nodiscard]] NodeId owner(std::string_view key) const override;
+  void add_node(NodeId node) override;
+
+  /// Adds a node with a capacity weight: it receives
+  /// round(weight * vnodes_per_node) virtual positions and therefore
+  /// ~weight x the average key share.  Supports heterogeneous NVMe sizes
+  /// (e.g. the 2.9-3.5 TB mix of the KISTI Neuron nodes in the artifact).
+  /// Weight <= 0 is clamped to one virtual position.
+  void add_node_weighted(NodeId node, double weight);
+
+  /// Virtual positions currently owned by `node` (0 when absent).
+  [[nodiscard]] std::size_t vnode_count_of(NodeId node) const;
+  void remove_node(NodeId node) override;
+  [[nodiscard]] bool contains(NodeId node) const override;
+  [[nodiscard]] std::vector<NodeId> nodes() const override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return node_positions_.size();
+  }
+  [[nodiscard]] std::unique_ptr<PlacementStrategy> clone() const override;
+
+  /// Owner for an already-computed key hash (saves re-hashing when the
+  /// caller caches hashes, as HvacClient does).
+  [[nodiscard]] NodeId owner_of_hash(std::uint64_t key_hash) const;
+
+  /// Owner lookup that skips nodes for which `excluded` returns true —
+  /// the per-client failure view used by the DES substrate, where every
+  /// client flags failures at its own pace but all share one physical
+  /// ring.  Equivalent to remove_node on a per-client copy, without the
+  /// per-client memory.  Returns kInvalidNode when everything is excluded.
+  [[nodiscard]] NodeId owner_of_hash_excluding(
+      std::uint64_t key_hash,
+      const std::function<bool(NodeId)>& excluded) const;
+
+  /// Position on the ring for a key (the value looked up clockwise).
+  [[nodiscard]] std::uint64_t key_position(std::string_view key) const;
+
+  /// The first `count` distinct physical nodes clockwise from the key —
+  /// the replica chain used by the replication extension.  Fewer than
+  /// `count` entries when membership is smaller.
+  [[nodiscard]] std::vector<NodeId> owner_chain(std::string_view key,
+                                                std::size_t count) const;
+
+  /// owner_chain for a precomputed key hash (DES hot path).
+  [[nodiscard]] std::vector<NodeId> owner_chain_of_hash(
+      std::uint64_t key_hash, std::size_t count) const;
+
+  /// Total virtual positions currently on the ring (V * alive nodes, minus
+  /// any positions dropped due to hash collisions — collisions are resolved
+  /// by linear probing so drops are effectively impossible).
+  [[nodiscard]] std::size_t position_count() const { return ring_.size(); }
+
+  /// Fraction of the 2^64 circle owned by each alive node.  Sums to 1.
+  /// Used by balance tests: with V=100 the max/mean arc share stays within
+  /// a small factor of 1.
+  [[nodiscard]] std::unordered_map<NodeId, double> arc_share() const;
+
+  [[nodiscard]] const RingConfig& config() const { return config_; }
+
+  /// Order-independent 64-bit digest of the full ring state (every
+  /// virtual position and its owner).  The paper's clients build their
+  /// rings independently with no coordination service; comparing
+  /// fingerprints is the cheap way to assert they agree (same seed, same
+  /// membership) before a job starts.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Human-readable snapshot ("hash_ring nodes=4 vnodes=100 seed=7
+  /// positions=400 fingerprint=..."), for logs and debugging.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  /// Ring position of virtual replica `replica` of `node`.
+  [[nodiscard]] std::uint64_t vnode_position(NodeId node,
+                                             std::uint32_t replica) const;
+
+  RingConfig config_;
+  /// position -> physical node; the "clockwise" order is ascending keys
+  /// with wrap-around at 2^64.
+  std::map<std::uint64_t, NodeId> ring_;
+  /// node -> its virtual positions (for O(V log) removal).
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> node_positions_;
+};
+
+}  // namespace ftc::ring

@@ -1,0 +1,94 @@
+#include "ring/flat_hash_ring.hpp"
+
+#include <algorithm>
+
+#include "hash/murmur3.hpp"
+
+namespace ftc::ring {
+
+FlatHashRing::FlatHashRing(RingConfig config) : config_(config) {
+  if (config_.vnodes_per_node == 0) config_.vnodes_per_node = 1;
+}
+
+FlatHashRing::FlatHashRing(std::uint32_t node_count, RingConfig config)
+    : FlatHashRing(config) {
+  members_.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) members_.push_back(n);
+  rebuild();
+}
+
+void FlatHashRing::rebuild() {
+  positions_.clear();
+  positions_.reserve(members_.size() * config_.vnodes_per_node);
+  // Identical derivation to ConsistentHashRing::vnode_position.
+  const std::uint64_t mixed_seed =
+      hash::fmix64(config_.seed + 0x9E3779B97F4A7C15ULL);
+  for (const NodeId node : members_) {
+    for (std::uint32_t r = 0; r < config_.vnodes_per_node; ++r) {
+      const std::uint64_t packed =
+          (static_cast<std::uint64_t>(node) << 32) | r;
+      positions_.push_back(Entry{hash::fmix64(packed ^ mixed_seed), node});
+    }
+  }
+  std::sort(positions_.begin(), positions_.end());
+  // Collision probing matches the map ring: later (greater (pos, node)
+  // insertion order) duplicates shift to the next free slot.  With 64-bit
+  // positions, duplicates are astronomically rare; handle them anyway by
+  // bumping equal positions.
+  for (std::size_t i = 1; i < positions_.size(); ++i) {
+    if (positions_[i].position == positions_[i - 1].position) {
+      ++positions_[i].position;
+      // Keep sortedness if the bump overtakes the next entry.
+      std::size_t j = i;
+      while (j + 1 < positions_.size() &&
+             positions_[j + 1] < positions_[j]) {
+        std::swap(positions_[j], positions_[j + 1]);
+        ++j;
+      }
+    }
+  }
+}
+
+std::uint64_t FlatHashRing::key_position(std::string_view key) const {
+  return hash::hash_key(config_.algorithm, key, config_.seed);
+}
+
+NodeId FlatHashRing::owner_of_hash(std::uint64_t key_hash) const {
+  if (positions_.empty()) return kInvalidNode;
+  const auto it = std::lower_bound(
+      positions_.begin(), positions_.end(), key_hash,
+      [](const Entry& entry, std::uint64_t value) {
+        return entry.position < value;
+      });
+  return it != positions_.end() ? it->node : positions_.front().node;
+}
+
+NodeId FlatHashRing::owner(std::string_view key) const {
+  return owner_of_hash(key_position(key));
+}
+
+void FlatHashRing::add_node(NodeId node) {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), node);
+  if (it != members_.end() && *it == node) return;
+  members_.insert(it, node);
+  rebuild();
+}
+
+void FlatHashRing::remove_node(NodeId node) {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), node);
+  if (it == members_.end() || *it != node) return;
+  members_.erase(it);
+  rebuild();
+}
+
+bool FlatHashRing::contains(NodeId node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+std::vector<NodeId> FlatHashRing::nodes() const { return members_; }
+
+std::unique_ptr<PlacementStrategy> FlatHashRing::clone() const {
+  return std::make_unique<FlatHashRing>(*this);
+}
+
+}  // namespace ftc::ring

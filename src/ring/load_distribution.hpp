@@ -1,0 +1,57 @@
+// load_distribution.hpp - Fig 6(b) post-failure load-redistribution study.
+//
+// Mirrors the artifact's load_distribution_simul.cpp: N physical nodes on a
+// hash ring with V virtual nodes each; one node fails; measure how many
+// surviving nodes receive the failed node's files and how many files each
+// receiver gets, averaged over many randomized trials (the paper runs 500
+// trials on 1024 physical nodes and sweeps V from 10 to 1000).
+//
+// The implementation avoids per-file owner lookups: for each of the failed
+// node's V ring arcs it counts, by binary search over the sorted file-hash
+// population, the files falling in that arc and assigns them to the arc's
+// clockwise successor (first virtual position of a surviving node).  One
+// trial costs O(V log F) instead of O(F log(V N)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ftc::ring {
+
+struct LoadDistributionParams {
+  std::uint32_t physical_nodes = 1024;
+  std::uint32_t vnodes_per_node = 100;
+  /// Number of files in the cached dataset.  Default is the cosmoUniverse
+  /// validation-set size; the paper's conclusions are ratio-based and hold
+  /// for any population large relative to the node count.
+  std::uint64_t file_count = 65536;
+  std::uint32_t trials = 500;
+  std::uint64_t seed = 42;
+};
+
+struct LoadDistributionResult {
+  LoadDistributionParams params;
+  /// Distinct surviving nodes that received >= 1 redistributed file
+  /// (per-trial samples -> mean/stddev).  Fig 6(b) left axis.
+  RunningStats receiver_nodes;
+  /// Mean files received per receiver node, per trial.  Fig 6(b) right axis.
+  RunningStats files_per_receiver;
+  /// Files lost by the failed node per trial (~ file_count / physical_nodes).
+  RunningStats lost_files;
+  /// Jain fairness across receivers' received-file counts, per trial.
+  RunningStats receiver_fairness;
+  /// Largest single receiver's file count, per trial (hot-spot indicator).
+  RunningStats max_files_one_receiver;
+};
+
+/// Runs the full multi-trial simulation for one parameter point.
+LoadDistributionResult run_load_distribution(const LoadDistributionParams& params);
+
+/// Runs the Fig 6(b) sweep: one result per virtual-node count.
+std::vector<LoadDistributionResult> run_load_distribution_sweep(
+    const LoadDistributionParams& base,
+    const std::vector<std::uint32_t>& vnode_counts);
+
+}  // namespace ftc::ring

@@ -1,0 +1,74 @@
+#include "ring/movement_analysis.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace ftc::ring {
+
+std::vector<std::string> make_key_population(std::size_t count,
+                                             const std::string& prefix) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(prefix + "/file_" + zero_pad(i, 7) + ".tfrecord");
+  }
+  return keys;
+}
+
+std::vector<NodeId> assign_all(const PlacementStrategy& strategy,
+                               const std::vector<std::string>& keys) {
+  std::vector<NodeId> owners;
+  owners.reserve(keys.size());
+  for (const std::string& key : keys) owners.push_back(strategy.owner(key));
+  return owners;
+}
+
+namespace {
+
+MovementReport diff_assignments(const std::vector<NodeId>& before,
+                                const std::vector<NodeId>& after,
+                                const std::vector<NodeId>& departed) {
+  MovementReport report;
+  report.total_keys = before.size();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] == after[i]) continue;
+    ++report.moved_keys;
+    const bool owner_died =
+        std::find(departed.begin(), departed.end(), before[i]) !=
+        departed.end();
+    if (owner_died) {
+      ++report.lost_keys;
+    } else {
+      ++report.gratuitous_moves;
+    }
+    if (after[i] != kInvalidNode) ++report.received_by_node[after[i]];
+  }
+  return report;
+}
+
+}  // namespace
+
+MovementReport analyze_removal(const PlacementStrategy& strategy,
+                               const std::vector<std::string>& keys,
+                               const std::vector<NodeId>& failed_nodes) {
+  const std::vector<NodeId> before = assign_all(strategy, keys);
+  const std::unique_ptr<PlacementStrategy> mutated = strategy.clone();
+  for (NodeId n : failed_nodes) mutated->remove_node(n);
+  const std::vector<NodeId> after = assign_all(*mutated, keys);
+  return diff_assignments(before, after, failed_nodes);
+}
+
+MovementReport analyze_addition(const PlacementStrategy& strategy,
+                                const std::vector<std::string>& keys,
+                                const std::vector<NodeId>& new_nodes) {
+  const std::vector<NodeId> before = assign_all(strategy, keys);
+  const std::unique_ptr<PlacementStrategy> mutated = strategy.clone();
+  for (NodeId n : new_nodes) mutated->add_node(n);
+  const std::vector<NodeId> after = assign_all(*mutated, keys);
+  // No node departed, so every move is "gratuitous" relative to failure
+  // accounting; lost_keys stays 0.
+  return diff_assignments(before, after, {});
+}
+
+}  // namespace ftc::ring

@@ -1,0 +1,70 @@
+// movement_analysis.hpp - Quantifies data movement on membership change.
+//
+// The paper's argument against the baseline placements (Sec IV-B) is the
+// volume of data that must move when a node fails.  This module snapshots a
+// strategy's assignment over a key population, applies a membership change
+// to a clone, and reports exactly which keys moved and where they went —
+// the machinery behind the placement-movement ablation bench and the
+// minimal-movement property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ring/placement.hpp"
+
+namespace ftc::ring {
+
+/// Synthetic key population: `count` file paths shaped like the CosmoFlow
+/// TFRecord names ("<prefix>/file_000042.tfrecord").
+std::vector<std::string> make_key_population(std::size_t count,
+                                             const std::string& prefix = "/lustre/orion/cosmoUniverse");
+
+/// Result of one membership-change experiment.
+struct MovementReport {
+  std::size_t total_keys = 0;
+  /// Keys whose owner changed.
+  std::size_t moved_keys = 0;
+  /// Of the moved keys, how many were owned by the removed node(s) — i.e.
+  /// moves that were unavoidable (data actually lost).
+  std::size_t lost_keys = 0;
+  /// Moves of keys whose original owner still lives: pure churn, the cost
+  /// the hash ring eliminates.
+  std::size_t gratuitous_moves = 0;
+  /// Per-surviving-node count of keys received from elsewhere.
+  std::unordered_map<NodeId, std::size_t> received_by_node;
+
+  [[nodiscard]] double moved_fraction() const {
+    return total_keys ? static_cast<double>(moved_keys) /
+                            static_cast<double>(total_keys)
+                      : 0.0;
+  }
+  [[nodiscard]] double gratuitous_fraction() const {
+    return total_keys ? static_cast<double>(gratuitous_moves) /
+                            static_cast<double>(total_keys)
+                      : 0.0;
+  }
+  /// Number of distinct nodes that received at least one key.
+  [[nodiscard]] std::size_t receiver_node_count() const {
+    return received_by_node.size();
+  }
+};
+
+/// Assigns every key with `strategy` (read-only helper).
+std::vector<NodeId> assign_all(const PlacementStrategy& strategy,
+                               const std::vector<std::string>& keys);
+
+/// Removes `failed_nodes` from a clone of `strategy` and reports movement
+/// across the key population.  The input strategy is not modified.
+MovementReport analyze_removal(const PlacementStrategy& strategy,
+                               const std::vector<std::string>& keys,
+                               const std::vector<NodeId>& failed_nodes);
+
+/// Adds `new_nodes` to a clone and reports movement (elastic scale-up).
+MovementReport analyze_addition(const PlacementStrategy& strategy,
+                                const std::vector<std::string>& keys,
+                                const std::vector<NodeId>& new_nodes);
+
+}  // namespace ftc::ring

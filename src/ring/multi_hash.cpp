@@ -1,0 +1,65 @@
+#include "ring/multi_hash.hpp"
+
+#include <algorithm>
+
+namespace ftc::ring {
+
+MultiHashPlacement::MultiHashPlacement(hash::Algorithm algorithm)
+    : algorithm_(algorithm) {}
+
+MultiHashPlacement::MultiHashPlacement(std::uint32_t node_count,
+                                       hash::Algorithm algorithm)
+    : algorithm_(algorithm) {
+  initial_table_.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    initial_table_.push_back(n);
+    alive_.insert(n);
+  }
+}
+
+NodeId MultiHashPlacement::owner(std::string_view key) const {
+  last_probe_count_ = 0;
+  if (alive_.empty() || initial_table_.empty()) return kInvalidNode;
+  // Probe with seeds 0,1,2,... over the ORIGINAL table until an alive node
+  // is found.  Seed 0 is the primary placement, identical to the pre-fault
+  // static modulo assignment.
+  for (std::uint64_t seed = 0;; ++seed) {
+    ++last_probe_count_;
+    const std::uint64_t h = hash::hash_key(algorithm_, key, seed);
+    const NodeId candidate = initial_table_[h % initial_table_.size()];
+    if (alive_.contains(candidate)) return candidate;
+    // With at least one alive node the expected probe count is
+    // |initial| / |alive|; cap defensively at a generous multiple and fall
+    // back to deterministic selection to guarantee termination.
+    if (seed > 64 + 8 * initial_table_.size()) {
+      return *std::min_element(alive_.begin(), alive_.end());
+    }
+  }
+}
+
+void MultiHashPlacement::add_node(NodeId node) {
+  if (alive_.contains(node)) return;
+  alive_.insert(node);
+  if (std::find(initial_table_.begin(), initial_table_.end(), node) ==
+      initial_table_.end()) {
+    initial_table_.push_back(node);
+  }
+}
+
+void MultiHashPlacement::remove_node(NodeId node) { alive_.erase(node); }
+
+bool MultiHashPlacement::contains(NodeId node) const {
+  return alive_.contains(node);
+}
+
+std::vector<NodeId> MultiHashPlacement::nodes() const {
+  std::vector<NodeId> out(alive_.begin(), alive_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<PlacementStrategy> MultiHashPlacement::clone() const {
+  return std::make_unique<MultiHashPlacement>(*this);
+}
+
+}  // namespace ftc::ring

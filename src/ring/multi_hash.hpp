@@ -1,0 +1,54 @@
+// multi_hash.hpp - "Multiple hash functions" baseline (Sec IV-B).
+//
+// Keeps the original modulo placement over the INITIAL membership, but when
+// the primary owner is dead, retries with hash functions seeded 1, 2, ...
+// until an alive node is hit.  Only keys whose owner died move — better
+// than static modulo — but the rehash chain grows with repeated failures
+// and the probe loop's cost is unbounded in the failure count, the
+// scalability concern the paper raises.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "hash/hash.hpp"
+#include "ring/placement.hpp"
+
+namespace ftc::ring {
+
+class MultiHashPlacement final : public PlacementStrategy {
+ public:
+  explicit MultiHashPlacement(
+      hash::Algorithm algorithm = hash::Algorithm::kMurmur3_64);
+  MultiHashPlacement(std::uint32_t node_count, hash::Algorithm algorithm);
+
+  [[nodiscard]] std::string_view name() const override { return "multi_hash"; }
+  [[nodiscard]] NodeId owner(std::string_view key) const override;
+  void add_node(NodeId node) override;
+  void remove_node(NodeId node) override;
+  [[nodiscard]] bool contains(NodeId node) const override;
+  [[nodiscard]] std::vector<NodeId> nodes() const override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return alive_.size();
+  }
+  [[nodiscard]] std::unique_ptr<PlacementStrategy> clone() const override;
+
+  /// Number of hash evaluations the last owner() call needed — exposes the
+  /// probe-chain-length scalability problem for the ablation bench.
+  [[nodiscard]] std::uint32_t last_probe_count() const {
+    return last_probe_count_;
+  }
+
+ private:
+  hash::Algorithm algorithm_;
+  /// Membership at construction; the primary hash always runs modulo this
+  /// table so surviving keys never move.
+  std::vector<NodeId> initial_table_;
+  std::unordered_set<NodeId> alive_;
+  mutable std::uint32_t last_probe_count_ = 0;
+};
+
+}  // namespace ftc::ring

@@ -1,0 +1,42 @@
+#include "ring/placement.hpp"
+
+#include "ring/consistent_hash_ring.hpp"
+#include "ring/multi_hash.hpp"
+#include "ring/range_partition.hpp"
+#include "ring/static_modulo.hpp"
+
+namespace ftc::ring {
+
+const char* strategy_kind_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kHashRing: return "hash_ring";
+    case StrategyKind::kStaticModulo: return "static_modulo";
+    case StrategyKind::kMultiHash: return "multi_hash";
+    case StrategyKind::kRangePartition: return "range_partition";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlacementStrategy> make_strategy(
+    StrategyKind kind, std::uint32_t node_count,
+    std::uint32_t vnodes_per_node) {
+  switch (kind) {
+    case StrategyKind::kHashRing: {
+      RingConfig config;
+      config.vnodes_per_node = vnodes_per_node;
+      return std::make_unique<ConsistentHashRing>(node_count, config);
+    }
+    case StrategyKind::kStaticModulo:
+      return std::make_unique<StaticModuloPlacement>(
+          node_count, hash::Algorithm::kFnv1a64);
+    case StrategyKind::kMultiHash:
+      return std::make_unique<MultiHashPlacement>(
+          node_count, hash::Algorithm::kMurmur3_64);
+    case StrategyKind::kRangePartition:
+      return std::make_unique<RangePartitionPlacement>(
+          node_count, hash::Algorithm::kMurmur3_64);
+  }
+  return nullptr;
+}
+
+}  // namespace ftc::ring

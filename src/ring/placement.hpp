@@ -1,0 +1,73 @@
+// placement.hpp - Data-placement strategy interface.
+//
+// A placement strategy answers one question — "which cache server owns this
+// file path?" — under a changing set of alive nodes.  The paper's core
+// contribution (Sec IV-B) is the hash-ring strategy; Sec IV-B also
+// discusses three alternatives it rejects (static modulo, multiple hash
+// functions, range partitioning), all implemented here behind this
+// interface so the movement/ablation experiments can compare them under
+// identical failures.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftc::ring {
+
+/// Physical cache-server identifier.  Dense small integers: node i of an
+/// N-node allocation.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no owner" (empty membership).
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  /// Strategy name for reports ("hash_ring", "static_modulo", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Owner of `key` among currently-alive nodes; kInvalidNode when no node
+  /// is alive.  Must be deterministic and side-effect free.
+  [[nodiscard]] virtual NodeId owner(std::string_view key) const = 0;
+
+  /// Adds a node to the membership.  Adding an existing node is a no-op.
+  virtual void add_node(NodeId node) = 0;
+
+  /// Removes a (failed) node.  Removing an unknown node is a no-op.
+  virtual void remove_node(NodeId node) = 0;
+
+  [[nodiscard]] virtual bool contains(NodeId node) const = 0;
+
+  /// Alive membership in ascending NodeId order.
+  [[nodiscard]] virtual std::vector<NodeId> nodes() const = 0;
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+
+  /// Deep copy — movement analysis mutates a clone, never the original.
+  [[nodiscard]] virtual std::unique_ptr<PlacementStrategy> clone() const = 0;
+};
+
+/// Which of the four strategies to construct.
+enum class StrategyKind {
+  kHashRing,
+  kStaticModulo,
+  kMultiHash,
+  kRangePartition,
+};
+
+const char* strategy_kind_name(StrategyKind kind);
+
+/// Factory: builds a strategy of `kind` with nodes {0..node_count-1}.
+/// `vnodes_per_node` only affects the hash ring (the paper's production
+/// value is 100).
+std::unique_ptr<PlacementStrategy> make_strategy(StrategyKind kind,
+                                                 std::uint32_t node_count,
+                                                 std::uint32_t vnodes_per_node);
+
+}  // namespace ftc::ring

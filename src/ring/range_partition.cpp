@@ -1,0 +1,89 @@
+#include "ring/range_partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ftc::ring {
+
+RangePartitionPlacement::RangePartitionPlacement(hash::Algorithm algorithm,
+                                                 bool rebalance_on_failure)
+    : algorithm_(algorithm), rebalance_(rebalance_on_failure) {}
+
+RangePartitionPlacement::RangePartitionPlacement(std::uint32_t node_count,
+                                                 hash::Algorithm algorithm,
+                                                 bool rebalance_on_failure)
+    : algorithm_(algorithm), rebalance_(rebalance_on_failure) {
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    boundaries_.push_back(Range{0, n});
+  }
+  equalize();
+}
+
+void RangePartitionPlacement::equalize() {
+  const std::size_t n = boundaries_.size();
+  if (n == 0) return;
+  // Even split of [0, 2^64): range i covers ((i) * 2^64/n, (i+1) * 2^64/n]
+  // approximately; final range pinned to UINT64_MAX.
+  const std::uint64_t step =
+      std::numeric_limits<std::uint64_t>::max() / static_cast<std::uint64_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    boundaries_[i].upper = (i + 1 == n)
+                               ? std::numeric_limits<std::uint64_t>::max()
+                               : (static_cast<std::uint64_t>(i) + 1) * step;
+  }
+}
+
+NodeId RangePartitionPlacement::owner(std::string_view key) const {
+  if (boundaries_.empty()) return kInvalidNode;
+  const std::uint64_t h = hash::hash_key(algorithm_, key);
+  const auto it = std::lower_bound(
+      boundaries_.begin(), boundaries_.end(), h,
+      [](const Range& r, std::uint64_t value) { return r.upper < value; });
+  return it != boundaries_.end() ? it->node : boundaries_.back().node;
+}
+
+void RangePartitionPlacement::add_node(NodeId node) {
+  if (contains(node)) return;
+  boundaries_.push_back(Range{std::numeric_limits<std::uint64_t>::max(), node});
+  // Keep nodes ordered by NodeId along the key space for determinism.
+  std::sort(boundaries_.begin(), boundaries_.end(),
+            [](const Range& a, const Range& b) { return a.node < b.node; });
+  equalize();
+}
+
+void RangePartitionPlacement::remove_node(NodeId node) {
+  const auto it = std::find_if(
+      boundaries_.begin(), boundaries_.end(),
+      [node](const Range& r) { return r.node == node; });
+  if (it == boundaries_.end()) return;
+  boundaries_.erase(it);
+  if (boundaries_.empty()) return;
+  if (rebalance_) {
+    // Re-equalize every boundary: balanced load, heavy movement.
+    equalize();
+  } else {
+    // Lazy merge: the successor range absorbs the dead range by keeping
+    // boundaries as-is (lower_bound now maps the dead range's keys to the
+    // next range); pin the final upper bound.
+    boundaries_.back().upper = std::numeric_limits<std::uint64_t>::max();
+  }
+}
+
+bool RangePartitionPlacement::contains(NodeId node) const {
+  return std::any_of(boundaries_.begin(), boundaries_.end(),
+                     [node](const Range& r) { return r.node == node; });
+}
+
+std::vector<NodeId> RangePartitionPlacement::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(boundaries_.size());
+  for (const Range& r : boundaries_) out.push_back(r.node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<PlacementStrategy> RangePartitionPlacement::clone() const {
+  return std::make_unique<RangePartitionPlacement>(*this);
+}
+
+}  // namespace ftc::ring

@@ -1,0 +1,61 @@
+// range_partition.hpp - Range-partitioning baseline (Sec IV-B, [19]).
+//
+// The 64-bit key space is divided into contiguous ranges, one per node.
+// On failure the dead node's range merges into its successor, then — to
+// restore load balance — all surviving ranges are re-equalized, which is
+// precisely the "adjustments to other nodes' data ranges ... leading to
+// more extensive redistribution" drawback the paper attributes to this
+// scheme.  Rebalancing is optional (`rebalance_on_failure`) so the ablation
+// can show both the imbalanced-but-lazy and balanced-but-movey variants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hash/hash.hpp"
+#include "ring/placement.hpp"
+
+namespace ftc::ring {
+
+class RangePartitionPlacement final : public PlacementStrategy {
+ public:
+  explicit RangePartitionPlacement(
+      hash::Algorithm algorithm = hash::Algorithm::kMurmur3_64,
+      bool rebalance_on_failure = true);
+  RangePartitionPlacement(std::uint32_t node_count, hash::Algorithm algorithm,
+                          bool rebalance_on_failure = true);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "range_partition";
+  }
+  [[nodiscard]] NodeId owner(std::string_view key) const override;
+  void add_node(NodeId node) override;
+  void remove_node(NodeId node) override;
+  [[nodiscard]] bool contains(NodeId node) const override;
+  [[nodiscard]] std::vector<NodeId> nodes() const override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return boundaries_.size();
+  }
+  [[nodiscard]] std::unique_ptr<PlacementStrategy> clone() const override;
+
+  [[nodiscard]] bool rebalances_on_failure() const { return rebalance_; }
+
+ private:
+  struct Range {
+    std::uint64_t upper;  ///< Inclusive upper bound of this node's range.
+    NodeId node;
+  };
+
+  /// Re-splits [0, 2^64) evenly among current members.
+  void equalize();
+
+  hash::Algorithm algorithm_;
+  bool rebalance_;
+  /// Ascending by `upper`; a key hash h belongs to the first range with
+  /// upper >= h.  The last range always has upper == UINT64_MAX.
+  std::vector<Range> boundaries_;
+};
+
+}  // namespace ftc::ring

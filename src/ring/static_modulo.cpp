@@ -1,0 +1,42 @@
+#include "ring/static_modulo.hpp"
+
+#include <algorithm>
+
+namespace ftc::ring {
+
+StaticModuloPlacement::StaticModuloPlacement(hash::Algorithm algorithm)
+    : algorithm_(algorithm) {}
+
+StaticModuloPlacement::StaticModuloPlacement(std::uint32_t node_count,
+                                             hash::Algorithm algorithm)
+    : algorithm_(algorithm) {
+  nodes_.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) nodes_.push_back(n);
+}
+
+NodeId StaticModuloPlacement::owner(std::string_view key) const {
+  if (nodes_.empty()) return kInvalidNode;
+  const std::uint64_t h = hash::hash_key(algorithm_, key);
+  return nodes_[h % nodes_.size()];
+}
+
+void StaticModuloPlacement::add_node(NodeId node) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it != nodes_.end() && *it == node) return;
+  nodes_.insert(it, node);
+}
+
+void StaticModuloPlacement::remove_node(NodeId node) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it != nodes_.end() && *it == node) nodes_.erase(it);
+}
+
+bool StaticModuloPlacement::contains(NodeId node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+std::unique_ptr<PlacementStrategy> StaticModuloPlacement::clone() const {
+  return std::make_unique<StaticModuloPlacement>(*this);
+}
+
+}  // namespace ftc::ring

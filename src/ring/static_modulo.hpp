@@ -1,0 +1,46 @@
+// static_modulo.hpp - Original HVAC placement: hash(path) % N.
+//
+// This is the strategy the unmodified HVAC uses (Sec IV-B, first
+// paragraph): uniform, trivially cheap, but brittle — removing a node
+// changes N, so nearly (N-1)/N of ALL keys change owner, forcing massive
+// re-caching of data that was never lost.  Implemented as the NoFT/worst
+// baseline for the movement ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hash/hash.hpp"
+#include "ring/placement.hpp"
+
+namespace ftc::ring {
+
+class StaticModuloPlacement final : public PlacementStrategy {
+ public:
+  explicit StaticModuloPlacement(
+      hash::Algorithm algorithm = hash::Algorithm::kFnv1a64);
+  StaticModuloPlacement(std::uint32_t node_count, hash::Algorithm algorithm);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "static_modulo";
+  }
+  [[nodiscard]] NodeId owner(std::string_view key) const override;
+  void add_node(NodeId node) override;
+  void remove_node(NodeId node) override;
+  [[nodiscard]] bool contains(NodeId node) const override;
+  [[nodiscard]] std::vector<NodeId> nodes() const override { return nodes_; }
+  [[nodiscard]] std::size_t node_count() const override {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::unique_ptr<PlacementStrategy> clone() const override;
+
+ private:
+  hash::Algorithm algorithm_;
+  /// Alive nodes, ascending; owner = nodes_[hash % nodes_.size()], so any
+  /// membership change re-indexes almost everything.
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace ftc::ring

@@ -1,0 +1,47 @@
+// message.hpp - RPC request/response types.
+//
+// The wire vocabulary between HVAC clients and servers, mirroring the
+// Mercury RPCs of the original system: a read request carries the file
+// path (the hash key) and returns status + payload.  The threaded
+// transport passes these by value in-process; no serialization is needed,
+// which is fine because the FT logic only observes request/response/timeout
+// semantics, not encodings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace ftc::rpc {
+
+enum class Op : std::uint8_t {
+  kReadFile = 0,   ///< Fetch a whole cached file.
+  kPing = 1,       ///< Liveness probe (used by diagnostics, not detection —
+                   ///< the paper's detection is purely timeout-on-request).
+  kEvict = 2,      ///< Drop a file from the server's cache (tests/tools).
+  kStats = 3,      ///< Server cache statistics snapshot.
+  kPut = 4,        ///< Store a payload in the server's cache — the
+                   ///< replication extension's backup-placement op.
+};
+
+struct RpcRequest {
+  Op op = Op::kReadFile;
+  std::string path;
+  /// Payload for kPut (backup replica contents); empty otherwise.
+  std::string payload;
+  /// Originating client node (telemetry only; servers must not use it for
+  /// placement decisions).
+  std::uint32_t client_node = 0;
+};
+
+struct RpcResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string payload;
+  /// True when the server had the file cached (vs fetched from PFS).
+  bool cache_hit = false;
+  /// CRC-32 of payload for end-to-end integrity verification.
+  std::uint32_t checksum = 0;
+};
+
+}  // namespace ftc::rpc

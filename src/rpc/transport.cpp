@@ -1,0 +1,236 @@
+#include "rpc/transport.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace ftc::rpc {
+
+Transport::~Transport() {
+  // Async completions first: they may still be blocked inside call().
+  {
+    std::lock_guard lock(async_mutex_);
+    async_shutdown_ = true;
+  }
+  drain_async();
+  // Stop every worker; promises for queued requests are broken, which the
+  // client side surfaces as kCancelled.
+  std::vector<std::unique_ptr<Endpoint>> doomed;
+  {
+    std::lock_guard registry_lock(registry_mutex_);
+    for (auto& [node, endpoint] : endpoints_) {
+      {
+        std::lock_guard lock(endpoint->mutex);
+        endpoint->stopping = true;
+      }
+      endpoint->cv.notify_all();
+      doomed.push_back(std::move(endpoint));
+    }
+    endpoints_.clear();
+  }
+  for (auto& endpoint : doomed) {
+    if (endpoint->worker.joinable()) endpoint->worker.join();
+  }
+}
+
+Status Transport::register_endpoint(NodeId node, Handler handler) {
+  std::lock_guard registry_lock(registry_mutex_);
+  if (endpoints_.contains(node)) {
+    return Status::invalid_argument("endpoint already registered: " +
+                                    std::to_string(node));
+  }
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->handler = std::move(handler);
+  Endpoint* raw = endpoint.get();
+  endpoint->worker = std::thread([this, raw] { worker_loop(*raw); });
+  endpoints_.emplace(node, std::move(endpoint));
+  return Status::ok();
+}
+
+Status Transport::unregister_endpoint(NodeId node) {
+  std::unique_ptr<Endpoint> endpoint;
+  {
+    std::lock_guard registry_lock(registry_mutex_);
+    const auto it = endpoints_.find(node);
+    if (it == endpoints_.end()) {
+      return Status::not_found("no endpoint " + std::to_string(node));
+    }
+    endpoint = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  {
+    std::lock_guard lock(endpoint->mutex);
+    endpoint->stopping = true;
+  }
+  endpoint->cv.notify_all();
+  if (endpoint->worker.joinable()) endpoint->worker.join();
+  return Status::ok();
+}
+
+StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
+                                      std::chrono::milliseconds timeout) {
+  auto call = std::make_shared<PendingCall>();
+  call->request = std::move(request);
+  std::future<RpcResponse> future = call->promise.get_future();
+  {
+    std::lock_guard registry_lock(registry_mutex_);
+    const auto it = endpoints_.find(target);
+    if (it == endpoints_.end()) {
+      return Status::unavailable("no endpoint " + std::to_string(target));
+    }
+    Endpoint& endpoint = *it->second;
+    {
+      std::lock_guard lock(endpoint.mutex);
+      ++endpoint.stats.received;
+      endpoint.queue.push_back(call);
+    }
+    endpoint.cv.notify_one();
+  }
+  // The shared_ptr keeps the pending call alive even if we time out and the
+  // worker later fulfills the promise into the void.
+  switch (future.wait_for(timeout)) {
+    case std::future_status::ready:
+      break;
+    case std::future_status::timeout:
+      return Status::timeout("rpc to node " + std::to_string(target));
+    case std::future_status::deferred:
+      return Status::internal("unexpected deferred future");
+  }
+  try {
+    return future.get();
+  } catch (const std::future_error&) {
+    return Status::cancelled("endpoint shut down");
+  }
+}
+
+void Transport::call_async(
+    NodeId target, RpcRequest request, std::chrono::milliseconds timeout,
+    std::function<void(StatusOr<RpcResponse>)> on_complete) {
+  std::lock_guard lock(async_mutex_);
+  if (async_shutdown_) {
+    if (on_complete) on_complete(Status::cancelled("transport shut down"));
+    return;
+  }
+  ++async_in_flight_;
+  async_threads_.emplace_back(
+      [this, target, request = std::move(request), timeout,
+       on_complete = std::move(on_complete)]() mutable {
+        auto result = call(target, std::move(request), timeout);
+        if (on_complete) on_complete(std::move(result));
+        {
+          std::lock_guard inner(async_mutex_);
+          --async_in_flight_;
+        }
+        async_cv_.notify_all();
+      });
+}
+
+void Transport::drain_async() {
+  std::unique_lock lock(async_mutex_);
+  async_cv_.wait(lock, [this] { return async_in_flight_ == 0; });
+  for (std::thread& t : async_threads_) {
+    if (t.joinable()) t.join();
+  }
+  async_threads_.clear();
+}
+
+void Transport::kill(NodeId node) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  {
+    std::lock_guard lock(it->second->mutex);
+    it->second->killed = true;
+  }
+  it->second->cv.notify_all();
+}
+
+bool Transport::is_killed(NodeId node) const {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return false;
+  std::lock_guard lock(it->second->mutex);
+  return it->second->killed;
+}
+
+void Transport::set_extra_latency(NodeId node,
+                                  std::chrono::milliseconds latency) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->extra_latency = latency;
+}
+
+void Transport::drop_next(NodeId node, std::uint32_t count) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->drops_remaining += count;
+}
+
+void Transport::corrupt_next(NodeId node, std::uint32_t count) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->corruptions_remaining += count;
+}
+
+Transport::EndpointStats Transport::stats(NodeId node) const {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return {};
+  std::lock_guard lock(it->second->mutex);
+  return it->second->stats;
+}
+
+std::size_t Transport::endpoint_count() const {
+  std::lock_guard registry_lock(registry_mutex_);
+  return endpoints_.size();
+}
+
+void Transport::worker_loop(Endpoint& endpoint) {
+  for (;;) {
+    std::shared_ptr<PendingCall> call;
+    std::chrono::milliseconds latency{0};
+    {
+      std::unique_lock lock(endpoint.mutex);
+      endpoint.cv.wait(lock, [&endpoint] {
+        return endpoint.stopping || !endpoint.queue.empty();
+      });
+      if (endpoint.stopping) return;
+      call = std::move(endpoint.queue.front());
+      endpoint.queue.pop_front();
+      if (endpoint.killed) {
+        // Crash-stop: discard silently; the caller's future never resolves
+        // and the client observes a timeout.
+        ++endpoint.stats.dropped;
+        continue;
+      }
+      if (endpoint.drops_remaining > 0) {
+        --endpoint.drops_remaining;
+        ++endpoint.stats.dropped;
+        continue;
+      }
+      latency = endpoint.extra_latency;
+    }
+    if (latency.count() > 0) std::this_thread::sleep_for(latency);
+    // Handler runs outside the endpoint lock so slow service does not block
+    // enqueue/kill operations.
+    RpcResponse response = endpoint.handler(call->request);
+    {
+      std::lock_guard lock(endpoint.mutex);
+      if (endpoint.corruptions_remaining > 0 && !response.payload.empty()) {
+        --endpoint.corruptions_remaining;
+        response.payload[0] ^= 0x01;  // post-checksum bit-flip on the wire
+      }
+      // Count BEFORE resolving the promise: a caller that observes the
+      // response must also observe it in the stats.
+      ++endpoint.stats.handled;
+    }
+    call->promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace ftc::rpc

@@ -1,0 +1,135 @@
+// transport.hpp - In-process threaded RPC transport with fault injection.
+//
+// Substitute for Mercury-over-Slingshot: each registered endpoint runs a
+// worker thread consuming a FIFO request queue; clients block on a future
+// with a deadline.  Faults are injected at this layer:
+//   - kill():  endpoint silently discards requests (crash-stop node — the
+//              client sees only timeouts, exactly like a drained Frontier
+//              node);
+//   - set_extra_latency(): per-endpoint added delay (transient slowness,
+//              used by the timeout-threshold/false-positive experiments);
+//   - drop_next(): drop exactly N requests then behave (packet-loss blips).
+//
+// The FT policy above this layer must work with *no* information other
+// than per-request timeouts, matching the paper's autonomous detection.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "rpc/message.hpp"
+
+namespace ftc::rpc {
+
+using NodeId = std::uint32_t;
+using Clock = std::chrono::steady_clock;
+
+class Transport {
+ public:
+  using Handler = std::function<RpcResponse(const RpcRequest&)>;
+
+  Transport() = default;
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Registers a server endpoint; spawns its worker thread.  Registering
+  /// an existing id replaces the handler only if the old endpoint was
+  /// unregistered first (returns kInvalidArgument otherwise).
+  Status register_endpoint(NodeId node, Handler handler);
+
+  /// Stops and joins an endpoint's worker.  Outstanding requests fail with
+  /// kCancelled.
+  Status unregister_endpoint(NodeId node);
+
+  /// Blocking call with deadline.  Timeout produces StatusCode::kTimeout;
+  /// calling an unknown endpoint produces kUnavailable immediately (models
+  /// a connection refused, distinct from an unresponsive node).
+  StatusOr<RpcResponse> call(NodeId target, RpcRequest request,
+                             std::chrono::milliseconds timeout);
+
+  /// Non-blocking variant (Mercury-style): `on_complete` runs on a
+  /// background thread with the same result `call` would return.  Pending
+  /// completions are drained before the transport destructs; callbacks
+  /// must not destroy the transport.
+  void call_async(NodeId target, RpcRequest request,
+                  std::chrono::milliseconds timeout,
+                  std::function<void(StatusOr<RpcResponse>)> on_complete);
+
+  /// Blocks until every in-flight async call has completed.
+  void drain_async();
+
+  /// Crash-stop fault: the endpoint stays registered but discards every
+  /// request without replying.  Irreversible for the endpoint's lifetime
+  /// (a drained node does not come back within a job).
+  void kill(NodeId node);
+
+  [[nodiscard]] bool is_killed(NodeId node) const;
+
+  /// Adds fixed latency before each request is handled (transient
+  /// slowness injection; 0 restores normal service).
+  void set_extra_latency(NodeId node, std::chrono::milliseconds latency);
+
+  /// Silently drops the next `count` requests to `node`.
+  void drop_next(NodeId node, std::uint32_t count);
+
+  /// Corrupts the payload of the next `count` responses from `node`
+  /// (bit-flip after the checksum is computed) — exercises the client's
+  /// end-to-end CRC verification.
+  void corrupt_next(NodeId node, std::uint32_t count);
+
+  /// Telemetry counters.
+  struct EndpointStats {
+    std::uint64_t received = 0;
+    std::uint64_t handled = 0;
+    std::uint64_t dropped = 0;
+  };
+  [[nodiscard]] EndpointStats stats(NodeId node) const;
+
+  [[nodiscard]] std::size_t endpoint_count() const;
+
+ private:
+  struct PendingCall {
+    RpcRequest request;
+    std::promise<RpcResponse> promise;
+  };
+
+  struct Endpoint {
+    Handler handler;
+    std::thread worker;
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<PendingCall>> queue;
+    bool stopping = false;
+    bool killed = false;
+    std::chrono::milliseconds extra_latency{0};
+    std::uint32_t drops_remaining = 0;
+    std::uint32_t corruptions_remaining = 0;
+    EndpointStats stats;
+  };
+
+  void worker_loop(Endpoint& endpoint);
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+
+  // Async-call bookkeeping: completions run on per-call threads that are
+  // reaped on drain/destruction.
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::vector<std::thread> async_threads_;
+  std::size_t async_in_flight_ = 0;
+  bool async_shutdown_ = false;
+};
+
+}  // namespace ftc::rpc

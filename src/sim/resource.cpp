@@ -1,0 +1,47 @@
+#include "sim/resource.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ftc::sim {
+
+Resource::Resource(Simulator& simulator, std::uint32_t capacity)
+    : simulator_(simulator), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Resource::acquire(SimTime service_time, std::function<void()> on_done) {
+  if (in_service_ < capacity_) {
+    start_service(service_time, std::move(on_done));
+  } else {
+    waiting_.push_back(
+        Waiter{simulator_.now(), service_time, std::move(on_done)});
+  }
+}
+
+void Resource::start_service(SimTime service_time,
+                             std::function<void()> on_done) {
+  ++in_service_;
+  simulator_.schedule(service_time,
+                      [this, done = std::move(on_done)]() mutable {
+                        release();
+                        ++completed_;
+                        if (done) done();
+                      });
+}
+
+void Resource::release() {
+  assert(in_service_ > 0);
+  --in_service_;
+  if (!waiting_.empty()) {
+    Waiter next = std::move(waiting_.front());
+    waiting_.pop_front();
+    total_wait_ += simulator_.now() - next.enqueued_at;
+    start_service(next.service_time, std::move(next.on_done));
+  }
+}
+
+double Resource::mean_wait_seconds() const {
+  if (completed_ == 0) return 0.0;
+  return simtime::to_seconds(total_wait_) / static_cast<double>(completed_);
+}
+
+}  // namespace ftc::sim

@@ -1,0 +1,56 @@
+// resource.hpp - FIFO server resource for the DES substrate.
+//
+// Models a service point with `capacity` concurrent slots and a FIFO wait
+// queue — e.g. the Lustre metadata server whose lock contention the paper
+// identifies as the PFS bottleneck (Sec II-A).  Holders run a fixed
+// service time then release; queued requests observe the queueing delay
+// that creates the metadata-storm behaviour.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/sim_time.hpp"
+#include "sim/simulator.hpp"
+
+namespace ftc::sim {
+
+class Resource {
+ public:
+  /// `capacity` = number of requests serviced concurrently (>=1).
+  Resource(Simulator& simulator, std::uint32_t capacity);
+
+  /// Requests one slot for `service_time`; `on_done` fires when service
+  /// completes (after any queueing).  The slot is released automatically.
+  void acquire(SimTime service_time, std::function<void()> on_done);
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint32_t in_service() const { return in_service_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiting_.size(); }
+
+  /// Total requests that completed service.
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Aggregate time requests spent waiting in queue (not in service).
+  [[nodiscard]] SimTime total_wait_time() const { return total_wait_; }
+  [[nodiscard]] double mean_wait_seconds() const;
+
+ private:
+  struct Waiter {
+    SimTime enqueued_at;
+    SimTime service_time;
+    std::function<void()> on_done;
+  };
+
+  void start_service(SimTime service_time, std::function<void()> on_done);
+  void release();
+
+  Simulator& simulator_;
+  std::uint32_t capacity_;
+  std::uint32_t in_service_ = 0;
+  std::uint64_t completed_ = 0;
+  SimTime total_wait_ = 0;
+  std::deque<Waiter> waiting_;
+};
+
+}  // namespace ftc::sim

@@ -1,0 +1,103 @@
+#include "sim/shared_bandwidth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace ftc::sim {
+namespace {
+
+// Completion tolerance: transfers within half a byte of done are done.
+// Doubles track remaining bytes; integer nanosecond rounding can leave
+// sub-byte residues that must not spin the event loop.
+constexpr double kEpsilonBytes = 0.5;
+
+}  // namespace
+
+SharedBandwidthResource::SharedBandwidthResource(
+    Simulator& simulator, double bytes_per_second,
+    double per_transfer_cap_bytes_per_second)
+    : simulator_(simulator),
+      bytes_per_second_(bytes_per_second > 0 ? bytes_per_second : 1.0),
+      per_transfer_cap_(per_transfer_cap_bytes_per_second) {}
+
+double SharedBandwidthResource::current_share() const {
+  if (active_.empty()) return bytes_per_second_;
+  double share = bytes_per_second_ / static_cast<double>(active_.size());
+  if (per_transfer_cap_ > 0.0 && share > per_transfer_cap_) {
+    share = per_transfer_cap_;
+  }
+  return share;
+}
+
+void SharedBandwidthResource::transfer(std::uint64_t bytes,
+                                       std::function<void()> on_complete) {
+  total_bytes_ += bytes;
+  if (bytes == 0) {
+    // Nothing to move: complete in the same timestamp, preserving FIFO
+    // ordering with other events.
+    ++completed_;
+    simulator_.schedule(0, std::move(on_complete));
+    return;
+  }
+  advance_progress();
+  active_.push_back(
+      Transfer{static_cast<double>(bytes), std::move(on_complete)});
+  peak_concurrency_ = std::max(peak_concurrency_, active_.size());
+  reschedule_completion();
+}
+
+void SharedBandwidthResource::advance_progress() {
+  const SimTime now = simulator_.now();
+  if (active_.empty() || now <= last_update_) {
+    last_update_ = now;
+    return;
+  }
+  const double elapsed = simtime::to_seconds(now - last_update_);
+  const double per_transfer = elapsed * current_share();
+  for (Transfer& t : active_) {
+    t.remaining_bytes = std::max(0.0, t.remaining_bytes - per_transfer);
+  }
+  last_update_ = now;
+}
+
+void SharedBandwidthResource::reschedule_completion() {
+  if (pending_event_ != kInvalidEvent) {
+    simulator_.cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+  if (active_.empty()) return;
+  double min_remaining = active_.front().remaining_bytes;
+  for (const Transfer& t : active_) {
+    min_remaining = std::min(min_remaining, t.remaining_bytes);
+  }
+  const double seconds = min_remaining / current_share();
+  SimTime delay = simtime::from_seconds(seconds);
+  if (delay < 1) delay = 1;  // always advance the clock
+  pending_event_ =
+      simulator_.schedule(delay, [this] { on_completion_event(); });
+}
+
+void SharedBandwidthResource::on_completion_event() {
+  pending_event_ = kInvalidEvent;
+  advance_progress();
+  // Collect all transfers that finished (ties complete together), then run
+  // callbacks after list surgery — callbacks may start new transfers.
+  std::vector<std::function<void()>> done;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->remaining_bytes <= kEpsilonBytes) {
+      done.push_back(std::move(it->on_complete));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  completed_ += done.size();
+  reschedule_completion();
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace ftc::sim

@@ -1,0 +1,75 @@
+// shared_bandwidth.hpp - Processor-sharing bandwidth pipe.
+//
+// Models a link/device whose total bandwidth is divided equally among all
+// in-flight transfers (egalitarian processor sharing).  This is the
+// mechanism behind both the NVMe device channel and — critically — the
+// shared Lustre OST pool: when hundreds of clients redirect I/O to the PFS
+// after a failure, each one's share collapses, producing the straggler
+// amplification the paper observes at scale (Sec V-B1).
+//
+// Exact PS simulation: on every arrival/completion the remaining bytes of
+// each active transfer advance by elapsed_time * (bandwidth / n_active) and
+// the single pending completion event is rescheduled for the new minimum.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+
+#include "common/sim_time.hpp"
+#include "sim/simulator.hpp"
+
+namespace ftc::sim {
+
+class SharedBandwidthResource {
+ public:
+  /// `per_transfer_cap_bytes_per_second` bounds one flow's share even when
+  /// the pipe is idle (0 = uncapped).  Models Lustre's per-client stream
+  /// limit: a single reader cannot saturate the OST pool, so small node
+  /// counts are client-limited while large ones are pool-limited.
+  SharedBandwidthResource(Simulator& simulator, double bytes_per_second,
+                          double per_transfer_cap_bytes_per_second = 0.0);
+
+  /// Starts a transfer of `bytes`; `on_complete` fires when the last byte
+  /// arrives under fair sharing with all concurrent transfers.
+  void transfer(std::uint64_t bytes, std::function<void()> on_complete);
+
+  [[nodiscard]] std::size_t active_transfers() const { return active_.size(); }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] double bytes_per_second() const { return bytes_per_second_; }
+  [[nodiscard]] std::uint64_t total_bytes_moved() const {
+    return total_bytes_;
+  }
+
+  /// Peak number of simultaneously active transfers seen (contention
+  /// telemetry for the experiment reports).
+  [[nodiscard]] std::size_t peak_concurrency() const {
+    return peak_concurrency_;
+  }
+
+ private:
+  struct Transfer {
+    double remaining_bytes;
+    std::function<void()> on_complete;
+  };
+
+  /// Equal share per active transfer under the pool and per-flow caps.
+  [[nodiscard]] double current_share() const;
+  /// Drains progress since `last_update_` into every active transfer.
+  void advance_progress();
+  /// (Re)schedules the completion event for the earliest-finishing transfer.
+  void reschedule_completion();
+  void on_completion_event();
+
+  Simulator& simulator_;
+  double bytes_per_second_;
+  double per_transfer_cap_;
+  std::list<Transfer> active_;
+  SimTime last_update_ = 0;
+  EventId pending_event_ = kInvalidEvent;
+  std::uint64_t completed_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t peak_concurrency_ = 0;
+};
+
+}  // namespace ftc::sim

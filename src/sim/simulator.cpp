@@ -1,0 +1,79 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ftc::sim {
+
+EventId Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Double-cancel or cancel-after-fire is answered with false; the
+  // cancelled set only holds ids still sitting in the queue.
+  if (cancelled_.contains(id)) return false;
+  cancelled_.insert(id);
+  ++cancelled_pending_;
+  return true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the handler is moved out via pop-then-run
+    // on a copy of the metadata.  const_cast is confined to this one spot.
+    Event& top = const_cast<Event&>(queue_.top());
+    const auto it = cancelled_.find(top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      queue_.pop();
+      continue;
+    }
+    assert(top.when >= now_ && "event queue must be monotone");
+    now_ = top.when;
+    std::function<void()> fn = std::move(top.fn);
+    queue_.pop();
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (step()) {
+    if (max_events != 0 && --budget == 0) return;
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      --cancelled_pending_;
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+std::size_t Simulator::pending_events() const {
+  return queue_.size() - static_cast<std::size_t>(cancelled_pending_);
+}
+
+}  // namespace ftc::sim

@@ -1,0 +1,77 @@
+// simulator.hpp - Discrete-event simulation core.
+//
+// A single-threaded event loop over (time, sequence)-ordered callbacks.
+// All 1024-node experiments (Fig 5, Fig 6a) run on this substrate: node
+// daemons, clients, storage devices and the training loop are callbacks
+// that schedule each other.  Determinism: ties at equal timestamps run in
+// scheduling order, so a run is a pure function of (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace ftc::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ns from now (delay < 0 is clamped to 0).
+  EventId schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules at an absolute simulated time (past times run "now").
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false when already fired/cancelled.
+  bool cancel(EventId id);
+
+  /// Runs the next event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` fire (0 = unlimited —
+  /// callers are expected to build terminating models).
+  void run(std::uint64_t max_events = 0);
+
+  /// Runs events with timestamp <= `until`; the clock finishes at exactly
+  /// `until` even if the queue drained earlier.
+  void run_until(SimTime until);
+
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+    // Min-heap ordering: earliest time first, FIFO within a timestamp
+    // (ids are monotonically increasing).
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Cancelled ids are skipped lazily at pop time (cheaper than heap surgery).
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ftc::sim

@@ -1,0 +1,54 @@
+#include "storage/file_catalog.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.hpp"
+
+namespace ftc::storage {
+
+FileId FileCatalog::add_file(std::string path, std::uint64_t size_bytes) {
+  const auto id = static_cast<FileId>(files_.size());
+  by_path_.emplace(path, id);
+  files_.push_back(FileInfo{id, std::move(path), size_bytes});
+  total_bytes_ += size_bytes;
+  return id;
+}
+
+bool FileCatalog::find(const std::string& path, FileId& out) const {
+  const auto it = by_path_.find(path);
+  if (it == by_path_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+double FileCatalog::mean_file_bytes() const {
+  if (files_.empty()) return 0.0;
+  return static_cast<double>(total_bytes_) /
+         static_cast<double>(files_.size());
+}
+
+FileCatalog make_cosmoflow_like_catalog(const CosmoflowCatalogParams& params) {
+  FileCatalog catalog;
+  Rng rng(params.seed);
+  // Lognormal sizes centred so the mean matches params.mean_file_bytes:
+  // mean of lognormal(mu, sigma) = exp(mu + sigma^2/2).
+  const double sigma = params.size_sigma;
+  const double mu =
+      std::log(static_cast<double>(params.mean_file_bytes)) -
+      sigma * sigma / 2.0;
+  for (std::uint32_t i = 0; i < params.file_count; ++i) {
+    std::uint64_t size;
+    if (sigma > 0.0) {
+      size = static_cast<std::uint64_t>(rng.lognormal(mu, sigma));
+    } else {
+      size = params.mean_file_bytes;
+    }
+    if (size == 0) size = 1;
+    catalog.add_file(params.prefix + "/file_" + zero_pad(i, 7) + ".tfrecord",
+                     size);
+  }
+  return catalog;
+}
+
+}  // namespace ftc::storage

@@ -1,0 +1,64 @@
+// file_catalog.hpp - Dataset description shared by every substrate.
+//
+// The catalog maps file paths to sizes for a training dataset (the paper's
+// cosmoUniverse: 1.3 TB of TFRecords, 524,288 training + 65,536 validation
+// samples).  Experiments that need a synthetic stand-in generate a catalog
+// with the same aggregate shape via make_cosmoflow_like_catalog.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ftc::storage {
+
+using FileId = std::uint32_t;
+
+struct FileInfo {
+  FileId id = 0;
+  std::string path;
+  std::uint64_t size_bytes = 0;
+};
+
+class FileCatalog {
+ public:
+  FileCatalog() = default;
+
+  /// Registers a file; returns its dense id.  Paths must be unique.
+  FileId add_file(std::string path, std::uint64_t size_bytes);
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] const FileInfo& file(FileId id) const { return files_[id]; }
+  [[nodiscard]] const std::vector<FileInfo>& files() const { return files_; }
+
+  /// Id lookup by path; returns false when unknown.
+  [[nodiscard]] bool find(const std::string& path, FileId& out) const;
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] double mean_file_bytes() const;
+
+ private:
+  std::vector<FileInfo> files_;
+  std::unordered_map<std::string, FileId> by_path_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+struct CosmoflowCatalogParams {
+  /// Number of TFRecord files.  The real dataset packs multiple samples
+  /// per file; file_count * mean_file_bytes ~ dataset_bytes.
+  std::uint32_t file_count = 16384;
+  /// Mean file size; cosmoUniverse TFRecords average a few MiB.
+  std::uint64_t mean_file_bytes = 8ULL << 20;
+  /// Lognormal size spread (sigma of underlying normal); 0 = uniform sizes.
+  double size_sigma = 0.25;
+  std::string prefix = "/lustre/orion/cosmoUniverse";
+  std::uint64_t seed = 1;
+};
+
+/// Builds a catalog whose population mimics the CosmoFlow TFRecord layout.
+FileCatalog make_cosmoflow_like_catalog(const CosmoflowCatalogParams& params);
+
+}  // namespace ftc::storage

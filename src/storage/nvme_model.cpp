@@ -1,0 +1,28 @@
+#include "storage/nvme_model.hpp"
+
+#include <utility>
+
+namespace ftc::storage {
+
+NvmeModel::NvmeModel(sim::Simulator& simulator, const NvmeConfig& config)
+    : simulator_(simulator),
+      config_(config),
+      read_channel_(simulator, config.read_bytes_per_second),
+      write_channel_(simulator, config.write_bytes_per_second) {}
+
+void NvmeModel::read(std::uint64_t bytes, std::function<void()> on_done) {
+  // Fixed op latency first, then the bandwidth-shared payload movement.
+  simulator_.schedule(config_.op_latency,
+                      [this, bytes, done = std::move(on_done)]() mutable {
+                        read_channel_.transfer(bytes, std::move(done));
+                      });
+}
+
+void NvmeModel::write(std::uint64_t bytes, std::function<void()> on_done) {
+  simulator_.schedule(config_.op_latency,
+                      [this, bytes, done = std::move(on_done)]() mutable {
+                        write_channel_.transfer(bytes, std::move(done));
+                      });
+}
+
+}  // namespace ftc::storage

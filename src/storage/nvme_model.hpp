@@ -1,0 +1,59 @@
+// nvme_model.hpp - DES model of a node-local NVMe volume.
+//
+// Frontier nodes aggregate two PM9A3 SSDs into one RAID0 XFS volume with
+// ~8 GB/s sequential read and ~4 GB/s write (paper Sec V-A / Table II);
+// those numbers are this model's defaults.  Reads and writes move through
+// independent processor-sharing channels plus a fixed per-op latency, and
+// capacity is tracked so eviction behaviour can be studied.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/sim_time.hpp"
+#include "sim/shared_bandwidth.hpp"
+#include "sim/simulator.hpp"
+
+namespace ftc::storage {
+
+struct NvmeConfig {
+  std::uint64_t capacity_bytes = 3500ULL * 1000 * 1000 * 1000;  // 3.5 TB
+  double read_bytes_per_second = 8.0e9;                         // 8 GB/s
+  double write_bytes_per_second = 4.0e9;                        // 4 GB/s
+  /// Per-operation latency (submission + flash access).
+  SimTime op_latency = 80 * simtime::kMicrosecond;
+};
+
+class NvmeModel {
+ public:
+  NvmeModel(sim::Simulator& simulator, const NvmeConfig& config);
+
+  /// Simulated read of `bytes`; `on_done` fires when data is in memory.
+  void read(std::uint64_t bytes, std::function<void()> on_done);
+
+  /// Simulated write; capacity accounting is the caller's job (the HVAC
+  /// server owns the CacheStore that tracks logical occupancy).
+  void write(std::uint64_t bytes, std::function<void()> on_done);
+
+  [[nodiscard]] const NvmeConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t reads_completed() const {
+    return read_channel_.completed();
+  }
+  [[nodiscard]] std::uint64_t writes_completed() const {
+    return write_channel_.completed();
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const {
+    return read_channel_.total_bytes_moved();
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const {
+    return write_channel_.total_bytes_moved();
+  }
+
+ private:
+  sim::Simulator& simulator_;
+  NvmeConfig config_;
+  sim::SharedBandwidthResource read_channel_;
+  sim::SharedBandwidthResource write_channel_;
+};
+
+}  // namespace ftc::storage

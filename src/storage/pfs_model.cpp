@@ -1,0 +1,76 @@
+#include "storage/pfs_model.hpp"
+
+#include <utility>
+
+namespace ftc::storage {
+
+PfsModel::PfsModel(sim::Simulator& simulator, const PfsConfig& config)
+    : simulator_(simulator),
+      config_(config),
+      mds_(simulator, config.mds_concurrency),
+      data_pool_(simulator,
+                 config.read_bytes_per_second *
+                     (1.0 - (config.background_load_fraction < 0.0
+                                 ? 0.0
+                                 : (config.background_load_fraction >= 1.0
+                                        ? 0.99
+                                        : config.background_load_fraction))),
+                 config.per_client_bytes_per_second),
+      write_pool_(simulator,
+                  config.write_bytes_per_second > 0
+                      ? config.write_bytes_per_second
+                      : 1.0,
+                  config.per_client_bytes_per_second),
+      latency_rng_(config.seed ^ 0x9F5EA7ULL) {}
+
+SimTime PfsModel::sample_access_latency() {
+  SimTime latency = config_.access_latency;
+  if (config_.access_latency_tail_mean > 0) {
+    latency += static_cast<SimTime>(latency_rng_.exponential(
+        static_cast<double>(config_.access_latency_tail_mean)));
+  }
+  return latency;
+}
+
+void PfsModel::read_file(std::uint64_t bytes, std::function<void()> on_done) {
+  // access latency (base + contention tail) -> MDS queue -> shared data
+  // pipe -> caller.
+  simulator_.schedule(
+      sample_access_latency(),
+      [this, bytes, done = std::move(on_done)]() mutable {
+        mds_.acquire(config_.mds_service_time,
+                     [this, bytes, done = std::move(done)]() mutable {
+                       data_pool_.transfer(bytes,
+                                           [this, done = std::move(done)] {
+                                             ++reads_;
+                                             if (done) done();
+                                           });
+                     });
+      });
+}
+
+void PfsModel::metadata_op(std::function<void()> on_done) {
+  simulator_.schedule(sample_access_latency(),
+                      [this, done = std::move(on_done)]() mutable {
+                        mds_.acquire(config_.mds_service_time,
+                                     std::move(done));
+                      });
+}
+
+void PfsModel::write_file(std::uint64_t bytes,
+                          std::function<void()> on_done) {
+  simulator_.schedule(
+      sample_access_latency(),
+      [this, bytes, done = std::move(on_done)]() mutable {
+        mds_.acquire(config_.mds_service_time,
+                     [this, bytes, done = std::move(done)]() mutable {
+                       write_pool_.transfer(bytes,
+                                            [this, done = std::move(done)] {
+                                              ++writes_;
+                                              if (done) done();
+                                            });
+                     });
+      });
+}
+
+}  // namespace ftc::storage

@@ -1,0 +1,98 @@
+// pfs_model.hpp - DES model of the shared parallel file system (Lustre
+// "Orion" in the paper).
+//
+// Two bottlenecks matter for the paper's results (Sec II-A):
+//   1. the centralized metadata server — every open() queues through a
+//      finite-concurrency FIFO resource, so many-small-file workloads
+//      serialize on metadata lock contention;
+//   2. aggregate OST data bandwidth — shared by every client in the job
+//      (and, via `background_load_fraction`, by the rest of the centre),
+//      modelled as a processor-sharing pipe.
+// Together they produce the uncached-epoch cost and the post-failure
+// straggler amplification that FT w/ PFS suffers from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "sim/resource.hpp"
+#include "sim/shared_bandwidth.hpp"
+#include "sim/simulator.hpp"
+
+namespace ftc::storage {
+
+struct PfsConfig {
+  /// Aggregate OST read bandwidth available to this job.  Orion peaks in
+  /// the TB/s range centre-wide; a single job's share is far smaller.
+  double read_bytes_per_second = 200.0e9;  // 200 GB/s job share
+  /// Aggregate OST write bandwidth (checkpoint traffic).
+  double write_bytes_per_second = 100.0e9;
+  /// Metadata server concurrency (requests serviced in parallel).
+  std::uint32_t mds_concurrency = 64;
+  /// Service time of one metadata op (open/stat) once scheduled.
+  SimTime mds_service_time = 400 * simtime::kMicrosecond;
+  /// Base network+client latency per request, added outside queueing.
+  SimTime access_latency = 500 * simtime::kMicrosecond;
+  /// Mean of an exponential latency tail added per access, modelling the
+  /// bursty contention of a production Lustre system.  The max over the k
+  /// concurrent accesses of one training step grows ~ tail * ln(k), which
+  /// is precisely the straggler amplification the paper observes at scale
+  /// (Sec V-B1).  0 disables the tail (deterministic latency).
+  SimTime access_latency_tail_mean = 0;
+  /// Seed for the latency-tail stream (deterministic experiments).
+  std::uint64_t seed = 99;
+  /// Fraction of bandwidth consumed by other tenants [0,1).
+  double background_load_fraction = 0.3;
+  /// One client stream's maximum throughput (Lustre per-client limit);
+  /// 0 = uncapped.  Makes small jobs client-limited, large jobs pool-limited.
+  double per_client_bytes_per_second = 1.5e9;
+};
+
+class PfsModel {
+ public:
+  PfsModel(sim::Simulator& simulator, const PfsConfig& config);
+
+  /// Full file read: metadata op (queued at the MDS), then payload through
+  /// the shared OST pipe, then `on_done`.
+  void read_file(std::uint64_t bytes, std::function<void()> on_done);
+
+  /// Metadata-only op (stat/open without data), used by fault handling.
+  void metadata_op(std::function<void()> on_done);
+
+  /// Full file write: metadata op, then payload through the shared write
+  /// pool.  Checkpoint traffic takes this path.
+  void write_file(std::uint64_t bytes, std::function<void()> on_done);
+
+  [[nodiscard]] const PfsConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t reads_completed() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes_completed() const { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_served() const {
+    return data_pool_.total_bytes_moved();
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const {
+    return write_pool_.total_bytes_moved();
+  }
+  [[nodiscard]] double mean_mds_wait_seconds() const {
+    return mds_.mean_wait_seconds();
+  }
+  [[nodiscard]] std::size_t peak_data_concurrency() const {
+    return data_pool_.peak_concurrency();
+  }
+
+ private:
+  /// Per-access latency: base + exponential tail sample.
+  [[nodiscard]] SimTime sample_access_latency();
+
+  sim::Simulator& simulator_;
+  PfsConfig config_;
+  sim::Resource mds_;
+  sim::SharedBandwidthResource data_pool_;
+  sim::SharedBandwidthResource write_pool_;
+  Rng latency_rng_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace ftc::storage

@@ -1,0 +1,150 @@
+#include "trace/failure_analyzer.hpp"
+
+#include <algorithm>
+
+namespace ftc::trace {
+
+FailureAnalyzer::FailureAnalyzer(const std::vector<SlurmJobRecord>& log) {
+  jobs_.reserve(log.size());
+  for (const SlurmJobRecord& job : log) {
+    if (job.state == JobState::kCancelled) {
+      ++excluded_;
+      continue;
+    }
+    jobs_.push_back(job);
+  }
+}
+
+Table1Summary FailureAnalyzer::table1() const {
+  Table1Summary summary;
+  summary.total_jobs = jobs_.size();
+  for (const SlurmJobRecord& job : jobs_) {
+    switch (job.state) {
+      case JobState::kJobFail: ++summary.job_fail; break;
+      case JobState::kTimeout: ++summary.timeout; break;
+      case JobState::kNodeFail: ++summary.node_fail; break;
+      default: break;
+    }
+  }
+  summary.total_failures =
+      summary.job_fail + summary.timeout + summary.node_fail;
+  return summary;
+}
+
+std::vector<WeeklyElapsedRow> FailureAnalyzer::weekly_elapsed(
+    std::uint32_t weeks) const {
+  struct Acc {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    void add(double x) { sum += x; ++n; }
+    [[nodiscard]] double mean() const { return n ? sum / n : 0.0; }
+  };
+  std::vector<std::array<Acc, 3>> per_type(weeks);  // job/timeout/node
+  std::vector<Acc> overall(weeks);
+
+  for (const SlurmJobRecord& job : jobs_) {
+    if (!job.is_failure() || job.week >= weeks) continue;
+    overall[job.week].add(job.elapsed_minutes);
+    switch (job.state) {
+      case JobState::kJobFail:
+        per_type[job.week][0].add(job.elapsed_minutes);
+        break;
+      case JobState::kTimeout:
+        per_type[job.week][1].add(job.elapsed_minutes);
+        break;
+      case JobState::kNodeFail:
+        per_type[job.week][2].add(job.elapsed_minutes);
+        break;
+      default: break;
+    }
+  }
+
+  std::vector<WeeklyElapsedRow> rows(weeks);
+  for (std::uint32_t w = 0; w < weeks; ++w) {
+    rows[w].week = w;
+    rows[w].job_fail_mean = per_type[w][0].mean();
+    rows[w].timeout_mean = per_type[w][1].mean();
+    rows[w].node_fail_mean = per_type[w][2].mean();
+    rows[w].overall_mean = overall[w].mean();
+    rows[w].failed_jobs = overall[w].n;
+  }
+  return rows;
+}
+
+double FailureAnalyzer::overall_failure_elapsed_mean() const {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const SlurmJobRecord& job : jobs_) {
+    if (job.is_failure()) {
+      sum += job.elapsed_minutes;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+namespace {
+
+std::vector<TypeShareRow> bucketize(
+    const std::vector<SlurmJobRecord>& jobs,
+    const std::vector<double>& edges,
+    double (*key)(const SlurmJobRecord&)) {
+  std::vector<TypeShareRow> rows;
+  if (edges.size() < 2) return rows;
+  rows.resize(edges.size() - 1);
+  std::vector<std::array<std::uint64_t, 3>> counts(rows.size(), {0, 0, 0});
+
+  for (const SlurmJobRecord& job : jobs) {
+    if (!job.is_failure()) continue;
+    const double k = key(job);
+    if (k < edges.front() || k >= edges.back()) continue;
+    const auto it = std::upper_bound(edges.begin(), edges.end(), k);
+    const auto idx = static_cast<std::size_t>(it - edges.begin()) - 1;
+    switch (job.state) {
+      case JobState::kJobFail: ++counts[idx][0]; break;
+      case JobState::kTimeout: ++counts[idx][1]; break;
+      case JobState::kNodeFail: ++counts[idx][2]; break;
+      default: break;
+    }
+  }
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].bucket_low = edges[i];
+    rows[i].bucket_high = edges[i + 1];
+    const std::uint64_t total = counts[i][0] + counts[i][1] + counts[i][2];
+    rows[i].failures = total;
+    if (total > 0) {
+      rows[i].job_fail_share = static_cast<double>(counts[i][0]) / total;
+      rows[i].timeout_share = static_cast<double>(counts[i][1]) / total;
+      rows[i].node_fail_share = static_cast<double>(counts[i][2]) / total;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<TypeShareRow> FailureAnalyzer::by_node_count(
+    const std::vector<double>& edges) const {
+  return bucketize(jobs_, edges, [](const SlurmJobRecord& job) {
+    return static_cast<double>(job.node_count);
+  });
+}
+
+std::vector<TypeShareRow> FailureAnalyzer::by_elapsed(
+    const std::vector<double>& edges) const {
+  return bucketize(jobs_, edges, [](const SlurmJobRecord& job) {
+    return job.elapsed_minutes;
+  });
+}
+
+std::vector<double> default_node_count_edges() {
+  // Six equal 1,550-node ranges; the paper highlights 7,750-9,300.
+  return {1, 1550, 3100, 4650, 6200, 7750, 9409};
+}
+
+std::vector<double> default_elapsed_edges() {
+  return {0, 30, 60, 120, 240, 480, 1e9};
+}
+
+}  // namespace ftc::trace

@@ -1,0 +1,94 @@
+// failure_analyzer.hpp - The paper's Sec III analysis over a SLURM log.
+//
+// Computes Table I (failure counts and ratios), Figure 1 (average elapsed
+// minutes of failed jobs per week, per type, plus the overall mean), and
+// Figure 2 (failure-type distribution by node-count bucket and by
+// elapsed-time bucket).  Cancelled jobs are excluded exactly as the paper
+// describes.  Pure functions over records: run it on the synthetic log or
+// on a real sacct export with the same field mapping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/slurm_record.hpp"
+
+namespace ftc::trace {
+
+struct Table1Summary {
+  std::uint64_t total_jobs = 0;      ///< analyzed jobs (cancels excluded)
+  std::uint64_t total_failures = 0;
+  std::uint64_t job_fail = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t node_fail = 0;
+
+  [[nodiscard]] double failure_ratio() const {
+    return total_jobs ? static_cast<double>(total_failures) / total_jobs : 0;
+  }
+  [[nodiscard]] double share_of_failures(std::uint64_t count) const {
+    return total_failures ? static_cast<double>(count) / total_failures : 0;
+  }
+  /// Paper's "node failures" = Node Fail + Timeout (Sec III).
+  [[nodiscard]] double node_failure_class_share() const {
+    return share_of_failures(timeout + node_fail);
+  }
+};
+
+struct WeeklyElapsedRow {
+  std::uint32_t week = 0;
+  double job_fail_mean = 0.0;   ///< 0 when no such failure that week
+  double timeout_mean = 0.0;
+  double node_fail_mean = 0.0;
+  double overall_mean = 0.0;    ///< over all failed jobs of the week
+  std::uint64_t failed_jobs = 0;
+};
+
+struct TypeShareRow {
+  double bucket_low = 0.0;
+  double bucket_high = 0.0;
+  std::uint64_t failures = 0;
+  double job_fail_share = 0.0;
+  double timeout_share = 0.0;
+  double node_fail_share = 0.0;
+};
+
+class FailureAnalyzer {
+ public:
+  /// Cancelled jobs are dropped at construction (the paper's filter).
+  explicit FailureAnalyzer(const std::vector<SlurmJobRecord>& log);
+
+  [[nodiscard]] Table1Summary table1() const;
+
+  /// Figure 1: one row per week in [0, weeks).
+  [[nodiscard]] std::vector<WeeklyElapsedRow> weekly_elapsed(
+      std::uint32_t weeks) const;
+
+  /// Overall mean elapsed minutes across all failed jobs (Fig 1 red line).
+  [[nodiscard]] double overall_failure_elapsed_mean() const;
+
+  /// Figure 2(a): type shares per node-count bucket; `edges` ascending,
+  /// bucket i = [edges[i], edges[i+1]).
+  [[nodiscard]] std::vector<TypeShareRow> by_node_count(
+      const std::vector<double>& edges) const;
+
+  /// Figure 2(b): type shares per elapsed-minutes bucket.
+  [[nodiscard]] std::vector<TypeShareRow> by_elapsed(
+      const std::vector<double>& edges) const;
+
+  [[nodiscard]] std::size_t analyzed_jobs() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t excluded_jobs() const { return excluded_; }
+
+ private:
+  std::vector<SlurmJobRecord> jobs_;  ///< cancels removed
+  std::size_t excluded_ = 0;
+};
+
+/// The node-count bucket edges used by the paper's Figure 2(a) (six equal
+/// ranges up to Frontier's 9,408 nodes; the top bucket is 7,750-9,300+).
+std::vector<double> default_node_count_edges();
+
+/// Elapsed-minutes bucket edges for Figure 2(b).
+std::vector<double> default_elapsed_edges();
+
+}  // namespace ftc::trace

@@ -1,0 +1,80 @@
+#include "trace/reliability_model.hpp"
+
+#include <cmath>
+
+namespace ftc::trace {
+
+ReliabilityEstimate estimate_failure_rate(
+    const std::vector<SlurmJobRecord>& log) {
+  ReliabilityEstimate estimate;
+  for (const SlurmJobRecord& job : log) {
+    if (job.state == JobState::kCancelled) continue;
+    estimate.node_hours += job.node_count * job.elapsed_minutes / 60.0;
+    if (job.is_node_failure_class()) ++estimate.node_failure_events;
+  }
+  if (estimate.node_hours > 0.0) {
+    estimate.lambda_per_node_hour =
+        static_cast<double>(estimate.node_failure_events) /
+        estimate.node_hours;
+  }
+  return estimate;
+}
+
+double job_failure_probability(double lambda_per_node_hour,
+                               std::uint32_t nodes, double hours) {
+  if (lambda_per_node_hour <= 0.0 || nodes == 0 || hours <= 0.0) return 0.0;
+  return 1.0 - std::exp(-lambda_per_node_hour * nodes * hours);
+}
+
+double expected_runtime_with_restarts(double lambda_per_node_hour,
+                                      std::uint32_t nodes, double hours) {
+  if (hours <= 0.0) return 0.0;
+  const double rate = lambda_per_node_hour * nodes;
+  if (rate <= 0.0) return hours;
+  // Classic renewal result for restart-from-scratch under exponential
+  // failures (no checkpointing): E[T] = (e^{rate*T} - 1) / rate.
+  return std::expm1(rate * hours) / rate;
+}
+
+double expected_runtime_with_elastic_ft(double lambda_per_node_hour,
+                                        std::uint32_t nodes, double hours,
+                                        std::uint32_t epochs) {
+  if (hours <= 0.0 || nodes == 0) return 0.0;
+  if (epochs == 0) epochs = 1;
+  // First-order accounting: expected failures k = λ n T; each failure
+  // wastes half an epoch of wall-clock and removes one node, stretching
+  // the remaining work by n/(n-1) (linear-speedup assumption).  Valid for
+  // k << n, the regime of interest.
+  const double rate = lambda_per_node_hour * nodes;
+  if (rate <= 0.0) return hours;
+  const double expected_failures = rate * hours;
+  const double epoch_hours = hours / epochs;
+  double time = hours;
+  double remaining_nodes = nodes;
+  for (double k = 0; k < expected_failures && remaining_nodes > 1.0; ++k) {
+    time += 0.5 * epoch_hours;                 // rollback waste
+    time += hours / (remaining_nodes - 1.0) -  // slower remaining work
+            hours / remaining_nodes;
+    remaining_nodes -= 1.0;
+  }
+  // Fractional tail of the expected failure count.
+  const double frac = expected_failures - std::floor(expected_failures);
+  if (remaining_nodes > 1.0) {
+    time += frac * (0.5 * epoch_hours +
+                    hours / (remaining_nodes - 1.0) -
+                    hours / remaining_nodes);
+  }
+  return time;
+}
+
+double lost_node_hours(const std::vector<SlurmJobRecord>& log) {
+  double lost = 0.0;
+  for (const SlurmJobRecord& job : log) {
+    if (job.is_failure()) {
+      lost += job.node_count * job.elapsed_minutes / 60.0;
+    }
+  }
+  return lost;
+}
+
+}  // namespace ftc::trace

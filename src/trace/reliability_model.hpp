@@ -1,0 +1,63 @@
+// reliability_model.hpp - Quantitative backing for Sec III's motivation.
+//
+// Fits a per-node-hour failure rate to a SLURM log and answers the
+// questions the paper's introduction raises: how likely is a job of N
+// nodes x T hours to hit a node failure, how much work is lost without
+// fault tolerance, and how much runtime restart-from-scratch costs
+// compared to an FT-cache job that continues on N-1 nodes.
+//
+// Model: node failures arrive as a Poisson process with rate λ per
+// node-hour (exponential lifetimes, independent nodes) — the standard
+// first-order model for large-fleet hardware failures and consistent with
+// Fig 2(b)'s observation that failure type is insensitive to elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/slurm_record.hpp"
+
+namespace ftc::trace {
+
+struct ReliabilityEstimate {
+  /// Node-failure-class events observed (Node Fail + Timeout, Sec III).
+  std::uint64_t node_failure_events = 0;
+  /// Total node-hours the log covers (all analyzed jobs).
+  double node_hours = 0.0;
+  /// Fitted rate: events / node-hours.
+  double lambda_per_node_hour = 0.0;
+  /// Mean time between node failures for a given allocation size.
+  [[nodiscard]] double mtbf_hours(std::uint32_t nodes) const {
+    return (lambda_per_node_hour > 0.0 && nodes > 0)
+               ? 1.0 / (lambda_per_node_hour * nodes)
+               : 0.0;
+  }
+};
+
+/// Fits λ from a log (cancelled jobs excluded).
+ReliabilityEstimate estimate_failure_rate(
+    const std::vector<SlurmJobRecord>& log);
+
+/// P(at least one node failure during a run of `nodes` x `hours`).
+double job_failure_probability(double lambda_per_node_hour,
+                               std::uint32_t nodes, double hours);
+
+/// Expected wall-clock to finish `hours` of work on `nodes` when every
+/// node failure restarts the job from scratch (no checkpoint, the NoFT
+/// fate): E[T] = (e^{λ n T} - 1) / (λ n).
+double expected_runtime_with_restarts(double lambda_per_node_hour,
+                                      std::uint32_t nodes, double hours);
+
+/// Expected wall-clock with elastic fault tolerance: failures cost only a
+/// rollback to the epoch start plus the shrunken allocation.  `epochs`
+/// partitions the work; each failure wastes on average half an epoch and
+/// the job continues on one fewer node (linear-speedup assumption).
+double expected_runtime_with_elastic_ft(double lambda_per_node_hour,
+                                        std::uint32_t nodes, double hours,
+                                        std::uint32_t epochs);
+
+/// Node-hours actually lost to failed jobs in a log (what the Frontier
+/// analysis calls "significant losses in computational resources").
+double lost_node_hours(const std::vector<SlurmJobRecord>& log);
+
+}  // namespace ftc::trace

@@ -1,0 +1,121 @@
+#include "trace/sacct_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace ftc::trace {
+
+namespace {
+constexpr const char* kHeader = "job_id,week,node_count,elapsed_minutes,state";
+}  // namespace
+
+std::string to_csv(const std::vector<SlurmJobRecord>& log) {
+  std::string out = kHeader;
+  out += "\n";
+  for (const SlurmJobRecord& job : log) {
+    out += std::to_string(job.job_id);
+    out += ",";
+    out += std::to_string(job.week);
+    out += ",";
+    out += std::to_string(job.node_count);
+    out += ",";
+    out += format_double(job.elapsed_minutes, 3);
+    out += ",";
+    out += job_state_name(job.state);
+    out += "\n";
+  }
+  return out;
+}
+
+bool parse_job_state(const std::string& name, JobState& out) {
+  for (const JobState state :
+       {JobState::kCompleted, JobState::kJobFail, JobState::kTimeout,
+        JobState::kNodeFail, JobState::kCancelled}) {
+    if (name == job_state_name(state)) {
+      out = state;
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<std::vector<SlurmJobRecord>> from_csv(const std::string& csv) {
+  std::vector<SlurmJobRecord> log;
+  std::istringstream in(csv);
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (!saw_header) {
+      if (trimmed != kHeader) {
+        return Status::invalid_argument(
+            "line 1: expected header '" + std::string(kHeader) + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    const auto fields = split(trimmed, ',');
+    if (fields.size() != 5) {
+      return Status::invalid_argument("line " + std::to_string(lineno) +
+                                      ": expected 5 fields, got " +
+                                      std::to_string(fields.size()));
+    }
+    SlurmJobRecord job;
+    char* end = nullptr;
+    job.job_id = std::strtoull(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str()) {
+      return Status::invalid_argument("line " + std::to_string(lineno) +
+                                      ": bad job_id '" + fields[0] + "'");
+    }
+    job.week = static_cast<std::uint32_t>(
+        std::strtoul(fields[1].c_str(), &end, 10));
+    if (end == fields[1].c_str()) {
+      return Status::invalid_argument("line " + std::to_string(lineno) +
+                                      ": bad week '" + fields[1] + "'");
+    }
+    job.node_count = static_cast<std::uint32_t>(
+        std::strtoul(fields[2].c_str(), &end, 10));
+    if (end == fields[2].c_str() || job.node_count == 0) {
+      return Status::invalid_argument("line " + std::to_string(lineno) +
+                                      ": bad node_count '" + fields[2] + "'");
+    }
+    job.elapsed_minutes = std::strtod(fields[3].c_str(), &end);
+    if (end == fields[3].c_str() || job.elapsed_minutes < 0.0) {
+      return Status::invalid_argument("line " + std::to_string(lineno) +
+                                      ": bad elapsed_minutes '" + fields[3] +
+                                      "'");
+    }
+    if (!parse_job_state(fields[4], job.state)) {
+      return Status::invalid_argument("line " + std::to_string(lineno) +
+                                      ": unknown state '" + fields[4] + "'");
+    }
+    log.push_back(job);
+  }
+  if (!saw_header) return Status::invalid_argument("empty input");
+  return log;
+}
+
+Status save_csv(const std::vector<SlurmJobRecord>& log,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::not_found("cannot open for writing: " + path);
+  out << to_csv(log);
+  return out.good() ? Status::ok()
+                    : Status::internal("write failed: " + path);
+}
+
+StatusOr<std::vector<SlurmJobRecord>> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv(buffer.str());
+}
+
+}  // namespace ftc::trace

@@ -1,0 +1,38 @@
+// sacct_io.hpp - CSV import/export for SLURM job records.
+//
+// A real deployment runs the Sec III analysis on actual accounting data:
+// `sacct -P -o JobID,NNodes,ElapsedRaw,State` piped through a trivial awk
+// produces the five-column CSV this module reads.  The synthetic generator
+// exports the same format, so the analysis pipeline is identical for real
+// and synthetic inputs.
+//
+// Format (header required):
+//   job_id,week,node_count,elapsed_minutes,state
+//   123,0,64,75.5,JOB_FAIL
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "trace/slurm_record.hpp"
+
+namespace ftc::trace {
+
+/// Serializes records to CSV (with header).
+std::string to_csv(const std::vector<SlurmJobRecord>& log);
+
+/// Parses CSV produced by to_csv (or an equivalent sacct export).  Fails
+/// with kInvalidArgument naming the line on any malformed row; unknown
+/// state strings are rejected rather than guessed.
+StatusOr<std::vector<SlurmJobRecord>> from_csv(const std::string& csv);
+
+/// Writes/reads CSV files; thin wrappers over the string forms.
+Status save_csv(const std::vector<SlurmJobRecord>& log,
+                const std::string& path);
+StatusOr<std::vector<SlurmJobRecord>> load_csv(const std::string& path);
+
+/// Parses a state name ("JOB_FAIL", ...); false when unknown.
+bool parse_job_state(const std::string& name, JobState& out);
+
+}  // namespace ftc::trace

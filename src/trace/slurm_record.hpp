@@ -1,0 +1,44 @@
+// slurm_record.hpp - Minimal SLURM accounting record for failure analysis.
+//
+// The paper analyzes six months of Frontier sacct data (Sec III).  The raw
+// logs are not public, so the trace module generates synthetic records
+// whose aggregate statistics are calibrated to the published Table I and
+// runs the same analysis the paper ran.  This struct holds the fields the
+// analysis needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftc::trace {
+
+enum class JobState : std::uint8_t {
+  kCompleted = 0,
+  kJobFail = 1,    ///< code/data/environment errors
+  kTimeout = 2,    ///< exceeded its limit (paper: treated as node failure —
+                   ///< primarily network timeouts)
+  kNodeFail = 3,   ///< hardware/network/software node death
+  kCancelled = 4,  ///< user/admin cancel — EXCLUDED from the analysis
+};
+
+const char* job_state_name(JobState state);
+
+struct SlurmJobRecord {
+  std::uint64_t job_id = 0;
+  /// Week index since production launch (the study covers 27 weeks).
+  std::uint32_t week = 0;
+  std::uint32_t node_count = 1;
+  double elapsed_minutes = 0.0;
+  JobState state = JobState::kCompleted;
+
+  [[nodiscard]] bool is_failure() const {
+    return state == JobState::kJobFail || state == JobState::kTimeout ||
+           state == JobState::kNodeFail;
+  }
+  /// The paper folds TIMEOUT into node failures (Sec III).
+  [[nodiscard]] bool is_node_failure_class() const {
+    return state == JobState::kTimeout || state == JobState::kNodeFail;
+  }
+};
+
+}  // namespace ftc::trace

@@ -1,0 +1,213 @@
+// HvacClient behaviour under the three FT modes, against a real threaded
+// cluster with injected crash-stop failures.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "cluster/cluster.hpp"
+#include "cluster/failure_injector.hpp"
+
+namespace ftc::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+ClusterConfig make_config(FtMode mode, std::uint32_t nodes = 4) {
+  ClusterConfig config;
+  config.node_count = nodes;
+  config.client.mode = mode;
+  config.client.rpc_timeout = 50ms;
+  config.client.timeout_limit = 2;
+  config.client.vnodes_per_node = 50;
+  config.server.async_data_mover = false;
+  config.server.cache_capacity_bytes = 64 << 20;
+  return config;
+}
+
+TEST(HvacClientBasics, ReadsThroughCacheLayer) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(20, 128);
+  auto result = cluster.client(0).read_file(paths[0]);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().size(), 128u);
+  const auto& stats = cluster.client(0).stats();
+  EXPECT_EQ(stats.reads, 1u);
+  // First touch is a server-side fetch (remote or local miss -> PFS once).
+  EXPECT_EQ(cluster.pfs().read_count(), 1u);
+}
+
+TEST(HvacClientBasics, SecondEpochServedFromCache) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(20, 128);
+  cluster.warm_caches(paths);
+  const auto pfs_after_warmup = cluster.pfs().read_count();
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(1).read_file(path).is_ok());
+  }
+  // Zero additional PFS traffic: everything came from NVMe caches.
+  EXPECT_EQ(cluster.pfs().read_count(), pfs_after_warmup);
+}
+
+TEST(HvacClientBasics, ClientsAgreeOnOwners) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(30, 64);
+  for (const auto& path : paths) {
+    const auto owner = cluster.client(0).current_owner(path);
+    for (NodeId c = 1; c < cluster.node_count(); ++c) {
+      EXPECT_EQ(cluster.client(c).current_owner(path), owner);
+    }
+  }
+}
+
+TEST(HvacClientBasics, ChecksumVerified) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(5, 256);
+  auto result = cluster.client(0).read_file(paths[2]);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(cluster.client(0).stats().checksum_failures, 0u);
+}
+
+TEST(HvacClientNoFt, FailureIsFatal) {
+  Cluster cluster(make_config(FtMode::kNone));
+  const auto paths = cluster.stage_dataset(40, 64);
+  cluster.warm_caches(paths);
+  cluster.fail_node(2);
+  // Find a path owned by node 2 and watch the read die.
+  bool saw_fatal = false;
+  for (const auto& path : paths) {
+    if (cluster.client(0).current_owner(path) == 2u) {
+      auto result = cluster.client(0).read_file(path);
+      ASSERT_FALSE(result.is_ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+      saw_fatal = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_fatal);
+}
+
+TEST(HvacClientPfsRedirect, FailureMaskedViaPfs) {
+  Cluster cluster(make_config(FtMode::kPfsRedirect));
+  const auto paths = cluster.stage_dataset(40, 64);
+  cluster.warm_caches(paths);
+  const auto pfs_before = cluster.pfs().read_count();
+  cluster.fail_node(1);
+  // Every file must stay readable; lost files via PFS.
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok()) << path;
+  }
+  EXPECT_GT(cluster.pfs().read_count(), pfs_before);
+  EXPECT_TRUE(cluster.client(0).node_failed(1));
+  EXPECT_GT(cluster.client(0).stats().served_pfs_direct, 0u);
+}
+
+TEST(HvacClientPfsRedirect, RepeatedEpochsKeepHittingPfs) {
+  Cluster cluster(make_config(FtMode::kPfsRedirect));
+  const auto paths = cluster.stage_dataset(40, 64);
+  cluster.warm_caches(paths);
+  cluster.fail_node(1);
+  for (const auto& path : paths) (void)cluster.client(0).read_file(path);
+  const auto pfs_epoch2 = cluster.pfs().read_count();
+  for (const auto& path : paths) (void)cluster.client(0).read_file(path);
+  const auto pfs_epoch3 = cluster.pfs().read_count();
+  // The defining weakness (Sec IV-A): the lost files hit the PFS again in
+  // EVERY later epoch.
+  EXPECT_GT(pfs_epoch3, pfs_epoch2);
+}
+
+TEST(HvacClientHashRing, FailureMaskedViaRecaching) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(40, 64);
+  cluster.warm_caches(paths);
+  cluster.fail_node(1);
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok()) << path;
+  }
+  EXPECT_TRUE(cluster.client(0).node_failed(1));
+  EXPECT_GE(cluster.client(0).stats().ring_updates, 1u);
+  // No path may still resolve to the dead node.
+  for (const auto& path : paths) {
+    EXPECT_NE(cluster.client(0).current_owner(path), 1u);
+  }
+}
+
+TEST(HvacClientHashRing, SinglePfsAccessPerLostFile) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(40, 64);
+  cluster.warm_caches(paths);
+  cluster.fail_node(1);
+  // Epoch 2: lost files are re-fetched from the PFS once and recached.
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok());
+  }
+  for (NodeId n = 0; n < cluster.node_count(); ++n) {
+    if (n != 1) cluster.server(n).flush_data_mover();
+  }
+  const auto pfs_epoch2 = cluster.pfs().read_count();
+  // Epoch 3: everything is cached again; zero PFS traffic.
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok());
+  }
+  EXPECT_EQ(cluster.pfs().read_count(), pfs_epoch2);
+}
+
+TEST(HvacClientHashRing, SurvivingAssignmentsUndisturbed) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(60, 64);
+  std::vector<NodeId> before;
+  before.reserve(paths.size());
+  for (const auto& path : paths) {
+    before.push_back(cluster.client(0).current_owner(path));
+  }
+  cluster.fail_node(3);
+  // Force detection via a read of a node-3 file.
+  for (const auto& path : paths) (void)cluster.client(0).read_file(path);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (before[i] != 3u) {
+      EXPECT_EQ(cluster.client(0).current_owner(paths[i]), before[i]);
+    }
+  }
+}
+
+TEST(HvacClientHashRing, TransientDelayDoesNotFlagNode) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(20, 64);
+  cluster.warm_caches(paths);
+  // One slow response (beyond deadline) then recovery: the counter resets
+  // on the next success, so the node must NOT be flagged.
+  std::string victim_path;
+  for (const auto& path : paths) {
+    if (cluster.client(0).current_owner(path) == 2u) {
+      victim_path = path;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim_path.empty());
+  cluster.transport().drop_next(2, 1);
+  auto result = cluster.client(0).read_file(victim_path);
+  ASSERT_TRUE(result.is_ok());  // retry after the dropped request succeeds
+  EXPECT_FALSE(cluster.client(0).node_failed(2));
+  EXPECT_GE(cluster.client(0).stats().timeouts, 1u);
+}
+
+TEST(HvacClientHashRing, CascadingFailuresAllButOne) {
+  Cluster cluster(make_config(FtMode::kHashRingRecache));
+  const auto paths = cluster.stage_dataset(20, 64);
+  cluster.warm_caches(paths);
+  cluster.fail_node(0);
+  cluster.fail_node(1);
+  cluster.fail_node(2);
+  // Node 3's client must still read everything (PFS backs the survivors).
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(3).read_file(path).is_ok()) << path;
+  }
+}
+
+TEST(FtModeName, Names) {
+  EXPECT_STREQ(ft_mode_name(FtMode::kNone), "NoFT");
+  EXPECT_STREQ(ft_mode_name(FtMode::kPfsRedirect), "FT w/ PFS");
+  EXPECT_STREQ(ft_mode_name(FtMode::kHashRingRecache), "FT w/ NVMe");
+}
+
+}  // namespace
+}  // namespace ftc::cluster

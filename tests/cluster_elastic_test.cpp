@@ -1,0 +1,151 @@
+// Elastic scale-up (node join) and measurement-driven TTL selection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "cluster/cluster.hpp"
+#include "common/latency_recorder.hpp"
+
+namespace ftc::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+ClusterConfig ring_config() {
+  ClusterConfig config;
+  config.node_count = 4;
+  config.client.mode = FtMode::kHashRingRecache;
+  config.client.rpc_timeout = 100ms;
+  config.client.vnodes_per_node = 100;
+  config.server.async_data_mover = false;
+  return config;
+}
+
+TEST(ElasticScaleUp, NewNodeJoinsAndServes) {
+  Cluster cluster(ring_config());
+  const auto paths = cluster.stage_dataset(60, 64);
+  cluster.warm_caches(paths);
+
+  const NodeId joined = cluster.add_node();
+  EXPECT_EQ(joined, 4u);
+  EXPECT_EQ(cluster.node_count(), 5u);
+
+  // Every file stays readable; the new node's share misses once (PFS
+  // fetch + recache) and is NVMe-resident afterwards.
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok()) << path;
+  }
+  const auto pfs_after_first_pass = cluster.pfs().read_count();
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok());
+  }
+  EXPECT_EQ(cluster.pfs().read_count(), pfs_after_first_pass);
+  EXPECT_GT(cluster.server(joined).cached_file_count(), 0u);
+}
+
+TEST(ElasticScaleUp, OnlyNewShareMigrates) {
+  Cluster cluster(ring_config());
+  const auto paths = cluster.stage_dataset(100, 64);
+  std::vector<NodeId> before;
+  before.reserve(paths.size());
+  for (const auto& path : paths) {
+    before.push_back(cluster.client(0).current_owner(path));
+  }
+  const NodeId joined = cluster.add_node();
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const NodeId now = cluster.client(0).current_owner(paths[i]);
+    if (now != before[i]) {
+      EXPECT_EQ(now, joined);  // movement only TOWARD the new node
+      ++moved;
+    }
+  }
+  // ~1/5 of keys, with generous slack for vnode variance.
+  EXPECT_GT(moved, paths.size() / 12);
+  EXPECT_LT(moved, paths.size() / 2);
+}
+
+TEST(ElasticScaleUp, ClientsAgreeAfterJoin) {
+  Cluster cluster(ring_config());
+  const auto paths = cluster.stage_dataset(40, 64);
+  cluster.add_node();
+  for (const auto& path : paths) {
+    const NodeId owner = cluster.client(0).current_owner(path);
+    for (NodeId c = 1; c < cluster.node_count(); ++c) {
+      EXPECT_EQ(cluster.client(c).current_owner(path), owner);
+    }
+  }
+}
+
+TEST(ElasticScaleUp, NewNodeClientCanRead) {
+  Cluster cluster(ring_config());
+  const auto paths = cluster.stage_dataset(20, 64);
+  cluster.warm_caches(paths);
+  const NodeId joined = cluster.add_node();
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(joined).read_file(path).is_ok()) << path;
+  }
+}
+
+TEST(LatencyRecorder, WindowAndStats) {
+  LatencyRecorder recorder(4);
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_DOUBLE_EQ(recorder.max(), 0.0);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) recorder.record(v);
+  EXPECT_EQ(recorder.count(), 4u);
+  EXPECT_DOUBLE_EQ(recorder.max(), 4.0);
+  EXPECT_DOUBLE_EQ(recorder.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(recorder.percentile(50), 2.5);
+  // Window slides: the 1.0 is displaced.
+  recorder.record(10.0);
+  EXPECT_EQ(recorder.count(), 4u);
+  EXPECT_DOUBLE_EQ(recorder.max(), 10.0);
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+}
+
+TEST(LatencyRecorder, RecommendedTimeoutRule) {
+  LatencyRecorder recorder(64);
+  EXPECT_DOUBLE_EQ(recorder.recommended_timeout(2.0, 16, 123.0), 123.0);
+  for (int i = 0; i < 20; ++i) recorder.record(5.0 + i % 3);
+  EXPECT_DOUBLE_EQ(recorder.recommended_timeout(2.0, 16, 123.0), 14.0);
+}
+
+TEST(LatencyObservation, ClientRecordsSuccessfulReads) {
+  Cluster cluster(ring_config());
+  const auto paths = cluster.stage_dataset(20, 64);
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok());
+  }
+  const auto& latency = cluster.client(0).latency();
+  EXPECT_EQ(latency.total_recorded(), paths.size());
+  EXPECT_GT(latency.max(), 0.0);
+  EXPECT_GE(latency.percentile(99), latency.percentile(50));
+  // With >= 16 samples the measured rule kicks in and is sane.
+  const auto ttl = cluster.client(0).recommended_timeout(2.0);
+  EXPECT_GE(ttl.count(), 1);
+}
+
+TEST(Ping, HealthyNodeAnswers) {
+  Cluster cluster(ring_config());
+  EXPECT_TRUE(cluster.client(0).ping(1).is_ok());
+  EXPECT_GT(cluster.client(0).latency().total_recorded(), 0u);
+}
+
+TEST(Ping, DeadNodeTimesOutAndFeedsDetector) {
+  Cluster cluster(ring_config());
+  cluster.fail_node(2);
+  EXPECT_EQ(cluster.client(0).ping(2).code(), StatusCode::kTimeout);
+  EXPECT_EQ(cluster.client(0).ping(2).code(), StatusCode::kTimeout);
+  // timeout_limit defaults to 3 in ring_config's client (unset -> 3).
+  EXPECT_GE(cluster.client(0).detector().timeout_count(2) +
+                (cluster.client(0).node_failed(2) ? 99u : 0u),
+            2u);
+}
+
+TEST(Ping, UnknownEndpointUnavailable) {
+  Cluster cluster(ring_config());
+  EXPECT_EQ(cluster.client(0).ping(99).code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ftc::cluster

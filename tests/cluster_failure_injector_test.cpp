@@ -1,0 +1,114 @@
+#include "cluster/failure_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftc::cluster {
+namespace {
+
+TEST(FailurePlan, DistinctVictims) {
+  FailurePlanParams params;
+  params.node_count = 16;
+  params.failure_count = 5;
+  params.total_epochs = 5;
+  const auto plan = plan_failures(params);
+  ASSERT_EQ(plan.size(), 5u);
+  std::set<std::uint32_t> victims;
+  for (const auto& failure : plan) victims.insert(failure.victim);
+  EXPECT_EQ(victims.size(), 5u);
+}
+
+TEST(FailurePlan, EpochsWithinEligibleRange) {
+  FailurePlanParams params;
+  params.node_count = 64;
+  params.failure_count = 20;
+  params.first_eligible_epoch = 1;
+  params.total_epochs = 5;
+  for (const auto& failure : plan_failures(params)) {
+    EXPECT_GE(failure.epoch, 1u);
+    EXPECT_LT(failure.epoch, 5u);
+    EXPECT_GE(failure.epoch_fraction, 0.0);
+    EXPECT_LT(failure.epoch_fraction, 1.0);
+  }
+}
+
+TEST(FailurePlan, SortedByTime) {
+  FailurePlanParams params;
+  params.node_count = 64;
+  params.failure_count = 10;
+  const auto plan = plan_failures(params);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    const bool ordered =
+        plan[i - 1].epoch < plan[i].epoch ||
+        (plan[i - 1].epoch == plan[i].epoch &&
+         plan[i - 1].epoch_fraction <= plan[i].epoch_fraction);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+TEST(FailurePlan, NeverKillsEveryNode) {
+  FailurePlanParams params;
+  params.node_count = 4;
+  params.failure_count = 10;  // more than nodes
+  const auto plan = plan_failures(params);
+  EXPECT_EQ(plan.size(), 3u);  // node_count - 1 survivor guaranteed
+}
+
+TEST(FailurePlan, DeterministicForSeed) {
+  FailurePlanParams params;
+  params.node_count = 32;
+  params.failure_count = 4;
+  const auto a = plan_failures(params);
+  const auto b = plan_failures(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].victim, b[i].victim);
+    EXPECT_EQ(a[i].epoch, b[i].epoch);
+  }
+}
+
+TEST(FailurePlan, SeedVariesPlan) {
+  FailurePlanParams a;
+  a.node_count = 128;
+  a.failure_count = 5;
+  a.seed = 1;
+  FailurePlanParams b = a;
+  b.seed = 2;
+  const auto plan_a = plan_failures(a);
+  const auto plan_b = plan_failures(b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < plan_a.size(); ++i) {
+    if (plan_a[i].victim != plan_b[i].victim) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FailurePlan, DegenerateInputs) {
+  FailurePlanParams params;
+  params.node_count = 0;
+  EXPECT_TRUE(plan_failures(params).empty());
+  params.node_count = 8;
+  params.failure_count = 0;
+  EXPECT_TRUE(plan_failures(params).empty());
+  params.failure_count = 1;
+  params.first_eligible_epoch = 5;
+  params.total_epochs = 5;  // no eligible epoch
+  EXPECT_TRUE(plan_failures(params).empty());
+}
+
+TEST(FailurePlan, ExecutePlanCallsKiller) {
+  FailurePlanParams params;
+  params.node_count = 16;
+  params.failure_count = 3;
+  const auto plan = plan_failures(params);
+  std::vector<std::uint32_t> killed;
+  execute_plan(plan, [&](std::uint32_t node) { killed.push_back(node); });
+  ASSERT_EQ(killed.size(), 3u);
+  for (std::size_t i = 0; i < killed.size(); ++i) {
+    EXPECT_EQ(killed[i], plan[i].victim);
+  }
+}
+
+}  // namespace
+}  // namespace ftc::cluster

@@ -1,0 +1,80 @@
+#include "cluster/fault_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc::cluster {
+namespace {
+
+TEST(FaultDetector, FlagsAtThreshold) {
+  FaultDetector detector(3);
+  EXPECT_FALSE(detector.record_timeout(1));
+  EXPECT_FALSE(detector.record_timeout(1));
+  EXPECT_TRUE(detector.record_timeout(1));  // transition exactly here
+  EXPECT_TRUE(detector.is_failed(1));
+}
+
+TEST(FaultDetector, TransitionReportedOnce) {
+  FaultDetector detector(1);
+  EXPECT_TRUE(detector.record_timeout(5));
+  EXPECT_FALSE(detector.record_timeout(5));  // already failed
+  EXPECT_TRUE(detector.is_failed(5));
+}
+
+TEST(FaultDetector, SuccessResetsCounter) {
+  FaultDetector detector(2);
+  detector.record_timeout(3);
+  detector.record_success(3);  // transient delay resolved
+  EXPECT_FALSE(detector.record_timeout(3));  // counter restarted at 1
+  EXPECT_EQ(detector.timeout_count(3), 1u);
+  EXPECT_FALSE(detector.is_failed(3));
+  EXPECT_EQ(detector.suppressed_false_positives(), 1u);
+}
+
+TEST(FaultDetector, FailureIsSticky) {
+  FaultDetector detector(1);
+  detector.record_timeout(2);
+  detector.record_success(2);  // too late; crash-stop model
+  EXPECT_TRUE(detector.is_failed(2));
+}
+
+TEST(FaultDetector, IndependentCounters) {
+  FaultDetector detector(2);
+  detector.record_timeout(1);
+  detector.record_timeout(2);
+  EXPECT_EQ(detector.timeout_count(1), 1u);
+  EXPECT_EQ(detector.timeout_count(2), 1u);
+  EXPECT_FALSE(detector.is_failed(1));
+  EXPECT_FALSE(detector.is_failed(2));
+}
+
+TEST(FaultDetector, ZeroLimitClampedToOne) {
+  FaultDetector detector(0);
+  EXPECT_EQ(detector.timeout_limit(), 1u);
+  EXPECT_TRUE(detector.record_timeout(7));
+}
+
+TEST(FaultDetector, FailedNodesList) {
+  FaultDetector detector(1);
+  detector.record_timeout(4);
+  detector.record_timeout(9);
+  const auto failed = detector.failed_nodes();
+  EXPECT_EQ(failed.size(), 2u);
+  EXPECT_EQ(detector.failed_count(), 2u);
+}
+
+TEST(FaultDetector, TotalTimeoutsAccumulate) {
+  FaultDetector detector(2);
+  detector.record_timeout(1);
+  detector.record_timeout(1);
+  detector.record_timeout(1);  // post-failure timeouts still counted
+  EXPECT_EQ(detector.total_timeouts(), 3u);
+}
+
+TEST(FaultDetector, SuccessForUnknownNodeIsNoop) {
+  FaultDetector detector(2);
+  detector.record_success(8);
+  EXPECT_EQ(detector.suppressed_false_positives(), 0u);
+}
+
+}  // namespace
+}  // namespace ftc::cluster

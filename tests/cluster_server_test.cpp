@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cluster/hvac_server.hpp"
+#include "cluster/pfs_store.hpp"
+#include "hash/crc32.hpp"
+
+namespace ftc::cluster {
+namespace {
+
+HvacServerConfig sync_config() {
+  HvacServerConfig config;
+  config.async_data_mover = false;  // deterministic for unit tests
+  config.cache_capacity_bytes = 1 << 20;
+  return config;
+}
+
+TEST(PfsStore, PutReadRoundTrip) {
+  PfsStore pfs;
+  pfs.put("/a", "contents");
+  auto got = pfs.read("/a");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), "contents");
+  EXPECT_EQ(pfs.read_count(), 1u);
+  EXPECT_TRUE(pfs.contains("/a"));
+  EXPECT_EQ(pfs.file_count(), 1u);
+}
+
+TEST(PfsStore, MissingFile) {
+  PfsStore pfs;
+  auto got = pfs.read("/none");
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(pfs.read_count(), 0u);
+}
+
+TEST(PfsStore, PopulateSynthetic) {
+  PfsStore pfs;
+  pfs.populate_synthetic("/data", 5, 64);
+  EXPECT_EQ(pfs.file_count(), 5u);
+  auto got = pfs.read("/data/file_0000003.tfrecord");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().size(), 64u);
+  // Contents deterministic: same file regenerated identically.
+  PfsStore other;
+  other.populate_synthetic("/data", 5, 64);
+  EXPECT_EQ(other.read("/data/file_0000003.tfrecord").value(), got.value());
+}
+
+TEST(HvacServer, MissFetchesFromPfsThenCaches) {
+  PfsStore pfs;
+  pfs.put("/f", "payload");
+  HvacServer server(0, pfs, sync_config());
+
+  rpc::RpcRequest request;
+  request.op = rpc::Op::kReadFile;
+  request.path = "/f";
+  const auto first = server.handle(request);
+  EXPECT_EQ(first.code, StatusCode::kOk);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.payload, "payload");
+  EXPECT_EQ(first.checksum, hash::crc32("payload"));
+  EXPECT_TRUE(server.has_cached("/f"));
+
+  const auto second = server.handle(request);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.payload, "payload");
+  EXPECT_EQ(pfs.read_count(), 1u);  // PFS touched exactly once
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.recache_completed, 1u);
+}
+
+TEST(HvacServer, MissingEverywhereReturnsNotFound) {
+  PfsStore pfs;
+  HvacServer server(0, pfs, sync_config());
+  rpc::RpcRequest request;
+  request.path = "/ghost";
+  EXPECT_EQ(server.handle(request).code, StatusCode::kNotFound);
+}
+
+TEST(HvacServer, PingAndStatsOps) {
+  PfsStore pfs;
+  HvacServer server(0, pfs, sync_config());
+  rpc::RpcRequest ping;
+  ping.op = rpc::Op::kPing;
+  EXPECT_EQ(server.handle(ping).code, StatusCode::kOk);
+
+  rpc::RpcRequest stats;
+  stats.op = rpc::Op::kStats;
+  const auto response = server.handle(stats);
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_NE(response.payload.find("reads="), std::string::npos);
+}
+
+TEST(HvacServer, EvictOp) {
+  PfsStore pfs;
+  pfs.put("/f", "x");
+  HvacServer server(0, pfs, sync_config());
+  rpc::RpcRequest read;
+  read.path = "/f";
+  server.handle(read);
+  ASSERT_TRUE(server.has_cached("/f"));
+
+  rpc::RpcRequest evict;
+  evict.op = rpc::Op::kEvict;
+  evict.path = "/f";
+  EXPECT_EQ(server.handle(evict).code, StatusCode::kOk);
+  EXPECT_FALSE(server.has_cached("/f"));
+  EXPECT_EQ(server.handle(evict).code, StatusCode::kNotFound);
+}
+
+TEST(HvacServer, AsyncDataMoverEventuallyCaches) {
+  PfsStore pfs;
+  pfs.put("/f", "abc");
+  HvacServerConfig config;
+  config.async_data_mover = true;
+  config.cache_capacity_bytes = 1 << 20;
+  HvacServer server(0, pfs, config);
+  rpc::RpcRequest request;
+  request.path = "/f";
+  const auto response = server.handle(request);
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  server.flush_data_mover();
+  EXPECT_TRUE(server.has_cached("/f"));
+  EXPECT_EQ(server.stats().recache_completed, 1u);
+}
+
+TEST(HvacServer, CachedBytesTracked) {
+  PfsStore pfs;
+  pfs.put("/a", std::string(100, 'x'));
+  pfs.put("/b", std::string(50, 'y'));
+  HvacServer server(0, pfs, sync_config());
+  rpc::RpcRequest request;
+  request.path = "/a";
+  server.handle(request);
+  request.path = "/b";
+  server.handle(request);
+  EXPECT_EQ(server.cached_file_count(), 2u);
+  EXPECT_EQ(server.cached_bytes(), 150u);
+}
+
+}  // namespace
+}  // namespace ftc::cluster

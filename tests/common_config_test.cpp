@@ -1,0 +1,115 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ftc {
+namespace {
+
+TEST(Config, FromArgsParsesPairs) {
+  const char* argv[] = {"nodes=64", "vnodes=100", "name=frontier"};
+  auto result = Config::from_args(3, argv);
+  ASSERT_TRUE(result.is_ok());
+  const Config& cfg = result.value();
+  EXPECT_EQ(cfg.get_int("nodes", 0), 64);
+  EXPECT_EQ(cfg.get_int("vnodes", 0), 100);
+  EXPECT_EQ(cfg.get_string("name", ""), "frontier");
+}
+
+TEST(Config, FromArgsRejectsBareToken) {
+  const char* argv[] = {"nodes"};
+  auto result = Config::from_args(1, argv);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Config, FromArgsRejectsEmptyKey) {
+  const char* argv[] = {"=5"};
+  auto result = Config::from_args(1, argv);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Config, TypedGettersWithFallbacks) {
+  Config cfg;
+  cfg.set("i", "42");
+  cfg.set("d", "2.5");
+  cfg.set("b", "true");
+  cfg.set("bytes", "4GiB");
+  EXPECT_EQ(cfg.get_int("i", -1), 42);
+  EXPECT_EQ(cfg.get_int("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 9.0), 9.0);
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_FALSE(cfg.get_bool("missing", false));
+  EXPECT_EQ(cfg.get_bytes("bytes", 0), 4ULL << 30);
+}
+
+TEST(Config, BoolSpellings) {
+  Config cfg;
+  cfg.set("a", "1");
+  cfg.set("b", "yes");
+  cfg.set("c", "off");
+  cfg.set("d", "garbage");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_FALSE(cfg.get_bool("c", true));
+  EXPECT_TRUE(cfg.get_bool("d", true));  // unparseable -> fallback
+}
+
+TEST(Config, IntList) {
+  Config cfg;
+  cfg.set("scales", "64,128,256,512,1024");
+  const auto v = cfg.get_int_list("scales", {});
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.front(), 64);
+  EXPECT_EQ(v.back(), 1024);
+  const auto fallback = cfg.get_int_list("missing", {1, 2});
+  ASSERT_EQ(fallback.size(), 2u);
+}
+
+TEST(Config, HasAndOverwrite) {
+  Config cfg;
+  EXPECT_FALSE(cfg.has("k"));
+  cfg.set("k", "1");
+  EXPECT_TRUE(cfg.has("k"));
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(Config, FromFileParsesAndIgnoresComments) {
+  const std::string path = ::testing::TempDir() + "/ftc_config_test.conf";
+  {
+    std::ofstream out(path);
+    out << "# experiment parameters\n"
+        << "nodes = 1024\n"
+        << "\n"
+        << "vnodes = 100  # production value\n";
+  }
+  auto result = Config::from_file(path);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().get_int("nodes", 0), 1024);
+  EXPECT_EQ(result.value().get_int("vnodes", 0), 100);
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileMissing) {
+  auto result = Config::from_file("/nonexistent/path.conf");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Config, FromFileMalformedLine) {
+  const std::string path = ::testing::TempDir() + "/ftc_config_bad.conf";
+  {
+    std::ofstream out(path);
+    out << "just a token\n";
+  }
+  auto result = Config::from_file(path);
+  EXPECT_FALSE(result.is_ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ftc

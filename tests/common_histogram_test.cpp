@@ -1,0 +1,86 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc {
+namespace {
+
+TEST(Histogram, BucketAssignment) {
+  Histogram h({0.0, 10.0, 20.0, 30.0});
+  h.add(0.0);    // bucket 0 (inclusive lower edge)
+  h.add(9.99);   // bucket 0
+  h.add(10.0);   // bucket 1
+  h.add(25.0);   // bucket 2
+  EXPECT_DOUBLE_EQ(h.bucket_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h({0.0, 1.0});
+  h.add(-5.0);
+  h.add(1.0);  // == top edge -> overflow
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h({0.0, 10.0});
+  h.add(5.0, 2.5);
+  h.add(5.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(0), 3.0);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h({0.0, 1.0, 2.0, 3.0});
+  for (double x : {0.5, 1.5, 1.6, 2.9}) h.add(x);
+  double total = 0.0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    total += h.bucket_fraction(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, BucketLabel) {
+  Histogram h({0.0, 10.0, 20.0});
+  EXPECT_EQ(h.bucket_label(0), "[0, 10)");
+  EXPECT_EQ(h.bucket_label(1), "[10, 20)");
+}
+
+TEST(CategoricalHistogram, CountsAndOrder) {
+  CategoricalHistogram h;
+  h.add("JOB_FAIL");
+  h.add("TIMEOUT");
+  h.add("JOB_FAIL");
+  h.add("NODE_FAIL", 3.0);
+  EXPECT_DOUBLE_EQ(h.count("JOB_FAIL"), 2.0);
+  EXPECT_DOUBLE_EQ(h.count("TIMEOUT"), 1.0);
+  EXPECT_DOUBLE_EQ(h.count("NODE_FAIL"), 3.0);
+  EXPECT_DOUBLE_EQ(h.count("unknown"), 0.0);
+  EXPECT_DOUBLE_EQ(h.total(), 6.0);
+  ASSERT_EQ(h.categories().size(), 3u);
+  EXPECT_EQ(h.categories()[0], "JOB_FAIL");
+  EXPECT_EQ(h.categories()[1], "TIMEOUT");
+  EXPECT_EQ(h.categories()[2], "NODE_FAIL");
+}
+
+TEST(CategoricalHistogram, Fractions) {
+  CategoricalHistogram h;
+  h.add("a", 1.0);
+  h.add("b", 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction("a"), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction("b"), 0.75);
+}
+
+TEST(CategoricalHistogram, EmptyFractionIsZero) {
+  CategoricalHistogram h;
+  EXPECT_DOUBLE_EQ(h.fraction("x"), 0.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace ftc

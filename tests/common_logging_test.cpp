@@ -1,0 +1,68 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ftc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    logging::set_sink([this](const std::string& line) {
+      lines_.push_back(line);
+    });
+    logging::set_level(LogLevel::kInfo);
+  }
+
+  void TearDown() override {
+    logging::reset_sink();
+    logging::clear_time_source();
+    logging::set_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  FTC_LOG(kInfo, "test") << "visible";
+  FTC_LOG(kError, "test") << "also visible";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("visible"), std::string::npos);
+  EXPECT_NE(lines_[0].find("[INFO]"), std::string::npos);
+  EXPECT_NE(lines_[1].find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FiltersBelowLevel) {
+  FTC_LOG(kDebug, "test") << "hidden";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LoggingTest, ComponentTagIncluded) {
+  FTC_LOG(kInfo, "hvac_server") << "msg";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("[hvac_server]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SimulatedTimePrefix) {
+  logging::set_time_source([] { return 90 * simtime::kSecond; });
+  FTC_LOG(kInfo, "t") << "stamped";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("1m30.000s"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamingOperatorsCompose) {
+  FTC_LOG(kInfo, "t") << "node " << 42 << " failed after " << 1.5 << "s";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("node 42 failed after 1.5s"), std::string::npos);
+}
+
+TEST(LogLevelName, Names) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,49 @@
+#include "common/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc {
+namespace {
+
+using namespace simtime;
+
+TEST(SimTime, UnitRelations) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kSecond, 1000000000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 3600 * kSecond);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1500 * kMillisecond);
+  EXPECT_EQ(from_ms(2.0), 2 * kMillisecond);
+  EXPECT_EQ(from_us(3.0), 3 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(to_ms(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_minutes(90 * kSecond), 1.5);
+}
+
+TEST(SimTime, TransferTime) {
+  // 1 GiB over 1 GiB/s = 1 s.
+  const double gib = 1024.0 * 1024.0 * 1024.0;
+  EXPECT_EQ(transfer_time(1ULL << 30, gib), kSecond);
+  // Zero bytes takes no time.
+  EXPECT_EQ(transfer_time(0, gib), 0);
+  // Tiny transfers still advance the clock by >= 1 ns.
+  EXPECT_GE(transfer_time(1, 1e18), 1);
+  // Nonpositive bandwidth is treated as instantaneous (no divide by zero).
+  EXPECT_EQ(transfer_time(100, 0.0), 0);
+}
+
+TEST(SimTime, ToStringFormats) {
+  EXPECT_EQ(to_string(500 * kMillisecond), "0.500000s");
+  EXPECT_EQ(to_string(90 * kSecond), "1m30.000s");
+  EXPECT_EQ(to_string(kHour + 2 * kMinute + 3 * kSecond), "1h02m03.000s");
+}
+
+TEST(SimTime, ToStringNegative) {
+  EXPECT_EQ(to_string(-5 * kSecond), "-5.000000s");
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,69 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, FactoryFunctionsSetCode) {
+  EXPECT_EQ(Status::not_found().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::timeout().code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::unavailable().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::capacity().code(), StatusCode::kCapacity);
+  EXPECT_EQ(Status::invalid_argument().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::internal().code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::cancelled().code(), StatusCode::kCancelled);
+}
+
+TEST(Status, MessagePreserved) {
+  const Status s = Status::timeout("server 3 unresponsive");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.message(), "server 3 unresponsive");
+  EXPECT_EQ(s.to_string(), "TIMEOUT: server 3 unresponsive");
+}
+
+TEST(Status, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+  EXPECT_EQ(Status::not_found().to_string(), "NOT_FOUND");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::timeout("a"), Status::timeout("b"));
+  EXPECT_FALSE(Status::timeout() == Status::not_found());
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::not_found("missing");
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  ASSERT_TRUE(v.is_ok());
+  const std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,84 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, NoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("hash_ring", "hash"));
+  EXPECT_FALSE(starts_with("hash", "hash_ring"));
+  EXPECT_TRUE(ends_with("file.tfrecord", ".tfrecord"));
+  EXPECT_FALSE(ends_with("file.txt", ".tfrecord"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(1ULL << 20), "1.00 MiB");
+  EXPECT_EQ(format_bytes(3ULL << 30), "3.00 GiB");
+}
+
+TEST(ParseBytes, Units) {
+  EXPECT_EQ(parse_bytes("512"), 512u);
+  EXPECT_EQ(parse_bytes("1KiB"), 1024u);
+  EXPECT_EQ(parse_bytes("128 KiB"), 128u * 1024u);
+  EXPECT_EQ(parse_bytes("4GiB"), 4ULL << 30);
+  EXPECT_EQ(parse_bytes("2T"), 2ULL << 40);
+  EXPECT_EQ(parse_bytes("1.5M"), static_cast<std::uint64_t>(1.5 * (1 << 20)));
+}
+
+TEST(ParseBytes, Invalid) {
+  EXPECT_EQ(parse_bytes(""), 0u);
+  EXPECT_EQ(parse_bytes("abc"), 0u);
+  EXPECT_EQ(parse_bytes("12 parsecs"), 0u);
+  EXPECT_EQ(parse_bytes("-5"), 0u);
+}
+
+TEST(ZeroPad, Widths) {
+  EXPECT_EQ(zero_pad(42, 7), "0000042");
+  EXPECT_EQ(zero_pad(0, 3), "000");
+  EXPECT_EQ(zero_pad(12345, 3), "12345");  // wider than field: no truncation
+}
+
+}  // namespace
+}  // namespace ftc

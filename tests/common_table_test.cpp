@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Nodes", "Time (min)"});
+  t.add_row({"64", "12.5"});
+  t.add_row({"1024", "3.2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Nodes | Time (min) |"), std::string::npos);
+  EXPECT_NE(s.find("| 64    | 12.5       |"), std::string::npos);
+  EXPECT_NE(s.find("| 1024  | 3.2        |"), std::string::npos);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("only"), std::string::npos);  // renders without crash
+}
+
+TEST(TextTable, AddRowValuesFormatsDecimals) {
+  TextTable t({"x", "y"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CsvHeaderAndRows) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,122 @@
+// Checkpoint-restart baseline: model-state FT without cache FT.  The
+// paper's Sec I argument quantified — checkpointing saves the job but the
+// cold cache re-warms from the PFS after every crash.
+#include <gtest/gtest.h>
+
+#include "destim/experiment.hpp"
+
+namespace ftc::destim {
+namespace {
+
+using cluster::FtMode;
+
+ExperimentConfig ckpt_config() {
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.mode = FtMode::kNone;
+  config.checkpoint_restart = true;
+  config.checkpoint_restart_overhead = 200 * simtime::kMillisecond;
+  config.file_count = 256;
+  config.file_bytes = 2ULL << 20;
+  config.samples_per_file = 2;
+  config.epochs = 4;
+  config.files_per_step_per_node = 4;
+  config.compute_time_per_step = 10 * simtime::kMillisecond;
+  config.pfs.access_latency = 5 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 0;
+  config.rpc_timeout = 10 * simtime::kMillisecond;
+  config.elastic_restart_overhead = 50 * simtime::kMillisecond;
+  return config;
+}
+
+cluster::PlannedFailure failure_at(std::uint32_t victim, std::uint32_t epoch,
+                                   double fraction) {
+  cluster::PlannedFailure failure;
+  failure.victim = victim;
+  failure.epoch = epoch;
+  failure.epoch_fraction = fraction;
+  return failure;
+}
+
+TEST(CheckpointRestart, SurvivesWhereNoFtAborts) {
+  auto config = ckpt_config();
+  config.failures.push_back(failure_at(3, 1, 0.5));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_TRUE(result.epochs[1].failure_during);
+
+  auto plain = ckpt_config();
+  plain.checkpoint_restart = false;
+  plain.failures.push_back(failure_at(3, 1, 0.5));
+  EXPECT_FALSE(run_experiment(plain).completed);
+}
+
+TEST(CheckpointRestart, ColdCacheRewarmsFromPfs) {
+  auto config = ckpt_config();
+  config.failures.push_back(failure_at(3, 1, 0.5));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed);
+  // The crash wiped every cache: the victim epoch re-fetches (almost) the
+  // whole dataset again, not just the failed node's share.
+  EXPECT_GT(result.epochs[1].pfs_reads, 256u / 2);
+  // Later epochs are warm again.
+  EXPECT_EQ(result.epochs.back().pfs_reads, 0u);
+  // Total PFS traffic ~ two full warm-ups.
+  EXPECT_GT(result.total_pfs_reads, 256u + 256u / 2);
+}
+
+TEST(CheckpointRestart, FarCostlierThanElasticRecaching) {
+  auto ckpt = ckpt_config();
+  ckpt.failures.push_back(failure_at(3, 1, 0.5));
+  auto ring = ckpt_config();
+  ring.mode = FtMode::kHashRingRecache;
+  ring.checkpoint_restart = false;
+  ring.failures.push_back(failure_at(3, 1, 0.5));
+  const auto ckpt_result = run_experiment(ckpt);
+  const auto ring_result = run_experiment(ring);
+  ASSERT_TRUE(ckpt_result.completed);
+  ASSERT_TRUE(ring_result.completed);
+  // The whole point of cache FT: the ring refetches only ~1/8 of files
+  // (one warm-up + the lost share) while checkpoint restart re-warms the
+  // whole dataset (two warm-ups).
+  EXPECT_LT(ring_result.total_pfs_reads, 256u + 256u / 4);
+  EXPECT_GE(ckpt_result.total_pfs_reads, 2 * 256u - 256u / 4);
+  EXPECT_LT(ring_result.total_time, ckpt_result.total_time);
+}
+
+TEST(CheckpointRestart, NoFailureNoDifference) {
+  auto with_flag = ckpt_config();
+  auto without = ckpt_config();
+  without.checkpoint_restart = false;
+  const auto a = run_experiment(with_flag);
+  const auto b = run_experiment(without);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.restarts, 0u);
+}
+
+TEST(CheckpointRestart, TwoCrashes) {
+  auto config = ckpt_config();
+  config.failures.push_back(failure_at(3, 1, 0.4));
+  config.failures.push_back(failure_at(5, 2, 0.4));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 2u);
+  // Three full dataset warm-ups' worth of PFS traffic (initial + 2 crash
+  // re-warms), minus partial-epoch effects.
+  EXPECT_GT(result.total_pfs_reads, 2 * 256u);
+}
+
+TEST(CheckpointRestart, Deterministic) {
+  auto config = ckpt_config();
+  config.failures.push_back(failure_at(3, 1, 0.5));
+  const auto a = run_experiment(config);
+  const auto b = run_experiment(config);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.simulated_events, b.simulated_events);
+}
+
+}  // namespace
+}  // namespace ftc::destim

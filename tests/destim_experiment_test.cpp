@@ -1,0 +1,199 @@
+// DES end-to-end experiment invariants at small scale (fast); the bench
+// harness runs the paper-scale configurations.
+#include "destim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc::destim {
+namespace {
+
+using cluster::FtMode;
+
+ExperimentConfig small_config(FtMode mode) {
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.mode = mode;
+  config.file_count = 256;
+  config.file_bytes = 4ULL << 20;
+  config.epochs = 3;
+  config.files_per_step_per_node = 4;
+  config.compute_time_per_step = 10 * simtime::kMillisecond;
+  // Paper regime: the PFS is much slower per file than the cache path and
+  // the RPC deadline is tuned just above normal service latency.
+  config.pfs.read_bytes_per_second = 10.0e9;
+  config.pfs.per_client_bytes_per_second = 300.0e6;
+  config.rpc_timeout = 20 * simtime::kMillisecond;
+  config.timeout_limit = 2;
+  config.elastic_restart_overhead = 100 * simtime::kMillisecond;
+  return config;
+}
+
+cluster::PlannedFailure failure_at(std::uint32_t victim, std::uint32_t epoch,
+                                   double fraction) {
+  cluster::PlannedFailure failure;
+  failure.victim = victim;
+  failure.epoch = epoch;
+  failure.epoch_fraction = fraction;
+  return failure;
+}
+
+TEST(DesExperiment, NoFailureCompletesAllModes) {
+  for (const FtMode mode :
+       {FtMode::kNone, FtMode::kPfsRedirect, FtMode::kHashRingRecache}) {
+    const auto result = run_experiment(small_config(mode));
+    EXPECT_TRUE(result.completed) << result.abort_reason;
+    EXPECT_EQ(result.epochs.size(), 3u);
+    EXPECT_EQ(result.restarts, 0u);
+    EXPECT_GT(result.total_time, 0);
+  }
+}
+
+TEST(DesExperiment, WarmupEpochPaysPfsOnce) {
+  const auto result = run_experiment(small_config(FtMode::kHashRingRecache));
+  ASSERT_TRUE(result.completed);
+  // Epoch 0 fetches the whole dataset from the PFS, later epochs none.
+  EXPECT_EQ(result.epochs[0].pfs_reads, 256u);
+  EXPECT_EQ(result.epochs[1].pfs_reads, 0u);
+  EXPECT_EQ(result.epochs[2].pfs_reads, 0u);
+  EXPECT_EQ(result.total_pfs_reads, 256u);
+}
+
+TEST(DesExperiment, WarmupEpochIsSlowest) {
+  const auto result = run_experiment(small_config(FtMode::kHashRingRecache));
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.epochs[0].duration, result.epochs[1].duration);
+  EXPECT_GT(result.epochs[0].duration, result.epochs[2].duration);
+}
+
+TEST(DesExperiment, Deterministic) {
+  const auto a = run_experiment(small_config(FtMode::kHashRingRecache));
+  const auto b = run_experiment(small_config(FtMode::kHashRingRecache));
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.total_pfs_reads, b.total_pfs_reads);
+  EXPECT_EQ(a.simulated_events, b.simulated_events);
+}
+
+TEST(DesExperiment, NoFtAbortsOnFailure) {
+  auto config = small_config(FtMode::kNone);
+  config.failures.push_back(failure_at(3, 1, 0.5));
+  const auto result = run_experiment(config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("NoFT"), std::string::npos);
+}
+
+TEST(DesExperiment, PfsRedirectSurvivesWithRestart) {
+  auto config = small_config(FtMode::kPfsRedirect);
+  config.failures.push_back(failure_at(3, 1, 0.5));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_TRUE(result.epochs[1].failure_during);
+  EXPECT_EQ(result.epochs[1].attempts, 2u);
+  // Lost files hit the PFS in the victim epoch AND the final epoch.
+  EXPECT_GT(result.epochs[1].pfs_reads, 0u);
+  EXPECT_GT(result.epochs[2].pfs_reads, 0u);
+  EXPECT_GT(result.total_timeouts, 0u);
+}
+
+TEST(DesExperiment, HashRingRecachesOnce) {
+  auto config = small_config(FtMode::kHashRingRecache);
+  config.failures.push_back(failure_at(3, 1, 0.5));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  // Victim epoch refetches the lost share; the last epoch is PFS-silent.
+  EXPECT_GT(result.epochs[1].pfs_reads, 0u);
+  EXPECT_LT(result.epochs[1].pfs_reads, 256u / 2);
+  EXPECT_EQ(result.epochs[2].pfs_reads, 0u);
+}
+
+TEST(DesExperiment, HashRingBeatsPfsRedirect) {
+  auto ring_config = small_config(FtMode::kHashRingRecache);
+  auto pfs_config = small_config(FtMode::kPfsRedirect);
+  // 5 epochs amplify the per-epoch PFS penalty.
+  ring_config.epochs = 5;
+  pfs_config.epochs = 5;
+  ring_config.failures.push_back(failure_at(3, 1, 0.3));
+  pfs_config.failures.push_back(failure_at(3, 1, 0.3));
+  const auto ring_result = run_experiment(ring_config);
+  const auto pfs_result = run_experiment(pfs_config);
+  ASSERT_TRUE(ring_result.completed);
+  ASSERT_TRUE(pfs_result.completed);
+  EXPECT_LT(ring_result.total_time, pfs_result.total_time);
+  EXPECT_LT(ring_result.total_pfs_reads, pfs_result.total_pfs_reads);
+}
+
+TEST(DesExperiment, FailureCostsTime) {
+  auto baseline = small_config(FtMode::kHashRingRecache);
+  auto with_failure = baseline;
+  with_failure.failures.push_back(failure_at(2, 1, 0.5));
+  const auto base_result = run_experiment(baseline);
+  const auto fail_result = run_experiment(with_failure);
+  ASSERT_TRUE(base_result.completed);
+  ASSERT_TRUE(fail_result.completed);
+  EXPECT_GT(fail_result.total_time, base_result.total_time);
+}
+
+TEST(DesExperiment, MultipleFailures) {
+  auto config = small_config(FtMode::kHashRingRecache);
+  config.epochs = 4;
+  config.failures.push_back(failure_at(1, 1, 0.2));
+  config.failures.push_back(failure_at(5, 2, 0.6));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 2u);
+}
+
+TEST(DesExperiment, FailureBeforeTrainingEpochZeroHandled) {
+  auto config = small_config(FtMode::kHashRingRecache);
+  config.failures.push_back(failure_at(0, 0, 0.0));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_TRUE(result.epochs[0].failure_during);
+}
+
+TEST(DesExperiment, ScalingReducesTotalTime) {
+  auto small = small_config(FtMode::kHashRingRecache);
+  auto large = small;
+  large.node_count = 32;
+  const auto small_result = run_experiment(small);
+  const auto large_result = run_experiment(large);
+  ASSERT_TRUE(small_result.completed);
+  ASSERT_TRUE(large_result.completed);
+  EXPECT_LT(large_result.total_time, small_result.total_time);
+}
+
+TEST(DesExperiment, TrialsAggregateCompletedRuns) {
+  auto config = small_config(FtMode::kHashRingRecache);
+  const auto summary = run_experiment_trials(config, 3);
+  EXPECT_EQ(summary.trials, 3u);
+  EXPECT_EQ(summary.completed, 3u);
+  EXPECT_EQ(summary.results.size(), 3u);
+  EXPECT_EQ(summary.total_minutes.count(), 3u);
+  EXPECT_GT(summary.total_minutes.mean(), 0.0);
+  // Different seeds per trial: runs genuinely differ.
+  EXPECT_NE(summary.results[0].total_time, summary.results[1].total_time);
+  // PFS reads identical across trials (warm-up is seed-independent).
+  EXPECT_DOUBLE_EQ(summary.total_pfs_reads.stddev(), 0.0);
+}
+
+TEST(DesExperiment, TrialsCountAborts) {
+  auto config = small_config(FtMode::kNone);
+  config.failures.push_back(failure_at(3, 1, 0.5));
+  const auto summary = run_experiment_trials(config, 2);
+  EXPECT_EQ(summary.trials, 2u);
+  EXPECT_EQ(summary.completed, 0u);
+  EXPECT_EQ(summary.total_minutes.count(), 0u);
+}
+
+TEST(DesExperiment, EventCapAborts) {
+  auto config = small_config(FtMode::kHashRingRecache);
+  config.max_events = 10;  // absurdly small
+  const auto result = run_experiment(config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("event cap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftc::destim

@@ -1,0 +1,96 @@
+// Prefetch-pipeline extension: deterministic shuffling lets each node
+// fetch step k+1's files during step k's compute.
+#include <gtest/gtest.h>
+
+#include "destim/experiment.hpp"
+
+namespace ftc::destim {
+namespace {
+
+using cluster::FtMode;
+
+ExperimentConfig pf_config(bool prefetch) {
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.mode = FtMode::kHashRingRecache;
+  config.file_count = 512;
+  config.file_bytes = 8ULL << 20;
+  config.samples_per_file = 2;
+  config.epochs = 3;
+  config.files_per_step_per_node = 4;
+  config.compute_time_per_step = 20 * simtime::kMillisecond;
+  config.pfs.access_latency = 5 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 0;
+  config.rpc_timeout = 10 * simtime::kMillisecond;
+  config.elastic_restart_overhead = 50 * simtime::kMillisecond;
+  config.prefetch = prefetch;
+  return config;
+}
+
+TEST(Prefetch, HidesIoUnderCompute) {
+  const auto off = run_experiment(pf_config(false));
+  const auto on = run_experiment(pf_config(true));
+  ASSERT_TRUE(off.completed);
+  ASSERT_TRUE(on.completed);
+  EXPECT_LT(on.total_time, off.total_time);
+  // Cached epochs approach the pure-compute floor: steps * compute.
+  const auto& last = on.epochs.back();
+  const SimTime compute_floor =
+      static_cast<SimTime>(512 * 2 / (8 * 4)) *  // steps in epoch
+      (20 * simtime::kMillisecond);
+  EXPECT_LT(last.duration, compute_floor + compute_floor / 2);
+}
+
+TEST(Prefetch, SameIoTotalsAsBaseline) {
+  const auto off = run_experiment(pf_config(false));
+  const auto on = run_experiment(pf_config(true));
+  // Prefetching changes WHEN reads happen, not HOW MANY.
+  EXPECT_EQ(on.total_pfs_reads, off.total_pfs_reads);
+  std::uint64_t reads_off = 0;
+  std::uint64_t reads_on = 0;
+  for (const auto& epoch : off.epochs) {
+    reads_off += epoch.remote_hits + epoch.remote_misses + epoch.local_reads;
+  }
+  for (const auto& epoch : on.epochs) {
+    reads_on += epoch.remote_hits + epoch.remote_misses + epoch.local_reads;
+  }
+  EXPECT_EQ(reads_on, reads_off);
+}
+
+TEST(Prefetch, SurvivesFailureWithRestart) {
+  auto config = pf_config(true);
+  cluster::PlannedFailure failure;
+  failure.victim = 3;
+  failure.epoch = 1;
+  failure.epoch_fraction = 0.5;
+  config.failures = {failure};
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  // Post-failure recaching still single-access-per-lost-file.
+  EXPECT_EQ(result.epochs.back().pfs_reads, 0u);
+}
+
+TEST(Prefetch, DeterministicRuns) {
+  const auto a = run_experiment(pf_config(true));
+  const auto b = run_experiment(pf_config(true));
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.simulated_events, b.simulated_events);
+}
+
+TEST(Prefetch, MultipleFailures) {
+  auto config = pf_config(true);
+  config.epochs = 4;
+  cluster::FailurePlanParams plan;
+  plan.node_count = 8;
+  plan.failure_count = 2;
+  plan.first_eligible_epoch = 1;
+  plan.total_epochs = 4;
+  config.failures = cluster::plan_failures(plan);
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 2u);
+}
+
+}  // namespace
+}  // namespace ftc::destim

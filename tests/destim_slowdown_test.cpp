@@ -1,0 +1,119 @@
+// Transient-slowdown scenarios: the TTL / false-positive trade-off of
+// Sec IV-A, reproduced on the DES substrate.
+#include <gtest/gtest.h>
+
+#include "destim/experiment.hpp"
+
+namespace ftc::destim {
+namespace {
+
+using cluster::FtMode;
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.mode = FtMode::kHashRingRecache;
+  config.file_count = 256;
+  config.file_bytes = 2ULL << 20;
+  config.samples_per_file = 2;
+  config.epochs = 3;
+  config.files_per_step_per_node = 4;
+  config.compute_time_per_step = 10 * simtime::kMillisecond;
+  config.pfs.access_latency = 5 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 0;
+  config.rpc_timeout = 20 * simtime::kMillisecond;
+  config.timeout_limit = 3;
+  config.elastic_restart_overhead = 50 * simtime::kMillisecond;
+  return config;
+}
+
+ExperimentConfig::TransientSlowdown slow(std::uint32_t node, double start_s,
+                                         double duration_s, double extra_ms) {
+  ExperimentConfig::TransientSlowdown s;
+  s.node = node;
+  s.start = simtime::from_seconds(start_s);
+  s.duration = simtime::from_seconds(duration_s);
+  s.extra_latency = simtime::from_ms(extra_ms);
+  return s;
+}
+
+TEST(Slowdown, SubDeadlineSlowdownIsInvisible) {
+  auto config = base_config();
+  // 5 ms extra < 20 ms deadline: no timeouts at all, just a slower run.
+  config.slowdowns.push_back(slow(3, 0.0, 1e6, 5.0));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.total_timeouts, 0u);
+  EXPECT_EQ(result.falsely_flagged_nodes, 0u);
+
+  auto clean = base_config();
+  const auto baseline = run_experiment(clean);
+  EXPECT_GT(result.total_time, baseline.total_time);
+}
+
+TEST(Slowdown, BriefOverDeadlineBlipSuppressedByThreshold) {
+  auto config = base_config();
+  // One very short over-deadline window: clients observe at most a couple
+  // of timeouts and the counter (limit 3) resets on the next success.
+  config.slowdowns.push_back(slow(3, 0.0, 0.012, 50.0));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GT(result.total_false_timeouts, 0u);
+  EXPECT_EQ(result.falsely_flagged_nodes, 0u)
+      << "threshold must absorb a transient blip";
+}
+
+TEST(Slowdown, SustainedOverDeadlineSlownessGetsFlagged) {
+  auto config = base_config();
+  // Long over-deadline window: clients exhaust the threshold and condemn
+  // a perfectly alive node.
+  config.slowdowns.push_back(slow(3, 0.0, 1e6, 50.0));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GT(result.falsely_flagged_nodes, 0u);
+  // The false positive costs gratuitous PFS traffic: node 3's share is
+  // re-fetched even though its NVMe is intact.
+  EXPECT_GT(result.total_pfs_reads, 256u);
+}
+
+TEST(Slowdown, GenerousTtlAvoidsFalsePositive) {
+  auto config = base_config();
+  config.rpc_timeout = 100 * simtime::kMillisecond;  // > any latency
+  config.slowdowns.push_back(slow(3, 0.0, 1e6, 50.0));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.total_timeouts, 0u);
+  EXPECT_EQ(result.falsely_flagged_nodes, 0u);
+  EXPECT_EQ(result.total_pfs_reads, 256u);  // warm-up only
+}
+
+TEST(Slowdown, NoFtDiesOnSustainedSlowness) {
+  auto config = base_config();
+  config.mode = FtMode::kNone;
+  config.slowdowns.push_back(slow(3, 0.0, 1e6, 50.0));
+  const auto result = run_experiment(config);
+  // Without FT, the first over-deadline request is fatal — slowness and
+  // death are indistinguishable to the baseline.
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(Slowdown, PfsRedirectAlsoToleratesSlowness) {
+  auto config = base_config();
+  config.mode = FtMode::kPfsRedirect;
+  config.slowdowns.push_back(slow(3, 0.0, 1e6, 50.0));
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GT(result.total_false_timeouts, 0u);
+}
+
+TEST(Slowdown, WindowOutsideRunHasNoEffect) {
+  auto config = base_config();
+  config.slowdowns.push_back(slow(3, 9.9e5, 10.0, 50.0));  // far future
+  const auto with = run_experiment(config);
+  const auto without = run_experiment(base_config());
+  EXPECT_EQ(with.total_time, without.total_time);
+  EXPECT_EQ(with.total_timeouts, 0u);
+}
+
+}  // namespace
+}  // namespace ftc::destim

@@ -1,0 +1,150 @@
+// Parameterized invariant sweep over the DES experiment: for every
+// (mode, node count, failure pattern) combination the accounting must be
+// conserved and the headline orderings must hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "destim/experiment.hpp"
+
+namespace ftc::destim {
+namespace {
+
+using cluster::FtMode;
+
+ExperimentConfig sweep_config(FtMode mode, std::uint32_t nodes) {
+  ExperimentConfig config;
+  config.node_count = nodes;
+  config.mode = mode;
+  config.file_count = 512;
+  config.file_bytes = 2ULL << 20;
+  config.samples_per_file = 4;
+  config.epochs = 3;
+  config.files_per_step_per_node = 4;
+  config.compute_time_per_step = 10 * simtime::kMillisecond;
+  config.pfs.access_latency = 5 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 5 * simtime::kMillisecond;
+  config.pfs.per_client_bytes_per_second = 400.0e6;
+  config.rpc_timeout = 2 * simtime::kMillisecond;
+  config.timeout_limit = 2;
+  config.elastic_restart_overhead = 50 * simtime::kMillisecond;
+  return config;
+}
+
+using SweepParam = std::tuple<FtMode, std::uint32_t /*nodes*/,
+                              std::uint32_t /*failures*/>;
+
+class DesSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DesSweep, InvariantsHold) {
+  const auto [mode, nodes, failure_count] = GetParam();
+  auto config = sweep_config(mode, nodes);
+  cluster::FailurePlanParams plan;
+  plan.node_count = nodes;
+  plan.failure_count = failure_count;
+  plan.first_eligible_epoch = 1;
+  plan.total_epochs = config.epochs;
+  plan.seed = 99;
+  config.failures = cluster::plan_failures(plan);
+
+  const auto result = run_experiment(config);
+
+  if (mode == FtMode::kNone && failure_count > 0) {
+    EXPECT_FALSE(result.completed);
+    return;
+  }
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  ASSERT_EQ(result.epochs.size(), config.epochs);
+
+  // Time is positive and monotone-accumulated.
+  SimTime sum = 0;
+  for (const auto& epoch : result.epochs) {
+    EXPECT_GT(epoch.duration, 0);
+    EXPECT_GE(epoch.attempts, 1u);
+    sum += epoch.duration;
+  }
+  EXPECT_LE(sum, result.total_time + 1);
+
+  // Warm-up conservation: epoch 0 fetches every file from the PFS exactly
+  // once (no failure happens before epoch 1 in the plan).
+  EXPECT_EQ(result.epochs[0].pfs_reads, config.file_count);
+
+  // Aggregate counters match per-epoch sums.
+  std::uint64_t pfs = 0;
+  std::uint64_t timeouts = 0;
+  for (const auto& epoch : result.epochs) {
+    pfs += epoch.pfs_reads;
+    timeouts += epoch.timeouts;
+  }
+  EXPECT_EQ(pfs, result.total_pfs_reads);
+  EXPECT_EQ(timeouts, result.total_timeouts);
+
+  if (failure_count == 0) {
+    EXPECT_EQ(result.restarts, 0u);
+    EXPECT_EQ(result.total_timeouts, 0u);
+    EXPECT_EQ(result.total_pfs_reads, config.file_count);
+  } else {
+    EXPECT_GE(result.restarts, 1u);
+    EXPECT_GT(result.total_timeouts, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesScalesFailures, DesSweep,
+    ::testing::Combine(::testing::Values(FtMode::kNone, FtMode::kPfsRedirect,
+                                         FtMode::kHashRingRecache),
+                       ::testing::Values<std::uint32_t>(4, 16, 32),
+                       ::testing::Values<std::uint32_t>(0, 1, 3)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const char* mode = std::get<0>(info.param) == FtMode::kNone
+                             ? "none"
+                             : (std::get<0>(info.param) == FtMode::kPfsRedirect
+                                    ? "pfs"
+                                    : "nvme");
+      return std::string(mode) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_f" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class DesReplicationSweep
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DesReplicationSweep, ReplicationReducesPostFailurePfs) {
+  const std::uint32_t nodes = GetParam();
+  auto base = sweep_config(FtMode::kHashRingRecache, nodes);
+  cluster::PlannedFailure failure;
+  failure.victim = nodes / 2;
+  failure.epoch = 1;
+  failure.epoch_fraction = 0.2;
+  base.failures = {failure};
+
+  auto replicated = base;
+  replicated.replication_factor = 2;
+
+  const auto plain = run_experiment(base);
+  const auto backed = run_experiment(replicated);
+  ASSERT_TRUE(plain.completed);
+  ASSERT_TRUE(backed.completed);
+
+  auto post_warmup_pfs = [](const ExperimentResult& result) {
+    std::uint64_t total = 0;
+    for (const auto& epoch : result.epochs) {
+      if (epoch.epoch > 0) total += epoch.pfs_reads;
+    }
+    return total;
+  };
+  EXPECT_LT(post_warmup_pfs(backed), post_warmup_pfs(plain) + 1);
+  EXPECT_EQ(post_warmup_pfs(backed), 0u);
+  // Capacity price: roughly twice the footprint.
+  EXPECT_GT(backed.peak_node_cache_bytes,
+            plain.peak_node_cache_bytes * 3 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DesReplicationSweep,
+                         ::testing::Values<std::uint32_t>(8, 32),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "n" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace ftc::destim

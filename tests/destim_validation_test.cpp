@@ -1,0 +1,91 @@
+// Validation-phase behaviour in the DES epoch structure.
+#include <gtest/gtest.h>
+
+#include "destim/experiment.hpp"
+
+namespace ftc::destim {
+namespace {
+
+using cluster::FtMode;
+
+ExperimentConfig val_config() {
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.mode = FtMode::kHashRingRecache;
+  config.file_count = 256;
+  config.validation_file_count = 64;
+  config.file_bytes = 2ULL << 20;
+  config.samples_per_file = 2;
+  config.epochs = 3;
+  config.files_per_step_per_node = 4;
+  config.compute_time_per_step = 10 * simtime::kMillisecond;
+  config.pfs.access_latency = 5 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 0;
+  config.rpc_timeout = 10 * simtime::kMillisecond;
+  config.elastic_restart_overhead = 50 * simtime::kMillisecond;
+  return config;
+}
+
+TEST(Validation, WarmupCoversTrainAndValidation) {
+  const auto result = run_experiment(val_config());
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  // Epoch 0 fetches both the 256 training and 64 validation files once.
+  EXPECT_EQ(result.epochs[0].pfs_reads, 256u + 64u);
+  EXPECT_EQ(result.epochs[1].pfs_reads, 0u);
+  EXPECT_EQ(result.epochs[2].pfs_reads, 0u);
+}
+
+TEST(Validation, AddsTimePerEpoch) {
+  auto without = val_config();
+  without.validation_file_count = 0;
+  const auto with_val = run_experiment(val_config());
+  const auto no_val = run_experiment(without);
+  ASSERT_TRUE(with_val.completed);
+  ASSERT_TRUE(no_val.completed);
+  EXPECT_GT(with_val.total_time, no_val.total_time);
+  EXPECT_GT(with_val.epochs[1].duration, no_val.epochs[1].duration);
+}
+
+TEST(Validation, FailureDuringEpochStillRecovers) {
+  auto config = val_config();
+  cluster::PlannedFailure failure;
+  failure.victim = 3;
+  failure.epoch = 1;
+  failure.epoch_fraction = 0.9;  // near the training/validation boundary
+  config.failures = {failure};
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  // Lost validation files are recached like training files: the final
+  // epoch is PFS-silent.
+  EXPECT_EQ(result.epochs.back().pfs_reads, 0u);
+}
+
+TEST(Validation, DeterministicWithValidation) {
+  const auto a = run_experiment(val_config());
+  const auto b = run_experiment(val_config());
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.simulated_events, b.simulated_events);
+}
+
+TEST(Validation, WorksWithPrefetchAndReplication) {
+  auto config = val_config();
+  config.prefetch = true;
+  config.replication_factor = 2;
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.epochs[0].pfs_reads, 256u + 64u);
+  EXPECT_EQ(result.epochs.back().pfs_reads, 0u);
+}
+
+TEST(Validation, ValidationOnlyDegenerateCase) {
+  auto config = val_config();
+  config.validation_file_count = 16;
+  config.node_count = 32;  // more nodes than some ranks' val shards
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.epochs[0].pfs_reads, 256u + 16u);
+}
+
+}  // namespace
+}  // namespace ftc::destim

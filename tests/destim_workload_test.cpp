@@ -1,0 +1,142 @@
+// Partial-epoch (subset) training and checkpoint-write modelling.
+#include <gtest/gtest.h>
+
+#include "destim/experiment.hpp"
+
+namespace ftc::destim {
+namespace {
+
+using cluster::FtMode;
+
+ExperimentConfig base_config(FtMode mode) {
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.mode = mode;
+  config.file_count = 256;
+  config.file_bytes = 2ULL << 20;
+  config.samples_per_file = 2;
+  config.epochs = 3;
+  config.files_per_step_per_node = 4;
+  config.compute_time_per_step = 10 * simtime::kMillisecond;
+  config.pfs.access_latency = 5 * simtime::kMillisecond;
+  config.pfs.access_latency_tail_mean = 0;
+  config.rpc_timeout = 10 * simtime::kMillisecond;
+  config.elastic_restart_overhead = 50 * simtime::kMillisecond;
+  return config;
+}
+
+TEST(SubsetTraining, WarmupSpreadsAcrossEpochs) {
+  auto config = base_config(FtMode::kHashRingRecache);
+  config.epoch_subset_fraction = 0.5;
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  // Each epoch touches ~half the samples, so epoch 0 fetches only the
+  // files behind them; later epochs keep discovering cold files.
+  EXPECT_LT(result.epochs[0].pfs_reads, 256u);
+  EXPECT_GT(result.epochs[0].pfs_reads, 64u);
+  EXPECT_GT(result.epochs[1].pfs_reads, 0u);
+  // Total distinct fetches never exceed the dataset (coalescing + cache).
+  EXPECT_LE(result.total_pfs_reads, 256u);
+}
+
+TEST(SubsetTraining, ShorterEpochsThanFullPass) {
+  auto full = base_config(FtMode::kHashRingRecache);
+  auto half = base_config(FtMode::kHashRingRecache);
+  half.epoch_subset_fraction = 0.5;
+  const auto full_result = run_experiment(full);
+  const auto half_result = run_experiment(half);
+  ASSERT_TRUE(full_result.completed);
+  ASSERT_TRUE(half_result.completed);
+  EXPECT_LT(half_result.total_time, full_result.total_time);
+}
+
+TEST(SubsetTraining, InvalidFractionsFallBackToFull) {
+  for (const double fraction : {0.0, -0.5, 1.0, 2.0}) {
+    auto config = base_config(FtMode::kHashRingRecache);
+    config.epoch_subset_fraction = fraction;
+    const auto result = run_experiment(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.epochs[0].pfs_reads, 256u) << fraction;
+  }
+}
+
+TEST(SubsetTraining, FtStillWorksUnderFailure) {
+  auto config = base_config(FtMode::kHashRingRecache);
+  config.epoch_subset_fraction = 0.5;
+  cluster::PlannedFailure failure;
+  failure.victim = 3;
+  failure.epoch = 1;
+  failure.epoch_fraction = 0.5;
+  config.failures = {failure};
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+}
+
+TEST(CheckpointWrites, AddEpochBoundaryCost) {
+  auto with_ckpt = base_config(FtMode::kHashRingRecache);
+  with_ckpt.checkpoint_write_bytes = 512ULL << 20;  // 512 MiB model
+  const auto plain = run_experiment(base_config(FtMode::kHashRingRecache));
+  const auto ckpt = run_experiment(with_ckpt);
+  ASSERT_TRUE(plain.completed);
+  ASSERT_TRUE(ckpt.completed);
+  EXPECT_GT(ckpt.total_time, plain.total_time);
+  // Each of the 3 epochs pays roughly bytes/write-bandwidth extra.
+  const SimTime per_epoch_floor = simtime::transfer_time(
+      512ULL << 20, with_ckpt.pfs.write_bytes_per_second *
+                        (1.0 - with_ckpt.pfs.background_load_fraction));
+  EXPECT_GT(ckpt.total_time - plain.total_time, 3 * per_epoch_floor / 2);
+}
+
+TEST(CheckpointWrites, RestartReloadsState) {
+  auto config = base_config(FtMode::kNone);
+  config.checkpoint_restart = true;
+  config.checkpoint_restart_overhead = 100 * simtime::kMillisecond;
+  config.checkpoint_write_bytes = 256ULL << 20;
+  cluster::PlannedFailure failure;
+  failure.victim = 3;
+  failure.epoch = 1;
+  failure.epoch_fraction = 0.5;
+  config.failures = {failure};
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+
+  // Without the checkpoint payload the requeue is cheaper.
+  auto no_payload = config;
+  no_payload.checkpoint_write_bytes = 0;
+  const auto lighter = run_experiment(no_payload);
+  ASSERT_TRUE(lighter.completed);
+  EXPECT_LT(lighter.total_time, result.total_time);
+}
+
+TEST(HeterogeneousNodes, WeightedCacheFootprint) {
+  auto config = base_config(FtMode::kHashRingRecache);
+  // Node 0 has 3x capacity weight: it should own ~3x the average share.
+  config.node_weights = {3.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto weighted = run_experiment(config);
+  ASSERT_TRUE(weighted.completed) << weighted.abort_reason;
+  // With 10 effective shares over 256 files, node 0 caches ~77 files;
+  // peak footprint reflects the weighted share (uniform peak ~32 files +
+  // variance).
+  const auto uniform = run_experiment(base_config(FtMode::kHashRingRecache));
+  EXPECT_GT(weighted.peak_node_cache_bytes,
+            uniform.peak_node_cache_bytes * 3 / 2);
+}
+
+TEST(HeterogeneousNodes, StillCompletesUnderFailure) {
+  auto config = base_config(FtMode::kHashRingRecache);
+  config.node_weights = {2.0, 1.0, 0.5, 1.0, 1.0, 2.0, 0.5, 1.0};
+  cluster::PlannedFailure failure;
+  failure.victim = 0;  // kill the big node: largest lost share
+  failure.epoch = 1;
+  failure.epoch_fraction = 0.3;
+  config.failures = {failure};
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_EQ(result.epochs.back().pfs_reads, 0u);
+}
+
+}  // namespace
+}  // namespace ftc::destim

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "dl/dataset.hpp"
+#include "dl/elastic_coordinator.hpp"
+#include "dl/epoch_sampler.hpp"
+
+namespace ftc::dl {
+namespace {
+
+TEST(EpochSampler, PermutationIsComplete) {
+  EpochSampler sampler(100, 7);
+  auto order = sampler.epoch_permutation(0);
+  ASSERT_EQ(order.size(), 100u);
+  std::sort(order.begin(), order.end());
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EpochSampler, EpochsDiffer) {
+  EpochSampler sampler(200, 7);
+  EXPECT_NE(sampler.epoch_permutation(0), sampler.epoch_permutation(1));
+}
+
+TEST(EpochSampler, DeterministicAcrossInstances) {
+  EpochSampler a(64, 42);
+  EpochSampler b(64, 42);
+  EXPECT_EQ(a.epoch_permutation(3), b.epoch_permutation(3));
+}
+
+TEST(EpochSampler, ShardsPartitionTheEpoch) {
+  EpochSampler sampler(103, 5);  // non-divisible on purpose
+  const std::uint32_t total = 8;
+  std::set<std::uint32_t> seen;
+  std::uint32_t count = 0;
+  for (std::uint32_t rank = 0; rank < total; ++rank) {
+    for (std::uint32_t f : sampler.shard(2, rank, total)) {
+      EXPECT_TRUE(seen.insert(f).second) << "file " << f << " duplicated";
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 103u);
+}
+
+TEST(EpochSampler, ShardSizesBalanced) {
+  EpochSampler sampler(103, 5);
+  std::uint32_t total_size = 0;
+  for (std::uint32_t rank = 0; rank < 8; ++rank) {
+    const auto size = sampler.shard_size(rank, 8);
+    EXPECT_GE(size, 103u / 8);
+    EXPECT_LE(size, 103u / 8 + 1);
+    total_size += size;
+  }
+  EXPECT_EQ(total_size, 103u);
+}
+
+TEST(EpochSampler, ShardBoundsMatchShard) {
+  EpochSampler sampler(50, 9);
+  const auto order = sampler.epoch_permutation(1);
+  for (std::uint32_t rank = 0; rank < 4; ++rank) {
+    const auto [begin, size] = sampler.shard_bounds(rank, 4);
+    const auto shard = sampler.shard(1, rank, 4);
+    ASSERT_EQ(shard.size(), size);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      EXPECT_EQ(shard[i], order[begin + i]);
+    }
+  }
+}
+
+TEST(EpochSampler, DegenerateRanks) {
+  EpochSampler sampler(10, 1);
+  EXPECT_TRUE(sampler.shard(0, 5, 4).empty());  // rank >= total
+  EXPECT_TRUE(sampler.shard(0, 0, 0).empty());  // zero participants
+  EXPECT_EQ(sampler.shard_size(2, 0), 0u);
+}
+
+TEST(EpochSampler, ReshardingAfterNodeLoss) {
+  // After an elastic restart the shards over N-1 ranks must still
+  // partition the full dataset.
+  EpochSampler sampler(64, 3);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t rank = 0; rank < 7; ++rank) {
+    for (std::uint32_t f : sampler.shard(1, rank, 7)) seen.insert(f);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Dataset, SampleMath) {
+  storage::FileCatalog catalog;
+  for (int i = 0; i < 16; ++i) {
+    catalog.add_file("/f" + std::to_string(i), 1000);
+  }
+  Dataset dataset(catalog, 64);
+  EXPECT_EQ(dataset.file_count(), 16u);
+  EXPECT_EQ(dataset.sample_count(), 1024u);
+  EXPECT_EQ(dataset.bytes_of(3), 1000u);
+  EXPECT_EQ(dataset.path_of(0), "/f0");
+}
+
+TEST(Dataset, FilesPerStepCeiling) {
+  storage::FileCatalog catalog;
+  for (int i = 0; i < 100; ++i) {
+    catalog.add_file("/f" + std::to_string(i), 1);
+  }
+  Dataset dataset(catalog, 10);
+  // Global batch 45 samples = 4.5 files -> 5 files/step; 4 nodes -> 2 each.
+  EXPECT_EQ(dataset.files_per_step_per_node(45, 4), 2u);
+  // 2 files * 4 nodes = 8 per step; 100 files -> 13 steps.
+  EXPECT_EQ(dataset.steps_per_epoch(45, 4), 13u);
+}
+
+TEST(Dataset, DegenerateBatchInputs) {
+  storage::FileCatalog catalog;
+  catalog.add_file("/a", 1);
+  Dataset dataset(catalog, 0);           // clamped to 1 sample/file
+  EXPECT_EQ(dataset.samples_per_file(), 1u);
+  EXPECT_EQ(dataset.files_per_step_per_node(0, 4), 1u);
+  EXPECT_EQ(dataset.files_per_step_per_node(4, 0), 1u);
+}
+
+TEST(ElasticCoordinator, InitialMembership) {
+  ElasticCoordinator elastic(8);
+  EXPECT_EQ(elastic.alive_count(), 8u);
+  EXPECT_EQ(elastic.initial_count(), 8u);
+  EXPECT_TRUE(elastic.is_alive(7));
+  EXPECT_EQ(elastic.alive_nodes().size(), 8u);
+}
+
+TEST(ElasticCoordinator, FailureShrinksMembership) {
+  ElasticCoordinator elastic(4);
+  EXPECT_TRUE(elastic.on_node_failure(2));
+  EXPECT_FALSE(elastic.is_alive(2));
+  EXPECT_EQ(elastic.alive_count(), 3u);
+  const auto alive = elastic.alive_nodes();
+  EXPECT_EQ(alive, (std::vector<std::uint32_t>{0, 1, 3}));
+}
+
+TEST(ElasticCoordinator, DuplicateFailureIgnored) {
+  ElasticCoordinator elastic(4);
+  EXPECT_TRUE(elastic.on_node_failure(1));
+  EXPECT_FALSE(elastic.on_node_failure(1));
+  EXPECT_EQ(elastic.alive_count(), 3u);
+}
+
+TEST(ElasticCoordinator, OutOfRangeFailureIgnored) {
+  ElasticCoordinator elastic(4);
+  EXPECT_FALSE(elastic.on_node_failure(99));
+  EXPECT_EQ(elastic.alive_count(), 4u);
+}
+
+TEST(ElasticCoordinator, RankMapping) {
+  ElasticCoordinator elastic(5);
+  elastic.on_node_failure(1);
+  // Survivors 0,2,3,4 -> ranks 0,1,2,3.
+  EXPECT_EQ(elastic.rank_of(0), 0u);
+  EXPECT_EQ(elastic.rank_of(2), 1u);
+  EXPECT_EQ(elastic.rank_of(3), 2u);
+  EXPECT_EQ(elastic.rank_of(4), 3u);
+  EXPECT_EQ(elastic.rank_of(1), std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(ElasticCoordinator, RestartCounter) {
+  ElasticCoordinator elastic(4);
+  elastic.acknowledge_restart();
+  elastic.acknowledge_restart();
+  EXPECT_EQ(elastic.restart_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ftc::dl

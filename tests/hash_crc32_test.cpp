@@ -1,0 +1,39 @@
+#include "hash/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc::hash {
+namespace {
+
+// Standard CRC-32 (zlib) test vectors.
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(""), 0x00000000U);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43U);
+  EXPECT_EQ(crc32("abc"), 0x352441C2U);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926U);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339U);
+}
+
+TEST(Crc32, Deterministic) {
+  EXPECT_EQ(crc32("payload"), crc32("payload"));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data = "cached file contents";
+  const auto original = crc32(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(crc32(data), original);
+}
+
+TEST(Crc32, IncrementalMatchesWhole) {
+  // crc32(a+b) == crc32(b, initial=crc32(a)) with our initial-chaining API.
+  const std::string a = "first half / ";
+  const std::string b = "second half";
+  const auto whole = crc32(a + b);
+  const auto chained = crc32(b, crc32(a));
+  EXPECT_EQ(chained, whole);
+}
+
+}  // namespace
+}  // namespace ftc::hash

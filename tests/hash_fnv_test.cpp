@@ -1,0 +1,38 @@
+#include "hash/fnv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc::hash {
+namespace {
+
+// Reference vectors from the FNV specification (draft-eastlake-fnv).
+TEST(Fnv1a64, KnownVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a32, KnownVectors) {
+  EXPECT_EQ(fnv1a32(""), 0x811c9dc5U);
+  EXPECT_EQ(fnv1a32("a"), 0xe40c292cU);
+  EXPECT_EQ(fnv1a32("foobar"), 0xbf9cf968U);
+}
+
+TEST(Fnv1a64, IsConstexpr) {
+  constexpr std::uint64_t h = fnv1a64("compile-time");
+  static_assert(h != 0, "fnv1a64 must be usable at compile time");
+  EXPECT_EQ(h, fnv1a64("compile-time"));
+}
+
+TEST(Fnv1a64, SeedChangesResult) {
+  EXPECT_NE(fnv1a64("key", 1), fnv1a64("key", 2));
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64("/data/file_0000001.tfrecord"),
+            fnv1a64("/data/file_0000002.tfrecord"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+}  // namespace
+}  // namespace ftc::hash

@@ -1,0 +1,67 @@
+#include "hash/murmur3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ftc::hash {
+namespace {
+
+// Reference vectors computed with the canonical SMHasher implementation.
+TEST(Murmur3_32, KnownVectors) {
+  EXPECT_EQ(murmur3_32("", 0), 0x00000000U);
+  EXPECT_EQ(murmur3_32("", 1), 0x514E28B7U);
+  EXPECT_EQ(murmur3_32("hello", 0), 0x248BFA47U);
+  EXPECT_EQ(murmur3_32("hello, world", 0), 0x149BBB7FU);
+  EXPECT_EQ(murmur3_32("The quick brown fox jumps over the lazy dog", 0),
+            0x2E4FF723U);
+}
+
+TEST(Murmur3_128, EmptyInputSeedZero) {
+  const auto [lo, hi] = murmur3_128("", 0);
+  EXPECT_EQ(lo, 0x0000000000000000ULL);
+  EXPECT_EQ(hi, 0x0000000000000000ULL);
+}
+
+TEST(Murmur3_128, DeterministicAndSeedSensitive) {
+  const auto a1 = murmur3_128("ftcache", 0);
+  const auto a2 = murmur3_128("ftcache", 0);
+  const auto b = murmur3_128("ftcache", 7);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(Murmur3_128, AllTailLengthsDiffer) {
+  // Exercise every switch-case tail (1..15 trailing bytes).
+  std::string base = "0123456789abcdefX";  // 17 chars: 1 block + 1 tail byte
+  std::uint64_t prev = 0;
+  for (std::size_t len = 1; len <= base.size(); ++len) {
+    const auto h = murmur3_64(std::string_view(base).substr(0, len));
+    EXPECT_NE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Murmur3_64, MatchesLow64Of128) {
+  const auto pair = murmur3_128("some key", 3);
+  EXPECT_EQ(murmur3_64("some key", 3), pair.first);
+}
+
+TEST(Fmix64, BijectiveSpotCheck) {
+  // fmix64 is a bijection; distinct inputs must give distinct outputs.
+  EXPECT_NE(fmix64(0), fmix64(1));
+  EXPECT_NE(fmix64(1), fmix64(2));
+  EXPECT_EQ(fmix64(0x1234), fmix64(0x1234));
+}
+
+TEST(Fmix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = fmix64(42);
+  const std::uint64_t b = fmix64(43);
+  const int differing = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing, 16);
+  EXPECT_LT(differing, 48);
+}
+
+}  // namespace
+}  // namespace ftc::hash

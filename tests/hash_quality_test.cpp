@@ -1,0 +1,64 @@
+#include "hash/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftc::hash {
+namespace {
+
+TEST(HashKey, AlgorithmsDisagree) {
+  const std::string key = "/lustre/orion/cosmoUniverse/file_0000001.tfrecord";
+  const auto fnv = hash_key(Algorithm::kFnv1a64, key);
+  const auto murmur = hash_key(Algorithm::kMurmur3_64, key);
+  const auto xx = hash_key(Algorithm::kXxHash64, key);
+  EXPECT_NE(fnv, murmur);
+  EXPECT_NE(murmur, xx);
+  EXPECT_NE(fnv, xx);
+}
+
+TEST(HashKey, SeedVariesAllAlgorithms) {
+  for (const auto algorithm :
+       {Algorithm::kFnv1a64, Algorithm::kMurmur3_64, Algorithm::kXxHash64}) {
+    EXPECT_NE(hash_key(algorithm, "k", 0), hash_key(algorithm, "k", 1))
+        << algorithm_name(algorithm);
+  }
+}
+
+TEST(AlgorithmName, Names) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kFnv1a64), "fnv1a64");
+  EXPECT_STREQ(algorithm_name(Algorithm::kMurmur3_64), "murmur3_64");
+  EXPECT_STREQ(algorithm_name(Algorithm::kXxHash64), "xxhash64");
+}
+
+// Property sweep: all three hashes must distribute sequential file names
+// uniformly over bucket counts typical of HVAC deployments.  The chi-squared
+// statistic over B buckets has expectation B-1 and stddev ~sqrt(2B); we
+// accept anything below mean + 5 sigma.
+class HashUniformity
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::uint64_t>> {};
+
+TEST_P(HashUniformity, ChiSquaredWithinBounds) {
+  const auto [algorithm, buckets] = GetParam();
+  constexpr std::uint64_t kKeys = 20000;
+  const double chi2 = chi_squared_uniformity(algorithm, kKeys, buckets);
+  const double dof = static_cast<double>(buckets - 1);
+  const double limit = dof + 5.0 * std::sqrt(2.0 * dof);
+  EXPECT_LT(chi2, limit) << algorithm_name(algorithm) << " over " << buckets
+                         << " buckets";
+  EXPECT_GT(chi2, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAndScales, HashUniformity,
+    ::testing::Combine(::testing::Values(Algorithm::kFnv1a64,
+                                         Algorithm::kMurmur3_64,
+                                         Algorithm::kXxHash64),
+                       ::testing::Values<std::uint64_t>(64, 128, 1024)),
+    [](const ::testing::TestParamInfo<HashUniformity::ParamType>& info) {
+      return std::string(algorithm_name(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ftc::hash

@@ -1,0 +1,43 @@
+#include "hash/xxhash64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ftc::hash {
+namespace {
+
+// Reference vectors from the canonical xxHash implementation.
+TEST(XxHash64, KnownVectors) {
+  EXPECT_EQ(xxhash64("", 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxhash64("a", 0), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(xxhash64("abc", 0), 0x44BC2CF5AD770999ULL);
+  EXPECT_EQ(xxhash64("xxhash", 0), 0x32DD38952C4BC720ULL);
+  EXPECT_EQ(xxhash64("xxhash", 20141025), 0xB559B98D844E0635ULL);
+}
+
+TEST(XxHash64, LongInputCrossesBlockBoundary) {
+  // > 32 bytes exercises the 4-lane main loop.
+  const std::string long_key(100, 'z');
+  const auto h1 = xxhash64(long_key);
+  const auto h2 = xxhash64(long_key);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, xxhash64(std::string(101, 'z')));
+}
+
+TEST(XxHash64, EveryLengthMod32Differs) {
+  std::string data(70, 'q');
+  std::uint64_t prev = 1;
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    const auto h = xxhash64(std::string_view(data).substr(0, len));
+    EXPECT_NE(h, prev) << "length " << len;
+    prev = h;
+  }
+}
+
+TEST(XxHash64, SeedSensitivity) {
+  EXPECT_NE(xxhash64("key", 0), xxhash64("key", 1));
+}
+
+}  // namespace
+}  // namespace ftc::hash

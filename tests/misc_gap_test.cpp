@@ -1,0 +1,120 @@
+// Coverage for corners not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "cluster/cluster.hpp"
+#include "common/config.hpp"
+#include "destim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "trace/failure_analyzer.hpp"
+
+namespace ftc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SimulatorGaps, CancelFromWithinEvent) {
+  sim::Simulator sim;
+  bool second_ran = false;
+  sim::EventId second = sim::kInvalidEvent;
+  second = sim.schedule(20, [&] { second_ran = true; });
+  sim.schedule(10, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(SimulatorGaps, ScheduleFromWithinRunUntil) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    ++fired;
+    sim.schedule(5, [&] { ++fired; });   // lands at 15, inside window
+    sim.schedule(100, [&] { ++fired; }); // outside window
+  });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(DesGaps, FtOverheadMakesNoFtFastest) {
+  destim::ExperimentConfig config;
+  config.node_count = 8;
+  config.file_count = 256;
+  config.file_bytes = 1ULL << 20;
+  config.epochs = 2;
+  config.ft_overhead_per_read = 500 * simtime::kMicrosecond;  // exaggerated
+  config.pfs.access_latency_tail_mean = 0;
+
+  config.mode = cluster::FtMode::kNone;
+  const auto noft = destim::run_experiment(config);
+  config.mode = cluster::FtMode::kHashRingRecache;
+  const auto ft = destim::run_experiment(config);
+  ASSERT_TRUE(noft.completed);
+  ASSERT_TRUE(ft.completed);
+  EXPECT_LT(noft.total_time, ft.total_time);
+}
+
+TEST(DesGaps, ZeroFtOverheadClosesGap) {
+  destim::ExperimentConfig config;
+  config.node_count = 8;
+  config.file_count = 128;
+  config.file_bytes = 1ULL << 20;
+  config.epochs = 2;
+  config.ft_overhead_per_read = 0;
+  config.pfs.access_latency_tail_mean = 0;
+  config.mode = cluster::FtMode::kNone;
+  const auto noft = destim::run_experiment(config);
+  config.mode = cluster::FtMode::kPfsRedirect;
+  const auto ft = destim::run_experiment(config);
+  // Same static placement, no failures, no FT cost: identical runs.
+  EXPECT_EQ(noft.total_time, ft.total_time);
+}
+
+TEST(ClusterGaps, NodeJoinUnderStaticPlacementStillServes) {
+  cluster::ClusterConfig config;
+  config.node_count = 3;
+  config.client.mode = cluster::FtMode::kPfsRedirect;
+  config.client.rpc_timeout = 100ms;
+  config.server.async_data_mover = false;
+  cluster::Cluster cluster(config);
+  const auto paths = cluster.stage_dataset(30, 64);
+  cluster.warm_caches(paths);
+  cluster.add_node();
+  // Static modulo re-indexes nearly everything (the churn Sec IV-B
+  // criticizes), but every file must remain readable.
+  for (const auto& path : paths) {
+    ASSERT_TRUE(cluster.client(0).read_file(path).is_ok()) << path;
+  }
+}
+
+TEST(TraceGaps, AnalyzerHandlesShortWindows) {
+  std::vector<trace::SlurmJobRecord> log;
+  trace::SlurmJobRecord job;
+  job.week = 10;  // beyond the requested window
+  job.state = trace::JobState::kJobFail;
+  job.elapsed_minutes = 30;
+  log.push_back(job);
+  const trace::FailureAnalyzer analyzer(log);
+  const auto rows = analyzer.weekly_elapsed(3);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) EXPECT_EQ(row.failed_jobs, 0u);
+}
+
+TEST(TraceGaps, BucketizeWithDegenerateEdges) {
+  const trace::FailureAnalyzer analyzer({});
+  EXPECT_TRUE(analyzer.by_node_count({}).empty());
+  EXPECT_TRUE(analyzer.by_node_count({1.0}).empty());
+}
+
+TEST(ConfigGaps, EntriesAccessor) {
+  Config cfg;
+  cfg.set("a", "1");
+  cfg.set("b", "2");
+  EXPECT_EQ(cfg.entries().size(), 2u);
+  EXPECT_EQ(cfg.entries().at("a"), "1");
+}
+
+}  // namespace
+}  // namespace ftc

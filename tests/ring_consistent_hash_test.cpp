@@ -1,0 +1,185 @@
+#include "ring/consistent_hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftc::ring {
+namespace {
+
+TEST(ConsistentHashRing, EmptyRingHasNoOwner) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.owner("anything"), kInvalidNode);
+  EXPECT_EQ(ring.node_count(), 0u);
+  EXPECT_EQ(ring.position_count(), 0u);
+}
+
+TEST(ConsistentHashRing, SingleNodeOwnsEverything) {
+  ConsistentHashRing ring(1, RingConfig{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.owner("key" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(ConsistentHashRing, PositionCountIsVnodesTimesNodes) {
+  RingConfig config;
+  config.vnodes_per_node = 100;
+  ConsistentHashRing ring(16, config);
+  EXPECT_EQ(ring.node_count(), 16u);
+  EXPECT_EQ(ring.position_count(), 1600u);
+}
+
+TEST(ConsistentHashRing, ZeroVnodesClampedToOne) {
+  RingConfig config;
+  config.vnodes_per_node = 0;
+  ConsistentHashRing ring(4, config);
+  EXPECT_EQ(ring.position_count(), 4u);
+}
+
+TEST(ConsistentHashRing, AddNodeIdempotent) {
+  ConsistentHashRing ring(4, RingConfig{});
+  const auto positions = ring.position_count();
+  ring.add_node(2);
+  EXPECT_EQ(ring.position_count(), positions);
+}
+
+TEST(ConsistentHashRing, RemoveUnknownNodeIsNoop) {
+  ConsistentHashRing ring(4, RingConfig{});
+  const auto positions = ring.position_count();
+  ring.remove_node(99);
+  EXPECT_EQ(ring.position_count(), positions);
+  EXPECT_EQ(ring.node_count(), 4u);
+}
+
+TEST(ConsistentHashRing, RemoveNodeDropsItsPositions) {
+  RingConfig config;
+  config.vnodes_per_node = 50;
+  ConsistentHashRing ring(8, config);
+  ring.remove_node(3);
+  EXPECT_EQ(ring.node_count(), 7u);
+  EXPECT_EQ(ring.position_count(), 350u);
+  EXPECT_FALSE(ring.contains(3));
+  // No key may map to the removed node any more.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(ring.owner("file" + std::to_string(i)), 3u);
+  }
+}
+
+TEST(ConsistentHashRing, LookupDeterministic) {
+  ConsistentHashRing a(32, RingConfig{});
+  ConsistentHashRing b(32, RingConfig{});
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a.owner(key), b.owner(key));
+  }
+}
+
+TEST(ConsistentHashRing, SeedChangesPlacement) {
+  RingConfig c1;
+  c1.seed = 1;
+  RingConfig c2;
+  c2.seed = 2;
+  ConsistentHashRing a(32, c1);
+  ConsistentHashRing b(32, c2);
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (a.owner(key) != b.owner(key)) ++differing;
+  }
+  EXPECT_GT(differing, 300);  // placements should be essentially independent
+}
+
+TEST(ConsistentHashRing, OwnerMatchesOwnerOfHash) {
+  ConsistentHashRing ring(16, RingConfig{});
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "path/" + std::to_string(i);
+    EXPECT_EQ(ring.owner(key), ring.owner_of_hash(ring.key_position(key)));
+  }
+}
+
+TEST(ConsistentHashRing, NodesSortedAscending) {
+  ConsistentHashRing ring;
+  ring.add_node(5);
+  ring.add_node(1);
+  ring.add_node(9);
+  const auto nodes = ring.nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], 1u);
+  EXPECT_EQ(nodes[1], 5u);
+  EXPECT_EQ(nodes[2], 9u);
+}
+
+TEST(ConsistentHashRing, CloneIsIndependent) {
+  ConsistentHashRing ring(8, RingConfig{});
+  auto clone = ring.clone();
+  clone->remove_node(0);
+  EXPECT_TRUE(ring.contains(0));
+  EXPECT_FALSE(clone->contains(0));
+  EXPECT_EQ(ring.node_count(), 8u);
+  EXPECT_EQ(clone->node_count(), 7u);
+}
+
+TEST(ConsistentHashRing, OwnerChainDistinctNodes) {
+  ConsistentHashRing ring(8, RingConfig{});
+  const auto chain = ring.owner_chain("some/file", 3);
+  ASSERT_EQ(chain.size(), 3u);
+  const std::set<NodeId> unique(chain.begin(), chain.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // First element of the chain is the primary owner.
+  EXPECT_EQ(chain[0], ring.owner("some/file"));
+}
+
+TEST(ConsistentHashRing, OwnerChainCappedByMembership) {
+  ConsistentHashRing ring(2, RingConfig{});
+  const auto chain = ring.owner_chain("f", 5);
+  EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(ConsistentHashRing, OwnerChainEmptyCases) {
+  ConsistentHashRing empty;
+  EXPECT_TRUE(empty.owner_chain("f", 3).empty());
+  ConsistentHashRing ring(4, RingConfig{});
+  EXPECT_TRUE(ring.owner_chain("f", 0).empty());
+}
+
+TEST(ConsistentHashRing, ArcShareSumsToOne) {
+  RingConfig config;
+  config.vnodes_per_node = 100;
+  ConsistentHashRing ring(16, config);
+  const auto share = ring.arc_share();
+  ASSERT_EQ(share.size(), 16u);
+  double total = 0.0;
+  for (const auto& [node, s] : share) {
+    EXPECT_GT(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ConsistentHashRing, ArcShareSingleVnodeSingleNode) {
+  RingConfig config;
+  config.vnodes_per_node = 1;
+  ConsistentHashRing ring(1, config);
+  const auto share = ring.arc_share();
+  ASSERT_EQ(share.size(), 1u);
+  EXPECT_DOUBLE_EQ(share.begin()->second, 1.0);
+}
+
+TEST(ConsistentHashRing, MoreVnodesImproveArcBalance) {
+  auto spread = [](std::uint32_t vnodes) {
+    RingConfig config;
+    config.vnodes_per_node = vnodes;
+    ConsistentHashRing ring(64, config);
+    const auto share = ring.arc_share();
+    double max_share = 0.0;
+    for (const auto& [node, s] : share) max_share = std::max(max_share, s);
+    return max_share * 64.0;  // peak-to-mean
+  };
+  // With 1 vnode per node the peak arc is typically several times the mean;
+  // 200 vnodes must be dramatically tighter.
+  EXPECT_LT(spread(200), spread(1));
+  EXPECT_LT(spread(200), 1.5);
+}
+
+}  // namespace
+}  // namespace ftc::ring

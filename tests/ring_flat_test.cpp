@@ -1,0 +1,92 @@
+// FlatHashRing must agree with the std::map ring on every lookup (same
+// position derivation), while implementing the same PlacementStrategy
+// contract.
+#include "ring/flat_hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ring/movement_analysis.hpp"
+
+namespace ftc::ring {
+namespace {
+
+RingConfig config_with(std::uint32_t vnodes, std::uint64_t seed = 17) {
+  RingConfig config;
+  config.vnodes_per_node = vnodes;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FlatHashRing, AgreesWithMapRingOnLookups) {
+  for (const std::uint32_t vnodes : {1u, 10u, 100u}) {
+    const ConsistentHashRing map_ring(32, config_with(vnodes));
+    const FlatHashRing flat_ring(32, config_with(vnodes));
+    ASSERT_EQ(flat_ring.position_count(), map_ring.position_count());
+    Rng rng(5);
+    for (int q = 0; q < 5000; ++q) {
+      const std::uint64_t h = rng();
+      ASSERT_EQ(flat_ring.owner_of_hash(h), map_ring.owner_of_hash(h))
+          << "vnodes " << vnodes << " hash " << h;
+    }
+  }
+}
+
+TEST(FlatHashRing, AgreesAfterMembershipChanges) {
+  ConsistentHashRing map_ring(16, config_with(50));
+  FlatHashRing flat_ring(16, config_with(50));
+  map_ring.remove_node(3);
+  flat_ring.remove_node(3);
+  map_ring.add_node(99);
+  flat_ring.add_node(99);
+  const auto keys = make_key_population(2000);
+  for (const auto& key : keys) {
+    ASSERT_EQ(flat_ring.owner(key), map_ring.owner(key)) << key;
+  }
+}
+
+TEST(FlatHashRing, StringLookupsAgree) {
+  const ConsistentHashRing map_ring(8, config_with(100));
+  const FlatHashRing flat_ring(8, config_with(100));
+  const auto keys = make_key_population(1000);
+  for (const auto& key : keys) {
+    ASSERT_EQ(flat_ring.owner(key), map_ring.owner(key));
+  }
+}
+
+TEST(FlatHashRing, EmptyAndBasics) {
+  FlatHashRing ring;
+  EXPECT_EQ(ring.owner("x"), kInvalidNode);
+  EXPECT_EQ(ring.node_count(), 0u);
+  ring.add_node(5);
+  ring.add_node(5);  // idempotent
+  EXPECT_EQ(ring.node_count(), 1u);
+  EXPECT_EQ(ring.owner("x"), 5u);
+  ring.remove_node(99);  // unknown: no-op
+  ring.remove_node(5);
+  EXPECT_EQ(ring.owner("x"), kInvalidNode);
+}
+
+TEST(FlatHashRing, MinimalMovementProperty) {
+  const FlatHashRing ring(16, config_with(100));
+  const auto keys = make_key_population(5000);
+  const auto report = analyze_removal(ring, keys, {7});
+  EXPECT_EQ(report.gratuitous_moves, 0u);
+  EXPECT_NEAR(report.moved_fraction(), 1.0 / 16.0, 0.03);
+}
+
+TEST(FlatHashRing, CloneIndependence) {
+  const FlatHashRing ring(8, config_with(50));
+  auto clone = ring.clone();
+  clone->remove_node(0);
+  EXPECT_TRUE(ring.contains(0));
+  EXPECT_FALSE(clone->contains(0));
+}
+
+TEST(FlatHashRing, ZeroVnodesClamped) {
+  const FlatHashRing ring(4, config_with(0));
+  EXPECT_EQ(ring.position_count(), 4u);
+}
+
+}  // namespace
+}  // namespace ftc::ring

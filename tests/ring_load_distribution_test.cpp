@@ -1,0 +1,110 @@
+#include "ring/load_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc::ring {
+namespace {
+
+LoadDistributionParams small_params() {
+  LoadDistributionParams p;
+  p.physical_nodes = 64;
+  p.vnodes_per_node = 50;
+  p.file_count = 8192;
+  p.trials = 30;
+  p.seed = 7;
+  return p;
+}
+
+TEST(LoadDistribution, TrialCountsRecorded) {
+  const auto result = run_load_distribution(small_params());
+  EXPECT_EQ(result.receiver_nodes.count(), 30u);
+  EXPECT_EQ(result.lost_files.count(), 30u);
+}
+
+TEST(LoadDistribution, LostFilesNearExpectedShare) {
+  const auto params = small_params();
+  const auto result = run_load_distribution(params);
+  const double expected = static_cast<double>(params.file_count) /
+                          static_cast<double>(params.physical_nodes);
+  EXPECT_NEAR(result.lost_files.mean(), expected, expected * 0.35);
+}
+
+TEST(LoadDistribution, ReceiversBoundedBySurvivors) {
+  const auto result = run_load_distribution(small_params());
+  EXPECT_GE(result.receiver_nodes.min(), 1.0);
+  EXPECT_LE(result.receiver_nodes.max(), 63.0);
+}
+
+TEST(LoadDistribution, FilesPerReceiverConsistentWithTotals) {
+  const auto result = run_load_distribution(small_params());
+  // mean(files_per_receiver) ~= mean(lost)/mean(receivers) within slack.
+  const double implied =
+      result.lost_files.mean() / result.receiver_nodes.mean();
+  EXPECT_NEAR(result.files_per_receiver.mean(), implied,
+              result.files_per_receiver.mean() * 0.5);
+}
+
+TEST(LoadDistribution, MoreVnodesMoreReceivers) {
+  LoadDistributionParams base = small_params();
+  const auto sweep = run_load_distribution_sweep(base, {2, 10, 100});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_LT(sweep[0].receiver_nodes.mean(), sweep[1].receiver_nodes.mean());
+  EXPECT_LT(sweep[1].receiver_nodes.mean(), sweep[2].receiver_nodes.mean());
+}
+
+TEST(LoadDistribution, MoreVnodesFewerFilesPerReceiver) {
+  LoadDistributionParams base = small_params();
+  const auto sweep = run_load_distribution_sweep(base, {2, 100});
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_GT(sweep[0].files_per_receiver.mean(),
+            sweep[1].files_per_receiver.mean());
+}
+
+TEST(LoadDistribution, HotSpotShrinksWithVnodes) {
+  LoadDistributionParams base = small_params();
+  const auto sweep = run_load_distribution_sweep(base, {1, 100});
+  EXPECT_GT(sweep[0].max_files_one_receiver.mean(),
+            sweep[1].max_files_one_receiver.mean());
+}
+
+TEST(LoadDistribution, DeterministicForSeed) {
+  const auto a = run_load_distribution(small_params());
+  const auto b = run_load_distribution(small_params());
+  EXPECT_DOUBLE_EQ(a.receiver_nodes.mean(), b.receiver_nodes.mean());
+  EXPECT_DOUBLE_EQ(a.files_per_receiver.mean(), b.files_per_receiver.mean());
+}
+
+TEST(LoadDistribution, SeedVariesOutcome) {
+  auto p1 = small_params();
+  auto p2 = small_params();
+  p2.seed = 99;
+  const auto a = run_load_distribution(p1);
+  const auto b = run_load_distribution(p2);
+  EXPECT_NE(a.receiver_nodes.mean(), b.receiver_nodes.mean());
+}
+
+TEST(LoadDistribution, DegenerateInputs) {
+  LoadDistributionParams p;
+  p.physical_nodes = 1;  // cannot lose a node and still have receivers
+  p.trials = 5;
+  const auto r1 = run_load_distribution(p);
+  EXPECT_EQ(r1.receiver_nodes.count(), 0u);
+
+  LoadDistributionParams p2 = small_params();
+  p2.file_count = 0;
+  const auto r2 = run_load_distribution(p2);
+  EXPECT_EQ(r2.receiver_nodes.count(), 0u);
+}
+
+TEST(LoadDistribution, AllLostFilesAreReceived) {
+  // Conservation: every lost file is counted at exactly one receiver, so
+  // lost == receivers * files_per_receiver for each trial; verify via the
+  // aggregate identity sum(lost) == sum over trials of received totals.
+  const auto params = small_params();
+  const auto result = run_load_distribution(params);
+  EXPECT_GT(result.lost_files.sum(), 0.0);
+  EXPECT_EQ(result.files_per_receiver.count(), result.receiver_nodes.count());
+}
+
+}  // namespace
+}  // namespace ftc::ring

@@ -1,0 +1,114 @@
+#include "ring/movement_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ring/consistent_hash_ring.hpp"
+#include "ring/range_partition.hpp"
+
+namespace ftc::ring {
+namespace {
+
+TEST(KeyPopulation, ShapeAndUniqueness) {
+  const auto keys = make_key_population(100, "/data");
+  ASSERT_EQ(keys.size(), 100u);
+  EXPECT_EQ(keys[0], "/data/file_0000000.tfrecord");
+  EXPECT_EQ(keys[42], "/data/file_0000042.tfrecord");
+}
+
+TEST(MovementAnalysis, HashRingMovesOnlyLostKeys) {
+  const auto strategy = make_strategy(StrategyKind::kHashRing, 16, 100);
+  const auto keys = make_key_population(5000);
+  const auto report = analyze_removal(*strategy, keys, {7});
+  EXPECT_EQ(report.total_keys, 5000u);
+  // The defining consistent-hashing property: zero gratuitous movement.
+  EXPECT_EQ(report.gratuitous_moves, 0u);
+  EXPECT_EQ(report.moved_keys, report.lost_keys);
+  EXPECT_GT(report.lost_keys, 0u);
+  // Lost share ~ 1/16 of keys.
+  EXPECT_NEAR(report.moved_fraction(), 1.0 / 16.0, 0.03);
+}
+
+TEST(MovementAnalysis, StaticModuloMovesAlmostEverything) {
+  const auto strategy = make_strategy(StrategyKind::kStaticModulo, 16, 0);
+  const auto keys = make_key_population(5000);
+  const auto report = analyze_removal(*strategy, keys, {7});
+  // hash % 16 -> hash % 15 relocates ~ 1 - 1/15 of surviving keys.
+  EXPECT_GT(report.moved_fraction(), 0.8);
+  EXPECT_GT(report.gratuitous_moves, report.lost_keys);
+}
+
+TEST(MovementAnalysis, MultiHashMovesOnlyLostKeys) {
+  const auto strategy = make_strategy(StrategyKind::kMultiHash, 16, 0);
+  const auto keys = make_key_population(5000);
+  const auto report = analyze_removal(*strategy, keys, {3});
+  EXPECT_EQ(report.gratuitous_moves, 0u);
+  EXPECT_NEAR(report.moved_fraction(), 1.0 / 16.0, 0.03);
+}
+
+TEST(MovementAnalysis, RangePartitionRebalanceMovesSurvivors) {
+  RangePartitionPlacement strategy(16, hash::Algorithm::kMurmur3_64,
+                                   /*rebalance_on_failure=*/true);
+  const auto keys = make_key_population(5000);
+  const auto report = analyze_removal(strategy, keys, {7});
+  EXPECT_GT(report.gratuitous_moves, 0u);
+  EXPECT_GT(report.moved_fraction(), 1.0 / 16.0);
+}
+
+TEST(MovementAnalysis, MultipleFailures) {
+  const auto strategy = make_strategy(StrategyKind::kHashRing, 16, 100);
+  const auto keys = make_key_population(5000);
+  const auto report = analyze_removal(*strategy, keys, {1, 2, 3});
+  EXPECT_EQ(report.gratuitous_moves, 0u);
+  EXPECT_NEAR(report.moved_fraction(), 3.0 / 16.0, 0.05);
+  // No failed node may appear among receivers.
+  for (const auto& [node, count] : report.received_by_node) {
+    EXPECT_NE(node, 1u);
+    EXPECT_NE(node, 2u);
+    EXPECT_NE(node, 3u);
+  }
+}
+
+TEST(MovementAnalysis, OriginalStrategyUntouched) {
+  const auto strategy = make_strategy(StrategyKind::kHashRing, 8, 50);
+  const auto keys = make_key_population(100);
+  (void)analyze_removal(*strategy, keys, {0});
+  EXPECT_TRUE(strategy->contains(0));
+  EXPECT_EQ(strategy->node_count(), 8u);
+}
+
+TEST(MovementAnalysis, AdditionMovesOnlyOneShare) {
+  const auto strategy = make_strategy(StrategyKind::kHashRing, 16, 100);
+  const auto keys = make_key_population(5000);
+  const auto report = analyze_addition(*strategy, keys, {16});
+  // Adding the 17th node should claim ~1/17 of keys, all "moves" in the
+  // diff sense, none of them unavoidable losses.
+  EXPECT_EQ(report.lost_keys, 0u);
+  EXPECT_NEAR(report.moved_fraction(), 1.0 / 17.0, 0.03);
+  // All moved keys land on the new node.
+  ASSERT_EQ(report.received_by_node.size(), 1u);
+  EXPECT_EQ(report.received_by_node.begin()->first, 16u);
+}
+
+TEST(MovementAnalysis, ReceiverSpreadGrowsWithVnodes) {
+  const auto keys = make_key_population(20000);
+  const auto few = make_strategy(StrategyKind::kHashRing, 64, 2);
+  const auto many = make_strategy(StrategyKind::kHashRing, 64, 200);
+  const auto report_few = analyze_removal(*few, keys, {10});
+  const auto report_many = analyze_removal(*many, keys, {10});
+  EXPECT_GT(report_many.receiver_node_count(),
+            report_few.receiver_node_count());
+}
+
+TEST(MovementReport, FractionHelpers) {
+  MovementReport r;
+  EXPECT_DOUBLE_EQ(r.moved_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.gratuitous_fraction(), 0.0);
+  r.total_keys = 100;
+  r.moved_keys = 25;
+  r.gratuitous_moves = 5;
+  EXPECT_DOUBLE_EQ(r.moved_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(r.gratuitous_fraction(), 0.05);
+}
+
+}  // namespace
+}  // namespace ftc::ring

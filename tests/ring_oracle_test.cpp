@@ -1,0 +1,154 @@
+// Oracle test: the std::map-based ring must agree with a brute-force
+// reference on every lookup, across random membership mutations.  The
+// reference derives virtual-node positions the same way and finds the
+// clockwise successor by linear scan — too slow for production, trivially
+// correct by inspection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/murmur3.hpp"
+#include "ring/consistent_hash_ring.hpp"
+
+namespace ftc::ring {
+namespace {
+
+/// Trivially-correct reference ring.
+class ReferenceRing {
+ public:
+  ReferenceRing(std::uint32_t vnodes, std::uint64_t seed)
+      : vnodes_(vnodes), seed_(seed) {}
+
+  void add_node(NodeId node) {
+    if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) {
+      return;
+    }
+    nodes_.push_back(node);
+    rebuild();
+  }
+
+  void remove_node(NodeId node) {
+    const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+    if (it == nodes_.end()) return;
+    nodes_.erase(it);
+    rebuild();
+  }
+
+  [[nodiscard]] NodeId owner_of_hash(std::uint64_t key_hash) const {
+    if (positions_.empty()) return kInvalidNode;
+    // Linear scan for the smallest position >= hash; wrap to the global
+    // minimum when none exists.
+    const std::pair<std::uint64_t, NodeId>* best = nullptr;
+    const std::pair<std::uint64_t, NodeId>* minimum = &positions_.front();
+    for (const auto& position : positions_) {
+      if (position.first < minimum->first) minimum = &position;
+      if (position.first >= key_hash &&
+          (best == nullptr || position.first < best->first)) {
+        best = &position;
+      }
+    }
+    return (best != nullptr ? best : minimum)->second;
+  }
+
+ private:
+  void rebuild() {
+    positions_.clear();
+    const std::uint64_t mixed =
+        hash::fmix64(seed_ + 0x9E3779B97F4A7C15ULL);
+    for (const NodeId node : nodes_) {
+      for (std::uint32_t r = 0; r < vnodes_; ++r) {
+        const std::uint64_t packed =
+            (static_cast<std::uint64_t>(node) << 32) | r;
+        std::uint64_t pos = hash::fmix64(packed ^ mixed);
+        // Mirror the production ring's linear probing on collision.
+        while (std::any_of(positions_.begin(), positions_.end(),
+                           [pos](const auto& p) { return p.first == pos; })) {
+          ++pos;
+        }
+        positions_.emplace_back(pos, node);
+      }
+    }
+  }
+
+  std::uint32_t vnodes_;
+  std::uint64_t seed_;
+  std::vector<NodeId> nodes_;
+  std::vector<std::pair<std::uint64_t, NodeId>> positions_;
+};
+
+class RingOracle : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingOracle, AgreesOnRandomLookupsUnderChurn) {
+  const std::uint32_t vnodes = GetParam();
+  RingConfig config;
+  config.vnodes_per_node = vnodes;
+  config.seed = 31337;
+  ConsistentHashRing ring(config);
+  ReferenceRing reference(vnodes, config.seed);
+
+  Rng rng(2024);
+  std::vector<NodeId> members;
+  for (int round = 0; round < 40; ++round) {
+    // Random membership mutation.
+    const bool add = members.empty() || members.size() < 3 || rng.chance(0.5);
+    if (add) {
+      const auto node = static_cast<NodeId>(rng.below(64));
+      ring.add_node(node);
+      reference.add_node(node);
+      if (std::find(members.begin(), members.end(), node) == members.end()) {
+        members.push_back(node);
+      }
+    } else {
+      const NodeId node = members[rng.below(members.size())];
+      ring.remove_node(node);
+      reference.remove_node(node);
+      members.erase(std::find(members.begin(), members.end(), node));
+    }
+    // Cross-check a batch of random lookups.
+    for (int q = 0; q < 50; ++q) {
+      const std::uint64_t h = rng();
+      ASSERT_EQ(ring.owner_of_hash(h), reference.owner_of_hash(h))
+          << "round " << round << " hash " << h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VnodeCounts, RingOracle,
+                         ::testing::Values<std::uint32_t>(1, 3, 10, 50),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "v" + std::to_string(i.param);
+                         });
+
+TEST(RingOracleExcluding, MatchesRemoveThenLookup) {
+  // owner_of_hash_excluding(h, dead) must equal a physically-mutated
+  // ring's owner_of_hash(h) for the same dead set.
+  RingConfig config;
+  config.vnodes_per_node = 25;
+  ConsistentHashRing full(16, config);
+  ConsistentHashRing mutated(16, config);
+  const std::vector<NodeId> dead = {2, 7, 11};
+  for (const NodeId d : dead) mutated.remove_node(d);
+  auto is_dead = [&dead](NodeId n) {
+    return std::find(dead.begin(), dead.end(), n) != dead.end();
+  };
+  Rng rng(5);
+  for (int q = 0; q < 2000; ++q) {
+    const std::uint64_t h = rng();
+    ASSERT_EQ(full.owner_of_hash_excluding(h, is_dead),
+              mutated.owner_of_hash(h))
+        << h;
+  }
+}
+
+TEST(RingOracleExcluding, AllExcludedGivesInvalid) {
+  RingConfig config;
+  config.vnodes_per_node = 5;
+  ConsistentHashRing ring(4, config);
+  EXPECT_EQ(ring.owner_of_hash_excluding(123, [](NodeId) { return true; }),
+            kInvalidNode);
+}
+
+}  // namespace
+}  // namespace ftc::ring

@@ -1,0 +1,158 @@
+// Property-based sweeps over the placement strategies: invariants that must
+// hold for every (strategy, node count, vnode count) combination.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "ring/consistent_hash_ring.hpp"
+#include "ring/movement_analysis.hpp"
+#include "ring/placement.hpp"
+
+namespace ftc::ring {
+namespace {
+
+using PropertyParam = std::tuple<StrategyKind, std::uint32_t /*nodes*/,
+                                 std::uint32_t /*vnodes*/>;
+
+class PlacementProperty : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  [[nodiscard]] std::unique_ptr<PlacementStrategy> build() const {
+    const auto [kind, nodes, vnodes] = GetParam();
+    return make_strategy(kind, nodes, vnodes);
+  }
+  [[nodiscard]] std::uint32_t node_count() const {
+    return std::get<1>(GetParam());
+  }
+};
+
+TEST_P(PlacementProperty, OwnerAlwaysWithinMembership) {
+  const auto strategy = build();
+  const auto keys = make_key_population(500);
+  for (const auto& key : keys) {
+    EXPECT_LT(strategy->owner(key), node_count());
+  }
+}
+
+TEST_P(PlacementProperty, OwnerIsDeterministic) {
+  const auto strategy = build();
+  const auto keys = make_key_population(200);
+  for (const auto& key : keys) {
+    EXPECT_EQ(strategy->owner(key), strategy->owner(key));
+  }
+}
+
+TEST_P(PlacementProperty, RemovalNeverAssignsToDeadNode) {
+  const auto strategy = build();
+  const NodeId victim = node_count() / 2;
+  strategy->remove_node(victim);
+  const auto keys = make_key_population(500);
+  for (const auto& key : keys) {
+    EXPECT_NE(strategy->owner(key), victim);
+  }
+}
+
+TEST_P(PlacementProperty, SequentialFailuresKeepValidOwners) {
+  const auto strategy = build();
+  const auto keys = make_key_population(200);
+  // Kill half the nodes one at a time; ownership must stay within the
+  // survivors at every step.
+  for (NodeId victim = 0; victim < node_count() / 2; ++victim) {
+    strategy->remove_node(victim);
+    const auto alive = strategy->nodes();
+    const std::set<NodeId> alive_set(alive.begin(), alive.end());
+    for (const auto& key : keys) {
+      EXPECT_TRUE(alive_set.contains(strategy->owner(key)));
+    }
+  }
+}
+
+TEST_P(PlacementProperty, ReAddingRestoresMembership) {
+  const auto strategy = build();
+  const NodeId victim = 1;
+  strategy->remove_node(victim);
+  strategy->add_node(victim);
+  EXPECT_TRUE(strategy->contains(victim));
+  EXPECT_EQ(strategy->node_count(), node_count());
+}
+
+TEST_P(PlacementProperty, LoadRoughlyBalancedBeforeFailure) {
+  const auto strategy = build();
+  const auto keys = make_key_population(20000);
+  std::vector<std::size_t> counts(node_count(), 0);
+  for (const auto& key : keys) ++counts[strategy->owner(key)];
+  const double mean =
+      static_cast<double>(keys.size()) / static_cast<double>(node_count());
+  for (std::size_t c : counts) {
+    // Bound is loose: the hash ring with few vnodes has real variance, but
+    // no node may be starved or overloaded by an order of magnitude.
+    EXPECT_GT(static_cast<double>(c), mean * 0.2);
+    EXPECT_LT(static_cast<double>(c), mean * 4.0);
+  }
+}
+
+TEST_P(PlacementProperty, CloneBehavesIdentically) {
+  const auto strategy = build();
+  strategy->remove_node(0);
+  const auto clone = strategy->clone();
+  const auto keys = make_key_population(300);
+  for (const auto& key : keys) {
+    EXPECT_EQ(strategy->owner(key), clone->owner(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAndScales, PlacementProperty,
+    ::testing::Combine(
+        ::testing::Values(StrategyKind::kHashRing, StrategyKind::kStaticModulo,
+                          StrategyKind::kMultiHash,
+                          StrategyKind::kRangePartition),
+        ::testing::Values<std::uint32_t>(4, 16, 64),
+        ::testing::Values<std::uint32_t>(10, 100)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return std::string(strategy_kind_name(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_v" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Ring-only invariant sweep: minimal movement must hold for every scale.
+class RingMinimalMovement
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(RingMinimalMovement, NoGratuitousMovesOnFailure) {
+  const auto [nodes, vnodes] = GetParam();
+  RingConfig config;
+  config.vnodes_per_node = vnodes;
+  const ConsistentHashRing ring(nodes, config);
+  const auto keys = make_key_population(3000);
+  const auto report = analyze_removal(ring, keys, {nodes / 3});
+  EXPECT_EQ(report.gratuitous_moves, 0u)
+      << "consistent hashing must move only the failed node's keys";
+}
+
+TEST_P(RingMinimalMovement, NoMovesOnAdditionBeyondNewShare) {
+  const auto [nodes, vnodes] = GetParam();
+  RingConfig config;
+  config.vnodes_per_node = vnodes;
+  const ConsistentHashRing ring(nodes, config);
+  const auto keys = make_key_population(3000);
+  const auto report = analyze_addition(ring, keys, {nodes});
+  // Every move must target the new node only.
+  for (const auto& [receiver, count] : report.received_by_node) {
+    EXPECT_EQ(receiver, nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, RingMinimalMovement,
+    ::testing::Combine(::testing::Values<std::uint32_t>(4, 16, 64, 256),
+                       ::testing::Values<std::uint32_t>(1, 10, 100)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint32_t, std::uint32_t>>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_v" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ftc::ring

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "ring/multi_hash.hpp"
+#include "ring/placement.hpp"
+#include "ring/range_partition.hpp"
+#include "ring/static_modulo.hpp"
+
+namespace ftc::ring {
+namespace {
+
+TEST(StaticModulo, EmptyHasNoOwner) {
+  StaticModuloPlacement p;
+  EXPECT_EQ(p.owner("x"), kInvalidNode);
+}
+
+TEST(StaticModulo, OwnersWithinMembership) {
+  StaticModuloPlacement p(8, hash::Algorithm::kFnv1a64);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId owner = p.owner("key" + std::to_string(i));
+    EXPECT_LT(owner, 8u);
+  }
+}
+
+TEST(StaticModulo, AddRemoveMembership) {
+  StaticModuloPlacement p(4, hash::Algorithm::kFnv1a64);
+  EXPECT_TRUE(p.contains(2));
+  p.remove_node(2);
+  EXPECT_FALSE(p.contains(2));
+  EXPECT_EQ(p.node_count(), 3u);
+  p.add_node(2);
+  EXPECT_TRUE(p.contains(2));
+  p.add_node(2);  // idempotent
+  EXPECT_EQ(p.node_count(), 4u);
+  p.remove_node(77);  // unknown: no-op
+  EXPECT_EQ(p.node_count(), 4u);
+}
+
+TEST(StaticModulo, RemovalNeverMapsToDeadNode) {
+  StaticModuloPlacement p(8, hash::Algorithm::kFnv1a64);
+  p.remove_node(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NE(p.owner("k" + std::to_string(i)), 5u);
+  }
+}
+
+TEST(MultiHash, PrimaryPlacementMatchesModuloOverInitialTable) {
+  MultiHashPlacement p(8, hash::Algorithm::kMurmur3_64);
+  // With no failures the owner is hash(key, seed=0) % 8.
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const auto expected = hash::hash_key(hash::Algorithm::kMurmur3_64, key, 0) % 8;
+    EXPECT_EQ(p.owner(key), expected);
+    EXPECT_EQ(p.last_probe_count(), 1u);
+  }
+}
+
+TEST(MultiHash, FailedOwnerRehashesToSurvivor) {
+  MultiHashPlacement p(8, hash::Algorithm::kMurmur3_64);
+  // Find a key owned by node 3, kill node 3, verify a survivor takes it.
+  std::string victim_key;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (p.owner(key) == 3u) {
+      victim_key = key;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim_key.empty());
+  p.remove_node(3);
+  const NodeId new_owner = p.owner(victim_key);
+  EXPECT_NE(new_owner, 3u);
+  EXPECT_NE(new_owner, kInvalidNode);
+  EXPECT_GE(p.last_probe_count(), 2u);  // needed at least one rehash
+}
+
+TEST(MultiHash, SurvivingKeysDoNotMove) {
+  MultiHashPlacement p(8, hash::Algorithm::kMurmur3_64);
+  std::vector<std::pair<std::string, NodeId>> before;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    before.emplace_back(key, p.owner(key));
+  }
+  p.remove_node(6);
+  for (const auto& [key, owner] : before) {
+    if (owner != 6u) {
+      EXPECT_EQ(p.owner(key), owner) << key;
+    }
+  }
+}
+
+TEST(MultiHash, RepeatedFailuresStillTerminate) {
+  MultiHashPlacement p(8, hash::Algorithm::kMurmur3_64);
+  for (NodeId n = 0; n < 7; ++n) p.remove_node(n);
+  // Only node 7 lives; every key must land there, however long the chain.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.owner("k" + std::to_string(i)), 7u);
+  }
+}
+
+TEST(MultiHash, EmptyMembership) {
+  MultiHashPlacement p(2, hash::Algorithm::kMurmur3_64);
+  p.remove_node(0);
+  p.remove_node(1);
+  EXPECT_EQ(p.owner("x"), kInvalidNode);
+}
+
+TEST(RangePartition, CoversWholeKeySpace) {
+  RangePartitionPlacement p(8, hash::Algorithm::kMurmur3_64);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId owner = p.owner("k" + std::to_string(i));
+    EXPECT_LT(owner, 8u);
+  }
+}
+
+TEST(RangePartition, EqualRangesGiveRoughBalance) {
+  RangePartitionPlacement p(4, hash::Algorithm::kMurmur3_64);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[p.owner("k" + std::to_string(i))];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(RangePartition, RemovalNeverMapsToDeadNode) {
+  for (bool rebalance : {true, false}) {
+    RangePartitionPlacement p(8, hash::Algorithm::kMurmur3_64, rebalance);
+    p.remove_node(4);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_NE(p.owner("k" + std::to_string(i)), 4u) << rebalance;
+    }
+  }
+}
+
+TEST(RangePartition, LazyVariantMovesOnlyDeadRange) {
+  RangePartitionPlacement p(8, hash::Algorithm::kMurmur3_64,
+                            /*rebalance_on_failure=*/false);
+  std::vector<std::pair<std::string, NodeId>> before;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    before.emplace_back(key, p.owner(key));
+  }
+  p.remove_node(2);
+  for (const auto& [key, owner] : before) {
+    if (owner != 2u) {
+      EXPECT_EQ(p.owner(key), owner);
+    }
+  }
+}
+
+TEST(RangePartition, RebalancingVariantMovesSurvivorsToo) {
+  RangePartitionPlacement p(8, hash::Algorithm::kMurmur3_64,
+                            /*rebalance_on_failure=*/true);
+  std::vector<std::pair<std::string, NodeId>> before;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    before.emplace_back(key, p.owner(key));
+  }
+  p.remove_node(2);
+  int moved_survivors = 0;
+  for (const auto& [key, owner] : before) {
+    if (owner != 2u && p.owner(key) != owner) ++moved_survivors;
+  }
+  // Equalizing boundaries must shift a nontrivial share of surviving keys —
+  // the "more extensive redistribution" the paper criticizes.
+  EXPECT_GT(moved_survivors, 100);
+}
+
+TEST(RangePartition, AddNodeRebalances) {
+  RangePartitionPlacement p(2, hash::Algorithm::kMurmur3_64);
+  p.add_node(2);
+  EXPECT_EQ(p.node_count(), 3u);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 6000; ++i) ++counts[p.owner("k" + std::to_string(i))];
+  for (int c : counts) EXPECT_GT(c, 1200);
+}
+
+TEST(Factory, BuildsAllKinds) {
+  for (auto kind : {StrategyKind::kHashRing, StrategyKind::kStaticModulo,
+                    StrategyKind::kMultiHash, StrategyKind::kRangePartition}) {
+    const auto strategy = make_strategy(kind, 8, 100);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->node_count(), 8u);
+    EXPECT_EQ(strategy->name(), strategy_kind_name(kind));
+    const NodeId owner = strategy->owner("file");
+    EXPECT_LT(owner, 8u);
+  }
+}
+
+TEST(Factory, CloneRoundTripPreservesAssignment) {
+  for (auto kind : {StrategyKind::kHashRing, StrategyKind::kStaticModulo,
+                    StrategyKind::kMultiHash, StrategyKind::kRangePartition}) {
+    const auto strategy = make_strategy(kind, 8, 50);
+    const auto clone = strategy->clone();
+    for (int i = 0; i < 100; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      EXPECT_EQ(strategy->owner(key), clone->owner(key));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftc::ring

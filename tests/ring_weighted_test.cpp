@@ -1,0 +1,119 @@
+// Weighted membership and ring fingerprinting.
+#include <gtest/gtest.h>
+
+#include "ring/consistent_hash_ring.hpp"
+#include "ring/movement_analysis.hpp"
+
+namespace ftc::ring {
+namespace {
+
+TEST(WeightedRing, VnodeCountScalesWithWeight) {
+  RingConfig config;
+  config.vnodes_per_node = 100;
+  ConsistentHashRing ring(config);
+  ring.add_node_weighted(0, 1.0);
+  ring.add_node_weighted(1, 2.0);
+  ring.add_node_weighted(2, 0.5);
+  EXPECT_EQ(ring.vnode_count_of(0), 100u);
+  EXPECT_EQ(ring.vnode_count_of(1), 200u);
+  EXPECT_EQ(ring.vnode_count_of(2), 50u);
+  EXPECT_EQ(ring.vnode_count_of(99), 0u);
+  EXPECT_EQ(ring.position_count(), 350u);
+}
+
+TEST(WeightedRing, ZeroWeightClampedToOneVnode) {
+  RingConfig config;
+  config.vnodes_per_node = 100;
+  ConsistentHashRing ring(config);
+  ring.add_node_weighted(0, 0.0);
+  ring.add_node_weighted(1, -3.0);
+  EXPECT_EQ(ring.vnode_count_of(0), 1u);
+  EXPECT_EQ(ring.vnode_count_of(1), 1u);
+}
+
+TEST(WeightedRing, KeyShareTracksWeight) {
+  RingConfig config;
+  config.vnodes_per_node = 200;
+  ConsistentHashRing ring(config);
+  // Node 1 has twice the capacity of nodes 0 and 2.
+  ring.add_node_weighted(0, 1.0);
+  ring.add_node_weighted(1, 2.0);
+  ring.add_node_weighted(2, 1.0);
+  const auto keys = make_key_population(40000);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& key : keys) ++counts[ring.owner(key)];
+  // Expected shares 1/4, 1/2, 1/4 within sampling + vnode variance.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / keys.size(), 0.25, 0.05);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / keys.size(), 0.50, 0.06);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / keys.size(), 0.25, 0.05);
+}
+
+TEST(WeightedRing, RemovalDropsAllWeightedPositions) {
+  RingConfig config;
+  config.vnodes_per_node = 50;
+  ConsistentHashRing ring(config);
+  ring.add_node_weighted(0, 1.0);
+  ring.add_node_weighted(1, 3.0);
+  ring.remove_node(1);
+  EXPECT_EQ(ring.vnode_count_of(1), 0u);
+  EXPECT_EQ(ring.position_count(), 50u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ring.owner("k" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(WeightedRing, ArcShareReflectsWeights) {
+  RingConfig config;
+  config.vnodes_per_node = 300;
+  ConsistentHashRing ring(config);
+  ring.add_node_weighted(0, 1.0);
+  ring.add_node_weighted(1, 2.0);
+  const auto share = ring.arc_share();
+  EXPECT_NEAR(share.at(1) / share.at(0), 2.0, 0.5);
+}
+
+TEST(Fingerprint, IdenticalRingsAgree) {
+  RingConfig config;
+  config.vnodes_per_node = 100;
+  config.seed = 42;
+  const ConsistentHashRing a(16, config);
+  const ConsistentHashRing b(16, config);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, DivergesOnMembership) {
+  RingConfig config;
+  config.seed = 42;
+  ConsistentHashRing a(16, config);
+  ConsistentHashRing b(16, config);
+  b.remove_node(3);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b.add_node(3);  // restored membership -> identical state again
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, DivergesOnSeed) {
+  RingConfig a_config;
+  a_config.seed = 1;
+  RingConfig b_config;
+  b_config.seed = 2;
+  const ConsistentHashRing a(8, a_config);
+  const ConsistentHashRing b(8, b_config);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Describe, ContainsKeyFacts) {
+  RingConfig config;
+  config.vnodes_per_node = 10;
+  config.seed = 7;
+  const ConsistentHashRing ring(4, config);
+  const std::string description = ring.describe();
+  EXPECT_NE(description.find("nodes=4"), std::string::npos);
+  EXPECT_NE(description.find("vnodes_per_node=10"), std::string::npos);
+  EXPECT_NE(description.find("seed=7"), std::string::npos);
+  EXPECT_NE(description.find("positions=40"), std::string::npos);
+  EXPECT_NE(description.find("fingerprint="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftc::ring

@@ -1,0 +1,156 @@
+#include "rpc/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace ftc::rpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+RpcResponse echo_handler(const RpcRequest& request) {
+  RpcResponse response;
+  response.code = StatusCode::kOk;
+  response.payload = "echo:" + request.path;
+  return response;
+}
+
+TEST(Transport, CallRoundTrip) {
+  Transport transport;
+  ASSERT_TRUE(transport.register_endpoint(0, echo_handler).is_ok());
+  RpcRequest request;
+  request.path = "/file";
+  auto result = transport.call(0, request, 1000ms);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().payload, "echo:/file");
+  const auto stats = transport.stats(0);
+  EXPECT_EQ(stats.received, 1u);
+  EXPECT_EQ(stats.handled, 1u);
+}
+
+TEST(Transport, UnknownEndpointUnavailable) {
+  Transport transport;
+  auto result = transport.call(42, RpcRequest{}, 100ms);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Transport, DoubleRegisterRejected) {
+  Transport transport;
+  ASSERT_TRUE(transport.register_endpoint(1, echo_handler).is_ok());
+  EXPECT_EQ(transport.register_endpoint(1, echo_handler).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Transport, UnregisterThenCallUnavailable) {
+  Transport transport;
+  transport.register_endpoint(2, echo_handler);
+  ASSERT_TRUE(transport.unregister_endpoint(2).is_ok());
+  auto result = transport.call(2, RpcRequest{}, 100ms);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(transport.unregister_endpoint(2).code(), StatusCode::kNotFound);
+}
+
+TEST(Transport, KilledEndpointTimesOut) {
+  Transport transport;
+  transport.register_endpoint(3, echo_handler);
+  transport.kill(3);
+  EXPECT_TRUE(transport.is_killed(3));
+  const auto start = Clock::now();
+  auto result = transport.call(3, RpcRequest{}, 50ms);
+  const auto elapsed = Clock::now() - start;
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(elapsed, 45ms);
+  EXPECT_EQ(transport.stats(3).dropped, 1u);
+}
+
+TEST(Transport, ExtraLatencyBeyondDeadlineTimesOut) {
+  Transport transport;
+  transport.register_endpoint(4, echo_handler);
+  transport.set_extra_latency(4, 100ms);
+  auto slow = transport.call(4, RpcRequest{}, 20ms);
+  EXPECT_EQ(slow.status().code(), StatusCode::kTimeout);
+  // Restore normal service: next call succeeds.
+  transport.set_extra_latency(4, 0ms);
+  // Give the slow in-flight handler time to drain.
+  auto ok = transport.call(4, RpcRequest{}, 2000ms);
+  EXPECT_TRUE(ok.is_ok());
+}
+
+TEST(Transport, DropNextCausesExactlyNTimeouts) {
+  Transport transport;
+  transport.register_endpoint(5, echo_handler);
+  transport.drop_next(5, 2);
+  EXPECT_EQ(transport.call(5, RpcRequest{}, 30ms).status().code(),
+            StatusCode::kTimeout);
+  EXPECT_EQ(transport.call(5, RpcRequest{}, 30ms).status().code(),
+            StatusCode::kTimeout);
+  EXPECT_TRUE(transport.call(5, RpcRequest{}, 1000ms).is_ok());
+  EXPECT_EQ(transport.stats(5).dropped, 2u);
+}
+
+TEST(Transport, ConcurrentCallersFifoService) {
+  Transport transport;
+  std::atomic<int> served{0};
+  transport.register_endpoint(6, [&served](const RpcRequest& request) {
+    served.fetch_add(1);
+    return echo_handler(request);
+  });
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&transport, &ok, i] {
+      RpcRequest request;
+      request.path = std::to_string(i);
+      if (transport.call(6, request, 2000ms).is_ok()) ok.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 8);
+  EXPECT_EQ(served.load(), 8);
+}
+
+TEST(Transport, EndpointCount) {
+  Transport transport;
+  EXPECT_EQ(transport.endpoint_count(), 0u);
+  transport.register_endpoint(0, echo_handler);
+  transport.register_endpoint(1, echo_handler);
+  EXPECT_EQ(transport.endpoint_count(), 2u);
+  transport.unregister_endpoint(0);
+  EXPECT_EQ(transport.endpoint_count(), 1u);
+}
+
+TEST(Transport, StatsForUnknownEndpointAreZero) {
+  Transport transport;
+  const auto stats = transport.stats(99);
+  EXPECT_EQ(stats.received, 0u);
+  EXPECT_EQ(stats.handled, 0u);
+}
+
+TEST(Transport, KillUnknownIsNoop) {
+  Transport transport;
+  transport.kill(7);  // must not crash
+  EXPECT_FALSE(transport.is_killed(7));
+}
+
+TEST(Transport, DestructorDrainsCleanly) {
+  // Enqueue work then destroy immediately; no hang, no crash.
+  auto transport = std::make_unique<Transport>();
+  transport->register_endpoint(0, [](const RpcRequest& request) {
+    std::this_thread::sleep_for(5ms);
+    return echo_handler(request);
+  });
+  std::thread caller([&transport] {
+    (void)transport->call(0, RpcRequest{}, 500ms);
+  });
+  caller.join();
+  transport.reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ftc::rpc

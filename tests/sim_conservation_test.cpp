@@ -1,0 +1,106 @@
+// Property sweeps over the DES resources: conservation and capacity
+// bounds that must hold for any random workload.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/resource.hpp"
+#include "sim/shared_bandwidth.hpp"
+
+namespace ftc::sim {
+namespace {
+
+class BandwidthConservation : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BandwidthConservation, ThroughputNeverExceedsCapacity) {
+  const std::uint64_t seed = GetParam();
+  Simulator sim;
+  constexpr double kBandwidth = 1.0e9;
+  SharedBandwidthResource pipe(sim, kBandwidth);
+  Rng rng(seed);
+
+  std::uint64_t total_bytes = 0;
+  int completed = 0;
+  const int kTransfers = 100;
+  // Random arrivals over ~1 s, random sizes.
+  for (int i = 0; i < kTransfers; ++i) {
+    const SimTime arrival = simtime::from_ms(rng.uniform(0.0, 1000.0));
+    const std::uint64_t bytes = 1'000'000 + rng.below(50'000'000);
+    total_bytes += bytes;
+    sim.schedule_at(arrival, [&pipe, bytes, &completed] {
+      pipe.transfer(bytes, [&completed] { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, kTransfers);
+  EXPECT_EQ(pipe.total_bytes_moved(), total_bytes);
+  EXPECT_EQ(pipe.active_transfers(), 0u);
+
+  // Conservation: the pipe cannot move bytes faster than its capacity.
+  // All data arrived by t=1s; the makespan must satisfy
+  //   makespan >= arrival_window_start + total/bandwidth-ish bound.
+  const double makespan = simtime::to_seconds(sim.now());
+  const double lower_bound = static_cast<double>(total_bytes) / kBandwidth;
+  EXPECT_GE(makespan + 1e-6, lower_bound);
+}
+
+TEST_P(BandwidthConservation, CappedPipeRespectsPerFlowLimit) {
+  const std::uint64_t seed = GetParam();
+  Simulator sim;
+  constexpr double kBandwidth = 10.0e9;
+  constexpr double kCap = 0.5e9;
+  SharedBandwidthResource pipe(sim, kBandwidth, kCap);
+  Rng rng(seed ^ 0xCAFE);
+
+  // Few flows: each is cap-bound, so each transfer's duration must be at
+  // least bytes/cap.
+  std::vector<SimTime> durations;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t bytes = 100'000'000 + rng.below(400'000'000);
+    const SimTime start = sim.now();
+    bool flag = false;
+    pipe.transfer(bytes, [&flag] { flag = true; });
+    sim.run();
+    ASSERT_TRUE(flag);
+    const SimTime elapsed = sim.now() - start;
+    const double min_seconds = static_cast<double>(bytes) / kCap;
+    EXPECT_GE(simtime::to_seconds(elapsed) + 1e-9, min_seconds);
+    durations.push_back(elapsed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandwidthConservation,
+                         ::testing::Values<std::uint64_t>(1, 7, 42, 1337),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+TEST(ResourceConservation, RandomWorkloadAccounting) {
+  Simulator sim;
+  Resource resource(sim, 4);
+  Rng rng(9);
+  const int kJobs = 500;
+  SimTime total_service = 0;
+  int completed = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    const SimTime arrival = rng.uniform_int(0, 1'000'000);
+    const SimTime service = 100 + rng.uniform_int(0, 10'000);
+    total_service += service;
+    sim.schedule_at(arrival, [&resource, service, &completed] {
+      resource.acquire(service, [&completed] { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, kJobs);
+  EXPECT_EQ(resource.completed(), static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(resource.in_service(), 0u);
+  EXPECT_EQ(resource.queue_length(), 0u);
+  // Capacity bound: 4 servers cannot deliver more than 4 service-units
+  // per unit of wall-clock.
+  EXPECT_GE(sim.now() * 4 + 4, total_service);
+}
+
+}  // namespace
+}  // namespace ftc::sim

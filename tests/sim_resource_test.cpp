@@ -1,0 +1,102 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftc::sim {
+namespace {
+
+TEST(Resource, ServesWithinCapacityImmediately) {
+  Simulator sim;
+  Resource resource(sim, 2);
+  std::vector<SimTime> done;
+  resource.acquire(10, [&] { done.push_back(sim.now()); });
+  resource.acquire(10, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 10);
+  EXPECT_EQ(done[1], 10);
+  EXPECT_EQ(resource.completed(), 2u);
+  EXPECT_EQ(resource.total_wait_time(), 0);
+}
+
+TEST(Resource, QueuesBeyondCapacity) {
+  Simulator sim;
+  Resource resource(sim, 1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    resource.acquire(10, [&] { done.push_back(sim.now()); });
+  }
+  EXPECT_EQ(resource.queue_length(), 2u);
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 10);
+  EXPECT_EQ(done[1], 20);
+  EXPECT_EQ(done[2], 30);
+  // Second waited 10, third waited 20.
+  EXPECT_EQ(resource.total_wait_time(), 30);
+}
+
+TEST(Resource, FifoOrderPreserved) {
+  Simulator sim;
+  Resource resource(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    resource.acquire(1, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Resource, CapacityZeroClampedToOne) {
+  Simulator sim;
+  Resource resource(sim, 0);
+  EXPECT_EQ(resource.capacity(), 1u);
+}
+
+TEST(Resource, MeanWaitSeconds) {
+  Simulator sim;
+  Resource resource(sim, 1);
+  for (int i = 0; i < 2; ++i) {
+    resource.acquire(simtime::kSecond, [] {});
+  }
+  sim.run();
+  // First waits 0s, second waits 1s -> mean 0.5s.
+  EXPECT_DOUBLE_EQ(resource.mean_wait_seconds(), 0.5);
+}
+
+TEST(Resource, InterleavedArrivals) {
+  Simulator sim;
+  Resource resource(sim, 1);
+  std::vector<SimTime> done;
+  sim.schedule(0, [&] {
+    resource.acquire(10, [&] { done.push_back(sim.now()); });
+  });
+  sim.schedule(5, [&] {
+    resource.acquire(10, [&] { done.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 10);
+  EXPECT_EQ(done[1], 20);  // waited 5, then served 10
+}
+
+TEST(Resource, HighConcurrencyConservation) {
+  Simulator sim;
+  Resource resource(sim, 8);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    resource.acquire(7, [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 100);
+  EXPECT_EQ(resource.completed(), 100u);
+  EXPECT_EQ(resource.in_service(), 0u);
+  EXPECT_EQ(resource.queue_length(), 0u);
+  // 100 jobs at capacity 8, service 7 -> makespan = ceil(100/8)*7 = 91.
+  EXPECT_EQ(sim.now(), 91);
+}
+
+}  // namespace
+}  // namespace ftc::sim

@@ -1,0 +1,141 @@
+#include "sim/shared_bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftc::sim {
+namespace {
+
+constexpr double kGig = 1.0e9;
+
+TEST(SharedBandwidth, SingleTransferFullRate) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  SimTime done = -1;
+  pipe.transfer(1'000'000'000ULL, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(done), 1.0, 1e-6);
+  EXPECT_EQ(pipe.completed(), 1u);
+  EXPECT_EQ(pipe.active_transfers(), 0u);
+}
+
+TEST(SharedBandwidth, TwoEqualTransfersShareFairly) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  std::vector<SimTime> done;
+  pipe.transfer(500'000'000ULL, [&] { done.push_back(sim.now()); });
+  pipe.transfer(500'000'000ULL, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Each gets half rate: 0.5 GB at 0.5 GB/s = 1 s, simultaneous.
+  EXPECT_NEAR(simtime::to_seconds(done[0]), 1.0, 1e-6);
+  EXPECT_NEAR(simtime::to_seconds(done[1]), 1.0, 1e-6);
+}
+
+TEST(SharedBandwidth, ShortTransferFinishesFirstThenRateRecovers) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  SimTime short_done = -1;
+  SimTime long_done = -1;
+  pipe.transfer(250'000'000ULL, [&] { short_done = sim.now(); });
+  pipe.transfer(750'000'000ULL, [&] { long_done = sim.now(); });
+  sim.run();
+  // Shared until t=0.5s (each moved 250 MB); the long one then has 500 MB
+  // left at full rate -> finishes at 1.0 s.
+  EXPECT_NEAR(simtime::to_seconds(short_done), 0.5, 1e-6);
+  EXPECT_NEAR(simtime::to_seconds(long_done), 1.0, 1e-6);
+}
+
+TEST(SharedBandwidth, LateArrivalSlowsExisting) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  SimTime first_done = -1;
+  pipe.transfer(1'000'000'000ULL, [&] { first_done = sim.now(); });
+  sim.schedule(simtime::from_seconds(0.5), [&] {
+    pipe.transfer(1'000'000'000ULL, [] {});
+  });
+  sim.run();
+  // First half at full rate (0.5 GB done by 0.5 s); remaining 0.5 GB at
+  // half rate takes 1 s -> done at 1.5 s.
+  EXPECT_NEAR(simtime::to_seconds(first_done), 1.5, 1e-6);
+}
+
+TEST(SharedBandwidth, ZeroByteTransferCompletesImmediately) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  bool done = false;
+  pipe.transfer(0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SharedBandwidth, PerTransferCapLimitsLoneFlow) {
+  Simulator sim;
+  // 10 GB/s pool but a 1 GB/s per-flow cap.
+  SharedBandwidthResource pipe(sim, 10 * kGig, kGig);
+  SimTime done = -1;
+  pipe.transfer(1'000'000'000ULL, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(done), 1.0, 1e-6);
+}
+
+TEST(SharedBandwidth, CapIrrelevantUnderContention) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, 10 * kGig, kGig);
+  // 20 concurrent flows: fair share 0.5 GB/s < cap, so pool-bound.
+  std::vector<SimTime> done;
+  for (int i = 0; i < 20; ++i) {
+    pipe.transfer(500'000'000ULL, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 20u);
+  EXPECT_NEAR(simtime::to_seconds(done.back()), 1.0, 1e-5);
+}
+
+TEST(SharedBandwidth, ChainedTransfersFromCallback) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  SimTime second_done = -1;
+  pipe.transfer(1'000'000'000ULL, [&] {
+    pipe.transfer(1'000'000'000ULL, [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(second_done), 2.0, 1e-6);
+  EXPECT_EQ(pipe.completed(), 2u);
+}
+
+TEST(SharedBandwidth, PeakConcurrencyTracked) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  for (int i = 0; i < 7; ++i) pipe.transfer(1000, [] {});
+  sim.run();
+  EXPECT_EQ(pipe.peak_concurrency(), 7u);
+}
+
+TEST(SharedBandwidth, TotalBytesAccounting) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  pipe.transfer(100, [] {});
+  pipe.transfer(200, [] {});
+  pipe.transfer(0, [] {});
+  sim.run();
+  EXPECT_EQ(pipe.total_bytes_moved(), 300u);
+  EXPECT_EQ(pipe.completed(), 3u);
+}
+
+TEST(SharedBandwidth, ManyFlowsConservation) {
+  Simulator sim;
+  SharedBandwidthResource pipe(sim, kGig);
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    pipe.transfer(1'000'000ULL * (1 + i % 5), [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 200);
+  EXPECT_EQ(pipe.active_transfers(), 0u);
+}
+
+}  // namespace
+}  // namespace ftc::sim

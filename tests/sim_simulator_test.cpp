@@ -1,0 +1,153 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftc::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.executed_events(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 10);
+  EXPECT_EQ(times[1], 15);
+}
+
+TEST(Simulator, NegativeDelayClampedToNow) {
+  Simulator sim;
+  sim.schedule(10, [] {});
+  sim.run();
+  bool ran = false;
+  sim.schedule(-5, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, ScheduleAtPastRunsNow) {
+  Simulator sim;
+  sim.schedule(100, [] {});
+  sim.run();
+  SimTime when = -1;
+  sim.schedule_at(50, [&] { when = sim.now(); });
+  sim.run();
+  EXPECT_EQ(when, 100);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator sim;
+  const EventId id = sim.schedule(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIds) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(999));  // never issued
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  sim.schedule(1, [] {});
+  const EventId id = sim.schedule(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule(10, [&] { fired.push_back(10); });
+  sim.schedule(20, [&] { fired.push_back(20); });
+  sim.schedule(30, [&] { fired.push_back(30); });
+  sim.run_until(20);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, MaxEventsBudget) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(i, [&] { ++count; });
+  }
+  sim.run(4);
+  EXPECT_EQ(count, 4);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, ManyEventsStressOrder) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule((i * 7919) % 1000, [&] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed_events(), 10000u);
+}
+
+}  // namespace
+}  // namespace ftc::sim

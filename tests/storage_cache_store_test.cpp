@@ -1,0 +1,129 @@
+#include "storage/cache_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc::storage {
+namespace {
+
+TEST(CacheStore, PutGetRoundTrip) {
+  CacheStore cache(1024);
+  ASSERT_TRUE(cache.put("/a", "hello", 5).is_ok());
+  auto got = cache.get("/a");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), "hello");
+  EXPECT_EQ(cache.file_count(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 5u);
+}
+
+TEST(CacheStore, MissReturnsNotFound) {
+  CacheStore cache(1024);
+  auto got = cache.get("/missing");
+  EXPECT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CacheStore, HitMissCountersAndRate) {
+  CacheStore cache(1024);
+  cache.put("/a", "x", 1);
+  (void)cache.get("/a");
+  (void)cache.get("/a");
+  (void)cache.get("/nope");
+  EXPECT_EQ(cache.hit_count(), 2u);
+  EXPECT_EQ(cache.miss_count(), 1u);
+  EXPECT_NEAR(cache.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CacheStore, HitRateEmptyIsZero) {
+  CacheStore cache(16);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(CacheStore, OverwriteReplacesAndReaccounts) {
+  CacheStore cache(100);
+  cache.put("/a", "12345", 5);
+  cache.put("/a", "123", 3);
+  EXPECT_EQ(cache.used_bytes(), 3u);
+  EXPECT_EQ(cache.file_count(), 1u);
+  EXPECT_EQ(cache.get("/a").value(), "123");
+}
+
+TEST(CacheStore, SizeOnlyMode) {
+  CacheStore cache(1ULL << 40);
+  ASSERT_TRUE(cache.put_size_only("/big", 1ULL << 30).is_ok());
+  EXPECT_TRUE(cache.contains("/big"));
+  EXPECT_EQ(cache.used_bytes(), 1ULL << 30);
+  EXPECT_EQ(cache.size_of("/big").value(), 1ULL << 30);
+  EXPECT_TRUE(cache.get("/big").value().empty());
+}
+
+TEST(CacheStore, RejectsFileLargerThanDevice) {
+  CacheStore cache(10);
+  const Status s = cache.put("/huge", "0123456789ABCDEF", 16);
+  EXPECT_EQ(s.code(), StatusCode::kCapacity);
+  EXPECT_EQ(cache.file_count(), 0u);
+}
+
+TEST(CacheStore, LruEvictionOrder) {
+  CacheStore cache(30);
+  cache.put("/a", std::string(10, 'a'), 10);
+  cache.put("/b", std::string(10, 'b'), 10);
+  cache.put("/c", std::string(10, 'c'), 10);
+  // Touch /a so /b becomes LRU.
+  (void)cache.get("/a");
+  cache.put("/d", std::string(10, 'd'), 10);
+  EXPECT_FALSE(cache.contains("/b"));
+  EXPECT_TRUE(cache.contains("/a"));
+  EXPECT_TRUE(cache.contains("/c"));
+  EXPECT_TRUE(cache.contains("/d"));
+  EXPECT_EQ(cache.eviction_count(), 1u);
+}
+
+TEST(CacheStore, EvictsMultipleForLargeInsert) {
+  CacheStore cache(30);
+  cache.put("/a", std::string(10, 'a'), 10);
+  cache.put("/b", std::string(10, 'b'), 10);
+  cache.put("/c", std::string(10, 'c'), 10);
+  cache.put("/big", std::string(25, 'z'), 25);
+  EXPECT_TRUE(cache.contains("/big"));
+  // 25 bytes fit only after evicting all three 10-byte residents
+  // (10 + 25 > 30 even after two evictions).
+  EXPECT_EQ(cache.eviction_count(), 3u);
+  EXPECT_EQ(cache.used_bytes(), 25u);
+}
+
+TEST(CacheStore, ContainsDoesNotTouchRecency) {
+  CacheStore cache(20);
+  cache.put("/a", std::string(10, 'a'), 10);
+  cache.put("/b", std::string(10, 'b'), 10);
+  // contains(/a) must NOT refresh /a, so /a is still LRU and gets evicted.
+  EXPECT_TRUE(cache.contains("/a"));
+  cache.put("/c", std::string(10, 'c'), 10);
+  EXPECT_FALSE(cache.contains("/a"));
+}
+
+TEST(CacheStore, EraseAndClear) {
+  CacheStore cache(100);
+  cache.put("/a", "1", 1);
+  cache.put("/b", "2", 1);
+  EXPECT_TRUE(cache.erase("/a"));
+  EXPECT_FALSE(cache.erase("/a"));
+  EXPECT_EQ(cache.used_bytes(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.file_count(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(CacheStore, SizeOfMissingIsNullopt) {
+  CacheStore cache(16);
+  EXPECT_FALSE(cache.size_of("/nope").has_value());
+}
+
+TEST(CacheStore, ZeroByteLogicalSize) {
+  CacheStore cache(16);
+  ASSERT_TRUE(cache.put("/meta", "", 0).is_ok());
+  EXPECT_TRUE(cache.contains("/meta"));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ftc::storage

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "storage/file_catalog.hpp"
+#include "storage/nvme_model.hpp"
+#include "storage/pfs_model.hpp"
+
+namespace ftc::storage {
+namespace {
+
+TEST(FileCatalog, AddAndLookup) {
+  FileCatalog catalog;
+  const FileId a = catalog.add_file("/x/a", 100);
+  const FileId b = catalog.add_file("/x/b", 200);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(catalog.file_count(), 2u);
+  EXPECT_EQ(catalog.total_bytes(), 300u);
+  EXPECT_DOUBLE_EQ(catalog.mean_file_bytes(), 150.0);
+  FileId found;
+  ASSERT_TRUE(catalog.find("/x/b", found));
+  EXPECT_EQ(found, b);
+  EXPECT_FALSE(catalog.find("/x/nope", found));
+  EXPECT_EQ(catalog.file(a).path, "/x/a");
+}
+
+TEST(FileCatalog, EmptyMeanIsZero) {
+  FileCatalog catalog;
+  EXPECT_DOUBLE_EQ(catalog.mean_file_bytes(), 0.0);
+}
+
+TEST(CosmoflowCatalog, ShapeMatchesParams) {
+  CosmoflowCatalogParams params;
+  params.file_count = 512;
+  params.mean_file_bytes = 4ULL << 20;
+  params.size_sigma = 0.25;
+  const FileCatalog catalog = make_cosmoflow_like_catalog(params);
+  EXPECT_EQ(catalog.file_count(), 512u);
+  // Mean within 10% of target (lognormal sampling noise).
+  EXPECT_NEAR(catalog.mean_file_bytes(), 4.0 * (1 << 20),
+              0.1 * 4.0 * (1 << 20));
+  // Paths are unique and well-formed.
+  FileId id;
+  EXPECT_TRUE(catalog.find(
+      "/lustre/orion/cosmoUniverse/file_0000000.tfrecord", id));
+  EXPECT_TRUE(catalog.find(
+      "/lustre/orion/cosmoUniverse/file_0000511.tfrecord", id));
+}
+
+TEST(CosmoflowCatalog, ZeroSigmaUniformSizes) {
+  CosmoflowCatalogParams params;
+  params.file_count = 10;
+  params.mean_file_bytes = 1024;
+  params.size_sigma = 0.0;
+  const FileCatalog catalog = make_cosmoflow_like_catalog(params);
+  for (const FileInfo& f : catalog.files()) {
+    EXPECT_EQ(f.size_bytes, 1024u);
+  }
+}
+
+TEST(CosmoflowCatalog, DeterministicForSeed) {
+  CosmoflowCatalogParams params;
+  params.file_count = 64;
+  const FileCatalog a = make_cosmoflow_like_catalog(params);
+  const FileCatalog b = make_cosmoflow_like_catalog(params);
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+}
+
+TEST(NvmeModel, ReadTimeMatchesBandwidthPlusLatency) {
+  sim::Simulator sim;
+  NvmeConfig config;
+  config.read_bytes_per_second = 8.0e9;
+  config.op_latency = 80 * simtime::kMicrosecond;
+  NvmeModel nvme(sim, config);
+  SimTime done = -1;
+  nvme.read(800'000'000ULL, [&] { done = sim.now(); });  // 0.1 s payload
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(done), 0.1 + 80e-6, 1e-6);
+  EXPECT_EQ(nvme.reads_completed(), 1u);
+  EXPECT_EQ(nvme.bytes_read(), 800'000'000u);
+}
+
+TEST(NvmeModel, WriteSlowerThanRead) {
+  sim::Simulator sim;
+  NvmeConfig config;  // defaults: 8 GB/s read, 4 GB/s write
+  NvmeModel nvme(sim, config);
+  SimTime read_done = -1;
+  SimTime write_done = -1;
+  nvme.read(4'000'000'000ULL, [&] { read_done = sim.now(); });
+  nvme.write(4'000'000'000ULL, [&] { write_done = sim.now(); });
+  sim.run();
+  EXPECT_LT(read_done, write_done);
+  EXPECT_EQ(nvme.writes_completed(), 1u);
+}
+
+TEST(NvmeModel, ConcurrentReadsShareDevice) {
+  sim::Simulator sim;
+  NvmeConfig config;
+  config.read_bytes_per_second = 1.0e9;
+  config.op_latency = 0;
+  NvmeModel nvme(sim, config);
+  SimTime done = -1;
+  nvme.read(500'000'000ULL, [] {});
+  nvme.read(500'000'000ULL, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(done), 1.0, 1e-6);
+}
+
+TEST(PfsModel, SingleReadClientCapped) {
+  sim::Simulator sim;
+  PfsConfig config;
+  config.read_bytes_per_second = 100.0e9;
+  config.background_load_fraction = 0.0;
+  config.per_client_bytes_per_second = 1.0e9;
+  config.access_latency = 0;
+  config.mds_service_time = 0;
+  PfsModel pfs(sim, config);
+  SimTime done = -1;
+  pfs.read_file(1'000'000'000ULL, [&] { done = sim.now(); });
+  sim.run();
+  // Lone client: capped at 1 GB/s, not the 100 GB/s pool.
+  EXPECT_NEAR(simtime::to_seconds(done), 1.0, 0.01);
+}
+
+TEST(PfsModel, BackgroundLoadReducesPool) {
+  sim::Simulator sim;
+  PfsConfig config;
+  config.read_bytes_per_second = 10.0e9;
+  config.background_load_fraction = 0.5;
+  config.per_client_bytes_per_second = 0.0;  // uncapped flows
+  config.access_latency = 0;
+  config.mds_service_time = 0;
+  PfsModel pfs(sim, config);
+  SimTime done = -1;
+  pfs.read_file(5'000'000'000ULL, [&] { done = sim.now(); });
+  sim.run();
+  // Effective pool 5 GB/s -> 1 s.
+  EXPECT_NEAR(simtime::to_seconds(done), 1.0, 0.01);
+}
+
+TEST(PfsModel, MdsQueueingDelaysMetadataStorm) {
+  sim::Simulator sim;
+  PfsConfig config;
+  config.mds_concurrency = 2;
+  config.mds_service_time = 10 * simtime::kMillisecond;
+  config.access_latency = 0;
+  PfsModel pfs(sim, config);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    pfs.metadata_op([&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 10);
+  // 10 ops, concurrency 2, 10 ms each -> makespan 50 ms.
+  EXPECT_EQ(sim.now(), 50 * simtime::kMillisecond);
+  EXPECT_GT(pfs.mean_mds_wait_seconds(), 0.0);
+}
+
+TEST(PfsModel, ManyClientsShareAggregate) {
+  sim::Simulator sim;
+  PfsConfig config;
+  config.read_bytes_per_second = 10.0e9;
+  config.background_load_fraction = 0.0;
+  config.per_client_bytes_per_second = 2.0e9;
+  config.access_latency = 0;
+  config.mds_service_time = 0;
+  PfsModel pfs(sim, config);
+  int done = 0;
+  // 20 clients of 1 GB each: aggregate-bound -> 20 GB / 10 GB/s = 2 s.
+  for (int i = 0; i < 20; ++i) {
+    pfs.read_file(1'000'000'000ULL, [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 20);
+  EXPECT_NEAR(simtime::to_seconds(sim.now()), 2.0, 0.05);
+  EXPECT_EQ(pfs.reads_completed(), 20u);
+  EXPECT_EQ(pfs.peak_data_concurrency(), 20u);
+}
+
+}  // namespace
+}  // namespace ftc::storage

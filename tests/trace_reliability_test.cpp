@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "trace/log_generator.hpp"
+#include "trace/reliability_model.hpp"
+#include "trace/sacct_io.hpp"
+
+namespace ftc::trace {
+namespace {
+
+TEST(ReliabilityEstimate, FitFromHandBuiltLog) {
+  std::vector<SlurmJobRecord> log;
+  // 100 jobs x 10 nodes x 60 min = 1000 node-hours; 5 node-failure-class
+  // events -> lambda = 0.005 per node-hour.
+  for (int i = 0; i < 100; ++i) {
+    SlurmJobRecord job;
+    job.job_id = i;
+    job.node_count = 10;
+    job.elapsed_minutes = 60.0;
+    job.state = i < 3   ? JobState::kNodeFail
+                : i < 5 ? JobState::kTimeout
+                        : JobState::kCompleted;
+    log.push_back(job);
+  }
+  const auto estimate = estimate_failure_rate(log);
+  EXPECT_EQ(estimate.node_failure_events, 5u);
+  EXPECT_DOUBLE_EQ(estimate.node_hours, 1000.0);
+  EXPECT_DOUBLE_EQ(estimate.lambda_per_node_hour, 0.005);
+  EXPECT_DOUBLE_EQ(estimate.mtbf_hours(10), 20.0);
+}
+
+TEST(ReliabilityEstimate, CancelledJobsExcluded) {
+  std::vector<SlurmJobRecord> log;
+  SlurmJobRecord job;
+  job.node_count = 100;
+  job.elapsed_minutes = 600.0;
+  job.state = JobState::kCancelled;
+  log.push_back(job);
+  const auto estimate = estimate_failure_rate(log);
+  EXPECT_DOUBLE_EQ(estimate.node_hours, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.lambda_per_node_hour, 0.0);
+}
+
+TEST(FailureProbability, BasicProperties) {
+  const double lambda = 1e-4;
+  EXPECT_DOUBLE_EQ(job_failure_probability(lambda, 0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(job_failure_probability(0.0, 64, 2.0), 0.0);
+  const double p64 = job_failure_probability(lambda, 64, 2.0);
+  const double p1024 = job_failure_probability(lambda, 1024, 2.0);
+  EXPECT_GT(p64, 0.0);
+  EXPECT_LT(p64, p1024);  // more nodes, more exposure
+  EXPECT_LT(p1024, 1.0);
+  // Closed form check.
+  EXPECT_NEAR(p64, 1.0 - std::exp(-1e-4 * 64 * 2.0), 1e-12);
+  // Longer jobs fail more.
+  EXPECT_LT(job_failure_probability(lambda, 64, 1.0),
+            job_failure_probability(lambda, 64, 4.0));
+}
+
+TEST(ExpectedRuntime, RestartsMatchClosedForm) {
+  const double lambda = 1e-4;
+  const double base = expected_runtime_with_restarts(0.0, 64, 2.0);
+  EXPECT_DOUBLE_EQ(base, 2.0);  // no failures, no stretch
+  const double with_failures = expected_runtime_with_restarts(lambda, 64, 2.0);
+  EXPECT_GT(with_failures, 2.0);
+  const double rate = lambda * 64;
+  EXPECT_NEAR(with_failures, std::expm1(rate * 2.0) / rate, 1e-9);
+}
+
+TEST(ExpectedRuntime, RestartsExplodeAtScale) {
+  // The motivation for FT: restart-from-scratch becomes untenable as
+  // exposure (nodes x hours) grows.
+  const double lambda = 5e-4;
+  const double small = expected_runtime_with_restarts(lambda, 64, 10.0);
+  const double large = expected_runtime_with_restarts(lambda, 1024, 10.0);
+  EXPECT_GT(large / 10.0, 10.0);     // >10x stretch at 1024 nodes
+  EXPECT_LT(small / 10.0, large / 10.0);
+}
+
+TEST(ExpectedRuntime, ElasticFtFarCheaperThanRestarts) {
+  const double lambda = 5e-4;
+  const double restart = expected_runtime_with_restarts(lambda, 1024, 10.0);
+  const double elastic =
+      expected_runtime_with_elastic_ft(lambda, 1024, 10.0, 5);
+  EXPECT_GT(elastic, 10.0);        // failures still cost something
+  EXPECT_LT(elastic, restart / 4); // but nothing like full restarts
+}
+
+TEST(ExpectedRuntime, ElasticFtDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(expected_runtime_with_elastic_ft(1e-4, 0, 2.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(expected_runtime_with_elastic_ft(0.0, 64, 2.0, 5), 2.0);
+  EXPECT_GT(expected_runtime_with_elastic_ft(1e-3, 64, 2.0, 0), 2.0);
+}
+
+TEST(LostNodeHours, SumsFailedJobsOnly) {
+  std::vector<SlurmJobRecord> log;
+  SlurmJobRecord ok;
+  ok.node_count = 100;
+  ok.elapsed_minutes = 60.0;
+  ok.state = JobState::kCompleted;
+  SlurmJobRecord failed = ok;
+  failed.state = JobState::kJobFail;
+  log.push_back(ok);
+  log.push_back(failed);
+  EXPECT_DOUBLE_EQ(lost_node_hours(log), 100.0);
+}
+
+TEST(ReliabilityOnSyntheticLog, EndToEnd) {
+  LogGeneratorParams params;
+  params.total_jobs = 20000;
+  const auto log = generate_log(params);
+  const auto estimate = estimate_failure_rate(log);
+  EXPECT_GT(estimate.lambda_per_node_hour, 0.0);
+  EXPECT_GT(estimate.node_hours, 0.0);
+  // A 1024-node, 2-hour job on this fleet must see a meaningful but
+  // non-certain failure probability.
+  const double p =
+      job_failure_probability(estimate.lambda_per_node_hour, 1024, 2.0);
+  EXPECT_GT(p, 0.001);
+  EXPECT_LT(p, 1.0);
+  EXPECT_GT(lost_node_hours(log), 0.0);
+}
+
+TEST(SacctIo, RoundTrip) {
+  LogGeneratorParams params;
+  params.total_jobs = 500;
+  const auto log = generate_log(params);
+  const std::string csv = to_csv(log);
+  auto parsed = from_csv(csv);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto& back = parsed.value();
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); i += 97) {
+    EXPECT_EQ(back[i].job_id, log[i].job_id);
+    EXPECT_EQ(back[i].week, log[i].week);
+    EXPECT_EQ(back[i].node_count, log[i].node_count);
+    EXPECT_EQ(back[i].state, log[i].state);
+    EXPECT_NEAR(back[i].elapsed_minutes, log[i].elapsed_minutes, 1e-3);
+  }
+}
+
+TEST(SacctIo, RejectsMalformedInput) {
+  EXPECT_FALSE(from_csv("").is_ok());
+  EXPECT_FALSE(from_csv("wrong,header\n").is_ok());
+  const std::string header =
+      "job_id,week,node_count,elapsed_minutes,state\n";
+  EXPECT_FALSE(from_csv(header + "1,2,3\n").is_ok());           // 3 fields
+  EXPECT_FALSE(from_csv(header + "x,0,4,10,JOB_FAIL\n").is_ok());  // bad id
+  EXPECT_FALSE(from_csv(header + "1,0,0,10,JOB_FAIL\n").is_ok());  // 0 nodes
+  EXPECT_FALSE(from_csv(header + "1,0,4,-1,JOB_FAIL\n").is_ok());  // neg time
+  EXPECT_FALSE(from_csv(header + "1,0,4,10,EXPLODED\n").is_ok());  // state
+}
+
+TEST(SacctIo, ParsesValidMinimalInput) {
+  const std::string csv =
+      "job_id,week,node_count,elapsed_minutes,state\n"
+      "42,3,128,95.250,NODE_FAIL\n"
+      "\n"
+      "43,3,1,1.000,COMPLETED\n";
+  auto parsed = from_csv(csv);
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].state, JobState::kNodeFail);
+  EXPECT_EQ(parsed.value()[0].node_count, 128u);
+}
+
+TEST(SacctIo, FileRoundTrip) {
+  LogGeneratorParams params;
+  params.total_jobs = 100;
+  const auto log = generate_log(params);
+  const std::string path = ::testing::TempDir() + "/ftc_sacct_test.csv";
+  ASSERT_TRUE(save_csv(log, path).is_ok());
+  auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().size(), log.size());
+  std::remove(path.c_str());
+}
+
+TEST(SacctIo, LoadMissingFile) {
+  EXPECT_EQ(load_csv("/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SacctIo, FuzzedMutationsNeverCrash) {
+  // Random byte mutations of a valid CSV must either parse or fail
+  // cleanly — never crash, hang, or produce out-of-range records.
+  LogGeneratorParams params;
+  params.total_jobs = 50;
+  const std::string valid = to_csv(generate_log(params));
+  Rng rng(0xF0220);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.below(8));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>(rng.below(256));
+    }
+    auto result = from_csv(mutated);
+    if (result.is_ok()) {
+      for (const auto& job : result.value()) {
+        EXPECT_GE(job.node_count, 1u);
+        EXPECT_GE(job.elapsed_minutes, 0.0);
+      }
+    }
+  }
+}
+
+TEST(SacctIo, TruncatedInputFailsCleanly) {
+  LogGeneratorParams params;
+  params.total_jobs = 20;
+  const std::string valid = to_csv(generate_log(params));
+  // Chop at various points; a cut mid-row must be rejected, a cut at a
+  // line boundary parses the prefix.
+  for (std::size_t cut = 1; cut < valid.size(); cut += 37) {
+    auto result = from_csv(valid.substr(0, cut));
+    if (result.is_ok()) {
+      EXPECT_LE(result.value().size(), 20u);
+    }
+  }
+}
+
+TEST(SacctIo, ParseJobState) {
+  JobState state;
+  EXPECT_TRUE(parse_job_state("TIMEOUT", state));
+  EXPECT_EQ(state, JobState::kTimeout);
+  EXPECT_FALSE(parse_job_state("nonsense", state));
+}
+
+}  // namespace
+}  // namespace ftc::trace

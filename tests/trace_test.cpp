@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "trace/failure_analyzer.hpp"
+#include "trace/log_generator.hpp"
+
+namespace ftc::trace {
+namespace {
+
+LogGeneratorParams test_params() {
+  LogGeneratorParams params;
+  params.total_jobs = 40000;  // large enough for tight ratios, fast to run
+  return params;
+}
+
+TEST(LogGenerator, JobCountAndCancelledOnTop) {
+  const auto params = test_params();
+  const auto log = generate_log(params);
+  const auto expected_cancels = static_cast<std::size_t>(
+      params.cancelled_fraction * params.total_jobs);
+  EXPECT_EQ(log.size(), params.total_jobs + expected_cancels);
+  std::size_t cancels = 0;
+  for (const auto& job : log) {
+    if (job.state == JobState::kCancelled) ++cancels;
+  }
+  EXPECT_EQ(cancels, expected_cancels);
+}
+
+TEST(LogGenerator, UniqueJobIds) {
+  const auto log = generate_log(test_params());
+  std::vector<std::uint64_t> ids;
+  ids.reserve(log.size());
+  for (const auto& job : log) ids.push_back(job.job_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+}
+
+TEST(LogGenerator, FieldsWithinRanges) {
+  const auto params = test_params();
+  for (const auto& job : generate_log(params)) {
+    EXPECT_LT(job.week, params.weeks);
+    EXPECT_GE(job.node_count, 1u);
+    EXPECT_LE(job.node_count, params.max_nodes);
+    EXPECT_GE(job.elapsed_minutes, 1.0);
+  }
+}
+
+TEST(LogGenerator, Deterministic) {
+  const auto a = generate_log(test_params());
+  const auto b = generate_log(test_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 997) {
+    EXPECT_EQ(a[i].state, b[i].state);
+    EXPECT_EQ(a[i].node_count, b[i].node_count);
+  }
+}
+
+TEST(Analyzer, ExcludesCancelledJobs) {
+  const auto params = test_params();
+  const auto log = generate_log(params);
+  const FailureAnalyzer analyzer(log);
+  EXPECT_EQ(analyzer.analyzed_jobs(), params.total_jobs);
+  EXPECT_GT(analyzer.excluded_jobs(), 0u);
+}
+
+TEST(Analyzer, Table1MatchesCalibrationTargets) {
+  const auto params = test_params();
+  const FailureAnalyzer analyzer(generate_log(params));
+  const Table1Summary summary = analyzer.table1();
+  EXPECT_EQ(summary.total_jobs, params.total_jobs);
+  // Aggregates within sampling noise of the published Table I numbers.
+  EXPECT_NEAR(summary.failure_ratio(), 0.2504, 0.01);
+  EXPECT_NEAR(summary.share_of_failures(summary.job_fail), 0.5250, 0.02);
+  EXPECT_NEAR(summary.share_of_failures(summary.timeout), 0.4492, 0.02);
+  EXPECT_NEAR(summary.share_of_failures(summary.node_fail), 0.0258, 0.01);
+  // The paper's headline: Timeout + Node Fail ~ half of all failures.
+  EXPECT_NEAR(summary.node_failure_class_share(), 0.475, 0.03);
+}
+
+TEST(Analyzer, OverallElapsedMeanNear75Minutes) {
+  const FailureAnalyzer analyzer(generate_log(test_params()));
+  EXPECT_NEAR(analyzer.overall_failure_elapsed_mean(), 75.0, 12.0);
+}
+
+TEST(Analyzer, WeeklySeriesCoverAllWeeks) {
+  const auto params = test_params();
+  const FailureAnalyzer analyzer(generate_log(params));
+  const auto rows = analyzer.weekly_elapsed(params.weeks);
+  ASSERT_EQ(rows.size(), params.weeks);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.failed_jobs, 0u);  // every week sees failures (Fig 1)
+    EXPECT_GT(row.overall_mean, 0.0);
+  }
+}
+
+TEST(Analyzer, NodeFailShareGrowsWithNodeCount) {
+  const FailureAnalyzer analyzer(generate_log(test_params()));
+  const auto rows = analyzer.by_node_count(default_node_count_edges());
+  ASSERT_GE(rows.size(), 2u);
+  const auto& smallest = rows.front();
+  const auto& largest = rows.back();
+  // Fig 2(a): hardware failures dominate at the largest allocations.
+  EXPECT_GT(largest.node_fail_share, smallest.node_fail_share * 3);
+  // Node Fail + Timeout share in the top bucket is large (paper: 78.6%).
+  EXPECT_GT(largest.node_fail_share + largest.timeout_share, 0.5);
+}
+
+TEST(Analyzer, ElapsedBucketsShowFlatTypeMix) {
+  const FailureAnalyzer analyzer(generate_log(test_params()));
+  const auto rows = analyzer.by_elapsed(default_elapsed_edges());
+  // Fig 2(b): run time does not strongly change the failure-type ratio.
+  double min_share = 1.0;
+  double max_share = 0.0;
+  for (const auto& row : rows) {
+    if (row.failures < 100) continue;  // skip noisy buckets
+    min_share = std::min(min_share, row.job_fail_share);
+    max_share = std::max(max_share, row.job_fail_share);
+  }
+  EXPECT_LT(max_share - min_share, 0.25);
+}
+
+TEST(Analyzer, SharesSumToOnePerBucket) {
+  const FailureAnalyzer analyzer(generate_log(test_params()));
+  for (const auto& row : analyzer.by_node_count(default_node_count_edges())) {
+    if (row.failures == 0) continue;
+    EXPECT_NEAR(
+        row.job_fail_share + row.timeout_share + row.node_fail_share, 1.0,
+        1e-9);
+  }
+}
+
+TEST(Analyzer, EmptyLog) {
+  const FailureAnalyzer analyzer({});
+  const auto summary = analyzer.table1();
+  EXPECT_EQ(summary.total_jobs, 0u);
+  EXPECT_DOUBLE_EQ(summary.failure_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(analyzer.overall_failure_elapsed_mean(), 0.0);
+}
+
+TEST(JobStateName, Names) {
+  EXPECT_STREQ(job_state_name(JobState::kNodeFail), "NODE_FAIL");
+  EXPECT_STREQ(job_state_name(JobState::kCancelled), "CANCELLED");
+}
+
+TEST(SlurmRecord, ClassHelpers) {
+  SlurmJobRecord job;
+  job.state = JobState::kTimeout;
+  EXPECT_TRUE(job.is_failure());
+  EXPECT_TRUE(job.is_node_failure_class());
+  job.state = JobState::kJobFail;
+  EXPECT_TRUE(job.is_failure());
+  EXPECT_FALSE(job.is_node_failure_class());
+  job.state = JobState::kCompleted;
+  EXPECT_FALSE(job.is_failure());
+}
+
+}  // namespace
+}  // namespace ftc::trace

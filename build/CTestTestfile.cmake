@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/common")
+subdirs("src/hash")
+subdirs("src/ring")
+subdirs("src/sim")
+subdirs("src/storage")
+subdirs("src/rpc")
+subdirs("src/cluster")
+subdirs("src/dl")
+subdirs("src/destim")
+subdirs("src/trace")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_weekly_elapsed.dir/bench_fig1_weekly_elapsed.cpp.o"
+  "CMakeFiles/bench_fig1_weekly_elapsed.dir/bench_fig1_weekly_elapsed.cpp.o.d"
+  "bench_fig1_weekly_elapsed"
+  "bench_fig1_weekly_elapsed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_weekly_elapsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

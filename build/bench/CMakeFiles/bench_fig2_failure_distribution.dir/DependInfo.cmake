@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_failure_distribution.cpp" "bench/CMakeFiles/bench_fig2_failure_distribution.dir/bench_fig2_failure_distribution.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_failure_distribution.dir/bench_fig2_failure_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ftc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/destim/CMakeFiles/ftc_destim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/ftc_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ftc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ftc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ftc_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ftc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ftc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

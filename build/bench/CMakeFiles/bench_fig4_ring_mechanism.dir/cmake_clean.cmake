@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ring_mechanism.dir/bench_fig4_ring_mechanism.cpp.o"
+  "CMakeFiles/bench_fig4_ring_mechanism.dir/bench_fig4_ring_mechanism.cpp.o.d"
+  "bench_fig4_ring_mechanism"
+  "bench_fig4_ring_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ring_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hashring.dir/bench_micro_hashring.cpp.o"
+  "CMakeFiles/bench_micro_hashring.dir/bench_micro_hashring.cpp.o.d"
+  "bench_micro_hashring"
+  "bench_micro_hashring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hashring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_job_failures.dir/bench_table1_job_failures.cpp.o"
+  "CMakeFiles/bench_table1_job_failures.dir/bench_table1_job_failures.cpp.o.d"
+  "bench_table1_job_failures"
+  "bench_table1_job_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_job_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libftc_bench_common.a"
+)

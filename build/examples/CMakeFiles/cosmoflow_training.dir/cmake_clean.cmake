@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmoflow_training.dir/cosmoflow_training.cpp.o"
+  "CMakeFiles/cosmoflow_training.dir/cosmoflow_training.cpp.o.d"
+  "cosmoflow_training"
+  "cosmoflow_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmoflow_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

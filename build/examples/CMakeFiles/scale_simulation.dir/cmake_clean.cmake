@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_simulation.dir/scale_simulation.cpp.o"
+  "CMakeFiles/scale_simulation.dir/scale_simulation.cpp.o.d"
+  "scale_simulation"
+  "scale_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

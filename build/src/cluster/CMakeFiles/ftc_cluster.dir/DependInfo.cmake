@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/ftc_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/ftc_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/failure_injector.cpp" "src/cluster/CMakeFiles/ftc_cluster.dir/failure_injector.cpp.o" "gcc" "src/cluster/CMakeFiles/ftc_cluster.dir/failure_injector.cpp.o.d"
+  "/root/repo/src/cluster/fault_detector.cpp" "src/cluster/CMakeFiles/ftc_cluster.dir/fault_detector.cpp.o" "gcc" "src/cluster/CMakeFiles/ftc_cluster.dir/fault_detector.cpp.o.d"
+  "/root/repo/src/cluster/hvac_client.cpp" "src/cluster/CMakeFiles/ftc_cluster.dir/hvac_client.cpp.o" "gcc" "src/cluster/CMakeFiles/ftc_cluster.dir/hvac_client.cpp.o.d"
+  "/root/repo/src/cluster/hvac_server.cpp" "src/cluster/CMakeFiles/ftc_cluster.dir/hvac_server.cpp.o" "gcc" "src/cluster/CMakeFiles/ftc_cluster.dir/hvac_server.cpp.o.d"
+  "/root/repo/src/cluster/pfs_store.cpp" "src/cluster/CMakeFiles/ftc_cluster.dir/pfs_store.cpp.o" "gcc" "src/cluster/CMakeFiles/ftc_cluster.dir/pfs_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ftc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ftc_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ftc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

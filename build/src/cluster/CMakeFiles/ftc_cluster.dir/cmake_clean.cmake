@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ftc_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/ftc_cluster.dir/failure_injector.cpp.o"
+  "CMakeFiles/ftc_cluster.dir/failure_injector.cpp.o.d"
+  "CMakeFiles/ftc_cluster.dir/fault_detector.cpp.o"
+  "CMakeFiles/ftc_cluster.dir/fault_detector.cpp.o.d"
+  "CMakeFiles/ftc_cluster.dir/hvac_client.cpp.o"
+  "CMakeFiles/ftc_cluster.dir/hvac_client.cpp.o.d"
+  "CMakeFiles/ftc_cluster.dir/hvac_server.cpp.o"
+  "CMakeFiles/ftc_cluster.dir/hvac_server.cpp.o.d"
+  "CMakeFiles/ftc_cluster.dir/pfs_store.cpp.o"
+  "CMakeFiles/ftc_cluster.dir/pfs_store.cpp.o.d"
+  "libftc_cluster.a"
+  "libftc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

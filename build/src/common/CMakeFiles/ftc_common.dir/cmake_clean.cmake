@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_common.dir/config.cpp.o"
+  "CMakeFiles/ftc_common.dir/config.cpp.o.d"
+  "CMakeFiles/ftc_common.dir/histogram.cpp.o"
+  "CMakeFiles/ftc_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/ftc_common.dir/logging.cpp.o"
+  "CMakeFiles/ftc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ftc_common.dir/stats.cpp.o"
+  "CMakeFiles/ftc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ftc_common.dir/string_util.cpp.o"
+  "CMakeFiles/ftc_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/ftc_common.dir/table.cpp.o"
+  "CMakeFiles/ftc_common.dir/table.cpp.o.d"
+  "libftc_common.a"
+  "libftc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

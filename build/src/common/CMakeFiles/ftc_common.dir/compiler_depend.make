@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ftc_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_destim.dir/experiment.cpp.o"
+  "CMakeFiles/ftc_destim.dir/experiment.cpp.o.d"
+  "libftc_destim.a"
+  "libftc_destim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_destim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

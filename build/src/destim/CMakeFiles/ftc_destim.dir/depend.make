@@ -1,0 +1,2 @@
+# Empty dependencies file for ftc_destim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/dataset.cpp" "src/dl/CMakeFiles/ftc_dl.dir/dataset.cpp.o" "gcc" "src/dl/CMakeFiles/ftc_dl.dir/dataset.cpp.o.d"
+  "/root/repo/src/dl/elastic_coordinator.cpp" "src/dl/CMakeFiles/ftc_dl.dir/elastic_coordinator.cpp.o" "gcc" "src/dl/CMakeFiles/ftc_dl.dir/elastic_coordinator.cpp.o.d"
+  "/root/repo/src/dl/epoch_sampler.cpp" "src/dl/CMakeFiles/ftc_dl.dir/epoch_sampler.cpp.o" "gcc" "src/dl/CMakeFiles/ftc_dl.dir/epoch_sampler.cpp.o.d"
+  "/root/repo/src/dl/threaded_trainer.cpp" "src/dl/CMakeFiles/ftc_dl.dir/threaded_trainer.cpp.o" "gcc" "src/dl/CMakeFiles/ftc_dl.dir/threaded_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ftc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ftc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ftc_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ftc_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

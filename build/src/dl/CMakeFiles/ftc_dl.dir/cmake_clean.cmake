@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_dl.dir/dataset.cpp.o"
+  "CMakeFiles/ftc_dl.dir/dataset.cpp.o.d"
+  "CMakeFiles/ftc_dl.dir/elastic_coordinator.cpp.o"
+  "CMakeFiles/ftc_dl.dir/elastic_coordinator.cpp.o.d"
+  "CMakeFiles/ftc_dl.dir/epoch_sampler.cpp.o"
+  "CMakeFiles/ftc_dl.dir/epoch_sampler.cpp.o.d"
+  "CMakeFiles/ftc_dl.dir/threaded_trainer.cpp.o"
+  "CMakeFiles/ftc_dl.dir/threaded_trainer.cpp.o.d"
+  "libftc_dl.a"
+  "libftc_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

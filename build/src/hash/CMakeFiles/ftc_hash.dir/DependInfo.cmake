@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/crc32.cpp" "src/hash/CMakeFiles/ftc_hash.dir/crc32.cpp.o" "gcc" "src/hash/CMakeFiles/ftc_hash.dir/crc32.cpp.o.d"
+  "/root/repo/src/hash/hash.cpp" "src/hash/CMakeFiles/ftc_hash.dir/hash.cpp.o" "gcc" "src/hash/CMakeFiles/ftc_hash.dir/hash.cpp.o.d"
+  "/root/repo/src/hash/murmur3.cpp" "src/hash/CMakeFiles/ftc_hash.dir/murmur3.cpp.o" "gcc" "src/hash/CMakeFiles/ftc_hash.dir/murmur3.cpp.o.d"
+  "/root/repo/src/hash/xxhash64.cpp" "src/hash/CMakeFiles/ftc_hash.dir/xxhash64.cpp.o" "gcc" "src/hash/CMakeFiles/ftc_hash.dir/xxhash64.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_hash.dir/crc32.cpp.o"
+  "CMakeFiles/ftc_hash.dir/crc32.cpp.o.d"
+  "CMakeFiles/ftc_hash.dir/hash.cpp.o"
+  "CMakeFiles/ftc_hash.dir/hash.cpp.o.d"
+  "CMakeFiles/ftc_hash.dir/murmur3.cpp.o"
+  "CMakeFiles/ftc_hash.dir/murmur3.cpp.o.d"
+  "CMakeFiles/ftc_hash.dir/xxhash64.cpp.o"
+  "CMakeFiles/ftc_hash.dir/xxhash64.cpp.o.d"
+  "libftc_hash.a"
+  "libftc_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

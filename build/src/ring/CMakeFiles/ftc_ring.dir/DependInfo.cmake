@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/consistent_hash_ring.cpp" "src/ring/CMakeFiles/ftc_ring.dir/consistent_hash_ring.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/consistent_hash_ring.cpp.o.d"
+  "/root/repo/src/ring/flat_hash_ring.cpp" "src/ring/CMakeFiles/ftc_ring.dir/flat_hash_ring.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/flat_hash_ring.cpp.o.d"
+  "/root/repo/src/ring/load_distribution.cpp" "src/ring/CMakeFiles/ftc_ring.dir/load_distribution.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/load_distribution.cpp.o.d"
+  "/root/repo/src/ring/movement_analysis.cpp" "src/ring/CMakeFiles/ftc_ring.dir/movement_analysis.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/movement_analysis.cpp.o.d"
+  "/root/repo/src/ring/multi_hash.cpp" "src/ring/CMakeFiles/ftc_ring.dir/multi_hash.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/multi_hash.cpp.o.d"
+  "/root/repo/src/ring/placement.cpp" "src/ring/CMakeFiles/ftc_ring.dir/placement.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/placement.cpp.o.d"
+  "/root/repo/src/ring/range_partition.cpp" "src/ring/CMakeFiles/ftc_ring.dir/range_partition.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/range_partition.cpp.o.d"
+  "/root/repo/src/ring/static_modulo.cpp" "src/ring/CMakeFiles/ftc_ring.dir/static_modulo.cpp.o" "gcc" "src/ring/CMakeFiles/ftc_ring.dir/static_modulo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ftc_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_ring.dir/consistent_hash_ring.cpp.o"
+  "CMakeFiles/ftc_ring.dir/consistent_hash_ring.cpp.o.d"
+  "CMakeFiles/ftc_ring.dir/flat_hash_ring.cpp.o"
+  "CMakeFiles/ftc_ring.dir/flat_hash_ring.cpp.o.d"
+  "CMakeFiles/ftc_ring.dir/load_distribution.cpp.o"
+  "CMakeFiles/ftc_ring.dir/load_distribution.cpp.o.d"
+  "CMakeFiles/ftc_ring.dir/movement_analysis.cpp.o"
+  "CMakeFiles/ftc_ring.dir/movement_analysis.cpp.o.d"
+  "CMakeFiles/ftc_ring.dir/multi_hash.cpp.o"
+  "CMakeFiles/ftc_ring.dir/multi_hash.cpp.o.d"
+  "CMakeFiles/ftc_ring.dir/placement.cpp.o"
+  "CMakeFiles/ftc_ring.dir/placement.cpp.o.d"
+  "CMakeFiles/ftc_ring.dir/range_partition.cpp.o"
+  "CMakeFiles/ftc_ring.dir/range_partition.cpp.o.d"
+  "CMakeFiles/ftc_ring.dir/static_modulo.cpp.o"
+  "CMakeFiles/ftc_ring.dir/static_modulo.cpp.o.d"
+  "libftc_ring.a"
+  "libftc_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_rpc.dir/transport.cpp.o"
+  "CMakeFiles/ftc_rpc.dir/transport.cpp.o.d"
+  "libftc_rpc.a"
+  "libftc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

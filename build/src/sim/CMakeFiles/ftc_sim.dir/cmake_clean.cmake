@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_sim.dir/resource.cpp.o"
+  "CMakeFiles/ftc_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/ftc_sim.dir/shared_bandwidth.cpp.o"
+  "CMakeFiles/ftc_sim.dir/shared_bandwidth.cpp.o.d"
+  "CMakeFiles/ftc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ftc_sim.dir/simulator.cpp.o.d"
+  "libftc_sim.a"
+  "libftc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cache_store.cpp" "src/storage/CMakeFiles/ftc_storage.dir/cache_store.cpp.o" "gcc" "src/storage/CMakeFiles/ftc_storage.dir/cache_store.cpp.o.d"
+  "/root/repo/src/storage/file_catalog.cpp" "src/storage/CMakeFiles/ftc_storage.dir/file_catalog.cpp.o" "gcc" "src/storage/CMakeFiles/ftc_storage.dir/file_catalog.cpp.o.d"
+  "/root/repo/src/storage/nvme_model.cpp" "src/storage/CMakeFiles/ftc_storage.dir/nvme_model.cpp.o" "gcc" "src/storage/CMakeFiles/ftc_storage.dir/nvme_model.cpp.o.d"
+  "/root/repo/src/storage/pfs_model.cpp" "src/storage/CMakeFiles/ftc_storage.dir/pfs_model.cpp.o" "gcc" "src/storage/CMakeFiles/ftc_storage.dir/pfs_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ftc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

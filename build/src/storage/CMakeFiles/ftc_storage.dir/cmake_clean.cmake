@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_storage.dir/cache_store.cpp.o"
+  "CMakeFiles/ftc_storage.dir/cache_store.cpp.o.d"
+  "CMakeFiles/ftc_storage.dir/file_catalog.cpp.o"
+  "CMakeFiles/ftc_storage.dir/file_catalog.cpp.o.d"
+  "CMakeFiles/ftc_storage.dir/nvme_model.cpp.o"
+  "CMakeFiles/ftc_storage.dir/nvme_model.cpp.o.d"
+  "CMakeFiles/ftc_storage.dir/pfs_model.cpp.o"
+  "CMakeFiles/ftc_storage.dir/pfs_model.cpp.o.d"
+  "libftc_storage.a"
+  "libftc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

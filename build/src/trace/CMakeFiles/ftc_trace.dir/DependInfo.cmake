@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/failure_analyzer.cpp" "src/trace/CMakeFiles/ftc_trace.dir/failure_analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/ftc_trace.dir/failure_analyzer.cpp.o.d"
+  "/root/repo/src/trace/log_generator.cpp" "src/trace/CMakeFiles/ftc_trace.dir/log_generator.cpp.o" "gcc" "src/trace/CMakeFiles/ftc_trace.dir/log_generator.cpp.o.d"
+  "/root/repo/src/trace/reliability_model.cpp" "src/trace/CMakeFiles/ftc_trace.dir/reliability_model.cpp.o" "gcc" "src/trace/CMakeFiles/ftc_trace.dir/reliability_model.cpp.o.d"
+  "/root/repo/src/trace/sacct_io.cpp" "src/trace/CMakeFiles/ftc_trace.dir/sacct_io.cpp.o" "gcc" "src/trace/CMakeFiles/ftc_trace.dir/sacct_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

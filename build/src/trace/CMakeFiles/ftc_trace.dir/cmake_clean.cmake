@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_trace.dir/failure_analyzer.cpp.o"
+  "CMakeFiles/ftc_trace.dir/failure_analyzer.cpp.o.d"
+  "CMakeFiles/ftc_trace.dir/log_generator.cpp.o"
+  "CMakeFiles/ftc_trace.dir/log_generator.cpp.o.d"
+  "CMakeFiles/ftc_trace.dir/reliability_model.cpp.o"
+  "CMakeFiles/ftc_trace.dir/reliability_model.cpp.o.d"
+  "CMakeFiles/ftc_trace.dir/sacct_io.cpp.o"
+  "CMakeFiles/ftc_trace.dir/sacct_io.cpp.o.d"
+  "libftc_trace.a"
+  "libftc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_client_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_client_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_client_test.cpp.o.d"
+  "/root/repo/tests/cluster_elastic_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_elastic_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_elastic_test.cpp.o.d"
+  "/root/repo/tests/cluster_failure_injector_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_failure_injector_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_failure_injector_test.cpp.o.d"
+  "/root/repo/tests/cluster_fault_detector_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_fault_detector_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_fault_detector_test.cpp.o.d"
+  "/root/repo/tests/cluster_integrity_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_integrity_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_integrity_test.cpp.o.d"
+  "/root/repo/tests/cluster_replication_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_replication_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_replication_test.cpp.o.d"
+  "/root/repo/tests/cluster_server_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_server_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_server_test.cpp.o.d"
+  "/root/repo/tests/cluster_stress_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_stress_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ftc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ftc_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ftc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ftc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/ftc_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/destim/CMakeFiles/ftc_destim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ftc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/cluster_client_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_client_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_elastic_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_elastic_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_failure_injector_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_failure_injector_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_fault_detector_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_fault_detector_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_integrity_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_integrity_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_replication_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_replication_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_server_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_server_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_stress_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_stress_test.cpp.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+  "cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common_config_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_config_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_histogram_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_histogram_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_logging_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_logging_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_rng_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_rng_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_sim_time_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_sim_time_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_stats_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_stats_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_status_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_status_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_string_util_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_string_util_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_table_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_table_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/destim_test.dir/destim_checkpoint_test.cpp.o"
+  "CMakeFiles/destim_test.dir/destim_checkpoint_test.cpp.o.d"
+  "CMakeFiles/destim_test.dir/destim_experiment_test.cpp.o"
+  "CMakeFiles/destim_test.dir/destim_experiment_test.cpp.o.d"
+  "CMakeFiles/destim_test.dir/destim_prefetch_test.cpp.o"
+  "CMakeFiles/destim_test.dir/destim_prefetch_test.cpp.o.d"
+  "CMakeFiles/destim_test.dir/destim_slowdown_test.cpp.o"
+  "CMakeFiles/destim_test.dir/destim_slowdown_test.cpp.o.d"
+  "CMakeFiles/destim_test.dir/destim_sweep_test.cpp.o"
+  "CMakeFiles/destim_test.dir/destim_sweep_test.cpp.o.d"
+  "CMakeFiles/destim_test.dir/destim_validation_test.cpp.o"
+  "CMakeFiles/destim_test.dir/destim_validation_test.cpp.o.d"
+  "CMakeFiles/destim_test.dir/destim_workload_test.cpp.o"
+  "CMakeFiles/destim_test.dir/destim_workload_test.cpp.o.d"
+  "destim_test"
+  "destim_test.pdb"
+  "destim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/destim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_test.dir/dl_sampler_test.cpp.o"
+  "CMakeFiles/dl_test.dir/dl_sampler_test.cpp.o.d"
+  "CMakeFiles/dl_test.dir/dl_trainer_test.cpp.o"
+  "CMakeFiles/dl_test.dir/dl_trainer_test.cpp.o.d"
+  "dl_test"
+  "dl_test.pdb"
+  "dl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

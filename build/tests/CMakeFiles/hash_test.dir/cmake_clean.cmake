@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_test.dir/hash_crc32_test.cpp.o"
+  "CMakeFiles/hash_test.dir/hash_crc32_test.cpp.o.d"
+  "CMakeFiles/hash_test.dir/hash_fnv_test.cpp.o"
+  "CMakeFiles/hash_test.dir/hash_fnv_test.cpp.o.d"
+  "CMakeFiles/hash_test.dir/hash_murmur3_test.cpp.o"
+  "CMakeFiles/hash_test.dir/hash_murmur3_test.cpp.o.d"
+  "CMakeFiles/hash_test.dir/hash_quality_test.cpp.o"
+  "CMakeFiles/hash_test.dir/hash_quality_test.cpp.o.d"
+  "CMakeFiles/hash_test.dir/hash_xxhash64_test.cpp.o"
+  "CMakeFiles/hash_test.dir/hash_xxhash64_test.cpp.o.d"
+  "hash_test"
+  "hash_test.pdb"
+  "hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

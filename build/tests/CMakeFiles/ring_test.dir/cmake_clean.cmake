@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_test.dir/ring_consistent_hash_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_consistent_hash_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring_flat_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_flat_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring_load_distribution_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_load_distribution_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring_movement_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_movement_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring_oracle_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_oracle_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring_property_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_property_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring_strategies_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_strategies_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring_weighted_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_weighted_test.cpp.o.d"
+  "ring_test"
+  "ring_test.pdb"
+  "ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

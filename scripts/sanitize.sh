@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds the concurrency-relevant test binaries under a sanitizer and runs
+# them.  The lock-striped cache, thread pools and transport are the racy
+# surface; cluster/rpc/storage tests cover all three.
+# Usage: scripts/sanitize.sh [thread|address] [build_dir]
+set -euo pipefail
+
+sanitizer="${1:-thread}"
+build_dir="${2:-build-${sanitizer}san}"
+source_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+case "${sanitizer}" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address] [build_dir]" >&2; exit 2 ;;
+esac
+
+# Bench needs google-benchmark and adds nothing to race coverage; skip it
+# to keep the sanitizer build fast.
+cmake -B "${build_dir}" -S "${source_dir}" \
+  -DFTC_SANITIZE="${sanitizer}" \
+  -DFTC_BUILD_BENCH=OFF \
+  -DFTC_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "${build_dir}" -j \
+  --target cluster_test rpc_test storage_test
+
+# halt_on_error makes a single report fail the run loudly.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+
+status=0
+for test_bin in cluster_test rpc_test storage_test; do
+  echo "=== ${sanitizer}-sanitizer: ${test_bin}"
+  if ! "${build_dir}/tests/${test_bin}"; then
+    status=1
+  fi
+done
+exit "${status}"

@@ -78,13 +78,13 @@ std::chrono::milliseconds HvacClient::recommended_timeout(
       std::max<std::int64_t>(1, static_cast<std::int64_t>(us / 1000.0)));
 }
 
-StatusOr<std::string> HvacClient::read_from_pfs(const std::string& path) {
+StatusOr<common::Buffer> HvacClient::read_from_pfs(const std::string& path) {
   ++stats_.served_pfs_direct;
   return pfs_.read(path);
 }
 
 void HvacClient::replicate(const std::string& path,
-                           const std::string& contents, NodeId primary) {
+                           const common::Buffer& contents, NodeId primary) {
   if (config_.replication_factor <= 1 || ring_view_ == nullptr) return;
   const auto chain =
       ring_view_->owner_chain(path, config_.replication_factor);
@@ -125,7 +125,7 @@ void HvacClient::on_timeout(NodeId owner) {
   }
 }
 
-StatusOr<std::string> HvacClient::read_file(const std::string& path) {
+StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
   ++stats_.reads;
 
   // Bounded by the membership size: with R alive nodes a read can at worst
@@ -136,7 +136,7 @@ StatusOr<std::string> HvacClient::read_file(const std::string& path) {
     if (owner == ring::kInvalidNode) {
       // Every cache server is gone; the PFS is the only copy left.
       return config_.mode == FtMode::kNone
-                 ? StatusOr<std::string>(
+                 ? StatusOr<common::Buffer>(
                        Status::unavailable("no cache servers alive"))
                  : read_from_pfs(path);
     }
@@ -170,8 +170,11 @@ StatusOr<std::string> HvacClient::read_file(const std::string& path) {
       rpc::RpcResponse response = std::move(result).value();
       if (response.code == StatusCode::kOk) {
         detector_.record_success(owner);
+        // End-to-end integrity: always a fresh CRC pass over the received
+        // bytes (never the server's memoized value) so wire corruption is
+        // actually exercised.
         if (config_.verify_checksums &&
-            hash::crc32(response.payload) != response.checksum) {
+            hash::crc32(response.payload.view()) != response.checksum) {
           ++stats_.checksum_failures;
           return Status::internal("checksum mismatch for " + path);
         }

@@ -30,6 +30,7 @@
 
 #include "cluster/fault_detector.hpp"
 #include "cluster/pfs_store.hpp"
+#include "common/buffer.hpp"
 #include "common/latency_recorder.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/placement.hpp"
@@ -76,8 +77,9 @@ class HvacClient {
 
   /// The intercepted read: returns file contents or an error.  With
   /// FtMode::kNone a server timeout is fatal (returned to caller); the FT
-  /// modes mask it per their strategy.
-  StatusOr<std::string> read_file(const std::string& path);
+  /// modes mask it per their strategy.  The returned Buffer references
+  /// the server's cached bytes (zero-copy end to end in-process).
+  StatusOr<common::Buffer> read_file(const std::string& path);
 
   /// Owner the client would contact for `path` right now.
   [[nodiscard]] ring::NodeId current_owner(const std::string& path) const;
@@ -122,13 +124,14 @@ class HvacClient {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  StatusOr<std::string> read_from_pfs(const std::string& path);
+  StatusOr<common::Buffer> read_from_pfs(const std::string& path);
   /// Handles a timeout against `owner`: detection bookkeeping plus ring
   /// surgery for the recaching mode.
   void on_timeout(NodeId owner);
   /// Pushes backup copies of `path` to the replica chain beyond the
   /// primary (replication extension; no-op when replication_factor <= 1).
-  void replicate(const std::string& path, const std::string& contents,
+  /// Every backup request shares `contents` by refcount.
+  void replicate(const std::string& path, const common::Buffer& contents,
                  NodeId primary);
 
   NodeId self_;

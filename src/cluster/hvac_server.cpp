@@ -7,25 +7,29 @@
 
 namespace ftc::cluster {
 
+namespace {
+std::uint32_t payload_crc(const common::Buffer& payload) {
+  // Memoized in the buffer's shared control block: computed once per
+  // payload lifetime (first serve), free on every later hit.
+  return payload.checksum(
+      [](std::string_view bytes) { return hash::crc32(bytes); });
+}
+}  // namespace
+
 HvacServer::HvacServer(NodeId id, PfsStore& pfs,
                        const HvacServerConfig& config)
     : id_(id), pfs_(pfs), config_(config),
-      cache_(config.cache_capacity_bytes, config.eviction_policy) {
+      cache_(config.cache_capacity_bytes, config.eviction_policy,
+             config.cache_shards) {
   if (config_.async_data_mover) {
-    mover_ = std::thread([this] { mover_loop(); });
+    mover_pool_ = std::make_unique<common::ThreadPool>(
+        config_.data_mover_threads == 0 ? 1 : config_.data_mover_threads);
   }
 }
 
-HvacServer::~HvacServer() {
-  if (mover_.joinable()) {
-    {
-      std::lock_guard lock(mover_mutex_);
-      mover_stop_ = true;
-    }
-    mover_cv_.notify_all();
-    mover_.join();
-  }
-}
+// mover_pool_'s destructor drains queued recache tasks before the other
+// members go away (it is the last-declared member).
+HvacServer::~HvacServer() = default;
 
 rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
   switch (request.op) {
@@ -38,7 +42,6 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
     }
     case rpc::Op::kEvict: {
       rpc::RpcResponse response;
-      std::lock_guard lock(mutex_);
       response.code = cache_.erase(request.path) ? StatusCode::kOk
                                                  : StatusCode::kNotFound;
       return response;
@@ -46,20 +49,31 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
     case rpc::Op::kStats: {
       rpc::RpcResponse response;
       const Stats s = stats();
-      response.payload = "reads=" + std::to_string(s.reads) +
-                         " hits=" + std::to_string(s.cache_hits) +
-                         " misses=" + std::to_string(s.cache_misses);
+      response.payload = common::Buffer(
+          "reads=" + std::to_string(s.reads) +
+          " hits=" + std::to_string(s.cache_hits) +
+          " misses=" + std::to_string(s.cache_misses) +
+          " pfs_fetches=" + std::to_string(s.pfs_fetches) +
+          " recache_enqueued=" + std::to_string(s.recache_enqueued) +
+          " recache_completed=" + std::to_string(s.recache_completed) +
+          " replicas_stored=" + std::to_string(s.replicas_stored) +
+          " payload_bytes_copied=" + std::to_string(s.payload_bytes_copied) +
+          " evictions=" + std::to_string(s.evictions) +
+          " used_bytes=" + std::to_string(s.used_bytes) +
+          " capacity_bytes=" + std::to_string(cache_.capacity_bytes()) +
+          " files=" + std::to_string(cache_.file_count()));
       return response;
     }
     case rpc::Op::kPut: {
       // Backup-replica placement (replication extension): store without
-      // touching the PFS.
+      // touching the PFS.  The stored buffer shares the request's bytes.
       rpc::RpcResponse response;
-      std::lock_guard lock(mutex_);
       const Status put = cache_.put(request.path, request.payload,
                                     request.payload.size());
       response.code = put.code();
-      if (put.is_ok()) ++stats_.replicas_stored;
+      if (put.is_ok()) {
+        stats_.replicas_stored.fetch_add(1, std::memory_order_relaxed);
+      }
       return response;
     }
   }
@@ -70,110 +84,86 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
 
 rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
   rpc::RpcResponse response;
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.reads;
-    auto cached = cache_.get(request.path);
-    if (cached.is_ok()) {
-      ++stats_.cache_hits;
-      response.code = StatusCode::kOk;
-      response.cache_hit = true;
-      response.payload = std::move(cached).value();
-      response.checksum = hash::crc32(response.payload);
-      return response;
-    }
-    ++stats_.cache_misses;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  auto cached = cache_.get(request.path);
+  if (cached.is_ok()) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kOk;
+    response.cache_hit = true;
+    // Zero-copy hit: the response references the cache entry's bytes.
+    response.payload = std::move(cached).value();
+    response.checksum = payload_crc(response.payload);
+    return response;
   }
+  stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
 
-  // Miss: fetch from PFS outside the cache lock (PFS reads are slow).
+  // Miss: fetch from PFS (slow; no cache lock is held here).
   auto from_pfs = pfs_.read(request.path);
   if (!from_pfs.is_ok()) {
     response.code = from_pfs.status().code();
     return response;
   }
-  std::string contents = std::move(from_pfs).value();
+  stats_.pfs_fetches.fetch_add(1, std::memory_order_relaxed);
+  common::Buffer contents = std::move(from_pfs).value();
   response.code = StatusCode::kOk;
   response.cache_hit = false;
-  response.checksum = hash::crc32(contents);
+  response.checksum = payload_crc(contents);
 
+  stats_.recache_enqueued.fetch_add(1, std::memory_order_relaxed);
   if (config_.async_data_mover) {
-    {
-      std::lock_guard lock(mover_mutex_);
-      mover_queue_.emplace_back(request.path, contents);
-    }
-    mover_cv_.notify_one();
-    std::lock_guard lock(mutex_);
-    ++stats_.recache_enqueued;
+    // The recache task shares the response's buffer — enqueueing is a
+    // refcount bump, not a payload copy.
+    mover_pool_->submit([this, path = request.path, contents] {
+      recache(path, contents);
+    });
   } else {
-    std::lock_guard lock(mutex_);
-    ++stats_.recache_enqueued;
-    const Status put = cache_.put(request.path, contents, contents.size());
-    if (put.is_ok()) {
-      ++stats_.recache_completed;
-    } else {
-      FTC_LOG(kWarn, "hvac_server")
-          << "node " << id_ << " recache failed: " << put.to_string();
-    }
+    recache(request.path, contents);
   }
   response.payload = std::move(contents);
   return response;
 }
 
-void HvacServer::mover_loop() {
-  for (;;) {
-    std::pair<std::string, std::string> item;
-    {
-      std::unique_lock lock(mover_mutex_);
-      mover_cv_.wait(lock,
-                     [this] { return mover_stop_ || !mover_queue_.empty(); });
-      if (mover_queue_.empty()) {
-        if (mover_stop_) return;
-        continue;
-      }
-      item = std::move(mover_queue_.front());
-      mover_queue_.pop_front();
-      mover_busy_ = true;
-    }
-    {
-      std::lock_guard lock(mutex_);
-      const std::uint64_t size = item.second.size();
-      if (cache_.put(item.first, std::move(item.second), size).is_ok()) {
-        ++stats_.recache_completed;
-      }
-    }
-    {
-      std::lock_guard lock(mover_mutex_);
-      mover_busy_ = false;
-    }
-    mover_cv_.notify_all();  // wake flush waiters
+void HvacServer::recache(const std::string& path,
+                         const common::Buffer& contents) {
+  const Status put = cache_.put(path, contents, contents.size());
+  if (put.is_ok()) {
+    stats_.recache_completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    FTC_LOG(kWarn, "hvac_server")
+        << "node " << id_ << " recache failed: " << put.to_string();
   }
 }
 
 void HvacServer::flush_data_mover() {
-  if (!config_.async_data_mover) return;
-  std::unique_lock lock(mover_mutex_);
-  mover_cv_.wait(lock,
-                 [this] { return mover_queue_.empty() && !mover_busy_; });
+  if (mover_pool_) mover_pool_->wait_idle();
 }
 
 HvacServer::Stats HvacServer::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  Stats s;
+  s.reads = stats_.reads.load(std::memory_order_relaxed);
+  s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
+  s.pfs_fetches = stats_.pfs_fetches.load(std::memory_order_relaxed);
+  s.recache_enqueued =
+      stats_.recache_enqueued.load(std::memory_order_relaxed);
+  s.recache_completed =
+      stats_.recache_completed.load(std::memory_order_relaxed);
+  s.replicas_stored = stats_.replicas_stored.load(std::memory_order_relaxed);
+  s.payload_bytes_copied =
+      stats_.payload_bytes_copied.load(std::memory_order_relaxed);
+  s.evictions = cache_.eviction_count();
+  s.used_bytes = cache_.used_bytes();
+  return s;
 }
 
 bool HvacServer::has_cached(const std::string& path) const {
-  std::lock_guard lock(mutex_);
   return cache_.contains(path);
 }
 
 std::size_t HvacServer::cached_file_count() const {
-  std::lock_guard lock(mutex_);
   return cache_.file_count();
 }
 
-std::uint64_t HvacServer::cached_bytes() const {
-  std::lock_guard lock(mutex_);
-  return cache_.used_bytes();
-}
+std::uint64_t HvacServer::cached_bytes() const { return cache_.used_bytes(); }
 
 }  // namespace ftc::cluster

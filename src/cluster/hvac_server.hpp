@@ -2,24 +2,30 @@
 //
 // One instance runs on every compute node.  On a read RPC it checks the
 // node-local NVMe cache; a hit is served directly, a miss is fetched from
-// the PFS, served, and handed to the data-mover thread which copies it
+// the PFS, served, and handed to the data-mover pool which inserts it
 // into the cache in the background — exactly the original HVAC flow.  The
 // elastic-recaching design needs no server-side changes: a post-failure
 // new owner simply sees a miss for the lost file and the normal
 // fetch/serve/recache path restores it (one PFS access per lost file).
+//
+// Data path (zero-copy): payloads are ftc::common::Buffer — a cache hit
+// hands out a reference to the stored bytes (no memcpy, CRC memoized per
+// payload), and a miss shares one buffer between the RPC response and the
+// recache task.  The cache itself is lock-striped (ShardedCacheStore), so
+// concurrent reads of different files never serialize; server counters
+// are lock-free atomics.  There is no server-wide mutex.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <deque>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
 
 #include "cluster/fault_detector.hpp"  // NodeId
 #include "cluster/pfs_store.hpp"
+#include "common/thread_pool.hpp"
 #include "rpc/message.hpp"
-#include "storage/cache_store.hpp"
+#include "storage/sharded_cache_store.hpp"
 
 namespace ftc::cluster {
 
@@ -28,10 +34,14 @@ struct HvacServerConfig {
   std::uint64_t cache_capacity_bytes = 1ULL << 30;
   /// Victim selection when the dataset share exceeds the NVMe capacity.
   storage::EvictionPolicy eviction_policy = storage::EvictionPolicy::kLru;
+  /// Lock stripes for the cache store (keys hashed across shards).
+  std::size_t cache_shards = storage::ShardedCacheStore::kDefaultShards;
   /// When false, misses are cached inline before the response returns
-  /// (deterministic mode for tests); when true, a data-mover thread does
+  /// (deterministic mode for tests); when true, the data-mover pool does
   /// it in the background as in the original system.
   bool async_data_mover = true;
+  /// Worker threads for the background recache pool (async mode only).
+  std::size_t data_mover_threads = 1;
 };
 
 class HvacServer {
@@ -43,6 +53,7 @@ class HvacServer {
   HvacServer& operator=(const HvacServer&) = delete;
 
   /// RPC dispatch; register with Transport as the node's handler.
+  /// Thread-safe: may be called from many transport workers concurrently.
   rpc::RpcResponse handle(const rpc::RpcRequest& request);
 
   [[nodiscard]] NodeId id() const { return id_; }
@@ -55,10 +66,17 @@ class HvacServer {
     std::uint64_t recache_enqueued = 0;
     std::uint64_t recache_completed = 0;
     std::uint64_t replicas_stored = 0;  ///< kPut backups accepted
+    /// Bytes of payload memcpy'd on the serve path.  Stays 0 on the
+    /// refcounted data path (hits share the cache entry's bytes; a miss
+    /// shares one buffer between response and recache task); kept so
+    /// bench_throughput can prove it and regressions show up as nonzero.
+    std::uint64_t payload_bytes_copied = 0;
+    std::uint64_t evictions = 0;        ///< cache evictions to date
+    std::uint64_t used_bytes = 0;       ///< current cache occupancy
   };
   [[nodiscard]] Stats stats() const;
 
-  /// Blocks until the data-mover queue drains (test synchronization).
+  /// Blocks until the data-mover pool drains (test synchronization).
   void flush_data_mover();
 
   /// Cached-state inspection (telemetry / tests).
@@ -68,23 +86,28 @@ class HvacServer {
 
  private:
   rpc::RpcResponse handle_read(const rpc::RpcRequest& request);
-  void mover_loop();
+  void recache(const std::string& path, const common::Buffer& contents);
+
+  /// Lock-free counters (snapshotted by stats()).
+  struct AtomicStats {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> pfs_fetches{0};
+    std::atomic<std::uint64_t> recache_enqueued{0};
+    std::atomic<std::uint64_t> recache_completed{0};
+    std::atomic<std::uint64_t> replicas_stored{0};
+    std::atomic<std::uint64_t> payload_bytes_copied{0};
+  };
 
   NodeId id_;
   PfsStore& pfs_;
   HvacServerConfig config_;
-
-  mutable std::mutex mutex_;  ///< guards cache_ and stats_
-  storage::CacheStore cache_;
-  Stats stats_;
-
-  // Data-mover state.
-  std::mutex mover_mutex_;
-  std::condition_variable mover_cv_;
-  std::deque<std::pair<std::string, std::string>> mover_queue_;
-  bool mover_stop_ = false;
-  bool mover_busy_ = false;  ///< an item is being inserted right now
-  std::thread mover_;
+  storage::ShardedCacheStore cache_;  ///< internally lock-striped
+  AtomicStats stats_;
+  /// Declared last: destroyed first, so queued recache tasks (which touch
+  /// cache_ and stats_) finish while those members are still alive.
+  std::unique_ptr<common::ThreadPool> mover_pool_;
 };
 
 }  // namespace ftc::cluster

@@ -11,12 +11,12 @@ namespace ftc::cluster {
 PfsStore::PfsStore(std::chrono::microseconds read_latency)
     : read_latency_(read_latency) {}
 
-void PfsStore::put(const std::string& path, std::string contents) {
+void PfsStore::put(const std::string& path, common::Buffer contents) {
   std::unique_lock lock(mutex_);
   files_[path] = std::move(contents);
 }
 
-StatusOr<std::string> PfsStore::read(const std::string& path) const {
+StatusOr<common::Buffer> PfsStore::read(const std::string& path) const {
   if (read_latency_.count() > 0) {
     std::this_thread::sleep_for(read_latency_);
   }

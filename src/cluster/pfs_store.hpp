@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/buffer.hpp"
 #include "common/status.hpp"
 
 namespace ftc::cluster {
@@ -23,10 +24,12 @@ class PfsStore {
       std::chrono::microseconds read_latency = std::chrono::microseconds{0});
 
   /// Stores/overwrites a file (dataset staging; not latency-modelled).
-  void put(const std::string& path, std::string contents);
+  void put(const std::string& path, common::Buffer contents);
 
-  /// Reads a file, sleeping the configured latency first.
-  StatusOr<std::string> read(const std::string& path) const;
+  /// Reads a file, sleeping the configured latency first.  Returns a
+  /// refcounted reference to the stored bytes — the transfer cost is
+  /// modelled by the latency, not by a heap copy.
+  StatusOr<common::Buffer> read(const std::string& path) const;
 
   [[nodiscard]] bool contains(const std::string& path) const;
   [[nodiscard]] std::size_t file_count() const;
@@ -49,7 +52,7 @@ class PfsStore {
  private:
   std::chrono::microseconds read_latency_;
   mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, std::string> files_;
+  std::unordered_map<std::string, common::Buffer> files_;
   mutable std::atomic<std::uint64_t> reads_{0};
 };
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/buffer.hpp"
 #include "common/status.hpp"
 
 namespace ftc::rpc {
@@ -29,7 +30,9 @@ struct RpcRequest {
   Op op = Op::kReadFile;
   std::string path;
   /// Payload for kPut (backup replica contents); empty otherwise.
-  std::string payload;
+  /// Refcounted: a replication fan-out shares one payload across every
+  /// backup request instead of copying per target.
+  common::Buffer payload;
   /// Originating client node (telemetry only; servers must not use it for
   /// placement decisions).
   std::uint32_t client_node = 0;
@@ -37,7 +40,10 @@ struct RpcRequest {
 
 struct RpcResponse {
   StatusCode code = StatusCode::kOk;
-  std::string payload;
+  /// Refcounted payload: a cache hit hands out a reference to the stored
+  /// bytes — the response, the cache entry, and (on a miss) the data-mover
+  /// queue all share one allocation.
+  common::Buffer payload;
   /// True when the server had the file cached (vs fetched from PFS).
   bool cache_hit = false;
   /// CRC-32 of payload for end-to-end integrity verification.

@@ -6,12 +6,16 @@
 namespace ftc::rpc {
 
 Transport::~Transport() {
-  // Async completions first: they may still be blocked inside call().
+  // Async completions first: they may still be blocked inside call(), so
+  // the pool must drain while endpoints are alive.  ThreadPool's
+  // destructor runs every queued task before joining.
+  std::unique_ptr<common::ThreadPool> pool;
   {
     std::lock_guard lock(async_mutex_);
     async_shutdown_ = true;
+    pool = std::move(async_pool_);
   }
-  drain_async();
+  pool.reset();
   // Stop every worker; promises for queued requests are broken, which the
   // client side surfaces as kCancelled.
   std::vector<std::unique_ptr<Endpoint>> doomed;
@@ -105,32 +109,37 @@ StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
 void Transport::call_async(
     NodeId target, RpcRequest request, std::chrono::milliseconds timeout,
     std::function<void(StatusOr<RpcResponse>)> on_complete) {
+  // Held across submit: the destructor sets async_shutdown_ under this
+  // mutex before tearing the pool down, so an accepted submission always
+  // lands in a live pool.
   std::lock_guard lock(async_mutex_);
   if (async_shutdown_) {
     if (on_complete) on_complete(Status::cancelled("transport shut down"));
     return;
   }
-  ++async_in_flight_;
-  async_threads_.emplace_back(
+  if (!async_pool_) {
+    async_pool_ = std::make_unique<common::ThreadPool>(kAsyncPoolThreads);
+  }
+  async_pool_->submit(
       [this, target, request = std::move(request), timeout,
        on_complete = std::move(on_complete)]() mutable {
         auto result = call(target, std::move(request), timeout);
         if (on_complete) on_complete(std::move(result));
-        {
-          std::lock_guard inner(async_mutex_);
-          --async_in_flight_;
-        }
-        async_cv_.notify_all();
       });
 }
 
 void Transport::drain_async() {
-  std::unique_lock lock(async_mutex_);
-  async_cv_.wait(lock, [this] { return async_in_flight_ == 0; });
-  for (std::thread& t : async_threads_) {
-    if (t.joinable()) t.join();
+  common::ThreadPool* pool = nullptr;
+  {
+    std::lock_guard lock(async_mutex_);
+    pool = async_pool_.get();
   }
-  async_threads_.clear();
+  if (pool != nullptr) pool->wait_idle();
+}
+
+std::size_t Transport::async_pool_thread_count() const {
+  std::lock_guard lock(async_mutex_);
+  return async_pool_ ? async_pool_->thread_count() : 0;
 }
 
 void Transport::kill(NodeId node) {
@@ -223,7 +232,13 @@ void Transport::worker_loop(Endpoint& endpoint) {
       std::lock_guard lock(endpoint.mutex);
       if (endpoint.corruptions_remaining > 0 && !response.payload.empty()) {
         --endpoint.corruptions_remaining;
-        response.payload[0] ^= 0x01;  // post-checksum bit-flip on the wire
+        // Post-checksum bit-flip on the wire.  Payload bytes are shared
+        // and immutable, so the corrupted copy must be a fresh buffer —
+        // the server's cached bytes stay intact, exactly like real wire
+        // corruption.
+        std::string corrupted = response.payload.to_string();
+        corrupted[0] ^= 0x01;
+        response.payload = common::Buffer(std::move(corrupted));
       }
       // Count BEFORE resolving the promise: a caller that observes the
       // response must also observe it in the stats.

@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "rpc/message.hpp"
 
 namespace ftc::rpc {
@@ -59,15 +60,25 @@ class Transport {
                              std::chrono::milliseconds timeout);
 
   /// Non-blocking variant (Mercury-style): `on_complete` runs on a
-  /// background thread with the same result `call` would return.  Pending
-  /// completions are drained before the transport destructs; callbacks
-  /// must not destroy the transport.
+  /// background thread with the same result `call` would return.  Async
+  /// calls run on a fixed-size completion pool (kAsyncPoolThreads workers,
+  /// created lazily on first use) — issuing N calls never spawns N
+  /// threads; excess calls queue FIFO.  Pending completions are drained
+  /// before the transport destructs; callbacks must not destroy the
+  /// transport.
   void call_async(NodeId target, RpcRequest request,
                   std::chrono::milliseconds timeout,
                   std::function<void(StatusOr<RpcResponse>)> on_complete);
 
   /// Blocks until every in-flight async call has completed.
   void drain_async();
+
+  /// Upper bound on completion threads, independent of async-call volume.
+  static constexpr std::size_t kAsyncPoolThreads = 4;
+
+  /// Threads currently owned by the async completion pool: 0 before the
+  /// first call_async, kAsyncPoolThreads after — never per-call.
+  [[nodiscard]] std::size_t async_pool_thread_count() const;
 
   /// Crash-stop fault: the endpoint stays registered but discards every
   /// request without replying.  Irreversible for the endpoint's lifetime
@@ -123,12 +134,10 @@ class Transport {
   mutable std::mutex registry_mutex_;
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
 
-  // Async-call bookkeeping: completions run on per-call threads that are
-  // reaped on drain/destruction.
-  std::mutex async_mutex_;
-  std::condition_variable async_cv_;
-  std::vector<std::thread> async_threads_;
-  std::size_t async_in_flight_ = 0;
+  // Async-call bookkeeping: completions run on a bounded pool, created
+  // lazily so transports that never go async pay no threads.
+  mutable std::mutex async_mutex_;
+  std::unique_ptr<common::ThreadPool> async_pool_;
   bool async_shutdown_ = false;
 };
 

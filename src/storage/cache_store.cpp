@@ -16,7 +16,7 @@ const char* eviction_policy_name(EvictionPolicy policy) {
 CacheStore::CacheStore(std::uint64_t capacity_bytes, EvictionPolicy policy)
     : capacity_bytes_(capacity_bytes), policy_(policy) {}
 
-Status CacheStore::put(const std::string& path, std::string contents,
+Status CacheStore::put(const std::string& path, common::Buffer contents,
                        std::uint64_t logical_size) {
   if (logical_size > capacity_bytes_) {
     return Status::capacity("file larger than device: " + path);
@@ -37,10 +37,10 @@ Status CacheStore::put(const std::string& path, std::string contents,
 
 Status CacheStore::put_size_only(const std::string& path,
                                  std::uint64_t logical_size) {
-  return put(path, std::string{}, logical_size);
+  return put(path, common::Buffer{}, logical_size);
 }
 
-StatusOr<std::string> CacheStore::get(const std::string& path) {
+StatusOr<common::Buffer> CacheStore::get(const std::string& path) {
   const auto it = entries_.find(path);
   if (it == entries_.end()) {
     ++misses_;
@@ -97,6 +97,13 @@ void CacheStore::make_room(std::uint64_t needed) {
   while (used_bytes_ + needed > capacity_bytes_) {
     if (!evict_one()) return;
   }
+}
+
+std::uint64_t CacheStore::evict_any() {
+  if (lru_.empty()) return 0;
+  const std::uint64_t before = used_bytes_;
+  evict_one();
+  return before - used_bytes_;
 }
 
 bool CacheStore::evict_one() {

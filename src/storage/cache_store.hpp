@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/buffer.hpp"
 #include "common/status.hpp"
 
 namespace ftc::storage {
@@ -40,15 +41,18 @@ class CacheStore {
 
   /// Inserts/overwrites a file.  `logical_size` is the accounted size; for
   /// payload mode pass contents.size().  Evicts LRU entries to fit; fails
-  /// with kCapacity when the file alone exceeds capacity.
-  Status put(const std::string& path, std::string contents,
+  /// with kCapacity when the file alone exceeds capacity.  The buffer is
+  /// stored by reference (no byte copy).
+  Status put(const std::string& path, common::Buffer contents,
              std::uint64_t logical_size);
 
   /// Metadata-only insert (empty payload, explicit size).
   Status put_size_only(const std::string& path, std::uint64_t logical_size);
 
-  /// Reads contents and refreshes recency; kNotFound when absent.
-  StatusOr<std::string> get(const std::string& path);
+  /// Reads contents and refreshes recency; kNotFound when absent.  The
+  /// returned Buffer shares storage with the cache entry — a hit is a
+  /// refcount bump, never an O(size) copy.
+  StatusOr<common::Buffer> get(const std::string& path);
 
   /// Presence check without touching recency.
   [[nodiscard]] bool contains(const std::string& path) const;
@@ -62,6 +66,12 @@ class CacheStore {
 
   /// Drops everything (simulates node wipe on failure).
   void clear();
+
+  /// Evicts one victim per the policy regardless of capacity pressure;
+  /// returns the freed bytes (0 when the store is empty).  Used by
+  /// ShardedCacheStore, whose byte budget is global while victim
+  /// selection stays per-shard.
+  std::uint64_t evict_any();
 
   [[nodiscard]] std::size_t file_count() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
@@ -77,7 +87,7 @@ class CacheStore {
 
  private:
   struct Entry {
-    std::string contents;
+    common::Buffer contents;
     std::uint64_t logical_size;
     std::list<std::string>::iterator lru_it;
     bool referenced = false;  ///< CLOCK reference bit

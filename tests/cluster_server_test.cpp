@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
+#include <string>
+
 #include "cluster/hvac_server.hpp"
 #include "cluster/pfs_store.hpp"
 #include "hash/crc32.hpp"
@@ -91,7 +95,7 @@ TEST(HvacServer, PingAndStatsOps) {
   stats.op = rpc::Op::kStats;
   const auto response = server.handle(stats);
   EXPECT_EQ(response.code, StatusCode::kOk);
-  EXPECT_NE(response.payload.find("reads="), std::string::npos);
+  EXPECT_NE(response.payload.view().find("reads="), std::string::npos);
 }
 
 TEST(HvacServer, EvictOp) {
@@ -125,6 +129,60 @@ TEST(HvacServer, AsyncDataMoverEventuallyCaches) {
   server.flush_data_mover();
   EXPECT_TRUE(server.has_cached("/f"));
   EXPECT_EQ(server.stats().recache_completed, 1u);
+}
+
+// kStats must expose the FULL counter snapshot, not just the read trio —
+// operators diff these fields across nodes to spot imbalance.
+TEST(HvacServer, StatsOpEmitsFullSnapshot) {
+  PfsStore pfs;
+  pfs.put("/a", std::string(60, 'a'));
+  pfs.put("/b", std::string(60, 'b'));
+  HvacServerConfig config = sync_config();
+  config.cache_capacity_bytes = 100;  // /b evicts /a
+  HvacServer server(0, pfs, config);
+
+  rpc::RpcRequest read;
+  read.op = rpc::Op::kReadFile;
+  read.path = "/a";
+  server.handle(read);  // miss + recache
+  server.handle(read);  // hit
+  read.path = "/b";
+  server.handle(read);  // miss + recache -> evicts /a
+
+  rpc::RpcRequest put;
+  put.op = rpc::Op::kPut;
+  put.path = "/replica";
+  put.payload = std::string(10, 'r');
+  ASSERT_EQ(server.handle(put).code, StatusCode::kOk);
+
+  rpc::RpcRequest stats_op;
+  stats_op.op = rpc::Op::kStats;
+  const auto response = server.handle(stats_op);
+  ASSERT_EQ(response.code, StatusCode::kOk);
+
+  // Parse the key=value payload.
+  std::map<std::string, std::uint64_t> kv;
+  std::istringstream in(std::string(response.payload.view()));
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    ASSERT_NE(eq, std::string::npos) << token;
+    kv[token.substr(0, eq)] = std::stoull(token.substr(eq + 1));
+  }
+
+  const auto s = server.stats();
+  EXPECT_EQ(kv.at("reads"), s.reads);
+  EXPECT_EQ(kv.at("hits"), s.cache_hits);
+  EXPECT_EQ(kv.at("misses"), s.cache_misses);
+  EXPECT_EQ(kv.at("pfs_fetches"), s.pfs_fetches);
+  EXPECT_EQ(kv.at("recache_enqueued"), s.recache_enqueued);
+  EXPECT_EQ(kv.at("recache_completed"), s.recache_completed);
+  EXPECT_EQ(kv.at("replicas_stored"), 1u);
+  EXPECT_EQ(kv.at("payload_bytes_copied"), 0u);
+  EXPECT_EQ(kv.at("evictions"), 1u);
+  EXPECT_EQ(kv.at("used_bytes"), 70u);  // /b (60) + /replica (10)
+  EXPECT_EQ(kv.at("capacity_bytes"), 100u);
+  EXPECT_EQ(kv.at("files"), 2u);
 }
 
 TEST(HvacServer, CachedBytesTracked) {

@@ -32,7 +32,7 @@ TEST(TransportAsync, CompletionDelivered) {
                        [&](StatusOr<RpcResponse> result) {
                          std::lock_guard lock(mutex);
                          ASSERT_TRUE(result.is_ok());
-                         payload = result.value().payload;
+                         payload = result.value().payload.to_string();
                          done = true;
                          cv.notify_one();
                        });

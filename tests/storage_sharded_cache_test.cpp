@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/sharded_cache_store.hpp"
+
+namespace ftc::storage {
+namespace {
+
+std::string path_of(int i) { return "/s/file_" + std::to_string(i); }
+
+TEST(ShardedCacheStore, PutGetRoundTripIsZeroCopy) {
+  ShardedCacheStore cache(1 << 20);
+  common::Buffer contents(std::string(256, 'x'));
+  ASSERT_TRUE(cache.put("/a", contents, contents.size()).is_ok());
+  auto got = cache.get("/a");
+  ASSERT_TRUE(got.is_ok());
+  // The returned buffer references the stored bytes — no copy was made.
+  EXPECT_TRUE(got.value().shares_storage(contents));
+  EXPECT_EQ(cache.used_bytes(), 256u);
+  EXPECT_EQ(cache.file_count(), 1u);
+  EXPECT_EQ(cache.hit_count(), 1u);
+}
+
+TEST(ShardedCacheStore, MissCounted) {
+  ShardedCacheStore cache(1 << 20);
+  EXPECT_EQ(cache.get("/none").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cache.miss_count(), 1u);
+}
+
+TEST(ShardedCacheStore, GlobalCapacitySharedAcrossShards) {
+  // Capacity fits 3 files of 30 bytes; a 4th insert must evict, no matter
+  // which shards the paths hash to.
+  ShardedCacheStore cache(100, EvictionPolicy::kLru, 4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        cache.put(path_of(i), std::string(30, 'a'), 30).is_ok());
+    EXPECT_LE(cache.used_bytes(), 100u);
+  }
+  EXPECT_EQ(cache.file_count(), 3u);
+  EXPECT_EQ(cache.eviction_count(), 1u);
+}
+
+TEST(ShardedCacheStore, AnyFileUpToCapacityFits) {
+  // Single-store semantics preserved: one file of exactly the global
+  // capacity is admitted (evicting everything else), regardless of shard.
+  ShardedCacheStore cache(100, EvictionPolicy::kLru, 8);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cache.put(path_of(i), std::string(30, 'b'), 30).is_ok());
+  }
+  ASSERT_TRUE(
+      cache.put("/big", std::string(100, 'B'), 100).is_ok());
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_TRUE(cache.contains("/big"));
+}
+
+TEST(ShardedCacheStore, FileLargerThanCapacityRejected) {
+  ShardedCacheStore cache(100);
+  EXPECT_EQ(cache.put("/huge", std::string(101, 'h'), 101).code(),
+            StatusCode::kCapacity);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(ShardedCacheStore, ReplaceInPlaceAccounting) {
+  ShardedCacheStore cache(1 << 20);
+  ASSERT_TRUE(cache.put("/a", std::string(100, 'x'), 100).is_ok());
+  ASSERT_TRUE(cache.put("/a", std::string(40, 'y'), 40).is_ok());
+  EXPECT_EQ(cache.used_bytes(), 40u);
+  EXPECT_EQ(cache.file_count(), 1u);
+}
+
+TEST(ShardedCacheStore, EraseAndClearAccounting) {
+  ShardedCacheStore cache(1 << 20);
+  ASSERT_TRUE(cache.put("/a", std::string(64, 'a'), 64).is_ok());
+  ASSERT_TRUE(cache.put("/b", std::string(32, 'b'), 32).is_ok());
+  EXPECT_TRUE(cache.erase("/a"));
+  EXPECT_FALSE(cache.erase("/a"));
+  EXPECT_EQ(cache.used_bytes(), 32u);
+  cache.clear();
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.file_count(), 0u);
+}
+
+TEST(ShardedCacheStore, ShardForIsStable) {
+  ShardedCacheStore cache(1 << 20, EvictionPolicy::kLru, 8);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(cache.shard_for(path_of(i)), cache.shard_for(path_of(i)));
+    EXPECT_LT(cache.shard_for(path_of(i)), cache.shard_count());
+  }
+}
+
+// The core invariant the lock-striped design must preserve under races:
+// the global byte counter equals the sum of the entries actually stored,
+// and the budget holds, after any interleaving of puts/erases.
+TEST(ShardedCacheStore, ConcurrentMixedOpsKeepAccountingExact) {
+  constexpr int kThreads = 4;
+  constexpr int kUniverse = 64;
+  constexpr std::uint64_t kCapacity = 20 * 64;  // forces steady eviction
+  ShardedCacheStore cache(kCapacity, EvictionPolicy::kLru, 8);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 400; ++i) {
+        const int id = (t * 131 + i * 7) % kUniverse;
+        switch (i % 4) {
+          case 0:
+          case 1:
+            (void)cache.put(path_of(id), std::string(64, 'z'), 64);
+            break;
+          case 2:
+            (void)cache.get(path_of(id));
+            break;
+          case 3:
+            (void)cache.erase(path_of(id));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::uint64_t sum = 0;
+  std::size_t present = 0;
+  for (int i = 0; i < kUniverse; ++i) {
+    if (const auto size = cache.size_of(path_of(i))) {
+      sum += *size;
+      ++present;
+    }
+  }
+  EXPECT_EQ(cache.used_bytes(), sum);
+  EXPECT_EQ(cache.file_count(), present);
+  EXPECT_LE(cache.used_bytes(), kCapacity);
+}
+
+}  // namespace
+}  // namespace ftc::storage

@@ -112,7 +112,7 @@ BenchArgs parse_args(int argc, char** argv) {
 std::uint64_t total_payload_bytes_copied(Cluster& cluster) {
   std::uint64_t total = 0;
   for (NodeId n = 0; n < cluster.node_count(); ++n) {
-    total += cluster.server(n).stats().payload_bytes_copied;
+    total += cluster.server(n).stats_snapshot().payload_bytes_copied;
   }
   return total;
 }

@@ -59,7 +59,7 @@ int main() {
       return 1;
     }
   }
-  const auto& stats = cluster.client(0).stats();
+  const auto& stats = cluster.client(0).stats_snapshot();
   std::printf(
       "epoch 3: all %zu files still readable\n"
       "         timeouts observed: %llu, ring updates: %llu\n"

@@ -63,7 +63,7 @@ int main() {
   std::printf("  node 1 flagged: %s; timeouts paid: %llu\n",
               cluster.client(0).node_failed(1) ? "yes" : "NO (bad)",
               static_cast<unsigned long long>(
-                  cluster.client(0).stats().timeouts));
+                  cluster.client(0).stats_snapshot().timeouts));
   return cluster.client(0).node_failed(1) &&
                  !cluster.client(0).node_failed(2)
              ? 0

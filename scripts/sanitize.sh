@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Builds the concurrency-relevant test binaries under a sanitizer and runs
 # them.  The lock-striped cache, thread pools and transport are the racy
-# surface; cluster/rpc/storage tests cover all three.
+# surface; cluster/rpc/storage tests cover all three.  cluster_test also
+# carries the gray-failure stress suite (GrayFailStress): concurrent
+# hedging clients racing async hedge legs and reinstatement probes against
+# a flapping node and a slow node — the paths where a data race would hide.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 

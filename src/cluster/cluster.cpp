@@ -24,7 +24,17 @@ Cluster::Cluster(const ClusterConfig& config)
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Hedge legs and reinstatement probes can still be in flight when a
+  // test ends (the client already took its answer and moved on).  Stop
+  // and join every endpoint worker before the servers their handlers
+  // point at are destroyed, then drain the async completion pool so no
+  // callback outlives the cluster.
+  for (NodeId n = 0; n < servers_.size(); ++n) {
+    (void)transport_.unregister_endpoint(n);
+  }
+  transport_.drain_async();
+}
 
 std::vector<std::string> Cluster::stage_dataset(std::uint32_t count,
                                                 std::uint32_t bytes) {
@@ -47,6 +57,11 @@ void Cluster::warm_caches(const std::vector<std::string>& paths) {
 }
 
 void Cluster::fail_node(NodeId node) { transport_.kill(node); }
+
+void Cluster::restore_node(NodeId node, bool lose_cache) {
+  if (lose_cache && node < servers_.size()) servers_[node]->clear_cache();
+  transport_.revive(node);
+}
 
 NodeId Cluster::add_node() {
   const auto node = static_cast<NodeId>(servers_.size());

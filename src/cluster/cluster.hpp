@@ -58,6 +58,12 @@ class Cluster {
   /// from now on (SLURM drain equivalent).
   void fail_node(NodeId node);
 
+  /// Undoes fail_node: the endpoint serves again (a drained node handed
+  /// back to the job).  When `lose_cache` is true the node's NVMe state
+  /// is wiped first, so after reinstatement its keys recache from the PFS
+  /// on first touch — the gray-failure recovery experiment.
+  void restore_node(NodeId node, bool lose_cache = false);
+
   /// Elastic scale-up: provisions a new node (server + client) and
   /// announces it to every existing client.  Returns the new node's id.
   /// In ring mode only ~1/(N+1) of keys migrate to it, each recached from

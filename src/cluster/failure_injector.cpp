@@ -42,4 +42,76 @@ void execute_plan(const std::vector<PlannedFailure>& plan,
   for (const PlannedFailure& failure : plan) kill_node(failure.victim);
 }
 
+GrayFailureInjector::GrayFailureInjector(rpc::Transport& transport,
+                                         std::uint64_t seed)
+    : transport_(transport), rng_(seed), seed_(seed) {}
+
+void GrayFailureInjector::make_slow(NodeId node,
+                                    std::chrono::milliseconds added) {
+  transport_.set_extra_latency(node, added);
+}
+
+void GrayFailureInjector::clear_slow(NodeId node) {
+  transport_.set_extra_latency(node, std::chrono::milliseconds{0});
+}
+
+void GrayFailureInjector::make_lossy(NodeId node, double drop_probability) {
+  // Per-node stream derived from the injector seed: two injectors with
+  // the same seed drop the same requests regardless of call order.
+  std::uint64_t mix = seed_ ^ (static_cast<std::uint64_t>(node) * 0x9E3779B97F4A7C15ULL);
+  transport_.set_drop_probability(node, drop_probability, splitmix64(mix));
+}
+
+void GrayFailureInjector::clear_lossy(NodeId node) {
+  transport_.set_drop_probability(node, 0.0);
+}
+
+void GrayFailureInjector::kill(NodeId node) { transport_.kill(node); }
+
+void GrayFailureInjector::revive(NodeId node) { transport_.revive(node); }
+
+void GrayFailureInjector::add_flap(NodeId node, std::uint32_t down_ticks,
+                                   std::uint32_t up_ticks) {
+  FlapSchedule schedule;
+  schedule.down_ticks = down_ticks == 0 ? 1 : down_ticks;
+  schedule.up_ticks = up_ticks == 0 ? 1 : up_ticks;
+  // Seed-jittered starting point within the up phase so multiple flapping
+  // nodes are not phase-locked.
+  schedule.phase = static_cast<std::uint32_t>(rng_.below(schedule.up_ticks));
+  schedule.down = false;
+  flaps_[node] = schedule;
+}
+
+void GrayFailureInjector::remove_flap(NodeId node) {
+  const auto it = flaps_.find(node);
+  if (it == flaps_.end()) return;
+  if (it->second.down) {
+    transport_.revive(node);
+    ++flap_transitions_;
+  }
+  flaps_.erase(it);
+}
+
+void GrayFailureInjector::tick() {
+  ++ticks_;
+  for (auto& [node, schedule] : flaps_) {
+    ++schedule.phase;
+    const std::uint32_t limit =
+        schedule.down ? schedule.down_ticks : schedule.up_ticks;
+    if (schedule.phase < limit) continue;
+    schedule.phase = 0;
+    schedule.down = !schedule.down;
+    if (schedule.down) {
+      transport_.kill(node);
+    } else {
+      transport_.revive(node);
+    }
+    ++flap_transitions_;
+  }
+}
+
+bool GrayFailureInjector::is_down(NodeId node) const {
+  return transport_.is_killed(node);
+}
+
 }  // namespace ftc::cluster

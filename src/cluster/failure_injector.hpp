@@ -1,18 +1,35 @@
-// failure_injector.hpp - Randomized crash-stop failure injection.
+// failure_injector.hpp - Programmable, seed-deterministic fault injection.
 //
-// The experiments disable nodes "at a predefined or random point in time
-// after the first epoch" (Sec V-A3, the SLURM `State=DRAIN` method).  This
-// helper owns the randomization: victims are drawn without replacement
-// from the surviving set with a seeded Rng so every run is reproducible.
-// It is substrate-agnostic — the kill action is a callback, so the same
-// plan drives the threaded Cluster and the DES experiment.
+// Two layers:
+//
+// 1. Crash-stop failure *planning* (the paper's Sec V-A3 methodology):
+//    the experiments disable nodes "at a predefined or random point in
+//    time after the first epoch" (the SLURM `State=DRAIN` method).
+//    plan_failures() owns the randomization — victims are drawn without
+//    replacement from a seeded Rng so every run is reproducible, and the
+//    kill action is a callback so the same plan drives the threaded
+//    Cluster and the DES experiment.
+//
+// 2. Gray-failure *injection* (GrayFailureInjector): the paper's model is
+//    crash-stop, but Sec III's failure analysis shows many HPC faults are
+//    transient — I/O stalls, lossy links, nodes that flap in and out.
+//    GrayFailureInjector programs those onto the rpc::Transport path:
+//    per-node added latency, probabilistic drops, permanent kills, and
+//    flapping schedules, all driven by an explicit tick() so scenarios
+//    are deterministic for a fixed seed and tick sequence (no wall-clock
+//    coupling).  This is the adversary the probation/reinstatement and
+//    hedged-read machinery is tested against.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rpc/transport.hpp"
 
 namespace ftc::cluster {
 
@@ -43,5 +60,67 @@ std::vector<PlannedFailure> plan_failures(const FailurePlanParams& params);
 /// executes every planned failure now (ordering preserved).
 void execute_plan(const std::vector<PlannedFailure>& plan,
                   const std::function<void(std::uint32_t)>& kill_node);
+
+/// Programs gray failures onto a Transport.  Latency/drop/kill faults
+/// apply immediately and persist until cleared; flap schedules advance
+/// one phase step per tick() call.  All randomness (flap phase jitter)
+/// comes from the constructor seed, so a scenario is reproduced exactly
+/// by replaying the same call/tick sequence.
+class GrayFailureInjector {
+ public:
+  GrayFailureInjector(rpc::Transport& transport, std::uint64_t seed = 0);
+
+  // --- persistent faults (applied now, cleared explicitly) -------------
+  /// Slow node: every request to `node` is delayed by `added` before
+  /// service.  The canonical gray failure — alive, correct, late.
+  void make_slow(NodeId node, std::chrono::milliseconds added);
+  void clear_slow(NodeId node);
+
+  /// Lossy link: each request independently dropped with probability p.
+  /// The drop stream is derived from the injector seed and `node`.
+  void make_lossy(NodeId node, double drop_probability);
+  void clear_lossy(NodeId node);
+
+  /// Crash-stop kill / recovery (SLURM drain and un-drain).
+  void kill(NodeId node);
+  void revive(NodeId node);
+
+  // --- scheduled faults (advance via tick()) ---------------------------
+  /// Flapping node: alternates `down_ticks` dead and `up_ticks` alive,
+  /// starting at a seed-jittered offset within its first up phase.  The
+  /// worst adversary for naive detectors: it keeps coming back just long
+  /// enough to be trusted again.
+  void add_flap(NodeId node, std::uint32_t down_ticks,
+                std::uint32_t up_ticks);
+  void remove_flap(NodeId node);
+
+  /// Advances every flap schedule by one tick, applying kill/revive at
+  /// phase boundaries.  The caller chooses what a tick means (a bench
+  /// pass, a DES step, a wall-clock quantum).
+  void tick();
+
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  /// True while `node` is in a killed phase (flap down, or kill()ed).
+  [[nodiscard]] bool is_down(NodeId node) const;
+  /// Total kill/revive transitions applied by flap schedules (telemetry).
+  [[nodiscard]] std::uint64_t flap_transitions() const {
+    return flap_transitions_;
+  }
+
+ private:
+  struct FlapSchedule {
+    std::uint32_t down_ticks = 1;
+    std::uint32_t up_ticks = 1;
+    std::uint32_t phase = 0;  ///< ticks into the current up+down period
+    bool down = false;
+  };
+
+  rpc::Transport& transport_;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t flap_transitions_ = 0;
+  std::unordered_map<NodeId, FlapSchedule> flaps_;
+};
 
 }  // namespace ftc::cluster

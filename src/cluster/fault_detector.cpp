@@ -1,42 +1,180 @@
 #include "cluster/fault_detector.hpp"
 
+#include <algorithm>
+
 namespace ftc::cluster {
 
-FaultDetector::FaultDetector(std::uint32_t timeout_limit)
-    : timeout_limit_(timeout_limit == 0 ? 1 : timeout_limit) {}
+const char* node_health_name(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy: return "healthy";
+    case NodeHealth::kSuspect: return "suspect";
+    case NodeHealth::kProbation: return "probation";
+    case NodeHealth::kFailed: return "failed";
+  }
+  return "?";
+}
 
-bool FaultDetector::record_timeout(NodeId node) {
-  ++total_timeouts_;
-  if (failed_.contains(node)) return false;
-  const std::uint32_t count = ++counters_[node];
-  if (count >= timeout_limit_) {
-    failed_.insert(node);
-    counters_.erase(node);
+FaultDetector::FaultDetector(Options options) : options_(options) {
+  if (options_.timeout_limit == 0) options_.timeout_limit = 1;
+  if (options_.probe_backoff <= std::chrono::milliseconds::zero()) {
+    options_.probe_backoff = std::chrono::milliseconds(1);
+  }
+  if (options_.probe_backoff_cap < options_.probe_backoff) {
+    options_.probe_backoff_cap = options_.probe_backoff;
+  }
+}
+
+FaultDetector::FaultDetector(std::uint32_t timeout_limit)
+    : FaultDetector(Options{.timeout_limit = timeout_limit,
+                            .allow_reinstatement = false}) {}
+
+std::chrono::milliseconds FaultDetector::backoff_after(
+    std::uint32_t failed_probes) const {
+  auto backoff = options_.probe_backoff;
+  for (std::uint32_t i = 0; i < failed_probes; ++i) {
+    backoff *= 2;
+    if (backoff >= options_.probe_backoff_cap) {
+      return options_.probe_backoff_cap;
+    }
+  }
+  return std::min(backoff, options_.probe_backoff_cap);
+}
+
+bool FaultDetector::take_out_of_service(NodeState& state,
+                                        Clock::time_point now) {
+  state.consecutive_timeouts = 0;
+  // A node that was reinstated and trips the limit again is flapping;
+  // after max_flaps cycles it is declared dead for good.
+  if (!options_.allow_reinstatement ||
+      state.flaps >= options_.max_flaps) {
+    state.health = NodeHealth::kFailed;
     return true;
   }
+  state.health = NodeHealth::kProbation;
+  state.failed_probes = 0;
+  state.next_probe = now + backoff_after(0);
+  ++probation_count_;
+  return true;
+}
+
+bool FaultDetector::record_timeout(NodeId node, Clock::time_point now) {
+  ++total_timeouts_;
+  NodeState& state = nodes_[node];
+  if (state.health == NodeHealth::kProbation ||
+      state.health == NodeHealth::kFailed) {
+    return false;  // already out of service
+  }
+  ++state.consecutive_timeouts;
+  if (state.consecutive_timeouts >= options_.timeout_limit) {
+    return take_out_of_service(state, now);
+  }
+  state.health = NodeHealth::kSuspect;
   return false;
 }
 
 void FaultDetector::record_success(NodeId node) {
-  if (failed_.contains(node)) return;
-  const auto it = counters_.find(node);
-  if (it != counters_.end() && it->second > 0) {
-    ++suppressed_;
-    counters_.erase(it);
-  }
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  NodeState& state = it->second;
+  if (state.health != NodeHealth::kSuspect) return;
+  // Transient delay resolved before the limit: false positive avoided.
+  ++suppressed_;
+  state.consecutive_timeouts = 0;
+  state.health = NodeHealth::kHealthy;
+}
+
+NodeHealth FaultDetector::health(NodeId node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() ? it->second.health : NodeHealth::kHealthy;
 }
 
 bool FaultDetector::is_failed(NodeId node) const {
-  return failed_.contains(node);
+  return health(node) == NodeHealth::kFailed;
+}
+
+bool FaultDetector::is_out_of_service(NodeId node) const {
+  const NodeHealth h = health(node);
+  return h == NodeHealth::kProbation || h == NodeHealth::kFailed;
+}
+
+std::vector<NodeId> FaultDetector::probe_candidates(
+    Clock::time_point now) const {
+  std::vector<NodeId> due;
+  if (probation_count_ == 0) return due;
+  for (const auto& [node, state] : nodes_) {
+    if (state.health == NodeHealth::kProbation && state.next_probe <= now) {
+      due.push_back(node);
+    }
+  }
+  std::sort(due.begin(), due.end());
+  return due;
+}
+
+void FaultDetector::record_probe_launch(NodeId node, Clock::time_point now) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.health != NodeHealth::kProbation) {
+    return;
+  }
+  // Pessimistically schedule the next probe as if this one fails; a
+  // success reinstates the node and makes the deadline moot.
+  it->second.next_probe = now + backoff_after(it->second.failed_probes + 1);
+}
+
+bool FaultDetector::record_probe_success(NodeId node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.health != NodeHealth::kProbation) {
+    return false;
+  }
+  NodeState& state = it->second;
+  state.health = NodeHealth::kHealthy;
+  state.consecutive_timeouts = 0;
+  state.failed_probes = 0;
+  ++state.flaps;  // counts re-entries: next probation may mean flapping
+  --probation_count_;
+  ++reinstatements_;
+  return true;
+}
+
+void FaultDetector::record_probe_failure(NodeId node, Clock::time_point now) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.health != NodeHealth::kProbation) {
+    return;
+  }
+  NodeState& state = it->second;
+  ++state.failed_probes;
+  state.next_probe = now + backoff_after(state.failed_probes);
 }
 
 std::uint32_t FaultDetector::timeout_count(NodeId node) const {
-  const auto it = counters_.find(node);
-  return it != counters_.end() ? it->second : 0;
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() ? it->second.consecutive_timeouts : 0;
+}
+
+std::uint32_t FaultDetector::flap_count(NodeId node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() ? it->second.flaps : 0;
 }
 
 std::vector<NodeId> FaultDetector::failed_nodes() const {
-  return {failed_.begin(), failed_.end()};
+  std::vector<NodeId> failed;
+  for (const auto& [node, state] : nodes_) {
+    if (state.health == NodeHealth::kFailed) failed.push_back(node);
+  }
+  std::sort(failed.begin(), failed.end());
+  return failed;
+}
+
+std::size_t FaultDetector::failed_count() const {
+  return failed_nodes().size();
+}
+
+std::vector<NodeId> FaultDetector::probation_nodes() const {
+  std::vector<NodeId> probation;
+  for (const auto& [node, state] : nodes_) {
+    if (state.health == NodeHealth::kProbation) probation.push_back(node);
+  }
+  std::sort(probation.begin(), probation.end());
+  return probation;
 }
 
 }  // namespace ftc::cluster

@@ -1,41 +1,130 @@
-// fault_detector.hpp - Timeout-counting failure detection (Sec IV-A).
+// fault_detector.hpp - Per-node health state machine for gray failures.
 //
 // The paper's clients detect failures autonomously: every RPC timeout to a
 // node increments a counter; when the counter reaches TIMEOUT_LIMIT the
-// node is flagged failed, permanently (crash-stop model — drained Frontier
-// nodes do not rejoin a running job).  A successful response resets the
-// counter, which is what suppresses false positives from transient network
-// delays.  Pure policy, shared verbatim by the threaded and DES substrates.
+// node is flagged, and a successful response resets the counter (which is
+// what suppresses false positives from transient network delays).  The
+// paper stops there — its model is crash-stop, a flagged node is gone
+// forever.  Sec III's own failure analysis shows that many HPC faults are
+// transient (I/O stalls, network hiccups), so this detector generalizes
+// the counter into a four-state machine:
+//
+//   kHealthy ──timeout──▶ kSuspect ──limit reached──▶ kProbation ─▶ kFailed
+//      ▲                     │                            │
+//      └──────success────────┘        probe success       │
+//      ◀──────────────────────────────(reinstated)────────┘
+//
+//   - kSuspect: timeouts seen but below the limit; a success returns the
+//     node to kHealthy (exactly the paper's counter reset).
+//   - kProbation: the limit tripped.  The node is *out of service* (the
+//     client removes it from its ring) but not written off: reinstatement
+//     probes are due on an exponential-backoff schedule, and a successful
+//     probe returns the node to kHealthy so the client can re-add it via
+//     the elastic add_server path.
+//   - kFailed: terminal crash-stop.  Reached when reinstatement is
+//     disabled (the paper's model, still the default), or when a node
+//     flaps — gets reinstated and re-flagged — more than `max_flaps`
+//     times, so a persistently unreliable node cannot thrash the ring.
+//
+// Pure policy with explicit time injection (callers pass `now`), shared
+// by the threaded and DES substrates and trivially unit-testable.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
+
+#include "common/types.hpp"
 
 namespace ftc::cluster {
 
-using NodeId = std::uint32_t;
+/// Alias of the library-wide node identifier (see common/types.hpp).
+using NodeId = ftc::NodeId;
+
+enum class NodeHealth : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kProbation = 2,
+  kFailed = 3,
+};
+
+const char* node_health_name(NodeHealth health);
 
 class FaultDetector {
  public:
-  /// `timeout_limit` = consecutive timeouts that flag a node as failed
-  /// (the artifact's TIMEOUT_LIMIT; must be >= 1).
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Consecutive timeouts that take a node out of service (the
+    /// artifact's TIMEOUT_LIMIT; clamped to >= 1).
+    std::uint32_t timeout_limit = 3;
+    /// When false (the paper's crash-stop model), tripping the limit goes
+    /// straight to kFailed and the node never returns.  When true it goes
+    /// to kProbation and may be reinstated by a successful probe.
+    bool allow_reinstatement = false;
+    /// Delay before the first reinstatement probe after entering
+    /// probation; doubles after every failed probe.
+    std::chrono::milliseconds probe_backoff{50};
+    /// Upper bound for the probe backoff (the node may come back hours
+    /// later; probing never stops, it just slows to this cadence).
+    std::chrono::milliseconds probe_backoff_cap{2000};
+    /// Probation entries after the first before the node is declared
+    /// terminally kFailed (a flapping node is worse than a dead one:
+    /// every reinstatement moves ring ownership back and forth).
+    std::uint32_t max_flaps = 3;
+  };
+
+  explicit FaultDetector(Options options);
+  /// Crash-stop compatibility constructor: the paper's behaviour
+  /// (reinstatement disabled), used by the DES substrate and the NoFT /
+  /// PFS-redirect modes.
   explicit FaultDetector(std::uint32_t timeout_limit = 3);
 
   /// Records one timeout against `node`.  Returns true exactly when this
-  /// call transitions the node to the failed state.
-  bool record_timeout(NodeId node);
+  /// call takes the node out of service (kHealthy/kSuspect -> kProbation
+  /// or kFailed) — the signal for ring surgery.
+  bool record_timeout(NodeId node, Clock::time_point now = Clock::now());
 
-  /// Records a successful response: clears the node's counter.  Ignored
-  /// for already-failed nodes (failure is sticky).
+  /// Records a successful response: kSuspect -> kHealthy (counter reset).
+  /// Ignored for out-of-service nodes — reinstatement only ever goes
+  /// through a probe, so a late response cannot resurrect a node the
+  /// client already routed around.
   void record_success(NodeId node);
 
+  [[nodiscard]] NodeHealth health(NodeId node) const;
+  /// Terminal failure only (crash-stop verdict).
   [[nodiscard]] bool is_failed(NodeId node) const;
+  /// kProbation or kFailed: the node must receive no data traffic.
+  [[nodiscard]] bool is_out_of_service(NodeId node) const;
+
+  /// Probation nodes whose next probe deadline has passed.  Empty in the
+  /// common case (nothing in probation) at O(1) cost.
+  [[nodiscard]] std::vector<NodeId> probe_candidates(
+      Clock::time_point now = Clock::now()) const;
+
+  /// Marks a probe as launched: pushes the node's deadline one backoff
+  /// step out so concurrent/back-to-back reads do not duplicate probes.
+  void record_probe_launch(NodeId node, Clock::time_point now = Clock::now());
+
+  /// Probe outcome.  Success returns true when the node was reinstated
+  /// (kProbation -> kHealthy, counters cleared); the caller re-adds it to
+  /// its placement.  Failure escalates the backoff.
+  bool record_probe_success(NodeId node);
+  void record_probe_failure(NodeId node, Clock::time_point now = Clock::now());
+
   [[nodiscard]] std::uint32_t timeout_count(NodeId node) const;
-  [[nodiscard]] std::uint32_t timeout_limit() const { return timeout_limit_; }
+  [[nodiscard]] std::uint32_t timeout_limit() const {
+    return options_.timeout_limit;
+  }
+  /// Times this node has re-entered probation after a reinstatement.
+  [[nodiscard]] std::uint32_t flap_count(NodeId node) const;
+
+  /// Terminally failed nodes.
   [[nodiscard]] std::vector<NodeId> failed_nodes() const;
-  [[nodiscard]] std::size_t failed_count() const { return failed_.size(); }
+  [[nodiscard]] std::size_t failed_count() const;
+  /// Nodes currently in probation.
+  [[nodiscard]] std::vector<NodeId> probation_nodes() const;
 
   /// Total timeouts observed across all nodes (telemetry).
   [[nodiscard]] std::uint64_t total_timeouts() const {
@@ -46,13 +135,31 @@ class FaultDetector {
   [[nodiscard]] std::uint64_t suppressed_false_positives() const {
     return suppressed_;
   }
+  /// Probation -> healthy transitions (successful probes).
+  [[nodiscard]] std::uint64_t reinstatements() const {
+    return reinstatements_;
+  }
 
  private:
-  std::uint32_t timeout_limit_;
-  std::unordered_map<NodeId, std::uint32_t> counters_;
-  std::unordered_set<NodeId> failed_;
+  struct NodeState {
+    NodeHealth health = NodeHealth::kHealthy;
+    std::uint32_t consecutive_timeouts = 0;
+    std::uint32_t flaps = 0;  ///< probation re-entries after reinstatement
+    std::uint32_t failed_probes = 0;
+    Clock::time_point next_probe{};
+  };
+
+  /// kHealthy/kSuspect -> out of service; returns true (the transition).
+  bool take_out_of_service(NodeState& state, Clock::time_point now);
+  [[nodiscard]] std::chrono::milliseconds backoff_after(
+      std::uint32_t failed_probes) const;
+
+  Options options_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::size_t probation_count_ = 0;  ///< probe_candidates fast path
   std::uint64_t total_timeouts_ = 0;
   std::uint64_t suppressed_ = 0;
+  std::uint64_t reinstatements_ = 0;
 };
 
 }  // namespace ftc::cluster

@@ -1,5 +1,9 @@
 #include "cluster/hvac_client.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -18,11 +22,120 @@ const char* ft_mode_name(FtMode mode) {
   return "?";
 }
 
+Status HvacClientConfig::validate(std::size_t cluster_size) const {
+  if (rpc_timeout <= std::chrono::milliseconds::zero()) {
+    return Status::invalid_argument("rpc_timeout must be > 0");
+  }
+  if (timeout_limit == 0) {
+    return Status::invalid_argument("timeout_limit must be >= 1");
+  }
+  if (mode == FtMode::kHashRingRecache && vnodes_per_node == 0) {
+    return Status::invalid_argument(
+        "vnodes_per_node must be >= 1 in hash-ring mode");
+  }
+  if (replication_factor == 0) {
+    return Status::invalid_argument("replication_factor must be >= 1");
+  }
+  if (cluster_size > 0 && replication_factor > cluster_size) {
+    return Status::invalid_argument(
+        "replication_factor (" + std::to_string(replication_factor) +
+        ") exceeds cluster size (" + std::to_string(cluster_size) + ")");
+  }
+  if (reinstatement) {
+    if (probe_backoff <= std::chrono::milliseconds::zero()) {
+      return Status::invalid_argument("probe_backoff must be > 0");
+    }
+    if (probe_backoff_cap < probe_backoff) {
+      return Status::invalid_argument(
+          "probe_backoff_cap must be >= probe_backoff");
+    }
+  }
+  if (hedge_reads) {
+    if (!(hedge_quantile > 0.0 && hedge_quantile <= 100.0)) {
+      return Status::invalid_argument("hedge_quantile must be in (0, 100]");
+    }
+    if (hedge_delay_multiplier < 1.0) {
+      return Status::invalid_argument(
+          "hedge_delay_multiplier must be >= 1.0");
+    }
+    if (hedge_min_samples == 0) {
+      return Status::invalid_argument("hedge_min_samples must be >= 1");
+    }
+    if (hedge_min_delay > rpc_timeout) {
+      return Status::invalid_argument(
+          "hedge_min_delay must not exceed rpc_timeout");
+    }
+  }
+  return Status::ok();
+}
+
+/// Outcomes of async RPCs (hedge legs, probes), posted from transport
+/// pool threads and folded in by the owning thread.  See the header.
+struct HvacClient::Mailbox {
+  enum class Kind : std::uint8_t {
+    kRpcSuccess,
+    kRpcTimeout,
+    kProbeSuccess,
+    kProbeFailure,
+  };
+  struct Event {
+    NodeId node;
+    Kind kind;
+  };
+
+  void post(NodeId node, Kind kind) {
+    std::lock_guard lock(mutex);
+    events.push_back({node, kind});
+  }
+
+  std::vector<Event> drain() {
+    std::lock_guard lock(mutex);
+    return std::exchange(events, {});
+  }
+
+  std::mutex mutex;
+  std::vector<Event> events;
+};
+
+namespace {
+
+/// Race state for one hedged read: the caller thread blocks on `cv`; the
+/// primary and hedge completions (transport pool threads) fill their slot
+/// and notify.  shared_ptr-owned so a leg finishing after the caller gave
+/// up writes into live memory.
+struct HedgeWait {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<StatusOr<rpc::RpcResponse>> primary;
+  std::optional<StatusOr<rpc::RpcResponse>> hedge;
+};
+
+bool timeout_like(const Status& status) {
+  // All three look identical from the application's viewpoint: the node
+  // did not serve the request.
+  return status.code() == StatusCode::kTimeout ||
+         status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kCancelled;
+}
+
+}  // namespace
+
 HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
                        const std::vector<NodeId>& servers,
                        const HvacClientConfig& config)
     : self_(self), transport_(transport), pfs_(pfs), config_(config),
-      detector_(config.timeout_limit) {
+      detector_(FaultDetector::Options{
+          .timeout_limit = config.timeout_limit,
+          .allow_reinstatement = config.reinstatement &&
+                                 config.mode == FtMode::kHashRingRecache,
+          .probe_backoff = config.probe_backoff,
+          .probe_backoff_cap = config.probe_backoff_cap,
+          .max_flaps = config.max_flaps}),
+      mailbox_(std::make_shared<Mailbox>()) {
+  const Status valid = config_.validate(servers.size());
+  if (!valid.is_ok()) {
+    throw std::invalid_argument("HvacClientConfig: " + valid.to_string());
+  }
   if (config_.mode == FtMode::kHashRingRecache) {
     ring::RingConfig ring_config;
     ring_config.vnodes_per_node = config_.vnodes_per_node;
@@ -38,7 +151,7 @@ HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
   }
 }
 
-ring::NodeId HvacClient::current_owner(const std::string& path) const {
+NodeId HvacClient::current_owner(const std::string& path) const {
   return placement_->owner(path);
 }
 
@@ -47,6 +160,7 @@ void HvacClient::add_server(NodeId node) {
 }
 
 Status HvacClient::ping(NodeId node) {
+  drain_mailbox();
   rpc::RpcRequest request;
   request.op = rpc::Op::kPing;
   request.client_node = self_;
@@ -78,6 +192,25 @@ std::chrono::milliseconds HvacClient::recommended_timeout(
       std::max<std::int64_t>(1, static_cast<std::int64_t>(us / 1000.0)));
 }
 
+std::chrono::microseconds HvacClient::current_hedge_delay() const {
+  const auto timeout_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          config_.rpc_timeout);
+  std::chrono::microseconds delay;
+  if (latency_.count() < config_.hedge_min_samples) {
+    // No trustworthy quantile yet: hedge late enough that only an
+    // egregiously slow primary triggers it.
+    delay = timeout_us / 4;
+  } else {
+    delay = std::chrono::microseconds(static_cast<std::int64_t>(
+        latency_.percentile(config_.hedge_quantile) *
+        config_.hedge_delay_multiplier));
+  }
+  delay = std::max({delay, config_.hedge_min_delay,
+                    std::chrono::microseconds{1}});
+  return std::min(delay, timeout_us);
+}
+
 StatusOr<common::Buffer> HvacClient::read_from_pfs(const std::string& path) {
   ++stats_.served_pfs_direct;
   return pfs_.read(path);
@@ -88,8 +221,8 @@ void HvacClient::replicate(const std::string& path,
   if (config_.replication_factor <= 1 || ring_view_ == nullptr) return;
   const auto chain =
       ring_view_->owner_chain(path, config_.replication_factor);
-  for (const ring::NodeId backup : chain) {
-    if (backup == primary || detector_.is_failed(backup)) continue;
+  for (const NodeId backup : chain) {
+    if (backup == primary || detector_.is_out_of_service(backup)) continue;
     rpc::RpcRequest put;
     put.op = rpc::Op::kPut;
     put.path = path;
@@ -114,25 +247,245 @@ void HvacClient::on_timeout(NodeId owner) {
   if (detector_.record_timeout(owner)) {
     ++stats_.nodes_flagged;
     FTC_LOG(kInfo, "hvac_client")
-        << "client " << self_ << " flags node " << owner << " as FAILED ("
-        << ft_mode_name(config_.mode) << ")";
+        << "client " << self_ << " takes node " << owner
+        << " out of service: " << node_health_name(detector_.health(owner))
+        << " (" << ft_mode_name(config_.mode) << ")";
     if (config_.mode == FtMode::kHashRingRecache) {
-      // Elastic recaching: drop the dead node's virtual nodes; its keys
-      // fall to the clockwise successors from the next lookup on.
+      // Elastic recaching: drop the node's virtual nodes; its keys fall
+      // to the clockwise successors from the next lookup on.  If the node
+      // is merely in probation a successful probe adds them back.
       placement_->remove_node(owner);
       ++stats_.ring_updates;
     }
   }
 }
 
+void HvacClient::drain_mailbox() {
+  for (const Mailbox::Event& event : mailbox_->drain()) {
+    switch (event.kind) {
+      case Mailbox::Kind::kRpcSuccess:
+        detector_.record_success(event.node);
+        break;
+      case Mailbox::Kind::kRpcTimeout:
+        on_timeout(event.node);
+        break;
+      case Mailbox::Kind::kProbeSuccess:
+        if (detector_.record_probe_success(event.node)) {
+          reinstate(event.node);
+        }
+        break;
+      case Mailbox::Kind::kProbeFailure:
+        detector_.record_probe_failure(event.node);
+        break;
+    }
+  }
+}
+
+void HvacClient::maybe_probe() {
+  if (config_.mode != FtMode::kHashRingRecache || !config_.reinstatement) {
+    return;
+  }
+  for (const NodeId node : detector_.probe_candidates()) {
+    detector_.record_probe_launch(node);
+    ++stats_.probes_sent;
+    rpc::RpcRequest probe;
+    probe.op = rpc::Op::kPing;
+    probe.client_node = self_;
+    // The completion only touches the refcounted mailbox — never the
+    // client, which may be gone by the time a probe against a dead node
+    // times out.
+    transport_.call_async(
+        node, std::move(probe), config_.rpc_timeout,
+        [mailbox = mailbox_, node](const StatusOr<rpc::RpcResponse>& result) {
+          bool up = false;
+          if (result.is_ok()) up = result.value().code == StatusCode::kOk;
+          mailbox->post(node, up ? Mailbox::Kind::kProbeSuccess
+                                 : Mailbox::Kind::kProbeFailure);
+        });
+  }
+}
+
+void HvacClient::reinstate(NodeId node) {
+  // The same elastic path a newly joined server takes (add_server): only
+  // the node's old arc moves back, and each key recaches on first touch.
+  placement_->add_node(node);
+  ++stats_.ring_updates;
+  ++stats_.nodes_reinstated;
+  FTC_LOG(kInfo, "hvac_client")
+      << "client " << self_ << " reinstates node " << node
+      << " after successful probe";
+}
+
+StatusOr<common::Buffer> HvacClient::accept_response(
+    const std::string& path, NodeId server, rpc::RpcResponse response) {
+  if (response.code == StatusCode::kOk) {
+    detector_.record_success(server);
+    // End-to-end integrity: always a fresh CRC pass over the received
+    // bytes (never the server's memoized value) so wire corruption is
+    // actually exercised.
+    if (config_.verify_checksums &&
+        hash::crc32(response.payload.view()) != response.checksum) {
+      ++stats_.checksum_failures;
+      return Status::internal("checksum mismatch for " + path);
+    }
+    if (response.cache_hit) {
+      ++stats_.served_remote_cache;
+    } else {
+      ++stats_.served_remote_fetch;
+      // First fetch of this file: place the backup copies now, while
+      // the contents are in hand (replication extension).
+      replicate(path, response.payload, server);
+    }
+    return std::move(response.payload);
+  }
+  // Server answered with an application error (e.g. file missing from
+  // PFS entirely): not a fault signal, surface it.
+  detector_.record_success(server);
+  return Status(response.code, "server " + std::to_string(server) +
+                                   " error for " + path);
+}
+
+std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
+    const std::string& path, NodeId owner) {
+  auto wait = std::make_shared<HedgeWait>();
+  const auto start = rpc::Clock::now();
+
+  rpc::RpcRequest request;
+  request.op = rpc::Op::kReadFile;
+  request.path = path;
+  request.client_node = self_;
+  transport_.call_async(
+      owner, request, config_.rpc_timeout,
+      [wait, mailbox = mailbox_, owner](StatusOr<rpc::RpcResponse> result) {
+        // A non-timeout error still proves the node is alive.
+        mailbox->post(owner, !result.is_ok() && timeout_like(result.status())
+                                 ? Mailbox::Kind::kRpcTimeout
+                                 : Mailbox::Kind::kRpcSuccess);
+        {
+          std::lock_guard lock(wait->mutex);
+          wait->primary = std::move(result);
+        }
+        wait->cv.notify_all();
+      });
+
+  const auto hedge_delay = current_hedge_delay();
+  {
+    std::unique_lock lock(wait->mutex);
+    wait->cv.wait_for(lock, hedge_delay,
+                      [&wait] { return wait->primary.has_value(); });
+    if (wait->primary.has_value()) {
+      // Fast path: the owner answered before the hedge was due — the
+      // common case, identical to the unhedged read.
+      auto result = std::move(*wait->primary);
+      lock.unlock();
+      drain_mailbox();  // folds this leg's success/timeout verdict
+      if (result.is_ok()) {
+        latency_.record(std::chrono::duration<double, std::micro>(
+                            rpc::Clock::now() - start)
+                            .count());
+        return accept_response(path, owner, std::move(result).value());
+      }
+      if (timeout_like(result.status())) {
+        return std::nullopt;  // retry loop: ring surgery already applied
+      }
+      return StatusOr<common::Buffer>(result.status());
+    }
+  }
+
+  // Primary silent past the hedge delay: race the next distinct ring
+  // successor, or fall back to the PFS when the ring has no one else.
+  ++stats_.hedges_launched;
+  NodeId hedge_target = ring::kInvalidNode;
+  if (ring_view_ != nullptr) {
+    for (const NodeId candidate : ring_view_->owner_chain(path, 2)) {
+      if (candidate != owner && !detector_.is_out_of_service(candidate)) {
+        hedge_target = candidate;
+        break;
+      }
+    }
+  }
+  if (hedge_target == ring::kInvalidNode) {
+    // The authoritative copy always exists; the primary's verdict arrives
+    // later through the mailbox.
+    ++stats_.hedges_to_pfs;
+    return read_from_pfs(path);
+  }
+
+  transport_.call_async(
+      hedge_target, std::move(request), config_.rpc_timeout,
+      [wait, mailbox = mailbox_,
+       hedge_target](StatusOr<rpc::RpcResponse> result) {
+        mailbox->post(hedge_target,
+                      !result.is_ok() && timeout_like(result.status())
+                          ? Mailbox::Kind::kRpcTimeout
+                          : Mailbox::Kind::kRpcSuccess);
+        {
+          std::lock_guard lock(wait->mutex);
+          wait->hedge = std::move(result);
+        }
+        wait->cv.notify_all();
+      });
+
+  // First success wins; prefer the primary when both answered.  The cap
+  // covers both legs' RPC deadlines plus pool queueing slack — purely a
+  // hang safeguard, the transport itself enforces per-call deadlines.
+  const auto give_up = rpc::Clock::now() + 2 * config_.rpc_timeout +
+                       std::chrono::microseconds(hedge_delay);
+  bool primary_won = false;
+  bool hedge_won = false;
+  std::optional<StatusOr<rpc::RpcResponse>> winner;
+  {
+    std::unique_lock lock(wait->mutex);
+    for (;;) {
+      const bool primary_ok = wait->primary.has_value() &&
+                              wait->primary->is_ok() &&
+                              wait->primary->value().code == StatusCode::kOk;
+      const bool hedge_ok = wait->hedge.has_value() && wait->hedge->is_ok() &&
+                            wait->hedge->value().code == StatusCode::kOk;
+      if (primary_ok) {
+        winner = std::move(*wait->primary);
+        primary_won = true;
+        break;
+      }
+      if (hedge_ok) {
+        winner = std::move(*wait->hedge);
+        hedge_won = true;
+        break;
+      }
+      if (wait->primary.has_value() && wait->hedge.has_value()) break;
+      if (wait->cv.wait_until(lock, give_up) == std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+  drain_mailbox();  // verdicts of whichever legs completed so far
+  if (primary_won) {
+    ++stats_.primary_wins_after_hedge;
+    return accept_response(path, owner, std::move(*winner).value());
+  }
+  if (hedge_won) {
+    ++stats_.hedge_wins;
+    return accept_response(path, hedge_target, std::move(*winner).value());
+  }
+  // Both legs failed (or the safeguard tripped): let the retry loop
+  // re-resolve ownership — the failed owner is typically out of the ring
+  // by now.
+  return std::nullopt;
+}
+
 StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
   ++stats_.reads;
+  drain_mailbox();
+  maybe_probe();
+
+  const bool hedging = config_.hedge_reads &&
+                       config_.mode == FtMode::kHashRingRecache;
 
   // Bounded by the membership size: with R alive nodes a read can at worst
   // flag R owners in sequence before the PFS terminal fallback.
   const std::size_t max_attempts = placement_->node_count() + 1;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    const ring::NodeId owner = placement_->owner(path);
+    const NodeId owner = placement_->owner(path);
     if (owner == ring::kInvalidNode) {
       // Every cache server is gone; the PFS is the only copy left.
       return config_.mode == FtMode::kNone
@@ -141,7 +494,7 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
                  : read_from_pfs(path);
     }
 
-    if (detector_.is_failed(owner)) {
+    if (detector_.is_out_of_service(owner)) {
       // Only the PFS-redirect mode can still map keys to a flagged node
       // (its placement is immutable); the ring modes removed it already.
       if (config_.mode == FtMode::kPfsRedirect) return read_from_pfs(path);
@@ -152,6 +505,12 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
       // Defensive: ring mode should never get here; fall through to retry
       // after removing the node.
       placement_->remove_node(owner);
+      continue;
+    }
+
+    if (hedging) {
+      auto outcome = hedged_attempt(path, owner);
+      if (outcome.has_value()) return std::move(*outcome);
       continue;
     }
 
@@ -167,40 +526,11 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
       latency_.record(std::chrono::duration<double, std::micro>(
                           rpc::Clock::now() - call_start)
                           .count());
-      rpc::RpcResponse response = std::move(result).value();
-      if (response.code == StatusCode::kOk) {
-        detector_.record_success(owner);
-        // End-to-end integrity: always a fresh CRC pass over the received
-        // bytes (never the server's memoized value) so wire corruption is
-        // actually exercised.
-        if (config_.verify_checksums &&
-            hash::crc32(response.payload.view()) != response.checksum) {
-          ++stats_.checksum_failures;
-          return Status::internal("checksum mismatch for " + path);
-        }
-        if (response.cache_hit) {
-          ++stats_.served_remote_cache;
-        } else {
-          ++stats_.served_remote_fetch;
-          // First fetch of this file: place the backup copies now, while
-          // the contents are in hand (replication extension).
-          replicate(path, response.payload, owner);
-        }
-        return std::move(response.payload);
-      }
-      // Server answered with an application error (e.g. file missing from
-      // PFS entirely): not a fault signal, surface it.
-      detector_.record_success(owner);
-      return Status(response.code, "server " + std::to_string(owner) +
-                                       " error for " + path);
+      return accept_response(path, owner, std::move(result).value());
     }
 
     const Status& status = result.status();
-    if (status.code() == StatusCode::kTimeout ||
-        status.code() == StatusCode::kUnavailable ||
-        status.code() == StatusCode::kCancelled) {
-      // All three look identical from the application's viewpoint: the
-      // node did not serve the request.
+    if (timeout_like(status)) {
       on_timeout(owner);
       switch (config_.mode) {
         case FtMode::kNone:

@@ -17,14 +17,35 @@
 //                              successor, which recaches them from the PFS
 //                              once and serves NVMe thereafter.
 //
-// Each client instance is used by one training process (thread) at a time,
-// but different clients share nothing — they detect failures and update
-// their rings autonomously, as in the paper (no inter-node coordination).
+// Beyond the paper's crash-stop model, the hash-ring mode handles *gray*
+// failures (slow or flapping nodes, Sec III's transient fault classes):
+//
+//   - Probation/reinstatement: tripping TIMEOUT_LIMIT puts a node in
+//     probation (out of the ring) instead of declaring it dead.  The
+//     client probes it on an exponential backoff; a successful probe
+//     re-adds it through the same elastic path a newly joined server
+//     uses, so its keys migrate back and recache on first touch.  A node
+//     that flaps repeatedly is failed for good (FaultDetector::Options).
+//   - Hedged reads (opt-in, `hedge_reads`): if the owner has not answered
+//     within an adaptive hedge delay (a high quantile of observed healthy
+//     latency x a margin), the client races a second request against the
+//     next distinct ring successor (or the PFS when no successor exists)
+//     and returns the first success — bounding tail latency under a slow
+//     node that never trips the timeout.
+//
+// Each client instance is used by one training process (thread) at a
+// time, but different clients share nothing — they detect failures and
+// update their rings autonomously, as in the paper (no inter-node
+// coordination).  Hedge and probe RPCs complete on transport pool
+// threads; their outcomes are posted to a refcounted mailbox and folded
+// into the detector by the owning thread on its next call, so all client
+// state stays single-threaded.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +53,7 @@
 #include "cluster/pfs_store.hpp"
 #include "common/buffer.hpp"
 #include "common/latency_recorder.hpp"
+#include "common/types.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/placement.hpp"
 #include "rpc/transport.hpp"
@@ -49,13 +71,16 @@ const char* ft_mode_name(FtMode mode);
 struct HvacClientConfig {
   FtMode mode = FtMode::kHashRingRecache;
   /// Per-RPC deadline (the artifact's TIMEOUT_SECONDS, scaled down for an
-  /// in-process transport).
+  /// in-process transport).  Valid: > 0.
   std::chrono::milliseconds rpc_timeout{100};
-  /// Timeouts needed to flag a node (the artifact's TIMEOUT_LIMIT).
+  /// Timeouts needed to take a node out of service (the artifact's
+  /// TIMEOUT_LIMIT).  Valid: >= 1.
   std::uint32_t timeout_limit = 3;
   /// Virtual nodes per physical node for the ring modes (paper: 100).
+  /// Valid: >= 1.
   std::uint32_t vnodes_per_node = 100;
   /// All clients of a job must share this seed to build identical rings.
+  /// Valid: any.
   std::uint64_t ring_seed = 0;
   /// Verify payload CRC against the server-computed checksum.
   bool verify_checksums = true;
@@ -63,14 +88,48 @@ struct HvacClientConfig {
   /// first `replication_factor` distinct ring owners.  On a failure the
   /// clockwise successor already holds the lost files, so recovery needs
   /// NO PFS access at all — at replication_factor x the NVMe footprint.
-  /// 1 = the paper's system (no replication).
+  /// 1 = the paper's system (no replication).  Valid: >= 1 and <= cluster
+  /// size at construction.
   std::uint32_t replication_factor = 1;
+
+  // --- gray-failure handling (hash-ring mode only) ---------------------
+  /// When true, a flagged node enters probation and may be reinstated by
+  /// a background probe; when false, flagging is terminal (the paper's
+  /// crash-stop model).
+  bool reinstatement = true;
+  /// Delay before the first reinstatement probe; doubles per failed
+  /// probe up to `probe_backoff_cap`.  Valid: > 0, cap >= base.
+  std::chrono::milliseconds probe_backoff{50};
+  std::chrono::milliseconds probe_backoff_cap{2000};
+  /// Reinstatement cycles before a flapping node is failed for good.
+  /// Valid: any (0 = first re-flag is terminal).
+  std::uint32_t max_flaps = 3;
+
+  // --- hedged reads (hash-ring mode only; off by default so the paper's
+  // --- single-request read path stays the baseline) --------------------
+  bool hedge_reads = false;
+  /// Hedge delay = clamp(latency quantile x multiplier, min_delay,
+  /// rpc_timeout), falling back to rpc_timeout / 4 until
+  /// `hedge_min_samples` latencies are recorded.
+  /// Valid: quantile in (0, 100], multiplier >= 1.0, min_samples >= 1.
+  double hedge_quantile = 95.0;
+  double hedge_delay_multiplier = 2.0;
+  std::chrono::microseconds hedge_min_delay{0};
+  std::uint32_t hedge_min_samples = 16;
+
+  /// Checks every field against its documented range; `cluster_size` (0 =
+  /// unknown) additionally bounds replication_factor.  The HvacClient
+  /// constructor rejects configs this returns non-OK for.
+  [[nodiscard]] Status validate(std::size_t cluster_size = 0) const;
 };
 
 class HvacClient {
  public:
   /// `servers` = the job's initial allocation (clients and servers are
   /// co-located; `self` identifies this client's node for telemetry).
+  /// Throws std::invalid_argument when `config.validate(servers.size())`
+  /// fails — a client with a zero timeout or an impossible replication
+  /// factor must not exist at all rather than silently misbehave.
   HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
              const std::vector<NodeId>& servers,
              const HvacClientConfig& config);
@@ -82,16 +141,19 @@ class HvacClient {
   StatusOr<common::Buffer> read_file(const std::string& path);
 
   /// Owner the client would contact for `path` right now.
-  [[nodiscard]] ring::NodeId current_owner(const std::string& path) const;
+  [[nodiscard]] NodeId current_owner(const std::string& path) const;
 
   /// Elastic scale-up: a new cache server joined the job.  In ring mode
   /// only ~1/(N+1) of keys move to it (each recached on first touch); in
   /// the static modes this is a full re-modulo — the movement asymmetry
-  /// the paper's Sec IV-B argues from.
+  /// the paper's Sec IV-B argues from.  Reinstatement rides this same
+  /// path: a probed-healthy probation node is re-added here.
   void add_server(NodeId node);
 
-  /// Observed end-to-end latencies (microseconds) of successful cache
-  /// reads — the measurement behind the TTL guidance of Sec IV-A.
+  /// Observed end-to-end latencies (microseconds) of successful
+  /// non-hedged cache reads — the measurement behind the TTL guidance of
+  /// Sec IV-A and the hedge-delay quantile.  Reads that hedged are
+  /// excluded so the hedge policy cannot feed back into its own trigger.
   [[nodiscard]] const LatencyRecorder& latency() const { return latency_; }
 
   /// TTL the paper's rule would pick right now: max observed latency x
@@ -99,13 +161,21 @@ class HvacClient {
   [[nodiscard]] std::chrono::milliseconds recommended_timeout(
       double margin = 2.0) const;
 
+  /// Hedge delay the adaptive policy would use right now.
+  [[nodiscard]] std::chrono::microseconds current_hedge_delay() const;
+
   /// Liveness probe (diagnostics only — the FT designs never rely on
   /// pings; detection is timeout-on-request).  Feeds the detector and the
   /// latency window like a data request.
   Status ping(NodeId node);
 
+  /// True when the client routes no data traffic to `node` (probation or
+  /// terminal failure).
   [[nodiscard]] bool node_failed(NodeId node) const {
-    return detector_.is_failed(node);
+    return detector_.is_out_of_service(node);
+  }
+  [[nodiscard]] NodeHealth node_health(NodeId node) const {
+    return detector_.health(node);
   }
   [[nodiscard]] const FaultDetector& detector() const { return detector_; }
   [[nodiscard]] const HvacClientConfig& config() const { return config_; }
@@ -116,18 +186,50 @@ class HvacClient {
     std::uint64_t served_remote_fetch = 0;  ///< server fetched from PFS
     std::uint64_t served_pfs_direct = 0;    ///< client read the PFS itself
     std::uint64_t timeouts = 0;
-    std::uint64_t nodes_flagged = 0;
+    std::uint64_t nodes_flagged = 0;   ///< healthy/suspect -> out of service
     std::uint64_t ring_updates = 0;
     std::uint64_t checksum_failures = 0;
     std::uint64_t replicas_pushed = 0;  ///< backup kPut ops issued
+    // Gray-failure path:
+    std::uint64_t hedges_launched = 0;  ///< second requests raced
+    std::uint64_t hedge_wins = 0;       ///< hedge answered first
+    std::uint64_t primary_wins_after_hedge = 0;  ///< hedge raced, lost
+    std::uint64_t hedges_to_pfs = 0;    ///< no successor; hedged to PFS
+    std::uint64_t probes_sent = 0;      ///< reinstatement probes launched
+    std::uint64_t nodes_reinstated = 0; ///< probation -> healthy, re-added
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Value snapshot of the counters.  There is deliberately no reference
+  /// accessor: callers can neither mutate the client's counters nor
+  /// observe a torn mid-update state.
+  [[nodiscard]] Stats stats_snapshot() const { return stats_; }
 
  private:
+  /// Mailbox for RPC outcomes that complete on transport pool threads
+  /// (hedge legs, probes).  Owned via shared_ptr so completions arriving
+  /// after the client (or the read that launched them) is gone write into
+  /// refcounted memory, not a dangling `this`.  The owning thread drains
+  /// it at the top of every read/ping.
+  struct Mailbox;
+
   StatusOr<common::Buffer> read_from_pfs(const std::string& path);
   /// Handles a timeout against `owner`: detection bookkeeping plus ring
   /// surgery for the recaching mode.
   void on_timeout(NodeId owner);
+  /// Folds queued async outcomes into detector/placement/stats.
+  void drain_mailbox();
+  /// Launches async reinstatement probes for probation nodes past their
+  /// backoff deadline.
+  void maybe_probe();
+  /// Reinstates a probed-healthy node into the placement.
+  void reinstate(NodeId node);
+  /// Hedged fast path for one attempt; returns nullopt when the caller
+  /// should fall back to the ordinary retry loop for this attempt.
+  std::optional<StatusOr<common::Buffer>> hedged_attempt(
+      const std::string& path, NodeId owner);
+  /// Winner bookkeeping shared by the plain and hedged paths.
+  StatusOr<common::Buffer> accept_response(const std::string& path,
+                                           NodeId server,
+                                           rpc::RpcResponse response);
   /// Pushes backup copies of `path` to the replica chain beyond the
   /// primary (replication extension; no-op when replication_factor <= 1).
   /// Every backup request shares `contents` by refcount.
@@ -141,12 +243,13 @@ class HvacClient {
   /// kHashRingRecache uses the ring; the other modes use the original
   /// static modulo placement, matching the systems compared in Sec V.
   std::unique_ptr<ring::PlacementStrategy> placement_;
-  /// Non-owning view of placement_ when it is a ring (replication needs
-  /// owner chains); nullptr otherwise.
+  /// Non-owning view of placement_ when it is a ring (replication and
+  /// hedging need owner chains); nullptr otherwise.
   ring::ConsistentHashRing* ring_view_ = nullptr;
   FaultDetector detector_;
   Stats stats_;
   LatencyRecorder latency_;
+  std::shared_ptr<Mailbox> mailbox_;
 };
 
 }  // namespace ftc::cluster

@@ -48,7 +48,7 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
     }
     case rpc::Op::kStats: {
       rpc::RpcResponse response;
-      const Stats s = stats();
+      const Stats s = stats_snapshot();
       response.payload = common::Buffer(
           "reads=" + std::to_string(s.reads) +
           " hits=" + std::to_string(s.cache_hits) +
@@ -138,7 +138,14 @@ void HvacServer::flush_data_mover() {
   if (mover_pool_) mover_pool_->wait_idle();
 }
 
-HvacServer::Stats HvacServer::stats() const {
+void HvacServer::clear_cache() {
+  // Drain in-flight recaches first so a mover task cannot repopulate an
+  // entry after the clear.
+  flush_data_mover();
+  cache_.clear();
+}
+
+HvacServer::Stats HvacServer::stats_snapshot() const {
   Stats s;
   s.reads = stats_.reads.load(std::memory_order_relaxed);
   s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);

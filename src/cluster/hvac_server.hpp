@@ -74,10 +74,19 @@ class HvacServer {
     std::uint64_t evictions = 0;        ///< cache evictions to date
     std::uint64_t used_bytes = 0;       ///< current cache occupancy
   };
-  [[nodiscard]] Stats stats() const;
+  /// Value snapshot of the lock-free counters plus cache occupancy.  As
+  /// with HvacClient, there is deliberately no reference accessor —
+  /// counters cannot be mutated or observed torn from outside.
+  [[nodiscard]] Stats stats_snapshot() const;
 
   /// Blocks until the data-mover pool drains (test synchronization).
   void flush_data_mover();
+
+  /// Drops every cached entry (counters keep their history).  Models a
+  /// node whose NVMe state was lost while it was out of service — the
+  /// reinstatement experiments use it so a returning node must recache
+  /// on first touch.
+  void clear_cache();
 
   /// Cached-state inspection (telemetry / tests).
   [[nodiscard]] bool has_cached(const std::string& path) const;

@@ -1,0 +1,24 @@
+// types.hpp - Core identifier types shared across layers.
+//
+// Historically each layer (ring, cluster, rpc) declared its own
+// `NodeId = std::uint32_t` alias; they were always the same type but read
+// as three different vocabularies and let signatures drift (e.g.
+// HvacClient::current_owner returning ring::NodeId while the rest of the
+// class spoke cluster::NodeId).  This header is the single definition;
+// the per-layer names remain as aliases of ftc::NodeId for brevity at use
+// sites.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ftc {
+
+/// Physical cache-server / compute-node identifier.  Dense small
+/// integers: node i of an N-node allocation.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (empty membership, no owner).
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace ftc

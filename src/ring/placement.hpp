@@ -10,20 +10,20 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace ftc::ring {
 
-/// Physical cache-server identifier.  Dense small integers: node i of an
-/// N-node allocation.
-using NodeId = std::uint32_t;
+/// Alias of the library-wide node identifier (see common/types.hpp).
+using NodeId = ftc::NodeId;
 
 /// Sentinel for "no owner" (empty membership).
-constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr NodeId kInvalidNode = ftc::kInvalidNode;
 
 class PlacementStrategy {
  public:

@@ -13,6 +13,7 @@
 
 #include "common/buffer.hpp"
 #include "common/status.hpp"
+#include "common/types.hpp"
 
 namespace ftc::rpc {
 
@@ -35,7 +36,7 @@ struct RpcRequest {
   common::Buffer payload;
   /// Originating client node (telemetry only; servers must not use it for
   /// placement decisions).
-  std::uint32_t client_node = 0;
+  ftc::NodeId client_node = 0;
 };
 
 struct RpcResponse {

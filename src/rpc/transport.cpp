@@ -153,6 +153,17 @@ void Transport::kill(NodeId node) {
   it->second->cv.notify_all();
 }
 
+void Transport::revive(NodeId node) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  {
+    std::lock_guard lock(it->second->mutex);
+    it->second->killed = false;
+  }
+  it->second->cv.notify_all();
+}
+
 bool Transport::is_killed(NodeId node) const {
   std::lock_guard registry_lock(registry_mutex_);
   const auto it = endpoints_.find(node);
@@ -176,6 +187,16 @@ void Transport::drop_next(NodeId node, std::uint32_t count) {
   if (it == endpoints_.end()) return;
   std::lock_guard lock(it->second->mutex);
   it->second->drops_remaining += count;
+}
+
+void Transport::set_drop_probability(NodeId node, double p,
+                                     std::uint64_t seed) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->drop_probability = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  it->second->drop_rng.reseed(seed);
 }
 
 void Transport::corrupt_next(NodeId node, std::uint32_t count) {
@@ -219,6 +240,11 @@ void Transport::worker_loop(Endpoint& endpoint) {
       }
       if (endpoint.drops_remaining > 0) {
         --endpoint.drops_remaining;
+        ++endpoint.stats.dropped;
+        continue;
+      }
+      if (endpoint.drop_probability > 0.0 &&
+          endpoint.drop_rng.chance(endpoint.drop_probability)) {
         ++endpoint.stats.dropped;
         continue;
       }

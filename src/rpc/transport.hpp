@@ -5,13 +5,18 @@
 // with a deadline.  Faults are injected at this layer:
 //   - kill():  endpoint silently discards requests (crash-stop node — the
 //              client sees only timeouts, exactly like a drained Frontier
-//              node);
-//   - set_extra_latency(): per-endpoint added delay (transient slowness,
-//              used by the timeout-threshold/false-positive experiments);
-//   - drop_next(): drop exactly N requests then behave (packet-loss blips).
+//              node); revive() undoes it (a drained node handed back to
+//              the job, the gray-failure reinstatement experiments);
+//   - set_extra_latency(): per-endpoint added delay (a *slow* node — the
+//              gray failure the hedged-read path is built to mask);
+//   - drop_next(): drop exactly N requests then behave (packet-loss blips);
+//   - set_drop_probability(): drop each request with seeded probability p
+//              (lossy link; deterministic per request sequence).
 //
 // The FT policy above this layer must work with *no* information other
 // than per-request timeouts, matching the paper's autonomous detection.
+// cluster::GrayFailureInjector composes these primitives into scheduled,
+// seed-deterministic fault scenarios (flapping, staged degradation).
 #pragma once
 
 #include <chrono>
@@ -25,13 +30,16 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
+#include "common/types.hpp"
 #include "rpc/message.hpp"
 
 namespace ftc::rpc {
 
-using NodeId = std::uint32_t;
+/// Alias of the library-wide node identifier (see common/types.hpp).
+using NodeId = ftc::NodeId;
 using Clock = std::chrono::steady_clock;
 
 class Transport {
@@ -74,16 +82,26 @@ class Transport {
   void drain_async();
 
   /// Upper bound on completion threads, independent of async-call volume.
-  static constexpr std::size_t kAsyncPoolThreads = 4;
+  /// Sized for hedged reads: every hedged read holds up to two slots
+  /// (primary + hedge), and a slot aimed at a dead node blocks for the
+  /// full RPC deadline.  Generous because orphaned primary legs to a
+  /// *slow* (gray) node keep their slot for the node's full stall after
+  /// the hedge already won — if those orphans exhaust the pool, hedge
+  /// legs queue behind them and re-import the very tail hedging masks.
+  static constexpr std::size_t kAsyncPoolThreads = 16;
 
   /// Threads currently owned by the async completion pool: 0 before the
   /// first call_async, kAsyncPoolThreads after — never per-call.
   [[nodiscard]] std::size_t async_pool_thread_count() const;
 
   /// Crash-stop fault: the endpoint stays registered but discards every
-  /// request without replying.  Irreversible for the endpoint's lifetime
-  /// (a drained node does not come back within a job).
+  /// request without replying.  Lasts until revive() (never called in the
+  /// paper's model — a drained node does not come back within a job).
   void kill(NodeId node);
+
+  /// Undoes kill(): the endpoint serves requests again.  Queued requests
+  /// that arrived while killed were already discarded and stay lost.
+  void revive(NodeId node);
 
   [[nodiscard]] bool is_killed(NodeId node) const;
 
@@ -93,6 +111,11 @@ class Transport {
 
   /// Silently drops the next `count` requests to `node`.
   void drop_next(NodeId node, std::uint32_t count);
+
+  /// Drops each request to `node` independently with probability p in
+  /// [0, 1], drawn from a seeded per-endpoint stream (deterministic for a
+  /// fixed request sequence).  p = 0 restores reliable delivery.
+  void set_drop_probability(NodeId node, double p, std::uint64_t seed = 0);
 
   /// Corrupts the payload of the next `count` responses from `node`
   /// (bit-flip after the checksum is computed) — exercises the client's
@@ -126,6 +149,8 @@ class Transport {
     std::chrono::milliseconds extra_latency{0};
     std::uint32_t drops_remaining = 0;
     std::uint32_t corruptions_remaining = 0;
+    double drop_probability = 0.0;
+    Rng drop_rng{0};
     EndpointStats stats;
   };
 

@@ -30,7 +30,7 @@ TEST(HvacClientBasics, ReadsThroughCacheLayer) {
   auto result = cluster.client(0).read_file(paths[0]);
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result.value().size(), 128u);
-  const auto& stats = cluster.client(0).stats();
+  const auto& stats = cluster.client(0).stats_snapshot();
   EXPECT_EQ(stats.reads, 1u);
   // First touch is a server-side fetch (remote or local miss -> PFS once).
   EXPECT_EQ(cluster.pfs().read_count(), 1u);
@@ -64,7 +64,7 @@ TEST(HvacClientBasics, ChecksumVerified) {
   const auto paths = cluster.stage_dataset(5, 256);
   auto result = cluster.client(0).read_file(paths[2]);
   ASSERT_TRUE(result.is_ok());
-  EXPECT_EQ(cluster.client(0).stats().checksum_failures, 0u);
+  EXPECT_EQ(cluster.client(0).stats_snapshot().checksum_failures, 0u);
 }
 
 TEST(HvacClientNoFt, FailureIsFatal) {
@@ -98,7 +98,7 @@ TEST(HvacClientPfsRedirect, FailureMaskedViaPfs) {
   }
   EXPECT_GT(cluster.pfs().read_count(), pfs_before);
   EXPECT_TRUE(cluster.client(0).node_failed(1));
-  EXPECT_GT(cluster.client(0).stats().served_pfs_direct, 0u);
+  EXPECT_GT(cluster.client(0).stats_snapshot().served_pfs_direct, 0u);
 }
 
 TEST(HvacClientPfsRedirect, RepeatedEpochsKeepHittingPfs) {
@@ -124,7 +124,7 @@ TEST(HvacClientHashRing, FailureMaskedViaRecaching) {
     ASSERT_TRUE(cluster.client(0).read_file(path).is_ok()) << path;
   }
   EXPECT_TRUE(cluster.client(0).node_failed(1));
-  EXPECT_GE(cluster.client(0).stats().ring_updates, 1u);
+  EXPECT_GE(cluster.client(0).stats_snapshot().ring_updates, 1u);
   // No path may still resolve to the dead node.
   for (const auto& path : paths) {
     EXPECT_NE(cluster.client(0).current_owner(path), 1u);
@@ -187,7 +187,7 @@ TEST(HvacClientHashRing, TransientDelayDoesNotFlagNode) {
   auto result = cluster.client(0).read_file(victim_path);
   ASSERT_TRUE(result.is_ok());  // retry after the dropped request succeeds
   EXPECT_FALSE(cluster.client(0).node_failed(2));
-  EXPECT_GE(cluster.client(0).stats().timeouts, 1u);
+  EXPECT_GE(cluster.client(0).stats_snapshot().timeouts, 1u);
 }
 
 TEST(HvacClientHashRing, CascadingFailuresAllButOne) {

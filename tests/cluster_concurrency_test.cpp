@@ -90,7 +90,7 @@ TEST(Concurrency, MixedOpsUnderCapacityPressureKeepBooksExact) {
   EXPECT_EQ(server.cached_bytes(),
             static_cast<std::uint64_t>(present) * kFileBytes);
 
-  const auto stats = server.stats();
+  const auto stats = server.stats_snapshot();
   // Invariant 2: the budget held (capacity pressure really happened —
   // evictions must be nonzero for this test to mean anything).
   EXPECT_LE(stats.used_bytes, config.cache_capacity_bytes);

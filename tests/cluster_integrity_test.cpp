@@ -30,7 +30,7 @@ TEST(Integrity, CorruptedPayloadDetectedByCrc) {
   auto result = cluster.client(0).read_file(paths[0]);
   ASSERT_FALSE(result.is_ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInternal);
-  EXPECT_EQ(cluster.client(0).stats().checksum_failures, 1u);
+  EXPECT_EQ(cluster.client(0).stats_snapshot().checksum_failures, 1u);
   // The corruption was transient: the next read is clean.
   EXPECT_TRUE(cluster.client(0).read_file(paths[0]).is_ok());
 }
@@ -45,7 +45,7 @@ TEST(Integrity, ChecksumBypassAcceptsCorruption) {
   // the client verifies by default.
   auto result = cluster.client(0).read_file(paths[0]);
   ASSERT_TRUE(result.is_ok());
-  EXPECT_EQ(cluster.client(0).stats().checksum_failures, 0u);
+  EXPECT_EQ(cluster.client(0).stats_snapshot().checksum_failures, 0u);
 }
 
 TEST(Integrity, ServerKPutRejectsOverCapacity) {
@@ -65,7 +65,7 @@ TEST(Integrity, ServerKPutRejectsOverCapacity) {
   put.payload = "ok";
   EXPECT_EQ(server.handle(put).code, StatusCode::kOk);
   EXPECT_TRUE(server.has_cached("/small"));
-  EXPECT_EQ(server.stats().replicas_stored, 1u);
+  EXPECT_EQ(server.stats_snapshot().replicas_stored, 1u);
 }
 
 TEST(Integrity, EndpointReRegisterAfterUnregister) {

@@ -32,7 +32,7 @@ TEST(Replication, BackupsStoredOnFirstFetch) {
   EXPECT_EQ(cluster.total_cached_files(), 2 * paths.size());
   std::uint64_t replicas = 0;
   for (NodeId n = 0; n < cluster.node_count(); ++n) {
-    replicas += cluster.server(n).stats().replicas_stored;
+    replicas += cluster.server(n).stats_snapshot().replicas_stored;
   }
   EXPECT_EQ(replicas, paths.size());
 }
@@ -93,7 +93,7 @@ TEST(Replication, ReplicasPushedStatTracked) {
   for (const auto& path : paths) {
     ASSERT_TRUE(cluster.client(0).read_file(path).is_ok());
   }
-  pushed = cluster.client(0).stats().replicas_pushed;
+  pushed = cluster.client(0).stats_snapshot().replicas_pushed;
   EXPECT_EQ(pushed, paths.size());
 }
 

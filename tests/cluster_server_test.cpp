@@ -69,7 +69,7 @@ TEST(HvacServer, MissFetchesFromPfsThenCaches) {
   EXPECT_EQ(second.payload, "payload");
   EXPECT_EQ(pfs.read_count(), 1u);  // PFS touched exactly once
 
-  const auto stats = server.stats();
+  const auto stats = server.stats_snapshot();
   EXPECT_EQ(stats.reads, 2u);
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.cache_misses, 1u);
@@ -128,7 +128,7 @@ TEST(HvacServer, AsyncDataMoverEventuallyCaches) {
   EXPECT_EQ(response.code, StatusCode::kOk);
   server.flush_data_mover();
   EXPECT_TRUE(server.has_cached("/f"));
-  EXPECT_EQ(server.stats().recache_completed, 1u);
+  EXPECT_EQ(server.stats_snapshot().recache_completed, 1u);
 }
 
 // kStats must expose the FULL counter snapshot, not just the read trio —
@@ -170,7 +170,7 @@ TEST(HvacServer, StatsOpEmitsFullSnapshot) {
     kv[token.substr(0, eq)] = std::stoull(token.substr(eq + 1));
   }
 
-  const auto s = server.stats();
+  const auto s = server.stats_snapshot();
   EXPECT_EQ(kv.at("reads"), s.reads);
   EXPECT_EQ(kv.at("hits"), s.cache_hits);
   EXPECT_EQ(kv.at("misses"), s.cache_misses);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full CI gate: release build + the tier-1 test suite, then both sanitizer
+# passes over the concurrency-relevant binaries (scripts/sanitize.sh).
+#
+# Tier-1 (ROADMAP.md) is the whole ctest suite — every test is labeled
+# `tier1`, so `ctest -L tier1` and a bare `ctest` run the same set today;
+# the label exists so future tier-2 (long-haul soak, large-scale bench
+# gates) can join the tree without slowing this script down.
+#
+# Usage: scripts/ci.sh [build_dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+source_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+echo "=== configure + build (${build_dir})"
+cmake -B "${build_dir}" -S "${source_dir}" > /dev/null
+cmake --build "${build_dir}" -j
+
+echo "=== tier-1 tests"
+ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j
+
+echo "=== thread sanitizer"
+"${source_dir}/scripts/sanitize.sh" thread
+
+echo "=== address sanitizer"
+"${source_dir}/scripts/sanitize.sh" address
+
+echo "CI green."

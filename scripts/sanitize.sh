@@ -5,6 +5,9 @@
 # carries the gray-failure stress suite (GrayFailStress): concurrent
 # hedging clients racing async hedge legs and reinstatement probes against
 # a flapping node and a slow node — the paths where a data race would hide.
+# membership_test exercises the SWIM gossip scheduler and the epoch-swap
+# publish path: background probe threads, async ping-req/verdict errands
+# and reader-side ring snapshots all interleave there.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 
@@ -24,7 +27,7 @@ cmake -B "${build_dir}" -S "${source_dir}" \
   -DFTC_BUILD_BENCH=OFF \
   -DFTC_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "${build_dir}" -j \
-  --target cluster_test rpc_test storage_test
+  --target cluster_test rpc_test storage_test membership_test
 
 # halt_on_error makes a single report fail the run loudly.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -32,7 +35,7 @@ export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 
 status=0
-for test_bin in cluster_test rpc_test storage_test; do
+for test_bin in cluster_test rpc_test storage_test membership_test; do
   echo "=== ${sanitizer}-sanitizer: ${test_bin}"
   if ! "${build_dir}/tests/${test_bin}"; then
     status=1

@@ -1,11 +1,33 @@
 #include "cluster/cluster.hpp"
 
+#include <stdexcept>
+
 #include "common/string_util.hpp"
 
 namespace ftc::cluster {
 
+namespace {
+
+ring::RingConfig membership_ring_config(const HvacClientConfig& client) {
+  // The agents' epoch-0 views must be fingerprint-identical to the
+  // clients' private rings, so they share the same ring parameters.
+  ring::RingConfig ring_config;
+  ring_config.vnodes_per_node = client.vnodes_per_node;
+  ring_config.seed = client.ring_seed;
+  return ring_config;
+}
+
+}  // namespace
+
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config), pfs_(config.pfs_read_latency) {
+  if (config_.membership.enabled) {
+    const Status valid = config_.membership.validate();
+    if (!valid.is_ok()) {
+      throw std::invalid_argument("SwimConfig: " + valid.to_string());
+    }
+  }
+
   std::vector<NodeId> members;
   members.reserve(config_.node_count);
   for (NodeId n = 0; n < config_.node_count; ++n) members.push_back(n);
@@ -22,18 +44,42 @@ Cluster::Cluster(const ClusterConfig& config)
     clients_.push_back(std::make_unique<HvacClient>(
         n, transport_, pfs_, members, config_.client));
   }
+
+  if (config_.membership.enabled) {
+    scheduler_ = std::make_unique<membership::GossipScheduler>(
+        config_.membership.probe_period);
+    agents_.reserve(config_.node_count);
+    for (NodeId n = 0; n < config_.node_count; ++n) {
+      agents_.push_back(std::make_unique<membership::MembershipAgent>(
+          n, transport_, config_.membership,
+          membership_ring_config(config_.client), members));
+      servers_[n]->attach_membership(agents_.back().get());
+      // The static placement modes keep their paper semantics; only the
+      // hash-ring client routes through the epoch'd view.
+      if (config_.client.mode == FtMode::kHashRingRecache) {
+        clients_[n]->attach_membership(agents_.back().get());
+      }
+      scheduler_->add(agents_.back().get());
+    }
+    if (config_.membership.background) scheduler_->start();
+  }
 }
 
 Cluster::~Cluster() {
-  // Hedge legs and reinstatement probes can still be in flight when a
-  // test ends (the client already took its answer and moved on).  Stop
-  // and join every endpoint worker before the servers their handlers
-  // point at are destroyed, then drain the async completion pool so no
-  // callback outlives the cluster.
+  // Teardown order matters: stop the gossip scheduler first so no new
+  // probes launch, then stop and join every endpoint worker before the
+  // servers/agents their handlers point at are destroyed, then drain the
+  // async completion pool (hedge legs, SWIM probes) so no callback
+  // outlives the cluster.
+  if (scheduler_) scheduler_->stop();
   for (NodeId n = 0; n < servers_.size(); ++n) {
     (void)transport_.unregister_endpoint(n);
   }
   transport_.drain_async();
+}
+
+void Cluster::tick_membership() {
+  if (scheduler_) scheduler_->tick_all();
 }
 
 std::vector<std::string> Cluster::stage_dataset(std::uint32_t count,
@@ -77,6 +123,33 @@ NodeId Cluster::add_node() {
   for (NodeId n = 0; n <= node; ++n) members.push_back(n);
   clients_.push_back(std::make_unique<HvacClient>(node, transport_, pfs_,
                                                   members, config_.client));
+  if (config_.membership.enabled) {
+    agents_.push_back(std::make_unique<membership::MembershipAgent>(
+        node, transport_, config_.membership,
+        membership_ring_config(config_.client), members));
+    membership::MembershipAgent* agent = agents_.back().get();
+    server->attach_membership(agent);
+    if (config_.client.mode == FtMode::kHashRingRecache) {
+      clients_.back()->attach_membership(agent);
+    }
+    // The new agent's seeded view may be stale (it assumes every earlier
+    // node is serving).  Pull the authoritative state from the first
+    // responsive sitting member before taking traffic.
+    for (NodeId peer = 0; peer < node; ++peer) {
+      if (transport_.is_killed(peer)) continue;
+      rpc::RpcRequest sync;
+      sync.op = rpc::Op::kMembershipSync;
+      sync.client_node = node;
+      agent->stamp_request(sync);
+      auto result = transport_.call(peer, std::move(sync),
+                                    config_.client.rpc_timeout);
+      if (result.is_ok() && result.value().code == StatusCode::kOk) {
+        (void)agent->ingest(result.value());
+        break;
+      }
+    }
+    scheduler_->add(agent);
+  }
   for (NodeId n = 0; n < node; ++n) clients_[n]->add_server(node);
   config_.node_count = static_cast<std::uint32_t>(servers_.size());
   return node;

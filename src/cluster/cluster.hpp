@@ -17,6 +17,8 @@
 #include "cluster/hvac_client.hpp"
 #include "cluster/hvac_server.hpp"
 #include "cluster/pfs_store.hpp"
+#include "membership/scheduler.hpp"
+#include "membership/swim.hpp"
 #include "rpc/transport.hpp"
 
 namespace ftc::cluster {
@@ -27,6 +29,11 @@ struct ClusterConfig {
   HvacServerConfig server;
   /// Simulated PFS read latency (models the NVMe-vs-Lustre gap).
   std::chrono::microseconds pfs_read_latency{0};
+  /// SWIM membership service (default OFF: the seed's client-local
+  /// detection, bit-for-bit).  When enabled, every node gets a
+  /// MembershipAgent wired into its server and (hash-ring mode) client,
+  /// and a GossipScheduler drives the protocol periods.
+  membership::SwimConfig membership;
 };
 
 class Cluster {
@@ -77,12 +84,24 @@ class Cluster {
   /// Sum of cached files across all (alive) servers.
   [[nodiscard]] std::size_t total_cached_files() const;
 
+  // --- membership service (only when config.membership.enabled) --------
+  [[nodiscard]] bool membership_enabled() const { return !agents_.empty(); }
+  /// The node's membership agent; only valid when membership_enabled().
+  [[nodiscard]] membership::MembershipAgent& membership(NodeId node) {
+    return *agents_[node];
+  }
+  /// One synchronous protocol round over every agent (manual-clock mode;
+  /// with `membership.background` the scheduler thread does this).
+  void tick_membership();
+
  private:
   ClusterConfig config_;
   PfsStore pfs_;
   rpc::Transport transport_;
   std::vector<std::unique_ptr<HvacServer>> servers_;
   std::vector<std::unique_ptr<HvacClient>> clients_;
+  std::vector<std::unique_ptr<membership::MembershipAgent>> agents_;
+  std::unique_ptr<membership::GossipScheduler> scheduler_;
 };
 
 }  // namespace ftc::cluster

@@ -135,6 +135,13 @@ bool FaultDetector::record_probe_success(NodeId node) {
   return true;
 }
 
+void FaultDetector::reset_node(NodeId node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  if (it->second.health == NodeHealth::kProbation) --probation_count_;
+  nodes_.erase(it);
+}
+
 void FaultDetector::record_probe_failure(NodeId node, Clock::time_point now) {
   const auto it = nodes_.find(node);
   if (it == nodes_.end() || it->second.health != NodeHealth::kProbation) {

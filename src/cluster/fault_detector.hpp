@@ -113,6 +113,12 @@ class FaultDetector {
   bool record_probe_success(NodeId node);
   void record_probe_failure(NodeId node, Clock::time_point now = Clock::now());
 
+  /// Forgets all local evidence about `node` (back to kHealthy from any
+  /// state, including terminal kFailed).  Only the membership layer calls
+  /// this: a cluster-wide reinstatement event outranks local history —
+  /// local probes never do, they must go through record_probe_success.
+  void reset_node(NodeId node);
+
   [[nodiscard]] std::uint32_t timeout_count(NodeId node) const;
   [[nodiscard]] std::uint32_t timeout_limit() const {
     return options_.timeout_limit;

@@ -8,6 +8,7 @@
 
 #include "common/logging.hpp"
 #include "hash/crc32.hpp"
+#include "membership/swim.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/static_modulo.hpp"
 
@@ -151,12 +152,66 @@ HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
   }
 }
 
-NodeId HvacClient::current_owner(const std::string& path) const {
+void HvacClient::attach_membership(membership::MembershipAgent* agent) {
+  membership_ = agent;
+}
+
+bool HvacClient::excluded_for_data(NodeId node) const {
+  if (membership_ != nullptr) {
+    // The cluster's verdict outranks local history.  A flagged node was
+    // reported as a suspicion (on_timeout), so while the rumor is open
+    // the agent says suspect and we skip it; once the cluster refutes or
+    // reinstates, the node must be routable again even though this
+    // client's own counter once tripped — otherwise every client that
+    // ever flagged it would shun a healthy node forever.
+    return membership_->is_suspect(node);
+  }
+  // Legacy mode: local evidence is all there is.
+  return detector_.is_out_of_service(node);
+}
+
+NodeId HvacClient::resolve_owner(const std::string& path) const {
+  if (membership_ != nullptr) {
+    return membership_->ring_view()->owner_excluding(
+        path, [this](NodeId node) { return excluded_for_data(node); });
+  }
   return placement_->owner(path);
+}
+
+std::vector<NodeId> HvacClient::replica_chain(const std::string& path,
+                                              std::size_t count) const {
+  if (membership_ != nullptr) {
+    return membership_->ring_view()->owner_chain(path, count);
+  }
+  if (ring_view_ != nullptr) return ring_view_->owner_chain(path, count);
+  return {};
+}
+
+void HvacClient::ingest_membership(const rpc::RpcResponse& response) {
+  if (membership_ == nullptr) return;
+  if (response.view_hint == rpc::ViewHint::kStaleView) {
+    ++stats_.stale_view_hints;
+  }
+  const std::uint64_t epoch_before = membership_->epoch();
+  const auto events = membership_->ingest(response);
+  if (membership_->epoch() > epoch_before) ++stats_.epoch_fast_forwards;
+  for (const membership::RingEvent& event : events) {
+    if (event.type == membership::RingEventType::kReinstate) {
+      // Cluster-wide reinstatement outranks local history: forget the
+      // timeouts/flags this client accumulated against the node so it is
+      // immediately routable again.
+      detector_.reset_node(event.node);
+    }
+  }
+}
+
+NodeId HvacClient::current_owner(const std::string& path) const {
+  return resolve_owner(path);
 }
 
 void HvacClient::add_server(NodeId node) {
   placement_->add_node(node);
+  if (membership_ != nullptr) membership_->join(node);
 }
 
 Status HvacClient::ping(NodeId node) {
@@ -164,9 +219,11 @@ Status HvacClient::ping(NodeId node) {
   rpc::RpcRequest request;
   request.op = rpc::Op::kPing;
   request.client_node = self_;
+  if (membership_ != nullptr) membership_->stamp_request(request);
   const auto start = rpc::Clock::now();
   auto result = transport_.call(node, std::move(request),
                                 config_.rpc_timeout);
+  if (result.is_ok()) ingest_membership(result.value());
   if (result.is_ok() && result.value().code == StatusCode::kOk) {
     latency_.record(std::chrono::duration<double, std::micro>(
                         rpc::Clock::now() - start)
@@ -218,22 +275,28 @@ StatusOr<common::Buffer> HvacClient::read_from_pfs(const std::string& path) {
 
 void HvacClient::replicate(const std::string& path,
                            const common::Buffer& contents, NodeId primary) {
-  if (config_.replication_factor <= 1 || ring_view_ == nullptr) return;
-  const auto chain =
-      ring_view_->owner_chain(path, config_.replication_factor);
+  if (config_.replication_factor <= 1) return;
+  if (ring_view_ == nullptr && membership_ == nullptr) return;
+  // The chain comes from the epoch'd view when membership is attached —
+  // and accept_response ingests the primary's response *before* calling
+  // here, so a client that was stale going into the read pushes replicas
+  // against the fast-forwarded view, never to a confirmed-failed node.
+  const auto chain = replica_chain(path, config_.replication_factor);
   for (const NodeId backup : chain) {
-    if (backup == primary || detector_.is_out_of_service(backup)) continue;
+    if (backup == primary || excluded_for_data(backup)) continue;
     rpc::RpcRequest put;
     put.op = rpc::Op::kPut;
     put.path = path;
     put.payload = contents;
     put.client_node = self_;
+    if (membership_ != nullptr) membership_->stamp_request(put);
     // Best effort: a slow/dead backup only costs durability, not
     // correctness, so a timeout here feeds the detector but is not
     // retried.
     auto result = transport_.call(backup, std::move(put),
                                   config_.rpc_timeout);
     if (result.is_ok()) {
+      ingest_membership(result.value());
       detector_.record_success(backup);
       ++stats_.replicas_pushed;
     } else if (result.status().code() == StatusCode::kTimeout) {
@@ -250,6 +313,15 @@ void HvacClient::on_timeout(NodeId owner) {
         << "client " << self_ << " takes node " << owner
         << " out of service: " << node_health_name(detector_.health(owner))
         << " (" << ft_mode_name(config_.mode) << ")";
+    if (membership_ != nullptr) {
+      // The detector's verdict is local *evidence*, not a placement
+      // decision: report the node suspect and let the cluster confirm or
+      // refute.  Routing skips it meanwhile via excluded_for_data; the
+      // shared ring changes only when an epoch event confirms.
+      ++stats_.suspicions_reported;
+      membership_->suspect(owner);
+      return;
+    }
     if (config_.mode == FtMode::kHashRingRecache) {
       // Elastic recaching: drop the node's virtual nodes; its keys fall
       // to the clockwise successors from the next lookup on.  If the node
@@ -285,6 +357,9 @@ void HvacClient::maybe_probe() {
   if (config_.mode != FtMode::kHashRingRecache || !config_.reinstatement) {
     return;
   }
+  // Membership mode: reinstatement is cluster-wide (SWIM refutation ->
+  // kReinstate epoch event -> detector reset), not per-client probing.
+  if (membership_ != nullptr) return;
   for (const NodeId node : detector_.probe_candidates()) {
     detector_.record_probe_launch(node);
     ++stats_.probes_sent;
@@ -318,6 +393,9 @@ void HvacClient::reinstate(NodeId node) {
 
 StatusOr<common::Buffer> HvacClient::accept_response(
     const std::string& path, NodeId server, rpc::RpcResponse response) {
+  // Fold piggybacked gossip / stale-view delta FIRST: anything placed
+  // below (replicas) must use the freshest view this response affords.
+  ingest_membership(response);
   if (response.code == StatusCode::kOk) {
     detector_.record_success(server);
     // End-to-end integrity: always a fresh CRC pass over the received
@@ -354,6 +432,7 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
   request.op = rpc::Op::kReadFile;
   request.path = path;
   request.client_node = self_;
+  if (membership_ != nullptr) membership_->stamp_request(request);
   transport_.call_async(
       owner, request, config_.rpc_timeout,
       [wait, mailbox = mailbox_, owner](StatusOr<rpc::RpcResponse> result) {
@@ -396,12 +475,10 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
   // successor, or fall back to the PFS when the ring has no one else.
   ++stats_.hedges_launched;
   NodeId hedge_target = ring::kInvalidNode;
-  if (ring_view_ != nullptr) {
-    for (const NodeId candidate : ring_view_->owner_chain(path, 2)) {
-      if (candidate != owner && !detector_.is_out_of_service(candidate)) {
-        hedge_target = candidate;
-        break;
-      }
+  for (const NodeId candidate : replica_chain(path, 2)) {
+    if (candidate != owner && !excluded_for_data(candidate)) {
+      hedge_target = candidate;
+      break;
     }
   }
   if (hedge_target == ring::kInvalidNode) {
@@ -483,9 +560,12 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
 
   // Bounded by the membership size: with R alive nodes a read can at worst
   // flag R owners in sequence before the PFS terminal fallback.
-  const std::size_t max_attempts = placement_->node_count() + 1;
+  const std::size_t max_attempts =
+      (membership_ != nullptr ? membership_->ring_view()->node_count()
+                              : placement_->node_count()) +
+      1;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    const NodeId owner = placement_->owner(path);
+    const NodeId owner = resolve_owner(path);
     if (owner == ring::kInvalidNode) {
       // Every cache server is gone; the PFS is the only copy left.
       return config_.mode == FtMode::kNone
@@ -494,7 +574,7 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
                  : read_from_pfs(path);
     }
 
-    if (detector_.is_out_of_service(owner)) {
+    if (membership_ == nullptr && detector_.is_out_of_service(owner)) {
       // Only the PFS-redirect mode can still map keys to a flagged node
       // (its placement is immutable); the ring modes removed it already.
       if (config_.mode == FtMode::kPfsRedirect) return read_from_pfs(path);
@@ -518,6 +598,7 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
     request.op = rpc::Op::kReadFile;
     request.path = path;
     request.client_node = self_;
+    if (membership_ != nullptr) membership_->stamp_request(request);
     const auto call_start = rpc::Clock::now();
     auto result = transport_.call(owner, std::move(request),
                                   config_.rpc_timeout);

@@ -58,6 +58,10 @@
 #include "ring/placement.hpp"
 #include "rpc/transport.hpp"
 
+namespace ftc::membership {
+class MembershipAgent;
+}  // namespace ftc::membership
+
 namespace ftc::cluster {
 
 enum class FtMode {
@@ -134,6 +138,20 @@ class HvacClient {
              const std::vector<NodeId>& servers,
              const HvacClientConfig& config);
 
+  /// Attaches this node's membership agent (not owned; must outlive the
+  /// client).  Hash-ring mode only.  Once attached:
+  ///   - placement comes from the agent's epoch-versioned RingView (the
+  ///     local detector no longer performs private ring surgery);
+  ///   - a flagged node is reported as a SWIM *suspicion* instead of
+  ///     being unilaterally removed — the cluster confirms or refutes;
+  ///   - every outgoing request carries the client's ring epoch plus
+  ///     piggybacked gossip, and responses are ingested (including the
+  ///     kStaleView one-round-trip fast-forward);
+  ///   - a cluster-wide kReinstate event clears the local detector's
+  ///     history for that node.
+  /// Never attached in legacy mode, leaving behaviour bit-identical.
+  void attach_membership(membership::MembershipAgent* agent);
+
   /// The intercepted read: returns file contents or an error.  With
   /// FtMode::kNone a server timeout is fatal (returned to caller); the FT
   /// modes mask it per their strategy.  The returned Buffer references
@@ -197,6 +215,10 @@ class HvacClient {
     std::uint64_t hedges_to_pfs = 0;    ///< no successor; hedged to PFS
     std::uint64_t probes_sent = 0;      ///< reinstatement probes launched
     std::uint64_t nodes_reinstated = 0; ///< probation -> healthy, re-added
+    // Membership path (zero while no agent is attached):
+    std::uint64_t suspicions_reported = 0;  ///< detector verdicts gossiped
+    std::uint64_t stale_view_hints = 0;     ///< kStaleView responses seen
+    std::uint64_t epoch_fast_forwards = 0;  ///< ingests that advanced epoch
   };
   /// Value snapshot of the counters.  There is deliberately no reference
   /// accessor: callers can neither mutate the client's counters nor
@@ -212,6 +234,18 @@ class HvacClient {
   struct Mailbox;
 
   StatusOr<common::Buffer> read_from_pfs(const std::string& path);
+  /// Owner for `path` under the active placement source: the membership
+  /// agent's epoch'd view (skipping detector-flagged and SWIM-suspect
+  /// nodes per lookup) when attached, the private placement otherwise.
+  [[nodiscard]] NodeId resolve_owner(const std::string& path) const;
+  /// Nodes a data request must not target (local evidence + gossip).
+  [[nodiscard]] bool excluded_for_data(NodeId node) const;
+  /// Replica chain from the active placement source.
+  [[nodiscard]] std::vector<NodeId> replica_chain(const std::string& path,
+                                                  std::size_t count) const;
+  /// Folds a response's gossip/epoch delta into the membership agent and
+  /// reacts to the resulting ring events (detector resets on reinstate).
+  void ingest_membership(const rpc::RpcResponse& response);
   /// Handles a timeout against `owner`: detection bookkeeping plus ring
   /// surgery for the recaching mode.
   void on_timeout(NodeId owner);
@@ -246,6 +280,7 @@ class HvacClient {
   /// Non-owning view of placement_ when it is a ring (replication and
   /// hedging need owner chains); nullptr otherwise.
   ring::ConsistentHashRing* ring_view_ = nullptr;
+  membership::MembershipAgent* membership_ = nullptr;
   FaultDetector detector_;
   Stats stats_;
   LatencyRecorder latency_;

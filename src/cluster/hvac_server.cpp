@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "hash/crc32.hpp"
+#include "membership/swim.hpp"
 
 namespace ftc::cluster {
 
@@ -32,6 +33,27 @@ HvacServer::HvacServer(NodeId id, PfsStore& pfs,
 HvacServer::~HvacServer() = default;
 
 rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
+  if (membership_ != nullptr) {
+    switch (request.op) {
+      case rpc::Op::kSwimPing:
+      case rpc::Op::kSwimPingReq:
+      case rpc::Op::kSwimVerdict:
+      case rpc::Op::kMembershipSync:
+        return membership_->handle(request);
+      default: {
+        // Data path: fold the request's piggybacked gossip, serve, then
+        // stamp the response with our epoch / gossip / stale-view delta.
+        membership_->observe_request(request);
+        rpc::RpcResponse response = dispatch(request);
+        membership_->stamp_response(request, response);
+        return response;
+      }
+    }
+  }
+  return dispatch(request);
+}
+
+rpc::RpcResponse HvacServer::dispatch(const rpc::RpcRequest& request) {
   switch (request.op) {
     case rpc::Op::kReadFile:
       return handle_read(request);
@@ -76,6 +98,13 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
       }
       return response;
     }
+    case rpc::Op::kSwimPing:
+    case rpc::Op::kSwimPingReq:
+    case rpc::Op::kSwimVerdict:
+    case rpc::Op::kMembershipSync:
+      // Membership verbs on a node with no agent attached (legacy mode):
+      // reject rather than fake an ack.
+      break;
   }
   rpc::RpcResponse response;
   response.code = StatusCode::kInvalidArgument;

@@ -27,6 +27,10 @@
 #include "rpc/message.hpp"
 #include "storage/sharded_cache_store.hpp"
 
+namespace ftc::membership {
+class MembershipAgent;
+}  // namespace ftc::membership
+
 namespace ftc::cluster {
 
 struct HvacServerConfig {
@@ -55,6 +59,15 @@ class HvacServer {
   /// RPC dispatch; register with Transport as the node's handler.
   /// Thread-safe: may be called from many transport workers concurrently.
   rpc::RpcResponse handle(const rpc::RpcRequest& request);
+
+  /// Attaches this node's membership agent (not owned; must outlive the
+  /// server).  Once attached, handle() dispatches the SWIM verbs to it
+  /// and every data response is epoch-stamped and carries piggybacked
+  /// gossip — including the kStaleView fast-forward for lagging clients.
+  /// Never attached in legacy mode, leaving behaviour bit-identical.
+  void attach_membership(membership::MembershipAgent* agent) {
+    membership_ = agent;
+  }
 
   [[nodiscard]] NodeId id() const { return id_; }
 
@@ -94,6 +107,8 @@ class HvacServer {
   [[nodiscard]] std::uint64_t cached_bytes() const;
 
  private:
+  /// The membership-agnostic op switch handle() wraps.
+  rpc::RpcResponse dispatch(const rpc::RpcRequest& request);
   rpc::RpcResponse handle_read(const rpc::RpcRequest& request);
   void recache(const std::string& path, const common::Buffer& contents);
 
@@ -112,6 +127,7 @@ class HvacServer {
   NodeId id_;
   PfsStore& pfs_;
   HvacServerConfig config_;
+  membership::MembershipAgent* membership_ = nullptr;
   storage::ShardedCacheStore cache_;  ///< internally lock-striped
   AtomicStats stats_;
   /// Declared last: destroyed first, so queued recache tasks (which touch

@@ -1,0 +1,39 @@
+#include "membership/event.hpp"
+
+#include <algorithm>
+
+namespace ftc::membership {
+
+const char* ring_event_type_name(RingEventType type) {
+  switch (type) {
+    case RingEventType::kJoin: return "join";
+    case RingEventType::kProbation: return "probation";
+    case RingEventType::kConfirmFailed: return "confirm_failed";
+    case RingEventType::kReinstate: return "reinstate";
+  }
+  return "?";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void EventLog::append(const RingEvent& event) {
+  events_.push_back(event);
+  while (events_.size() > capacity_) {
+    evicted_through_ = std::max(evicted_through_, events_.front().epoch);
+    events_.pop_front();
+  }
+}
+
+std::optional<std::vector<RingEvent>> EventLog::since(
+    std::uint64_t since) const {
+  // An evicted event with epoch > since means the delta has a hole.
+  if (evicted_through_ > since) return std::nullopt;
+  std::vector<RingEvent> delta;
+  for (const RingEvent& event : events_) {
+    if (event.epoch > since) delta.push_back(event);
+  }
+  return delta;
+}
+
+}  // namespace ftc::membership

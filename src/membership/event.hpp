@@ -1,0 +1,79 @@
+// event.hpp - Epoch-stamped ring transitions and the bounded event log.
+//
+// Every change to the serving set — a node joining, being confirmed
+// failed, entering probation, or being reinstated — is recorded as a
+// RingEvent carrying the epoch it created.  The log is the substance of
+// the kStaleView fast-forward handshake: a server answering a request
+// stamped with an older epoch ships every event the requester is missing,
+// so the requester replays them instead of rediscovering failures through
+// its own timeouts.  The log is bounded; once events past a requester's
+// epoch have been dropped the delta is unanswerable and the server falls
+// back to a full-state claim dump (see MembershipAgent::stamp_response).
+//
+// Suspicion is deliberately NOT a ring event: a suspected node keeps
+// serving (SWIM semantics) so the ring does not change and no epoch is
+// burned — only the four serving-set transitions appear here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftc::membership {
+
+/// Alias of the library-wide node identifier (see common/types.hpp).
+using NodeId = ftc::NodeId;
+
+enum class RingEventType : std::uint8_t {
+  kJoin = 0,           ///< Node entered the serving set (elastic scale-up).
+  kProbation = 1,      ///< Confirmed failed, removed, may be reinstated.
+  kConfirmFailed = 2,  ///< Confirmed failed terminally (rejoin disabled or
+                       ///< the node flapped past the rejoin budget).
+  kReinstate = 3,      ///< A failed node refuted its death; re-added.
+};
+
+const char* ring_event_type_name(RingEventType type);
+
+/// True when the event adds `node` to the serving set, false when it
+/// removes it.
+[[nodiscard]] constexpr bool ring_event_adds(RingEventType type) {
+  return type == RingEventType::kJoin || type == RingEventType::kReinstate;
+}
+
+struct RingEvent {
+  std::uint64_t epoch = 0;  ///< Epoch this event created (post-transition).
+  RingEventType type = RingEventType::kJoin;
+  NodeId node = ftc::kInvalidNode;
+  std::uint64_t incarnation = 0;  ///< Subject's incarnation at the event.
+};
+
+/// Bounded FIFO of ring events, answering "everything after epoch E".
+/// Single-threaded; VersionedRing serializes access under its own lock.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity);
+
+  void append(const RingEvent& event);
+
+  /// Events with epoch > `since`, oldest first.  nullopt when events past
+  /// `since` have been evicted — the caller must full-sync instead.
+  [[nodiscard]] std::optional<std::vector<RingEvent>> since(
+      std::uint64_t since) const;
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Highest epoch ever evicted (0 = nothing evicted yet).
+  [[nodiscard]] std::uint64_t evicted_through() const {
+    return evicted_through_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<RingEvent> events_;
+  std::uint64_t evicted_through_ = 0;
+};
+
+}  // namespace ftc::membership

@@ -1,0 +1,184 @@
+#include "membership/member_table.hpp"
+
+#include <algorithm>
+
+namespace ftc::membership {
+
+const char* member_state_name(MemberState state) {
+  switch (state) {
+    case MemberState::kAlive: return "alive";
+    case MemberState::kSuspect: return "suspect";
+    case MemberState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+MemberTable::MemberTable(std::uint32_t max_rejoins)
+    : max_rejoins_(max_rejoins) {}
+
+void MemberTable::seed(NodeId node) {
+  members_.try_emplace(node);
+}
+
+Applied MemberTable::apply(MemberState claimed, NodeId node,
+                           std::uint64_t incarnation, bool* was_known) {
+  const auto it = members_.find(node);
+  if (was_known != nullptr) *was_known = it != members_.end();
+
+  if (it == members_.end()) {
+    // Unknown nodes are introduced in the claimed state: gossip is the
+    // only way a late joiner learns the membership, including its holes.
+    MemberInfo info;
+    info.state = claimed;
+    info.incarnation = incarnation;
+    members_.emplace(node, info);
+    switch (claimed) {
+      case MemberState::kAlive: return Applied::kJoined;
+      case MemberState::kSuspect: return Applied::kSuspected;
+      case MemberState::kFailed: return Applied::kConfirmed;
+    }
+    return Applied::kNone;
+  }
+
+  MemberInfo& info = it->second;
+  switch (claimed) {
+    case MemberState::kAlive: {
+      if (info.terminal) return Applied::kNone;
+      if (info.state == MemberState::kFailed) {
+        if (incarnation <= info.incarnation) return Applied::kNone;
+        // A confirmed-failed node came back with a fresh incarnation.
+        // Budget these returns: past max_rejoins the node is flapping
+        // and alive claims are ignored forever.
+        if (++info.rejoins > max_rejoins_) {
+          info.terminal = true;
+          return Applied::kNone;
+        }
+        info.state = MemberState::kAlive;
+        info.incarnation = incarnation;
+        return Applied::kReinstated;
+      }
+      // alive needs STRICTLY higher incarnation to beat suspect (the
+      // tie-break that reserves refutation for the subject itself).
+      if (incarnation <= info.incarnation) return Applied::kNone;
+      const bool was_suspect = info.state == MemberState::kSuspect;
+      info.state = MemberState::kAlive;
+      info.incarnation = incarnation;
+      return was_suspect ? Applied::kRefuted : Applied::kRefreshed;
+    }
+    case MemberState::kSuspect: {
+      if (info.state == MemberState::kFailed) return Applied::kNone;
+      if (info.state == MemberState::kAlive) {
+        // suspect beats alive at EQUAL incarnation.
+        if (incarnation < info.incarnation) return Applied::kNone;
+        info.state = MemberState::kSuspect;
+        info.incarnation = incarnation;
+        return Applied::kSuspected;
+      }
+      // Already suspect: a higher incarnation just refreshes the rumor.
+      if (incarnation <= info.incarnation) return Applied::kNone;
+      info.incarnation = incarnation;
+      return Applied::kRefreshed;
+    }
+    case MemberState::kFailed: {
+      if (info.state == MemberState::kFailed) return Applied::kNone;
+      // A confirmation is indisputable only for the incarnation it names.
+      // Stale failed claims (below the node's current incarnation) predate
+      // a refutation or rejoin and still circulate in retransmit queues;
+      // letting them re-confirm would flap a reinstated node straight into
+      // the terminal rejoin budget.
+      if (incarnation < info.incarnation) return Applied::kNone;
+      info.state = MemberState::kFailed;
+      info.incarnation = std::max(info.incarnation, incarnation);
+      return Applied::kConfirmed;
+    }
+  }
+  return Applied::kNone;
+}
+
+void MemberTable::set_suspect_deadline(NodeId node,
+                                       Clock::time_point deadline) {
+  const auto it = members_.find(node);
+  if (it == members_.end() || it->second.state != MemberState::kSuspect) {
+    return;
+  }
+  it->second.suspect_deadline = deadline;
+}
+
+std::vector<NodeId> MemberTable::expired_suspects(
+    Clock::time_point now) const {
+  std::vector<NodeId> expired;
+  for (const auto& [node, info] : members_) {
+    if (info.state == MemberState::kSuspect && info.suspect_deadline <= now) {
+      expired.push_back(node);
+    }
+  }
+  std::sort(expired.begin(), expired.end());
+  return expired;
+}
+
+bool MemberTable::contains(NodeId node) const {
+  return members_.count(node) != 0;
+}
+
+MemberState MemberTable::state(NodeId node) const {
+  const auto it = members_.find(node);
+  return it != members_.end() ? it->second.state : MemberState::kFailed;
+}
+
+std::uint64_t MemberTable::incarnation(NodeId node) const {
+  const auto it = members_.find(node);
+  return it != members_.end() ? it->second.incarnation : 0;
+}
+
+bool MemberTable::is_terminal(NodeId node) const {
+  const auto it = members_.find(node);
+  return it != members_.end() && it->second.terminal;
+}
+
+std::uint32_t MemberTable::rejoins(NodeId node) const {
+  const auto it = members_.find(node);
+  return it != members_.end() ? it->second.rejoins : 0;
+}
+
+std::vector<NodeId> MemberTable::serving_members() const {
+  std::vector<NodeId> serving;
+  for (const auto& [node, info] : members_) {
+    if (info.state != MemberState::kFailed) serving.push_back(node);
+  }
+  std::sort(serving.begin(), serving.end());
+  return serving;
+}
+
+std::vector<NodeId> MemberTable::members() const {
+  std::vector<NodeId> all;
+  all.reserve(members_.size());
+  for (const auto& [node, info] : members_) all.push_back(node);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::size_t MemberTable::alive_count() const {
+  std::size_t count = 0;
+  for (const auto& [node, info] : members_) {
+    if (info.state == MemberState::kAlive) ++count;
+  }
+  return count;
+}
+
+std::size_t MemberTable::suspect_count() const {
+  std::size_t count = 0;
+  for (const auto& [node, info] : members_) {
+    if (info.state == MemberState::kSuspect) ++count;
+  }
+  return count;
+}
+
+std::size_t MemberTable::failed_count() const {
+  std::size_t count = 0;
+  for (const auto& [node, info] : members_) {
+    if (info.state == MemberState::kFailed) ++count;
+  }
+  return count;
+}
+
+}  // namespace ftc::membership

@@ -1,0 +1,117 @@
+// member_table.hpp - SWIM member states and incarnation arbitration.
+//
+// The table holds, per node, the three-state SWIM lifecycle plus the
+// node's incarnation number, and implements the precedence rules that let
+// every agent apply the same set of claims in any order and converge:
+//
+//   alive(n, i)    overrides  alive(n, j<i), suspect(n, j<i), failed(n, j<i)
+//   suspect(n, i)  overrides  alive(n, j<=i), suspect(n, j<i)
+//   failed(n, i)   overrides  alive(n, j<=i), suspect(n, j<=i)
+//
+// The asymmetric tie-break — suspect beats alive at EQUAL incarnation,
+// alive needs a STRICTLY higher one — is what makes refutation meaningful:
+// only the suspected node itself can clear a suspicion, by incrementing
+// its own incarnation (nobody else ever mints incarnations for it).
+//
+// A confirmation is indisputable only for the incarnation it names: once a
+// refutation or rejoin has raised the node's incarnation past a failed
+// claim's, that claim is stale history, not evidence.  Classic crash-stop
+// SWIM lets failed override everything; with rejoin support that rule lets
+// confirm rumors still sitting in piggyback retransmit queues re-kill a
+// reinstated node over and over until the rejoin budget marks it terminal.
+//
+// A failed node may return (gray failures: SLURM drain + un-drain) via an
+// alive claim with a higher incarnation; each return is counted and after
+// `max_rejoins` the node is terminal — a flapping node is worse than a
+// dead one, every reinstatement moves ring ownership back and forth.
+//
+// Pure policy: no locks, no clocks except the suspicion deadlines the
+// caller stamps in.  MembershipAgent serializes access under its mutex.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftc::membership {
+
+using NodeId = ftc::NodeId;
+
+enum class MemberState : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,  ///< Rumored dead; still serving until confirmed.
+  kFailed = 2,   ///< Confirmed failed; out of the serving set.
+};
+
+const char* member_state_name(MemberState state);
+
+/// What applying a claim actually did — the caller maps these onto ring
+/// events (only kJoined / kConfirmed / kReinstated change the ring).
+enum class Applied : std::uint8_t {
+  kNone = 0,     ///< Claim stale or redundant; nothing changed.
+  kJoined,       ///< Unknown node entered the table in a serving state.
+  kRefreshed,    ///< Incarnation advanced; serving state unchanged.
+  kRefuted,      ///< suspect -> alive (the node cleared its own name).
+  kSuspected,    ///< alive -> suspect (start the suspicion timer).
+  kConfirmed,    ///< any -> failed (remove from the ring).
+  kReinstated,   ///< failed -> alive (re-add to the ring).
+};
+
+class MemberTable {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct MemberInfo {
+    MemberState state = MemberState::kAlive;
+    std::uint64_t incarnation = 0;
+    Clock::time_point suspect_deadline{};  ///< Meaningful while kSuspect.
+    std::uint32_t rejoins = 0;  ///< failed -> alive returns to date.
+    bool terminal = false;      ///< Flapped out; alive claims ignored.
+  };
+
+  explicit MemberTable(std::uint32_t max_rejoins = 3);
+
+  /// Seeds a member as alive at incarnation 0 (initial membership; no
+  /// event semantics).  Re-seeding an existing member is a no-op.
+  void seed(NodeId node);
+
+  /// Applies one claim under the SWIM precedence rules.  `was_known`
+  /// (optional) reports whether the node was in the table beforehand —
+  /// a suspect/failed claim about an unknown node still introduces it.
+  Applied apply(MemberState claimed, NodeId node, std::uint64_t incarnation,
+                bool* was_known = nullptr);
+
+  /// Stamps the suspicion deadline for a kSuspect member (the agent
+  /// computes it from its own probe period; each agent times suspicions
+  /// from when IT learned, as SWIM prescribes).
+  void set_suspect_deadline(NodeId node, Clock::time_point deadline);
+
+  /// Suspects whose deadline has passed, ascending NodeId.
+  [[nodiscard]] std::vector<NodeId> expired_suspects(
+      Clock::time_point now) const;
+
+  [[nodiscard]] bool contains(NodeId node) const;
+  /// kFailed for unknown nodes (an unknown node is not serving).
+  [[nodiscard]] MemberState state(NodeId node) const;
+  [[nodiscard]] std::uint64_t incarnation(NodeId node) const;
+  [[nodiscard]] bool is_terminal(NodeId node) const;
+  [[nodiscard]] std::uint32_t rejoins(NodeId node) const;
+
+  /// Members in serving states (kAlive or kSuspect), ascending NodeId.
+  [[nodiscard]] std::vector<NodeId> serving_members() const;
+  /// All known members, ascending NodeId.
+  [[nodiscard]] std::vector<NodeId> members() const;
+
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] std::size_t suspect_count() const;
+  [[nodiscard]] std::size_t failed_count() const;
+
+ private:
+  std::uint32_t max_rejoins_;
+  std::unordered_map<NodeId, MemberInfo> members_;
+};
+
+}  // namespace ftc::membership

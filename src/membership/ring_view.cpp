@@ -1,0 +1,60 @@
+#include "membership/ring_view.hpp"
+
+#include <algorithm>
+
+namespace ftc::membership {
+
+VersionedRing::VersionedRing(const ring::RingConfig& config,
+                             const std::vector<NodeId>& members,
+                             std::size_t event_log_capacity)
+    : master_(std::make_unique<ring::ConsistentHashRing>(config)),
+      log_(event_log_capacity) {
+  for (const NodeId node : members) master_->add_node(node);
+  snapshot_ = master_->clone_ring();
+  current_ = std::make_shared<RingView>(0, snapshot_);
+}
+
+std::shared_ptr<const RingView> VersionedRing::view() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t VersionedRing::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::optional<RingEvent> VersionedRing::apply(RingEventType type, NodeId node,
+                                              std::uint64_t incarnation,
+                                              std::uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Idempotence: a transition the master already reflects burns no epoch
+  // (gossip delivers the same event along many paths).
+  if (ring_event_adds(type) == master_->contains(node)) return std::nullopt;
+  if (ring_event_adds(type)) {
+    master_->add_node(node);
+  } else {
+    master_->remove_node(node);
+  }
+  epoch_ = std::max(epoch_ + 1, min_epoch);
+  snapshot_ = master_->clone_ring();
+  current_ = std::make_shared<RingView>(epoch_, snapshot_);
+  const RingEvent event{epoch_, type, node, incarnation};
+  log_.append(event);
+  return event;
+}
+
+std::optional<std::vector<RingEvent>> VersionedRing::delta_since(
+    std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_.since(since);
+}
+
+void VersionedRing::adopt_epoch(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch <= epoch_) return;
+  epoch_ = epoch;
+  current_ = std::make_shared<RingView>(epoch_, snapshot_);
+}
+
+}  // namespace ftc::membership

@@ -1,0 +1,73 @@
+#include "membership/scheduler.hpp"
+
+namespace ftc::membership {
+
+GossipScheduler::GossipScheduler(std::chrono::milliseconds period)
+    : period_(period <= std::chrono::milliseconds::zero()
+                  ? std::chrono::milliseconds(1)
+                  : period) {}
+
+GossipScheduler::~GossipScheduler() { stop(); }
+
+void GossipScheduler::add(MembershipAgent* agent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (agent != nullptr) agents_.push_back(agent);
+}
+
+void GossipScheduler::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void GossipScheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool GossipScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void GossipScheduler::tick_all() {
+  // Copy under the lock; probe_tick issues RPCs and must not run while
+  // mutex_ is held (an agent being ticked may block on a slow endpoint).
+  std::vector<MembershipAgent*> agents;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    agents = agents_;
+  }
+  for (MembershipAgent* agent : agents) agent->probe_tick();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ticks_;
+}
+
+std::uint64_t GossipScheduler::ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+void GossipScheduler::run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, period_,
+                       [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    tick_all();
+  }
+}
+
+}  // namespace ftc::membership

@@ -1,0 +1,60 @@
+// scheduler.hpp - Periodic driver for the agents' SWIM protocol periods.
+//
+// One background thread ticks every registered agent once per period.
+// Agents never self-schedule: keeping the clock external means tests can
+// drive probe_tick() by hand for determinism, the threaded cluster gets
+// real-time behaviour from this scheduler, and a future DES substrate can
+// tick agents from simulated time — same protocol code in all three.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "membership/swim.hpp"
+
+namespace ftc::membership {
+
+class GossipScheduler {
+ public:
+  explicit GossipScheduler(std::chrono::milliseconds period);
+  ~GossipScheduler();
+
+  GossipScheduler(const GossipScheduler&) = delete;
+  GossipScheduler& operator=(const GossipScheduler&) = delete;
+
+  /// Registers an agent (not owned; must outlive the scheduler).
+  /// Thread-safe; may be called while the scheduler is running (elastic
+  /// scale-up adds the new node's agent to a live cluster).
+  void add(MembershipAgent* agent);
+
+  void start();
+  /// Stops and joins the ticking thread; idempotent.
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  /// One synchronous round over all agents (the unit tests' manual
+  /// clock; also used by start()'s thread).
+  void tick_all();
+
+  /// Completed rounds since start().
+  [[nodiscard]] std::uint64_t ticks() const;
+
+ private:
+  void run();
+
+  const std::chrono::milliseconds period_;
+  std::vector<MembershipAgent*> agents_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace ftc::membership

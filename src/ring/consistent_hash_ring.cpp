@@ -79,6 +79,10 @@ std::unique_ptr<PlacementStrategy> ConsistentHashRing::clone() const {
   return std::make_unique<ConsistentHashRing>(*this);
 }
 
+std::unique_ptr<ConsistentHashRing> ConsistentHashRing::clone_ring() const {
+  return std::make_unique<ConsistentHashRing>(*this);
+}
+
 std::uint64_t ConsistentHashRing::key_position(std::string_view key) const {
   return hash::hash_key(config_.algorithm, key, config_.seed);
 }

@@ -68,6 +68,11 @@ class ConsistentHashRing final : public PlacementStrategy {
   }
   [[nodiscard]] std::unique_ptr<PlacementStrategy> clone() const override;
 
+  /// Typed deep copy for callers that need ring-specific operations on the
+  /// duplicate (the membership layer snapshots the ring per epoch:
+  /// clone-then-mutate keeps every published view immutable).
+  [[nodiscard]] std::unique_ptr<ConsistentHashRing> clone_ring() const;
+
   /// Owner for an already-computed key hash (saves re-hashing when the
   /// caller caches hashes, as HvacClient does).
   [[nodiscard]] NodeId owner_of_hash(std::uint64_t key_hash) const;

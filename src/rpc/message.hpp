@@ -6,10 +6,21 @@
 // transport passes these by value in-process; no serialization is needed,
 // which is fine because the FT logic only observes request/response/timeout
 // semantics, not encodings.
+//
+// Membership piggyback: every request/response can additionally carry
+// (a) the sender's current ring epoch, (b) a handful of SWIM membership
+// claims (gossip rides on data traffic, it never gets its own connection),
+// and (c) — on responses to stale-epoch requests — a kStaleView hint with
+// the epoch delta, so a lagging client fast-forwards its ring view in one
+// round trip instead of rediscovering failures through its own timeouts.
+// The wire structs below are deliberately plain (no membership headers):
+// rpc sits beneath membership in the layer order.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/buffer.hpp"
 #include "common/status.hpp"
@@ -25,6 +36,54 @@ enum class Op : std::uint8_t {
   kStats = 3,      ///< Server cache statistics snapshot.
   kPut = 4,        ///< Store a payload in the server's cache — the
                    ///< replication extension's backup-placement op.
+  kSwimPing = 5,   ///< SWIM direct probe; ack proves the node serves.
+  kSwimPingReq = 6,     ///< SWIM indirect probe: "ping `subject` for me".
+  kMembershipSync = 7,  ///< Full membership pull (joiners, truncated logs).
+  kSwimVerdict = 8,     ///< Proxy -> origin: outcome of a kSwimPingReq
+                        ///< errand (`subject` + `subject_reachable`).  A
+                        ///< separate push, never an inline reply — the
+                        ///< proxy must not block its server worker on the
+                        ///< nested ping.
+};
+
+/// True for the SWIM membership-protocol verbs (probe/indirect/verdict/
+/// sync), false for the data plane (reads, puts, diagnostics).
+constexpr bool is_membership_op(Op op) {
+  return op == Op::kSwimPing || op == Op::kSwimPingReq ||
+         op == Op::kSwimVerdict || op == Op::kMembershipSync;
+}
+
+/// `ring_epoch` value of a sender that does not participate in the
+/// membership protocol (legacy mode).  Distinct from 0, which means "I am
+/// epoch-aware but have seen no membership events yet" and therefore wants
+/// the full delta.
+constexpr std::uint64_t kEpochUnaware =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// One SWIM membership assertion, piggybacked on any RPC: "I believe
+/// `subject` is in `state` at `incarnation`".  State values are
+/// membership::MemberState underlying values (alive=0 suspect=1 failed=2);
+/// kept as a raw byte here so rpc does not depend on membership headers.
+struct MembershipClaim {
+  ftc::NodeId subject = ftc::kInvalidNode;
+  std::uint8_t state = 0;
+  std::uint64_t incarnation = 0;
+};
+
+/// One epoch-stamped ring transition — an entry of the membership event
+/// log, shipped as the kStaleView fast-forward delta.  Kind values are
+/// membership::RingEventType underlying values.
+struct RingDelta {
+  std::uint64_t epoch = 0;
+  std::uint8_t kind = 0;
+  ftc::NodeId node = ftc::kInvalidNode;
+  std::uint64_t incarnation = 0;
+};
+
+/// Response-side freshness verdict about the requester's ring view.
+enum class ViewHint : std::uint8_t {
+  kNone = 0,       ///< Request epoch current (or sender epoch-unaware).
+  kStaleView = 1,  ///< Request epoch lags; view_delta/gossip carry the fix.
 };
 
 struct RpcRequest {
@@ -37,6 +96,15 @@ struct RpcRequest {
   /// Originating client node (telemetry only; servers must not use it for
   /// placement decisions).
   ftc::NodeId client_node = 0;
+  /// kSwimPingReq: the node the proxy should probe on our behalf.
+  /// kSwimVerdict: the node the verdict is about.
+  ftc::NodeId subject = ftc::kInvalidNode;
+  /// kSwimVerdict only: whether the proxy's nested ping reached `subject`.
+  bool subject_reachable = false;
+  /// Sender's current ring epoch (kEpochUnaware in legacy mode).
+  std::uint64_t ring_epoch = kEpochUnaware;
+  /// Piggybacked membership claims (empty in legacy mode).
+  std::vector<MembershipClaim> gossip;
 };
 
 struct RpcResponse {
@@ -49,6 +117,17 @@ struct RpcResponse {
   bool cache_hit = false;
   /// CRC-32 of payload for end-to-end integrity verification.
   std::uint32_t checksum = 0;
+  /// Responder's current ring epoch (kEpochUnaware in legacy mode).
+  std::uint64_t ring_epoch = kEpochUnaware;
+  /// kStaleView when the request's epoch lagged the responder's.
+  ViewHint view_hint = ViewHint::kNone;
+  /// The epoch delta backing a kStaleView hint: every ring transition the
+  /// requester is missing, oldest first.  Empty when the responder's event
+  /// log was truncated past the requester's epoch — `gossip` then carries
+  /// a full-state claim dump instead.
+  std::vector<RingDelta> view_delta;
+  /// Piggybacked membership claims (empty in legacy mode).
+  std::vector<MembershipClaim> gossip;
 };
 
 }  // namespace ftc::rpc

@@ -85,6 +85,7 @@ StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
     {
       std::lock_guard lock(endpoint.mutex);
       ++endpoint.stats.received;
+      if (!is_membership_op(call->request.op)) ++endpoint.stats.received_data;
       endpoint.queue.push_back(call);
     }
     endpoint.cv.notify_one();

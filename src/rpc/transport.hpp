@@ -125,6 +125,10 @@ class Transport {
   /// Telemetry counters.
   struct EndpointStats {
     std::uint64_t received = 0;
+    /// Of `received`, requests on the data plane (everything except the
+    /// SWIM verbs) — lets benchmarks separate duplicated client work
+    /// aimed at a dead node from the bounded membership-protocol traffic.
+    std::uint64_t received_data = 0;
     std::uint64_t handled = 0;
     std::uint64_t dropped = 0;
   };

@@ -1,0 +1,193 @@
+// MemberTable: the SWIM precedence rules — incarnation tie-breaks,
+// refutation, confirmation supremacy, rejoin budgeting — applied claim by
+// claim with no clocks or threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "membership/member_table.hpp"
+
+namespace ftc::membership {
+namespace {
+
+using Clock = MemberTable::Clock;
+
+TEST(MemberTable, SeedStartsAliveAtIncarnationZero) {
+  MemberTable table;
+  table.seed(0);
+  table.seed(1);
+  EXPECT_TRUE(table.contains(0));
+  EXPECT_EQ(table.state(0), MemberState::kAlive);
+  EXPECT_EQ(table.incarnation(0), 0u);
+  EXPECT_EQ(table.alive_count(), 2u);
+  EXPECT_EQ(table.members(), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(MemberTable, UnknownNodeIsReportedFailed) {
+  MemberTable table;
+  EXPECT_FALSE(table.contains(9));
+  EXPECT_EQ(table.state(9), MemberState::kFailed);
+}
+
+TEST(MemberTable, AliveClaimNeedsStrictlyHigherIncarnation) {
+  MemberTable table;
+  table.seed(0);
+  // Same incarnation: no-op.
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 0), Applied::kNone);
+  // Higher: refresh.
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 3), Applied::kRefreshed);
+  EXPECT_EQ(table.incarnation(0), 3u);
+  // Lower: stale, ignored.
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 1), Applied::kNone);
+  EXPECT_EQ(table.incarnation(0), 3u);
+}
+
+TEST(MemberTable, SuspectBeatsAliveAtEqualIncarnation) {
+  MemberTable table;
+  table.seed(0);
+  // The asymmetric tie-break: suspect(i) overrides alive(i).
+  EXPECT_EQ(table.apply(MemberState::kSuspect, 0, 0), Applied::kSuspected);
+  EXPECT_EQ(table.state(0), MemberState::kSuspect);
+  // An equal-incarnation alive claim cannot clear the suspicion — only
+  // the subject, via a strictly higher incarnation, can.
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 0), Applied::kNone);
+  EXPECT_EQ(table.state(0), MemberState::kSuspect);
+  // A stale suspect rumor is ignored too.
+  EXPECT_EQ(table.apply(MemberState::kSuspect, 0, 0), Applied::kNone);
+}
+
+TEST(MemberTable, RefutationClearsSuspicion) {
+  MemberTable table;
+  table.seed(0);
+  ASSERT_EQ(table.apply(MemberState::kSuspect, 0, 0), Applied::kSuspected);
+  // The subject bumped its incarnation past the rumor.
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 1), Applied::kRefuted);
+  EXPECT_EQ(table.state(0), MemberState::kAlive);
+  EXPECT_EQ(table.incarnation(0), 1u);
+}
+
+TEST(MemberTable, HigherIncarnationSuspectRefreshesSuspicion) {
+  MemberTable table;
+  table.seed(0);
+  ASSERT_EQ(table.apply(MemberState::kSuspect, 0, 0), Applied::kSuspected);
+  EXPECT_EQ(table.apply(MemberState::kSuspect, 0, 2), Applied::kRefreshed);
+  EXPECT_EQ(table.incarnation(0), 2u);
+  // ...and the refutation must now outbid the refreshed rumor.
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 2), Applied::kNone);
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 3), Applied::kRefuted);
+}
+
+TEST(MemberTable, FailedOverridesAliveAndSuspectAtCurrentIncarnation) {
+  MemberTable table;
+  table.seed(0);
+  EXPECT_EQ(table.apply(MemberState::kFailed, 0, 0), Applied::kConfirmed);
+  EXPECT_EQ(table.state(0), MemberState::kFailed);
+  // Confirmation is indisputable: repeated confirms are no-ops, and
+  // suspect claims about a failed node are meaningless.
+  EXPECT_EQ(table.apply(MemberState::kFailed, 0, 5), Applied::kNone);
+  EXPECT_EQ(table.apply(MemberState::kSuspect, 0, 9), Applied::kNone);
+  // An alive claim at or below the recorded incarnation cannot resurrect.
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 0), Applied::kNone);
+  EXPECT_EQ(table.state(0), MemberState::kFailed);
+}
+
+TEST(MemberTable, ReinstatementNeedsFreshIncarnation) {
+  MemberTable table;
+  table.seed(0);
+  ASSERT_EQ(table.apply(MemberState::kFailed, 0, 2), Applied::kConfirmed);
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, 3), Applied::kReinstated);
+  EXPECT_EQ(table.state(0), MemberState::kAlive);
+  EXPECT_EQ(table.rejoins(0), 1u);
+}
+
+TEST(MemberTable, StaleFailedClaimCannotResurrectConfirmation) {
+  // Confirm rumors keep circulating in piggyback retransmit queues after
+  // the node they name has refuted or rejoined.  If those stale claims
+  // could re-confirm, a reinstated node would flap straight into the
+  // terminal rejoin budget.
+  MemberTable table;
+  table.seed(0);
+  ASSERT_EQ(table.apply(MemberState::kFailed, 0, 0), Applied::kConfirmed);
+  ASSERT_EQ(table.apply(MemberState::kAlive, 0, 1), Applied::kReinstated);
+
+  // The old confirm rumor names incarnation 0 — stale, ignored.
+  EXPECT_EQ(table.apply(MemberState::kFailed, 0, 0), Applied::kNone);
+  EXPECT_EQ(table.state(0), MemberState::kAlive);
+  EXPECT_EQ(table.rejoins(0), 1u);
+
+  // A confirm at the CURRENT incarnation is fresh evidence and applies.
+  EXPECT_EQ(table.apply(MemberState::kFailed, 0, 1), Applied::kConfirmed);
+  EXPECT_EQ(table.state(0), MemberState::kFailed);
+}
+
+TEST(MemberTable, FlappingPastRejoinBudgetIsTerminal) {
+  MemberTable table(/*max_rejoins=*/2);
+  table.seed(0);
+  std::uint64_t inc = 0;
+  for (std::uint32_t round = 0; round < 2; ++round) {
+    ASSERT_EQ(table.apply(MemberState::kFailed, 0, inc), Applied::kConfirmed);
+    inc = table.incarnation(0) + 1;
+    ASSERT_EQ(table.apply(MemberState::kAlive, 0, inc), Applied::kReinstated);
+  }
+  ASSERT_EQ(table.apply(MemberState::kFailed, 0, inc), Applied::kConfirmed);
+  // Third return exceeds the budget: ignored forever.
+  inc = table.incarnation(0) + 1;
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, inc), Applied::kNone);
+  EXPECT_TRUE(table.is_terminal(0));
+  EXPECT_EQ(table.state(0), MemberState::kFailed);
+  EXPECT_EQ(table.apply(MemberState::kAlive, 0, inc + 10), Applied::kNone);
+}
+
+TEST(MemberTable, UnknownNodesAreIntroducedInClaimedState) {
+  MemberTable table;
+  bool was_known = true;
+  EXPECT_EQ(table.apply(MemberState::kAlive, 1, 0, &was_known),
+            Applied::kJoined);
+  EXPECT_FALSE(was_known);
+  EXPECT_EQ(table.apply(MemberState::kSuspect, 2, 0), Applied::kSuspected);
+  EXPECT_EQ(table.apply(MemberState::kFailed, 3, 0), Applied::kConfirmed);
+  EXPECT_EQ(table.state(1), MemberState::kAlive);
+  EXPECT_EQ(table.state(2), MemberState::kSuspect);
+  EXPECT_EQ(table.state(3), MemberState::kFailed);
+  EXPECT_EQ(table.serving_members(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(MemberTable, SuspicionDeadlinesExpireInOrder) {
+  MemberTable table;
+  table.seed(0);
+  table.seed(1);
+  table.seed(2);
+  const auto now = Clock::now();
+  ASSERT_EQ(table.apply(MemberState::kSuspect, 2, 0), Applied::kSuspected);
+  ASSERT_EQ(table.apply(MemberState::kSuspect, 1, 0), Applied::kSuspected);
+  table.set_suspect_deadline(1, now + std::chrono::milliseconds(10));
+  table.set_suspect_deadline(2, now + std::chrono::milliseconds(1000));
+  // Deadlines on non-suspects are ignored.
+  table.set_suspect_deadline(0, now);
+
+  EXPECT_TRUE(table.expired_suspects(now).empty());
+  EXPECT_EQ(table.expired_suspects(now + std::chrono::milliseconds(20)),
+            (std::vector<NodeId>{1}));
+  EXPECT_EQ(table.expired_suspects(now + std::chrono::seconds(2)),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(MemberTable, CountsTrackStates) {
+  MemberTable table;
+  for (NodeId n = 0; n < 4; ++n) table.seed(n);
+  (void)table.apply(MemberState::kSuspect, 1, 0);
+  (void)table.apply(MemberState::kFailed, 2, 0);
+  EXPECT_EQ(table.alive_count(), 2u);
+  EXPECT_EQ(table.suspect_count(), 1u);
+  EXPECT_EQ(table.failed_count(), 1u);
+  EXPECT_EQ(table.serving_members(), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(MemberTable, StateNames) {
+  EXPECT_STREQ(member_state_name(MemberState::kAlive), "alive");
+  EXPECT_STREQ(member_state_name(MemberState::kSuspect), "suspect");
+  EXPECT_STREQ(member_state_name(MemberState::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace ftc::membership

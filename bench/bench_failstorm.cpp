@@ -1,0 +1,404 @@
+// bench_failstorm.cpp - Failover-storm hardening, on vs off.
+//
+// The metastable-failure scenario the overload-control layer exists for:
+// N co-located clients stream warm reads, one node is crash-stopped
+// mid-run, and every client redirects its keys to the same ring successor
+// at once.  Unprotected, the successor absorbs duplicate first-touch PFS
+// fetches per lost file (one per request, not per file), its unbounded
+// queue grows, and retry/hedge amplification feeds the spiral.  The
+// protected run turns on the whole PR: deadline propagation, retry
+// budgets, class-aware admission control, and the PFS singleflight guard.
+//
+// Two identical clusters (same environment: multi-worker endpoints, PFS
+// latency, eager hedging — the PR2 amplifier is ON in both) differ only
+// in the protection knobs.  Measured per phase:
+//   - duplicate PFS fetches per victim-owned file after the kill
+//     (max/avg; singleflight's contract is max -> 1);
+//   - p50/p99 of successful reads before the kill and in the storm
+//     window [kill, kill+storm_ms];
+//   - goodput (successful reads/s) and failures in the storm window;
+//   - shed/expired/coalesced/budget-denial counters.
+//
+// Writes machine-readable BENCH_failstorm.json (override with out=...).
+// Exit 0 iff protected max duplicates <= 1 AND (unless require_p99=0)
+// the protected storm-window p99 beats the unprotected one.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using ftc::cluster::Cluster;
+using ftc::cluster::ClusterConfig;
+using ftc::cluster::FtMode;
+using ftc::cluster::NodeId;
+
+struct BenchArgs {
+  std::uint32_t nodes = 10;
+  std::uint32_t files = 240;
+  std::uint32_t file_kb = 64;
+  std::uint32_t pfs_us = 12000;   ///< simulated PFS read latency
+  std::uint32_t pfs_slots = 1;    ///< concurrent PFS reads at full speed
+  std::uint32_t pre_ms = 400;     ///< healthy run-up before the kill
+  std::uint32_t storm_ms = 1500;  ///< measurement window after the kill
+  std::uint32_t think_ms = 1;     ///< per-read think time (GPU step)
+  std::uint32_t require_p99 = 1;  ///< 0: skip the p99 criterion (CI smoke)
+  std::string out = "BENCH_failstorm.json";
+};
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr,
+                   "usage: %s [nodes=N] [files=N] [file_kb=N] [pfs_us=N] "
+                   "[pfs_slots=N] [pre_ms=N] [storm_ms=N] [think_ms=N] [require_p99=0|1] "
+                   "[out=PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    const auto numeric = [&key, &value]() -> std::uint32_t {
+      try {
+        std::size_t used = 0;
+        const unsigned long parsed = std::stoul(value, &used);
+        if (used == value.size()) {
+          return static_cast<std::uint32_t>(parsed);
+        }
+      } catch (const std::exception&) {
+      }
+      std::fprintf(stderr, "%s wants a number, got '%s'\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    };
+    if (key == "nodes") args.nodes = numeric();
+    else if (key == "files") args.files = numeric();
+    else if (key == "file_kb") args.file_kb = numeric();
+    else if (key == "pfs_us") args.pfs_us = numeric();
+    else if (key == "pfs_slots") args.pfs_slots = numeric();
+    else if (key == "pre_ms") args.pre_ms = numeric();
+    else if (key == "storm_ms") args.storm_ms = numeric();
+    else if (key == "think_ms") args.think_ms = numeric();
+    else if (key == "require_p99") args.require_p99 = numeric();
+    else if (key == "out") args.out = value;
+    else {
+      std::fprintf(stderr, "unknown key: %s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+ClusterConfig make_config(const BenchArgs& args, bool hardened) {
+  ClusterConfig config;
+  config.node_count = args.nodes;
+  config.pfs_read_latency = std::chrono::microseconds(args.pfs_us);
+  // The job's PFS bandwidth share is finite: duplicate fetches do not run
+  // for free in parallel, they queue and stretch — the physics that turns
+  // redundant fetch work into tail latency.
+  config.pfs_service_slots = args.pfs_slots;
+  config.client.mode = FtMode::kHashRingRecache;
+  config.client.rpc_timeout = std::chrono::milliseconds(60);
+  config.client.timeout_limit = 2;
+  // The PR2 amplifier is deliberately ON in BOTH phases — hedged reads
+  // are part of the environment that makes storms storm, not part of the
+  // protection under test.  The floor sits just above one coalesced PFS
+  // fetch: a dead-owner wait or an unprotected first-touch convoy at the
+  // successor crosses it (and a hedge leg then seeds a DUPLICATE fetch on
+  // the second successor — the amplification loop), while a read that
+  // merely joins one in-flight fetch does not.
+  config.client.hedge_reads = true;
+  config.client.hedge_min_delay = std::chrono::milliseconds(45);
+  config.server.cache_capacity_bytes = 1ULL << 32;
+  // Concurrent requests at one endpoint actually contend in both phases;
+  // a serial endpoint would hide the duplicate-fetch problem entirely.
+  config.server.endpoint_workers = 2;
+  if (hardened) {
+    config.client.total_deadline = std::chrono::milliseconds(240);
+    config.client.retry_budget_ratio = 0.1;
+    config.client.retry_budget_cap = 8.0;
+    config.client.busy_backoff_base = std::chrono::milliseconds(1);
+    config.client.busy_backoff_cap = std::chrono::milliseconds(8);
+    config.server.admission_control = true;
+    config.server.admission_queue_limit = 12;
+    config.server.pfs_singleflight = true;
+    config.server.pfs_guard.max_concurrent_fetches = 6;
+    config.server.pfs_guard.fetch_slot_wait = std::chrono::milliseconds(20);
+    // The PFS itself is healthy in this scenario; the breaker is armed
+    // but not expected to trip.
+    config.server.pfs_guard.breaker_failure_threshold = 16;
+    config.server.pfs_guard.breaker_cooldown = std::chrono::milliseconds(100);
+  }
+  return config;
+}
+
+struct ReadSample {
+  double offset_ms = 0.0;  ///< since phase start
+  double latency_us = 0.0;
+  bool ok = false;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+struct PhaseResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  double pre_p50_us = 0.0;
+  double pre_p99_us = 0.0;
+  double storm_p50_us = 0.0;
+  double storm_p99_us = 0.0;
+  double storm_goodput_rps = 0.0;
+  std::uint64_t storm_failures = 0;
+  double dup_fetch_max = 0.0;
+  double dup_fetch_avg = 0.0;
+  std::uint64_t victim_files = 0;
+  // Protection-layer counters (all ~0 in the unprotected phase).
+  std::uint64_t requests_shed = 0;
+  std::uint64_t expired_on_arrival = 0;
+  std::uint64_t pfs_coalesced = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t retries_denied_by_budget = 0;
+  std::uint64_t deadline_give_ups = 0;
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t pfs_reads_total = 0;
+};
+
+PhaseResult run_phase(const std::string& name, const BenchArgs& args,
+                      bool hardened) {
+  Cluster cluster(make_config(args, hardened));
+  const auto paths = cluster.stage_dataset(args.files, args.file_kb * 1024);
+  cluster.warm_caches(paths);
+
+  const NodeId victim = args.nodes - 1;
+  // The files the kill will orphan, per the shared pre-kill ring view.
+  std::vector<std::string> victim_paths;
+  for (const auto& path : paths) {
+    if (cluster.client(0).current_owner(path) == victim) {
+      victim_paths.push_back(path);
+    }
+  }
+
+  // One driver thread per surviving node's co-located client (the
+  // victim's own client dies with it).  All drivers walk the dataset in
+  // the SAME order, as samplers sharing a shuffled epoch do — which is
+  // exactly what convoys first-touch misses onto the successor.
+  std::vector<NodeId> drivers;
+  for (NodeId n = 0; n < args.nodes; ++n) {
+    if (n != victim) drivers.push_back(n);
+  }
+  const auto phase_start = Clock::now();
+  const auto kill_at = phase_start + std::chrono::milliseconds(args.pre_ms);
+  const auto stop_at =
+      kill_at + std::chrono::milliseconds(args.storm_ms);
+  std::vector<std::vector<ReadSample>> samples(drivers.size());
+  std::vector<std::thread> threads;
+  threads.reserve(drivers.size());
+  for (std::size_t d = 0; d < drivers.size(); ++d) {
+    threads.emplace_back([d, &drivers, &cluster, &paths, &samples,
+                          phase_start, stop_at, think = args.think_ms] {
+      auto& client = cluster.client(drivers[d]);
+      std::size_t i = 0;
+      while (Clock::now() < stop_at) {
+        const auto& path = paths[i % paths.size()];
+        ++i;
+        const auto start = Clock::now();
+        const bool ok = client.read_file(path).is_ok();
+        const auto end = Clock::now();
+        samples[d].push_back(
+            {std::chrono::duration<double, std::milli>(start - phase_start)
+                 .count(),
+             std::chrono::duration<double, std::micro>(end - start).count(),
+             ok});
+        if (think > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(think));
+        }
+      }
+    });
+  }
+
+  // Main thread springs the fault at the appointed time.
+  std::this_thread::sleep_until(kill_at);
+  std::vector<std::uint64_t> counts_before;
+  counts_before.reserve(victim_paths.size());
+  for (const auto& path : victim_paths) {
+    counts_before.push_back(cluster.pfs().read_count(path));
+  }
+  cluster.fail_node(victim);
+  const double kill_offset_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - phase_start)
+          .count();
+  for (auto& thread : threads) thread.join();
+
+  PhaseResult result;
+  result.name = name;
+  result.victim_files = victim_paths.size();
+  std::uint64_t dup_total = 0;
+  std::uint64_t dup_max = 0;
+  for (std::size_t i = 0; i < victim_paths.size(); ++i) {
+    const std::uint64_t dup =
+        cluster.pfs().read_count(victim_paths[i]) - counts_before[i];
+    dup_total += dup;
+    dup_max = std::max(dup_max, dup);
+  }
+  result.dup_fetch_max = static_cast<double>(dup_max);
+  result.dup_fetch_avg =
+      victim_paths.empty()
+          ? 0.0
+          : static_cast<double>(dup_total) /
+                static_cast<double>(victim_paths.size());
+
+  std::vector<double> pre_lat;
+  std::vector<double> storm_lat;
+  for (const auto& driver_samples : samples) {
+    result.ops += driver_samples.size();
+    for (const ReadSample& s : driver_samples) {
+      if (s.offset_ms < kill_offset_ms) {
+        if (s.ok) pre_lat.push_back(s.latency_us);
+      } else {
+        if (s.ok) {
+          storm_lat.push_back(s.latency_us);
+        } else {
+          ++result.storm_failures;
+        }
+      }
+    }
+  }
+  std::sort(pre_lat.begin(), pre_lat.end());
+  std::sort(storm_lat.begin(), storm_lat.end());
+  result.pre_p50_us = percentile(pre_lat, 50.0);
+  result.pre_p99_us = percentile(pre_lat, 99.0);
+  result.storm_p50_us = percentile(storm_lat, 50.0);
+  result.storm_p99_us = percentile(storm_lat, 99.0);
+  result.storm_goodput_rps = static_cast<double>(storm_lat.size()) /
+                             (static_cast<double>(args.storm_ms) / 1000.0);
+
+  for (NodeId n = 0; n < args.nodes; ++n) {
+    const auto client_stats = cluster.client(n).stats_snapshot();
+    result.busy_rejections += client_stats.busy_rejections;
+    result.retries_denied_by_budget += client_stats.retries_denied_by_budget;
+    result.deadline_give_ups += client_stats.deadline_give_ups;
+    result.hedges_launched += client_stats.hedges_launched;
+    const auto server_stats = cluster.server(n).stats_snapshot();
+    result.expired_on_arrival += server_stats.expired_on_arrival;
+    result.pfs_coalesced += server_stats.pfs_coalesced;
+    result.requests_shed += cluster.transport().stats(n).requests_shed;
+  }
+  result.pfs_reads_total = cluster.pfs().read_count();
+  return result;
+}
+
+void print_phase(const PhaseResult& p) {
+  std::printf(
+      "%-12s %7llu ops  pre p99 %8.0f us | storm p50 %8.0f us p99 %8.0f us "
+      "goodput %7.0f/s fail %llu | dup max %.0f avg %.2f (%llu files)\n",
+      p.name.c_str(), static_cast<unsigned long long>(p.ops), p.pre_p99_us,
+      p.storm_p50_us, p.storm_p99_us, p.storm_goodput_rps,
+      static_cast<unsigned long long>(p.storm_failures), p.dup_fetch_max,
+      p.dup_fetch_avg, static_cast<unsigned long long>(p.victim_files));
+  std::printf(
+      "             shed %llu expired %llu coalesced %llu busy %llu "
+      "budget_denied %llu give_ups %llu hedges %llu pfs_reads %llu\n",
+      static_cast<unsigned long long>(p.requests_shed),
+      static_cast<unsigned long long>(p.expired_on_arrival),
+      static_cast<unsigned long long>(p.pfs_coalesced),
+      static_cast<unsigned long long>(p.busy_rejections),
+      static_cast<unsigned long long>(p.retries_denied_by_budget),
+      static_cast<unsigned long long>(p.deadline_give_ups),
+      static_cast<unsigned long long>(p.hedges_launched),
+      static_cast<unsigned long long>(p.pfs_reads_total));
+}
+
+void emit_phase_json(std::ofstream& out, const PhaseResult& p, bool last) {
+  char line[640];
+  std::snprintf(
+      line, sizeof(line),
+      "    \"%s\": {\"ops\": %llu, \"pre_p50_us\": %.1f, "
+      "\"pre_p99_us\": %.1f, \"storm_p50_us\": %.1f, \"storm_p99_us\": %.1f, "
+      "\"storm_goodput_rps\": %.1f, \"storm_failures\": %llu, "
+      "\"dup_fetch_max\": %.0f, \"dup_fetch_avg\": %.2f, "
+      "\"victim_files\": %llu, \"requests_shed\": %llu, "
+      "\"expired_on_arrival\": %llu, \"pfs_coalesced\": %llu, "
+      "\"busy_rejections\": %llu, \"retries_denied_by_budget\": %llu, "
+      "\"deadline_give_ups\": %llu, \"hedges_launched\": %llu, "
+      "\"pfs_reads_total\": %llu}%s\n",
+      p.name.c_str(), static_cast<unsigned long long>(p.ops), p.pre_p50_us,
+      p.pre_p99_us, p.storm_p50_us, p.storm_p99_us, p.storm_goodput_rps,
+      static_cast<unsigned long long>(p.storm_failures), p.dup_fetch_max,
+      p.dup_fetch_avg, static_cast<unsigned long long>(p.victim_files),
+      static_cast<unsigned long long>(p.requests_shed),
+      static_cast<unsigned long long>(p.expired_on_arrival),
+      static_cast<unsigned long long>(p.pfs_coalesced),
+      static_cast<unsigned long long>(p.busy_rejections),
+      static_cast<unsigned long long>(p.retries_denied_by_budget),
+      static_cast<unsigned long long>(p.deadline_give_ups),
+      static_cast<unsigned long long>(p.hedges_launched),
+      static_cast<unsigned long long>(p.pfs_reads_total), last ? "" : ",");
+  out << line;
+}
+
+const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+
+  const PhaseResult unprotected =
+      run_phase("unprotected", args, /*hardened=*/false);
+  const PhaseResult protected_run =
+      run_phase("protected", args, /*hardened=*/true);
+
+  print_phase(unprotected);
+  print_phase(protected_run);
+
+  const bool dup_ok = protected_run.dup_fetch_max <= 1.0;
+  const bool p99_ok =
+      protected_run.storm_p99_us < unprotected.storm_p99_us;
+  std::printf("protected dup max %.0f (%s); storm p99 %0.f vs %0.f us (%s)\n",
+              protected_run.dup_fetch_max,
+              dup_ok ? "<= 1, singleflight holds" : "EXCEEDS 1",
+              protected_run.storm_p99_us, unprotected.storm_p99_us,
+              p99_ok ? "improved" : "NOT improved");
+
+  std::ofstream out(args.out);
+  out << "{\n  \"bench\": \"bench_failstorm\",\n";
+  out << "  \"config\": {\"nodes\": " << args.nodes
+      << ", \"files\": " << args.files << ", \"file_kb\": " << args.file_kb
+      << ", \"pfs_us\": " << args.pfs_us
+      << ", \"pfs_slots\": " << args.pfs_slots << ", \"pre_ms\": " << args.pre_ms
+      << ", \"storm_ms\": " << args.storm_ms
+      << ", \"think_ms\": " << args.think_ms
+      << ", \"require_p99\": " << args.require_p99 << "},\n";
+  out << "  \"phases\": {\n";
+  emit_phase_json(out, unprotected, /*last=*/false);
+  emit_phase_json(out, protected_run, /*last=*/true);
+  out << "  },\n";
+  out << "  \"protected_dup_max_le_1\": " << json_bool(dup_ok) << ",\n";
+  out << "  \"storm_p99_improved\": " << json_bool(p99_ok) << ",\n";
+  out << "  \"p99_criterion_enforced\": " << json_bool(args.require_p99 != 0)
+      << "\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", args.out.c_str());
+
+  return (dup_ok && (args.require_p99 == 0 || p99_ok)) ? 0 : 1;
+}

@@ -20,6 +20,16 @@ cmake --build "${build_dir}" -j
 echo "=== tier-1 tests"
 ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j
 
+echo "=== failover-storm smoke (bench_failstorm, reduced load)"
+# Few-second smoke: exercises deadlines, admission, retry budgets, and
+# the PFS singleflight end-to-end and enforces the duplicate-fetch
+# criterion (protected max <= 1).  The p99 comparison needs the full
+# default load to be meaningful, so require_p99=0 here; the recorded
+# baseline (BENCH_failstorm.json) keeps both criteria.
+"${build_dir}/bench/bench_failstorm" \
+  nodes=6 files=60 pfs_us=4000 pre_ms=200 storm_ms=400 \
+  require_p99=0 out="${build_dir}/BENCH_failstorm_smoke.json"
+
 echo "=== thread sanitizer"
 "${source_dir}/scripts/sanitize.sh" thread
 

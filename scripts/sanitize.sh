@@ -8,6 +8,12 @@
 # membership_test exercises the SWIM gossip scheduler and the epoch-swap
 # publish path: background probe threads, async ping-req/verdict errands
 # and reader-side ring snapshots all interleave there.
+# The overload-control layer is covered too: storage_test stresses the
+# singleflight leader/joiner handoff (50 open/close rounds under
+# contention), rpc_test the multi-worker endpoints + admission shedding,
+# and cluster_test the PFS fetch guard (breaker, slots), bounded-PFS
+# contention, and the client retry-budget/hedge interplay — TSan sees
+# every leader election, flight publish, and token-bucket path.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 

@@ -21,6 +21,7 @@ ring::RingConfig membership_ring_config(const HvacClientConfig& client) {
 
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config), pfs_(config.pfs_read_latency) {
+  pfs_.set_service_concurrency(config_.pfs_service_slots);
   if (config_.membership.enabled) {
     const Status valid = config_.membership.validate();
     if (!valid.is_ok()) {
@@ -38,9 +39,16 @@ Cluster::Cluster(const ClusterConfig& config)
     servers_.push_back(std::make_unique<HvacServer>(n, pfs_, config_.server));
     HvacServer* server = servers_.back().get();
     transport_.register_endpoint(
-        n, [server](const rpc::RpcRequest& request) {
+        n,
+        [server](const rpc::RpcRequest& request) {
           return server->handle(request);
-        });
+        },
+        config_.server.endpoint_workers);
+    if (config_.server.admission_control) {
+      transport_.set_admission(
+          n, {config_.server.admission_queue_limit,
+              config_.server.admission_retry_after_ms});
+    }
     clients_.push_back(std::make_unique<HvacClient>(
         n, transport_, pfs_, members, config_.client));
   }
@@ -117,7 +125,13 @@ NodeId Cluster::add_node() {
       node,
       [server](const rpc::RpcRequest& request) {
         return server->handle(request);
-      });
+      },
+      config_.server.endpoint_workers);
+  if (config_.server.admission_control) {
+    transport_.set_admission(node,
+                             {config_.server.admission_queue_limit,
+                              config_.server.admission_retry_after_ms});
+  }
   std::vector<NodeId> members;
   members.reserve(servers_.size());
   for (NodeId n = 0; n <= node; ++n) members.push_back(n);

@@ -29,6 +29,10 @@ struct ClusterConfig {
   HvacServerConfig server;
   /// Simulated PFS read latency (models the NVMe-vs-Lustre gap).
   std::chrono::microseconds pfs_read_latency{0};
+  /// Concurrent latency-modelled PFS reads serviced at full speed; excess
+  /// queues and stretches (a job's Lustre OST share is finite).  0 =
+  /// unlimited, the legacy behaviour.
+  std::uint32_t pfs_service_slots = 0;
   /// SWIM membership service (default OFF: the seed's client-local
   /// detection, bit-for-bit).  When enabled, every node gets a
   /// MembershipAgent wired into its server and (hash-ring mode) client,

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -66,6 +67,29 @@ Status HvacClientConfig::validate(std::size_t cluster_size) const {
       return Status::invalid_argument(
           "hedge_min_delay must not exceed rpc_timeout");
     }
+  }
+  if (total_deadline < std::chrono::milliseconds::zero()) {
+    return Status::invalid_argument("total_deadline must be >= 0");
+  }
+  if (total_deadline.count() > 0 && total_deadline <= rpc_timeout) {
+    return Status::invalid_argument(
+        "total_deadline must exceed rpc_timeout (a first attempt could "
+        "never use its full per-RPC deadline otherwise)");
+  }
+  if (retry_budget_ratio < 0.0 || retry_budget_ratio > 1.0) {
+    return Status::invalid_argument(
+        "retry_budget_ratio must be 0 (off) or in (0, 1]");
+  }
+  if (retry_budget_ratio > 0.0 && retry_budget_cap < 1.0) {
+    return Status::invalid_argument(
+        "retry_budget_cap must be >= 1 when the budget is enabled");
+  }
+  if (busy_backoff_base <= std::chrono::milliseconds::zero()) {
+    return Status::invalid_argument("busy_backoff_base must be > 0");
+  }
+  if (busy_backoff_cap < busy_backoff_base) {
+    return Status::invalid_argument(
+        "busy_backoff_cap must be >= busy_backoff_base");
   }
   return Status::ok();
 }
@@ -132,7 +156,9 @@ HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
           .probe_backoff = config.probe_backoff,
           .probe_backoff_cap = config.probe_backoff_cap,
           .max_flaps = config.max_flaps}),
-      mailbox_(std::make_shared<Mailbox>()) {
+      mailbox_(std::make_shared<Mailbox>()),
+      retry_budget_(config.retry_budget_ratio, config.retry_budget_cap),
+      backoff_rng_(config.ring_seed ^ (0x9E3779B97F4A7C15ULL * (self + 1))) {
   const Status valid = config_.validate(servers.size());
   if (!valid.is_ok()) {
     throw std::invalid_argument("HvacClientConfig: " + valid.to_string());
@@ -332,6 +358,62 @@ void HvacClient::on_timeout(NodeId owner) {
   }
 }
 
+std::chrono::milliseconds HvacClient::attempt_timeout(
+    rpc::DeadlineNs deadline) const {
+  if (deadline == rpc::kNoDeadline) return config_.rpc_timeout;
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      rpc::deadline_remaining(deadline));
+  return std::clamp(remaining, std::chrono::milliseconds{1},
+                    config_.rpc_timeout);
+}
+
+bool HvacClient::spend_retry_token() {
+  if (retry_budget_.try_spend()) return true;
+  ++stats_.retries_denied_by_budget;
+  return false;
+}
+
+void HvacClient::handle_busy(NodeId server,
+                             const rpc::RpcResponse& response) {
+  ++stats_.busy_rejections;
+  // A kBusy answer proves the node is alive and fast — it is liveness
+  // evidence for the detector, and deliberately NOT a latency sample (a
+  // rejection says nothing about service time) and NOT a timeout (a node
+  // shedding load must never accrue suspicion for answering honestly).
+  detector_.record_success(server);
+  ingest_membership(response);
+  // The retry this shed provokes is server-DIRECTED, not speculative:
+  // the server rate-limits it via retry_after and the deadline bounds it.
+  // It must not drain the retry budget — a drained bucket diverts reads
+  // to the direct-PFS fallback, i.e. admission control would be funnelling
+  // load onto the very filesystem it exists to protect.
+  retry_is_server_directed_ = true;
+}
+
+void HvacClient::busy_backoff(std::uint32_t retry_after_ms,
+                              std::size_t attempt,
+                              rpc::DeadlineNs deadline) {
+  // Jittered exponential: base * 2^attempt in [cap/2, cap], jitter drawn
+  // in [0.5, 1) so synchronized clients spread out instead of re-bursting.
+  const std::size_t shift = std::min<std::size_t>(attempt, 20);
+  const std::int64_t scaled_ms = std::min<std::int64_t>(
+      config_.busy_backoff_base.count() << shift,
+      config_.busy_backoff_cap.count());
+  auto wait = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(
+          static_cast<double>(scaled_ms) * backoff_rng_.uniform(0.5, 1.0)));
+  // The server's hint is a floor: it knows its backlog, we do not.
+  wait = std::max(wait, std::chrono::nanoseconds(
+                            std::chrono::milliseconds(retry_after_ms)));
+  if (deadline != rpc::kNoDeadline) {
+    // Never sleep past the point where the read would give up anyway.
+    wait = std::min(wait, rpc::deadline_remaining(deadline));
+  }
+  if (wait > std::chrono::nanoseconds::zero()) {
+    std::this_thread::sleep_for(wait);
+  }
+}
+
 void HvacClient::drain_mailbox() {
   for (const Mailbox::Event& event : mailbox_->drain()) {
     switch (event.kind) {
@@ -398,6 +480,9 @@ StatusOr<common::Buffer> HvacClient::accept_response(
   ingest_membership(response);
   if (response.code == StatusCode::kOk) {
     detector_.record_success(server);
+    // Successful traffic funds future retries/hedges (no-op with the
+    // budget off).
+    retry_budget_.record_success();
     // End-to-end integrity: always a fresh CRC pass over the received
     // bytes (never the server's memoized value) so wire corruption is
     // actually exercised.
@@ -424,17 +509,21 @@ StatusOr<common::Buffer> HvacClient::accept_response(
 }
 
 std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
-    const std::string& path, NodeId owner) {
+    const std::string& path, NodeId owner, rpc::DeadlineNs deadline) {
   auto wait = std::make_shared<HedgeWait>();
   const auto start = rpc::Clock::now();
+  const auto leg_timeout = attempt_timeout(deadline);
 
   rpc::RpcRequest request;
   request.op = rpc::Op::kReadFile;
   request.path = path;
   request.client_node = self_;
+  // Both legs inherit the read's remaining budget: the server sheds
+  // either leg unexecuted once the client has given the read up.
+  request.deadline_ns = deadline;
   if (membership_ != nullptr) membership_->stamp_request(request);
   transport_.call_async(
-      owner, request, config_.rpc_timeout,
+      owner, request, leg_timeout,
       [wait, mailbox = mailbox_, owner](StatusOr<rpc::RpcResponse> result) {
         // A non-timeout error still proves the node is alive.
         mailbox->post(owner, !result.is_ok() && timeout_like(result.status())
@@ -458,6 +547,15 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
       auto result = std::move(*wait->primary);
       lock.unlock();
       drain_mailbox();  // folds this leg's success/timeout verdict
+      if (result.is_ok() && result.value().code == StatusCode::kBusy) {
+        // Shed, not served: back off (honoring the server's hint) and let
+        // the retry loop re-attempt.  No latency sample — a rejection
+        // says nothing about service time.
+        handle_busy(owner, result.value());
+        busy_backoff(result.value().retry_after_ms, /*attempt=*/0,
+                     deadline);
+        return std::nullopt;
+      }
       if (result.is_ok()) {
         latency_.record(std::chrono::duration<double, std::micro>(
                             rpc::Clock::now() - start)
@@ -471,8 +569,33 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
     }
   }
 
-  // Primary silent past the hedge delay: race the next distinct ring
-  // successor, or fall back to the PFS when the ring has no one else.
+  // Primary silent past the hedge delay.  A hedge leg is an extra attempt
+  // and must be funded by the retry budget: when the bucket is dry (a
+  // storm, by definition) hedging self-disables and we simply keep
+  // waiting on the primary — racing a second node would double the very
+  // load that is sinking the cluster.
+  if (!spend_retry_token()) {
+    std::unique_lock lock(wait->mutex);
+    wait->cv.wait_for(lock, leg_timeout,
+                      [&wait] { return wait->primary.has_value(); });
+    if (!wait->primary.has_value()) return std::nullopt;
+    auto result = std::move(*wait->primary);
+    lock.unlock();
+    drain_mailbox();
+    if (result.is_ok() && result.value().code == StatusCode::kBusy) {
+      handle_busy(owner, result.value());
+      busy_backoff(result.value().retry_after_ms, /*attempt=*/0, deadline);
+      return std::nullopt;
+    }
+    if (result.is_ok()) {
+      return accept_response(path, owner, std::move(result).value());
+    }
+    if (timeout_like(result.status())) return std::nullopt;
+    return StatusOr<common::Buffer>(result.status());
+  }
+
+  // Race the next distinct ring successor, or fall back to the PFS when
+  // the ring has no one else.
   ++stats_.hedges_launched;
   NodeId hedge_target = ring::kInvalidNode;
   for (const NodeId candidate : replica_chain(path, 2)) {
@@ -489,7 +612,7 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
   }
 
   transport_.call_async(
-      hedge_target, std::move(request), config_.rpc_timeout,
+      hedge_target, std::move(request), leg_timeout,
       [wait, mailbox = mailbox_,
        hedge_target](StatusOr<rpc::RpcResponse> result) {
         mailbox->post(hedge_target,
@@ -506,7 +629,7 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
   // First success wins; prefer the primary when both answered.  The cap
   // covers both legs' RPC deadlines plus pool queueing slack — purely a
   // hang safeguard, the transport itself enforces per-call deadlines.
-  const auto give_up = rpc::Clock::now() + 2 * config_.rpc_timeout +
+  const auto give_up = rpc::Clock::now() + 2 * leg_timeout +
                        std::chrono::microseconds(hedge_delay);
   bool primary_won = false;
   bool hedge_won = false;
@@ -544,9 +667,28 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
     ++stats_.hedge_wins;
     return accept_response(path, hedge_target, std::move(*winner).value());
   }
-  // Both legs failed (or the safeguard tripped): let the retry loop
-  // re-resolve ownership — the failed owner is typically out of the ring
-  // by now.
+  // Neither leg succeeded.  A leg that was *shed* (kBusy) still needs its
+  // bookkeeping — the node is alive, and its retry-after hint shapes the
+  // backoff before the retry loop re-attempts.
+  std::uint32_t busy_hint = 0;
+  bool saw_busy = false;
+  {
+    std::lock_guard lock(wait->mutex);
+    const auto fold_busy = [&](const std::optional<StatusOr<rpc::RpcResponse>>& leg,
+                               NodeId node) {
+      if (leg.has_value() && leg->is_ok() &&
+          leg->value().code == StatusCode::kBusy) {
+        handle_busy(node, leg->value());
+        busy_hint = std::max(busy_hint, leg->value().retry_after_ms);
+        saw_busy = true;
+      }
+    };
+    fold_busy(wait->primary, owner);
+    fold_busy(wait->hedge, hedge_target);
+  }
+  if (saw_busy) busy_backoff(busy_hint, /*attempt=*/0, deadline);
+  // Let the retry loop re-resolve ownership — a failed owner is typically
+  // out of the ring by now.
   return std::nullopt;
 }
 
@@ -558,13 +700,37 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
   const bool hedging = config_.hedge_reads &&
                        config_.mode == FtMode::kHashRingRecache;
 
+  // The read's total budget, inherited by every attempt and hedge leg
+  // (kNoDeadline with the knob off — legacy unbounded retries).
+  const rpc::DeadlineNs deadline =
+      config_.total_deadline.count() > 0
+          ? rpc::deadline_in(config_.total_deadline)
+          : rpc::kNoDeadline;
+
   // Bounded by the membership size: with R alive nodes a read can at worst
   // flag R owners in sequence before the PFS terminal fallback.
   const std::size_t max_attempts =
       (membership_ != nullptr ? membership_->ring_view()->node_count()
                               : placement_->node_count()) +
       1;
+  retry_is_server_directed_ = false;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (rpc::deadline_expired(deadline)) {
+      // Budget spent: give up rather than keep a storm-era request alive
+      // past the point anyone wants its answer.
+      ++stats_.deadline_give_ups;
+      return Status::timeout("read budget exhausted for " + path);
+    }
+    // SPECULATIVE extra attempts must be funded; a dry bucket means the
+    // cluster is drowning in retries already.  The authoritative copy
+    // still exists — take the slow-but-safe path instead of amplifying.
+    // Retries the server itself directed via kBusy+retry_after are exempt
+    // (see handle_busy): they are paced by the hint and the deadline.
+    const bool server_directed = retry_is_server_directed_;
+    retry_is_server_directed_ = false;
+    if (attempt > 0 && !server_directed && !spend_retry_token()) {
+      break;
+    }
     const NodeId owner = resolve_owner(path);
     if (owner == ring::kInvalidNode) {
       // Every cache server is gone; the PFS is the only copy left.
@@ -589,7 +755,7 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
     }
 
     if (hedging) {
-      auto outcome = hedged_attempt(path, owner);
+      auto outcome = hedged_attempt(path, owner, deadline);
       if (outcome.has_value()) return std::move(*outcome);
       continue;
     }
@@ -598,11 +764,20 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
     request.op = rpc::Op::kReadFile;
     request.path = path;
     request.client_node = self_;
+    request.deadline_ns = deadline;
     if (membership_ != nullptr) membership_->stamp_request(request);
     const auto call_start = rpc::Clock::now();
     auto result = transport_.call(owner, std::move(request),
-                                  config_.rpc_timeout);
+                                  attempt_timeout(deadline));
 
+    if (result.is_ok() && result.value().code == StatusCode::kBusy) {
+      // Shed, not served: alive-node bookkeeping, jittered backoff (never
+      // below the server's hint, never past the deadline), then retry.
+      // Deliberately no latency sample — see handle_busy.
+      handle_busy(owner, result.value());
+      busy_backoff(result.value().retry_after_ms, attempt, deadline);
+      continue;
+    }
     if (result.is_ok()) {
       latency_.record(std::chrono::duration<double, std::micro>(
                           rpc::Clock::now() - call_start)

@@ -51,8 +51,10 @@
 
 #include "cluster/fault_detector.hpp"
 #include "cluster/pfs_store.hpp"
+#include "cluster/retry_budget.hpp"
 #include "common/buffer.hpp"
 #include "common/latency_recorder.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/placement.hpp"
@@ -120,6 +122,30 @@ struct HvacClientConfig {
   double hedge_delay_multiplier = 2.0;
   std::chrono::microseconds hedge_min_delay{0};
   std::uint32_t hedge_min_samples = 16;
+
+  // --- failover-storm hardening (every knob defaults to the legacy
+  // --- behaviour: no deadline on the wire, unlimited retries/hedges,
+  // --- no busy handling beyond surfacing the error) --------------------
+  /// Total budget for one read_file call, spanning every retry and hedge
+  /// leg.  Carried on the wire as an absolute deadline so servers shed
+  /// work the client has already given up on.  0 = off (legacy: each
+  /// attempt gets a fresh rpc_timeout, reads can take attempts x timeout).
+  /// Valid when set: > rpc_timeout, else the first attempt could never
+  /// use its full per-RPC deadline.
+  std::chrono::milliseconds total_deadline{0};
+  /// Retry budget (gRPC/Finagle style): every success deposits this many
+  /// tokens (capped at retry_budget_cap); every retry and every hedge leg
+  /// spends one.  Under overload successes dry up, the bucket drains, and
+  /// retries/hedging self-disable instead of amplifying the storm.
+  /// 0 = off.  Valid when set: in (0, 1]; cap >= 1.
+  double retry_budget_ratio = 0.0;
+  double retry_budget_cap = 10.0;
+  /// Backoff after a kBusy rejection: jittered exponential from `base`
+  /// doubling per attempt up to `cap`, never below the server's
+  /// retry-after hint, never past the read's deadline.
+  /// Valid: base > 0, cap >= base.
+  std::chrono::milliseconds busy_backoff_base{1};
+  std::chrono::milliseconds busy_backoff_cap{16};
 
   /// Checks every field against its documented range; `cluster_size` (0 =
   /// unknown) additionally bounds replication_factor.  The HvacClient
@@ -219,6 +245,10 @@ class HvacClient {
     std::uint64_t suspicions_reported = 0;  ///< detector verdicts gossiped
     std::uint64_t stale_view_hints = 0;     ///< kStaleView responses seen
     std::uint64_t epoch_fast_forwards = 0;  ///< ingests that advanced epoch
+    // Failover-storm hardening (zero with the knobs off):
+    std::uint64_t busy_rejections = 0;  ///< kBusy answers (shed/breaker)
+    std::uint64_t retries_denied_by_budget = 0;  ///< spends refused
+    std::uint64_t deadline_give_ups = 0;  ///< reads ended by total_deadline
   };
   /// Value snapshot of the counters.  There is deliberately no reference
   /// accessor: callers can neither mutate the client's counters nor
@@ -258,8 +288,25 @@ class HvacClient {
   void reinstate(NodeId node);
   /// Hedged fast path for one attempt; returns nullopt when the caller
   /// should fall back to the ordinary retry loop for this attempt.
+  /// `deadline` (kNoDeadline when total_deadline is off) is inherited by
+  /// both legs on the wire and bounds their per-leg timeouts.
   std::optional<StatusOr<common::Buffer>> hedged_attempt(
-      const std::string& path, NodeId owner);
+      const std::string& path, NodeId owner, rpc::DeadlineNs deadline);
+  /// Per-attempt RPC timeout: rpc_timeout capped by the budget remaining
+  /// before `deadline` (floor 1ms so an attempt is never zero-length).
+  [[nodiscard]] std::chrono::milliseconds attempt_timeout(
+      rpc::DeadlineNs deadline) const;
+  /// Takes a retry-budget token for an extra attempt (retry or hedge
+  /// leg); false = denied, with the denial counted.
+  bool spend_retry_token();
+  /// kBusy bookkeeping: the node is *alive* (liveness evidence for the
+  /// detector, never a latency sample or a timeout), and its piggybacked
+  /// membership still gets folded in.
+  void handle_busy(NodeId server, const rpc::RpcResponse& response);
+  /// Sleeps the jittered exponential busy backoff (>= the server's
+  /// retry-after hint, truncated at the read's deadline).
+  void busy_backoff(std::uint32_t retry_after_ms, std::size_t attempt,
+                    rpc::DeadlineNs deadline);
   /// Winner bookkeeping shared by the plain and hedged paths.
   StatusOr<common::Buffer> accept_response(const std::string& path,
                                            NodeId server,
@@ -285,6 +332,17 @@ class HvacClient {
   Stats stats_;
   LatencyRecorder latency_;
   std::shared_ptr<Mailbox> mailbox_;
+  /// Token bucket shared by timeout-retries and hedge legs (no-op with
+  /// retry_budget_ratio == 0).
+  RetryBudget retry_budget_;
+  /// Jitter stream for busy backoff; seeded from ring_seed ^ self so
+  /// co-located clients never backoff in lockstep (synchronized retries
+  /// re-create the very burst the backoff exists to spread).
+  Rng backoff_rng_;
+  /// Set by handle_busy: the next retry was directed by a shedding server
+  /// (kBusy + retry_after), so it is exempt from the speculative retry
+  /// budget — it is paced by the server's hint and the deadline instead.
+  bool retry_is_server_directed_ = false;
 };
 
 }  // namespace ftc::cluster

@@ -1,5 +1,6 @@
 #include "cluster/hvac_server.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -17,11 +18,37 @@ std::uint32_t payload_crc(const common::Buffer& payload) {
 }
 }  // namespace
 
+Status HvacServerConfig::validate() const {
+  if (endpoint_workers == 0) {
+    return Status::invalid_argument("endpoint_workers must be >= 1");
+  }
+  if (admission_control && admission_queue_limit < 1) {
+    return Status::invalid_argument(
+        "admission_control needs admission_queue_limit >= 1");
+  }
+  if (pfs_singleflight && pfs_guard.max_concurrent_fetches == 0) {
+    return Status::invalid_argument(
+        "pfs_singleflight needs max_concurrent_fetches >= 1");
+  }
+  if (pfs_singleflight && pfs_guard.breaker_failure_threshold == 0) {
+    return Status::invalid_argument(
+        "pfs_singleflight needs breaker_failure_threshold >= 1");
+  }
+  return Status::ok();
+}
+
 HvacServer::HvacServer(NodeId id, PfsStore& pfs,
                        const HvacServerConfig& config)
     : id_(id), pfs_(pfs), config_(config),
       cache_(config.cache_capacity_bytes, config.eviction_policy,
              config.cache_shards) {
+  const Status valid = config_.validate();
+  if (!valid.is_ok()) {
+    throw std::invalid_argument("HvacServerConfig: " + valid.message());
+  }
+  if (config_.pfs_singleflight) {
+    pfs_guard_ = std::make_unique<PfsFetchGuard>(config_.pfs_guard);
+  }
   if (config_.async_data_mover) {
     mover_pool_ = std::make_unique<common::ThreadPool>(
         config_.data_mover_threads == 0 ? 1 : config_.data_mover_threads);
@@ -33,6 +60,17 @@ HvacServer::HvacServer(NodeId id, PfsStore& pfs,
 HvacServer::~HvacServer() = default;
 
 rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
+  // Deadline shed: work whose deadline passed while it sat in the ingress
+  // queue is answered kCancelled without being executed — the client gave
+  // up already, and doing it anyway is exactly the wasted work that turns
+  // an overload into a metastable storm.  Membership verbs never carry
+  // deadlines, so detection traffic is unaffected.
+  if (rpc::deadline_expired(request.deadline_ns)) {
+    stats_.expired_on_arrival.fetch_add(1, std::memory_order_relaxed);
+    rpc::RpcResponse response;
+    response.code = StatusCode::kCancelled;
+    return response;
+  }
   if (membership_ != nullptr) {
     switch (request.op) {
       case rpc::Op::kSwimPing:
@@ -81,6 +119,9 @@ rpc::RpcResponse HvacServer::dispatch(const rpc::RpcRequest& request) {
           " replicas_stored=" + std::to_string(s.replicas_stored) +
           " payload_bytes_copied=" + std::to_string(s.payload_bytes_copied) +
           " evictions=" + std::to_string(s.evictions) +
+          " expired_on_arrival=" + std::to_string(s.expired_on_arrival) +
+          " pfs_coalesced=" + std::to_string(s.pfs_coalesced) +
+          " pfs_breaker_open=" + std::to_string(s.pfs_breaker_open) +
           " used_bytes=" + std::to_string(s.used_bytes) +
           " capacity_bytes=" + std::to_string(cache_.capacity_bytes()) +
           " files=" + std::to_string(cache_.file_count()));
@@ -125,6 +166,41 @@ rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
     return response;
   }
   stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+
+  if (pfs_guard_) {
+    // Storm-protected miss: coalesce concurrent fetches for this path,
+    // bound PFS concurrency, and honor the breaker.  The leader recaches
+    // *synchronously* before its flight closes, so a request arriving
+    // just after the flight hits the cache instead of starting a second
+    // fetch — that double-check is what pins duplicate PFS fetches per
+    // lost file at one even when arrivals straddle the flight boundary.
+    PfsFetchGuard::Outcome outcome = pfs_guard_->fetch(
+        request.path, [this, &request]() -> StatusOr<common::Buffer> {
+          auto rechecked = cache_.get(request.path);
+          if (rechecked.is_ok()) return std::move(rechecked).value();
+          auto fetched = pfs_.read(request.path);
+          if (!fetched.is_ok()) return fetched.status();
+          stats_.pfs_fetches.fetch_add(1, std::memory_order_relaxed);
+          common::Buffer contents = std::move(fetched).value();
+          stats_.recache_enqueued.fetch_add(1, std::memory_order_relaxed);
+          recache(request.path, contents);
+          return contents;
+        });
+    if (outcome.rejected_busy) {
+      response.code = StatusCode::kBusy;
+      response.retry_after_ms = outcome.retry_after_ms;
+      return response;
+    }
+    if (!outcome.result.is_ok()) {
+      response.code = outcome.result.status().code();
+      return response;
+    }
+    response.code = StatusCode::kOk;
+    response.cache_hit = false;
+    response.payload = std::move(outcome.result).value();
+    response.checksum = payload_crc(response.payload);
+    return response;
+  }
 
   // Miss: fetch from PFS (slow; no cache lock is held here).
   auto from_pfs = pfs_.read(request.path);
@@ -189,6 +265,13 @@ HvacServer::Stats HvacServer::stats_snapshot() const {
       stats_.payload_bytes_copied.load(std::memory_order_relaxed);
   s.evictions = cache_.eviction_count();
   s.used_bytes = cache_.used_bytes();
+  s.expired_on_arrival =
+      stats_.expired_on_arrival.load(std::memory_order_relaxed);
+  if (pfs_guard_) {
+    const PfsFetchGuard::Stats guard = pfs_guard_->stats_snapshot();
+    s.pfs_coalesced = guard.coalesced;
+    s.pfs_breaker_open = guard.breaker_rejections;
+  }
   return s;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "cluster/fault_detector.hpp"  // NodeId
+#include "cluster/pfs_guard.hpp"
 #include "cluster/pfs_store.hpp"
 #include "common/thread_pool.hpp"
 #include "rpc/message.hpp"
@@ -46,10 +47,36 @@ struct HvacServerConfig {
   bool async_data_mover = true;
   /// Worker threads for the background recache pool (async mode only).
   std::size_t data_mover_threads = 1;
+
+  // --- Failover-storm hardening (every knob defaults to the legacy
+  // behaviour: no admission control, serial endpoint, no singleflight) ---
+
+  /// Transport worker threads for this node's endpoint.  1 = the seed's
+  /// serial endpoint; more lets concurrent requests actually contend,
+  /// which both the storm experiments and singleflight coalescing need.
+  std::size_t endpoint_workers = 1;
+  /// Bound the endpoint's ingress queue (class-aware shedding in the
+  /// transport: membership never shed, reads shed at the limit, recache
+  /// writes at twice it).  Off = unbounded legacy queue.
+  bool admission_control = false;
+  std::size_t admission_queue_limit = 16;
+  /// Base of the kBusy retry-after hint, scaled by queue overflow.
+  std::uint32_t admission_retry_after_ms = 1;
+  /// Coalesce concurrent first-touch misses for one path into a single
+  /// PFS fetch, cap concurrent fetches, and breaker-protect the PFS.
+  bool pfs_singleflight = false;
+  PfsGuardOptions pfs_guard;
+
+  /// Rejects contradictory knob combinations (used by HvacServer's
+  /// throwing constructor; callers may also pre-validate).
+  [[nodiscard]] Status validate() const;
 };
 
 class HvacServer {
  public:
+  /// Throws std::invalid_argument when `config.validate()` rejects —
+  /// misconfigured overload control must fail loudly at construction,
+  /// not silently misprotect under the first storm.
   HvacServer(NodeId id, PfsStore& pfs, const HvacServerConfig& config);
   ~HvacServer();
 
@@ -86,6 +113,14 @@ class HvacServer {
     std::uint64_t payload_bytes_copied = 0;
     std::uint64_t evictions = 0;        ///< cache evictions to date
     std::uint64_t used_bytes = 0;       ///< current cache occupancy
+    /// Requests whose deadline had already passed on arrival — shed
+    /// before dispatch, never executed.
+    std::uint64_t expired_on_arrival = 0;
+    /// Miss-path calls that shared another caller's in-flight PFS fetch
+    /// (singleflight followers; 0 with the guard off).
+    std::uint64_t pfs_coalesced = 0;
+    /// Miss-path calls fast-rejected kBusy by the open PFS breaker.
+    std::uint64_t pfs_breaker_open = 0;
   };
   /// Value snapshot of the lock-free counters plus cache occupancy.  As
   /// with HvacClient, there is deliberately no reference accessor —
@@ -106,6 +141,15 @@ class HvacServer {
   [[nodiscard]] std::size_t cached_file_count() const;
   [[nodiscard]] std::uint64_t cached_bytes() const;
 
+  /// The server's copy of its config (cluster wiring reads the endpoint/
+  /// admission knobs from here when registering the node).
+  [[nodiscard]] const HvacServerConfig& config() const { return config_; }
+
+  /// Storm-protection telemetry; nullptr with pfs_singleflight off.
+  [[nodiscard]] const PfsFetchGuard* pfs_guard() const {
+    return pfs_guard_.get();
+  }
+
  private:
   /// The membership-agnostic op switch handle() wraps.
   rpc::RpcResponse dispatch(const rpc::RpcRequest& request);
@@ -122,6 +166,7 @@ class HvacServer {
     std::atomic<std::uint64_t> recache_completed{0};
     std::atomic<std::uint64_t> replicas_stored{0};
     std::atomic<std::uint64_t> payload_bytes_copied{0};
+    std::atomic<std::uint64_t> expired_on_arrival{0};
   };
 
   NodeId id_;
@@ -130,6 +175,9 @@ class HvacServer {
   membership::MembershipAgent* membership_ = nullptr;
   storage::ShardedCacheStore cache_;  ///< internally lock-striped
   AtomicStats stats_;
+  /// Storm protection for the miss path; null when pfs_singleflight off
+  /// (the miss path is then bit-identical to the seed's).
+  std::unique_ptr<PfsFetchGuard> pfs_guard_;
   /// Declared last: destroyed first, so queued recache tasks (which touch
   /// cache_ and stats_) finish while those members are still alive.
   std::unique_ptr<common::ThreadPool> mover_pool_;

@@ -1,0 +1,129 @@
+// pfs_guard.hpp - Storm protection for the server's PFS miss path.
+//
+// When a node dies, its files all hash to the same ring successor and
+// every client's first touch there is a miss.  Unprotected, the successor
+// issues one PFS fetch per *request*; the PFS — the shared resource the
+// whole cache exists to shield — absorbs a read burst proportional to
+// client count, not to lost-file count.  This guard stacks three defenses
+// in front of the PFS, outermost first:
+//
+//   1. Singleflight: concurrent fetches for one path collapse into a
+//      single PFS read whose refcounted result every waiter shares
+//      (duplicate fetches per lost file -> 1).
+//   2. Slot limiter: at most `max_concurrent_fetches` distinct-path
+//      fetches run at once; a fetch that cannot get a slot within
+//      `fetch_slot_wait` is rejected kBusy instead of piling onto a
+//      struggling PFS.
+//   3. Circuit breaker (closed/open/half-open): sustained PFS errors or
+//      slow reads trip the breaker, which fast-rejects kBusy for a
+//      cooldown, then admits a single half-open trial whose outcome
+//      closes or re-opens it.  kNotFound never trips it — a missing file
+//      is an answer, not a health signal.
+//
+// kBusy rejections carry a retry-after hint; clients fold it into their
+// jittered backoff.  The guard is self-contained and lock-internal so
+// HvacServer composes it without a server-wide mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+#include "storage/singleflight.hpp"
+
+namespace ftc::cluster {
+
+struct PfsGuardOptions {
+  /// Distinct-path PFS fetches allowed to run concurrently.
+  std::size_t max_concurrent_fetches = 4;
+  /// How long a fetch waits for a slot before giving up kBusy.
+  std::chrono::milliseconds fetch_slot_wait{20};
+  /// Consecutive fetch failures that trip the breaker open.
+  std::uint32_t breaker_failure_threshold = 8;
+  /// How long an open breaker fast-rejects before the half-open trial.
+  std::chrono::milliseconds breaker_cooldown{250};
+  /// A successful fetch slower than this counts as a breaker failure
+  /// (gray-failing PFS).  0 disables latency-based tripping.
+  std::chrono::milliseconds breaker_latency_threshold{0};
+};
+
+class PfsFetchGuard {
+ public:
+  using FetchFn = std::function<StatusOr<common::Buffer>()>;
+
+  explicit PfsFetchGuard(PfsGuardOptions options);
+
+  PfsFetchGuard(const PfsFetchGuard&) = delete;
+  PfsFetchGuard& operator=(const PfsFetchGuard&) = delete;
+
+  /// What a guarded fetch produced.  `result` is shared verbatim between
+  /// the leader and every coalesced waiter (refcounted payload).
+  struct Outcome {
+    StatusOr<common::Buffer> result;
+    /// True when this call joined another caller's in-flight fetch.
+    bool coalesced = false;
+    /// True when the guard refused to fetch (open breaker / no slot);
+    /// `result` then holds kBusy and `retry_after_ms` the suggested wait.
+    bool rejected_busy = false;
+    std::uint32_t retry_after_ms = 0;
+  };
+
+  /// Runs `fn` for `key` under all three defenses.  Thread-safe; `fn`
+  /// executes on exactly one of the concurrent callers per key.
+  Outcome fetch(const std::string& key, const FetchFn& fn);
+
+  /// True while the breaker is fast-rejecting (telemetry/tests).
+  [[nodiscard]] bool breaker_open() const;
+
+  struct Stats {
+    std::uint64_t fetches = 0;             ///< leader executions of fn
+    std::uint64_t coalesced = 0;           ///< calls that shared a flight
+    std::uint64_t slot_rejections = 0;     ///< kBusy: no slot in time
+    std::uint64_t breaker_rejections = 0;  ///< kBusy: breaker open
+    std::uint64_t breaker_trips = 0;       ///< closed/half-open -> open
+  };
+  [[nodiscard]] Stats stats_snapshot() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// The leader-side path: breaker admit -> slot -> fn -> breaker record.
+  Outcome fetch_as_leader(const FetchFn& fn);
+
+  /// Breaker admission.  Returns true to proceed (and flags the half-open
+  /// trial); false fills `retry_after_ms` with the remaining cooldown.
+  bool breaker_admit(std::uint32_t& retry_after_ms);
+  /// Folds a finished fetch into the breaker state machine.
+  void breaker_record(bool failure);
+  /// Un-claims a half-open trial that never ran (slot rejection).
+  void breaker_abort_trial();
+
+  PfsGuardOptions options_;
+
+  storage::Singleflight<Outcome> flights_;
+
+  mutable std::mutex breaker_mutex_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  Clock::time_point open_until_{};
+
+  mutable std::mutex slot_mutex_;
+  std::condition_variable slot_cv_;
+  std::size_t slots_in_use_ = 0;
+
+  std::atomic<std::uint64_t> fetches_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> slot_rejections_{0};
+  std::atomic<std::uint64_t> breaker_rejections_{0};
+  std::atomic<std::uint64_t> breaker_trips_{0};
+};
+
+}  // namespace ftc::cluster

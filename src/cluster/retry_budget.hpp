@@ -1,0 +1,54 @@
+// retry_budget.hpp - Token-bucket budget shared by retries and hedges.
+//
+// The gRPC/Finagle retry-budget idea: extra attempts (retries after a
+// timeout, hedge legs raced against a slow owner) may consume at most a
+// fixed *fraction* of successful traffic.  Every success deposits `ratio`
+// tokens (capped); every extra attempt spends one whole token.  In steady
+// state that allows ~ratio extra attempts per success — enough to mask
+// blips — but under a real overload successes dry up, the bucket drains,
+// and retries/hedging self-disable instead of amplifying the storm
+// (retry amplification is the classic metastable-failure ingredient).
+// Successes refill the bucket, so the mechanisms re-enable on recovery
+// with no operator action.
+//
+// Single-threaded by design: HvacClient state is owned by one thread.
+#pragma once
+
+#include <algorithm>
+
+namespace ftc::cluster {
+
+class RetryBudget {
+ public:
+  /// ratio = tokens deposited per success (0 disables the budget — every
+  /// spend is allowed, the legacy behaviour); cap = bucket size, which is
+  /// also the initial balance so a cold client can still mask early blips.
+  RetryBudget(double ratio, double cap)
+      : ratio_(ratio), cap_(cap), tokens_(cap) {}
+
+  [[nodiscard]] bool enabled() const { return ratio_ > 0.0; }
+
+  /// Takes one token for an extra attempt; false = budget exhausted, the
+  /// caller must not retry/hedge.  Always true when disabled.
+  bool try_spend() {
+    if (!enabled()) return true;
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Deposits `ratio` for one successful request.
+  void record_success() {
+    if (!enabled()) return;
+    tokens_ = std::min(cap_, tokens_ + ratio_);
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  double ratio_;
+  double cap_;
+  double tokens_;
+};
+
+}  // namespace ftc::cluster

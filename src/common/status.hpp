@@ -23,6 +23,10 @@ enum class StatusCode : std::uint8_t {
   kInvalidArgument = 5, ///< Caller error (bad parameter).
   kInternal = 6,        ///< Invariant violation; indicates a bug.
   kCancelled = 7,       ///< Operation aborted (e.g. shutdown in progress).
+  kBusy = 8,            ///< Load shed: the target is alive but refused the
+                        ///< work (admission control / open circuit breaker).
+                        ///< Never a fault signal — callers back off and
+                        ///< retry, they must not count it toward detection.
 };
 
 /// Human-readable name of a status code ("OK", "TIMEOUT", ...).
@@ -36,6 +40,7 @@ constexpr const char* status_code_name(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kBusy: return "BUSY";
   }
   return "UNKNOWN";
 }
@@ -56,6 +61,7 @@ class Status {
   static Status invalid_argument(std::string m = {}) { return {StatusCode::kInvalidArgument, std::move(m)}; }
   static Status internal(std::string m = {}) { return {StatusCode::kInternal, std::move(m)}; }
   static Status cancelled(std::string m = {}) { return {StatusCode::kCancelled, std::move(m)}; }
+  static Status busy(std::string m = {}) { return {StatusCode::kBusy, std::move(m)}; }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }

@@ -17,6 +17,7 @@
 // rpc sits beneath membership in the layer order.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -51,6 +52,40 @@ enum class Op : std::uint8_t {
 constexpr bool is_membership_op(Op op) {
   return op == Op::kSwimPing || op == Op::kSwimPingReq ||
          op == Op::kSwimVerdict || op == Op::kMembershipSync;
+}
+
+/// Absolute request deadline carried on the wire: integer nanoseconds on
+/// the steady clock's epoch, the threaded substrate's analogue of the DES
+/// substrate's integer SimTime.  A plain integer (not a time_point) so the
+/// wire struct stays POD-ish and the DES substrate can reuse the field
+/// with its own clock.  kNoDeadline (0) = the request never expires (every
+/// legacy sender).
+using DeadlineNs = std::int64_t;
+constexpr DeadlineNs kNoDeadline = 0;
+
+/// Now, on the deadline clock.
+inline DeadlineNs deadline_clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Absolute deadline `budget` from now.
+inline DeadlineNs deadline_in(std::chrono::nanoseconds budget) {
+  return deadline_clock_ns() + budget.count();
+}
+
+/// True when `deadline` is set and has passed — the signal for a server to
+/// shed the work instead of executing it.
+inline bool deadline_expired(DeadlineNs deadline) {
+  return deadline != kNoDeadline && deadline_clock_ns() >= deadline;
+}
+
+/// Budget left before `deadline` (negative when already expired; the
+/// maximum duration when no deadline is set).
+inline std::chrono::nanoseconds deadline_remaining(DeadlineNs deadline) {
+  if (deadline == kNoDeadline) return std::chrono::nanoseconds::max();
+  return std::chrono::nanoseconds(deadline - deadline_clock_ns());
 }
 
 /// `ring_epoch` value of a sender that does not participate in the
@@ -105,6 +140,11 @@ struct RpcRequest {
   std::uint64_t ring_epoch = kEpochUnaware;
   /// Piggybacked membership claims (empty in legacy mode).
   std::vector<MembershipClaim> gossip;
+  /// Absolute deadline after which the sender no longer wants the answer.
+  /// Servers shed expired work before executing it; hedge legs and
+  /// retries inherit the read's remaining budget through this field.
+  /// kNoDeadline = never expires (legacy senders).
+  DeadlineNs deadline_ns = kNoDeadline;
 };
 
 struct RpcResponse {
@@ -128,6 +168,10 @@ struct RpcResponse {
   std::vector<RingDelta> view_delta;
   /// Piggybacked membership claims (empty in legacy mode).
   std::vector<MembershipClaim> gossip;
+  /// With code == kBusy: how long the sender suggests waiting before a
+  /// retry, scaled by its backlog.  Advisory — clients combine it with
+  /// their own jittered backoff.  0 otherwise.
+  std::uint32_t retry_after_ms = 0;
 };
 
 }  // namespace ftc::rpc

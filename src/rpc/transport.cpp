@@ -32,20 +32,29 @@ Transport::~Transport() {
     endpoints_.clear();
   }
   for (auto& endpoint : doomed) {
-    if (endpoint->worker.joinable()) endpoint->worker.join();
+    for (auto& worker : endpoint->workers) {
+      if (worker.joinable()) worker.join();
+    }
   }
 }
 
-Status Transport::register_endpoint(NodeId node, Handler handler) {
+Status Transport::register_endpoint(NodeId node, Handler handler,
+                                    std::size_t workers) {
   std::lock_guard registry_lock(registry_mutex_);
   if (endpoints_.contains(node)) {
     return Status::invalid_argument("endpoint already registered: " +
                                     std::to_string(node));
   }
+  if (workers == 0) {
+    return Status::invalid_argument("endpoint needs at least one worker");
+  }
   auto endpoint = std::make_unique<Endpoint>();
   endpoint->handler = std::move(handler);
   Endpoint* raw = endpoint.get();
-  endpoint->worker = std::thread([this, raw] { worker_loop(*raw); });
+  endpoint->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    endpoint->workers.emplace_back([this, raw] { worker_loop(*raw); });
+  }
   endpoints_.emplace(node, std::move(endpoint));
   return Status::ok();
 }
@@ -66,7 +75,9 @@ Status Transport::unregister_endpoint(NodeId node) {
     endpoint->stopping = true;
   }
   endpoint->cv.notify_all();
-  if (endpoint->worker.joinable()) endpoint->worker.join();
+  for (auto& worker : endpoint->workers) {
+    if (worker.joinable()) worker.join();
+  }
   return Status::ok();
 }
 
@@ -86,6 +97,26 @@ StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
       std::lock_guard lock(endpoint.mutex);
       ++endpoint.stats.received;
       if (!is_membership_op(call->request.op)) ++endpoint.stats.received_data;
+      // Admission control: shed at enqueue so a rejection is a fast kBusy
+      // answer, not a queue wait.  Membership traffic is never shed, and a
+      // killed endpoint never sheds (a dead node cannot answer — a fast
+      // rejection would read as liveness and break timeout detection).
+      const std::size_t limit = endpoint.admission.queue_limit;
+      if (limit > 0 && !endpoint.killed &&
+          !is_membership_op(call->request.op)) {
+        const std::size_t bound =
+            call->request.op == Op::kPut ? limit * 2 : limit;
+        if (endpoint.queue.size() >= bound) {
+          ++endpoint.stats.requests_shed;
+          RpcResponse busy;
+          busy.code = StatusCode::kBusy;
+          const auto backlog =
+              static_cast<std::uint32_t>(endpoint.queue.size() - bound + 1);
+          busy.retry_after_ms =
+              endpoint.admission.retry_after_base_ms * backlog;
+          return busy;
+        }
+      }
       endpoint.queue.push_back(call);
     }
     endpoint.cv.notify_one();
@@ -206,6 +237,14 @@ void Transport::corrupt_next(NodeId node, std::uint32_t count) {
   if (it == endpoints_.end()) return;
   std::lock_guard lock(it->second->mutex);
   it->second->corruptions_remaining += count;
+}
+
+void Transport::set_admission(NodeId node, AdmissionConfig config) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->admission = config;
 }
 
 Transport::EndpointStats Transport::stats(NodeId node) const {

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -52,10 +53,14 @@ class Transport {
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
 
-  /// Registers a server endpoint; spawns its worker thread.  Registering
-  /// an existing id replaces the handler only if the old endpoint was
-  /// unregistered first (returns kInvalidArgument otherwise).
-  Status register_endpoint(NodeId node, Handler handler);
+  /// Registers a server endpoint; spawns `workers` worker threads
+  /// (default 1, the seed's serial endpoint — more lets concurrent
+  /// requests to one node actually contend, which the failover-storm
+  /// experiments need).  Registering an existing id replaces the handler
+  /// only if the old endpoint was unregistered first (returns
+  /// kInvalidArgument otherwise).
+  Status register_endpoint(NodeId node, Handler handler,
+                           std::size_t workers = 1);
 
   /// Stops and joins an endpoint's worker.  Outstanding requests fail with
   /// kCancelled.
@@ -122,6 +127,26 @@ class Transport {
   /// end-to-end CRC verification.
   void corrupt_next(NodeId node, std::uint32_t count);
 
+  /// Server admission control: bounds the endpoint's ingress queue.
+  /// Enforced at enqueue so a rejection costs the caller one fast kBusy
+  /// response instead of a queue wait.  Class-aware shedding:
+  ///   - membership-protocol ops (SWIM probes/gossip/sync) are NEVER shed
+  ///     — starving the failure detector of liveness evidence during an
+  ///     overload is how storms become partitions;
+  ///   - data reads shed at `queue_limit`;
+  ///   - recache writes (kPut) shed only at twice it — post-failover
+  ///     backup placement is the work that ends the storm, so it keeps
+  ///     headroom after reads are already bouncing.
+  /// A killed endpoint never sheds: a dead node cannot send rejections,
+  /// and a fast kBusy would masquerade as liveness.
+  struct AdmissionConfig {
+    /// 0 = unbounded (legacy behaviour, the default).
+    std::size_t queue_limit = 0;
+    /// Base of the kBusy retry-after hint; scaled by queue overflow.
+    std::uint32_t retry_after_base_ms = 1;
+  };
+  void set_admission(NodeId node, AdmissionConfig config);
+
   /// Telemetry counters.
   struct EndpointStats {
     std::uint64_t received = 0;
@@ -131,6 +156,9 @@ class Transport {
     std::uint64_t received_data = 0;
     std::uint64_t handled = 0;
     std::uint64_t dropped = 0;
+    /// Requests rejected with kBusy by admission control (counted in
+    /// `received` too; never includes membership-protocol traffic).
+    std::uint64_t requests_shed = 0;
   };
   [[nodiscard]] EndpointStats stats(NodeId node) const;
 
@@ -144,10 +172,11 @@ class Transport {
 
   struct Endpoint {
     Handler handler;
-    std::thread worker;
+    std::vector<std::thread> workers;
     mutable std::mutex mutex;
     std::condition_variable cv;
     std::deque<std::shared_ptr<PendingCall>> queue;
+    AdmissionConfig admission;
     bool stopping = false;
     bool killed = false;
     std::chrono::milliseconds extra_latency{0};

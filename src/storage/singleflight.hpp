@@ -1,0 +1,101 @@
+// singleflight.hpp - Duplicate-call suppression for keyed fetches.
+//
+// The failover-storm problem in one primitive: when a node dies, every
+// client redirects to the same ring successor at once and each first-touch
+// miss triggers a PFS fetch for the SAME lost file.  Singleflight
+// (after Go's golang.org/x/sync/singleflight) collapses concurrent calls
+// for one key into a single execution — the first caller becomes the
+// *leader* and runs the function; everyone else arriving while the flight
+// is open blocks and shares the leader's result.  With refcounted values
+// (common::Buffer) sharing is a refcount bump, not a copy.
+//
+// A flight closes when the leader's call returns; later callers start a
+// fresh flight (results are NOT cached here — the cache above this layer
+// is the memoization, singleflight only dedupes the in-flight window).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace ftc::storage {
+
+template <typename V>
+class Singleflight {
+ public:
+  struct Result {
+    V value;
+    /// True when this call executed the function itself; false when it
+    /// joined another caller's flight and shares that result.
+    bool leader = false;
+  };
+
+  /// Executes `fn` for `key`, unless a flight for `key` is already open —
+  /// then blocks until the leader finishes and returns a copy of its
+  /// result.  `fn` runs outside all singleflight locks, so concurrent
+  /// flights for distinct keys never serialize here.
+  template <typename Fn>
+  Result run(const std::string& key, Fn&& fn) {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      std::lock_guard lock(mutex_);
+      auto [it, inserted] = flights_.try_emplace(key);
+      if (inserted) it->second = std::make_shared<Flight>();
+      flight = it->second;
+      leader = inserted;
+      if (!leader) ++joined_;
+    }
+    if (!leader) {
+      std::unique_lock lock(flight->mutex);
+      flight->cv.wait(lock, [&flight] { return flight->done; });
+      return {*flight->value, /*leader=*/false};
+    }
+    V value = fn();
+    {
+      std::lock_guard lock(flight->mutex);
+      flight->value.emplace(std::move(value));
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    // Close the flight: callers from here on start a fresh execution.
+    // Followers still blocked above hold their own shared_ptr, so the
+    // erase never invalidates their wait.
+    {
+      std::lock_guard lock(mutex_);
+      flights_.erase(key);
+    }
+    return {*flight->value, /*leader=*/true};
+  }
+
+  /// Calls that joined an existing flight instead of executing (telemetry).
+  [[nodiscard]] std::uint64_t joined_count() const {
+    std::lock_guard lock(mutex_);
+    return joined_;
+  }
+
+  /// Flights currently open (telemetry/tests).
+  [[nodiscard]] std::size_t in_flight() const {
+    std::lock_guard lock(mutex_);
+    return flights_.size();
+  }
+
+ private:
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<V> value;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  std::uint64_t joined_ = 0;
+};
+
+}  // namespace ftc::storage

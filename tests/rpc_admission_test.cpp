@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rpc/transport.hpp"
+
+namespace ftc::rpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Lets a test hold an endpoint's worker hostage inside the handler so
+/// the ingress queue backs up deterministically.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+
+  void release() {
+    {
+      std::lock_guard lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+RpcRequest read_request() {
+  RpcRequest request;
+  request.op = Op::kReadFile;
+  request.path = "/f";
+  return request;
+}
+
+TEST(Admission, ShedsReadsAtLimitWithRetryAfter) {
+  Transport transport;
+  auto gate = std::make_shared<Gate>();
+  ASSERT_TRUE(transport
+                  .register_endpoint(0,
+                                     [gate](const RpcRequest& request) {
+                                       if (request.op == Op::kReadFile) {
+                                         gate->wait();
+                                       }
+                                       RpcResponse response;
+                                       response.code = StatusCode::kOk;
+                                       return response;
+                                     })
+                  .is_ok());
+  transport.set_admission(0, {/*queue_limit=*/1, /*retry_after_base_ms=*/2});
+
+  std::atomic<int> completed{0};
+  const auto on_complete = [&completed](const StatusOr<RpcResponse>&) {
+    completed.fetch_add(1);
+  };
+  // First read occupies the single worker (blocked at the gate)...
+  transport.call_async(0, read_request(), 5s, on_complete);
+  std::this_thread::sleep_for(50ms);
+  // ...second read fills the queue to the limit...
+  transport.call_async(0, read_request(), 5s, on_complete);
+  std::this_thread::sleep_for(50ms);
+  // ...so the third read is shed with a fast kBusy, not a queue wait.
+  auto shed = transport.call(0, read_request(), 1s);
+  ASSERT_TRUE(shed.is_ok());
+  EXPECT_EQ(shed.value().code, StatusCode::kBusy);
+  EXPECT_GE(shed.value().retry_after_ms, 2u);
+  EXPECT_EQ(transport.stats(0).requests_shed, 1u);
+
+  gate->release();
+  transport.drain_async();
+  EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(Admission, RecacheWritesKeepHeadroomAndMembershipNeverShed) {
+  Transport transport;
+  auto gate = std::make_shared<Gate>();
+  std::atomic<int> puts_handled{0};
+  ASSERT_TRUE(transport
+                  .register_endpoint(0,
+                                     [gate, &puts_handled](
+                                         const RpcRequest& request) {
+                                       if (request.op == Op::kReadFile) {
+                                         gate->wait();
+                                       }
+                                       if (request.op == Op::kPut) {
+                                         puts_handled.fetch_add(1);
+                                       }
+                                       RpcResponse response;
+                                       response.code = StatusCode::kOk;
+                                       return response;
+                                     })
+                  .is_ok());
+  transport.set_admission(0, {/*queue_limit=*/1, /*retry_after_base_ms=*/1});
+
+  const auto ignore = [](const StatusOr<RpcResponse>&) {};
+  // Occupy the worker, then fill the queue to the read limit.
+  transport.call_async(0, read_request(), 5s, ignore);
+  std::this_thread::sleep_for(50ms);
+  transport.call_async(0, read_request(), 5s, ignore);
+  std::this_thread::sleep_for(50ms);
+
+  // Reads shed at the limit, but a recache write still gets in: kPut
+  // sheds only at twice the limit (post-failover backup placement is the
+  // work that ends a storm).
+  RpcRequest put;
+  put.op = Op::kPut;
+  put.path = "/f";
+  transport.call_async(0, put, 5s, ignore);  // queue 2 = put bound, admitted
+  std::this_thread::sleep_for(50ms);
+  auto put_shed = transport.call(0, put, 1s);  // queue 2 >= bound 2: shed
+  ASSERT_TRUE(put_shed.is_ok());
+  EXPECT_EQ(put_shed.value().code, StatusCode::kBusy);
+
+  // Membership-protocol traffic is NEVER shed, no matter the backlog —
+  // it queues (timing out behind the hostage worker here) instead of
+  // bouncing: starving detection during overload turns storms into
+  // partitions.
+  const std::uint64_t shed_before = transport.stats(0).requests_shed;
+  RpcRequest swim;
+  swim.op = Op::kSwimPing;
+  auto swim_result = transport.call(0, swim, 50ms);
+  EXPECT_FALSE(swim_result.is_ok());
+  EXPECT_EQ(swim_result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(transport.stats(0).requests_shed, shed_before);
+
+  gate->release();
+  transport.drain_async();
+  EXPECT_EQ(puts_handled.load(), 1);
+}
+
+TEST(Admission, KilledEndpointNeverSheds) {
+  // A dead node cannot send rejections; a fast kBusy from a killed
+  // endpoint would read as liveness and break timeout-based detection.
+  Transport transport;
+  ASSERT_TRUE(transport
+                  .register_endpoint(0,
+                                     [](const RpcRequest&) {
+                                       RpcResponse response;
+                                       response.code = StatusCode::kOk;
+                                       return response;
+                                     })
+                  .is_ok());
+  transport.set_admission(0, {/*queue_limit=*/1, /*retry_after_base_ms=*/1});
+  transport.kill(0);
+  for (int i = 0; i < 4; ++i) {
+    auto result = transport.call(0, read_request(), 20ms);
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  }
+  EXPECT_EQ(transport.stats(0).requests_shed, 0u);
+}
+
+TEST(Admission, UnboundedByDefault) {
+  // No set_admission call: legacy behaviour, nothing is ever shed.
+  Transport transport;
+  auto gate = std::make_shared<Gate>();
+  ASSERT_TRUE(transport
+                  .register_endpoint(0,
+                                     [gate](const RpcRequest&) {
+                                       gate->wait();
+                                       RpcResponse response;
+                                       response.code = StatusCode::kOk;
+                                       return response;
+                                     })
+                  .is_ok());
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 16; ++i) {
+    transport.call_async(0, read_request(), 5s,
+                         [&completed](const StatusOr<RpcResponse>&) {
+                           completed.fetch_add(1);
+                         });
+  }
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(transport.stats(0).requests_shed, 0u);
+  gate->release();
+  transport.drain_async();
+  EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(MultiWorkerEndpoint, RequestsActuallyRunConcurrently) {
+  Transport transport;
+  std::atomic<int> in_handler{0};
+  std::atomic<int> peak{0};
+  ASSERT_TRUE(transport
+                  .register_endpoint(
+                      0,
+                      [&in_handler, &peak](const RpcRequest&) {
+                        const int now = in_handler.fetch_add(1) + 1;
+                        int seen = peak.load();
+                        while (now > seen &&
+                               !peak.compare_exchange_weak(seen, now)) {
+                        }
+                        std::this_thread::sleep_for(30ms);
+                        in_handler.fetch_sub(1);
+                        RpcResponse response;
+                        response.code = StatusCode::kOk;
+                        return response;
+                      },
+                      /*workers=*/3)
+                  .is_ok());
+  std::vector<std::thread> callers;
+  callers.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    callers.emplace_back([&transport] {
+      auto result = transport.call(0, read_request(), 5s);
+      ASSERT_TRUE(result.is_ok());
+      EXPECT_EQ(result.value().code, StatusCode::kOk);
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_GE(peak.load(), 2);  // a serial endpoint would never exceed 1
+}
+
+TEST(MultiWorkerEndpoint, ZeroWorkersRejected) {
+  Transport transport;
+  const Status status =
+      transport.register_endpoint(0, [](const RpcRequest&) {
+        return RpcResponse{};
+      }, /*workers=*/0);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(transport.endpoint_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ftc::rpc

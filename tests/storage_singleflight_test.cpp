@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/singleflight.hpp"
+
+namespace ftc::storage {
+namespace {
+
+TEST(Singleflight, SingleCallerIsLeader) {
+  Singleflight<int> sf;
+  int runs = 0;
+  const auto result = sf.run("key", [&runs] {
+    ++runs;
+    return 42;
+  });
+  EXPECT_TRUE(result.leader);
+  EXPECT_EQ(result.value, 42);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sf.in_flight(), 0u);
+  EXPECT_EQ(sf.joined_count(), 0u);
+}
+
+TEST(Singleflight, ConcurrentCallersShareOneExecution) {
+  // M threads race on one key while the leader's function sleeps long
+  // enough that every straggler arrives mid-flight: exactly one
+  // execution, everyone sees its value, M-1 joiners.
+  constexpr int kThreads = 8;
+  Singleflight<int> sf;
+  std::atomic<int> executions{0};
+  std::atomic<int> leaders{0};
+  std::vector<int> values(kThreads, -1);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto result = sf.run("lost-file", [&executions] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return executions.fetch_add(1) + 100;
+      });
+      if (result.leader) leaders.fetch_add(1);
+      values[t] = result.value;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(leaders.load(), 1);
+  for (const int v : values) EXPECT_EQ(v, 100);
+  EXPECT_EQ(sf.joined_count(), static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(sf.in_flight(), 0u);
+}
+
+TEST(Singleflight, DistinctKeysDoNotCoalesce) {
+  constexpr int kThreads = 6;
+  Singleflight<int> sf;
+  std::atomic<int> executions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto result = sf.run("key-" + std::to_string(t), [&executions, t] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        executions.fetch_add(1);
+        return t;
+      });
+      EXPECT_TRUE(result.leader);
+      EXPECT_EQ(result.value, t);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(executions.load(), kThreads);
+  EXPECT_EQ(sf.joined_count(), 0u);
+}
+
+TEST(Singleflight, SequentialCallsReExecute) {
+  // Flights close when the leader returns: singleflight dedupes the
+  // in-flight window only, it is not a result cache.
+  Singleflight<int> sf;
+  int runs = 0;
+  const auto fn = [&runs] { return ++runs; };
+  EXPECT_EQ(sf.run("k", fn).value, 1);
+  EXPECT_EQ(sf.run("k", fn).value, 2);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Singleflight, StressManyRoundsManyThreads) {
+  // Repeated open/close cycles under contention; run under TSan via
+  // scripts/sanitize.sh (storage_test is in its binary set).  Every
+  // round must elect exactly one leader.
+  constexpr int kRounds = 50;
+  constexpr int kThreads = 4;
+  Singleflight<int> sf;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> executions{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        const auto result = sf.run("hot", [&executions] {
+          executions.fetch_add(1);
+          return 7;
+        });
+        EXPECT_EQ(result.value, 7);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    // At least one execution always; more only if a flight closed before
+    // a later thread arrived (legal — they were not concurrent).
+    EXPECT_GE(executions.load(), 1);
+    EXPECT_LE(executions.load(), kThreads);
+    EXPECT_EQ(sf.in_flight(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ftc::storage

@@ -19,9 +19,14 @@
 //   - goodput (successful reads/s) and failures in the storm window;
 //   - shed/expired/coalesced/budget-denial counters.
 //
-// Writes machine-readable BENCH_failstorm.json (override with out=...).
+// Writes machine-readable BENCH_failstorm.json (override with out=...),
+// including (with trace=1, the default) the flight-recorder-derived storm
+// timeline — first suspicion, first ring update, first coalesced PFS
+// fetch, p99 recovery — and a span-tree proof that one trace id links a
+// client attempt through server admission to the PFS singleflight leader.
 // Exit 0 iff protected max duplicates <= 1 AND (unless require_p99=0)
-// the protected storm-window p99 beats the unprotected one.
+// the protected storm-window p99 beats the unprotected one AND (with
+// trace=1) the span-tree proof was found in the protected phase.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -29,9 +34,11 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace {
 
@@ -40,6 +47,8 @@ using ftc::cluster::Cluster;
 using ftc::cluster::ClusterConfig;
 using ftc::cluster::FtMode;
 using ftc::cluster::NodeId;
+using ftc::obs::Record;
+using ftc::obs::RecordKind;
 
 struct BenchArgs {
   std::uint32_t nodes = 10;
@@ -51,6 +60,8 @@ struct BenchArgs {
   std::uint32_t storm_ms = 1500;  ///< measurement window after the kill
   std::uint32_t think_ms = 1;     ///< per-read think time (GPU step)
   std::uint32_t require_p99 = 1;  ///< 0: skip the p99 criterion (CI smoke)
+  std::uint32_t trace = 1;        ///< 0: untraced legacy run
+  std::uint32_t trace_capacity = 1u << 14;  ///< per-node recorder slots
   std::string out = "BENCH_failstorm.json";
 };
 
@@ -63,7 +74,7 @@ BenchArgs parse_args(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [nodes=N] [files=N] [file_kb=N] [pfs_us=N] "
                    "[pfs_slots=N] [pre_ms=N] [storm_ms=N] [think_ms=N] [require_p99=0|1] "
-                   "[out=PATH]\n",
+                   "[trace=0|1] [trace_capacity=N] [out=PATH]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -91,6 +102,8 @@ BenchArgs parse_args(int argc, char** argv) {
     else if (key == "storm_ms") args.storm_ms = numeric();
     else if (key == "think_ms") args.think_ms = numeric();
     else if (key == "require_p99") args.require_p99 = numeric();
+    else if (key == "trace") args.trace = numeric();
+    else if (key == "trace_capacity") args.trace_capacity = numeric();
     else if (key == "out") args.out = value;
     else {
       std::fprintf(stderr, "unknown key: %s\n", key.c_str());
@@ -140,6 +153,14 @@ ClusterConfig make_config(const BenchArgs& args, bool hardened) {
     config.server.pfs_guard.breaker_failure_threshold = 16;
     config.server.pfs_guard.breaker_cooldown = std::chrono::milliseconds(100);
   }
+  if (args.trace != 0) {
+    // Trace every read: the storm window is short and the recorders are
+    // per-node, so full sampling fits the ring without wraparound and the
+    // timeline below never misses the first suspicion/coalesce.
+    config.obs.tracing = true;
+    config.obs.sample_every = 1;
+    config.obs.recorder_capacity = args.trace_capacity;
+  }
   return config;
 }
 
@@ -177,7 +198,147 @@ struct PhaseResult {
   std::uint64_t deadline_give_ups = 0;
   std::uint64_t hedges_launched = 0;
   std::uint64_t pfs_reads_total = 0;
+  // Flight-recorder-derived storm timeline (trace=1 only; -1 = never
+  // observed).  All offsets are ms after the kill.
+  bool trace_enabled = false;
+  std::uint64_t trace_records = 0;
+  double first_suspicion_ms = -1.0;    ///< detector first flags the victim
+  double first_ring_update_ms = -1.0;  ///< first placement change
+  double first_coalesced_ms = -1.0;    ///< first joiner on an in-flight fetch
+  double first_leader_ms = -1.0;       ///< first singleflight leader fetch
+  double p99_recovery_ms = -1.0;       ///< first 100ms bin back under 3x pre-p99
+  bool span_tree_ok = false;           ///< attempt->server->leader chain found
+  std::uint64_t proof_trace_id = 0;
+  bool export_has_core = false;   ///< client/server/transport/ring series
+  bool export_has_guard = false;  ///< pfs-guard series (hardened phase)
 };
+
+/// First record of `kind` at or after the kill, as ms since the kill.
+/// `records` is start-sorted (dump_traces contract).
+double first_event_ms(const std::vector<Record>& records, RecordKind kind,
+                      std::int64_t kill_ns) {
+  for (const Record& r : records) {
+    if (r.kind == kind && r.start_ns >= kill_ns) {
+      return static_cast<double>(r.start_ns - kill_ns) / 1e6;
+    }
+  }
+  return -1.0;
+}
+
+/// Offset (ms after the kill) of the first 100 ms storm bin whose p99 is
+/// back under 3x the pre-kill p99 — the "recovered" marker of the storm
+/// timeline.  Bins with fewer than 5 successful reads cannot call it.
+double p99_recovery_after_kill_ms(
+    const std::vector<std::vector<ReadSample>>& samples, double kill_offset_ms,
+    double pre_p99_us, double end_offset_ms) {
+  constexpr double kBinMs = 100.0;
+  for (double bin = kill_offset_ms; bin < end_offset_ms; bin += kBinMs) {
+    std::vector<double> lat;
+    for (const auto& driver_samples : samples) {
+      for (const ReadSample& s : driver_samples) {
+        if (s.ok && s.offset_ms >= bin && s.offset_ms < bin + kBinMs) {
+          lat.push_back(s.latency_us);
+        }
+      }
+    }
+    if (lat.size() < 5) continue;
+    std::sort(lat.begin(), lat.end());
+    if (percentile(lat, 99.0) <= 3.0 * pre_p99_us) {
+      return bin - kill_offset_ms;
+    }
+  }
+  return -1.0;
+}
+
+struct SpanTreeProof {
+  bool ok = false;
+  std::uint64_t trace_id = 0;
+  std::vector<Record> spans;  ///< the proof trace's records, start-sorted
+};
+
+/// Finds one trace whose span tree links a client attempt through the
+/// server execute phase to the PFS singleflight leader — the "one read
+/// caused exactly this work" chain the tracing layer exists to show.
+SpanTreeProof find_span_tree(const std::vector<Record>& records) {
+  SpanTreeProof proof;
+  std::unordered_map<std::uint64_t, std::vector<const Record*>> by_trace;
+  for (const Record& r : records) {
+    if (r.trace_id != 0) by_trace[r.trace_id].push_back(&r);
+  }
+  for (const auto& [trace_id, spans] : by_trace) {
+    const Record* leader = nullptr;
+    for (const Record* r : spans) {
+      if (r->kind == RecordKind::kPfsFetchLeader) {
+        leader = r;
+        break;
+      }
+    }
+    if (leader == nullptr) continue;
+    const Record* attempt = nullptr;
+    for (const Record* r : spans) {
+      if (r->span_id == leader->parent_span_id &&
+          (r->kind == RecordKind::kClientAttempt ||
+           r->kind == RecordKind::kBusyRetry ||
+           r->kind == RecordKind::kHedgeLeg)) {
+        attempt = r;
+        break;
+      }
+    }
+    if (attempt == nullptr) continue;
+    const Record* server_phase = nullptr;
+    for (const Record* r : spans) {
+      if (r->parent_span_id == attempt->span_id &&
+          (r->kind == RecordKind::kServerQueue ||
+           r->kind == RecordKind::kServerHandle)) {
+        server_phase = r;
+        break;
+      }
+    }
+    const Record* root = nullptr;
+    for (const Record* r : spans) {
+      if (r->kind == RecordKind::kClientRead &&
+          r->span_id == attempt->parent_span_id) {
+        root = r;
+        break;
+      }
+    }
+    if (server_phase == nullptr || root == nullptr) continue;
+    proof.ok = true;
+    proof.trace_id = trace_id;
+    for (const Record* r : spans) proof.spans.push_back(*r);
+    std::sort(proof.spans.begin(), proof.spans.end(),
+              [](const Record& a, const Record& b) {
+                return a.start_ns < b.start_ns;
+              });
+    return proof;
+  }
+  return proof;
+}
+
+void print_span_tree(const SpanTreeProof& proof, std::int64_t origin_ns) {
+  if (!proof.ok) return;
+  std::printf(
+      "span tree, trace %016llx (client attempt -> server admission -> "
+      "PFS singleflight leader):\n",
+      static_cast<unsigned long long>(proof.trace_id));
+  std::unordered_map<std::uint64_t, int> depth;
+  for (const Record& r : proof.spans) {
+    int d = 0;
+    const auto parent = depth.find(r.parent_span_id);
+    if (parent != depth.end()) {
+      d = parent->second + 1;
+    } else if (r.parent_span_id != 0) {
+      d = 1;  // parent span lives outside the ring (wrapped) — indent once
+    }
+    depth[r.span_id] = d;
+    const std::string_view detail = r.detail_view();
+    std::printf("  %*s%-18s node %-3u +%9.3f ms  %8.3f ms  %.*s\n", 2 * d, "",
+                ftc::obs::record_kind_name(r.kind), r.node,
+                static_cast<double>(r.start_ns - origin_ns) / 1e6,
+                static_cast<double>(r.end_ns - r.start_ns) / 1e6,
+                static_cast<int>(detail.size()), detail.data());
+  }
+}
 
 PhaseResult run_phase(const std::string& name, const BenchArgs& args,
                       bool hardened) {
@@ -203,6 +364,7 @@ PhaseResult run_phase(const std::string& name, const BenchArgs& args,
     if (n != victim) drivers.push_back(n);
   }
   const auto phase_start = Clock::now();
+  const std::int64_t phase_start_ns = ftc::obs::now_ns();
   const auto kill_at = phase_start + std::chrono::milliseconds(args.pre_ms);
   const auto stop_at =
       kill_at + std::chrono::milliseconds(args.storm_ms);
@@ -240,6 +402,7 @@ PhaseResult run_phase(const std::string& name, const BenchArgs& args,
     counts_before.push_back(cluster.pfs().read_count(path));
   }
   cluster.fail_node(victim);
+  const std::int64_t kill_ns = ftc::obs::now_ns();
   const double kill_offset_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - phase_start)
           .count();
@@ -300,6 +463,38 @@ PhaseResult run_phase(const std::string& name, const BenchArgs& args,
     result.requests_shed += cluster.transport().stats(n).requests_shed;
   }
   result.pfs_reads_total = cluster.pfs().read_count();
+
+  // Storm timeline + span-tree proof, straight from the flight recorders.
+  if (args.trace != 0) {
+    result.trace_enabled = true;
+    const std::vector<Record> records = cluster.dump_traces();
+    result.trace_records = records.size();
+    result.first_suspicion_ms =
+        first_event_ms(records, RecordKind::kSuspicion, kill_ns);
+    result.first_ring_update_ms =
+        first_event_ms(records, RecordKind::kRingUpdate, kill_ns);
+    result.first_coalesced_ms =
+        first_event_ms(records, RecordKind::kPfsFetchJoiner, kill_ns);
+    result.first_leader_ms =
+        first_event_ms(records, RecordKind::kPfsFetchLeader, kill_ns);
+    result.p99_recovery_ms = p99_recovery_after_kill_ms(
+        samples, kill_offset_ms, result.pre_p99_us,
+        kill_offset_ms + static_cast<double>(args.storm_ms));
+    const SpanTreeProof proof = find_span_tree(records);
+    result.span_tree_ok = proof.ok;
+    result.proof_trace_id = proof.trace_id;
+    if (hardened) print_span_tree(proof, phase_start_ns);
+  }
+
+  // The unified exporter must cover every layer the storm touches.
+  const std::string prom = cluster.metrics_registry().export_prometheus_text();
+  const auto has = [&prom](const char* needle) {
+    return prom.find(needle) != std::string::npos;
+  };
+  result.export_has_core =
+      has("ftc_client_reads_total") && has("ftc_server_reads_total") &&
+      has("ftc_transport_received_total") && has("ftc_client_ring_updates_total");
+  result.export_has_guard = has("ftc_pfs_guard_fetches_total");
   return result;
 }
 
@@ -322,6 +517,17 @@ void print_phase(const PhaseResult& p) {
       static_cast<unsigned long long>(p.deadline_give_ups),
       static_cast<unsigned long long>(p.hedges_launched),
       static_cast<unsigned long long>(p.pfs_reads_total));
+  if (p.trace_enabled) {
+    std::printf(
+        "             trace %llu records | after kill: suspicion %+.1f ms "
+        "ring %+.1f ms coalesced %+.1f ms leader %+.1f ms p99_recovery "
+        "%+.1f ms | span_tree %s export core=%s guard=%s\n",
+        static_cast<unsigned long long>(p.trace_records), p.first_suspicion_ms,
+        p.first_ring_update_ms, p.first_coalesced_ms, p.first_leader_ms,
+        p.p99_recovery_ms, p.span_tree_ok ? "OK" : "absent",
+        p.export_has_core ? "ok" : "MISSING",
+        p.export_has_guard ? "ok" : "absent");
+  }
 }
 
 void emit_phase_json(std::ofstream& out, const PhaseResult& p, bool last) {
@@ -336,7 +542,7 @@ void emit_phase_json(std::ofstream& out, const PhaseResult& p, bool last) {
       "\"expired_on_arrival\": %llu, \"pfs_coalesced\": %llu, "
       "\"busy_rejections\": %llu, \"retries_denied_by_budget\": %llu, "
       "\"deadline_give_ups\": %llu, \"hedges_launched\": %llu, "
-      "\"pfs_reads_total\": %llu}%s\n",
+      "\"pfs_reads_total\": %llu",
       p.name.c_str(), static_cast<unsigned long long>(p.ops), p.pre_p50_us,
       p.pre_p99_us, p.storm_p50_us, p.storm_p99_us, p.storm_goodput_rps,
       static_cast<unsigned long long>(p.storm_failures), p.dup_fetch_max,
@@ -348,8 +554,27 @@ void emit_phase_json(std::ofstream& out, const PhaseResult& p, bool last) {
       static_cast<unsigned long long>(p.retries_denied_by_budget),
       static_cast<unsigned long long>(p.deadline_give_ups),
       static_cast<unsigned long long>(p.hedges_launched),
-      static_cast<unsigned long long>(p.pfs_reads_total), last ? "" : ",");
+      static_cast<unsigned long long>(p.pfs_reads_total));
   out << line;
+  if (p.trace_enabled) {
+    char trace_json[512];
+    std::snprintf(
+        trace_json, sizeof(trace_json),
+        ", \"trace\": {\"records\": %llu, \"first_suspicion_ms\": %.1f, "
+        "\"first_ring_update_ms\": %.1f, \"first_coalesced_ms\": %.1f, "
+        "\"first_leader_ms\": %.1f, \"p99_recovery_ms\": %.1f, "
+        "\"span_tree_ok\": %s, \"proof_trace_id\": \"%016llx\", "
+        "\"export_has_core\": %s, \"export_has_guard\": %s}",
+        static_cast<unsigned long long>(p.trace_records),
+        p.first_suspicion_ms, p.first_ring_update_ms, p.first_coalesced_ms,
+        p.first_leader_ms, p.p99_recovery_ms,
+        p.span_tree_ok ? "true" : "false",
+        static_cast<unsigned long long>(p.proof_trace_id),
+        p.export_has_core ? "true" : "false",
+        p.export_has_guard ? "true" : "false");
+    out << trace_json;
+  }
+  out << "}" << (last ? "" : ",") << "\n";
 }
 
 const char* json_bool(bool b) { return b ? "true" : "false"; }
@@ -370,11 +595,25 @@ int main(int argc, char** argv) {
   const bool dup_ok = protected_run.dup_fetch_max <= 1.0;
   const bool p99_ok =
       protected_run.storm_p99_us < unprotected.storm_p99_us;
+  // With tracing on, the protected phase must yield the full causal chain
+  // (client attempt -> server admission -> singleflight leader) plus the
+  // cross-layer exporter series — the observability acceptance criteria.
+  const bool trace_ok =
+      args.trace == 0 ||
+      (protected_run.span_tree_ok && protected_run.export_has_core &&
+       protected_run.export_has_guard);
   std::printf("protected dup max %.0f (%s); storm p99 %0.f vs %0.f us (%s)\n",
               protected_run.dup_fetch_max,
               dup_ok ? "<= 1, singleflight holds" : "EXCEEDS 1",
               protected_run.storm_p99_us, unprotected.storm_p99_us,
               p99_ok ? "improved" : "NOT improved");
+  if (args.trace != 0) {
+    std::printf("trace proof: span_tree %s, exporter series %s\n",
+                protected_run.span_tree_ok ? "found" : "MISSING",
+                protected_run.export_has_core && protected_run.export_has_guard
+                    ? "complete"
+                    : "INCOMPLETE");
+  }
 
   std::ofstream out(args.out);
   out << "{\n  \"bench\": \"bench_failstorm\",\n";
@@ -384,7 +623,9 @@ int main(int argc, char** argv) {
       << ", \"pfs_slots\": " << args.pfs_slots << ", \"pre_ms\": " << args.pre_ms
       << ", \"storm_ms\": " << args.storm_ms
       << ", \"think_ms\": " << args.think_ms
-      << ", \"require_p99\": " << args.require_p99 << "},\n";
+      << ", \"require_p99\": " << args.require_p99
+      << ", \"trace\": " << args.trace
+      << ", \"trace_capacity\": " << args.trace_capacity << "},\n";
   out << "  \"phases\": {\n";
   emit_phase_json(out, unprotected, /*last=*/false);
   emit_phase_json(out, protected_run, /*last=*/true);
@@ -392,6 +633,10 @@ int main(int argc, char** argv) {
   out << "  \"protected_dup_max_le_1\": " << json_bool(dup_ok) << ",\n";
   out << "  \"storm_p99_improved\": " << json_bool(p99_ok) << ",\n";
   out << "  \"p99_criterion_enforced\": " << json_bool(args.require_p99 != 0)
+      << ",\n";
+  out << "  \"trace_criterion_enforced\": " << json_bool(args.trace != 0)
+      << ",\n";
+  out << "  \"trace_span_tree_and_export_ok\": " << json_bool(trace_ok)
       << "\n}\n";
   out.flush();
   if (!out) {
@@ -400,5 +645,5 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", args.out.c_str());
 
-  return (dup_ok && (args.require_p99 == 0 || p99_ok)) ? 0 : 1;
+  return (dup_ok && trace_ok && (args.require_p99 == 0 || p99_ok)) ? 0 : 1;
 }

@@ -17,18 +17,24 @@
 //                  via the elastic path with keys recached on first touch.
 //
 // Writes machine-readable BENCH_grayfail.json (override with out=...),
-// including the headline bound: slow_hedged p99 < 3x healthy p99.
+// including the headline bound: slow_hedged p99 < 3x healthy p99.  With
+// trace=1 (the default) the reinstatement phase also reports the
+// flight-recorder timeline: kill -> first suspicion -> probation ring
+// update -> reinstatement ring update.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/failure_injector.hpp"
+#include "membership/event.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace {
 
@@ -39,6 +45,9 @@ using ftc::cluster::FtMode;
 using ftc::cluster::GrayFailureInjector;
 using ftc::cluster::NodeHealth;
 using ftc::cluster::NodeId;
+using ftc::membership::RingEventType;
+using ftc::obs::Record;
+using ftc::obs::RecordKind;
 
 struct BenchArgs {
   std::uint32_t nodes = 4;
@@ -52,6 +61,7 @@ struct BenchArgs {
   // and its queue grows without bound — an artifact of the closed-loop
   // harness, not of hedging (real ingest is throttled by the GPU).
   std::uint32_t think_ms = 15;
+  std::uint32_t trace = 1;  ///< 0: untraced legacy run
   std::string out = "BENCH_grayfail.json";
 };
 
@@ -63,7 +73,7 @@ BenchArgs parse_args(int argc, char** argv) {
     if (eq == std::string::npos) {
       std::fprintf(stderr,
                    "usage: %s [nodes=N] [files=N] [file_kb=N] [passes=N] "
-                   "[slow_ms=N] [think_ms=N] [out=PATH]\n",
+                   "[slow_ms=N] [think_ms=N] [trace=0|1] [out=PATH]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -88,6 +98,7 @@ BenchArgs parse_args(int argc, char** argv) {
     else if (key == "passes") args.passes = numeric();
     else if (key == "slow_ms") args.slow_ms = numeric();
     else if (key == "think_ms") args.think_ms = numeric();
+    else if (key == "trace") args.trace = numeric();
     else if (key == "out") args.out = value;
     else {
       std::fprintf(stderr, "unknown key: %s\n", key.c_str());
@@ -116,6 +127,11 @@ ClusterConfig make_cluster_config(const BenchArgs& args, bool hedging) {
   config.client.hedge_min_samples = 16;
   config.server.async_data_mover = true;
   config.server.cache_capacity_bytes = 1ULL << 32;
+  if (args.trace != 0) {
+    config.obs.tracing = true;
+    config.obs.sample_every = 1;
+    config.obs.recorder_capacity = 1u << 14;
+  }
   return config;
 }
 
@@ -204,6 +220,12 @@ struct ReinstatementResult {
   bool recached_on_first_touch = false;
   std::uint64_t probes_sent = 0;
   double time_to_reinstate_ms = 0.0;
+  // Flight-recorder timeline (trace=1 only; -1 = event never recorded).
+  bool trace_enabled = false;
+  std::uint64_t trace_records = 0;
+  double suspicion_ms = -1.0;   ///< kill -> detector flags the victim
+  double probation_ms = -1.0;   ///< kill -> probation ring update
+  double reinstate_ms = -1.0;   ///< revive -> reinstatement ring update
 };
 
 /// Crash-stop a node, let the client put it in probation, revive it with
@@ -213,6 +235,36 @@ ReinstatementResult run_reinstatement(Cluster& cluster,
   ReinstatementResult result;
   const NodeId victim = 1;
   auto& client = cluster.client(0);
+
+  // Reconstructs the detection/recovery timeline from the per-node flight
+  // recorders; called before every return so partial runs still report
+  // whatever markers were reached.
+  const auto derive_timeline = [&cluster, victim](ReinstatementResult& r,
+                                                  std::int64_t fail_ns,
+                                                  std::int64_t revive_ns) {
+    if (cluster.flight_recorder(0) == nullptr) return;
+    r.trace_enabled = true;
+    const std::vector<Record> records = cluster.dump_traces();
+    r.trace_records = records.size();
+    for (const Record& rec : records) {
+      if (rec.node != victim) continue;
+      if (r.suspicion_ms < 0 && rec.kind == RecordKind::kSuspicion &&
+          rec.start_ns >= fail_ns) {
+        r.suspicion_ms = static_cast<double>(rec.start_ns - fail_ns) / 1e6;
+      }
+      if (rec.kind != RecordKind::kRingUpdate) continue;
+      if (r.probation_ms < 0 &&
+          rec.code == static_cast<std::uint32_t>(RingEventType::kProbation) &&
+          rec.start_ns >= fail_ns) {
+        r.probation_ms = static_cast<double>(rec.start_ns - fail_ns) / 1e6;
+      }
+      if (r.reinstate_ms < 0 &&
+          rec.code == static_cast<std::uint32_t>(RingEventType::kReinstate) &&
+          rec.start_ns >= revive_ns) {
+        r.reinstate_ms = static_cast<double>(rec.start_ns - revive_ns) / 1e6;
+      }
+    }
+  };
 
   std::string victim_path;
   std::string driver_path;
@@ -224,6 +276,10 @@ ReinstatementResult run_reinstatement(Cluster& cluster,
   }
   if (victim_path.empty() || driver_path.empty()) return result;
 
+  const std::int64_t fail_ns = ftc::obs::now_ns();
+  // Until the revive actually happens, no record can qualify as a
+  // reinstatement marker.
+  std::int64_t revive_ns = std::numeric_limits<std::int64_t>::max();
   cluster.fail_node(victim);
   // Detection: successive timeouts move the node suspect -> probation.
   // Bounded loop because async verdicts (probe/hedge legs) land through
@@ -235,9 +291,13 @@ ReinstatementResult run_reinstatement(Cluster& cluster,
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   result.flagged = client.node_health(victim) == NodeHealth::kProbation;
-  if (!result.flagged) return result;
+  if (!result.flagged) {
+    derive_timeline(result, fail_ns, revive_ns);
+    return result;
+  }
 
   cluster.restore_node(victim, /*lose_cache=*/true);
+  revive_ns = ftc::obs::now_ns();
   const auto revive_time = Clock::now();
   const auto deadline = revive_time + std::chrono::seconds(5);
   while (client.stats_snapshot().nodes_reinstated == 0 &&
@@ -251,7 +311,10 @@ ReinstatementResult run_reinstatement(Cluster& cluster,
   result.time_to_reinstate_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - revive_time)
           .count();
-  if (!result.reinstated) return result;
+  if (!result.reinstated) {
+    derive_timeline(result, fail_ns, revive_ns);
+    return result;
+  }
 
   result.ownership_regained = client.current_owner(victim_path) == victim;
   const auto misses_before =
@@ -259,6 +322,7 @@ ReinstatementResult run_reinstatement(Cluster& cluster,
   (void)client.read_file(victim_path);
   result.recached_on_first_touch =
       cluster.server(victim).stats_snapshot().cache_misses > misses_before;
+  derive_timeline(result, fail_ns, revive_ns);
   return result;
 }
 
@@ -275,7 +339,8 @@ void emit_json(const BenchArgs& args, const PhaseResult& healthy,
       << ", \"files\": " << args.files << ", \"file_kb\": " << args.file_kb
       << ", \"passes\": " << args.passes
       << ", \"slow_ms\": " << args.slow_ms
-      << ", \"think_ms\": " << args.think_ms << "},\n";
+      << ", \"think_ms\": " << args.think_ms
+      << ", \"trace\": " << args.trace << "},\n";
   out << "  \"phases\": {\n";
   const PhaseResult* phases[] = {&healthy, &slow_unhedged, &slow_hedged};
   for (std::size_t i = 0; i < 3; ++i) {
@@ -308,10 +373,20 @@ void emit_json(const BenchArgs& args, const PhaseResult& healthy,
       << ", \"recached_on_first_touch\": "
       << json_bool(reinstatement.recached_on_first_touch)
       << ", \"probes_sent\": " << reinstatement.probes_sent;
-  char ms[64];
-  std::snprintf(ms, sizeof(ms), ", \"time_to_reinstate_ms\": %.1f}\n",
+  char ms[256];
+  std::snprintf(ms, sizeof(ms), ", \"time_to_reinstate_ms\": %.1f",
                 reinstatement.time_to_reinstate_ms);
   out << ms;
+  if (reinstatement.trace_enabled) {
+    std::snprintf(ms, sizeof(ms),
+                  ", \"trace\": {\"records\": %llu, \"suspicion_ms\": %.1f, "
+                  "\"probation_ms\": %.1f, \"reinstate_ms\": %.1f}",
+                  static_cast<unsigned long long>(reinstatement.trace_records),
+                  reinstatement.suspicion_ms, reinstatement.probation_ms,
+                  reinstatement.reinstate_ms);
+    out << ms;
+  }
+  out << "}\n";
   out << "}\n";
   out.flush();
   if (!out) {
@@ -383,6 +458,14 @@ int main(int argc, char** argv) {
               json_bool(reinstatement.recached_on_first_touch),
               static_cast<unsigned long long>(reinstatement.probes_sent),
               reinstatement.time_to_reinstate_ms);
+  if (reinstatement.trace_enabled) {
+    std::printf("reinstatement timeline (flight recorder, %llu records): "
+                "suspicion %+.1f ms probation %+.1f ms after kill; "
+                "reinstate %+.1f ms after revive\n",
+                static_cast<unsigned long long>(reinstatement.trace_records),
+                reinstatement.suspicion_ms, reinstatement.probation_ms,
+                reinstatement.reinstate_ms);
+  }
   emit_json(args, healthy, slow_unhedged, slow_hedged, reinstatement, ratio,
             bound_ok);
   std::printf("wrote %s\n", args.out.c_str());

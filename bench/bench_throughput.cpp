@@ -61,6 +61,16 @@ struct BenchArgs {
   std::uint32_t hit_passes = 6;
   std::uint32_t miss_files = 64;
   std::uint32_t mixed_passes = 4;
+  /// 1: run the observability-overhead check instead of the three phases —
+  /// hit-heavy ops/s with obs fully off vs recorders attached but no read
+  /// sampled (tracing=1, sample_every=0; the always-armed production
+  /// posture).  Exits non-zero if the attached run is more than
+  /// obs_tolerance_pct slower or if the exporter output is malformed.
+  std::uint32_t obs_check = 0;
+  std::uint32_t obs_reps = 3;  ///< best-of-N ops/s per mode (noise control)
+  /// The structural claim is <1% (the untraced path adds one branch per
+  /// read); the CI gate is looser to absorb shared-box scheduler noise.
+  std::uint32_t obs_tolerance_pct = 5;
   std::string out = "BENCH_throughput.json";
 };
 
@@ -72,7 +82,8 @@ BenchArgs parse_args(int argc, char** argv) {
     if (eq == std::string::npos) {
       std::fprintf(stderr,
                    "usage: %s [nodes=N] [files=N] [file_kb=N] [hit_passes=N] "
-                   "[miss_files=N] [mixed_passes=N] [out=PATH]\n",
+                   "[miss_files=N] [mixed_passes=N] [obs_check=0|1] "
+                   "[obs_reps=N] [obs_tolerance_pct=N] [out=PATH]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -97,6 +108,9 @@ BenchArgs parse_args(int argc, char** argv) {
     else if (key == "hit_passes") args.hit_passes = numeric();
     else if (key == "miss_files") args.miss_files = numeric();
     else if (key == "mixed_passes") args.mixed_passes = numeric();
+    else if (key == "obs_check") args.obs_check = numeric();
+    else if (key == "obs_reps") args.obs_reps = numeric();
+    else if (key == "obs_tolerance_pct") args.obs_tolerance_pct = numeric();
     else if (key == "out") args.out = value;
     else {
       std::fprintf(stderr, "unknown key: %s\n", key.c_str());
@@ -224,11 +238,9 @@ void emit_json(const BenchArgs& args, const std::vector<PhaseResult>& phases,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const BenchArgs args = parse_args(argc, argv);
-
+/// The shared cluster shape of both the saturation phases and the
+/// observability-overhead check.
+ClusterConfig base_config(const BenchArgs& args) {
   ClusterConfig config;
   config.node_count = args.nodes;
   config.client.mode = ftc::cluster::FtMode::kHashRingRecache;
@@ -239,7 +251,120 @@ int main(int argc, char** argv) {
   config.client.verify_checksums = false;
   config.server.async_data_mover = true;
   config.server.cache_capacity_bytes = 1ULL << 32;
-  Cluster cluster(config);
+  return config;
+}
+
+/// obs_check mode: is the untraced hot path really free?  Runs the
+/// hit-heavy loop on two identical clusters — obs off vs recorders
+/// attached with sample_every=0 (armed, nothing sampled) — and compares
+/// best-of-N ops/s.  Also asserts the armed cluster recorded zero read
+/// spans and that its exporters emit the expected series.
+int run_obs_check(const BenchArgs& args) {
+  const std::uint32_t file_bytes = args.file_kb * 1024;
+
+  std::string export_json;
+  bool export_ok = false;
+  bool no_spans = false;
+  const auto best_hit_ops = [&](bool attached) -> double {
+    ClusterConfig config = base_config(args);
+    if (attached) {
+      config.obs.tracing = true;
+      config.obs.sample_every = 0;
+    }
+    Cluster cluster(config);
+    const auto paths = cluster.stage_dataset(args.files, file_bytes);
+    cluster.warm_caches(paths);
+    double best = 0.0;
+    const std::uint32_t reps = args.obs_reps > 0 ? args.obs_reps : 1;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      std::vector<std::thread> workers;
+      workers.reserve(args.nodes);
+      const auto start = Clock::now();
+      for (std::uint32_t t = 0; t < args.nodes; ++t) {
+        workers.emplace_back([t, &cluster, &paths, passes = args.hit_passes] {
+          auto& client = cluster.client(t);
+          for (std::uint32_t pass = 0; pass < passes; ++pass) {
+            for (const auto& path : paths) (void)client.read_file(path);
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      const double ops = static_cast<double>(args.nodes) * args.hit_passes *
+                         static_cast<double>(paths.size());
+      if (seconds > 0.0) best = std::max(best, ops / seconds);
+    }
+    if (attached) {
+      no_spans = cluster.dump_traces().empty();
+      export_json = cluster.metrics_registry().export_json();
+      const std::string prom =
+          cluster.metrics_registry().export_prometheus_text();
+      export_ok = prom.find("# TYPE ftc_client_reads_total counter") !=
+                      std::string::npos &&
+                  prom.find("ftc_server_cache_hits_total") !=
+                      std::string::npos &&
+                  !export_json.empty();
+    }
+    return best;
+  };
+
+  const double off_ops = best_hit_ops(/*attached=*/false);
+  const double attached_ops = best_hit_ops(/*attached=*/true);
+  const double overhead_pct =
+      attached_ops > 0.0 ? (off_ops / attached_ops - 1.0) * 100.0 : 100.0;
+  const bool within =
+      overhead_pct <= static_cast<double>(args.obs_tolerance_pct);
+
+  std::printf(
+      "obs_check: hit-heavy %.0f ops/s (obs off) vs %.0f ops/s (attached, "
+      "unsampled) -> overhead %.2f%% (tolerance %u%%, %s)\n",
+      off_ops, attached_ops, overhead_pct, args.obs_tolerance_pct,
+      within ? "ok" : "EXCEEDED");
+  std::printf("obs_check: armed-but-unsampled recorded %s; exporter %s\n",
+              no_spans ? "zero spans (ok)" : "SPANS (should be none)",
+              export_ok ? "ok" : "MISSING SERIES");
+
+  const std::string out_path = args.out != "BENCH_throughput.json"
+                                   ? args.out
+                                   : std::string("BENCH_throughput_obscheck.json");
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"bench_throughput_obs_check\",\n";
+  out << "  \"config\": {\"nodes\": " << args.nodes
+      << ", \"files\": " << args.files << ", \"file_kb\": " << args.file_kb
+      << ", \"hit_passes\": " << args.hit_passes
+      << ", \"obs_reps\": " << args.obs_reps
+      << ", \"obs_tolerance_pct\": " << args.obs_tolerance_pct << "},\n";
+  out << "  \"off_ops_per_sec\": " << json_escape_free(off_ops) << ",\n";
+  out << "  \"attached_ops_per_sec\": " << json_escape_free(attached_ops)
+      << ",\n";
+  char pct[64];
+  std::snprintf(pct, sizeof(pct), "%.2f", overhead_pct);
+  out << "  \"overhead_pct\": " << pct << ",\n";
+  out << "  \"within_tolerance\": " << (within ? "true" : "false") << ",\n";
+  out << "  \"armed_recorded_no_spans\": " << (no_spans ? "true" : "false")
+      << ",\n";
+  out << "  \"prometheus_export_ok\": " << (export_ok ? "true" : "false")
+      << ",\n";
+  // Embedding the exporter's raw JSON means any consumer that parses this
+  // artifact has transitively validated the exporter's syntax.
+  out << "  \"export_sample\": " << export_json << "\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return (within && no_spans && export_ok) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  if (args.obs_check != 0) return run_obs_check(args);
+
+  Cluster cluster(base_config(args));
 
   const std::uint32_t file_bytes = args.file_kb * 1024;
   const auto warm_paths = cluster.stage_dataset(args.files, file_bytes);

@@ -30,6 +30,30 @@ echo "=== failover-storm smoke (bench_failstorm, reduced load)"
   nodes=6 files=60 pfs_us=4000 pre_ms=200 storm_ms=400 \
   require_p99=0 out="${build_dir}/BENCH_failstorm_smoke.json"
 
+echo "=== observability smoke (bench_throughput obs_check)"
+# Armed-but-unsampled recorders must not tax the hit-heavy hot path
+# (tolerance absorbs shared-box noise; the structural budget is <1%),
+# must record zero spans, and the exporters must emit the cross-layer
+# series.  The bench exits non-zero on any of the three.
+"${build_dir}/bench/bench_throughput" \
+  obs_check=1 hit_passes=30 obs_reps=3 \
+  out="${build_dir}/BENCH_throughput_obscheck.json"
+# The obs_check artifact embeds the registry's raw export_json() output;
+# parsing the artifact therefore validates the exporter's JSON syntax.
+python3 - "${build_dir}/BENCH_throughput_obscheck.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+metrics = doc["export_sample"]["metrics"]
+assert metrics, "exporter emitted no metrics"
+names = {m["name"] for m in metrics}
+for required in ("ftc_client_reads_total", "ftc_server_cache_hits_total",
+                 "ftc_transport_received_total", "ftc_client_read_latency_us"):
+    assert required in names, f"exporter missing {required}"
+print(f"exporter JSON parses: {len(metrics)} series, "
+      f"overhead {doc['overhead_pct']}%")
+EOF
+
 echo "=== thread sanitizer"
 "${source_dir}/scripts/sanitize.sh" thread
 

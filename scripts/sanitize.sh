@@ -14,6 +14,11 @@
 # and cluster_test the PFS fetch guard (breaker, slots), bounded-PFS
 # contention, and the client retry-budget/hedge interplay — TSan sees
 # every leader election, flight publish, and token-bucket path.
+# obs_test covers the observability layer: the FlightRecorder's per-slot
+# seqlock under 8 concurrent writers racing a dumping reader, the
+# lock-striped MetricsRegistry under concurrent registration + export,
+# and end-to-end traced reads (hedge legs and async completions record
+# spans from pool threads while the client thread records the root).
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 
@@ -33,7 +38,7 @@ cmake -B "${build_dir}" -S "${source_dir}" \
   -DFTC_BUILD_BENCH=OFF \
   -DFTC_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "${build_dir}" -j \
-  --target cluster_test rpc_test storage_test membership_test
+  --target cluster_test rpc_test storage_test membership_test obs_test
 
 # halt_on_error makes a single report fail the run loudly.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -41,7 +46,7 @@ export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 
 status=0
-for test_bin in cluster_test rpc_test storage_test membership_test; do
+for test_bin in cluster_test rpc_test storage_test membership_test obs_test; do
   echo "=== ${sanitizer}-sanitizer: ${test_bin}"
   if ! "${build_dir}/tests/${test_bin}"; then
     status=1

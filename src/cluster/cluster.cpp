@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/string_util.hpp"
@@ -26,6 +27,12 @@ Cluster::Cluster(const ClusterConfig& config)
     const Status valid = config_.membership.validate();
     if (!valid.is_ok()) {
       throw std::invalid_argument("SwimConfig: " + valid.to_string());
+    }
+  }
+  {
+    const Status valid = config_.obs.validate();
+    if (!valid.is_ok()) {
+      throw std::invalid_argument("ObsConfig: " + valid.to_string());
     }
   }
 
@@ -71,6 +78,10 @@ Cluster::Cluster(const ClusterConfig& config)
     }
     if (config_.membership.background) scheduler_->start();
   }
+
+  for (NodeId n = 0; n < config_.node_count; ++n) wire_node_observability(n);
+  metrics_.register_collector(
+      [this](obs::MetricsRegistry::Collection& out) { collect_metrics(out); });
 }
 
 Cluster::~Cluster() {
@@ -166,7 +177,166 @@ NodeId Cluster::add_node() {
   }
   for (NodeId n = 0; n < node; ++n) clients_[n]->add_server(node);
   config_.node_count = static_cast<std::uint32_t>(servers_.size());
+  wire_node_observability(node);
   return node;
+}
+
+void Cluster::wire_node_observability(NodeId node) {
+  if (!config_.obs.tracing) return;
+  recorders_.push_back(
+      std::make_unique<obs::FlightRecorder>(config_.obs.recorder_capacity));
+  obs::FlightRecorder* recorder = recorders_.back().get();
+  servers_[node]->attach_observability(recorder);
+  clients_[node]->attach_observability(recorder, config_.obs.sample_every);
+  transport_.set_flight_recorder(node, recorder);
+  if (node < agents_.size()) agents_[node]->set_flight_recorder(recorder);
+}
+
+std::vector<obs::Record> Cluster::dump_traces() const {
+  std::vector<obs::Record> all;
+  for (const auto& recorder : recorders_) {
+    std::vector<obs::Record> records = recorder->dump();
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const obs::Record& a, const obs::Record& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return all;
+}
+
+void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
+  // Latency histogram bounds in microseconds; chosen to straddle the
+  // NVMe-hit / PFS-fetch / storm-retry regimes.
+  static const std::vector<double> kLatencyBoundsUs = {
+      50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000};
+  for (NodeId n = 0; n < static_cast<NodeId>(clients_.size()); ++n) {
+    const obs::Labels node_label = {{"node", std::to_string(n)}};
+    const auto with_outcome = [&](const char* outcome) {
+      obs::Labels labels = node_label;
+      labels.emplace_back("outcome", outcome);
+      return labels;
+    };
+
+    const HvacClient::Stats c = clients_[n]->stats_snapshot();
+    out.counter("ftc_client_reads_total", node_label, c.reads);
+    out.counter("ftc_client_served_total", with_outcome("remote_cache"),
+                c.served_remote_cache);
+    out.counter("ftc_client_served_total", with_outcome("remote_fetch"),
+                c.served_remote_fetch);
+    out.counter("ftc_client_served_total", with_outcome("pfs_direct"),
+                c.served_pfs_direct);
+    out.counter("ftc_client_timeouts_total", node_label, c.timeouts);
+    out.counter("ftc_client_nodes_flagged_total", node_label, c.nodes_flagged);
+    out.counter("ftc_client_ring_updates_total", node_label, c.ring_updates);
+    out.counter("ftc_client_checksum_failures_total", node_label,
+                c.checksum_failures);
+    out.counter("ftc_client_replicas_pushed_total", node_label,
+                c.replicas_pushed);
+    out.counter("ftc_client_hedges_total", with_outcome("launched"),
+                c.hedges_launched);
+    out.counter("ftc_client_hedges_total", with_outcome("hedge_win"),
+                c.hedge_wins);
+    out.counter("ftc_client_hedges_total", with_outcome("primary_win"),
+                c.primary_wins_after_hedge);
+    out.counter("ftc_client_hedges_total", with_outcome("to_pfs"),
+                c.hedges_to_pfs);
+    out.counter("ftc_client_probes_sent_total", node_label, c.probes_sent);
+    out.counter("ftc_client_nodes_reinstated_total", node_label,
+                c.nodes_reinstated);
+    out.counter("ftc_client_suspicions_reported_total", node_label,
+                c.suspicions_reported);
+    out.counter("ftc_client_stale_view_hints_total", node_label,
+                c.stale_view_hints);
+    out.counter("ftc_client_epoch_fast_forwards_total", node_label,
+                c.epoch_fast_forwards);
+    out.counter("ftc_client_busy_rejections_total", node_label,
+                c.busy_rejections);
+    out.counter("ftc_client_retries_denied_total", node_label,
+                c.retries_denied_by_budget);
+    out.counter("ftc_client_deadline_give_ups_total", node_label,
+                c.deadline_give_ups);
+    const LatencyRecorder::BucketSnapshot lat =
+        clients_[n]->latency().cumulative_buckets(kLatencyBoundsUs);
+    out.histogram("ftc_client_read_latency_us", node_label, kLatencyBoundsUs,
+                  lat.cumulative, lat.count, lat.sum);
+
+    const HvacServer::Stats s = servers_[n]->stats_snapshot();
+    out.counter("ftc_server_reads_total", node_label, s.reads);
+    out.counter("ftc_server_cache_hits_total", node_label, s.cache_hits);
+    out.counter("ftc_server_cache_misses_total", node_label, s.cache_misses);
+    out.counter("ftc_server_pfs_fetches_total", node_label, s.pfs_fetches);
+    out.counter("ftc_server_recache_enqueued_total", node_label,
+                s.recache_enqueued);
+    out.counter("ftc_server_recache_completed_total", node_label,
+                s.recache_completed);
+    out.counter("ftc_server_replicas_stored_total", node_label,
+                s.replicas_stored);
+    out.counter("ftc_server_payload_bytes_copied_total", node_label,
+                s.payload_bytes_copied);
+    out.counter("ftc_server_evictions_total", node_label, s.evictions);
+    out.counter("ftc_server_expired_on_arrival_total", node_label,
+                s.expired_on_arrival);
+    out.gauge("ftc_server_cache_used_bytes", node_label,
+              static_cast<double>(s.used_bytes));
+    out.gauge("ftc_server_cache_capacity_bytes", node_label,
+              static_cast<double>(servers_[n]->config().cache_capacity_bytes));
+
+    if (const PfsFetchGuard* guard = servers_[n]->pfs_guard()) {
+      const PfsFetchGuard::Stats g = guard->stats_snapshot();
+      out.counter("ftc_pfs_guard_fetches_total", node_label, g.fetches);
+      out.counter("ftc_pfs_guard_coalesced_total", node_label, g.coalesced);
+      out.counter("ftc_pfs_guard_rejections_total", with_outcome("slots"),
+                  g.slot_rejections);
+      out.counter("ftc_pfs_guard_rejections_total", with_outcome("breaker"),
+                  g.breaker_rejections);
+      out.counter("ftc_pfs_guard_breaker_trips_total", node_label,
+                  g.breaker_trips);
+      out.gauge("ftc_pfs_guard_breaker_open", node_label,
+                guard->breaker_open() ? 1.0 : 0.0);
+    }
+
+    const rpc::Transport::EndpointStats t = transport_.stats(n);
+    out.counter("ftc_transport_received_total", node_label, t.received);
+    out.counter("ftc_transport_received_data_total", node_label,
+                t.received_data);
+    out.counter("ftc_transport_handled_total", node_label, t.handled);
+    out.counter("ftc_transport_dropped_total", node_label, t.dropped);
+    out.counter("ftc_transport_requests_shed_total", node_label,
+                t.requests_shed);
+
+    if (n < static_cast<NodeId>(agents_.size())) {
+      const membership::MembershipAgent::Stats m =
+          agents_[n]->stats_snapshot();
+      out.gauge("ftc_swim_epoch", node_label, static_cast<double>(m.epoch));
+      out.gauge("ftc_swim_members_alive", node_label,
+                static_cast<double>(m.members_alive));
+      out.gauge("ftc_swim_members_suspect", node_label,
+                static_cast<double>(m.members_suspect));
+      out.gauge("ftc_swim_members_failed", node_label,
+                static_cast<double>(m.members_failed));
+      out.counter("ftc_swim_probes_sent_total", node_label, m.probes_sent);
+      out.counter("ftc_swim_indirect_probes_total", node_label,
+                  m.indirect_probes_sent);
+      out.counter("ftc_swim_acks_received_total", node_label, m.acks_received);
+      out.counter("ftc_swim_suspicions_total", node_label, m.suspicions);
+      out.counter("ftc_swim_confirms_total", node_label, m.confirms);
+      out.counter("ftc_swim_refutations_total", node_label, m.refutations);
+      out.counter("ftc_swim_reinstatements_total", node_label,
+                  m.reinstatements);
+      out.counter("ftc_swim_joins_total", node_label, m.joins);
+      out.counter("ftc_swim_gossip_claims_sent_total", node_label,
+                  m.gossip_claims_sent);
+      out.counter("ftc_swim_claims_applied_total", node_label,
+                  m.claims_applied);
+      out.counter("ftc_swim_fast_forwards_total", node_label, m.fast_forwards);
+    }
+
+    if (n < static_cast<NodeId>(recorders_.size())) {
+      out.counter("ftc_obs_records_written_total", node_label,
+                  recorders_[n]->records_written());
+    }
+  }
 }
 
 std::size_t Cluster::total_cached_files() const {

@@ -19,6 +19,9 @@
 #include "cluster/pfs_store.hpp"
 #include "membership/scheduler.hpp"
 #include "membership/swim.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs_config.hpp"
 #include "rpc/transport.hpp"
 
 namespace ftc::cluster {
@@ -38,6 +41,11 @@ struct ClusterConfig {
   /// MembershipAgent wired into its server and (hash-ring mode) client,
   /// and a GossipScheduler drives the protocol periods.
   membership::SwimConfig membership;
+  /// Observability (default OFF: no recorders, no sampling, the request
+  /// path is bit-for-bit the untraced one).  The metrics registry always
+  /// exists — collectors read the components' own counters at export
+  /// time, so it costs nothing per request either way.
+  obs::ObsConfig obs;
 };
 
 class Cluster {
@@ -98,9 +106,31 @@ class Cluster {
   /// with `membership.background` the scheduler thread does this).
   void tick_membership();
 
+  // --- observability ---------------------------------------------------
+  /// Unified metrics over every component's counters (always available;
+  /// export_prometheus_text() / export_json() snapshot them on demand).
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() { return metrics_; }
+  /// The node's flight recorder; nullptr unless config.obs.tracing.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder(NodeId node) {
+    return node < recorders_.size() ? recorders_[node].get() : nullptr;
+  }
+  /// Every node's trace records merged into one timeline (sorted by
+  /// start time).  Empty unless config.obs.tracing.
+  [[nodiscard]] std::vector<obs::Record> dump_traces() const;
+
  private:
+  /// Attaches node `n`'s recorder to its server, client, transport
+  /// endpoint, PFS guard and (if present) membership agent.
+  void wire_node_observability(NodeId node);
+  /// The registry collector: walks every node's stats snapshot.
+  void collect_metrics(obs::MetricsRegistry::Collection& out) const;
+
   ClusterConfig config_;
   PfsStore pfs_;
+  obs::MetricsRegistry metrics_;
+  /// Declared before transport_ (so destroyed after it): transport
+  /// teardown drains async completions that still record spans.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
   rpc::Transport transport_;
   std::vector<std::unique_ptr<HvacServer>> servers_;
   std::vector<std::unique_ptr<HvacClient>> clients_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -9,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "hash/crc32.hpp"
+#include "membership/event.hpp"
 #include "membership/swim.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/static_modulo.hpp"
@@ -182,6 +184,63 @@ void HvacClient::attach_membership(membership::MembershipAgent* agent) {
   membership_ = agent;
 }
 
+void HvacClient::attach_observability(obs::FlightRecorder* recorder,
+                                      std::uint32_t sample_every) {
+  recorder_ = recorder;
+  trace_sample_every_ = sample_every;
+  trace_seq_ = 0;
+}
+
+HvacClient::Stats HvacClient::stats_snapshot() const {
+  const auto load_all = [this] {
+    Stats s;
+    s.reads = stats_.reads.load(std::memory_order_relaxed);
+    s.served_remote_cache =
+        stats_.served_remote_cache.load(std::memory_order_relaxed);
+    s.served_remote_fetch =
+        stats_.served_remote_fetch.load(std::memory_order_relaxed);
+    s.served_pfs_direct =
+        stats_.served_pfs_direct.load(std::memory_order_relaxed);
+    s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+    s.nodes_flagged = stats_.nodes_flagged.load(std::memory_order_relaxed);
+    s.ring_updates = stats_.ring_updates.load(std::memory_order_relaxed);
+    s.checksum_failures =
+        stats_.checksum_failures.load(std::memory_order_relaxed);
+    s.replicas_pushed = stats_.replicas_pushed.load(std::memory_order_relaxed);
+    s.hedges_launched = stats_.hedges_launched.load(std::memory_order_relaxed);
+    s.hedge_wins = stats_.hedge_wins.load(std::memory_order_relaxed);
+    s.primary_wins_after_hedge =
+        stats_.primary_wins_after_hedge.load(std::memory_order_relaxed);
+    s.hedges_to_pfs = stats_.hedges_to_pfs.load(std::memory_order_relaxed);
+    s.probes_sent = stats_.probes_sent.load(std::memory_order_relaxed);
+    s.nodes_reinstated =
+        stats_.nodes_reinstated.load(std::memory_order_relaxed);
+    s.suspicions_reported =
+        stats_.suspicions_reported.load(std::memory_order_relaxed);
+    s.stale_view_hints =
+        stats_.stale_view_hints.load(std::memory_order_relaxed);
+    s.epoch_fast_forwards =
+        stats_.epoch_fast_forwards.load(std::memory_order_relaxed);
+    s.busy_rejections = stats_.busy_rejections.load(std::memory_order_relaxed);
+    s.retries_denied_by_budget =
+        stats_.retries_denied_by_budget.load(std::memory_order_relaxed);
+    s.deadline_give_ups =
+        stats_.deadline_give_ups.load(std::memory_order_relaxed);
+    return s;
+  };
+  // Torn-snapshot guard: per-field loads are individually atomic but the
+  // struct is multi-field; re-read until two consecutive passes agree
+  // (bounded — under a write-heavy race the last pass is still field-
+  // atomic, only cross-field skew remains).
+  Stats before = load_all();
+  for (int i = 0; i < 3; ++i) {
+    const Stats after = load_all();
+    if (std::memcmp(&before, &after, sizeof(Stats)) == 0) return after;
+    before = after;
+  }
+  return before;
+}
+
 bool HvacClient::excluded_for_data(NodeId node) const {
   if (membership_ != nullptr) {
     // The cluster's verdict outranks local history.  A flagged node was
@@ -294,8 +353,20 @@ std::chrono::microseconds HvacClient::current_hedge_delay() const {
   return std::min(delay, timeout_us);
 }
 
-StatusOr<common::Buffer> HvacClient::read_from_pfs(const std::string& path) {
+StatusOr<common::Buffer> HvacClient::read_from_pfs(
+    const std::string& path, const obs::TraceContext& trace) {
   ++stats_.served_pfs_direct;
+  if (recorder_ != nullptr && trace.sampled) {
+    const std::int64_t start = obs::now_ns();
+    auto result = pfs_.read(path);
+    recorder_->record_span(
+        obs::RecordKind::kPfsDirect, trace.child(), self_, start,
+        obs::now_ns(),
+        static_cast<std::uint32_t>(result.is_ok() ? StatusCode::kOk
+                                                  : result.status().code()),
+        0, "pfs_direct");
+    return result;
+  }
   return pfs_.read(path);
 }
 
@@ -339,6 +410,15 @@ void HvacClient::on_timeout(NodeId owner) {
         << "client " << self_ << " takes node " << owner
         << " out of service: " << node_health_name(detector_.health(owner))
         << " (" << ft_mode_name(config_.mode) << ")";
+    if (recorder_ != nullptr) {
+      // Timeline marker, not a span: suspicions are rare and load-bearing
+      // for the storm postmortem, so they are recorded regardless of
+      // per-read sampling.
+      recorder_->record_event(
+          obs::RecordKind::kSuspicion, obs::TraceContext{}, owner,
+          static_cast<std::uint32_t>(StatusCode::kTimeout), self_,
+          membership_ != nullptr ? "report" : "flag");
+    }
     if (membership_ != nullptr) {
       // The detector's verdict is local *evidence*, not a placement
       // decision: report the node suspect and let the cluster confirm or
@@ -354,6 +434,12 @@ void HvacClient::on_timeout(NodeId owner) {
       // is merely in probation a successful probe adds them back.
       placement_->remove_node(owner);
       ++stats_.ring_updates;
+      if (recorder_ != nullptr) {
+        recorder_->record_event(
+            obs::RecordKind::kRingUpdate, obs::TraceContext{}, owner,
+            static_cast<std::uint32_t>(membership::RingEventType::kProbation),
+            stats_.ring_updates.load(std::memory_order_relaxed), "remove");
+      }
     }
   }
 }
@@ -468,6 +554,12 @@ void HvacClient::reinstate(NodeId node) {
   placement_->add_node(node);
   ++stats_.ring_updates;
   ++stats_.nodes_reinstated;
+  if (recorder_ != nullptr) {
+    recorder_->record_event(
+        obs::RecordKind::kRingUpdate, obs::TraceContext{}, node,
+        static_cast<std::uint32_t>(membership::RingEventType::kReinstate),
+        stats_.ring_updates.load(std::memory_order_relaxed), "reinstate");
+  }
   FTC_LOG(kInfo, "hvac_client")
       << "client " << self_ << " reinstates node " << node
       << " after successful probe";
@@ -509,10 +601,17 @@ StatusOr<common::Buffer> HvacClient::accept_response(
 }
 
 std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
-    const std::string& path, NodeId owner, rpc::DeadlineNs deadline) {
+    const std::string& path, NodeId owner, rpc::DeadlineNs deadline,
+    const obs::TraceContext& trace) {
   auto wait = std::make_shared<HedgeWait>();
   const auto start = rpc::Clock::now();
   const auto leg_timeout = attempt_timeout(deadline);
+
+  // Leg spans are recorded from the transport-pool completion callbacks
+  // (the legs outlive this function on the slow paths), so the recorder
+  // pointer rides the capture; null when this read is unsampled.
+  obs::FlightRecorder* const recorder =
+      (recorder_ != nullptr && trace.sampled) ? recorder_ : nullptr;
 
   rpc::RpcRequest request;
   request.op = rpc::Op::kReadFile;
@@ -522,9 +621,24 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
   // either leg unexecuted once the client has given the read up.
   request.deadline_ns = deadline;
   if (membership_ != nullptr) membership_->stamp_request(request);
+  const obs::TraceContext primary_ctx =
+      recorder != nullptr ? trace.child() : obs::TraceContext{};
+  request.trace = primary_ctx;
+  const std::int64_t primary_start =
+      recorder != nullptr ? obs::now_ns() : 0;
   transport_.call_async(
       owner, request, leg_timeout,
-      [wait, mailbox = mailbox_, owner](StatusOr<rpc::RpcResponse> result) {
+      [wait, mailbox = mailbox_, owner, recorder, primary_ctx,
+       primary_start](StatusOr<rpc::RpcResponse> result) {
+        if (recorder != nullptr) {
+          recorder->record_span(
+              obs::RecordKind::kClientAttempt, primary_ctx, owner,
+              primary_start, obs::now_ns(),
+              static_cast<std::uint32_t>(result.is_ok()
+                                             ? result.value().code
+                                             : result.status().code()),
+              0, "hedge_primary");
+        }
         // A non-timeout error still proves the node is alive.
         mailbox->post(owner, !result.is_ok() && timeout_like(result.status())
                                  ? Mailbox::Kind::kRpcTimeout
@@ -608,13 +722,26 @@ std::optional<StatusOr<common::Buffer>> HvacClient::hedged_attempt(
     // The authoritative copy always exists; the primary's verdict arrives
     // later through the mailbox.
     ++stats_.hedges_to_pfs;
-    return read_from_pfs(path);
+    return read_from_pfs(path, trace);
   }
 
+  const obs::TraceContext hedge_ctx =
+      recorder != nullptr ? trace.child() : obs::TraceContext{};
+  request.trace = hedge_ctx;
+  const std::int64_t hedge_start = recorder != nullptr ? obs::now_ns() : 0;
   transport_.call_async(
       hedge_target, std::move(request), leg_timeout,
-      [wait, mailbox = mailbox_,
-       hedge_target](StatusOr<rpc::RpcResponse> result) {
+      [wait, mailbox = mailbox_, hedge_target, recorder, hedge_ctx,
+       hedge_start](StatusOr<rpc::RpcResponse> result) {
+        if (recorder != nullptr) {
+          recorder->record_span(
+              obs::RecordKind::kHedgeLeg, hedge_ctx, hedge_target,
+              hedge_start, obs::now_ns(),
+              static_cast<std::uint32_t>(result.is_ok()
+                                             ? result.value().code
+                                             : result.status().code()),
+              0, "hedge");
+        }
         mailbox->post(hedge_target,
                       !result.is_ok() && timeout_like(result.status())
                           ? Mailbox::Kind::kRpcTimeout
@@ -697,6 +824,28 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
   drain_mailbox();
   maybe_probe();
 
+  // Sampling decision: every `sample_every`-th read gets a root span and
+  // a sampled context that rides each attempt (the untraced path pays
+  // exactly this null check).
+  obs::TraceContext trace;
+  std::int64_t trace_start = 0;
+  if (recorder_ != nullptr && trace_sample_every_ != 0 &&
+      trace_seq_++ % trace_sample_every_ == 0) {
+    trace = obs::TraceContext::root();
+    trace_start = obs::now_ns();
+  }
+  if (!trace.sampled) return read_file_impl(path, trace);
+  auto result = read_file_impl(path, trace);
+  recorder_->record_span(
+      obs::RecordKind::kClientRead, trace, self_, trace_start, obs::now_ns(),
+      static_cast<std::uint32_t>(result.is_ok() ? StatusCode::kOk
+                                                : result.status().code()),
+      0, path);
+  return result;
+}
+
+StatusOr<common::Buffer> HvacClient::read_file_impl(
+    const std::string& path, const obs::TraceContext& trace) {
   const bool hedging = config_.hedge_reads &&
                        config_.mode == FtMode::kHashRingRecache;
 
@@ -737,13 +886,14 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
       return config_.mode == FtMode::kNone
                  ? StatusOr<common::Buffer>(
                        Status::unavailable("no cache servers alive"))
-                 : read_from_pfs(path);
+                 : read_from_pfs(path, trace);
     }
 
     if (membership_ == nullptr && detector_.is_out_of_service(owner)) {
       // Only the PFS-redirect mode can still map keys to a flagged node
       // (its placement is immutable); the ring modes removed it already.
-      if (config_.mode == FtMode::kPfsRedirect) return read_from_pfs(path);
+      if (config_.mode == FtMode::kPfsRedirect)
+        return read_from_pfs(path, trace);
       if (config_.mode == FtMode::kNone) {
         return Status::unavailable("owner " + std::to_string(owner) +
                                    " failed and NoFT cannot recover");
@@ -755,7 +905,7 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
     }
 
     if (hedging) {
-      auto outcome = hedged_attempt(path, owner, deadline);
+      auto outcome = hedged_attempt(path, owner, deadline, trace);
       if (outcome.has_value()) return std::move(*outcome);
       continue;
     }
@@ -766,9 +916,28 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
     request.client_node = self_;
     request.deadline_ns = deadline;
     if (membership_ != nullptr) membership_->stamp_request(request);
+    const bool traced = recorder_ != nullptr && trace.sampled;
+    obs::TraceContext attempt_ctx;
+    std::int64_t attempt_start_ns = 0;
+    if (traced) {
+      attempt_ctx = trace.child();
+      request.trace = attempt_ctx;
+      attempt_start_ns = obs::now_ns();
+    }
     const auto call_start = rpc::Clock::now();
     auto result = transport_.call(owner, std::move(request),
                                   attempt_timeout(deadline));
+    if (traced) {
+      const StatusCode code =
+          result.is_ok() ? result.value().code : result.status().code();
+      recorder_->record_span(
+          server_directed ? obs::RecordKind::kBusyRetry
+                          : obs::RecordKind::kClientAttempt,
+          attempt_ctx, owner, attempt_start_ns, obs::now_ns(),
+          static_cast<std::uint32_t>(code), attempt,
+          attempt == 0 ? "primary"
+                       : (server_directed ? "busy_retry" : "retry"));
+    }
 
     if (result.is_ok() && result.value().code == StatusCode::kBusy) {
       // Shed, not served: alive-node bookkeeping, jittered backoff (never
@@ -794,7 +963,7 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
                                  " unresponsive; NoFT aborts");
         case FtMode::kPfsRedirect:
           // Per Fig 3(a): the timed-out request itself is redirected.
-          return read_from_pfs(path);
+          return read_from_pfs(path, trace);
         case FtMode::kHashRingRecache:
           // Retry: if the node was flagged the ring changed; otherwise the
           // same owner gets another chance (transient delay).
@@ -804,7 +973,7 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
     return status;  // unexpected transport error
   }
   // Retries exhausted without a verdict — serve the authoritative copy.
-  return read_from_pfs(path);
+  return read_from_pfs(path, trace);
 }
 
 }  // namespace ftc::cluster

@@ -42,6 +42,7 @@
 // state stays single-threaded.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -56,6 +57,8 @@
 #include "common/latency_recorder.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/placement.hpp"
 #include "rpc/transport.hpp"
@@ -178,6 +181,17 @@ class HvacClient {
   /// Never attached in legacy mode, leaving behaviour bit-identical.
   void attach_membership(membership::MembershipAgent* agent);
 
+  /// Attaches this node's flight recorder (not owned; must outlive every
+  /// async completion this client launches).  Every `sample_every`-th
+  /// read_file call is traced end to end: a kClientRead root span plus
+  /// child spans per attempt / hedge leg / busy retry / PFS fallback, and
+  /// the context rides outgoing requests so servers extend the tree.
+  /// `sample_every` == 0 attaches the recorder but samples no reads
+  /// (events like suspicions are still recorded).  Never attached by
+  /// default: the untraced hot path pays one null check per read.
+  void attach_observability(obs::FlightRecorder* recorder,
+                            std::uint32_t sample_every);
+
   /// The intercepted read: returns file contents or an error.  With
   /// FtMode::kNone a server timeout is fatal (returned to caller); the FT
   /// modes mask it per their strategy.  The returned Buffer references
@@ -252,8 +266,11 @@ class HvacClient {
   };
   /// Value snapshot of the counters.  There is deliberately no reference
   /// accessor: callers can neither mutate the client's counters nor
-  /// observe a torn mid-update state.
-  [[nodiscard]] Stats stats_snapshot() const { return stats_; }
+  /// observe a torn mid-update state.  Counters are per-field relaxed
+  /// atomics (metrics collectors and benches read them while the owning
+  /// thread serves reads); the snapshot double-reads until two passes
+  /// agree, so the multi-field view is consistent too.
+  [[nodiscard]] Stats stats_snapshot() const;
 
  private:
   /// Mailbox for RPC outcomes that complete on transport pool threads
@@ -263,7 +280,12 @@ class HvacClient {
   /// it at the top of every read/ping.
   struct Mailbox;
 
-  StatusOr<common::Buffer> read_from_pfs(const std::string& path);
+  /// read_file minus the root-span bookkeeping; `trace` is the sampled
+  /// root context (unsampled default when the read is not traced).
+  StatusOr<common::Buffer> read_file_impl(const std::string& path,
+                                          const obs::TraceContext& trace);
+  StatusOr<common::Buffer> read_from_pfs(const std::string& path,
+                                         const obs::TraceContext& trace);
   /// Owner for `path` under the active placement source: the membership
   /// agent's epoch'd view (skipping detector-flagged and SWIM-suspect
   /// nodes per lookup) when attached, the private placement otherwise.
@@ -291,7 +313,8 @@ class HvacClient {
   /// `deadline` (kNoDeadline when total_deadline is off) is inherited by
   /// both legs on the wire and bounds their per-leg timeouts.
   std::optional<StatusOr<common::Buffer>> hedged_attempt(
-      const std::string& path, NodeId owner, rpc::DeadlineNs deadline);
+      const std::string& path, NodeId owner, rpc::DeadlineNs deadline,
+      const obs::TraceContext& trace);
   /// Per-attempt RPC timeout: rpc_timeout capped by the budget remaining
   /// before `deadline` (floor 1ms so an attempt is never zero-length).
   [[nodiscard]] std::chrono::milliseconds attempt_timeout(
@@ -329,7 +352,34 @@ class HvacClient {
   ring::ConsistentHashRing* ring_view_ = nullptr;
   membership::MembershipAgent* membership_ = nullptr;
   FaultDetector detector_;
-  Stats stats_;
+  /// Counters as per-field relaxed atomics: the owning thread is the only
+  /// writer, but metrics collectors and benches snapshot concurrently —
+  /// plain fields would be a torn (and formally racy) read.  Field names
+  /// mirror the public Stats POD; stats_snapshot() assembles it.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> served_remote_cache{0};
+    std::atomic<std::uint64_t> served_remote_fetch{0};
+    std::atomic<std::uint64_t> served_pfs_direct{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> nodes_flagged{0};
+    std::atomic<std::uint64_t> ring_updates{0};
+    std::atomic<std::uint64_t> checksum_failures{0};
+    std::atomic<std::uint64_t> replicas_pushed{0};
+    std::atomic<std::uint64_t> hedges_launched{0};
+    std::atomic<std::uint64_t> hedge_wins{0};
+    std::atomic<std::uint64_t> primary_wins_after_hedge{0};
+    std::atomic<std::uint64_t> hedges_to_pfs{0};
+    std::atomic<std::uint64_t> probes_sent{0};
+    std::atomic<std::uint64_t> nodes_reinstated{0};
+    std::atomic<std::uint64_t> suspicions_reported{0};
+    std::atomic<std::uint64_t> stale_view_hints{0};
+    std::atomic<std::uint64_t> epoch_fast_forwards{0};
+    std::atomic<std::uint64_t> busy_rejections{0};
+    std::atomic<std::uint64_t> retries_denied_by_budget{0};
+    std::atomic<std::uint64_t> deadline_give_ups{0};
+  };
+  AtomicStats stats_;
   LatencyRecorder latency_;
   std::shared_ptr<Mailbox> mailbox_;
   /// Token bucket shared by timeout-retries and hedge legs (no-op with
@@ -343,6 +393,11 @@ class HvacClient {
   /// (kBusy + retry_after), so it is exempt from the speculative retry
   /// budget — it is paced by the server's hint and the deadline instead.
   bool retry_is_server_directed_ = false;
+  /// Observability (attach_observability): nullptr recorder = tracing off,
+  /// the untraced path pays one null check per read.
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t trace_sample_every_ = 0;
+  std::uint64_t trace_seq_ = 0;
 };
 
 }  // namespace ftc::cluster

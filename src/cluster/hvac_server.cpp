@@ -1,5 +1,6 @@
 #include "cluster/hvac_server.hpp"
 
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -67,6 +68,12 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
   // deadlines, so detection traffic is unaffected.
   if (rpc::deadline_expired(request.deadline_ns)) {
     stats_.expired_on_arrival.fetch_add(1, std::memory_order_relaxed);
+    if (recorder_ != nullptr && request.trace.sampled) {
+      recorder_->record_event(obs::RecordKind::kServerShed,
+                              request.trace.child(), id_,
+                              static_cast<std::uint32_t>(StatusCode::kCancelled),
+                              0, "deadline");
+    }
     rpc::RpcResponse response;
     response.code = StatusCode::kCancelled;
     return response;
@@ -92,6 +99,20 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
 }
 
 rpc::RpcResponse HvacServer::dispatch(const rpc::RpcRequest& request) {
+  if (recorder_ != nullptr && request.trace.sampled) {
+    const obs::TraceContext ctx = request.trace.child();
+    const std::int64_t start = obs::now_ns();
+    rpc::RpcResponse response = dispatch_impl(request);
+    recorder_->record_span(obs::RecordKind::kServerHandle, ctx, id_, start,
+                           obs::now_ns(),
+                           static_cast<std::uint32_t>(response.code),
+                           response.payload.size(), request.path);
+    return response;
+  }
+  return dispatch_impl(request);
+}
+
+rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
   switch (request.op) {
     case rpc::Op::kReadFile:
       return handle_read(request);
@@ -185,7 +206,8 @@ rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
           stats_.recache_enqueued.fetch_add(1, std::memory_order_relaxed);
           recache(request.path, contents);
           return contents;
-        });
+        },
+        request.trace);
     if (outcome.rejected_busy) {
       response.code = StatusCode::kBusy;
       response.retry_after_ms = outcome.retry_after_ms;
@@ -251,28 +273,41 @@ void HvacServer::clear_cache() {
 }
 
 HvacServer::Stats HvacServer::stats_snapshot() const {
-  Stats s;
-  s.reads = stats_.reads.load(std::memory_order_relaxed);
-  s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
-  s.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
-  s.pfs_fetches = stats_.pfs_fetches.load(std::memory_order_relaxed);
-  s.recache_enqueued =
-      stats_.recache_enqueued.load(std::memory_order_relaxed);
-  s.recache_completed =
-      stats_.recache_completed.load(std::memory_order_relaxed);
-  s.replicas_stored = stats_.replicas_stored.load(std::memory_order_relaxed);
-  s.payload_bytes_copied =
-      stats_.payload_bytes_copied.load(std::memory_order_relaxed);
-  s.evictions = cache_.eviction_count();
-  s.used_bytes = cache_.used_bytes();
-  s.expired_on_arrival =
-      stats_.expired_on_arrival.load(std::memory_order_relaxed);
-  if (pfs_guard_) {
-    const PfsFetchGuard::Stats guard = pfs_guard_->stats_snapshot();
-    s.pfs_coalesced = guard.coalesced;
-    s.pfs_breaker_open = guard.breaker_rejections;
+  // Bounded double-read: loading a dozen independently updated counters
+  // one by one can yield a torn snapshot (hits + misses != reads).  Retry
+  // while two consecutive assemblies disagree; under sustained churn the
+  // last read wins, which is no worse than the old single pass.
+  const auto load_all = [this] {
+    Stats s;
+    s.reads = stats_.reads.load(std::memory_order_relaxed);
+    s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
+    s.pfs_fetches = stats_.pfs_fetches.load(std::memory_order_relaxed);
+    s.recache_enqueued =
+        stats_.recache_enqueued.load(std::memory_order_relaxed);
+    s.recache_completed =
+        stats_.recache_completed.load(std::memory_order_relaxed);
+    s.replicas_stored = stats_.replicas_stored.load(std::memory_order_relaxed);
+    s.payload_bytes_copied =
+        stats_.payload_bytes_copied.load(std::memory_order_relaxed);
+    s.evictions = cache_.eviction_count();
+    s.used_bytes = cache_.used_bytes();
+    s.expired_on_arrival =
+        stats_.expired_on_arrival.load(std::memory_order_relaxed);
+    if (pfs_guard_) {
+      const PfsFetchGuard::Stats guard = pfs_guard_->stats_snapshot();
+      s.pfs_coalesced = guard.coalesced;
+      s.pfs_breaker_open = guard.breaker_rejections;
+    }
+    return s;
+  };
+  Stats snap = load_all();
+  for (int round = 0; round < 3; ++round) {
+    const Stats again = load_all();
+    if (std::memcmp(&snap, &again, sizeof(Stats)) == 0) break;
+    snap = again;
   }
-  return s;
+  return snap;
 }
 
 bool HvacServer::has_cached(const std::string& path) const {

@@ -25,6 +25,7 @@
 #include "cluster/pfs_guard.hpp"
 #include "cluster/pfs_store.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rpc/message.hpp"
 #include "storage/sharded_cache_store.hpp"
 
@@ -96,6 +97,16 @@ class HvacServer {
     membership_ = agent;
   }
 
+  /// Attaches this node's flight recorder (not owned; must outlive the
+  /// server).  Sampled requests then get a server-side span around
+  /// dispatch plus shed events; the guard (if any) records the PFS
+  /// singleflight legs.  Never attached = zero added work per request
+  /// beyond one null check.
+  void attach_observability(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+    if (pfs_guard_) pfs_guard_->set_observability(recorder, id_);
+  }
+
   [[nodiscard]] NodeId id() const { return id_; }
 
   struct Stats {
@@ -151,8 +162,11 @@ class HvacServer {
   }
 
  private:
-  /// The membership-agnostic op switch handle() wraps.
+  /// The membership-agnostic op switch handle() wraps.  dispatch() is a
+  /// thin tracing shim around dispatch_impl (a kServerHandle span for
+  /// sampled requests, a tail call otherwise).
   rpc::RpcResponse dispatch(const rpc::RpcRequest& request);
+  rpc::RpcResponse dispatch_impl(const rpc::RpcRequest& request);
   rpc::RpcResponse handle_read(const rpc::RpcRequest& request);
   void recache(const std::string& path, const common::Buffer& contents);
 
@@ -173,6 +187,7 @@ class HvacServer {
   PfsStore& pfs_;
   HvacServerConfig config_;
   membership::MembershipAgent* membership_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   storage::ShardedCacheStore cache_;  ///< internally lock-striped
   AtomicStats stats_;
   /// Storm protection for the miss path; null when pfs_singleflight off

@@ -1,6 +1,7 @@
 #include "cluster/pfs_guard.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace ftc::cluster {
 
@@ -27,20 +28,45 @@ PfsFetchGuard::PfsFetchGuard(PfsGuardOptions options)
     : options_(options) {}
 
 PfsFetchGuard::Outcome PfsFetchGuard::fetch(const std::string& key,
-                                            const FetchFn& fn) {
-  auto flight = flights_.run(key, [this, &fn] { return fetch_as_leader(fn); });
+                                            const FetchFn& fn,
+                                            const obs::TraceContext& trace) {
+  const bool traced = recorder_ != nullptr && trace.sampled;
+  const std::int64_t wait_start = traced ? obs::now_ns() : 0;
+  auto flight = flights_.run(
+      key, [this, &key, &fn, &trace] { return fetch_as_leader(key, fn, trace); });
   Outcome out = std::move(flight.value);
   if (!flight.leader) {
     out.coalesced = true;
     coalesced_.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      // The joiner's span covers its coalesced wait on the leader's
+      // flight; the leader span (if the leader was sampled) carries the
+      // actual PFS read.
+      recorder_->record_span(
+          obs::RecordKind::kPfsFetchJoiner, trace.child(), node_, wait_start,
+          obs::now_ns(),
+          static_cast<std::uint32_t>(out.result.is_ok()
+                                         ? StatusCode::kOk
+                                         : out.result.status().code()),
+          0, key);
+    }
   }
   return out;
 }
 
-PfsFetchGuard::Outcome PfsFetchGuard::fetch_as_leader(const FetchFn& fn) {
+PfsFetchGuard::Outcome PfsFetchGuard::fetch_as_leader(
+    const std::string& key, const FetchFn& fn,
+    const obs::TraceContext& trace) {
+  const bool traced = recorder_ != nullptr && trace.sampled;
   std::uint32_t retry_after_ms = 0;
   if (!breaker_admit(retry_after_ms)) {
     breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      recorder_->record_event(obs::RecordKind::kPfsRejected, trace.child(),
+                              node_,
+                              static_cast<std::uint32_t>(StatusCode::kBusy),
+                              retry_after_ms, "breaker");
+    }
     return busy_outcome("pfs breaker open", retry_after_ms);
   }
   {
@@ -54,15 +80,31 @@ PfsFetchGuard::Outcome PfsFetchGuard::fetch_as_leader(const FetchFn& fn) {
       // A half-open trial that never reached the PFS proves nothing —
       // hand the trial back so the next arrival attempts it.
       breaker_abort_trial();
+      if (traced) {
+        recorder_->record_event(obs::RecordKind::kPfsRejected, trace.child(),
+                                node_,
+                                static_cast<std::uint32_t>(StatusCode::kBusy),
+                                ceil_ms(options_.fetch_slot_wait), "slots");
+      }
       return busy_outcome("pfs fetch slots exhausted",
                           ceil_ms(options_.fetch_slot_wait));
     }
     ++slots_in_use_;
   }
   fetches_.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceContext leader_ctx = traced ? trace.child() : obs::TraceContext{};
+  const std::int64_t leader_start = traced ? obs::now_ns() : 0;
   const Clock::time_point started = Clock::now();
   StatusOr<common::Buffer> result = fn();
   const Clock::duration elapsed = Clock::now() - started;
+  if (traced) {
+    recorder_->record_span(
+        obs::RecordKind::kPfsFetchLeader, leader_ctx, node_, leader_start,
+        obs::now_ns(),
+        static_cast<std::uint32_t>(result.is_ok() ? StatusCode::kOk
+                                                  : result.status().code()),
+        result.is_ok() ? result.value().size() : 0, key);
+  }
   {
     std::lock_guard lock(slot_mutex_);
     --slots_in_use_;
@@ -142,13 +184,26 @@ bool PfsFetchGuard::breaker_open() const {
 }
 
 PfsFetchGuard::Stats PfsFetchGuard::stats_snapshot() const {
-  Stats s;
-  s.fetches = fetches_.load(std::memory_order_relaxed);
-  s.coalesced = coalesced_.load(std::memory_order_relaxed);
-  s.slot_rejections = slot_rejections_.load(std::memory_order_relaxed);
-  s.breaker_rejections = breaker_rejections_.load(std::memory_order_relaxed);
-  s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
-  return s;
+  // Field-by-field loads of independently updated counters can observe a
+  // torn snapshot (e.g. a coalesced count that exceeds fetches).  Bounded
+  // double-read: retry while two back-to-back reads disagree, settling
+  // for the last read if the counters keep moving.
+  const auto load_all = [this] {
+    Stats s;
+    s.fetches = fetches_.load(std::memory_order_relaxed);
+    s.coalesced = coalesced_.load(std::memory_order_relaxed);
+    s.slot_rejections = slot_rejections_.load(std::memory_order_relaxed);
+    s.breaker_rejections = breaker_rejections_.load(std::memory_order_relaxed);
+    s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+    return s;
+  };
+  Stats snap = load_all();
+  for (int round = 0; round < 3; ++round) {
+    const Stats again = load_all();
+    if (std::memcmp(&snap, &again, sizeof(Stats)) == 0) break;
+    snap = again;
+  }
+  return snap;
 }
 
 }  // namespace ftc::cluster

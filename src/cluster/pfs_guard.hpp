@@ -35,6 +35,9 @@
 
 #include "common/buffer.hpp"
 #include "common/status.hpp"
+#include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "storage/singleflight.hpp"
 
 namespace ftc::cluster {
@@ -74,9 +77,20 @@ class PfsFetchGuard {
     std::uint32_t retry_after_ms = 0;
   };
 
+  /// Attaches the node's flight recorder (not owned; must outlive the
+  /// guard).  `node` labels the spans; nullptr detaches.
+  void set_observability(obs::FlightRecorder* recorder, NodeId node) {
+    recorder_ = recorder;
+    node_ = node;
+  }
+
   /// Runs `fn` for `key` under all three defenses.  Thread-safe; `fn`
-  /// executes on exactly one of the concurrent callers per key.
-  Outcome fetch(const std::string& key, const FetchFn& fn);
+  /// executes on exactly one of the concurrent callers per key.  A
+  /// sampled `trace` yields a leader span around the PFS read (or a
+  /// joiner span for the coalesced wait) plus rejection events; the
+  /// default all-zero context records nothing.
+  Outcome fetch(const std::string& key, const FetchFn& fn,
+                const obs::TraceContext& trace = {});
 
   /// True while the breaker is fast-rejecting (telemetry/tests).
   [[nodiscard]] bool breaker_open() const;
@@ -96,7 +110,10 @@ class PfsFetchGuard {
   enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 
   /// The leader-side path: breaker admit -> slot -> fn -> breaker record.
-  Outcome fetch_as_leader(const FetchFn& fn);
+  /// `trace` is the *leader caller's* context; joiners who share this
+  /// flight record their own wait span in fetch().
+  Outcome fetch_as_leader(const std::string& key, const FetchFn& fn,
+                          const obs::TraceContext& trace);
 
   /// Breaker admission.  Returns true to proceed (and flags the half-open
   /// trial); false fills `retry_after_ms` with the remaining cooldown.
@@ -107,6 +124,9 @@ class PfsFetchGuard {
   void breaker_abort_trial();
 
   PfsGuardOptions options_;
+
+  obs::FlightRecorder* recorder_ = nullptr;
+  NodeId node_ = kInvalidNode;
 
   storage::Singleflight<Outcome> flights_;
 

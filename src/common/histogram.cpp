@@ -6,6 +6,17 @@
 
 namespace ftc {
 
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
 Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
   assert(edges_.size() >= 2 && "histogram needs at least one bucket");
   assert(std::is_sorted(edges_.begin(), edges_.end()));

@@ -11,6 +11,13 @@
 
 namespace ftc {
 
+/// Linear-interpolated percentile over an ascending-sorted sample,
+/// p in [0,100]; 0 for an empty sample.  The single implementation behind
+/// Summary::percentile and LatencyRecorder::percentile (they previously
+/// carried byte-identical copies of this interpolation).
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double p);
+
 /// Histogram over explicit bucket edges.  A value x lands in bucket i when
 /// edges[i] <= x < edges[i+1]; values below edges[0] land in an underflow
 /// bucket and values >= edges.back() in an overflow bucket.

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/histogram.hpp"  // percentile_sorted
+
 namespace ftc {
 
 class LatencyRecorder {
@@ -52,17 +54,43 @@ class LatencyRecorder {
   }
 
   /// Linear-interpolated percentile over the current window, p in [0,100].
+  /// Shares the interpolation with Summary::percentile (percentile_sorted).
   [[nodiscard]] double percentile(double p) const {
-    if (samples_.empty()) return 0.0;
     std::vector<double> sorted(samples_);
     std::sort(sorted.begin(), sorted.end());
-    if (p <= 0.0) return sorted.front();
-    if (p >= 100.0) return sorted.back();
-    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= sorted.size()) return sorted.back();
-    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+    return percentile_sorted(sorted, p);
+  }
+
+  /// Cumulative bucket view of the current window (Prometheus `le`
+  /// semantics: cumulative[i] = samples <= upper_bounds[i], with `count`
+  /// playing the +Inf bucket).  Lets the window back a registry histogram
+  /// directly — same data, no resampling through point quantiles.
+  /// `upper_bounds` must be ascending.
+  struct BucketSnapshot {
+    std::vector<std::uint64_t> cumulative;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] BucketSnapshot cumulative_buckets(
+      const std::vector<double>& upper_bounds) const {
+    BucketSnapshot snap;
+    snap.cumulative.assign(upper_bounds.size(), 0);
+    for (double s : samples_) {
+      snap.sum += s;
+      // First bound >= s; samples above every bound only count toward +Inf.
+      const auto it =
+          std::lower_bound(upper_bounds.begin(), upper_bounds.end(), s);
+      if (it != upper_bounds.end()) {
+        ++snap.cumulative[static_cast<std::size_t>(it - upper_bounds.begin())];
+      }
+    }
+    std::uint64_t running = 0;
+    for (std::uint64_t& c : snap.cumulative) {
+      running += c;
+      c = running;
+    }
+    snap.count = samples_.size();
+    return snap;
   }
 
   /// The paper's rule with a safety margin: TTL = max observed * margin.

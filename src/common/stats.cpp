@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/histogram.hpp"  // percentile_sorted
+
 namespace ftc {
 
 void RunningStats::add(double x) {
@@ -84,15 +86,8 @@ double Summary::max() {
 }
 
 double Summary::percentile(double p) {
-  if (samples_.empty()) return 0.0;
   ensure_sorted();
-  if (p <= 0.0) return samples_.front();
-  if (p >= 100.0) return samples_.back();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  return percentile_sorted(samples_, p);
 }
 
 double jain_fairness(const std::vector<double>& loads) {

@@ -101,6 +101,26 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
 
   Stats stats;
 
+  /// Flight recorder (not owned; guarded by `mutex` like the rest of the
+  /// mutable state).  Membership transitions are rare and load-bearing
+  /// for postmortems, so they are recorded whenever a recorder is
+  /// attached — no sampling gate.
+  obs::FlightRecorder* recorder = nullptr;
+
+  void record_ring_event_locked(const RingEvent& event) {
+    if (recorder == nullptr) return;
+    recorder->record_event(obs::RecordKind::kRingUpdate, obs::TraceContext{},
+                           self, static_cast<std::uint32_t>(event.type),
+                           event.epoch, ring_event_type_name(event.type));
+  }
+
+  void record_suspicion_locked(NodeId node, std::uint64_t incarnation) {
+    if (recorder == nullptr) return;
+    // Record.node carries the *suspect*; value carries its incarnation.
+    recorder->record_event(obs::RecordKind::kSuspicion, obs::TraceContext{},
+                           node, 0, incarnation, "swim_suspect");
+  }
+
   // ---- claim queue ------------------------------------------------------
 
   rpc::MembershipClaim make_claim_locked(NodeId node) const {
@@ -176,6 +196,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
         if (auto event = ring.apply(RingEventType::kJoin, node, incarnation,
                                     min_epoch)) {
           ++stats.joins;
+          record_ring_event_locked(*event);
           events.push_back(*event);
         }
         enqueue_claim_locked(make_claim_locked(node));
@@ -183,6 +204,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       }
       case Applied::kSuspected: {
         ++stats.suspicions;
+        record_suspicion_locked(node, incarnation);
         table.set_suspect_deadline(
             node, Clock::now() + config.suspicion_periods *
                                      config.probe_period);
@@ -197,6 +219,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
                 : RingEventType::kConfirmFailed;
         if (auto event = ring.apply(type, node, table.incarnation(node),
                                     min_epoch)) {
+          record_ring_event_locked(*event);
           events.push_back(*event);
         }
         enqueue_claim_locked(make_claim_locked(node));
@@ -206,6 +229,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
         ++stats.reinstatements;
         if (auto event = ring.apply(RingEventType::kReinstate, node,
                                     incarnation, min_epoch)) {
+          record_ring_event_locked(*event);
           events.push_back(*event);
         }
         enqueue_claim_locked(make_claim_locked(node));
@@ -634,6 +658,11 @@ MembershipAgent::Stats MembershipAgent::stats_snapshot() const {
   stats.members_suspect = impl_->table.suspect_count();
   stats.members_failed = impl_->table.failed_count();
   return stats;
+}
+
+void MembershipAgent::set_flight_recorder(obs::FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->recorder = recorder;
 }
 
 }  // namespace ftc::membership

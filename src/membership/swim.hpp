@@ -49,6 +49,7 @@
 #include "common/types.hpp"
 #include "membership/event.hpp"
 #include "membership/member_table.hpp"
+#include "obs/flight_recorder.hpp"
 #include "membership/ring_view.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "rpc/message.hpp"
@@ -188,6 +189,12 @@ class MembershipAgent {
     std::uint64_t fast_forwards = 0;    ///< kStaleView hints acted upon
   };
   [[nodiscard]] Stats stats_snapshot() const;
+
+  /// Attaches the node's flight recorder (not owned; must outlive the
+  /// agent).  Ring transitions and suspicion verdicts are then recorded
+  /// as membership events — the raw material of a storm timeline (first
+  /// suspicion -> ring epoch bump -> recovery).  nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
 
  private:
   struct Impl;

@@ -1,0 +1,407 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ftc::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Deterministic number formatting shared by both exporters: integers
+/// print without a decimal point (counter values stay exact), everything
+/// else prints with %g precision.
+std::string fmt_num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_json(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Labels canonical_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Label block with one extra label appended (for histogram `le`).
+std::string label_block_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return label_block(extended);
+}
+
+}  // namespace
+
+// --- Gauge -----------------------------------------------------------------
+
+std::uint64_t Gauge::to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+void Gauge::add(double delta) {
+  std::uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(
+      observed, to_bits(from_bits(observed) + delta),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      observed, std::bit_cast<std::uint64_t>(std::bit_cast<double>(observed) + v),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.cumulative.reserve(bounds_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    snap.cumulative.push_back(running);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+// --- Collection ------------------------------------------------------------
+
+struct MetricsRegistry::Collection::Sample {
+  std::string name;
+  Labels labels;
+  Instrument::Type type;
+  double value = 0.0;  // counter / gauge
+  // Histogram payload.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+void MetricsRegistry::Collection::counter(const std::string& name,
+                                          const Labels& labels,
+                                          std::uint64_t value) {
+  Sample s;
+  s.name = name;
+  s.labels = canonical_labels(labels);
+  s.type = Instrument::Type::kCounter;
+  s.value = static_cast<double>(value);
+  out_.push_back(std::move(s));
+}
+
+void MetricsRegistry::Collection::gauge(const std::string& name,
+                                        const Labels& labels, double value) {
+  Sample s;
+  s.name = name;
+  s.labels = canonical_labels(labels);
+  s.type = Instrument::Type::kGauge;
+  s.value = value;
+  out_.push_back(std::move(s));
+}
+
+void MetricsRegistry::Collection::histogram(
+    const std::string& name, const Labels& labels,
+    const std::vector<double>& upper_bounds,
+    const std::vector<std::uint64_t>& cumulative, std::uint64_t count,
+    double sum) {
+  Sample s;
+  s.name = name;
+  s.labels = canonical_labels(labels);
+  s.type = Instrument::Type::kHistogram;
+  s.bounds = upper_bounds;
+  s.cumulative = cumulative;
+  s.count = count;
+  s.sum = sum;
+  out_.push_back(std::move(s));
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, Instrument::Type type,
+    const std::vector<double>* bounds) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name: " + name);
+  }
+  if (labels.size() > kMaxLabels) {
+    throw std::invalid_argument("too many labels on metric " + name +
+                                " (cardinality rule: <= 4)");
+  }
+  const Labels canon = canonical_labels(labels);
+  const std::string key = series_key(name, canon);
+  Stripe& stripe = stripes_[std::hash<std::string>{}(key) % kStripes];
+  std::lock_guard lock(stripe.mutex);
+  auto it = stripe.series.find(key);
+  if (it != stripe.series.end()) {
+    if (it->second->type != type) {
+      throw std::invalid_argument("metric type clash for series " + name);
+    }
+    return *it->second;
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->type = type;
+  inst->name = name;
+  inst->labels = canon;
+  switch (type) {
+    case Instrument::Type::kCounter:
+      inst->counter = std::make_unique<Counter>();
+      break;
+    case Instrument::Type::kGauge:
+      inst->gauge = std::make_unique<Gauge>();
+      break;
+    case Instrument::Type::kHistogram:
+      inst->histogram = std::make_unique<Histogram>(*bounds);
+      break;
+  }
+  auto [inserted, ok] = stripe.series.emplace(key, std::move(inst));
+  (void)ok;
+  return *inserted->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return *find_or_create(name, labels, Instrument::Type::kCounter, nullptr)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Instrument::Type::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::vector<double> upper_bounds) {
+  return *find_or_create(name, labels, Instrument::Type::kHistogram,
+                         &upper_bounds)
+              .histogram;
+}
+
+void MetricsRegistry::register_collector(Collector collector) {
+  std::lock_guard lock(collectors_mutex_);
+  collectors_.push_back(std::move(collector));
+}
+
+void MetricsRegistry::gather(std::vector<Collection::Sample>& out) const {
+  // Owned instruments.
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    for (const auto& [key, inst] : stripe.series) {
+      (void)key;
+      Collection sink(out);
+      switch (inst->type) {
+        case Instrument::Type::kCounter:
+          sink.counter(inst->name, inst->labels, inst->counter->value());
+          break;
+        case Instrument::Type::kGauge:
+          sink.gauge(inst->name, inst->labels, inst->gauge->value());
+          break;
+        case Instrument::Type::kHistogram: {
+          const Histogram::Snapshot snap = inst->histogram->snapshot();
+          sink.histogram(inst->name, inst->labels,
+                         inst->histogram->upper_bounds(), snap.cumulative,
+                         snap.count, snap.sum);
+          break;
+        }
+      }
+    }
+  }
+  // Collector callbacks (run outside the stripe locks; a collector may
+  // itself consult the registry).
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard lock(collectors_mutex_);
+    collectors = collectors_;
+  }
+  Collection sink(out);
+  for (const Collector& collector : collectors) collector(sink);
+
+  std::sort(out.begin(), out.end(),
+            [](const Collection::Sample& a, const Collection::Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return series_key(a.name, a.labels) <
+                     series_key(b.name, b.labels);
+            });
+}
+
+std::string MetricsRegistry::export_prometheus_text() const {
+  std::vector<Collection::Sample> samples;
+  gather(samples);
+  std::string out;
+  out.reserve(samples.size() * 64);
+  std::string last_typed_name;
+  for (const Collection::Sample& s : samples) {
+    if (s.name != last_typed_name) {
+      out += "# TYPE ";
+      out += s.name;
+      switch (s.type) {
+        case Instrument::Type::kCounter: out += " counter\n"; break;
+        case Instrument::Type::kGauge: out += " gauge\n"; break;
+        case Instrument::Type::kHistogram: out += " histogram\n"; break;
+      }
+      last_typed_name = s.name;
+    }
+    if (s.type == Instrument::Type::kHistogram) {
+      for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+        out += s.name + "_bucket" +
+               label_block_with(s.labels, "le", fmt_num(s.bounds[i])) + ' ' +
+               fmt_num(static_cast<double>(s.cumulative[i])) + '\n';
+      }
+      out += s.name + "_bucket" + label_block_with(s.labels, "le", "+Inf") +
+             ' ' + fmt_num(static_cast<double>(s.count)) + '\n';
+      out += s.name + "_sum" + label_block(s.labels) + ' ' + fmt_num(s.sum) +
+             '\n';
+      out += s.name + "_count" + label_block(s.labels) + ' ' +
+             fmt_num(static_cast<double>(s.count)) + '\n';
+    } else {
+      out += s.name + label_block(s.labels) + ' ' + fmt_num(s.value) + '\n';
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::export_json() const {
+  std::vector<Collection::Sample> samples;
+  gather(samples);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Collection::Sample& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + escape_json(s.name) + "\",\"type\":\"";
+    switch (s.type) {
+      case Instrument::Type::kCounter: out += "counter"; break;
+      case Instrument::Type::kGauge: out += "gauge"; break;
+      case Instrument::Type::kHistogram: out += "histogram"; break;
+    }
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"' + escape_json(k) + "\":\"" + escape_json(v) + '"';
+    }
+    out += '}';
+    if (s.type == Instrument::Type::kHistogram) {
+      out += ",\"buckets\":[";
+      for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+        if (i != 0) out += ',';
+        out += "{\"le\":" + fmt_num(s.bounds[i]) +
+               ",\"count\":" + fmt_num(static_cast<double>(s.cumulative[i])) +
+               '}';
+      }
+      if (!s.bounds.empty()) out += ',';
+      out += "{\"le\":\"+Inf\",\"count\":" +
+             fmt_num(static_cast<double>(s.count)) + "}]";
+      out += ",\"count\":" + fmt_num(static_cast<double>(s.count));
+      out += ",\"sum\":" + fmt_num(s.sum);
+    } else {
+      out += ",\"value\":" + fmt_num(s.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ftc::obs

@@ -1,0 +1,38 @@
+// obs_config.hpp - Cluster-level observability knobs.
+//
+// Everything defaults off: with this struct untouched, no FlightRecorder
+// is created, no request is sampled, no span is recorded, and the wire
+// format carries only the all-zero default TraceContext — behaviour is
+// bit-for-bit with an uninstrumented build.  The MetricsRegistry itself
+// is always available (collectors only cost at export time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace ftc::obs {
+
+struct ObsConfig {
+  /// Master switch: create per-node FlightRecorders and record spans for
+  /// sampled requests.  Off = the seed's untraced behaviour.
+  bool tracing = false;
+  /// Trace every Nth read_file call per client (1 = every read).
+  /// 0 = recorders exist but no read is ever sampled (infrastructure-only
+  /// mode, used by the overhead smoke).  Ignored when tracing is off.
+  std::uint32_t sample_every = 1;
+  /// FlightRecorder ring capacity per node (rounded up to a power of
+  /// two).  Sized so a bench's storm window fits without wraparound.
+  std::size_t recorder_capacity = 4096;
+
+  [[nodiscard]] Status validate() const {
+    if (tracing && recorder_capacity == 0) {
+      return Status::invalid_argument(
+          "obs.recorder_capacity must be > 0 when tracing is enabled");
+    }
+    return Status::ok();
+  }
+};
+
+}  // namespace ftc::obs

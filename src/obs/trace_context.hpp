@@ -1,0 +1,84 @@
+// trace_context.hpp - End-to-end request tracing identifiers.
+//
+// A TraceContext names one read and its position in that read's span
+// tree: `trace_id` groups every span the read ever causes (client
+// attempts, hedge legs, server phases, PFS singleflight roles), `span_id`
+// names this particular span, and `parent_span_id` links it to the span
+// that caused it.  The context rides on rpc::RpcRequest next to the
+// deadline, so a server can attribute its admission/queue/execute phases
+// to the exact client attempt that sent the work.
+//
+// Cost model: the default-constructed context is all zeroes with
+// `sampled == false`, and every instrumentation site checks `sampled`
+// (plus a recorder null check) before doing anything — the untraced path
+// pays a branch, never an allocation or an id draw.  Id generation is a
+// relaxed atomic counter run through a splitmix64 finalizer: unique
+// within the process, well-mixed so truncated ids still look distinct in
+// dumps, and free of any global locking.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ftc::obs {
+
+/// Mixes a counter value into a well-distributed 64-bit id (splitmix64
+/// finalizer).  Deterministic per process run; never returns 0 for the
+/// counter values we feed it (we offset by 1), so 0 stays the reserved
+/// "no id / untraced" value.
+inline std::uint64_t mix_id(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Process-wide unique nonzero id.
+inline std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id =
+      mix_id(counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  return id != 0 ? id : 1;  // mix_id(0)==0 is unreachable (offset), belt+braces
+}
+
+/// Now, in integer nanoseconds on the steady clock — the same clock (and
+/// epoch) as rpc::DeadlineNs, so span timestamps and deadlines compare
+/// directly in postmortem dumps.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  /// True when this request was selected for tracing.  All-zero ids with
+  /// sampled == false is the wire default — bit-for-bit what an
+  /// uninstrumented sender produced before this field existed.
+  bool sampled = false;
+
+  /// A fresh root context (new trace, no parent).
+  static TraceContext root() {
+    TraceContext ctx;
+    ctx.trace_id = next_id();
+    ctx.span_id = next_id();
+    ctx.sampled = true;
+    return ctx;
+  }
+
+  /// A child span within this trace (same trace_id, this span as parent).
+  /// Only meaningful on a sampled context.
+  [[nodiscard]] TraceContext child() const {
+    TraceContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.span_id = next_id();
+    ctx.parent_span_id = span_id;
+    ctx.sampled = sampled;
+    return ctx;
+  }
+};
+
+}  // namespace ftc::obs

@@ -26,6 +26,7 @@
 #include "common/buffer.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "obs/trace_context.hpp"
 
 namespace ftc::rpc {
 
@@ -145,6 +146,11 @@ struct RpcRequest {
   /// retries inherit the read's remaining budget through this field.
   /// kNoDeadline = never expires (legacy senders).
   DeadlineNs deadline_ns = kNoDeadline;
+  /// Tracing context for this request (all-zero / unsampled by default —
+  /// the wire default is bit-for-bit an uninstrumented sender).  Lets a
+  /// server attribute its admission/queue/execute phases to the exact
+  /// client attempt (primary, hedge leg, busy retry) that sent the work.
+  obs::TraceContext trace;
 };
 
 struct RpcResponse {

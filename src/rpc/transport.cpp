@@ -49,6 +49,7 @@ Status Transport::register_endpoint(NodeId node, Handler handler,
     return Status::invalid_argument("endpoint needs at least one worker");
   }
   auto endpoint = std::make_unique<Endpoint>();
+  endpoint->node = node;
   endpoint->handler = std::move(handler);
   Endpoint* raw = endpoint.get();
   endpoint->workers.reserve(workers);
@@ -108,6 +109,12 @@ StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
             call->request.op == Op::kPut ? limit * 2 : limit;
         if (endpoint.queue.size() >= bound) {
           ++endpoint.stats.requests_shed;
+          if (endpoint.recorder != nullptr && call->request.trace.sampled) {
+            endpoint.recorder->record_event(
+                obs::RecordKind::kServerShed, call->request.trace.child(),
+                endpoint.node, static_cast<std::uint32_t>(StatusCode::kBusy),
+                endpoint.queue.size(), "admission");
+          }
           RpcResponse busy;
           busy.code = StatusCode::kBusy;
           const auto backlog =
@@ -116,6 +123,9 @@ StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
               endpoint.admission.retry_after_base_ms * backlog;
           return busy;
         }
+      }
+      if (endpoint.recorder != nullptr && call->request.trace.sampled) {
+        call->enqueue_ns = obs::now_ns();
       }
       endpoint.queue.push_back(call);
     }
@@ -247,6 +257,15 @@ void Transport::set_admission(NodeId node, AdmissionConfig config) {
   it->second->admission = config;
 }
 
+void Transport::set_flight_recorder(NodeId node,
+                                    obs::FlightRecorder* recorder) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->recorder = recorder;
+}
+
 Transport::EndpointStats Transport::stats(NodeId node) const {
   std::lock_guard registry_lock(registry_mutex_);
   const auto it = endpoints_.find(node);
@@ -289,6 +308,16 @@ void Transport::worker_loop(Endpoint& endpoint) {
         continue;
       }
       latency = endpoint.extra_latency;
+      // Queue-phase span: admission (enqueue) to worker pickup.  Recorded
+      // under the endpoint mutex like the counters; the recorder itself is
+      // wait-free so this adds no blocking.
+      if (endpoint.recorder != nullptr && call->enqueue_ns != 0) {
+        endpoint.recorder->record_span(
+            obs::RecordKind::kServerQueue, call->request.trace.child(),
+            endpoint.node, call->enqueue_ns, obs::now_ns(),
+            static_cast<std::uint32_t>(StatusCode::kOk), endpoint.queue.size(),
+            "queue");
+      }
     }
     if (latency.count() > 0) std::this_thread::sleep_for(latency);
     // Handler runs outside the endpoint lock so slow service does not block

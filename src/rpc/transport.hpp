@@ -35,6 +35,7 @@
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rpc/message.hpp"
 
 namespace ftc::rpc {
@@ -147,6 +148,13 @@ class Transport {
   };
   void set_admission(NodeId node, AdmissionConfig config);
 
+  /// Attaches the node's flight recorder (not owned; must outlive the
+  /// endpoint).  Once attached, *sampled* requests get their server-side
+  /// admission verdicts recorded: a kServerQueue span from enqueue to
+  /// worker pickup, and a kServerShed event when admission rejects.
+  /// nullptr detaches.  Untraced requests pay one null/flag check.
+  void set_flight_recorder(NodeId node, obs::FlightRecorder* recorder);
+
   /// Telemetry counters.
   struct EndpointStats {
     std::uint64_t received = 0;
@@ -168,9 +176,12 @@ class Transport {
   struct PendingCall {
     RpcRequest request;
     std::promise<RpcResponse> promise;
+    /// Enqueue timestamp for the kServerQueue span; 0 when untraced.
+    std::int64_t enqueue_ns = 0;
   };
 
   struct Endpoint {
+    NodeId node = ftc::kInvalidNode;
     Handler handler;
     std::vector<std::thread> workers;
     mutable std::mutex mutex;
@@ -185,6 +196,8 @@ class Transport {
     double drop_probability = 0.0;
     Rng drop_rng{0};
     EndpointStats stats;
+    /// Per-node flight recorder (not owned); nullptr = tracing off.
+    obs::FlightRecorder* recorder = nullptr;
   };
 
   void worker_loop(Endpoint& endpoint);

@@ -1,0 +1,169 @@
+// FlightRecorder tests: roundtrip fidelity, wraparound semantics,
+// dump_since paging, and torn-record detection under concurrent writers
+// (the seqlock contract; TSan runs this file too via sanitize.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace ftc::obs {
+namespace {
+
+TEST(FlightRecorder, SpanRoundtripPreservesEveryField) {
+  FlightRecorder recorder(64);
+  TraceContext ctx = TraceContext::root().child();
+  recorder.record_span(RecordKind::kClientAttempt, ctx, /*node=*/7,
+                       /*start_ns=*/1000, /*end_ns=*/2500, /*code=*/4,
+                       /*value=*/2, "primary");
+  const std::vector<Record> records = recorder.dump();
+  ASSERT_EQ(records.size(), 1u);
+  const Record& r = records[0];
+  EXPECT_EQ(r.seq, 0u);
+  EXPECT_EQ(r.kind, RecordKind::kClientAttempt);
+  EXPECT_EQ(r.node, 7u);
+  EXPECT_EQ(r.trace_id, ctx.trace_id);
+  EXPECT_EQ(r.span_id, ctx.span_id);
+  EXPECT_EQ(r.parent_span_id, ctx.parent_span_id);
+  EXPECT_EQ(r.start_ns, 1000);
+  EXPECT_EQ(r.end_ns, 2500);
+  EXPECT_EQ(r.code, 4u);
+  EXPECT_EQ(r.value, 2u);
+  EXPECT_EQ(r.detail_view(), "primary");
+}
+
+TEST(FlightRecorder, EventsAreInstantaneous) {
+  FlightRecorder recorder(8);
+  recorder.record_event(RecordKind::kRingUpdate, TraceContext{}, 3,
+                        /*code=*/1, /*value=*/9, "probation");
+  const std::vector<Record> records = recorder.dump();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].start_ns, records[0].end_ns);
+  EXPECT_FALSE(record_is_span(records[0].kind));
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 8u);   // minimum
+  EXPECT_EQ(FlightRecorder(8).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(9).capacity(), 16u);
+  EXPECT_EQ(FlightRecorder(1000).capacity(), 1024u);
+}
+
+TEST(FlightRecorder, DetailTruncatesAtFixedWidth) {
+  FlightRecorder recorder(8);
+  const std::string long_tag(100, 'x');
+  recorder.record_event(RecordKind::kSuspicion, TraceContext{}, 0, 0, 0,
+                        long_tag);
+  const std::vector<Record> records = recorder.dump();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].detail_view(), std::string(Record::kDetailBytes, 'x'));
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestRecords) {
+  FlightRecorder recorder(8);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    recorder.record_event(RecordKind::kSuspicion, TraceContext{},
+                          static_cast<ftc::NodeId>(i), 0, i, "w");
+  }
+  EXPECT_EQ(recorder.records_written(), 100u);
+  const std::vector<Record> records = recorder.dump();
+  ASSERT_EQ(records.size(), 8u);
+  // The ring holds exactly the last capacity() records, in seq order.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 92 + i);
+    EXPECT_EQ(records[i].value, 92 + i);
+  }
+}
+
+TEST(FlightRecorder, DumpSincePagesThroughLiveRecorder) {
+  FlightRecorder recorder(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.record_event(RecordKind::kSuspicion, TraceContext{}, 0, 0, i, "");
+  }
+  const std::vector<Record> first = recorder.dump_since(0);
+  ASSERT_EQ(first.size(), 10u);
+  const std::uint64_t next_epoch = first.back().seq + 1;
+  EXPECT_TRUE(recorder.dump_since(next_epoch).empty());
+  recorder.record_event(RecordKind::kSuspicion, TraceContext{}, 0, 0, 10, "");
+  const std::vector<Record> second = recorder.dump_since(next_epoch);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].value, 10u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverProduceTornRecords) {
+  // Each writer stamps every field with a value derived from (thread,
+  // iteration); a torn read would mix fields from different writers.
+  // The ring is deliberately tiny so writers collide on slots constantly.
+  FlightRecorder recorder(16);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::thread reader([&recorder, &stop, &torn] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const Record& r : recorder.dump()) {
+        // Reconstruct the writer's stamp from trace_id and check every
+        // field against it.
+        const std::uint64_t stamp = r.trace_id;
+        if (r.span_id != stamp + 1 || r.parent_span_id != stamp + 2 ||
+            r.start_ns != static_cast<std::int64_t>(stamp + 3) ||
+            r.end_ns != static_cast<std::int64_t>(stamp + 4) ||
+            r.value != stamp + 5 ||
+            r.code != static_cast<std::uint32_t>(stamp % 1000)) {
+          torn.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t stamp =
+            (static_cast<std::uint64_t>(t) << 32) | static_cast<std::uint64_t>(i);
+        Record r;
+        r.kind = RecordKind::kClientAttempt;
+        r.node = static_cast<ftc::NodeId>(t);
+        r.trace_id = stamp;
+        r.span_id = stamp + 1;
+        r.parent_span_id = stamp + 2;
+        r.start_ns = static_cast<std::int64_t>(stamp + 3);
+        r.end_ns = static_cast<std::int64_t>(stamp + 4);
+        r.value = stamp + 5;
+        r.code = static_cast<std::uint32_t>(stamp % 1000);
+        r.set_detail("torn-test");
+        recorder.record(r);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(recorder.records_written(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // After the dust settles the ring holds capacity() fully valid records.
+  const std::vector<Record> final_dump = recorder.dump();
+  EXPECT_EQ(final_dump.size(), recorder.capacity());
+  for (const Record& r : final_dump) {
+    EXPECT_EQ(r.detail_view(), "torn-test");
+  }
+}
+
+TEST(FlightRecorder, RecordKindNamesAreStable) {
+  EXPECT_STREQ(record_kind_name(RecordKind::kClientRead), "client_read");
+  EXPECT_STREQ(record_kind_name(RecordKind::kPfsFetchLeader),
+               "pfs_fetch_leader");
+  EXPECT_STREQ(record_kind_name(RecordKind::kRingUpdate), "ring_update");
+}
+
+}  // namespace
+}  // namespace ftc::obs

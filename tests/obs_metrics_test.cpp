@@ -1,0 +1,188 @@
+// MetricsRegistry tests: instrument semantics, cardinality rules, and
+// golden exporter output (export is deterministic by contract, so the
+// goldens compare full strings).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ftc::obs {
+namespace {
+
+TEST(Counter, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, CumulativeBucketsAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (le is inclusive)
+  h.observe(5.0);   // <= 10
+  h.observe(1000);  // +Inf only
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.cumulative.size(), 3u);
+  EXPECT_EQ(snap.cumulative[0], 2u);
+  EXPECT_EQ(snap.cumulative[1], 3u);
+  EXPECT_EQ(snap.cumulative[2], 3u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SameSeriesReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("ftc_reads_total", {{"node", "0"}});
+  Counter& b = registry.counter("ftc_reads_total", {{"node", "0"}});
+  EXPECT_EQ(&a, &b);
+  // Different labels = different series.
+  Counter& c = registry.counter("ftc_reads_total", {{"node", "1"}});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(MetricsRegistry, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("m", {{"op", "read"}, {"node", "0"}});
+  Counter& b = registry.counter("m", {{"node", "0"}, {"op", "read"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, RejectsMalformedNamesAndCardinality) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), std::invalid_argument);
+  EXPECT_THROW(registry.counter("7starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("m", {{"a", "1"},
+                                      {"b", "2"},
+                                      {"c", "3"},
+                                      {"d", "4"},
+                                      {"e", "5"}}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, RejectsTypeClash) {
+  MetricsRegistry registry;
+  registry.counter("m");
+  EXPECT_THROW(registry.gauge("m"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GoldenPrometheusExport) {
+  MetricsRegistry registry;
+  registry.counter("ftc_reads_total", {{"node", "0"}}).add(3);
+  registry.counter("ftc_reads_total", {{"node", "1"}}).add(7);
+  registry.gauge("ftc_cache_used_bytes", {{"node", "0"}}).set(1024);
+  Histogram& h =
+      registry.histogram("ftc_latency_us", {{"node", "0"}}, {10.0, 100.0});
+  h.observe(5);
+  h.observe(50);
+  h.observe(500);
+
+  const std::string expected =
+      "# TYPE ftc_cache_used_bytes gauge\n"
+      "ftc_cache_used_bytes{node=\"0\"} 1024\n"
+      "# TYPE ftc_latency_us histogram\n"
+      "ftc_latency_us_bucket{node=\"0\",le=\"10\"} 1\n"
+      "ftc_latency_us_bucket{node=\"0\",le=\"100\"} 2\n"
+      "ftc_latency_us_bucket{node=\"0\",le=\"+Inf\"} 3\n"
+      "ftc_latency_us_sum{node=\"0\"} 555\n"
+      "ftc_latency_us_count{node=\"0\"} 3\n"
+      "# TYPE ftc_reads_total counter\n"
+      "ftc_reads_total{node=\"0\"} 3\n"
+      "ftc_reads_total{node=\"1\"} 7\n";
+  EXPECT_EQ(registry.export_prometheus_text(), expected);
+}
+
+TEST(MetricsRegistry, GoldenJsonExport) {
+  MetricsRegistry registry;
+  registry.counter("ftc_reads_total", {{"node", "0"}}).add(3);
+  Histogram& h = registry.histogram("ftc_latency_us", {}, {10.0});
+  h.observe(5);
+
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"ftc_latency_us\",\"type\":\"histogram\",\"labels\":{},"
+      "\"buckets\":[{\"le\":10,\"count\":1},{\"le\":\"+Inf\",\"count\":1}],"
+      "\"count\":1,\"sum\":5},"
+      "{\"name\":\"ftc_reads_total\",\"type\":\"counter\","
+      "\"labels\":{\"node\":\"0\"},\"value\":3}"
+      "]}";
+  EXPECT_EQ(registry.export_json(), expected);
+}
+
+TEST(MetricsRegistry, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("m", {{"k", "a\"b\\c\nd"}}).add(1);
+  const std::string text = registry.export_prometheus_text();
+  EXPECT_NE(text.find("m{k=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, CollectorSamplesMergeWithOwnedInstruments) {
+  MetricsRegistry registry;
+  registry.counter("aaa_owned_total").add(1);
+  std::uint64_t source = 42;
+  registry.register_collector([&source](MetricsRegistry::Collection& out) {
+    out.counter("zzz_collected_total", {{"node", "3"}}, source);
+    out.gauge("mmm_collected", {}, 0.5);
+  });
+  const std::string expected =
+      "# TYPE aaa_owned_total counter\n"
+      "aaa_owned_total 1\n"
+      "# TYPE mmm_collected gauge\n"
+      "mmm_collected 0.5\n"
+      "# TYPE zzz_collected_total counter\n"
+      "zzz_collected_total{node=\"3\"} 42\n";
+  EXPECT_EQ(registry.export_prometheus_text(), expected);
+  // Collectors re-read the source every export.
+  source = 43;
+  EXPECT_NE(registry.export_prometheus_text().find("zzz_collected_total{node=\"3\"} 43"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndExport) {
+  // Lock-striped registration races against exports; TSan is the real
+  // judge here, the assertions just pin the final counts.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter& mine =
+          registry.counter("ftc_contended_total", {{"node", std::to_string(t % 2)}});
+      for (int i = 0; i < kIncrements; ++i) mine.add();
+    });
+  }
+  threads.emplace_back([&registry] {
+    for (int i = 0; i < 20; ++i) (void)registry.export_prometheus_text();
+  });
+  for (auto& thread : threads) thread.join();
+  const std::uint64_t total =
+      registry.counter("ftc_contended_total", {{"node", "0"}}).value() +
+      registry.counter("ftc_contended_total", {{"node", "1"}}).value();
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace ftc::obs

@@ -1,11 +1,51 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
 
 #include "common/string_util.hpp"
 
 namespace ftc::bench {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double alpha,
+                             std::uint64_t seed)
+    : alpha_(alpha < 0.0 ? 0.0 : alpha), rng_(seed) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha_);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint64_t ZipfGenerator::next() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::probability(std::uint64_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+ScrambledZipfGenerator::ScrambledZipfGenerator(std::uint64_t n, double alpha,
+                                               std::uint64_t seed,
+                                               std::uint64_t stream)
+    : zipf_(n, alpha, seed ^ (stream * 0x9E3779B97F4A7C15ULL + stream)),
+      perm_(zipf_.size()) {
+  std::iota(perm_.begin(), perm_.end(), 0);
+  // The permutation depends on the seed alone — never on the stream — so
+  // every source agrees on which ids are hot.
+  Rng perm_rng(seed ^ 0x5C7A3B1EDC0FFEE5ULL);
+  perm_rng.shuffle(perm_);
+}
 
 Config parse_args(int argc, char** argv) {
   auto parsed = Config::from_args(argc - 1, argv + 1);

@@ -7,14 +7,69 @@
 // are copy-pasteable).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "destim/experiment.hpp"
 
 namespace ftc::bench {
+
+/// Seeded Zipf(alpha) sampler over ids [0, n): rank 0 is the hottest id,
+/// alpha = 0 degenerates to uniform.  Inverse-CDF over a precomputed
+/// prefix-sum table of 1/(i+1)^alpha, so draws are O(log n) and the same
+/// seed always yields the same access stream — shared by bench_skew and
+/// the workload ablation so their skew axes mean the same thing.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double alpha, std::uint64_t seed);
+
+  /// Draws the next id; ids with lower rank are (exponentially) hotter.
+  std::uint64_t next();
+
+  /// Probability mass of rank `i` (diagnostics / expected-share math).
+  [[nodiscard]] double probability(std::uint64_t rank) const;
+
+  [[nodiscard]] std::uint64_t size() const { return cdf_.size(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  ///< normalized prefix sums of 1/(i+1)^alpha
+  Rng rng_;
+};
+
+/// ZipfGenerator composed with a seeded random permutation of the id
+/// space: popularity ranks are Zipf but which *id* is hot is scrambled,
+/// so hot ids do not cluster at the low end of the namespace (hash-ring
+/// placement then sees a realistic scattered hot set).
+class ScrambledZipfGenerator {
+ public:
+  /// `seed` fixes the permutation (WHICH ids are hot); `stream`
+  /// differentiates the draw sequence.  Concurrent sources sharing a
+  /// dataset use one seed + distinct streams, so they agree on the hot
+  /// set but do not draw in lockstep.
+  ScrambledZipfGenerator(std::uint64_t n, double alpha, std::uint64_t seed,
+                         std::uint64_t stream = 0);
+
+  std::uint64_t next() { return perm_[zipf_.next()]; }
+
+  /// The id holding popularity rank `rank` under the scramble.
+  [[nodiscard]] std::uint64_t id_for_rank(std::uint64_t rank) const {
+    return perm_[rank];
+  }
+  [[nodiscard]] double probability(std::uint64_t rank) const {
+    return zipf_.probability(rank);
+  }
+  [[nodiscard]] std::uint64_t size() const { return zipf_.size(); }
+
+ private:
+  ZipfGenerator zipf_;
+  std::vector<std::uint64_t> perm_;
+};
 
 /// Parses key=value args; prints usage and exits on malformed input.
 Config parse_args(int argc, char** argv);

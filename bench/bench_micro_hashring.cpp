@@ -4,6 +4,9 @@
 // the vnode trade-off in Sec V-B2.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -101,6 +104,27 @@ void BM_ModuloLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ModuloLookup)->Arg(64)->Arg(1024);
 
+// Bounded-load lookup vs the plain lookup it wraps.  The overloaded
+// predicate rejects ~1/5 of nodes so the walk actually spills sometimes;
+// the budget claim (checked by the manual comparison in main) is that the
+// bounded variant stays within 2x the plain prehashed lookup.
+void BM_RingLookupBounded(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  ring::RingConfig config;
+  config.vnodes_per_node = 100;
+  const ring::ConsistentHashRing ring(nodes, config);
+  const auto excluded = [](ring::NodeId) { return false; };
+  const auto overloaded = [](ring::NodeId n) { return n % 5 == 0; };
+  std::uint64_t h = 0x1234;
+  for (auto _ : state) {
+    h = hash::fmix64(h);
+    benchmark::DoNotOptimize(
+        ring.owner_of_hash_bounded(h, 3, excluded, overloaded));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingLookupBounded)->Arg(64)->Arg(1024);
+
 void BM_RingNodeRemoval(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
   const auto vnodes = static_cast<std::uint32_t>(state.range(1));
@@ -156,4 +180,60 @@ void BM_HashXx(benchmark::State& state) {
 }
 BENCHMARK(BM_HashXx);
 
+/// Manual budget check: 200k prehashed lookups, plain vs bounded (same
+/// ring, same hash stream), best of 3 rounds each.  The bounded walk may
+/// inspect a few extra ring positions and calls two predicates, but it
+/// shares the one binary search — so it must stay within 2x.  Exits
+/// non-zero on regression; wired into scripts/ci.sh.
+int bounded_lookup_budget_check() {
+  ring::RingConfig config;
+  config.vnodes_per_node = 100;
+  const ring::ConsistentHashRing ring(1024, config);
+  const auto excluded = [](ring::NodeId) { return false; };
+  const auto overloaded = [](ring::NodeId n) { return n % 5 == 0; };
+  constexpr int kLookups = 200000;
+  constexpr int kRounds = 3;
+
+  const auto best_of = [&](auto&& body) {
+    double best = 1e18;
+    for (int round = 0; round < kRounds; ++round) {
+      std::uint64_t h = 0x1234;
+      std::uint64_t sink = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kLookups; ++i) {
+        h = hash::fmix64(h);
+        sink ^= body(h);
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      benchmark::DoNotOptimize(sink);
+      best = std::min(best, seconds);
+    }
+    return best;
+  };
+
+  const double plain = best_of(
+      [&](std::uint64_t h) { return ring.owner_of_hash(h); });
+  const double bounded = best_of([&](std::uint64_t h) {
+    return ring.owner_of_hash_bounded(h, 3, excluded, overloaded).chosen;
+  });
+  const double ratio = plain > 0.0 ? bounded / plain : 0.0;
+  std::printf(
+      "bounded-load budget: plain %.1f ns/lookup, bounded %.1f ns/lookup "
+      "-> %.2fx (budget 2.00x, %s)\n",
+      plain / kLookups * 1e9, bounded / kLookups * 1e9, ratio,
+      ratio <= 2.0 ? "ok" : "EXCEEDED");
+  return ratio <= 2.0 ? 0 : 1;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return bounded_lookup_budget_check();
+}

@@ -30,6 +30,17 @@ echo "=== failover-storm smoke (bench_failstorm, reduced load)"
   nodes=6 files=60 pfs_us=4000 pre_ms=200 storm_ms=400 \
   require_p99=0 out="${build_dir}/BENCH_failstorm_smoke.json"
 
+echo "=== skew-placement smoke (bench_skew, reduced load)"
+# Few-second smoke at the canonical skew point (alpha=1.1): bounded-load
+# spill + hot-file fanout against the single-owner baseline, enforcing the
+# bounded-load contract — the skew-tolerant run's peak node share must not
+# exceed c x mean by more than 10%.  The goodput-ratio criterion needs the
+# full default load to be meaningful, so require_goodput=0 here; the
+# recorded BENCH_skew.json keeps both criteria.
+"${build_dir}/bench/bench_skew" \
+  alphas=1.1 reads=120 prime=120 check_bound=1 require_goodput=0 \
+  out="${build_dir}/BENCH_skew_smoke.json"
+
 echo "=== observability smoke (bench_throughput obs_check)"
 # Armed-but-unsampled recorders must not tax the hit-heavy hot path
 # (tolerance absorbs shared-box noise; the structural budget is <1%),

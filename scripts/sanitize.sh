@@ -19,6 +19,11 @@
 # lock-striped MetricsRegistry under concurrent registration + export,
 # and end-to-end traced reads (hedge legs and async completions record
 # spans from pool threads while the client thread records the root).
+# Skew-tolerant placement rides along in cluster_test and rpc_test: the
+# transport's load-EWMA/in-flight accounting under multi-worker endpoints,
+# and BoundedLoadSpill's four concurrent clients hammering one hotspot
+# while hints, spills, and async kPut/kEvict fanout completions interleave
+# with the promoter/estimator on each client's own thread.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 

@@ -56,6 +56,10 @@ Cluster::Cluster(const ClusterConfig& config)
           n, {config_.server.admission_queue_limit,
               config_.server.admission_retry_after_ms});
     }
+    if (config_.server.report_load) {
+      transport_.set_load_reporting(
+          n, {true, config_.server.load_report_alpha});
+    }
     clients_.push_back(std::make_unique<HvacClient>(
         n, transport_, pfs_, members, config_.client));
   }
@@ -142,6 +146,10 @@ NodeId Cluster::add_node() {
     transport_.set_admission(node,
                              {config_.server.admission_queue_limit,
                               config_.server.admission_retry_after_ms});
+  }
+  if (config_.server.report_load) {
+    transport_.set_load_reporting(node,
+                                  {true, config_.server.load_report_alpha});
   }
   std::vector<NodeId> members;
   members.reserve(servers_.size());
@@ -256,6 +264,17 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
                 c.retries_denied_by_budget);
     out.counter("ftc_client_deadline_give_ups_total", node_label,
                 c.deadline_give_ups);
+    // Skew-tolerant placement (all zero with the knobs off):
+    out.counter("ftc_ring_load_hints_total", node_label,
+                c.load_hints_observed);
+    out.counter("ftc_ring_spilled_reads_total", node_label, c.spilled_reads);
+    out.counter("ftc_ring_load_spread_reads_total", node_label,
+                c.load_spread_reads);
+    out.counter("ftc_ring_hot_promotions_total", node_label,
+                c.hot_promotions);
+    out.counter("ftc_ring_hot_demotions_total", node_label, c.hot_demotions);
+    out.counter("ftc_ring_hot_invalidations_total", node_label,
+                c.hot_invalidations);
     const LatencyRecorder::BucketSnapshot lat =
         clients_[n]->latency().cumulative_buckets(kLatencyBoundsUs);
     out.histogram("ftc_client_read_latency_us", node_label, kLatencyBoundsUs,

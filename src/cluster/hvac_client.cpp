@@ -93,6 +93,57 @@ Status HvacClientConfig::validate(std::size_t cluster_size) const {
     return Status::invalid_argument(
         "busy_backoff_cap must be >= busy_backoff_base");
   }
+  if (bounded_load) {
+    if (mode != FtMode::kHashRingRecache) {
+      return Status::invalid_argument(
+          "bounded_load requires hash-ring mode (spill follows the ring's "
+          "clockwise successor order)");
+    }
+    if (bounded_load_c <= 1.0) {
+      return Status::invalid_argument(
+          "bounded_load_c must be > 1 (c <= 1 marks nodes at or below the "
+          "mean overloaded and thrashes placement)");
+    }
+    if (bounded_load_max_spill == 0 || bounded_load_max_spill > 7) {
+      return Status::invalid_argument(
+          "bounded_load_max_spill must be in [1, 7]");
+    }
+  }
+  if ((bounded_load || hot_fanout) &&
+      (load_ewma_alpha <= 0.0 || load_ewma_alpha > 1.0)) {
+    return Status::invalid_argument("load_ewma_alpha must be in (0, 1]");
+  }
+  if (hot_fanout) {
+    if (mode != FtMode::kHashRingRecache) {
+      return Status::invalid_argument(
+          "hot_fanout requires hash-ring mode (replica sets are ring owner "
+          "chains)");
+    }
+    if (hot_top_k == 0) {
+      return Status::invalid_argument("hot_top_k must be >= 1");
+    }
+    if (hot_replica_fanout < 2) {
+      return Status::invalid_argument(
+          "hot_replica_fanout must be >= 2 (1 is the plain single owner)");
+    }
+    if (cluster_size > 0 && hot_replica_fanout > cluster_size) {
+      return Status::invalid_argument(
+          "hot_replica_fanout (" + std::to_string(hot_replica_fanout) +
+          ") exceeds cluster size (" + std::to_string(cluster_size) + ")");
+    }
+    if (hot_promote_threshold <= 0.0) {
+      return Status::invalid_argument("hot_promote_threshold must be > 0");
+    }
+    if (hot_demote_threshold < 0.0 ||
+        hot_demote_threshold >= hot_promote_threshold) {
+      return Status::invalid_argument(
+          "hot_demote_threshold must be in [0, hot_promote_threshold) — "
+          "the gap is the hysteresis band");
+    }
+    if (hot_decay_interval == 0) {
+      return Status::invalid_argument("hot_decay_interval must be >= 1");
+    }
+  }
   return Status::ok();
 }
 
@@ -104,6 +155,9 @@ struct HvacClient::Mailbox {
     kRpcTimeout,
     kProbeSuccess,
     kProbeFailure,
+    /// A hot-fanout kPut landed (counts toward replicas_pushed — the
+    /// counter bump waits for the owning thread like all detector state).
+    kFanoutSuccess,
   };
   struct Event {
     NodeId node;
@@ -160,10 +214,19 @@ HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
           .max_flaps = config.max_flaps}),
       mailbox_(std::make_shared<Mailbox>()),
       retry_budget_(config.retry_budget_ratio, config.retry_budget_cap),
-      backoff_rng_(config.ring_seed ^ (0x9E3779B97F4A7C15ULL * (self + 1))) {
+      backoff_rng_(config.ring_seed ^ (0x9E3779B97F4A7C15ULL * (self + 1))),
+      load_estimator_(config.load_ewma_alpha),
+      spread_rng_(config.ring_seed ^ (0xD1B54A32D192ED03ULL * (self + 1))) {
   const Status valid = config_.validate(servers.size());
   if (!valid.is_ok()) {
     throw std::invalid_argument("HvacClientConfig: " + valid.to_string());
+  }
+  if (config_.hot_fanout) {
+    hot_files_ = std::make_unique<HotFilePromoter>(HotFilePromoter::Options{
+        .top_k = config_.hot_top_k,
+        .promote_threshold = config_.hot_promote_threshold,
+        .demote_threshold = config_.hot_demote_threshold,
+        .decay_interval = config_.hot_decay_interval});
   }
   if (config_.mode == FtMode::kHashRingRecache) {
     ring::RingConfig ring_config;
@@ -182,6 +245,10 @@ HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
 
 void HvacClient::attach_membership(membership::MembershipAgent* agent) {
   membership_ = agent;
+  // The hot set's generation source just changed (local ring-surgery
+  // counter -> membership epoch); re-anchor so the first read does not
+  // see a spurious "epoch bump" and tear down nothing for no reason.
+  hot_generation_ = placement_generation();
 }
 
 void HvacClient::attach_observability(obs::FlightRecorder* recorder,
@@ -226,6 +293,15 @@ HvacClient::Stats HvacClient::stats_snapshot() const {
         stats_.retries_denied_by_budget.load(std::memory_order_relaxed);
     s.deadline_give_ups =
         stats_.deadline_give_ups.load(std::memory_order_relaxed);
+    s.load_hints_observed =
+        stats_.load_hints_observed.load(std::memory_order_relaxed);
+    s.spilled_reads = stats_.spilled_reads.load(std::memory_order_relaxed);
+    s.load_spread_reads =
+        stats_.load_spread_reads.load(std::memory_order_relaxed);
+    s.hot_promotions = stats_.hot_promotions.load(std::memory_order_relaxed);
+    s.hot_demotions = stats_.hot_demotions.load(std::memory_order_relaxed);
+    s.hot_invalidations =
+        stats_.hot_invalidations.load(std::memory_order_relaxed);
     return s;
   };
   // Torn-snapshot guard: per-field loads are individually atomic but the
@@ -297,6 +373,14 @@ NodeId HvacClient::current_owner(const std::string& path) const {
 void HvacClient::add_server(NodeId node) {
   placement_->add_node(node);
   if (membership_ != nullptr) membership_->join(node);
+  // Elastic scale-up shifts ~1/(N+1) of the keyspace, so replica sets
+  // derived from the old ring are stale.  Counting it as a ring update
+  // lets placement_generation() observe the change and retire them on
+  // the next access.  Gated on hot_fanout: legacy configs keep the
+  // seed's ring_updates semantics (removals and reinstatements only).
+  if (hot_files_ != nullptr && membership_ == nullptr) {
+    ++stats_.ring_updates;
+  }
 }
 
 Status HvacClient::ping(NodeId node) {
@@ -308,7 +392,10 @@ Status HvacClient::ping(NodeId node) {
   const auto start = rpc::Clock::now();
   auto result = transport_.call(node, std::move(request),
                                 config_.rpc_timeout);
-  if (result.is_ok()) ingest_membership(result.value());
+  if (result.is_ok()) {
+    ingest_membership(result.value());
+    observe_load_hint(node, result.value());
+  }
   if (result.is_ok() && result.value().code == StatusCode::kOk) {
     latency_.record(std::chrono::duration<double, std::micro>(
                         rpc::Clock::now() - start)
@@ -394,12 +481,198 @@ void HvacClient::replicate(const std::string& path,
                                   config_.rpc_timeout);
     if (result.is_ok()) {
       ingest_membership(result.value());
+      observe_load_hint(backup, result.value());
       detector_.record_success(backup);
       ++stats_.replicas_pushed;
     } else if (result.status().code() == StatusCode::kTimeout) {
       on_timeout(backup);
     }
   }
+}
+
+void HvacClient::observe_load_hint(NodeId server,
+                                   const rpc::RpcResponse& response) {
+  // Gated on the client knobs, not just hint presence: a legacy-config
+  // client talking to load-reporting servers must not grow an estimator
+  // (its stats_snapshot must stay bit-identical to the seed's).
+  if (!config_.bounded_load && hot_files_ == nullptr) return;
+  if (!rpc::has_load_hint(response)) return;
+  ++stats_.load_hints_observed;
+  load_estimator_.observe(server, rpc::decode_load_hint(response.load_hint));
+}
+
+std::uint64_t HvacClient::placement_generation() const {
+  if (membership_ != nullptr) return membership_->epoch();
+  // Legacy mode has no epochs; the local ring-surgery counter moves
+  // exactly when placement does (remove/reinstate/add_server).
+  return stats_.ring_updates.load(std::memory_order_relaxed);
+}
+
+void HvacClient::maybe_invalidate_hot() {
+  if (hot_files_ == nullptr) return;
+  const std::uint64_t generation = placement_generation();
+  if (generation == hot_generation_) return;
+  hot_generation_ = generation;
+  // The promotions' replica sets were owner chains of a ring that no
+  // longer exists — a spread read could land on a node that never got
+  // the kPut.  Drop them all; still-hot files re-promote against the new
+  // ring within one decay interval.  Heat survives, so this is cheap.
+  for (const std::string& path : hot_files_->invalidate_all()) {
+    ++stats_.hot_invalidations;
+    retire_hot_replicas(path, /*epoch_bump=*/true);
+  }
+}
+
+void HvacClient::note_hot_access(const std::string& path) {
+  if (hot_files_ == nullptr) return;
+  maybe_invalidate_hot();
+  if (hot_files_->record(path) == HotFilePromoter::Transition::kPromoted) {
+    ++stats_.hot_promotions;
+    // The kPut fanout needs the file's bytes, so it rides the next
+    // successful read (accept_response) instead of fetching here.
+    pending_hot_fanout_.insert(path);
+    if (recorder_ != nullptr) {
+      // Promotions are rare and explain every later spread/evict —
+      // recorded unconditionally, like suspicions.
+      recorder_->record_event(
+          obs::RecordKind::kHotPromotion, obs::TraceContext{}, self_,
+          static_cast<std::uint32_t>(StatusCode::kOk),
+          hot_files_->promoted_count(), path);
+    }
+  }
+  for (const std::string& cooled : hot_files_->take_demotions()) {
+    ++stats_.hot_demotions;
+    retire_hot_replicas(cooled, /*epoch_bump=*/false);
+  }
+}
+
+void HvacClient::retire_hot_replicas(const std::string& path,
+                                     bool epoch_bump) {
+  pending_hot_fanout_.erase(path);
+  if (recorder_ != nullptr) {
+    recorder_->record_event(
+        obs::RecordKind::kHotDemotion, obs::TraceContext{}, self_,
+        static_cast<std::uint32_t>(epoch_bump ? StatusCode::kUnavailable
+                                              : StatusCode::kOk),
+        0, path);
+  }
+  // Best-effort teardown of the backups (the primary keeps its copy — it
+  // owns the file either way).  Stale replicas only waste NVMe: reads
+  // stop spreading the moment the promotion is gone, so eviction is
+  // async and never retried.  After an epoch bump this aims at the NEW
+  // chain; old members that left the ring took their cache with them.
+  const auto chain = replica_chain(path, config_.hot_replica_fanout);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const NodeId backup = chain[i];
+    if (excluded_for_data(backup)) continue;
+    rpc::RpcRequest evict;
+    evict.op = rpc::Op::kEvict;
+    evict.path = path;
+    evict.client_node = self_;
+    if (membership_ != nullptr) membership_->stamp_request(evict);
+    transport_.call_async(
+        backup, std::move(evict), config_.rpc_timeout,
+        [mailbox = mailbox_, backup](const StatusOr<rpc::RpcResponse>& result) {
+          mailbox->post(backup,
+                        !result.is_ok() && timeout_like(result.status())
+                            ? Mailbox::Kind::kRpcTimeout
+                            : Mailbox::Kind::kRpcSuccess);
+        });
+  }
+}
+
+void HvacClient::replicate_hot(const std::string& path,
+                               const common::Buffer& contents,
+                               NodeId primary) {
+  // Same placement as replicate() — the first fanout distinct ring owners
+  // — but driven by heat, not miss-recache, and pushed through the async
+  // pool: promotion fires on the hottest file's read path, which must not
+  // serialize behind fanout-1 synchronous puts.
+  const auto chain = replica_chain(path, config_.hot_replica_fanout);
+  for (const NodeId backup : chain) {
+    if (backup == primary || excluded_for_data(backup)) continue;
+    rpc::RpcRequest put;
+    put.op = rpc::Op::kPut;
+    put.path = path;
+    put.payload = contents;  // refcounted share across the fanout
+    put.client_node = self_;
+    if (membership_ != nullptr) membership_->stamp_request(put);
+    transport_.call_async(
+        backup, std::move(put), config_.rpc_timeout,
+        [mailbox = mailbox_, backup](const StatusOr<rpc::RpcResponse>& result) {
+          if (result.is_ok() && result.value().code == StatusCode::kOk) {
+            mailbox->post(backup, Mailbox::Kind::kFanoutSuccess);
+          } else {
+            mailbox->post(backup,
+                          !result.is_ok() && timeout_like(result.status())
+                              ? Mailbox::Kind::kRpcTimeout
+                              : Mailbox::Kind::kRpcSuccess);
+          }
+        });
+  }
+}
+
+NodeId HvacClient::pick_read_target(const std::string& path,
+                                    const obs::TraceContext& trace) {
+  const NodeId plain = resolve_owner(path);
+  if (plain == ring::kInvalidNode ||
+      config_.mode != FtMode::kHashRingRecache) {
+    return plain;
+  }
+  // Hot file: power-of-two-choices over its replica set — two random
+  // distinct members, route to the lower load estimate.  P2C (not
+  // full-argmin) so co-located clients with near-identical load views
+  // do not herd onto the same momentarily-coolest replica.
+  if (hot_files_ != nullptr && hot_files_->is_promoted(path)) {
+    std::vector<NodeId> set =
+        replica_chain(path, config_.hot_replica_fanout);
+    set.erase(std::remove_if(set.begin(), set.end(),
+                             [this, plain](NodeId node) {
+                               return node != plain &&
+                                      excluded_for_data(node);
+                             }),
+              set.end());
+    if (set.size() >= 2) {
+      std::size_t a = spread_rng_.below(set.size());
+      std::size_t b = spread_rng_.below(set.size() - 1);
+      if (b >= a) ++b;
+      ++stats_.load_spread_reads;
+      return load_estimator_.load(set[a]) <= load_estimator_.load(set[b])
+                 ? set[a]
+                 : set[b];
+    }
+  }
+  if (!config_.bounded_load) return plain;
+  const auto excluded = [this](NodeId node) {
+    return excluded_for_data(node);
+  };
+  const auto overloaded = [this](NodeId node) {
+    return load_estimator_.overloaded(node, config_.bounded_load_c);
+  };
+  // Primary + up to max_spill spill candidates, resolved against the
+  // epoch'd view when membership is attached so clients sharing an epoch
+  // walk identical candidate chains.
+  const std::size_t candidates = 1 + config_.bounded_load_max_spill;
+  ring::ConsistentHashRing::BoundedLookup lookup;
+  if (membership_ != nullptr) {
+    lookup = membership_->ring_view()->owner_bounded(path, candidates,
+                                                     excluded, overloaded);
+  } else if (ring_view_ != nullptr) {
+    lookup = ring_view_->owner_of_hash_bounded(
+        ring_view_->key_position(path), candidates, excluded, overloaded);
+  } else {
+    return plain;
+  }
+  if (lookup.chosen == ring::kInvalidNode) return plain;
+  if (lookup.spilled()) {
+    ++stats_.spilled_reads;
+    if (recorder_ != nullptr && trace.sampled) {
+      recorder_->record_event(
+          obs::RecordKind::kLoadSpill, trace.child(), lookup.primary,
+          static_cast<std::uint32_t>(StatusCode::kOk), lookup.chosen, path);
+    }
+  }
+  return lookup.chosen;
 }
 
 void HvacClient::on_timeout(NodeId owner) {
@@ -468,6 +741,9 @@ void HvacClient::handle_busy(NodeId server,
   // shedding load must never accrue suspicion for answering honestly).
   detector_.record_success(server);
   ingest_membership(response);
+  // A shed carries the load hint too — precisely the moment the load
+  // view most needs updating (spill decisions route around this node).
+  observe_load_hint(server, response);
   // The retry this shed provokes is server-DIRECTED, not speculative:
   // the server rate-limits it via retry_after and the deadline bounds it.
   // It must not drain the retry budget — a drained bucket diverts reads
@@ -516,6 +792,10 @@ void HvacClient::drain_mailbox() {
         break;
       case Mailbox::Kind::kProbeFailure:
         detector_.record_probe_failure(event.node);
+        break;
+      case Mailbox::Kind::kFanoutSuccess:
+        detector_.record_success(event.node);
+        ++stats_.replicas_pushed;
         break;
     }
   }
@@ -570,6 +850,7 @@ StatusOr<common::Buffer> HvacClient::accept_response(
   // Fold piggybacked gossip / stale-view delta FIRST: anything placed
   // below (replicas) must use the freshest view this response affords.
   ingest_membership(response);
+  observe_load_hint(server, response);
   if (response.code == StatusCode::kOk) {
     detector_.record_success(server);
     // Successful traffic funds future retries/hedges (no-op with the
@@ -590,6 +871,11 @@ StatusOr<common::Buffer> HvacClient::accept_response(
       // First fetch of this file: place the backup copies now, while
       // the contents are in hand (replication extension).
       replicate(path, response.payload, server);
+    }
+    // Freshly promoted hot file: this is the first read since promotion
+    // with the bytes in hand — push the heat-driven replica fanout.
+    if (hot_files_ != nullptr && pending_hot_fanout_.erase(path) > 0) {
+      replicate_hot(path, response.payload, server);
     }
     return std::move(response.payload);
   }
@@ -863,6 +1149,10 @@ StatusOr<common::Buffer> HvacClient::read_file_impl(
                               : placement_->node_count()) +
       1;
   retry_is_server_directed_ = false;
+  // Hot-set bookkeeping once per read (not per attempt — retries of one
+  // read are one access): ring-change invalidation, heat recording,
+  // promotion/demotion transitions.
+  note_hot_access(path);
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (rpc::deadline_expired(deadline)) {
       // Budget spent: give up rather than keep a storm-era request alive
@@ -880,7 +1170,10 @@ StatusOr<common::Buffer> HvacClient::read_file_impl(
     if (attempt > 0 && !server_directed && !spend_retry_token()) {
       break;
     }
-    const NodeId owner = resolve_owner(path);
+    // Skew-tolerant target choice: p2c over a hot replica set, else a
+    // bounded-load spill past an overloaded primary, else (and with the
+    // knobs off, always) the plain single owner.
+    const NodeId owner = pick_read_target(path, trace);
     if (owner == ring::kInvalidNode) {
       // Every cache server is gone; the PFS is the only copy left.
       return config_.mode == FtMode::kNone

@@ -48,10 +48,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/fault_detector.hpp"
 #include "cluster/pfs_store.hpp"
+#include "cluster/popularity.hpp"
 #include "cluster/retry_budget.hpp"
 #include "common/buffer.hpp"
 #include "common/latency_recorder.hpp"
@@ -59,6 +61,7 @@
 #include "common/types.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace_context.hpp"
+#include "ring/bounded_load.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/placement.hpp"
 #include "rpc/transport.hpp"
@@ -150,6 +153,43 @@ struct HvacClientConfig {
   std::chrono::milliseconds busy_backoff_base{1};
   std::chrono::milliseconds busy_backoff_cap{16};
 
+  // --- skew-tolerant placement (hash-ring mode only; every knob defaults
+  // --- to the legacy single-owner lookup, bit-for-bit) -----------------
+  /// Bounded-load lookup (consistent hashing with bounded loads): a read
+  /// spills past its primary owner to the next distinct clockwise node
+  /// when the primary's piggybacked load estimate exceeds
+  /// `bounded_load_c` x the mean over observed nodes.  Requires servers
+  /// with report_load on to have any effect (no hints -> no spills).
+  bool bounded_load = false;
+  /// Overload factor c.  Valid: > 1 (c <= 1 would mark half the fleet
+  /// overloaded in steady state and thrash placement).
+  double bounded_load_c = 1.25;
+  /// Distinct spill candidates past the primary a lookup may inspect.
+  /// Valid: >= 1 and <= 7 (the lookup's fixed candidate window).
+  std::uint32_t bounded_load_max_spill = 2;
+  /// EWMA smoothing for piggybacked load hints.  Valid: in (0, 1].
+  double load_ewma_alpha = 0.3;
+
+  /// Hot-file replica fanout: a space-saving top-k sketch tracks per-file
+  /// heat; files crossing hot_promote_threshold are replicated to the
+  /// first `hot_replica_fanout` ring owners (existing kPut recache path)
+  /// and reads load-spread across the set by power-of-two-choices on the
+  /// piggybacked load.  Demoted (replicas evicted) when heat decays to
+  /// hot_demote_threshold, invalidated wholesale when the ring changes.
+  bool hot_fanout = false;
+  /// Sketch capacity (the k of top-k).  Valid: >= 1.
+  std::uint32_t hot_top_k = 64;
+  /// Replica-set size including the primary.  Valid: >= 2 and <= cluster
+  /// size at construction.
+  std::uint32_t hot_replica_fanout = 2;
+  /// Promote at heat >= this.  Valid: > 0.
+  double hot_promote_threshold = 64.0;
+  /// Demote at heat <= this.  Valid: >= 0 and < hot_promote_threshold —
+  /// the gap is the hysteresis band that stops flapping.
+  double hot_demote_threshold = 16.0;
+  /// Accesses between heat halvings.  Valid: >= 1.
+  std::uint32_t hot_decay_interval = 4096;
+
   /// Checks every field against its documented range; `cluster_size` (0 =
   /// unknown) additionally bounds replication_factor.  The HvacClient
   /// constructor rejects configs this returns non-OK for.
@@ -238,6 +278,19 @@ class HvacClient {
   [[nodiscard]] const FaultDetector& detector() const { return detector_; }
   [[nodiscard]] const HvacClientConfig& config() const { return config_; }
 
+  /// True while `path` is promoted to a hot replica set (always false
+  /// with hot_fanout off).  Telemetry/tests only — the read path makes
+  /// this decision internally.
+  [[nodiscard]] bool file_is_hot(const std::string& path) const {
+    return hot_files_ != nullptr && hot_files_->is_promoted(path);
+  }
+
+  /// The client's current smoothed view of per-node load, as learned
+  /// from piggybacked hints (read-only; diagnostics and benches).
+  [[nodiscard]] const ring::NodeLoadEstimator& load_estimator() const {
+    return load_estimator_;
+  }
+
   struct Stats {
     std::uint64_t reads = 0;
     std::uint64_t served_remote_cache = 0;  ///< server had it on NVMe
@@ -263,6 +316,13 @@ class HvacClient {
     std::uint64_t busy_rejections = 0;  ///< kBusy answers (shed/breaker)
     std::uint64_t retries_denied_by_budget = 0;  ///< spends refused
     std::uint64_t deadline_give_ups = 0;  ///< reads ended by total_deadline
+    // Skew-tolerant placement (zero with the knobs off):
+    std::uint64_t load_hints_observed = 0;  ///< responses carrying load
+    std::uint64_t spilled_reads = 0;     ///< bounded-load routed past primary
+    std::uint64_t load_spread_reads = 0;  ///< p2c over a hot replica set
+    std::uint64_t hot_promotions = 0;     ///< files entering a replica set
+    std::uint64_t hot_demotions = 0;      ///< promotions dropped (heat decay)
+    std::uint64_t hot_invalidations = 0;  ///< promotions dropped (ring epoch)
   };
   /// Value snapshot of the counters.  There is deliberately no reference
   /// accessor: callers can neither mutate the client's counters nor
@@ -339,6 +399,30 @@ class HvacClient {
   /// Every backup request shares `contents` by refcount.
   void replicate(const std::string& path, const common::Buffer& contents,
                  NodeId primary);
+  /// Folds a response's piggybacked load hint into the estimator (no-op
+  /// when neither skew knob is on, or the response carries no hint).
+  void observe_load_hint(NodeId server, const rpc::RpcResponse& response);
+  /// Read-target resolution with the skew knobs applied on top of
+  /// resolve_owner: p2c over a hot replica set first, bounded-load spill
+  /// second, plain owner otherwise.
+  [[nodiscard]] NodeId pick_read_target(const std::string& path,
+                                        const obs::TraceContext& trace);
+  /// Per-read hot bookkeeping: epoch check, heat recording, promotion
+  /// marking, decay-driven demotions.  No-op with hot_fanout off.
+  void note_hot_access(const std::string& path);
+  /// The placement generation the hot set was derived from: membership
+  /// epoch when attached, the local ring-surgery counter otherwise.
+  [[nodiscard]] std::uint64_t placement_generation() const;
+  /// Drops every promotion and evicts its replicas when the placement
+  /// generation moved (the replica sets described a ring that is gone).
+  void maybe_invalidate_hot();
+  /// Tears down one demoted/invalidated promotion: best-effort async
+  /// kEvict to the (current) replica chain beyond the primary.
+  void retire_hot_replicas(const std::string& path, bool epoch_bump);
+  /// Async kPut fanout of a freshly promoted hot file to its replica set
+  /// (distinct from replicate(): driven by heat, not by miss-recache).
+  void replicate_hot(const std::string& path, const common::Buffer& contents,
+                     NodeId primary);
 
   NodeId self_;
   rpc::Transport& transport_;
@@ -378,6 +462,12 @@ class HvacClient {
     std::atomic<std::uint64_t> busy_rejections{0};
     std::atomic<std::uint64_t> retries_denied_by_budget{0};
     std::atomic<std::uint64_t> deadline_give_ups{0};
+    std::atomic<std::uint64_t> load_hints_observed{0};
+    std::atomic<std::uint64_t> spilled_reads{0};
+    std::atomic<std::uint64_t> load_spread_reads{0};
+    std::atomic<std::uint64_t> hot_promotions{0};
+    std::atomic<std::uint64_t> hot_demotions{0};
+    std::atomic<std::uint64_t> hot_invalidations{0};
   };
   AtomicStats stats_;
   LatencyRecorder latency_;
@@ -393,6 +483,21 @@ class HvacClient {
   /// (kBusy + retry_after), so it is exempt from the speculative retry
   /// budget — it is paced by the server's hint and the deadline instead.
   bool retry_is_server_directed_ = false;
+  /// Per-node load view fed by piggybacked hints (single-threaded: only
+  /// the owning thread's synchronous response path observes into it).
+  ring::NodeLoadEstimator load_estimator_;
+  /// Heat sketch + promotion state; null unless hot_fanout is on.
+  std::unique_ptr<HotFilePromoter> hot_files_;
+  /// Promoted files whose replica fanout has not been pushed yet — the
+  /// kPut fanout needs the contents, so it rides the next successful
+  /// read of the file.
+  std::unordered_set<std::string> pending_hot_fanout_;
+  /// placement_generation() value the current promotions were made under.
+  std::uint64_t hot_generation_ = 0;
+  /// Tie-break stream for power-of-two-choices replica picks.  Separate
+  /// from backoff_rng_ so enabling fanout never perturbs the legacy
+  /// backoff jitter sequence.
+  Rng spread_rng_;
   /// Observability (attach_observability): nullptr recorder = tracing off,
   /// the untraced path pays one null check per read.
   obs::FlightRecorder* recorder_ = nullptr;

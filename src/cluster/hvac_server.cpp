@@ -35,6 +35,9 @@ Status HvacServerConfig::validate() const {
     return Status::invalid_argument(
         "pfs_singleflight needs breaker_failure_threshold >= 1");
   }
+  if (report_load && (load_report_alpha <= 0.0 || load_report_alpha > 1.0)) {
+    return Status::invalid_argument("load_report_alpha must be in (0, 1]");
+  }
   return Status::ok();
 }
 

@@ -68,6 +68,18 @@ struct HvacServerConfig {
   bool pfs_singleflight = false;
   PfsGuardOptions pfs_guard;
 
+  // --- Skew-tolerant placement (defaults to the legacy silent wire) ----
+
+  /// Piggyback a smoothed queue-depth estimate on every response
+  /// (transport-level EWMA of ingress queue + in-flight handlers).  The
+  /// server-side half of bounded-load lookup and hot-file load
+  /// spreading: clients only ever spill or spread on hints, so with this
+  /// off those knobs are inert.  Off = load_hint stays 0, bit-for-bit
+  /// legacy responses.
+  bool report_load = false;
+  /// EWMA smoothing for the reported load.  Valid: in (0, 1].
+  double load_report_alpha = 0.2;
+
   /// Rejects contradictory knob combinations (used by HvacServer's
   /// throwing constructor; callers may also pre-validate).
   [[nodiscard]] Status validate() const;

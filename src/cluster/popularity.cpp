@@ -1,0 +1,97 @@
+#include "cluster/popularity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace ftc::cluster {
+
+SpaceSavingSketch::SpaceSavingSketch(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+double SpaceSavingSketch::record(const std::string& path) {
+  const auto it = counts_.find(path);
+  if (it != counts_.end()) {
+    it->second += 1.0;
+    return it->second;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(path, 1.0);
+    return 1.0;
+  }
+  // Full: replace the minimum-count entry, inheriting its count — the
+  // space-saving guarantee (estimate error <= evicted minimum).
+  auto min_it = counts_.begin();
+  for (auto cur = counts_.begin(); cur != counts_.end(); ++cur) {
+    if (cur->second < min_it->second) min_it = cur;
+  }
+  const double inherited = min_it->second + 1.0;
+  counts_.erase(min_it);
+  counts_.emplace(path, inherited);
+  return inherited;
+}
+
+double SpaceSavingSketch::estimate(const std::string& path) const {
+  const auto it = counts_.find(path);
+  return it == counts_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::string> SpaceSavingSketch::decay() {
+  std::vector<std::string> dropped;
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    it->second *= 0.5;
+    if (it->second < 0.5) {
+      dropped.push_back(it->first);
+      it = counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+HotFilePromoter::HotFilePromoter(Options options)
+    : options_(options),
+      sketch_(options.top_k == 0 ? 1 : options.top_k) {}
+
+HotFilePromoter::Transition HotFilePromoter::record(const std::string& path) {
+  ++accesses_;
+  if (options_.decay_interval > 0 && accesses_ % options_.decay_interval == 0) {
+    // Heat halving.  Promoted files that cooled into the demote region
+    // (or fell out of the sketch entirely) queue for teardown; files in
+    // the hysteresis band stay promoted — that band existing is what
+    // stops flapping.
+    const std::vector<std::string> evicted = sketch_.decay();
+    for (const std::string& gone : evicted) {
+      if (promoted_.erase(gone) > 0) pending_demotions_.push_back(gone);
+    }
+    for (auto it = promoted_.begin(); it != promoted_.end();) {
+      if (sketch_.estimate(*it) <= options_.demote_threshold) {
+        pending_demotions_.push_back(*it);
+        it = promoted_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const double heat = sketch_.record(path);
+  if (heat >= options_.promote_threshold && !promoted_.contains(path)) {
+    promoted_.insert(path);
+    return Transition::kPromoted;
+  }
+  return Transition::kNone;
+}
+
+std::vector<std::string> HotFilePromoter::take_demotions() {
+  return std::exchange(pending_demotions_, {});
+}
+
+std::vector<std::string> HotFilePromoter::invalidate_all() {
+  std::vector<std::string> dropped(promoted_.begin(), promoted_.end());
+  std::sort(dropped.begin(), dropped.end());
+  promoted_.clear();
+  pending_demotions_.clear();
+  return dropped;
+}
+
+}  // namespace ftc::cluster

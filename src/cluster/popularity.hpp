@@ -1,0 +1,118 @@
+// popularity.hpp - Space-saving top-k heat sketch + hot-file promoter.
+//
+// The replica-fanout half of skew-tolerant placement needs to know which
+// files are hot *right now* without remembering every path ever read.
+// SpaceSavingSketch is the classic Metwally et al. top-k summary: at most
+// `capacity` tracked entries; when a new path arrives at a full sketch it
+// evicts the minimum-count entry and inherits its count (so estimates
+// over-count by at most the evicted minimum — safe for a promoter, which
+// only cares about the heavy tail).  Heat decays by halving all counts
+// every `decay_interval` accesses, turning lifetime counts into a
+// recency-weighted estimate that lets yesterday's hot file cool off.
+//
+// HotFilePromoter layers hysteresis on top: promote at heat >=
+// promote_threshold, demote only when heat falls to <= demote_threshold.
+// The dead band between the two absorbs oscillating heat (a file hovering
+// around a single threshold would otherwise flap between replicated and
+// not, churning kPut/kEvict traffic on every crossing).  Promotions are
+// stamped with nothing ring-specific here — the client owns epoch
+// bookkeeping and calls invalidate_all() when its ring view changes.
+//
+// Single-threaded, like the fault detector and load estimator: one
+// instance per HvacClient, touched only from the client's own read path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ftc::cluster {
+
+class SpaceSavingSketch {
+ public:
+  /// `capacity` >= 1 tracked entries (the "k" in top-k).
+  explicit SpaceSavingSketch(std::size_t capacity);
+
+  /// Folds one access to `path`; returns its updated count estimate.
+  /// When the sketch is full and `path` is untracked, the minimum-count
+  /// entry is evicted and its count inherited (+1).
+  double record(const std::string& path);
+
+  /// Count estimate for `path`; 0 when untracked.
+  [[nodiscard]] double estimate(const std::string& path) const;
+
+  [[nodiscard]] bool tracked(const std::string& path) const {
+    return counts_.contains(path);
+  }
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Halves every count (exponential heat decay) and drops entries whose
+  /// count falls below 0.5 — they are colder than a single fresh access.
+  /// Returns the dropped paths so callers can retire dependent state.
+  std::vector<std::string> decay();
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::string, double> counts_;
+};
+
+class HotFilePromoter {
+ public:
+  struct Options {
+    /// Sketch capacity — how many candidate-hot files are tracked.
+    std::size_t top_k = 64;
+    /// Heat at which a file is promoted to a replica set.
+    double promote_threshold = 64.0;
+    /// Heat at or below which a promoted file is demoted.  Must be
+    /// strictly below promote_threshold — the gap is the hysteresis band.
+    double demote_threshold = 16.0;
+    /// Accesses between heat halvings (the decay clock).
+    std::uint64_t decay_interval = 4096;
+  };
+
+  explicit HotFilePromoter(Options options);
+
+  enum class Transition : std::uint8_t {
+    kNone = 0,
+    kPromoted = 1,  ///< `path` just crossed the promote threshold.
+  };
+
+  /// Folds one access; runs the decay clock.  Demotions caused by decay
+  /// are queued and reported via take_demotions() (they concern *other*
+  /// paths than the one being recorded).
+  Transition record(const std::string& path);
+
+  [[nodiscard]] bool is_promoted(const std::string& path) const {
+    return promoted_.contains(path);
+  }
+  [[nodiscard]] std::size_t promoted_count() const { return promoted_.size(); }
+  [[nodiscard]] double heat(const std::string& path) const {
+    return sketch_.estimate(path);
+  }
+
+  /// Promoted files whose heat decayed into the demote region since the
+  /// last call; demoted as a side effect of this call.  The caller tears
+  /// down their replicas (best-effort kEvict).
+  std::vector<std::string> take_demotions();
+
+  /// Drops every promotion (ring epoch bumped: the replica sets were
+  /// derived from a placement that no longer exists) and returns what was
+  /// promoted.  Heat is kept — a still-hot file re-promotes against the
+  /// new ring on its next accesses.
+  std::vector<std::string> invalidate_all();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  SpaceSavingSketch sketch_;
+  std::unordered_set<std::string> promoted_;
+  std::vector<std::string> pending_demotions_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace ftc::cluster

@@ -58,6 +58,20 @@ class RingView {
     return ring_->owner_chain(key, count);
   }
 
+  /// Bounded-load owner resolution against this epoch's frozen ring
+  /// (see ConsistentHashRing::owner_of_hash_bounded).  Because the
+  /// snapshot is immutable, two clients holding views of the same epoch
+  /// walk identical candidate chains — spill targets agree wherever the
+  /// load predicates agree, which is what keeps the spilled working set
+  /// cacheable instead of smearing across the fleet.
+  [[nodiscard]] ring::ConsistentHashRing::BoundedLookup owner_bounded(
+      std::string_view key, std::size_t max_candidates,
+      const std::function<bool(NodeId)>& excluded,
+      const std::function<bool(NodeId)>& overloaded) const {
+    return ring_->owner_of_hash_bounded(ring_->key_position(key),
+                                        max_candidates, excluded, overloaded);
+  }
+
   [[nodiscard]] bool contains(NodeId node) const {
     return ring_->contains(node);
   }

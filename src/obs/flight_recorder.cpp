@@ -19,6 +19,9 @@ const char* record_kind_name(RecordKind kind) {
     case RecordKind::kPfsRejected: return "pfs_rejected";
     case RecordKind::kSuspicion: return "suspicion";
     case RecordKind::kRingUpdate: return "ring_update";
+    case RecordKind::kLoadSpill: return "load_spill";
+    case RecordKind::kHotPromotion: return "hot_promotion";
+    case RecordKind::kHotDemotion: return "hot_demotion";
   }
   return "unknown";
 }

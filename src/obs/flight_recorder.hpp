@@ -62,6 +62,12 @@ enum class RecordKind : std::uint8_t {
   // Membership / ring events.
   kSuspicion = 11,   ///< Event: local detector flagged a node.
   kRingUpdate = 12,  ///< Event: placement changed (remove/add/reinstate).
+  // Skew-tolerant placement events.
+  kLoadSpill = 13,     ///< Event: bounded-load lookup routed past the
+                       ///< primary (value = spill target node).
+  kHotPromotion = 14,  ///< Event: file promoted to a hot replica set.
+  kHotDemotion = 15,   ///< Event: promotion dropped (heat decay or ring
+                       ///< epoch bump; code distinguishes which).
 };
 
 const char* record_kind_name(RecordKind kind);
@@ -70,7 +76,9 @@ const char* record_kind_name(RecordKind kind);
 /// events.
 constexpr bool record_is_span(RecordKind kind) {
   return kind != RecordKind::kServerShed && kind != RecordKind::kPfsRejected &&
-         kind != RecordKind::kSuspicion && kind != RecordKind::kRingUpdate;
+         kind != RecordKind::kSuspicion && kind != RecordKind::kRingUpdate &&
+         kind != RecordKind::kLoadSpill && kind != RecordKind::kHotPromotion &&
+         kind != RecordKind::kHotDemotion;
 }
 
 /// One decoded flight-recorder entry.

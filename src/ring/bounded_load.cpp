@@ -1,0 +1,58 @@
+#include "ring/bounded_load.hpp"
+
+namespace ftc::ring {
+
+NodeLoadEstimator::NodeLoadEstimator(double alpha) : alpha_(alpha) {
+  if (alpha_ <= 0.0) alpha_ = 0.3;
+  if (alpha_ > 1.0) alpha_ = 1.0;
+}
+
+void NodeLoadEstimator::observe(NodeId node, double load) {
+  if (load < 0.0) load = 0.0;
+  const auto it = loads_.find(node);
+  if (it == loads_.end()) {
+    // First sample seeds the estimate directly (an EWMA started at zero
+    // would underestimate a hot node for many samples).
+    loads_.emplace(node, load);
+    sum_ += load;
+    return;
+  }
+  const double updated = it->second + alpha_ * (load - it->second);
+  sum_ += updated - it->second;
+  it->second = updated;
+}
+
+void NodeLoadEstimator::forget(NodeId node) {
+  const auto it = loads_.find(node);
+  if (it == loads_.end()) return;
+  sum_ -= it->second;
+  loads_.erase(it);
+}
+
+double NodeLoadEstimator::load(NodeId node) const {
+  const auto it = loads_.find(node);
+  return it == loads_.end() ? 0.0 : it->second;
+}
+
+double NodeLoadEstimator::mean_load() const {
+  if (loads_.empty()) return 0.0;
+  const double mean = sum_ / static_cast<double>(loads_.size());
+  return mean < 0.0 ? 0.0 : mean;
+}
+
+bool NodeLoadEstimator::overloaded(NodeId node, double c) const {
+  if (loads_.size() < 2) return false;
+  const double mean = mean_load();
+  // A near-idle fleet has nothing worth spilling over: tiny absolute
+  // differences around zero must not flip the predicate.
+  constexpr double kMinMean = 1e-6;
+  if (mean <= kMinMean) return false;
+  return load(node) > c * mean;
+}
+
+void NodeLoadEstimator::clear() {
+  loads_.clear();
+  sum_ = 0.0;
+}
+
+}  // namespace ftc::ring

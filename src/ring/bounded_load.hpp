@@ -1,0 +1,63 @@
+// bounded_load.hpp - Client-side load view for bounded-load placement.
+//
+// Consistent hashing maps every key to exactly one owner, so a Zipfian
+// workload saturates the hot key's node while the rest idle.  The fix
+// (consistent hashing with bounded loads, as deployed in Envoy's
+// ring-hash balancer) spills a key past its primary when the primary's
+// observed load exceeds c x the mean.  The "observed load" here is this
+// estimator: a per-node EWMA of the load hints servers piggyback on RPC
+// responses (see rpc::RpcResponse::load_hint) — clients learn the load
+// surface purely from traffic they were already sending.
+//
+// Single-threaded by design: each HvacClient owns one estimator and
+// feeds it only from its own synchronous response path, mirroring how
+// the fault detector keeps per-client failure views without locks.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace ftc::ring {
+
+class NodeLoadEstimator {
+ public:
+  /// `alpha` in (0, 1] is the EWMA smoothing factor applied per observed
+  /// hint (values outside the range are clamped into it).
+  explicit NodeLoadEstimator(double alpha = 0.3);
+
+  /// Folds one observed load sample for `node` into its estimate.
+  void observe(NodeId node, double load);
+
+  /// Drops a node's estimate (it left the ring).
+  void forget(NodeId node);
+
+  /// Current estimate for `node`; 0 when never observed.
+  [[nodiscard]] double load(NodeId node) const;
+
+  /// Mean estimate over every observed node (0 when none observed).
+  [[nodiscard]] double mean_load() const;
+
+  [[nodiscard]] std::size_t observed_nodes() const { return loads_.size(); }
+
+  /// The bounded-load predicate: true when `node`'s estimate exceeds
+  /// c x the mean over observed nodes.  Deliberately conservative while
+  /// the view is thin: with fewer than two observed nodes one sample
+  /// says nothing about *imbalance*, so nothing is overloaded and
+  /// lookup degrades to the plain single-owner walk.
+  [[nodiscard]] bool overloaded(NodeId node, double c) const;
+
+  /// Drops every estimate (e.g. after a ring epoch bump the old load
+  /// surface no longer describes the new placement).
+  void clear();
+
+ private:
+  double alpha_;
+  std::unordered_map<NodeId, double> loads_;
+  /// Running sum of `loads_` values, so mean_load() is O(1) on the
+  /// per-read lookup path.
+  double sum_ = 0.0;
+};
+
+}  // namespace ftc::ring

@@ -138,6 +138,52 @@ std::vector<NodeId> ConsistentHashRing::owner_chain_of_hash(
   return chain;
 }
 
+ConsistentHashRing::BoundedLookup ConsistentHashRing::owner_of_hash_bounded(
+    std::uint64_t key_hash, std::size_t max_candidates,
+    const std::function<bool(NodeId)>& excluded,
+    const std::function<bool(NodeId)>& overloaded) const {
+  BoundedLookup result;
+  if (ring_.empty() || max_candidates == 0) return result;
+  auto it = ring_.lower_bound(key_hash);
+  // Clockwise walk over distinct non-excluded nodes, same order as
+  // owner_chain; stop at the first candidate under its load bound.  A
+  // small fixed-size seen set keeps the walk allocation-free for the
+  // candidate counts in practice (<= primary + a few spills).
+  NodeId seen[8];
+  std::size_t seen_count = 0;
+  const std::size_t want =
+      max_candidates < sizeof(seen) / sizeof(seen[0])
+          ? max_candidates
+          : sizeof(seen) / sizeof(seen[0]);
+  for (std::size_t steps = 0; steps < ring_.size() && seen_count < want;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const NodeId node = it->second;
+    ++it;
+    if (excluded && excluded(node)) continue;
+    bool duplicate = false;
+    for (std::size_t i = 0; i < seen_count; ++i) {
+      if (seen[i] == node) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen[seen_count++] = node;
+    if (result.primary == kInvalidNode) result.primary = node;
+    ++result.inspected;
+    if (!overloaded || !overloaded(node)) {
+      result.chosen = node;
+      return result;
+    }
+  }
+  // Every inspected candidate overloaded (or everything excluded): the
+  // key stays with its primary — the bound degrades to plain lookup
+  // rather than to an unstable choice.
+  result.chosen = result.primary;
+  return result;
+}
+
 std::uint64_t ConsistentHashRing::fingerprint() const {
   // Iteration over std::map is position-ordered, so the digest is a
   // deterministic function of the ring contents.

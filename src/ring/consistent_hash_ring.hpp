@@ -99,6 +99,29 @@ class ConsistentHashRing final : public PlacementStrategy {
   [[nodiscard]] std::vector<NodeId> owner_chain_of_hash(
       std::uint64_t key_hash, std::size_t count) const;
 
+  /// Result of a bounded-load lookup: the node the key actually routes
+  /// to, the primary it would have routed to under plain lookup, and how
+  /// many distinct candidates the walk inspected (1 = no spill).
+  struct BoundedLookup {
+    NodeId chosen = kInvalidNode;
+    NodeId primary = kInvalidNode;
+    std::uint32_t inspected = 0;
+    [[nodiscard]] bool spilled() const { return chosen != primary; }
+  };
+
+  /// Consistent hashing with bounded loads (the Envoy ring-hash spill
+  /// idiom): walks distinct non-excluded physical nodes clockwise from
+  /// the key — the same order as owner_chain — and routes to the first
+  /// one `overloaded` clears.  Inspects at most `max_candidates` distinct
+  /// nodes; when every one of them is overloaded the key stays with the
+  /// primary, so correctness never depends on the load signal and two
+  /// clients sharing a ring epoch and load view resolve identically.
+  /// chosen == kInvalidNode when every node is excluded.
+  [[nodiscard]] BoundedLookup owner_of_hash_bounded(
+      std::uint64_t key_hash, std::size_t max_candidates,
+      const std::function<bool(NodeId)>& excluded,
+      const std::function<bool(NodeId)>& overloaded) const;
+
   /// Total virtual positions currently on the ring (V * alive nodes, minus
   /// any positions dropped due to hash collisions — collisions are resolved
   /// by linear probing so drops are effectively impossible).

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <unordered_map>
 
+#include "common/histogram.hpp"  // percentile_sorted
 #include "common/rng.hpp"
 #include "hash/murmur3.hpp"
 
@@ -106,15 +107,76 @@ LoadDistributionResult run_load_distribution(
     if (!received.empty()) {
       std::vector<double> loads;
       loads.reserve(received.size());
-      double max_load = 0.0;
       for (const auto& [node, files] : received) {
         loads.push_back(static_cast<double>(files));
-        max_load = std::max(max_load, static_cast<double>(files));
       }
       result.files_per_receiver.add(static_cast<double>(lost) /
                                     static_cast<double>(received.size()));
       result.receiver_fairness.add(jain_fairness(loads));
-      result.max_files_one_receiver.add(max_load);
+      // Max and p99 share the one interpolation everyone else uses.
+      std::sort(loads.begin(), loads.end());
+      result.max_files_one_receiver.add(percentile_sorted(loads, 100.0));
+      result.p99_files_one_receiver.add(percentile_sorted(loads, 99.0));
+    }
+
+    if (params.bounded_load_c > 1.0) {
+      // Full-population model on the post-failure ring: every arc's files
+      // go to the arc's first surviving clockwise owner (plain), or spill
+      // past owners whose accumulated load already exceeds c x mean
+      // (bounded, same distinct-candidate walk as owner_of_hash_bounded,
+      // falling back to the primary when every candidate is overloaded).
+      const std::uint32_t survivors = params.physical_nodes - 1;
+      const double cap = params.bounded_load_c *
+                         static_cast<double>(params.file_count) /
+                         static_cast<double>(survivors);
+      std::vector<double> plain(params.physical_nodes, 0.0);
+      std::vector<double> bounded(params.physical_nodes, 0.0);
+      double spilled_files = 0.0;
+      const std::uint32_t want = std::min(
+          {1 + params.bounded_load_max_spill, survivors, 8U});
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const std::size_t prev = (i == 0) ? ring.size() - 1 : i - 1;
+        const std::uint64_t files =
+            count_in_arc(file_hashes, ring[prev].position, ring[i].position);
+        if (files == 0) continue;
+        std::size_t j = i;
+        while (ring[j].node == failed) j = (j + 1) % ring.size();
+        const std::uint32_t primary = ring[j].node;
+        plain[primary] += static_cast<double>(files);
+        std::uint32_t chosen = primary;
+        bool placed = false;
+        std::uint32_t seen[8];
+        std::uint32_t seen_count = 0;
+        std::size_t k = j;
+        while (seen_count < want) {
+          const std::uint32_t cand = ring[k].node;
+          k = (k + 1) % ring.size();
+          if (cand == failed) continue;
+          bool dup = false;
+          for (std::uint32_t s = 0; s < seen_count; ++s) {
+            if (seen[s] == cand) {
+              dup = true;
+              break;
+            }
+          }
+          if (dup) continue;
+          seen[seen_count++] = cand;
+          if (bounded[cand] < cap) {
+            chosen = cand;
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) chosen = primary;
+        bounded[chosen] += static_cast<double>(files);
+        if (chosen != primary) spilled_files += static_cast<double>(files);
+      }
+      plain.erase(plain.begin() + failed);
+      bounded.erase(bounded.begin() + failed);
+      result.peak_to_mean_plain.add(peak_to_mean(plain));
+      result.peak_to_mean_bounded.add(peak_to_mean(bounded));
+      result.bounded_spill_fraction.add(
+          spilled_files / static_cast<double>(params.file_count));
     }
   }
   return result;

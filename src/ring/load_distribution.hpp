@@ -29,6 +29,17 @@ struct LoadDistributionParams {
   std::uint64_t file_count = 65536;
   std::uint32_t trials = 500;
   std::uint64_t seed = 42;
+  /// When > 1, each trial additionally models the FULL population's
+  /// per-node load on the post-failure ring twice — plain clockwise
+  /// assignment vs bounded-load spill at overload factor c (a key moves
+  /// to the next distinct surviving owner when its primary's accumulated
+  /// load already exceeds c x file_count / survivors) — filling the
+  /// peak_to_mean_* stats.  0 (default) skips the comparison: it walks
+  /// every arc, not just the failed node's, so it multiplies trial cost
+  /// by ~physical_nodes.
+  double bounded_load_c = 0.0;
+  /// Distinct spill candidates past the primary for the bounded model.
+  std::uint32_t bounded_load_max_spill = 2;
 };
 
 struct LoadDistributionResult {
@@ -44,6 +55,16 @@ struct LoadDistributionResult {
   RunningStats receiver_fairness;
   /// Largest single receiver's file count, per trial (hot-spot indicator).
   RunningStats max_files_one_receiver;
+  /// p99 of receivers' file counts, per trial (tail of the same
+  /// distribution max_files_one_receiver is the extreme of).
+  RunningStats p99_files_one_receiver;
+  /// Peak/mean of the full population's per-node load on the post-failure
+  /// ring: plain clockwise assignment vs bounded-load spill at factor c.
+  /// Empty unless params.bounded_load_c > 1.
+  RunningStats peak_to_mean_plain;
+  RunningStats peak_to_mean_bounded;
+  /// Fraction of files the bounded model spilled past their primary.
+  RunningStats bounded_spill_fraction;
 };
 
 /// Runs the full multi-trial simulation for one parameter point.

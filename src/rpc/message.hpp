@@ -178,6 +178,37 @@ struct RpcResponse {
   /// retry, scaled by its backlog.  Advisory — clients combine it with
   /// their own jittered backoff.  0 otherwise.
   std::uint32_t retry_after_ms = 0;
+  /// Piggybacked load telemetry: the responder's smoothed queue depth +
+  /// in-flight work (EWMA, fixed-point ×256), encoded as value + 1 so a
+  /// genuinely idle responder (load 0) is distinguishable from a legacy
+  /// one.  0 = unset — the wire default, bit-for-bit identical to a
+  /// sender without load reporting.  Clients feed these into the
+  /// bounded-load spill and power-of-two-choices decisions; no extra
+  /// round trips are ever spent on load discovery.
+  std::uint32_t load_hint = 0;
 };
+
+/// Fixed-point scale of RpcResponse::load_hint.
+constexpr double kLoadHintScale = 256.0;
+
+/// Encodes a non-negative load estimate into the +1-biased wire form.
+inline std::uint32_t encode_load_hint(double load) {
+  if (load < 0.0) load = 0.0;
+  const double fixed = load * kLoadHintScale + 1.0;
+  constexpr double kMax = 4294967295.0;
+  return static_cast<std::uint32_t>(fixed < kMax ? fixed : kMax);
+}
+
+/// True when a response carries a load estimate.
+inline bool has_load_hint(const RpcResponse& response) {
+  return response.load_hint != 0;
+}
+
+/// Decodes the +1-biased wire form back into a load estimate.  Only
+/// meaningful when has_load_hint(); returns 0 otherwise.
+inline double decode_load_hint(std::uint32_t hint) {
+  if (hint == 0) return 0.0;
+  return static_cast<double>(hint - 1) / kLoadHintScale;
+}
 
 }  // namespace ftc::rpc

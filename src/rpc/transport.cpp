@@ -121,6 +121,11 @@ StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
               static_cast<std::uint32_t>(endpoint.queue.size() - bound + 1);
           busy.retry_after_ms =
               endpoint.admission.retry_after_base_ms * backlog;
+          // A shed IS load evidence — the one response an overloaded node
+          // is guaranteed to send quickly, so it carries the hint too.
+          if (endpoint.load_report.enabled) {
+            busy.load_hint = encode_load_hint(endpoint.load_ewma);
+          }
           return busy;
         }
       }
@@ -257,6 +262,15 @@ void Transport::set_admission(NodeId node, AdmissionConfig config) {
   it->second->admission = config;
 }
 
+void Transport::set_load_reporting(NodeId node, LoadReportConfig config) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  if (config.alpha <= 0.0 || config.alpha > 1.0) config.alpha = 0.2;
+  it->second->load_report = config;
+}
+
 void Transport::set_flight_recorder(NodeId node,
                                     obs::FlightRecorder* recorder) {
   std::lock_guard registry_lock(registry_mutex_);
@@ -308,6 +322,17 @@ void Transport::worker_loop(Endpoint& endpoint) {
         continue;
       }
       latency = endpoint.extra_latency;
+      // Load sample at pickup: requests still queued plus handlers already
+      // executing, this one included.  Folding it here (not at enqueue)
+      // means a backlog that drains slowly keeps reporting high load for
+      // as long as it exists, which is what the spill decision needs.
+      ++endpoint.inflight;
+      if (endpoint.load_report.enabled) {
+        const auto raw =
+            static_cast<double>(endpoint.queue.size() + endpoint.inflight);
+        endpoint.load_ewma += endpoint.load_report.alpha *
+                              (raw - endpoint.load_ewma);
+      }
       // Queue-phase span: admission (enqueue) to worker pickup.  Recorded
       // under the endpoint mutex like the counters; the recorder itself is
       // wait-free so this adds no blocking.
@@ -338,6 +363,13 @@ void Transport::worker_loop(Endpoint& endpoint) {
       // Count BEFORE resolving the promise: a caller that observes the
       // response must also observe it in the stats.
       ++endpoint.stats.handled;
+      --endpoint.inflight;
+      // Piggyback the smoothed load estimate.  Stamped at the transport
+      // layer (not in the handler) so every op — reads, puts, pings,
+      // SWIM — carries the same signal without the server knowing.
+      if (endpoint.load_report.enabled) {
+        response.load_hint = encode_load_hint(endpoint.load_ewma);
+      }
     }
     call->promise.set_value(std::move(response));
   }

@@ -148,6 +148,20 @@ class Transport {
   };
   void set_admission(NodeId node, AdmissionConfig config);
 
+  /// Load reporting: when enabled, every response from `node` (including
+  /// admission kBusy rejections) carries an RpcResponse::load_hint — an
+  /// EWMA of the endpoint's instantaneous load (ingress queue depth plus
+  /// handlers in flight), sampled at worker pickup.  This is the piggyback
+  /// channel the bounded-load lookup and hot-file load spreading consume;
+  /// clients learn server load purely from traffic they were sending
+  /// anyway.  `alpha` in (0, 1] is the EWMA smoothing factor.  Disabled
+  /// (the default) leaves load_hint at 0 — bit-for-bit legacy wire.
+  struct LoadReportConfig {
+    bool enabled = false;
+    double alpha = 0.2;
+  };
+  void set_load_reporting(NodeId node, LoadReportConfig config);
+
   /// Attaches the node's flight recorder (not owned; must outlive the
   /// endpoint).  Once attached, *sampled* requests get their server-side
   /// admission verdicts recorded: a kServerQueue span from enqueue to
@@ -188,6 +202,14 @@ class Transport {
     std::condition_variable cv;
     std::deque<std::shared_ptr<PendingCall>> queue;
     AdmissionConfig admission;
+    LoadReportConfig load_report;
+    /// Handlers currently executing (incremented at pickup, decremented
+    /// when the response is stamped); part of the load sample.
+    std::size_t inflight = 0;
+    /// Smoothed load estimate (queue depth + inflight), updated at worker
+    /// pickup under the endpoint mutex.  Only advances while load
+    /// reporting is enabled.
+    double load_ewma = 0.0;
     bool stopping = false;
     bool killed = false;
     std::chrono::milliseconds extra_latency{0};

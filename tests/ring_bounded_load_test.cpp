@@ -1,0 +1,216 @@
+// Bounded-load lookup (owner_of_hash_bounded) and the NodeLoadEstimator
+// behind its overload predicate.  The contract under test: the bounded
+// walk visits the same distinct-node order as owner_chain, never changes
+// the answer when nothing is overloaded, falls back to the primary when
+// everything is, and resolves identically on any two rings that share a
+// seed and membership (the paper's clients build rings independently — a
+// spill decision must not depend on which client makes it).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "hash/murmur3.hpp"
+#include "ring/bounded_load.hpp"
+#include "ring/consistent_hash_ring.hpp"
+
+namespace ftc::ring {
+namespace {
+
+const std::function<bool(NodeId)> kNoneExcluded = [](NodeId) {
+  return false;
+};
+const std::function<bool(NodeId)> kNoneOverloaded = [](NodeId) {
+  return false;
+};
+
+ConsistentHashRing make_ring(std::uint32_t nodes, std::uint64_t seed = 7) {
+  RingConfig config;
+  config.vnodes_per_node = 50;
+  config.seed = seed;
+  return ConsistentHashRing(nodes, config);
+}
+
+TEST(BoundedLookupTest, NoOverloadMatchesPlainLookup) {
+  const auto ring = make_ring(8);
+  std::uint64_t h = 0xABCD;
+  for (int i = 0; i < 200; ++i) {
+    h = hash::fmix64(h);
+    const auto result =
+        ring.owner_of_hash_bounded(h, 3, kNoneExcluded, kNoneOverloaded);
+    EXPECT_EQ(result.chosen, ring.owner_of_hash(h));
+    EXPECT_EQ(result.primary, ring.owner_of_hash(h));
+    EXPECT_FALSE(result.spilled());
+    EXPECT_EQ(result.inspected, 1u);
+  }
+}
+
+TEST(BoundedLookupTest, SpillsToNextDistinctOwner) {
+  const auto ring = make_ring(8);
+  std::uint64_t h = 0xBEEF;
+  for (int i = 0; i < 200; ++i) {
+    h = hash::fmix64(h);
+    const NodeId primary = ring.owner_of_hash(h);
+    const auto overloaded = [primary](NodeId n) { return n == primary; };
+    const auto result =
+        ring.owner_of_hash_bounded(h, 3, kNoneExcluded, overloaded);
+    EXPECT_EQ(result.primary, primary);
+    EXPECT_TRUE(result.spilled());
+    // The spill target is exactly the second entry of the replica chain.
+    const auto chain = ring.owner_chain_of_hash(h, 2);
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(result.chosen, chain[1]);
+    EXPECT_EQ(result.inspected, 2u);
+  }
+}
+
+TEST(BoundedLookupTest, AllCandidatesOverloadedFallsBackToPrimary) {
+  const auto ring = make_ring(8);
+  const auto overloaded = [](NodeId) { return true; };
+  std::uint64_t h = 0xF00D;
+  for (int i = 0; i < 100; ++i) {
+    h = hash::fmix64(h);
+    const auto result =
+        ring.owner_of_hash_bounded(h, 3, kNoneExcluded, overloaded);
+    EXPECT_EQ(result.chosen, result.primary);
+    EXPECT_EQ(result.primary, ring.owner_of_hash(h));
+    EXPECT_FALSE(result.spilled());
+    EXPECT_EQ(result.inspected, 3u);
+  }
+}
+
+TEST(BoundedLookupTest, ExcludedPrimaryShiftsTheWholeWalk) {
+  const auto ring = make_ring(8);
+  std::uint64_t h = 0xCAFE;
+  for (int i = 0; i < 100; ++i) {
+    h = hash::fmix64(h);
+    const NodeId plain = ring.owner_of_hash(h);
+    const auto excluded = [plain](NodeId n) { return n == plain; };
+    const auto result =
+        ring.owner_of_hash_bounded(h, 3, excluded, kNoneOverloaded);
+    // With the plain owner excluded, the primary is the next distinct
+    // node — the same answer owner_of_hash_excluding gives.
+    EXPECT_EQ(result.primary, ring.owner_of_hash_excluding(h, excluded));
+    EXPECT_EQ(result.chosen, result.primary);
+    EXPECT_NE(result.chosen, plain);
+  }
+}
+
+TEST(BoundedLookupTest, EverythingExcludedReturnsInvalid) {
+  const auto ring = make_ring(4);
+  const auto excluded = [](NodeId) { return true; };
+  const auto result =
+      ring.owner_of_hash_bounded(0x1234, 3, excluded, kNoneOverloaded);
+  EXPECT_EQ(result.chosen, kInvalidNode);
+  EXPECT_EQ(result.primary, kInvalidNode);
+}
+
+TEST(BoundedLookupTest, RespectsMaxCandidates) {
+  const auto ring = make_ring(8);
+  std::uint64_t h = 0xD00Du;
+  for (int i = 0; i < 100; ++i) {
+    h = hash::fmix64(h);
+    const auto chain = ring.owner_chain_of_hash(h, 2);
+    ASSERT_EQ(chain.size(), 2u);
+    // Both candidates overloaded, third would be fine — but the walk is
+    // capped at 2, so the key stays with the primary.
+    const auto overloaded = [&chain](NodeId n) {
+      return n == chain[0] || n == chain[1];
+    };
+    const auto result =
+        ring.owner_of_hash_bounded(h, 2, kNoneExcluded, overloaded);
+    EXPECT_EQ(result.chosen, result.primary);
+    EXPECT_LE(result.inspected, 2u);
+  }
+}
+
+// Two clients that share a seed, membership, and load view must resolve
+// every key identically — spill decisions are deterministic, not a
+// per-client coin flip.
+TEST(BoundedLookupTest, DeterministicAcrossClientsSharingEpoch) {
+  const auto ring_a = make_ring(16, /*seed=*/99);
+  const auto ring_b = make_ring(16, /*seed=*/99);
+  ASSERT_EQ(ring_a.fingerprint(), ring_b.fingerprint());
+
+  // Identical estimator feeds on both sides (hints arrive in the same
+  // order because both clients see the same response stream).
+  NodeLoadEstimator est_a(0.3);
+  NodeLoadEstimator est_b(0.3);
+  for (NodeId n = 0; n < 16; ++n) {
+    const double load = (n % 5 == 0) ? 12.0 : 1.0;
+    est_a.observe(n, load);
+    est_b.observe(n, load);
+  }
+  const auto overloaded_a = [&est_a](NodeId n) {
+    return est_a.overloaded(n, 1.25);
+  };
+  const auto overloaded_b = [&est_b](NodeId n) {
+    return est_b.overloaded(n, 1.25);
+  };
+
+  std::uint64_t h = 0x5EED;
+  int spills = 0;
+  for (int i = 0; i < 500; ++i) {
+    h = hash::fmix64(h);
+    const auto a =
+        ring_a.owner_of_hash_bounded(h, 3, kNoneExcluded, overloaded_a);
+    const auto b =
+        ring_b.owner_of_hash_bounded(h, 3, kNoneExcluded, overloaded_b);
+    EXPECT_EQ(a.chosen, b.chosen);
+    EXPECT_EQ(a.primary, b.primary);
+    EXPECT_EQ(a.inspected, b.inspected);
+    if (a.spilled()) ++spills;
+  }
+  // The loaded nodes own ~3/16 of the keyspace, so some keys must spill.
+  EXPECT_GT(spills, 0);
+}
+
+TEST(NodeLoadEstimatorTest, FirstObservationSeedsDirectly) {
+  NodeLoadEstimator est(0.5);
+  est.observe(1, 10.0);
+  EXPECT_DOUBLE_EQ(est.load(1), 10.0);
+  // Second sample is EWMA-folded: 10 + 0.5 * (4 - 10) = 7.
+  est.observe(1, 4.0);
+  EXPECT_DOUBLE_EQ(est.load(1), 7.0);
+  EXPECT_EQ(est.observed_nodes(), 1u);
+}
+
+TEST(NodeLoadEstimatorTest, MeanTracksRunningSum) {
+  NodeLoadEstimator est(1.0);
+  est.observe(0, 2.0);
+  est.observe(1, 4.0);
+  est.observe(2, 6.0);
+  EXPECT_DOUBLE_EQ(est.mean_load(), 4.0);
+  est.forget(2);
+  EXPECT_DOUBLE_EQ(est.mean_load(), 3.0);
+  EXPECT_EQ(est.observed_nodes(), 2u);
+  est.clear();
+  EXPECT_DOUBLE_EQ(est.mean_load(), 0.0);
+  EXPECT_DOUBLE_EQ(est.load(0), 0.0);
+}
+
+TEST(NodeLoadEstimatorTest, OverloadedNeedsTwoNodesAndExceedsCTimesMean) {
+  NodeLoadEstimator est(1.0);
+  // One observed node: a single sample says nothing about imbalance.
+  est.observe(0, 100.0);
+  EXPECT_FALSE(est.overloaded(0, 1.25));
+  est.observe(1, 1.0);
+  // mean = 50.5; node 0 at 100 > 1.25 x 50.5, node 1 is not.
+  EXPECT_TRUE(est.overloaded(0, 1.25));
+  EXPECT_FALSE(est.overloaded(1, 1.25));
+  // Never-observed nodes read as load 0 — not overloaded.
+  EXPECT_FALSE(est.overloaded(7, 1.25));
+}
+
+TEST(NodeLoadEstimatorTest, AlphaClampedIntoValidRange) {
+  NodeLoadEstimator est(-3.0);  // clamped to a sane default
+  est.observe(0, 10.0);
+  est.observe(0, 0.0);
+  // Whatever the clamp chose, the estimate must move and stay in [0, 10].
+  EXPECT_LT(est.load(0), 10.0);
+  EXPECT_GE(est.load(0), 0.0);
+}
+
+}  // namespace
+}  // namespace ftc::ring

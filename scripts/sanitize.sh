@@ -24,6 +24,11 @@
 # and BoundedLoadSpill's four concurrent clients hammering one hotspot
 # while hints, spills, and async kPut/kEvict fanout completions interleave
 # with the promoter/estimator on each client's own thread.
+# Warm failover (cluster_test, WarmFailover suite) adds the write-behind
+# standby path: async generation-stamped kPuts whose completions touch
+# the refcounted mailbox and the shared in-flight counter from pool
+# threads, racing reads, kills, rejoins, and the server's generation
+# ledger — the replication surface a torn stamp would corrupt.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 

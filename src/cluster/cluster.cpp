@@ -275,6 +275,12 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
     out.counter("ftc_ring_hot_demotions_total", node_label, c.hot_demotions);
     out.counter("ftc_ring_hot_invalidations_total", node_label,
                 c.hot_invalidations);
+    // Warm failover (all zero with warm_standby off):
+    out.counter("ftc_client_warm_pushes_total", node_label, c.warm_pushes);
+    out.counter("ftc_client_warm_restores_total", node_label, c.warm_restores);
+    out.counter("ftc_client_warm_deferred_total", node_label, c.warm_deferred);
+    out.counter("ftc_client_warm_invalidations_total", node_label,
+                c.warm_invalidations);
     const LatencyRecorder::BucketSnapshot lat =
         clients_[n]->latency().cumulative_buckets(kLatencyBoundsUs);
     out.histogram("ftc_client_read_latency_us", node_label, kLatencyBoundsUs,
@@ -291,6 +297,12 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
                 s.recache_completed);
     out.counter("ftc_server_replicas_stored_total", node_label,
                 s.replicas_stored);
+    out.counter("ftc_server_warm_replicas_stored_total", node_label,
+                s.warm_replicas_stored);
+    out.counter("ftc_server_stale_replica_puts_total", node_label,
+                s.stale_replica_puts);
+    out.counter("ftc_server_warm_replica_bytes_total", node_label,
+                s.warm_replica_bytes);
     out.counter("ftc_server_payload_bytes_copied_total", node_label,
                 s.payload_bytes_copied);
     out.counter("ftc_server_evictions_total", node_label, s.evictions);

@@ -37,13 +37,12 @@ Status HvacClientConfig::validate(std::size_t cluster_size) const {
     return Status::invalid_argument(
         "vnodes_per_node must be >= 1 in hash-ring mode");
   }
-  if (replication_factor == 0) {
-    return Status::invalid_argument("replication_factor must be >= 1");
-  }
-  if (cluster_size > 0 && replication_factor > cluster_size) {
+  const Status replication_valid = replication.validate(cluster_size);
+  if (!replication_valid.is_ok()) return replication_valid;
+  if (replication.warm_standby && mode != FtMode::kHashRingRecache) {
     return Status::invalid_argument(
-        "replication_factor (" + std::to_string(replication_factor) +
-        ") exceeds cluster size (" + std::to_string(cluster_size) + ")");
+        "replication.warm_standby requires hash-ring mode (standbys are "
+        "the ring's clockwise successors)");
   }
   if (reinstatement) {
     if (probe_backoff <= std::chrono::milliseconds::zero()) {
@@ -158,15 +157,27 @@ struct HvacClient::Mailbox {
     /// A hot-fanout kPut landed (counts toward replicas_pushed — the
     /// counter bump waits for the owning thread like all detector state).
     kFanoutSuccess,
+    /// A warm-standby kPut was acknowledged (first placement / generation
+    /// repair); both also count toward replicas_pushed.
+    kWarmSuccess,
+    kWarmRestoreSuccess,
+    /// A warm put was refused by a live node (admission shed) — drop the
+    /// path's issue marking so a later read retries the push.
+    kWarmShed,
+    /// A warm put timed out: detector verdict plus the retry marking.
+    kWarmTimeout,
   };
   struct Event {
     NodeId node;
     Kind kind;
+    /// Warm events only: the path whose issue marking the verdict
+    /// affects.  Empty otherwise.
+    std::string path;
   };
 
-  void post(NodeId node, Kind kind) {
+  void post(NodeId node, Kind kind, std::string path = {}) {
     std::lock_guard lock(mutex);
-    events.push_back({node, kind});
+    events.push_back({node, kind, std::move(path)});
   }
 
   std::vector<Event> drain() {
@@ -227,7 +238,21 @@ HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
         .promote_threshold = config_.hot_promote_threshold,
         .demote_threshold = config_.hot_demote_threshold,
         .decay_interval = config_.hot_decay_interval});
+    hot_policy_ = std::make_unique<placement::HotFanoutPolicy>(
+        config_.hot_replica_fanout);
   }
+  // Policy wiring: warm standby subsumes the synchronous miss-recache
+  // push (it fires on every authoritative fill, targets the same
+  // successors, and does it write-behind), so the two are mutually
+  // exclusive executors of the same factor.
+  if (config_.replication.warm_standby) {
+    warm_policy_ = std::make_unique<placement::WarmStandbyPolicy>(
+        config_.replication.factor);
+  } else if (config_.replication.factor > 1) {
+    miss_policy_ = std::make_unique<placement::MissRecachePolicy>(
+        config_.replication.factor);
+  }
+  warm_inflight_ = std::make_shared<std::atomic<std::uint32_t>>(0);
   if (config_.mode == FtMode::kHashRingRecache) {
     ring::RingConfig ring_config;
     ring_config.vnodes_per_node = config_.vnodes_per_node;
@@ -249,6 +274,9 @@ void HvacClient::attach_membership(membership::MembershipAgent* agent) {
   // counter -> membership epoch); re-anchor so the first read does not
   // see a spurious "epoch bump" and tear down nothing for no reason.
   hot_generation_ = placement_generation();
+  // Same for the warm standbys: the attach does not move the ring, so
+  // re-stamp existing markings instead of re-pushing every file.
+  for (auto& entry : warm_pushed_) entry.second.generation = hot_generation_;
 }
 
 void HvacClient::attach_observability(obs::FlightRecorder* recorder,
@@ -302,6 +330,11 @@ HvacClient::Stats HvacClient::stats_snapshot() const {
     s.hot_demotions = stats_.hot_demotions.load(std::memory_order_relaxed);
     s.hot_invalidations =
         stats_.hot_invalidations.load(std::memory_order_relaxed);
+    s.warm_pushes = stats_.warm_pushes.load(std::memory_order_relaxed);
+    s.warm_restores = stats_.warm_restores.load(std::memory_order_relaxed);
+    s.warm_deferred = stats_.warm_deferred.load(std::memory_order_relaxed);
+    s.warm_invalidations =
+        stats_.warm_invalidations.load(std::memory_order_relaxed);
     return s;
   };
   // Torn-snapshot guard: per-field loads are individually atomic but the
@@ -374,11 +407,13 @@ void HvacClient::add_server(NodeId node) {
   placement_->add_node(node);
   if (membership_ != nullptr) membership_->join(node);
   // Elastic scale-up shifts ~1/(N+1) of the keyspace, so replica sets
-  // derived from the old ring are stale.  Counting it as a ring update
-  // lets placement_generation() observe the change and retire them on
-  // the next access.  Gated on hot_fanout: legacy configs keep the
-  // seed's ring_updates semantics (removals and reinstatements only).
-  if (hot_files_ != nullptr && membership_ == nullptr) {
+  // (hot fanouts and warm standbys alike) derived from the old ring are
+  // stale.  Counting it as a ring update lets placement_generation()
+  // observe the change and retire/re-target them on the next access.
+  // Gated on those knobs: legacy configs keep the seed's ring_updates
+  // semantics (removals and reinstatements only).
+  if ((hot_files_ != nullptr || warm_policy_ != nullptr) &&
+      membership_ == nullptr) {
     ++stats_.ring_updates;
   }
 }
@@ -457,37 +492,193 @@ StatusOr<common::Buffer> HvacClient::read_from_pfs(
   return pfs_.read(path);
 }
 
-void HvacClient::replicate(const std::string& path,
-                           const common::Buffer& contents, NodeId primary) {
-  if (config_.replication_factor <= 1) return;
+void HvacClient::push_replicas(const std::string& path,
+                               const common::Buffer& contents, NodeId primary,
+                               bool cache_fill) {
+  // Which policies fire on this read?  Miss-recache only on an
+  // authoritative fill; hot fanout only on the first read after a
+  // promotion; warm standby whenever the file's standbys are missing or
+  // stamped with a dead ring's generation.
+  const bool miss_fires = cache_fill && miss_policy_ != nullptr;
+  const bool hot_fires = hot_policy_ != nullptr && hot_files_ != nullptr &&
+                         pending_hot_fanout_.erase(path) > 0;
+  const std::uint64_t generation = placement_generation();
+  bool warm_restore = false;
+  bool warm_stale = false;
+  if (warm_policy_ != nullptr) {
+    const auto it = warm_pushed_.find(path);
+    warm_restore = it != warm_pushed_.end();
+    warm_stale = !warm_restore || it->second.generation != generation;
+  }
+  if (!miss_fires && !hot_fires && !warm_stale) return;
   if (ring_view_ == nullptr && membership_ == nullptr) return;
-  // The chain comes from the epoch'd view when membership is attached —
-  // and accept_response ingests the primary's response *before* calling
-  // here, so a client that was stale going into the read pushes replicas
+
+  std::vector<const placement::ReplicationPolicy*> policies;
+  if (miss_fires) policies.push_back(miss_policy_.get());
+  if (hot_fires) policies.push_back(hot_policy_.get());
+  if (warm_stale) policies.push_back(warm_policy_.get());
+
+  // One owner-chain walk serves every firing policy.  The chain comes
+  // from the epoch'd view when membership is attached — and
+  // accept_response ingests the primary's response *before* calling
+  // here, so a client that was stale going into the read places replicas
   // against the fast-forwarded view, never to a confirmed-failed node.
-  const auto chain = replica_chain(path, config_.replication_factor);
-  for (const NodeId backup : chain) {
-    if (backup == primary || excluded_for_data(backup)) continue;
-    rpc::RpcRequest put;
-    put.op = rpc::Op::kPut;
-    put.path = path;
-    put.payload = contents;
-    put.client_node = self_;
-    if (membership_ != nullptr) membership_->stamp_request(put);
+  std::size_t chain_need = 0;
+  for (const auto* policy : policies) {
+    chain_need = std::max(chain_need, policy->chain_length());
+  }
+  const auto chain = replica_chain(path, chain_need);
+  const std::function<bool(NodeId)> excluded = [this](NodeId node) {
+    return excluded_for_data(node);
+  };
+  placement::PlanContext ctx;
+  ctx.path = path;
+  ctx.primary = primary;
+  ctx.generation = generation;
+  ctx.chain = &chain;
+  ctx.excluded = &excluded;
+
+  std::vector<placement::ReplicaPlan> plans;
+  plans.reserve(policies.size());
+  if (miss_fires) plans.push_back(miss_policy_->plan(ctx));
+  if (hot_fires) plans.push_back(hot_policy_->plan(ctx));
+
+  bool warm_fires = false;
+  if (warm_stale) {
+    placement::ReplicaPlan warm_plan = warm_policy_->plan(ctx);
+    std::vector<NodeId> targets;
+    targets.reserve(warm_plan.targets.size());
+    for (const auto& target : warm_plan.targets) {
+      targets.push_back(target.node);
+    }
+    const auto it = warm_pushed_.find(path);
+    if (it != warm_pushed_.end() && it->second.targets == targets) {
+      // The ring moved, but this file's standbys did not (most files on
+      // most epoch bumps): the bytes are already in place, so adopt the
+      // new generation without touching the network.  The standby keeps
+      // its older stamp — harmless, since stamps only guard against
+      // rollback and the next real move will stamp higher.
+      it->second.generation = generation;
+    } else {
+      // A genuine (re-)placement.  Repairs get the tighter
+      // restore_concurrency cap so a storm-wide re-target cannot
+      // monopolize the async pool; deferral leaves the marking stale so
+      // the next read of this file retries once the pool drains.
+      const std::uint32_t cap = warm_restore
+                                    ? config_.replication.restore_concurrency
+                                    : config_.replication.write_behind_depth;
+      if (warm_inflight_->load(std::memory_order_relaxed) >= cap) {
+        ++stats_.warm_deferred;
+      } else {
+        if (warm_restore) ++stats_.warm_invalidations;
+        warm_fires = true;
+        // Mark at issue time, before any put executes: the sync path
+        // below may erase the marking on failure, and ordering the other
+        // way would lose that erasure.
+        warm_pushed_[path] = {generation, std::move(targets)};
+        plans.push_back(std::move(warm_plan));
+      }
+    }
+  }
+  if (plans.empty()) return;
+
+  bool warm_issued = false;
+  for (const auto& target : placement::merge_plans(plans)) {
+    execute_put(target, path, contents, warm_restore);
+    if (target.has_trigger(placement::ReplicationTrigger::kWarmStandby)) {
+      warm_issued = true;
+    }
+  }
+  if (warm_fires && warm_issued && recorder_ != nullptr) {
+    recorder_->record_event(
+        obs::RecordKind::kWarmPush, obs::TraceContext{}, self_,
+        static_cast<std::uint32_t>(warm_restore ? StatusCode::kUnavailable
+                                                : StatusCode::kOk),
+        generation, path);
+  }
+}
+
+void HvacClient::execute_put(const placement::MergedTarget& target,
+                             const std::string& path,
+                             const common::Buffer& contents,
+                             bool warm_restore) {
+  const NodeId backup = target.node;
+  const bool warm =
+      target.has_trigger(placement::ReplicationTrigger::kWarmStandby);
+  rpc::RpcRequest put;
+  put.op = rpc::Op::kPut;
+  put.path = path;
+  put.payload = contents;  // refcounted share across the fanout
+  put.client_node = self_;
+  put.replica_generation = target.generation;
+  if (membership_ != nullptr) membership_->stamp_request(put);
+
+  if (target.write_class == placement::WriteClass::kSyncInline) {
     // Best effort: a slow/dead backup only costs durability, not
     // correctness, so a timeout here feeds the detector but is not
     // retried.
-    auto result = transport_.call(backup, std::move(put),
-                                  config_.rpc_timeout);
+    auto result =
+        transport_.call(backup, std::move(put), config_.rpc_timeout);
     if (result.is_ok()) {
       ingest_membership(result.value());
       observe_load_hint(backup, result.value());
       detector_.record_success(backup);
       ++stats_.replicas_pushed;
+      if (warm) {
+        if (result.value().code == StatusCode::kOk) {
+          ++stats_.warm_pushes;
+          if (warm_restore) ++stats_.warm_restores;
+        } else if (result.value().code != StatusCode::kCancelled) {
+          // Shed (kBusy/kCapacity/...): the standby is not placed; unmark
+          // so a later read retries.  kCancelled means a FRESHER standby
+          // already sits there — the marking stands.
+          warm_pushed_.erase(path);
+        }
+      }
     } else if (result.status().code() == StatusCode::kTimeout) {
       on_timeout(backup);
+      if (warm) warm_pushed_.erase(path);
+    } else if (warm) {
+      warm_pushed_.erase(path);
     }
+    return;
   }
+
+  // Write-behind: hot fanouts and warm standbys must not serialize the
+  // read path behind fanout-1 synchronous puts.  The completion only
+  // touches the refcounted mailbox/counter — never the client, which may
+  // be gone by the time a put against a dead standby times out.
+  if (warm) warm_inflight_->fetch_add(1, std::memory_order_relaxed);
+  transport_.call_async(
+      backup, std::move(put), config_.rpc_timeout,
+      [mailbox = mailbox_, inflight = warm_inflight_, backup, warm,
+       warm_restore, path](const StatusOr<rpc::RpcResponse>& result) {
+        if (warm) inflight->fetch_sub(1, std::memory_order_relaxed);
+        if (result.is_ok() && result.value().code == StatusCode::kOk) {
+          mailbox->post(backup,
+                        warm ? (warm_restore
+                                    ? Mailbox::Kind::kWarmRestoreSuccess
+                                    : Mailbox::Kind::kWarmSuccess)
+                             : Mailbox::Kind::kFanoutSuccess,
+                        warm ? path : std::string{});
+        } else if (warm && result.is_ok() &&
+                   result.value().code == StatusCode::kCancelled) {
+          // Stale rejection: a fresher-generation standby already sits on
+          // this node.  The server is healthy and the file covered — keep
+          // the marking, count nothing.
+          mailbox->post(backup, Mailbox::Kind::kRpcSuccess);
+        } else if (!result.is_ok() && timeout_like(result.status())) {
+          mailbox->post(backup,
+                        warm ? Mailbox::Kind::kWarmTimeout
+                             : Mailbox::Kind::kRpcTimeout,
+                        warm ? path : std::string{});
+        } else {
+          mailbox->post(backup,
+                        warm ? Mailbox::Kind::kWarmShed
+                             : Mailbox::Kind::kRpcSuccess,
+                        warm ? path : std::string{});
+        }
+      });
 }
 
 void HvacClient::observe_load_hint(NodeId server,
@@ -577,37 +768,6 @@ void HvacClient::retire_hot_replicas(const std::string& path,
                         !result.is_ok() && timeout_like(result.status())
                             ? Mailbox::Kind::kRpcTimeout
                             : Mailbox::Kind::kRpcSuccess);
-        });
-  }
-}
-
-void HvacClient::replicate_hot(const std::string& path,
-                               const common::Buffer& contents,
-                               NodeId primary) {
-  // Same placement as replicate() — the first fanout distinct ring owners
-  // — but driven by heat, not miss-recache, and pushed through the async
-  // pool: promotion fires on the hottest file's read path, which must not
-  // serialize behind fanout-1 synchronous puts.
-  const auto chain = replica_chain(path, config_.hot_replica_fanout);
-  for (const NodeId backup : chain) {
-    if (backup == primary || excluded_for_data(backup)) continue;
-    rpc::RpcRequest put;
-    put.op = rpc::Op::kPut;
-    put.path = path;
-    put.payload = contents;  // refcounted share across the fanout
-    put.client_node = self_;
-    if (membership_ != nullptr) membership_->stamp_request(put);
-    transport_.call_async(
-        backup, std::move(put), config_.rpc_timeout,
-        [mailbox = mailbox_, backup](const StatusOr<rpc::RpcResponse>& result) {
-          if (result.is_ok() && result.value().code == StatusCode::kOk) {
-            mailbox->post(backup, Mailbox::Kind::kFanoutSuccess);
-          } else {
-            mailbox->post(backup,
-                          !result.is_ok() && timeout_like(result.status())
-                              ? Mailbox::Kind::kRpcTimeout
-                              : Mailbox::Kind::kRpcSuccess);
-          }
         });
   }
 }
@@ -797,6 +957,27 @@ void HvacClient::drain_mailbox() {
         detector_.record_success(event.node);
         ++stats_.replicas_pushed;
         break;
+      case Mailbox::Kind::kWarmSuccess:
+        detector_.record_success(event.node);
+        ++stats_.replicas_pushed;
+        ++stats_.warm_pushes;
+        break;
+      case Mailbox::Kind::kWarmRestoreSuccess:
+        detector_.record_success(event.node);
+        ++stats_.replicas_pushed;
+        ++stats_.warm_pushes;
+        ++stats_.warm_restores;
+        break;
+      case Mailbox::Kind::kWarmShed:
+        // The standby is alive but refused the bytes (admission shed):
+        // unmark so the next read of the file retries the placement.
+        detector_.record_success(event.node);
+        warm_pushed_.erase(event.path);
+        break;
+      case Mailbox::Kind::kWarmTimeout:
+        on_timeout(event.node);
+        warm_pushed_.erase(event.path);
+        break;
     }
   }
 }
@@ -868,15 +1049,12 @@ StatusOr<common::Buffer> HvacClient::accept_response(
       ++stats_.served_remote_cache;
     } else {
       ++stats_.served_remote_fetch;
-      // First fetch of this file: place the backup copies now, while
-      // the contents are in hand (replication extension).
-      replicate(path, response.payload, server);
     }
-    // Freshly promoted hot file: this is the first read since promotion
-    // with the bytes in hand — push the heat-driven replica fanout.
-    if (hot_files_ != nullptr && pending_hot_fanout_.erase(path) > 0) {
-      replicate_hot(path, response.payload, server);
-    }
+    // Replica placement — every firing policy (miss-recache on a fill,
+    // hot fanout on the first post-promotion read, warm standby whenever
+    // coverage is missing or stale) plans against one shared chain walk
+    // and the target sets are deduped per node.
+    push_replicas(path, response.payload, server, !response.cache_hit);
     return std::move(response.payload);
   }
   // Server answered with an application error (e.g. file missing from

@@ -48,6 +48,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -61,6 +62,7 @@
 #include "common/types.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace_context.hpp"
+#include "placement/replication_policy.hpp"
 #include "ring/bounded_load.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/placement.hpp"
@@ -97,12 +99,16 @@ struct HvacClientConfig {
   /// Verify payload CRC against the server-computed checksum.
   bool verify_checksums = true;
   /// Replication extension (hash-ring mode only): cache every file on the
-  /// first `replication_factor` distinct ring owners.  On a failure the
+  /// first `replication.factor` distinct ring owners.  On a failure the
   /// clockwise successor already holds the lost files, so recovery needs
-  /// NO PFS access at all — at replication_factor x the NVMe footprint.
-  /// 1 = the paper's system (no replication).  Valid: >= 1 and <= cluster
-  /// size at construction.
-  std::uint32_t replication_factor = 1;
+  /// NO PFS access at all — at factor x the NVMe footprint.  factor == 1
+  /// is the paper's system (no replication).  With `replication.
+  /// warm_standby` the backups are placed proactively on every
+  /// authoritative fill (write-behind, generation-stamped) instead of
+  /// only on miss fills — the warm-failover mode.  Replaces the old flat
+  /// `replication_factor` knob (now `replication.factor`); see
+  /// placement::ReplicationConfig for the full set and validity ranges.
+  placement::ReplicationConfig replication;
 
   // --- gray-failure handling (hash-ring mode only) ---------------------
   /// When true, a flagged node enters probation and may be reinstated by
@@ -191,7 +197,7 @@ struct HvacClientConfig {
   std::uint32_t hot_decay_interval = 4096;
 
   /// Checks every field against its documented range; `cluster_size` (0 =
-  /// unknown) additionally bounds replication_factor.  The HvacClient
+  /// unknown) additionally bounds replication.factor.  The HvacClient
   /// constructor rejects configs this returns non-OK for.
   [[nodiscard]] Status validate(std::size_t cluster_size = 0) const;
 };
@@ -323,6 +329,14 @@ class HvacClient {
     std::uint64_t hot_promotions = 0;     ///< files entering a replica set
     std::uint64_t hot_demotions = 0;      ///< promotions dropped (heat decay)
     std::uint64_t hot_invalidations = 0;  ///< promotions dropped (ring epoch)
+    // Warm failover (zero with replication.warm_standby off).  Successful
+    // warm puts also count toward replicas_pushed — that field stays the
+    // one total over every backup kPut, exactly as before.
+    std::uint64_t warm_pushes = 0;        ///< standby puts acknowledged
+    std::uint64_t warm_restores = 0;      ///< of which: generation repairs
+    std::uint64_t warm_deferred = 0;      ///< pushes skipped at depth cap
+    std::uint64_t warm_invalidations = 0;  ///< standby sets moved by a
+                                           ///< ring change (repair issued)
   };
   /// Value snapshot of the counters.  There is deliberately no reference
   /// accessor: callers can neither mutate the client's counters nor
@@ -394,11 +408,20 @@ class HvacClient {
   StatusOr<common::Buffer> accept_response(const std::string& path,
                                            NodeId server,
                                            rpc::RpcResponse response);
-  /// Pushes backup copies of `path` to the replica chain beyond the
-  /// primary (replication extension; no-op when replication_factor <= 1).
-  /// Every backup request shares `contents` by refcount.
-  void replicate(const std::string& path, const common::Buffer& contents,
-                 NodeId primary);
+  /// The unified replica push (every policy in one pass): collects plans
+  /// from the active ReplicationPolicies — miss-recache when `cache_fill`,
+  /// the pending hot fanout, the warm standby — merges them into one
+  /// deduplicated kPut per target node, and executes sync targets inline
+  /// and async ones write-behind.  Every request shares `contents` by
+  /// refcount.  No-op when no policy is active.
+  void push_replicas(const std::string& path, const common::Buffer& contents,
+                     NodeId primary, bool cache_fill);
+  /// Executes one merged target: a synchronous kPut with legacy
+  /// detector/stats bookkeeping, or an async one whose verdict arrives
+  /// through the mailbox.
+  void execute_put(const placement::MergedTarget& target,
+                   const std::string& path, const common::Buffer& contents,
+                   bool warm_restore);
   /// Folds a response's piggybacked load hint into the estimator (no-op
   /// when neither skew knob is on, or the response carries no hint).
   void observe_load_hint(NodeId server, const rpc::RpcResponse& response);
@@ -419,10 +442,6 @@ class HvacClient {
   /// Tears down one demoted/invalidated promotion: best-effort async
   /// kEvict to the (current) replica chain beyond the primary.
   void retire_hot_replicas(const std::string& path, bool epoch_bump);
-  /// Async kPut fanout of a freshly promoted hot file to its replica set
-  /// (distinct from replicate(): driven by heat, not by miss-recache).
-  void replicate_hot(const std::string& path, const common::Buffer& contents,
-                     NodeId primary);
 
   NodeId self_;
   rpc::Transport& transport_;
@@ -468,6 +487,10 @@ class HvacClient {
     std::atomic<std::uint64_t> hot_promotions{0};
     std::atomic<std::uint64_t> hot_demotions{0};
     std::atomic<std::uint64_t> hot_invalidations{0};
+    std::atomic<std::uint64_t> warm_pushes{0};
+    std::atomic<std::uint64_t> warm_restores{0};
+    std::atomic<std::uint64_t> warm_deferred{0};
+    std::atomic<std::uint64_t> warm_invalidations{0};
   };
   AtomicStats stats_;
   LatencyRecorder latency_;
@@ -486,6 +509,29 @@ class HvacClient {
   /// Per-node load view fed by piggybacked hints (single-threaded: only
   /// the owning thread's synchronous response path observes into it).
   ring::NodeLoadEstimator load_estimator_;
+  /// Replication policies (placement arithmetic only; this client
+  /// executes their plans).  Each is null unless its knob is on, so the
+  /// all-legacy fast path in push_replicas is three null checks.
+  std::unique_ptr<placement::MissRecachePolicy> miss_policy_;
+  std::unique_ptr<placement::HotFanoutPolicy> hot_policy_;
+  std::unique_ptr<placement::WarmStandbyPolicy> warm_policy_;
+  /// Warm bookkeeping: path -> the placement generation its standbys were
+  /// pushed under plus the standby set actually placed.  A generation
+  /// mismatch means the marking describes a dead ring — but the bytes
+  /// only move again if the recomputed standby set differs; a ring change
+  /// that left this file's successors alone just adopts the new
+  /// generation (most files, on most epoch bumps).  Marked at issue time;
+  /// a failed push erases its entry so a later read retries.
+  struct WarmMarking {
+    std::uint64_t generation = 0;
+    std::vector<NodeId> targets;
+  };
+  std::unordered_map<std::string, WarmMarking> warm_pushed_;
+  /// In-flight write-behind standby puts (shared with the completion
+  /// callbacks, which outlive any single read).  Bounds the write-behind
+  /// queue: write_behind_depth for first placements, restore_concurrency
+  /// for generation repairs.
+  std::shared_ptr<std::atomic<std::uint32_t>> warm_inflight_;
   /// Heat sketch + promotion state; null unless hot_fanout is on.
   std::unique_ptr<HotFilePromoter> hot_files_;
   /// Promoted files whose replica fanout has not been pushed yet — the

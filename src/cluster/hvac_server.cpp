@@ -45,7 +45,8 @@ HvacServer::HvacServer(NodeId id, PfsStore& pfs,
                        const HvacServerConfig& config)
     : id_(id), pfs_(pfs), config_(config),
       cache_(config.cache_capacity_bytes, config.eviction_policy,
-             config.cache_shards) {
+             config.cache_shards),
+      recache_policy_(config.async_data_mover) {
   const Status valid = config_.validate();
   if (!valid.is_ok()) {
     throw std::invalid_argument("HvacServerConfig: " + valid.message());
@@ -141,6 +142,9 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
           " recache_enqueued=" + std::to_string(s.recache_enqueued) +
           " recache_completed=" + std::to_string(s.recache_completed) +
           " replicas_stored=" + std::to_string(s.replicas_stored) +
+          " warm_replicas_stored=" + std::to_string(s.warm_replicas_stored) +
+          " stale_replica_puts=" + std::to_string(s.stale_replica_puts) +
+          " warm_replica_bytes=" + std::to_string(s.warm_replica_bytes) +
           " payload_bytes_copied=" + std::to_string(s.payload_bytes_copied) +
           " evictions=" + std::to_string(s.evictions) +
           " expired_on_arrival=" + std::to_string(s.expired_on_arrival) +
@@ -155,11 +159,36 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
       // Backup-replica placement (replication extension): store without
       // touching the PFS.  The stored buffer shares the request's bytes.
       rpc::RpcResponse response;
+      const bool stamped = request.replica_generation != 0;
+      if (stamped) {
+        // Replica freshness: a generation-stamped put must never roll a
+        // standby back to a dead ring's placement.  Remember the highest
+        // accepted generation per path and refuse anything older with
+        // kCancelled — the sender learns a fresher standby already sits
+        // here.  Equal generations re-store (idempotent; a retried push
+        // after a shed must be able to land).
+        std::lock_guard<std::mutex> lock(generation_mu_);
+        auto [it, inserted] = replica_generations_.try_emplace(
+            request.path, request.replica_generation);
+        if (!inserted) {
+          if (request.replica_generation < it->second) {
+            stats_.stale_replica_puts.fetch_add(1, std::memory_order_relaxed);
+            response.code = StatusCode::kCancelled;
+            return response;
+          }
+          it->second = request.replica_generation;
+        }
+      }
       const Status put = cache_.put(request.path, request.payload,
                                     request.payload.size());
       response.code = put.code();
       if (put.is_ok()) {
         stats_.replicas_stored.fetch_add(1, std::memory_order_relaxed);
+        if (stamped) {
+          stats_.warm_replicas_stored.fetch_add(1, std::memory_order_relaxed);
+          stats_.warm_replica_bytes.fetch_add(request.payload.size(),
+                                              std::memory_order_relaxed);
+        }
       }
       return response;
     }
@@ -240,7 +269,13 @@ rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
   response.checksum = payload_crc(contents);
 
   stats_.recache_enqueued.fetch_add(1, std::memory_order_relaxed);
-  if (config_.async_data_mover) {
+  // The local recache is the degenerate replication plan (no remote
+  // targets); its write class carries the old async_data_mover decision.
+  placement::PlanContext fill_ctx;
+  fill_ctx.path = request.path;
+  fill_ctx.primary = id_;
+  if (recache_policy_.plan(fill_ctx).write_class ==
+      placement::WriteClass::kAsyncWriteBehind) {
     // The recache task shares the response's buffer — enqueueing is a
     // refcount bump, not a payload copy.
     mover_pool_->submit([this, path = request.path, contents] {
@@ -273,6 +308,11 @@ void HvacServer::clear_cache() {
   // entry after the clear.
   flush_data_mover();
   cache_.clear();
+  // The freshness ledger describes entries that no longer exist; keeping
+  // it would make a rejoined node refuse the very standbys that should
+  // repopulate its empty NVMe.
+  std::lock_guard<std::mutex> lock(generation_mu_);
+  replica_generations_.clear();
 }
 
 HvacServer::Stats HvacServer::stats_snapshot() const {
@@ -291,6 +331,12 @@ HvacServer::Stats HvacServer::stats_snapshot() const {
     s.recache_completed =
         stats_.recache_completed.load(std::memory_order_relaxed);
     s.replicas_stored = stats_.replicas_stored.load(std::memory_order_relaxed);
+    s.warm_replicas_stored =
+        stats_.warm_replicas_stored.load(std::memory_order_relaxed);
+    s.stale_replica_puts =
+        stats_.stale_replica_puts.load(std::memory_order_relaxed);
+    s.warm_replica_bytes =
+        stats_.warm_replica_bytes.load(std::memory_order_relaxed);
     s.payload_bytes_copied =
         stats_.payload_bytes_copied.load(std::memory_order_relaxed);
     s.evictions = cache_.eviction_count();

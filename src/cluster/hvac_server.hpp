@@ -19,13 +19,16 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "cluster/fault_detector.hpp"  // NodeId
 #include "cluster/pfs_guard.hpp"
 #include "cluster/pfs_store.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/flight_recorder.hpp"
+#include "placement/replication_policy.hpp"
 #include "rpc/message.hpp"
 #include "storage/sharded_cache_store.hpp"
 
@@ -129,6 +132,14 @@ class HvacServer {
     std::uint64_t recache_enqueued = 0;
     std::uint64_t recache_completed = 0;
     std::uint64_t replicas_stored = 0;  ///< kPut backups accepted
+    /// Of the accepted backups: generation-stamped warm standbys (warm
+    /// failover extension; 0 with every legacy sender).
+    std::uint64_t warm_replicas_stored = 0;
+    /// Stamped kPuts refused kCancelled because a fresher generation of
+    /// the same replica was already stored (replica freshness rule).
+    std::uint64_t stale_replica_puts = 0;
+    /// Payload bytes of accepted warm standbys (freshness telemetry).
+    std::uint64_t warm_replica_bytes = 0;
     /// Bytes of payload memcpy'd on the serve path.  Stays 0 on the
     /// refcounted data path (hits share the cache entry's bytes; a miss
     /// shares one buffer between response and recache task); kept so
@@ -191,6 +202,9 @@ class HvacServer {
     std::atomic<std::uint64_t> recache_enqueued{0};
     std::atomic<std::uint64_t> recache_completed{0};
     std::atomic<std::uint64_t> replicas_stored{0};
+    std::atomic<std::uint64_t> warm_replicas_stored{0};
+    std::atomic<std::uint64_t> stale_replica_puts{0};
+    std::atomic<std::uint64_t> warm_replica_bytes{0};
     std::atomic<std::uint64_t> payload_bytes_copied{0};
     std::atomic<std::uint64_t> expired_on_arrival{0};
   };
@@ -202,6 +216,15 @@ class HvacServer {
   obs::FlightRecorder* recorder_ = nullptr;
   storage::ShardedCacheStore cache_;  ///< internally lock-striped
   AtomicStats stats_;
+  /// The recache enqueue's write-class decision, expressed through the
+  /// same ReplicationPolicy vocabulary the client's replica pushes use
+  /// (the async_data_mover knob feeds it at construction).
+  placement::LocalRecachePolicy recache_policy_;
+  /// Replica-freshness ledger: highest stamped generation accepted per
+  /// path.  Touched only for generation-stamped kPuts (warm standbys);
+  /// the legacy unstamped path never takes this lock.
+  std::mutex generation_mu_;
+  std::unordered_map<std::string, std::uint64_t> replica_generations_;
   /// Storm protection for the miss path; null when pfs_singleflight off
   /// (the miss path is then bit-identical to the seed's).
   std::unique_ptr<PfsFetchGuard> pfs_guard_;

@@ -22,6 +22,7 @@ const char* record_kind_name(RecordKind kind) {
     case RecordKind::kLoadSpill: return "load_spill";
     case RecordKind::kHotPromotion: return "hot_promotion";
     case RecordKind::kHotDemotion: return "hot_demotion";
+    case RecordKind::kWarmPush: return "warm_push";
   }
   return "unknown";
 }

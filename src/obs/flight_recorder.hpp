@@ -68,6 +68,10 @@ enum class RecordKind : std::uint8_t {
   kHotPromotion = 14,  ///< Event: file promoted to a hot replica set.
   kHotDemotion = 15,   ///< Event: promotion dropped (heat decay or ring
                        ///< epoch bump; code distinguishes which).
+  // Warm-failover events.
+  kWarmPush = 16,  ///< Event: standby replica push issued (code kOk =
+                   ///< first placement, kUnavailable = generation repair
+                   ///< after a ring-epoch change; value = generation).
 };
 
 const char* record_kind_name(RecordKind kind);
@@ -78,7 +82,7 @@ constexpr bool record_is_span(RecordKind kind) {
   return kind != RecordKind::kServerShed && kind != RecordKind::kPfsRejected &&
          kind != RecordKind::kSuspicion && kind != RecordKind::kRingUpdate &&
          kind != RecordKind::kLoadSpill && kind != RecordKind::kHotPromotion &&
-         kind != RecordKind::kHotDemotion;
+         kind != RecordKind::kHotDemotion && kind != RecordKind::kWarmPush;
 }
 
 /// One decoded flight-recorder entry.

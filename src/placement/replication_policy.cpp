@@ -1,0 +1,121 @@
+#include "placement/replication_policy.hpp"
+
+#include <algorithm>
+
+namespace ftc::placement {
+
+const char* trigger_name(ReplicationTrigger trigger) {
+  switch (trigger) {
+    case ReplicationTrigger::kMissRecache: return "miss_recache";
+    case ReplicationTrigger::kHotFanout: return "hot_fanout";
+    case ReplicationTrigger::kWarmStandby: return "warm_standby";
+    case ReplicationTrigger::kLocalFill: return "local_fill";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared chain walk: every chain member except the primary and the
+/// excluded, in clockwise order — the one owner-chain traversal that used
+/// to be copy-pasted per feature.
+void targets_from_chain(const PlanContext& ctx, ReplicationTrigger trigger,
+                        ReplicaPlan& plan) {
+  for (const NodeId node : *ctx.chain) {
+    if (node == ctx.primary || (*ctx.excluded)(node)) continue;
+    plan.targets.push_back({node, trigger});
+  }
+}
+
+}  // namespace
+
+ReplicaPlan MissRecachePolicy::plan(const PlanContext& ctx) const {
+  ReplicaPlan result;
+  result.write_class = WriteClass::kSyncInline;
+  if (factor_ <= 1) return result;
+  targets_from_chain(ctx, ReplicationTrigger::kMissRecache, result);
+  return result;
+}
+
+ReplicaPlan HotFanoutPolicy::plan(const PlanContext& ctx) const {
+  ReplicaPlan result;
+  result.write_class = WriteClass::kAsyncWriteBehind;
+  if (fanout_ < 2) return result;
+  targets_from_chain(ctx, ReplicationTrigger::kHotFanout, result);
+  return result;
+}
+
+ReplicaPlan WarmStandbyPolicy::plan(const PlanContext& ctx) const {
+  ReplicaPlan result;
+  result.write_class = WriteClass::kAsyncWriteBehind;
+  // Wire stamp is generation + 1: 0 is the wire's "unstamped legacy put"
+  // sentinel, and a cluster that has never changed its ring sits at
+  // generation 0.  The bias is monotone, so the server's freshness
+  // comparisons are unaffected.
+  result.generation = ctx.generation + 1;
+  if (factor_ < 2) return result;
+  targets_from_chain(ctx, ReplicationTrigger::kWarmStandby, result);
+  return result;
+}
+
+ReplicaPlan LocalRecachePolicy::plan(const PlanContext& ctx) const {
+  (void)ctx;
+  ReplicaPlan result;
+  result.write_class =
+      async_ ? WriteClass::kAsyncWriteBehind : WriteClass::kSyncInline;
+  return result;
+}
+
+std::vector<MergedTarget> merge_plans(const std::vector<ReplicaPlan>& plans) {
+  std::vector<MergedTarget> merged;
+  for (const ReplicaPlan& plan : plans) {
+    for (const ReplicaTarget& target : plan.targets) {
+      auto existing = std::find_if(
+          merged.begin(), merged.end(),
+          [&target](const MergedTarget& m) { return m.node == target.node; });
+      if (existing == merged.end()) {
+        merged.push_back(MergedTarget{
+            target.node, plan.write_class, plan.generation,
+            static_cast<std::uint8_t>(
+                1U << static_cast<std::uint8_t>(target.trigger))});
+        continue;
+      }
+      if (plan.write_class == WriteClass::kSyncInline) {
+        existing->write_class = WriteClass::kSyncInline;
+      }
+      existing->generation = std::max(existing->generation, plan.generation);
+      existing->triggers |= static_cast<std::uint8_t>(
+          1U << static_cast<std::uint8_t>(target.trigger));
+    }
+  }
+  return merged;
+}
+
+Status ReplicationConfig::validate(std::size_t cluster_size) const {
+  if (factor == 0) {
+    return Status::invalid_argument("replication.factor must be >= 1");
+  }
+  if (cluster_size > 0 && factor > cluster_size) {
+    return Status::invalid_argument(
+        "replication.factor (" + std::to_string(factor) +
+        ") exceeds cluster size (" + std::to_string(cluster_size) + ")");
+  }
+  if (warm_standby) {
+    if (factor < 2) {
+      return Status::invalid_argument(
+          "replication.warm_standby needs factor >= 2 (a standby is a "
+          "second distinct owner)");
+    }
+    if (write_behind_depth == 0) {
+      return Status::invalid_argument(
+          "replication.write_behind_depth must be >= 1 with warm_standby");
+    }
+    if (restore_concurrency == 0) {
+      return Status::invalid_argument(
+          "replication.restore_concurrency must be >= 1 with warm_standby");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace ftc::placement

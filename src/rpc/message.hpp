@@ -146,6 +146,12 @@ struct RpcRequest {
   /// retries inherit the read's remaining budget through this field.
   /// kNoDeadline = never expires (legacy senders).
   DeadlineNs deadline_ns = kNoDeadline;
+  /// kPut only: the placement generation (ring epoch) the sender derived
+  /// the replica target from.  A server remembers the highest stamped
+  /// generation per path and answers kCancelled to anything older, so a
+  /// lagging client can never roll a warm standby back to a dead ring's
+  /// placement.  0 = unstamped (every legacy sender, bit-for-bit).
+  std::uint64_t replica_generation = 0;
   /// Tracing context for this request (all-zero / unsampled by default —
   /// the wire default is bit-for-bit an uninstrumented sender).  Lets a
   /// server attribute its admission/queue/execute phases to the exact

@@ -172,11 +172,26 @@ TEST(HvacClientConfigValidate, RejectsOutOfRangeFields) {
   EXPECT_TRUE(config.validate().is_ok());
 
   config = {};
-  config.replication_factor = 0;
+  config.replication.factor = 0;
   EXPECT_EQ(config.validate().code(), StatusCode::kInvalidArgument);
-  config.replication_factor = 5;
+  config.replication.factor = 5;
   EXPECT_TRUE(config.validate().is_ok());  // cluster size unknown
   EXPECT_EQ(config.validate(4).code(), StatusCode::kInvalidArgument);
+
+  // Warm standby needs a real factor, sane depths, and the ring mode.
+  config = {};
+  config.replication.warm_standby = true;
+  EXPECT_EQ(config.validate().code(), StatusCode::kInvalidArgument);
+  config.replication.factor = 2;
+  EXPECT_TRUE(config.validate().is_ok());
+  config.replication.write_behind_depth = 0;
+  EXPECT_EQ(config.validate().code(), StatusCode::kInvalidArgument);
+  config.replication.write_behind_depth = 64;
+  config.replication.restore_concurrency = 0;
+  EXPECT_EQ(config.validate().code(), StatusCode::kInvalidArgument);
+  config.replication.restore_concurrency = 4;
+  config.mode = FtMode::kPfsRedirect;
+  EXPECT_EQ(config.validate().code(), StatusCode::kInvalidArgument);
 
   config = {};
   config.probe_backoff = 0ms;
@@ -210,7 +225,7 @@ TEST(HvacClientConfigValidate, ConstructorThrowsOnInvalidConfig) {
   EXPECT_THROW(HvacClient(0, transport, pfs, {0, 1}, config),
                std::invalid_argument);
   config = {};
-  config.replication_factor = 3;
+  config.replication.factor = 3;
   EXPECT_THROW(HvacClient(0, transport, pfs, {0, 1}, config),
                std::invalid_argument);
 }

@@ -166,7 +166,7 @@ TEST(ClusterMembership, EightClientsConvergeOnOneKill) {
 // the node the cluster already confirmed failed.
 TEST(ClusterMembership, StaleClientCannotPushReplicasToConfirmedFailedNode) {
   ClusterConfig config = membership_config(5);
-  config.client.replication_factor = 2;
+  config.client.replication.factor = 2;
   Cluster cluster(config);
   const auto paths = cluster.stage_dataset(256, 64);
 

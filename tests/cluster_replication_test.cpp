@@ -18,7 +18,7 @@ ClusterConfig replicated_config(std::uint32_t factor) {
   config.client.rpc_timeout = 50ms;
   config.client.timeout_limit = 2;
   config.client.vnodes_per_node = 50;
-  config.client.replication_factor = factor;
+  config.client.replication.factor = factor;
   config.server.async_data_mover = false;
   config.server.cache_capacity_bytes = 64 << 20;
   return config;

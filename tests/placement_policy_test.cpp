@@ -1,0 +1,185 @@
+// ReplicationPolicy: the unified write/replication surface.  Policies are
+// pure placement arithmetic, so these tests need no transport or cluster —
+// a chain vector and an exclusion lambda are the whole world.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "placement/replication_policy.hpp"
+
+namespace ftc::placement {
+namespace {
+
+const std::function<bool(NodeId)> kNoneExcluded = [](NodeId) {
+  return false;
+};
+
+PlanContext make_ctx(const std::vector<NodeId>& chain,
+                     const std::function<bool(NodeId)>& excluded,
+                     NodeId primary = 0, std::uint64_t generation = 7) {
+  PlanContext ctx;
+  ctx.path = "dataset/file_0";
+  ctx.primary = primary;
+  ctx.generation = generation;
+  ctx.chain = &chain;
+  ctx.excluded = &excluded;
+  return ctx;
+}
+
+TEST(ReplicationPolicy, MissRecacheIsSyncAndSkipsPrimary) {
+  MissRecachePolicy policy(3);
+  EXPECT_EQ(policy.chain_length(), 3u);
+  const std::vector<NodeId> chain{0, 1, 2};
+  const ReplicaPlan plan = policy.plan(make_ctx(chain, kNoneExcluded));
+  EXPECT_EQ(plan.write_class, WriteClass::kSyncInline);
+  EXPECT_EQ(plan.generation, 0u);  // unstamped: the legacy wire put
+  ASSERT_EQ(plan.targets.size(), 2u);
+  EXPECT_EQ(plan.targets[0].node, 1u);
+  EXPECT_EQ(plan.targets[1].node, 2u);
+  EXPECT_EQ(plan.targets[0].trigger, ReplicationTrigger::kMissRecache);
+}
+
+TEST(ReplicationPolicy, FactorOneMissRecachePlansNothing) {
+  MissRecachePolicy policy(1);
+  const std::vector<NodeId> chain{0};
+  EXPECT_TRUE(policy.plan(make_ctx(chain, kNoneExcluded)).targets.empty());
+}
+
+TEST(ReplicationPolicy, ExcludedNodesAreSkippedNotReplaced) {
+  MissRecachePolicy policy(3);
+  const std::vector<NodeId> chain{0, 1, 2};
+  const std::function<bool(NodeId)> excluded = [](NodeId n) {
+    return n == 1;
+  };
+  const ReplicaPlan plan = policy.plan(make_ctx(chain, excluded));
+  ASSERT_EQ(plan.targets.size(), 1u);
+  EXPECT_EQ(plan.targets[0].node, 2u);
+}
+
+TEST(ReplicationPolicy, HotFanoutIsAsyncAndUnstamped) {
+  HotFanoutPolicy policy(2);
+  const std::vector<NodeId> chain{3, 1};
+  const ReplicaPlan plan = policy.plan(make_ctx(chain, kNoneExcluded, 3));
+  EXPECT_EQ(plan.write_class, WriteClass::kAsyncWriteBehind);
+  EXPECT_EQ(plan.generation, 0u);
+  ASSERT_EQ(plan.targets.size(), 1u);
+  EXPECT_EQ(plan.targets[0].node, 1u);
+  EXPECT_EQ(plan.targets[0].trigger, ReplicationTrigger::kHotFanout);
+}
+
+TEST(ReplicationPolicy, WarmStandbyStampsBiasedGeneration) {
+  WarmStandbyPolicy policy(2);
+  const std::vector<NodeId> chain{0, 2};
+  const ReplicaPlan plan =
+      policy.plan(make_ctx(chain, kNoneExcluded, 0, /*generation=*/0));
+  EXPECT_EQ(plan.write_class, WriteClass::kAsyncWriteBehind);
+  // Generation 0 (a ring that never changed) must still produce a
+  // stamped put: the wire reserves 0 for legacy senders, so the stamp is
+  // generation + 1.
+  EXPECT_EQ(plan.generation, 1u);
+  ASSERT_EQ(plan.targets.size(), 1u);
+  EXPECT_EQ(plan.targets[0].trigger, ReplicationTrigger::kWarmStandby);
+}
+
+TEST(ReplicationPolicy, LocalRecacheCarriesOnlyTheWriteClass) {
+  const std::vector<NodeId> chain;
+  LocalRecachePolicy async_policy(/*async_mover=*/true);
+  LocalRecachePolicy sync_policy(/*async_mover=*/false);
+  EXPECT_EQ(async_policy.plan(make_ctx(chain, kNoneExcluded)).write_class,
+            WriteClass::kAsyncWriteBehind);
+  EXPECT_EQ(sync_policy.plan(make_ctx(chain, kNoneExcluded)).write_class,
+            WriteClass::kSyncInline);
+  EXPECT_TRUE(async_policy.plan(make_ctx(chain, kNoneExcluded)).targets
+                  .empty());
+}
+
+TEST(MergePlans, SharedSuccessorGetsOnePutWithMaxGeneration) {
+  // The hot/warm overlap: both policies target node 1.  The merged set
+  // must contain node 1 exactly once, stamped with the NEWER generation,
+  // flagged with both triggers.
+  ReplicaPlan hot;
+  hot.write_class = WriteClass::kAsyncWriteBehind;
+  hot.targets = {{1, ReplicationTrigger::kHotFanout}};
+  ReplicaPlan warm;
+  warm.write_class = WriteClass::kAsyncWriteBehind;
+  warm.generation = 9;
+  warm.targets = {{1, ReplicationTrigger::kWarmStandby},
+                  {2, ReplicationTrigger::kWarmStandby}};
+
+  const auto merged = merge_plans({hot, warm});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].node, 1u);
+  EXPECT_EQ(merged[0].generation, 9u);
+  EXPECT_TRUE(merged[0].has_trigger(ReplicationTrigger::kHotFanout));
+  EXPECT_TRUE(merged[0].has_trigger(ReplicationTrigger::kWarmStandby));
+  EXPECT_EQ(merged[1].node, 2u);
+  EXPECT_FALSE(merged[1].has_trigger(ReplicationTrigger::kHotFanout));
+}
+
+TEST(MergePlans, SyncWriteClassWins) {
+  ReplicaPlan sync_plan;
+  sync_plan.write_class = WriteClass::kSyncInline;
+  sync_plan.targets = {{1, ReplicationTrigger::kMissRecache}};
+  ReplicaPlan async_plan;
+  async_plan.write_class = WriteClass::kAsyncWriteBehind;
+  async_plan.targets = {{1, ReplicationTrigger::kHotFanout}};
+
+  // Either contribution order: the merged put is inline.
+  for (const auto& plans :
+       {std::vector<ReplicaPlan>{sync_plan, async_plan},
+        std::vector<ReplicaPlan>{async_plan, sync_plan}}) {
+    const auto merged = merge_plans(plans);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].write_class, WriteClass::kSyncInline);
+  }
+}
+
+TEST(MergePlans, PreservesChainOrderOfFirstAppearance) {
+  ReplicaPlan a;
+  a.targets = {{3, ReplicationTrigger::kMissRecache},
+               {1, ReplicationTrigger::kMissRecache}};
+  ReplicaPlan b;
+  b.targets = {{1, ReplicationTrigger::kWarmStandby},
+               {4, ReplicationTrigger::kWarmStandby}};
+  const auto merged = merge_plans({a, b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].node, 3u);
+  EXPECT_EQ(merged[1].node, 1u);
+  EXPECT_EQ(merged[2].node, 4u);
+}
+
+TEST(ReplicationConfig, ValidateEnforcesDocumentedRanges) {
+  ReplicationConfig config;
+  EXPECT_TRUE(config.validate().is_ok());
+
+  config.factor = 0;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.factor = 5;
+  EXPECT_TRUE(config.validate().is_ok());        // size unknown
+  EXPECT_FALSE(config.validate(4).is_ok());      // exceeds cluster
+  EXPECT_TRUE(config.validate(5).is_ok());
+
+  config = {};
+  config.warm_standby = true;
+  EXPECT_FALSE(config.validate().is_ok());  // needs factor >= 2
+  config.factor = 2;
+  EXPECT_TRUE(config.validate().is_ok());
+  config.write_behind_depth = 0;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.write_behind_depth = 1;
+  config.restore_concurrency = 0;
+  EXPECT_FALSE(config.validate().is_ok());
+}
+
+TEST(ReplicationPolicy, TriggerNamesAreStable) {
+  EXPECT_STREQ(trigger_name(ReplicationTrigger::kMissRecache),
+               "miss_recache");
+  EXPECT_STREQ(trigger_name(ReplicationTrigger::kHotFanout), "hot_fanout");
+  EXPECT_STREQ(trigger_name(ReplicationTrigger::kWarmStandby),
+               "warm_standby");
+  EXPECT_STREQ(trigger_name(ReplicationTrigger::kLocalFill), "local_fill");
+}
+
+}  // namespace
+}  // namespace ftc::placement

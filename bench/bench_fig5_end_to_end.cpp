@@ -9,15 +9,224 @@
 //       FT w/ PFS — by 14.8% at 64 nodes and 24.9% at 1024 in the paper —
 //       and both overheads grow with scale (fixed elastic-restart cost
 //       looms larger as epochs shrink).
+//
+// Threaded prefetch phase (extension; runs after the DES sweep, or alone
+// with prefetch_only=1): measures epochs/hour on the REAL threaded
+// cluster under injected per-endpoint network latency, cold vs
+// epoch-ahead prefetched, healthy and with a mid-epoch kill.  The exit
+// code enforces the acceptance gates (>= 1.2x epochs/hour, steady-state
+// epoch PFS reads == 0 with prefetch on, kill recovery via kPeerGet +
+// warm standbys with zero extra PFS reads) and the run is written to
+// out= (default BENCH_prefetch.json) for the checked-in baseline.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "cluster/cluster.hpp"
 #include "common/string_util.hpp"
+#include "dl/threaded_trainer.hpp"
+
+namespace {
+
+struct PrefetchRun {
+  std::string name;
+  bool completed = false;
+  std::uint32_t restarts = 0;
+  std::uint64_t total_pfs_reads = 0;
+  std::vector<std::uint64_t> pfs_per_epoch;
+  std::vector<double> epoch_seconds;
+  /// Steady state = epochs >= 1 (epoch 0 is the PFS warm-up everywhere).
+  double epochs_per_hour = 0.0;
+  std::uint64_t prefetch_pulls = 0;
+  std::uint64_t prefetch_local_hits = 0;
+  std::uint64_t p2p_rescues = 0;
+  std::uint64_t peer_gets = 0;  ///< server-side kPeerGet requests served
+  std::uint64_t integrity_failures = 0;
+};
+
+enum class Scenario { kCold, kPrefetch, kKill };
+
+PrefetchRun run_prefetch_scenario(Scenario scenario, const ftc::Config& args) {
+  using namespace ftc;
+  const auto nodes = static_cast<std::uint32_t>(args.get_int("pf_nodes", 8));
+  const auto files = static_cast<std::uint32_t>(args.get_int("pf_files", 256));
+  const auto file_bytes =
+      static_cast<std::uint32_t>(args.get_int("pf_file_kb", 64)) * 1024u;
+  const auto lat_ms = args.get_int("pf_lat_ms", 1);
+  const auto epochs = static_cast<std::uint32_t>(args.get_int("pf_epochs", 3));
+
+  cluster::ClusterConfig config;
+  config.node_count = nodes;
+  config.client.mode = cluster::FtMode::kHashRingRecache;
+  config.client.rpc_timeout =
+      std::chrono::milliseconds(args.get_int("pf_rpc_timeout_ms", 25));
+  // Multiple endpoint workers let concurrent prefetch pulls overlap their
+  // injected latency — the whole point of the pipeline.
+  config.server.endpoint_workers =
+      static_cast<std::size_t>(args.get_int("pf_workers", 4));
+  config.pfs_read_latency =
+      std::chrono::microseconds(args.get_int("pf_pfs_us", 500));
+  if (scenario != Scenario::kCold) {
+    config.client.prefetch.enabled = true;
+    config.client.prefetch.depth =
+        static_cast<std::uint32_t>(args.get_int("pf_depth", 8));
+  }
+  if (scenario == Scenario::kKill) {
+    config.client.prefetch.p2p = true;
+    config.client.replication.factor = 2;
+    config.client.replication.warm_standby = true;
+  }
+  cluster::Cluster cluster(config);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    cluster.transport().set_extra_latency(n, std::chrono::milliseconds(lat_ms));
+  }
+  const auto paths = cluster.stage_dataset(files, file_bytes);
+
+  dl::ThreadedTrainingConfig train;
+  train.epochs = epochs;
+  train.prefetch = (scenario != Scenario::kCold);
+  if (scenario == Scenario::kKill) {
+    dl::ThreadedTrainingConfig::Injection kill;
+    kill.epoch = 1;
+    kill.after_files =
+        static_cast<std::uint32_t>(args.get_int("pf_kill_after", files / 6));
+    kill.victim = nodes - 1;
+    train.injections = {kill};
+  }
+  const auto result =
+      dl::run_threaded_training(cluster, paths, file_bytes, train);
+
+  PrefetchRun run;
+  run.name = scenario == Scenario::kCold        ? "cold"
+             : scenario == Scenario::kPrefetch  ? "prefetched"
+                                                : "prefetched+kill";
+  run.completed = result.completed;
+  run.restarts = result.restarts;
+  run.total_pfs_reads = cluster.pfs().read_count();
+  run.pfs_per_epoch = result.pfs_reads_per_epoch;
+  run.epoch_seconds = result.epoch_seconds;
+  run.integrity_failures = result.integrity_failures;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const auto client_stats = cluster.client(n).stats_snapshot();
+    run.prefetch_pulls += client_stats.prefetch_pulls;
+    run.prefetch_local_hits += client_stats.prefetch_local_hits;
+    run.p2p_rescues += client_stats.p2p_rescues;
+    run.peer_gets += cluster.server(n).stats_snapshot().peer_gets;
+  }
+  if (run.epoch_seconds.size() > 1) {
+    double steady = 0.0;
+    for (std::size_t e = 1; e < run.epoch_seconds.size(); ++e) {
+      steady += run.epoch_seconds[e];
+    }
+    const double mean =
+        steady / static_cast<double>(run.epoch_seconds.size() - 1);
+    if (mean > 0.0) run.epochs_per_hour = 3600.0 / mean;
+  }
+  return run;
+}
+
+void emit_prefetch_json(const std::string& path,
+                        const std::vector<PrefetchRun>& runs, bool pass) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[fig5] cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"fig5_prefetch\",\n  \"pass\": "
+      << (pass ? "true" : "false") << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    out << "    {\"name\": \"" << run.name << "\", \"completed\": "
+        << (run.completed ? "true" : "false")
+        << ", \"restarts\": " << run.restarts
+        << ", \"epochs_per_hour\": " << ftc::format_double(run.epochs_per_hour, 2)
+        << ", \"total_pfs_reads\": " << run.total_pfs_reads
+        << ", \"pfs_reads_per_epoch\": [";
+    for (std::size_t e = 0; e < run.pfs_per_epoch.size(); ++e) {
+      out << (e ? ", " : "") << run.pfs_per_epoch[e];
+    }
+    out << "], \"prefetch_pulls\": " << run.prefetch_pulls
+        << ", \"staged_hits\": " << run.prefetch_local_hits
+        << ", \"p2p_rescues\": " << run.p2p_rescues
+        << ", \"server_peer_gets\": " << run.peer_gets
+        << ", \"integrity_failures\": " << run.integrity_failures << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int run_prefetch_phase(const ftc::Config& args) {
+  using namespace ftc;
+  std::fprintf(stderr, "[fig5] threaded prefetch phase: cold...\n");
+  const auto cold = run_prefetch_scenario(Scenario::kCold, args);
+  std::fprintf(stderr, "[fig5] threaded prefetch phase: prefetched...\n");
+  const auto warm = run_prefetch_scenario(Scenario::kPrefetch, args);
+  std::fprintf(stderr, "[fig5] threaded prefetch phase: prefetched+kill...\n");
+  const auto kill = run_prefetch_scenario(Scenario::kKill, args);
+  const std::vector<PrefetchRun> runs = {cold, warm, kill};
+
+  TextTable table({"Scenario", "Epochs/h (steady)", "PFS reads", "Pulls",
+                   "Staged hits", "p2p rescues", "Peer gets", "Restarts"});
+  for (const auto& run : runs) {
+    table.add_row({run.name, format_double(run.epochs_per_hour, 1),
+                   std::to_string(run.total_pfs_reads),
+                   std::to_string(run.prefetch_pulls),
+                   std::to_string(run.prefetch_local_hits),
+                   std::to_string(run.p2p_rescues),
+                   std::to_string(run.peer_gets),
+                   std::to_string(run.restarts)});
+  }
+  bench::print_table(
+      "Threaded epoch-ahead prefetch: epochs/hour at " +
+          std::to_string(args.get_int("pf_nodes", 8)) +
+          " nodes (injected " + std::to_string(args.get_int("pf_lat_ms", 1)) +
+          "ms/endpoint latency)",
+      table);
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const std::string& what) {
+    std::printf("gate: %-58s %s\n", what.c_str(), ok ? "PASS" : "FAIL");
+    if (!ok) ++failures;
+  };
+  const auto files =
+      static_cast<std::uint64_t>(args.get_int("pf_files", 256));
+  gate(cold.completed && warm.completed && kill.completed,
+       "all three scenarios completed");
+  gate(warm.epochs_per_hour >= 1.2 * cold.epochs_per_hour,
+       "prefetched epochs/hour >= 1.2x cold");
+  bool steady_zero = warm.pfs_per_epoch.size() >= 2;
+  for (std::size_t e = 1; e < warm.pfs_per_epoch.size(); ++e) {
+    steady_zero = steady_zero && warm.pfs_per_epoch[e] == 0;
+  }
+  gate(steady_zero, "prefetched steady-state epoch PFS reads == 0");
+  gate(kill.restarts >= 1, "mid-epoch kill triggered an elastic restart");
+  gate(kill.total_pfs_reads == files,
+       "kill recovered with zero PFS reads beyond warm-up");
+  gate(kill.peer_gets > 0, "kPeerGet exercised (prefetch pulls / p2p)");
+  gate(cold.integrity_failures + warm.integrity_failures +
+               kill.integrity_failures ==
+           0,
+       "zero integrity failures");
+
+  emit_prefetch_json(args.get_string("out", "BENCH_prefetch.json"), runs,
+                     failures == 0);
+  std::printf(
+      "expected: epoch-ahead kPeerGet pulls overlap the injected latency "
+      "that cold demand reads pay serially; the kill epoch recovers from "
+      "warm standbys over kPeerGet, never the PFS\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ftc;
   using cluster::FtMode;
   const Config args = bench::parse_args(argc, argv);
+  if (args.get_bool("prefetch_only", false)) {
+    return run_prefetch_phase(args);
+  }
   const auto scales = bench::scales_from(args);
   const auto failure_count = static_cast<std::uint32_t>(
       args.get_int("failures", 5));
@@ -135,5 +344,5 @@ int main(int argc, char** argv) {
       "paper reference (b): FT w/ PFS +32.2%% @64 -> +68.7%% @1024 vs "
       "no-failure; FT w/ NVMe +12.5%% -> +26.7%%; NVMe beats PFS by 14.8%% "
       "@64 and 24.9%% @1024; NoFT aborts on failure (dashed line)\n");
-  return 0;
+  return run_prefetch_phase(args);
 }

@@ -100,6 +100,42 @@ print(f"exporter JSON parses: {len(metrics)} series, "
       f"overhead {doc['overhead_pct']}%")
 EOF
 
+echo "=== epoch-ahead prefetch smoke (bench_fig5_end_to_end prefetch_only=1, reduced load)"
+# Few-second smoke on the threaded cluster: cold vs epoch-ahead
+# prefetched vs prefetched+mid-epoch-kill.  The exit code enforces the
+# acceptance gates (epochs/hour >= 1.2x cold, steady-state epoch PFS
+# reads == 0 with prefetch on, kill recovery via kPeerGet + warm
+# standbys with zero PFS reads beyond warm-up).  The epochs/hour ratio
+# is a wall-clock measurement, so like the obs smoke it gets three
+# attempts: a real regression fails all of them, box noise does not.
+pf_ok=0
+for attempt in 1 2 3; do
+  if "${build_dir}/bench/bench_fig5_end_to_end" \
+    prefetch_only=1 pf_files=96 pf_file_kb=16 pf_epochs=3 \
+    out="${build_dir}/BENCH_prefetch_smoke.json"; then
+    pf_ok=1
+    break
+  fi
+  echo "prefetch smoke attempt ${attempt} failed (shared-box noise?); retrying"
+done
+[ "${pf_ok}" -eq 1 ]
+python3 - "${build_dir}/BENCH_prefetch_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+runs = {r["name"]: r for r in doc["scenarios"]}
+warm, kill = runs["prefetched"], runs["prefetched+kill"]
+assert all(n == 0 for n in warm["pfs_reads_per_epoch"][1:]), (
+    f"prefetched epochs touched the PFS: {warm['pfs_reads_per_epoch']}")
+assert kill["total_pfs_reads"] == 96, (
+    f"kill recovery read the PFS: {kill['total_pfs_reads']} != 96 warm-up reads")
+assert kill["server_peer_gets"] > 0, "kill scenario never exercised kPeerGet"
+assert kill["restarts"] >= 1, "kill scenario did not restart"
+print(f"prefetch smoke: {warm['epochs_per_hour']:.0f} vs "
+      f"{runs['cold']['epochs_per_hour']:.0f} epochs/h cold, "
+      f"{kill['server_peer_gets']} kPeerGet serves under kill, 0 extra PFS reads")
+EOF
+
 echo "=== thread sanitizer"
 "${source_dir}/scripts/sanitize.sh" thread
 

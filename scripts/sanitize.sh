@@ -29,6 +29,13 @@
 # the refcounted mailbox and the shared in-flight counter from pool
 # threads, racing reads, kills, rejoins, and the server's generation
 # ledger — the replication surface a torn stamp would corrupt.
+# Epoch-ahead prefetch (cluster_test, EpochPrefetch suite) is the newest
+# racy surface: bounded-depth async kPeerGet pulls whose completions CRC
+# the payload on pool threads, post the bytes through the refcounted
+# mailbox, and decrement the shared in-flight counter (post-then-decrement
+# ordering is what drain_prefetch's exit sweep relies on), interleaved
+# with kill-driven ring surgery, p2p chain hops, and the trainer's staged
+# consume on the owning thread.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 

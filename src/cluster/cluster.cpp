@@ -281,6 +281,19 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
     out.counter("ftc_client_warm_deferred_total", node_label, c.warm_deferred);
     out.counter("ftc_client_warm_invalidations_total", node_label,
                 c.warm_invalidations);
+    // Epoch-ahead prefetch / p2p recache (all zero with prefetch.* off):
+    out.counter("ftc_prefetch_planned_total", node_label, c.prefetch_planned);
+    out.counter("ftc_prefetch_pulls_total", node_label, c.prefetch_pulls);
+    out.counter("ftc_prefetch_pulls_outcome_total", with_outcome("hit"),
+                c.prefetch_hits);
+    out.counter("ftc_prefetch_pulls_outcome_total", with_outcome("miss"),
+                c.prefetch_misses);
+    out.counter("ftc_prefetch_pulls_outcome_total", with_outcome("deferred"),
+                c.prefetch_deferred);
+    out.counter("ftc_prefetch_local_hits_total", node_label,
+                c.prefetch_local_hits);
+    out.counter("ftc_p2p_rescues_total", node_label, c.p2p_rescues);
+    out.counter("ftc_p2p_bytes_total", node_label, c.p2p_bytes);
     const LatencyRecorder::BucketSnapshot lat =
         clients_[n]->latency().cumulative_buckets(kLatencyBoundsUs);
     out.histogram("ftc_client_read_latency_us", node_label, kLatencyBoundsUs,
@@ -308,6 +321,11 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
     out.counter("ftc_server_evictions_total", node_label, s.evictions);
     out.counter("ftc_server_expired_on_arrival_total", node_label,
                 s.expired_on_arrival);
+    out.counter("ftc_server_peer_gets_total", node_label, s.peer_gets);
+    out.counter("ftc_server_peer_get_hits_total", node_label,
+                s.peer_get_hits);
+    out.counter("ftc_server_peer_get_bytes_total", node_label,
+                s.peer_get_bytes);
     out.gauge("ftc_server_cache_used_bytes", node_label,
               static_cast<double>(s.used_bytes));
     out.gauge("ftc_server_cache_capacity_bytes", node_label,

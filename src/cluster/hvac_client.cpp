@@ -143,6 +143,13 @@ Status HvacClientConfig::validate(std::size_t cluster_size) const {
       return Status::invalid_argument("hot_decay_interval must be >= 1");
     }
   }
+  const Status prefetch_valid = prefetch.validate();
+  if (!prefetch_valid.is_ok()) return prefetch_valid;
+  if (prefetch.enabled && mode != FtMode::kHashRingRecache) {
+    return Status::invalid_argument(
+        "prefetch.enabled requires hash-ring mode (the planner diffs the "
+        "epoch's sample set against ring placement)");
+  }
   return Status::ok();
 }
 
@@ -166,18 +173,39 @@ struct HvacClient::Mailbox {
     kWarmShed,
     /// A warm put timed out: detector verdict plus the retry marking.
     kWarmTimeout,
+    /// A prefetch kPeerGet pull landed with the bytes (stage them).
+    kPrefetchHit,
+    /// The pulled peer answered kNotFound — it does not hold the file.
+    kPrefetchMiss,
+    /// The pulled peer shed the request (admission kBusy): alive, just
+    /// protecting itself.  Background pulls defer rather than retry.
+    kPrefetchBusy,
+    /// A prefetch pull timed out: detector verdict plus a re-queue so
+    /// the pull re-resolves against the post-surgery ring.
+    kPrefetchTimeout,
   };
   struct Event {
     NodeId node;
     Kind kind;
-    /// Warm events only: the path whose issue marking the verdict
-    /// affects.  Empty otherwise.
+    /// Warm/prefetch events only: the path the verdict affects.
     std::string path;
+    /// Prefetch hits only: the pulled payload and the serving peer's
+    /// generation-ledger stamp.
+    common::Buffer payload{};
+    std::uint64_t generation = 0;
+    /// Replica-chain hop the pull targeted (0 = ring owner); a p2p miss
+    /// continues at hop + 1.
+    std::uint32_t hop = 0;
   };
 
   void post(NodeId node, Kind kind, std::string path = {}) {
     std::lock_guard lock(mutex);
     events.push_back({node, kind, std::move(path)});
+  }
+
+  void post(Event event) {
+    std::lock_guard lock(mutex);
+    events.push_back(std::move(event));
   }
 
   std::vector<Event> drain() {
@@ -253,6 +281,10 @@ HvacClient::HvacClient(NodeId self, rpc::Transport& transport, PfsStore& pfs,
         config_.replication.factor);
   }
   warm_inflight_ = std::make_shared<std::atomic<std::uint32_t>>(0);
+  prefetch_inflight_ = std::make_shared<std::atomic<std::uint32_t>>(0);
+  if (config_.prefetch.p2p) {
+    peer_policy_ = std::make_unique<placement::PeerRecachePolicy>();
+  }
   if (config_.mode == FtMode::kHashRingRecache) {
     ring::RingConfig ring_config;
     ring_config.vnodes_per_node = config_.vnodes_per_node;
@@ -335,6 +367,18 @@ HvacClient::Stats HvacClient::stats_snapshot() const {
     s.warm_deferred = stats_.warm_deferred.load(std::memory_order_relaxed);
     s.warm_invalidations =
         stats_.warm_invalidations.load(std::memory_order_relaxed);
+    s.prefetch_planned =
+        stats_.prefetch_planned.load(std::memory_order_relaxed);
+    s.prefetch_pulls = stats_.prefetch_pulls.load(std::memory_order_relaxed);
+    s.prefetch_hits = stats_.prefetch_hits.load(std::memory_order_relaxed);
+    s.prefetch_misses =
+        stats_.prefetch_misses.load(std::memory_order_relaxed);
+    s.prefetch_deferred =
+        stats_.prefetch_deferred.load(std::memory_order_relaxed);
+    s.prefetch_local_hits =
+        stats_.prefetch_local_hits.load(std::memory_order_relaxed);
+    s.p2p_rescues = stats_.p2p_rescues.load(std::memory_order_relaxed);
+    s.p2p_bytes = stats_.p2p_bytes.load(std::memory_order_relaxed);
     return s;
   };
   // Torn-snapshot guard: per-field loads are individually atomic but the
@@ -494,7 +538,8 @@ StatusOr<common::Buffer> HvacClient::read_from_pfs(
 
 void HvacClient::push_replicas(const std::string& path,
                                const common::Buffer& contents, NodeId primary,
-                               bool cache_fill) {
+                               bool cache_fill,
+                               const placement::ReplicaPlan* extra) {
   // Which policies fire on this read?  Miss-recache only on an
   // authoritative fill; hot fanout only on the first read after a
   // promotion; warm standby whenever the file's standbys are missing or
@@ -510,7 +555,7 @@ void HvacClient::push_replicas(const std::string& path,
     warm_restore = it != warm_pushed_.end();
     warm_stale = !warm_restore || it->second.generation != generation;
   }
-  if (!miss_fires && !hot_fires && !warm_stale) return;
+  if (!miss_fires && !hot_fires && !warm_stale && extra == nullptr) return;
   if (ring_view_ == nullptr && membership_ == nullptr) return;
 
   std::vector<const placement::ReplicationPolicy*> policies;
@@ -539,9 +584,13 @@ void HvacClient::push_replicas(const std::string& path,
   ctx.excluded = &excluded;
 
   std::vector<placement::ReplicaPlan> plans;
-  plans.reserve(policies.size());
+  plans.reserve(policies.size() + 1);
   if (miss_fires) plans.push_back(miss_policy_->plan(ctx));
   if (hot_fires) plans.push_back(hot_policy_->plan(ctx));
+  // A peer-recache heal plan (already stamped with the serving peer's
+  // ledger generation) merges here so the owner repair and any standby
+  // placement for the same file collapse into one kPut per node.
+  if (extra != nullptr) plans.push_back(*extra);
 
   bool warm_fires = false;
   if (warm_stale) {
@@ -937,7 +986,7 @@ void HvacClient::busy_backoff(std::uint32_t retry_after_ms,
 }
 
 void HvacClient::drain_mailbox() {
-  for (const Mailbox::Event& event : mailbox_->drain()) {
+  for (Mailbox::Event& event : mailbox_->drain()) {
     switch (event.kind) {
       case Mailbox::Kind::kRpcSuccess:
         detector_.record_success(event.node);
@@ -977,6 +1026,37 @@ void HvacClient::drain_mailbox() {
       case Mailbox::Kind::kWarmTimeout:
         on_timeout(event.node);
         warm_pushed_.erase(event.path);
+        break;
+      case Mailbox::Kind::kPrefetchHit:
+        detector_.record_success(event.node);
+        ++stats_.prefetch_hits;
+        staged_prefetch_[event.path] =
+            StagedPrefetch{std::move(event.payload), event.generation};
+        issue_prefetch_pulls();
+        break;
+      case Mailbox::Kind::kPrefetchMiss:
+        detector_.record_success(event.node);
+        // With p2p on, the owner lacking the bytes is not the end: a warm
+        // standby one hop down the chain may hold them.
+        if (peer_policy_ == nullptr ||
+            event.hop + 1 >=
+                std::max<std::uint32_t>(2, config_.replication.factor) ||
+            !issue_prefetch_pull(event.path, event.hop + 1)) {
+          ++stats_.prefetch_misses;
+        }
+        issue_prefetch_pulls();
+        break;
+      case Mailbox::Kind::kPrefetchBusy:
+        detector_.record_success(event.node);
+        ++stats_.prefetch_deferred;
+        issue_prefetch_pulls();
+        break;
+      case Mailbox::Kind::kPrefetchTimeout:
+        on_timeout(event.node);
+        // Re-queue at the back: by the time it reissues, ring surgery has
+        // moved ownership to the successor (the kill-recovery path).
+        prefetch_pending_.push_back(std::move(event.path));
+        issue_prefetch_pulls();
         break;
     }
   }
@@ -1024,6 +1104,192 @@ void HvacClient::reinstate(NodeId node) {
   FTC_LOG(kInfo, "hvac_client")
       << "client " << self_ << " reinstates node " << node
       << " after successful probe";
+}
+
+void HvacClient::prefetch_epoch(const std::vector<std::string>& upcoming) {
+  if (!config_.prefetch.enabled) return;
+  drain_mailbox();
+  // A new epoch obsoletes pulls still queued for the previous one (the
+  // shuffle may never revisit those files); pulls already in flight are
+  // left to land — staged bytes stay useful if the file repeats.
+  const std::uint64_t deferred = prefetch_pending_.size();
+  stats_.prefetch_deferred += deferred;
+  prefetch_pending_.clear();
+  const prefetch::PrefetchPlan plan = prefetch_planner_.plan(
+      upcoming, self_,
+      [this](const std::string& path) { return resolve_owner(path); },
+      [this](const std::string& path) {
+        return staged_prefetch_.find(path) != staged_prefetch_.end();
+      });
+  stats_.prefetch_planned += plan.pulls.size();
+  if (recorder_ != nullptr) {
+    recorder_->record_event(
+        obs::RecordKind::kPrefetchPlan, obs::TraceContext{}, self_,
+        static_cast<std::uint32_t>(deferred > 0 ? StatusCode::kCancelled
+                                                : StatusCode::kOk),
+        plan.pulls.size(), "plan");
+  }
+  prefetch_pending_.assign(plan.pulls.begin(), plan.pulls.end());
+  issue_prefetch_pulls();
+}
+
+void HvacClient::drain_prefetch() {
+  if (!config_.prefetch.enabled) return;
+  // The transport enforces per-call deadlines, so this converges on its
+  // own; the cap is purely a hang safeguard.
+  const auto give_up = rpc::Clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    drain_mailbox();
+    if (prefetch_pending_.empty() &&
+        prefetch_inflight_->load(std::memory_order_acquire) == 0) {
+      // The callbacks post before decrementing, so a zero counter means
+      // every outcome has been mailed — but possibly after the drain
+      // above.  One final sweep picks up that tail.
+      drain_mailbox();
+      if (prefetch_pending_.empty() &&
+          prefetch_inflight_->load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      continue;  // the sweep re-queued a timeout or issued a p2p hop
+    }
+    if (rpc::Clock::now() > give_up) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void HvacClient::issue_prefetch_pulls() {
+  while (!prefetch_pending_.empty() &&
+         prefetch_inflight_->load(std::memory_order_relaxed) <
+             config_.prefetch.depth) {
+    const std::string path = std::move(prefetch_pending_.front());
+    prefetch_pending_.pop_front();
+    if (staged_prefetch_.find(path) != staged_prefetch_.end()) continue;
+    if (!issue_prefetch_pull(path, /*hop=*/0)) {
+      // Placement moved under the plan (now self-owned, or no live
+      // target): drop the pull, the demand path covers the file.
+      ++stats_.prefetch_deferred;
+    }
+  }
+}
+
+bool HvacClient::issue_prefetch_pull(const std::string& path,
+                                     std::uint32_t hop) {
+  // Re-resolve at issue time, not plan time: the deque may outlive ring
+  // surgery.  Hop 0 is the current owner; deeper hops walk the replica
+  // chain (warm standbys) when the p2p fallback is on.
+  NodeId target = ring::kInvalidNode;
+  if (hop == 0) {
+    target = resolve_owner(path);
+  } else {
+    const auto chain = replica_chain(path, hop + 1);
+    if (chain.size() > hop) target = chain[hop];
+  }
+  if (target == ring::kInvalidNode || target == self_ ||
+      excluded_for_data(target)) {
+    return false;
+  }
+  rpc::RpcRequest request;
+  request.op = rpc::Op::kPeerGet;
+  request.path = path;
+  request.client_node = self_;
+  if (membership_ != nullptr) membership_->stamp_request(request);
+  ++stats_.prefetch_pulls;
+  prefetch_inflight_->fetch_add(1, std::memory_order_relaxed);
+  const bool verify = config_.verify_checksums;
+  // The completion only touches the refcounted mailbox/counter — never
+  // the client, which may be gone by the time a pull against a dead peer
+  // times out.
+  transport_.call_async(
+      target, std::move(request), config_.rpc_timeout,
+      [mailbox = mailbox_, inflight = prefetch_inflight_, target, path, hop,
+       verify](StatusOr<rpc::RpcResponse> result) {
+        if (result.is_ok() && result.value().code == StatusCode::kOk) {
+          rpc::RpcResponse response = std::move(result).value();
+          if (verify &&
+              hash::crc32(response.payload.view()) != response.checksum) {
+            // Corrupted in flight: drop the bytes, the demand read
+            // re-fetches with its own integrity check.
+            mailbox->post({target, Mailbox::Kind::kPrefetchMiss, path,
+                           common::Buffer{}, 0, hop});
+          } else {
+            mailbox->post({target, Mailbox::Kind::kPrefetchHit, path,
+                           std::move(response.payload),
+                           response.replica_generation, hop});
+          }
+        } else if (result.is_ok() &&
+                   result.value().code == StatusCode::kNotFound) {
+          mailbox->post({target, Mailbox::Kind::kPrefetchMiss, path,
+                         common::Buffer{}, 0, hop});
+        } else if (!result.is_ok() && timeout_like(result.status())) {
+          mailbox->post({target, Mailbox::Kind::kPrefetchTimeout, path,
+                         common::Buffer{}, 0, hop});
+        } else {
+          // kBusy or another live-node answer: background work defers to
+          // foreground load rather than retrying into the shed.
+          mailbox->post({target, Mailbox::Kind::kPrefetchBusy, path});
+        }
+        // Decrement strictly AFTER the post: inflight == 0 then implies
+        // every outcome is in the mailbox (drain_prefetch's exit sweep
+        // relies on this ordering to never strand a staged payload).
+        inflight->fetch_sub(1, std::memory_order_release);
+      });
+  return true;
+}
+
+StatusOr<common::Buffer> HvacClient::peer_rescue(
+    const std::string& path, rpc::DeadlineNs deadline,
+    const obs::TraceContext& trace) {
+  const auto chain =
+      replica_chain(path, std::max<std::size_t>(2, config_.replication.factor));
+  for (const NodeId peer : chain) {
+    if (peer == self_ || excluded_for_data(peer)) continue;
+    rpc::RpcRequest request;
+    request.op = rpc::Op::kPeerGet;
+    request.path = path;
+    request.client_node = self_;
+    request.deadline_ns = deadline;
+    if (membership_ != nullptr) membership_->stamp_request(request);
+    auto result =
+        transport_.call(peer, std::move(request), attempt_timeout(deadline));
+    if (!result.is_ok()) {
+      if (timeout_like(result.status())) on_timeout(peer);
+      continue;
+    }
+    rpc::RpcResponse response = std::move(result).value();
+    ingest_membership(response);
+    observe_load_hint(peer, response);
+    detector_.record_success(peer);
+    if (response.code != StatusCode::kOk) continue;  // kNotFound/kBusy
+    if (config_.verify_checksums &&
+        hash::crc32(response.payload.view()) != response.checksum) {
+      ++stats_.checksum_failures;
+      continue;
+    }
+    ++stats_.p2p_rescues;
+    stats_.p2p_bytes += response.payload.size();
+    if (recorder_ != nullptr) {
+      recorder_->record_event(
+          obs::RecordKind::kPeerRecache,
+          trace.sampled ? trace.child() : obs::TraceContext{}, self_,
+          static_cast<std::uint32_t>(StatusCode::kOk), peer, path);
+    }
+    // Heal the authoritative owner node-to-node: the PeerRecachePolicy
+    // plan carries the serving peer's generation-ledger stamp and rides
+    // the unified push, merging with any warm-standby placement owed.
+    const std::function<bool(NodeId)> excluded = [this](NodeId node) {
+      return excluded_for_data(node);
+    };
+    placement::PlanContext ctx;
+    ctx.path = path;
+    ctx.primary = peer;  // the node that already holds the bytes
+    ctx.generation = response.replica_generation;
+    ctx.chain = &chain;
+    ctx.excluded = &excluded;
+    const placement::ReplicaPlan heal = peer_policy_->plan(ctx);
+    push_replicas(path, response.payload, peer, /*cache_fill=*/false, &heal);
+    return std::move(response.payload);
+  }
+  return Status::not_found("no peer holds " + path);
 }
 
 StatusOr<common::Buffer> HvacClient::accept_response(
@@ -1310,6 +1576,19 @@ StatusOr<common::Buffer> HvacClient::read_file(const std::string& path) {
 
 StatusOr<common::Buffer> HvacClient::read_file_impl(
     const std::string& path, const obs::TraceContext& trace) {
+  // Epoch-ahead fast path: a staged prefetch is consumed without any
+  // network round trip (CRC was verified at pull completion).  One-shot
+  // by design — the next epoch's planner re-pulls if the shuffle repeats
+  // the file, and the ring owner remains authoritative throughout.
+  if (!staged_prefetch_.empty()) {
+    const auto staged = staged_prefetch_.find(path);
+    if (staged != staged_prefetch_.end()) {
+      ++stats_.prefetch_local_hits;
+      common::Buffer payload = std::move(staged->second.payload);
+      staged_prefetch_.erase(staged);
+      return payload;
+    }
+  }
   const bool hedging = config_.hedge_reads &&
                        config_.mode == FtMode::kHashRingRecache;
 
@@ -1443,7 +1722,14 @@ StatusOr<common::Buffer> HvacClient::read_file_impl(
     }
     return status;  // unexpected transport error
   }
-  // Retries exhausted without a verdict — serve the authoritative copy.
+  // Retries exhausted without a verdict.  With p2p recache on, the
+  // replica chain gets one last node-to-node chance (a warm standby often
+  // still holds the bytes mid-storm) before paying the PFS.
+  if (peer_policy_ != nullptr) {
+    auto rescued = peer_rescue(path, deadline, trace);
+    if (rescued.is_ok()) return rescued;
+  }
+  // Serve the authoritative copy.
   return read_from_pfs(path, trace);
 }
 

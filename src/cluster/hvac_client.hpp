@@ -45,6 +45,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -63,6 +64,8 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/trace_context.hpp"
 #include "placement/replication_policy.hpp"
+#include "prefetch/epoch_prefetch_planner.hpp"
+#include "prefetch/prefetch_config.hpp"
 #include "ring/bounded_load.hpp"
 #include "ring/consistent_hash_ring.hpp"
 #include "ring/placement.hpp"
@@ -109,6 +112,17 @@ struct HvacClientConfig {
   /// `replication_factor` knob (now `replication.factor`); see
   /// placement::ReplicationConfig for the full set and validity ranges.
   placement::ReplicationConfig replication;
+  /// Shuffle-aware epoch-ahead prefetch (hash-ring mode only; everything
+  /// default-off).  With `prefetch.enabled` the trainer hands the client
+  /// its next sample set at each epoch boundary (prefetch_epoch) and an
+  /// EpochPrefetchPlanner pulls the remote-owned files node-to-node over
+  /// kPeerGet, at most `prefetch.depth` in flight, staging them locally so
+  /// the epoch's reads are served without a network round trip.  With
+  /// `prefetch.p2p` a read that would otherwise fall back to the PFS first
+  /// walks the replica chain over kPeerGet (ring owner, then warm
+  /// standbys) and the rescued bytes heal the authoritative owner through
+  /// the same merged replica-push path.  See prefetch::PrefetchConfig.
+  prefetch::PrefetchConfig prefetch;
 
   // --- gray-failure handling (hash-ring mode only) ---------------------
   /// When true, a flagged node enters probation and may be reinstated by
@@ -260,6 +274,25 @@ class HvacClient {
   /// excluded so the hedge policy cannot feed back into its own trigger.
   [[nodiscard]] const LatencyRecorder& latency() const { return latency_; }
 
+  /// Epoch-boundary prefetch entry point (no-op unless prefetch.enabled):
+  /// diffs `upcoming` — this node's next sample set, in read order —
+  /// against ring placement and what is already staged, then starts
+  /// bounded-depth background kPeerGet pulls for the remote-owned rest.
+  /// Pending pulls from the previous epoch are dropped (counted
+  /// prefetch_deferred); in-flight ones complete normally.  The pipeline
+  /// advances as the owning thread drains completions on every read.
+  void prefetch_epoch(const std::vector<std::string>& upcoming);
+
+  /// Blocks until no prefetch pull is pending or in flight (bench/test
+  /// synchronization; the training path never needs it).
+  void drain_prefetch();
+
+  /// True while `path` sits in the local prefetch staging area (telemetry
+  /// and tests; the read path consumes staged entries automatically).
+  [[nodiscard]] bool has_prefetched(const std::string& path) const {
+    return staged_prefetch_.find(path) != staged_prefetch_.end();
+  }
+
   /// TTL the paper's rule would pick right now: max observed latency x
   /// `margin`, or the configured rpc_timeout until enough samples exist.
   [[nodiscard]] std::chrono::milliseconds recommended_timeout(
@@ -337,6 +370,16 @@ class HvacClient {
     std::uint64_t warm_deferred = 0;      ///< pushes skipped at depth cap
     std::uint64_t warm_invalidations = 0;  ///< standby sets moved by a
                                            ///< ring change (repair issued)
+    // Epoch-ahead prefetch / p2p recache (zero with prefetch.* off):
+    std::uint64_t prefetch_planned = 0;  ///< pulls the planner selected
+    std::uint64_t prefetch_pulls = 0;    ///< kPeerGet pulls issued
+    std::uint64_t prefetch_hits = 0;     ///< pulls that staged a payload
+    std::uint64_t prefetch_misses = 0;   ///< pulls answered kNotFound
+    std::uint64_t prefetch_deferred = 0;  ///< pulls dropped (stale epoch /
+                                          ///< admission shed)
+    std::uint64_t prefetch_local_hits = 0;  ///< reads served from staging
+    std::uint64_t p2p_rescues = 0;  ///< PFS fallbacks averted via kPeerGet
+    std::uint64_t p2p_bytes = 0;    ///< bytes received over kPeerGet
   };
   /// Value snapshot of the counters.  There is deliberately no reference
   /// accessor: callers can neither mutate the client's counters nor
@@ -413,9 +456,12 @@ class HvacClient {
   /// the pending hot fanout, the warm standby — merges them into one
   /// deduplicated kPut per target node, and executes sync targets inline
   /// and async ones write-behind.  Every request shares `contents` by
-  /// refcount.  No-op when no policy is active.
+  /// refcount.  No-op when no policy is active.  `extra` (peer-recache
+  /// heal) is merged in when non-null, so a rescue's owner repair dedupes
+  /// against any warm-standby or hot-fanout push for the same file.
   void push_replicas(const std::string& path, const common::Buffer& contents,
-                     NodeId primary, bool cache_fill);
+                     NodeId primary, bool cache_fill,
+                     const placement::ReplicaPlan* extra = nullptr);
   /// Executes one merged target: a synchronous kPut with legacy
   /// detector/stats bookkeeping, or an async one whose verdict arrives
   /// through the mailbox.
@@ -442,6 +488,20 @@ class HvacClient {
   /// Tears down one demoted/invalidated promotion: best-effort async
   /// kEvict to the (current) replica chain beyond the primary.
   void retire_hot_replicas(const std::string& path, bool epoch_bump);
+  /// Starts queued prefetch pulls until prefetch.depth are in flight
+  /// (owning thread only; completion handlers call it again via drain).
+  void issue_prefetch_pulls();
+  /// One async kPeerGet pull for `path` against replica-chain hop `hop`
+  /// (0 = ring owner).  Returns false when no eligible target exists at
+  /// that hop (the path is dropped, not an error).
+  bool issue_prefetch_pull(const std::string& path, std::uint32_t hop);
+  /// Last line of defense before read_from_pfs with prefetch.p2p on:
+  /// walks the replica chain synchronously over kPeerGet and, on a hit,
+  /// heals the authoritative owner through the merged replica-push path
+  /// (PeerRecachePolicy).  kNotFound when no peer holds the bytes.
+  StatusOr<common::Buffer> peer_rescue(const std::string& path,
+                                       rpc::DeadlineNs deadline,
+                                       const obs::TraceContext& trace);
 
   NodeId self_;
   rpc::Transport& transport_;
@@ -491,6 +551,14 @@ class HvacClient {
     std::atomic<std::uint64_t> warm_restores{0};
     std::atomic<std::uint64_t> warm_deferred{0};
     std::atomic<std::uint64_t> warm_invalidations{0};
+    std::atomic<std::uint64_t> prefetch_planned{0};
+    std::atomic<std::uint64_t> prefetch_pulls{0};
+    std::atomic<std::uint64_t> prefetch_hits{0};
+    std::atomic<std::uint64_t> prefetch_misses{0};
+    std::atomic<std::uint64_t> prefetch_deferred{0};
+    std::atomic<std::uint64_t> prefetch_local_hits{0};
+    std::atomic<std::uint64_t> p2p_rescues{0};
+    std::atomic<std::uint64_t> p2p_bytes{0};
   };
   AtomicStats stats_;
   LatencyRecorder latency_;
@@ -544,6 +612,22 @@ class HvacClient {
   /// from backoff_rng_ so enabling fanout never perturbs the legacy
   /// backoff jitter sequence.
   Rng spread_rng_;
+  /// Epoch-ahead prefetch state (all empty/null with prefetch.enabled
+  /// off).  The planner is stateless arithmetic; the staging area maps
+  /// path -> pulled payload (consumed, and erased, by the first read).
+  /// Pulls complete on transport pool threads and surface through the
+  /// mailbox like every other async outcome; `prefetch_inflight_` is
+  /// shared with the completion callbacks the same way warm_inflight_ is.
+  prefetch::EpochPrefetchPlanner prefetch_planner_;
+  struct StagedPrefetch {
+    common::Buffer payload;
+    std::uint64_t generation = 0;  ///< serving peer's ledger stamp
+  };
+  std::unordered_map<std::string, StagedPrefetch> staged_prefetch_;
+  std::deque<std::string> prefetch_pending_;
+  std::shared_ptr<std::atomic<std::uint32_t>> prefetch_inflight_;
+  /// Peer-recache placement arithmetic; null unless prefetch.p2p is on.
+  std::unique_ptr<placement::PeerRecachePolicy> peer_policy_;
   /// Observability (attach_observability): nullptr recorder = tracing off,
   /// the untraced path pays one null check per read.
   obs::FlightRecorder* recorder_ = nullptr;

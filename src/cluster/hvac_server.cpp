@@ -192,6 +192,36 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
       }
       return response;
     }
+    case rpc::Op::kPeerGet: {
+      // Peer-to-peer transfer (prefetch extension): serve from NVMe or say
+      // kNotFound — by contract this op NEVER touches the PFS, so a storm
+      // of peers probing for a lost file costs the filesystem nothing.
+      // The response carries our freshness-ledger stamp for the path so a
+      // puller that re-places the bytes forwards the right generation.
+      rpc::RpcResponse response;
+      stats_.peer_gets.fetch_add(1, std::memory_order_relaxed);
+      auto cached = cache_.get(request.path);
+      if (!cached.is_ok()) {
+        response.code = StatusCode::kNotFound;
+        return response;
+      }
+      stats_.peer_get_hits.fetch_add(1, std::memory_order_relaxed);
+      response.code = StatusCode::kOk;
+      response.cache_hit = true;
+      // Zero-copy: the response references the cache entry's bytes.
+      response.payload = std::move(cached).value();
+      response.checksum = payload_crc(response.payload);
+      stats_.peer_get_bytes.fetch_add(response.payload.size(),
+                                      std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(generation_mu_);
+        auto it = replica_generations_.find(request.path);
+        if (it != replica_generations_.end()) {
+          response.replica_generation = it->second;
+        }
+      }
+      return response;
+    }
     case rpc::Op::kSwimPing:
     case rpc::Op::kSwimPingReq:
     case rpc::Op::kSwimVerdict:
@@ -343,6 +373,9 @@ HvacServer::Stats HvacServer::stats_snapshot() const {
     s.used_bytes = cache_.used_bytes();
     s.expired_on_arrival =
         stats_.expired_on_arrival.load(std::memory_order_relaxed);
+    s.peer_gets = stats_.peer_gets.load(std::memory_order_relaxed);
+    s.peer_get_hits = stats_.peer_get_hits.load(std::memory_order_relaxed);
+    s.peer_get_bytes = stats_.peer_get_bytes.load(std::memory_order_relaxed);
     if (pfs_guard_) {
       const PfsFetchGuard::Stats guard = pfs_guard_->stats_snapshot();
       s.pfs_coalesced = guard.coalesced;

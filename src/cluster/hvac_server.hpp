@@ -155,6 +155,13 @@ class HvacServer {
     std::uint64_t pfs_coalesced = 0;
     /// Miss-path calls fast-rejected kBusy by the open PFS breaker.
     std::uint64_t pfs_breaker_open = 0;
+    /// kPeerGet requests received (prefetch pulls + p2p rescues).  Cache-
+    /// only by contract: a peer-get can never cause a PFS fetch.
+    std::uint64_t peer_gets = 0;
+    /// Of those, served from NVMe (the rest answered kNotFound).
+    std::uint64_t peer_get_hits = 0;
+    /// Payload bytes shipped node-to-node over kPeerGet.
+    std::uint64_t peer_get_bytes = 0;
   };
   /// Value snapshot of the lock-free counters plus cache occupancy.  As
   /// with HvacClient, there is deliberately no reference accessor —
@@ -207,6 +214,9 @@ class HvacServer {
     std::atomic<std::uint64_t> warm_replica_bytes{0};
     std::atomic<std::uint64_t> payload_bytes_copied{0};
     std::atomic<std::uint64_t> expired_on_arrival{0};
+    std::atomic<std::uint64_t> peer_gets{0};
+    std::atomic<std::uint64_t> peer_get_hits{0};
+    std::atomic<std::uint64_t> peer_get_bytes{0};
   };
 
   NodeId id_;

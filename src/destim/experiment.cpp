@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "cluster/fault_detector.hpp"
@@ -490,7 +491,7 @@ class Engine {
 
   void issue_node_step(NodeId node_id) {
     Node& node = *nodes_[node_id];
-    if (config_.prefetch &&
+    if (config_.prefetch.enabled &&
         node.prefetched_step == static_cast<std::int64_t>(current_step_)) {
       // Step data was fetched during the previous step's compute.
       if (node.prefetch_outstanding == 0) {
@@ -522,7 +523,7 @@ class Engine {
   /// Starts the step's GPU phase; with prefetch on, the next step's reads
   /// are issued now so they overlap the compute window.
   void start_compute(NodeId node_id) {
-    if (config_.prefetch && !in_validation_) {
+    if (config_.prefetch.enabled && !in_validation_) {
       issue_prefetch(node_id, current_step_ + 1);
     }
     const std::uint64_t generation = attempt_generation_;
@@ -813,6 +814,14 @@ class Engine {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  // Same convention as the threaded constructors: a contradictory knob
+  // set fails loudly before any event is scheduled, not as a quietly
+  // wrong simulation.
+  const Status prefetch_valid = config.prefetch.validate();
+  if (!prefetch_valid.is_ok()) {
+    throw std::invalid_argument("ExperimentConfig: " +
+                                prefetch_valid.to_string());
+  }
   Engine engine(config);
   return engine.run();
 }

@@ -30,6 +30,7 @@
 #include "cluster/hvac_client.hpp"  // FtMode
 #include "common/sim_time.hpp"
 #include "common/stats.hpp"
+#include "prefetch/prefetch_config.hpp"
 #include "storage/nvme_model.hpp"
 #include "storage/pfs_model.hpp"
 
@@ -62,8 +63,12 @@ struct ExperimentConfig {
   /// Pipelined prefetch (extension; cf. the clairvoyant-prefetching line
   /// of work the paper cites): the epoch permutation is deterministic, so
   /// while step k computes, each node already fetches step k+1's files.
-  /// Cached-epoch I/O hides entirely under compute.
-  bool prefetch = false;
+  /// Cached-epoch I/O hides entirely under compute.  The knob vocabulary
+  /// is shared with the threaded client (prefetch::PrefetchConfig) so the
+  /// DES and threaded substrates cannot drift apart; this substrate's
+  /// step-pipelined model keys off `prefetch.enabled` (depth/p2p shape
+  /// the threaded pull pipeline, validated here but not simulated).
+  prefetch::PrefetchConfig prefetch;
   /// Fraction of the (shuffled) sample stream consumed per epoch
   /// (extension): 1.0 = classic vision-style full passes; < 1 models
   /// LLM-style partial epochs, where some lost files are never re-read

@@ -39,6 +39,18 @@ std::pair<std::uint32_t, std::uint32_t> EpochSampler::shard_bounds(
   return {begin, shard_size(rank, total)};
 }
 
+std::vector<std::vector<std::uint32_t>> EpochSampler::shards(
+    std::uint32_t epoch, std::uint32_t total) const {
+  std::vector<std::vector<std::uint32_t>> out(total);
+  if (total == 0) return out;
+  const std::vector<std::uint32_t> order = epoch_permutation(epoch);
+  for (std::uint32_t rank = 0; rank < total; ++rank) {
+    const auto [begin, size] = shard_bounds(rank, total);
+    out[rank].assign(order.begin() + begin, order.begin() + begin + size);
+  }
+  return out;
+}
+
 std::vector<std::uint32_t> EpochSampler::shard(std::uint32_t epoch,
                                                std::uint32_t rank,
                                                std::uint32_t total) const {

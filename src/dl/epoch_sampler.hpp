@@ -39,6 +39,13 @@ class EpochSampler {
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> shard_bounds(
       std::uint32_t rank, std::uint32_t total) const;
 
+  /// Every rank's shard for an epoch in one call (one permutation
+  /// materialized, `total` slices).  Element r equals shard(epoch, r,
+  /// total); the prefetch planner consumes these as the per-node upcoming
+  /// sample sets at each epoch boundary.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> shards(
+      std::uint32_t epoch, std::uint32_t total) const;
+
   [[nodiscard]] std::uint32_t file_count() const { return file_count_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "dl/threaded_trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hpp"
 #include "dl/elastic_coordinator.hpp"
@@ -32,13 +33,29 @@ ThreadedTrainingResult run_threaded_training(
 
       // Every member's shard for this epoch; read round-robin across
       // members to approximate step-synchronized batches.
-      std::vector<std::vector<std::uint32_t>> shards(total);
+      const std::vector<std::vector<std::uint32_t>> shards =
+          sampler.shards(epoch, total);
       std::size_t max_shard = 0;
       for (std::uint32_t rank = 0; rank < total; ++rank) {
-        shards[rank] = sampler.shard(epoch, rank, total);
         max_shard = std::max(max_shard, shards[rank].size());
       }
 
+      if (config.prefetch) {
+        // Epoch boundary: every member knows its whole upcoming shard
+        // (the shuffle is pure in (seed, epoch)), so hand it to the
+        // client before the first step.  Pulls overlap with the reads
+        // below — the loop never waits for them.
+        for (std::uint32_t rank = 0; rank < total; ++rank) {
+          std::vector<std::string> upcoming;
+          upcoming.reserve(shards[rank].size());
+          for (const std::uint32_t file : shards[rank]) {
+            upcoming.push_back(paths[file]);
+          }
+          cluster.client(members[rank]).prefetch_epoch(upcoming);
+        }
+      }
+
+      const auto epoch_start = std::chrono::steady_clock::now();
       std::uint64_t files_this_epoch = 0;
       for (std::size_t position = 0;
            position < max_shard && !epoch_restarted; ++position) {
@@ -88,6 +105,10 @@ ThreadedTrainingResult run_threaded_training(
       if (!epoch_restarted) {
         result.pfs_reads_per_epoch.push_back(cluster.pfs().read_count() -
                                              pfs_reads_at_start);
+        result.epoch_seconds.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          epoch_start)
+                .count());
       }
     } while (epoch_restarted);
     ++result.epochs_finished;

@@ -21,6 +21,13 @@ struct ThreadedTrainingConfig {
   std::uint32_t epochs = 3;
   std::uint64_t shuffle_seed = 99;
 
+  /// Epoch-ahead prefetch: at each epoch boundary every member hands its
+  /// client the shard it is about to read (prefetch_epoch), so remote-
+  /// owned files arrive node-to-node before the trainer asks for them.
+  /// Requires the cluster's clients to have prefetch.enabled; off = the
+  /// legacy demand-only loop, bit for bit.
+  bool prefetch = false;
+
   struct Injection {
     std::uint32_t epoch = 1;        ///< epoch during which the node dies
     std::uint32_t after_files = 0;  ///< files read (job-wide) into the epoch
@@ -39,6 +46,10 @@ struct ThreadedTrainingResult {
   std::uint64_t bytes_read = 0;
   /// PFS reads observed per finished epoch (index = epoch).
   std::vector<std::uint64_t> pfs_reads_per_epoch;
+  /// Wall seconds per finished epoch (restarted passes re-time).  Not a
+  /// simulation measurement — bench_fig5 uses it to compare cold vs
+  /// prefetched epochs under injected network latency.
+  std::vector<double> epoch_seconds;
   /// Reads that returned wrong-sized payloads (must stay 0).
   std::uint64_t integrity_failures = 0;
 };

@@ -23,6 +23,8 @@ const char* record_kind_name(RecordKind kind) {
     case RecordKind::kHotPromotion: return "hot_promotion";
     case RecordKind::kHotDemotion: return "hot_demotion";
     case RecordKind::kWarmPush: return "warm_push";
+    case RecordKind::kPrefetchPlan: return "prefetch_plan";
+    case RecordKind::kPeerRecache: return "peer_recache";
   }
   return "unknown";
 }

@@ -72,6 +72,13 @@ enum class RecordKind : std::uint8_t {
   kWarmPush = 16,  ///< Event: standby replica push issued (code kOk =
                    ///< first placement, kUnavailable = generation repair
                    ///< after a ring-epoch change; value = generation).
+  // Epoch-ahead prefetch / p2p recache events.
+  kPrefetchPlan = 17,  ///< Event: epoch-boundary plan computed (value =
+                       ///< pulls planned; code kOk = fresh plan,
+                       ///< kCancelled = previous epoch's pulls deferred).
+  kPeerRecache = 18,   ///< Event: a read was rescued node-to-node over
+                       ///< kPeerGet instead of falling back to the PFS
+                       ///< (value = serving peer node).
 };
 
 const char* record_kind_name(RecordKind kind);
@@ -82,7 +89,8 @@ constexpr bool record_is_span(RecordKind kind) {
   return kind != RecordKind::kServerShed && kind != RecordKind::kPfsRejected &&
          kind != RecordKind::kSuspicion && kind != RecordKind::kRingUpdate &&
          kind != RecordKind::kLoadSpill && kind != RecordKind::kHotPromotion &&
-         kind != RecordKind::kHotDemotion && kind != RecordKind::kWarmPush;
+         kind != RecordKind::kHotDemotion && kind != RecordKind::kWarmPush &&
+         kind != RecordKind::kPrefetchPlan && kind != RecordKind::kPeerRecache;
 }
 
 /// One decoded flight-recorder entry.

@@ -10,6 +10,7 @@ const char* trigger_name(ReplicationTrigger trigger) {
     case ReplicationTrigger::kHotFanout: return "hot_fanout";
     case ReplicationTrigger::kWarmStandby: return "warm_standby";
     case ReplicationTrigger::kLocalFill: return "local_fill";
+    case ReplicationTrigger::kPeerRecache: return "peer_recache";
   }
   return "?";
 }
@@ -55,6 +56,23 @@ ReplicaPlan WarmStandbyPolicy::plan(const PlanContext& ctx) const {
   result.generation = ctx.generation + 1;
   if (factor_ < 2) return result;
   targets_from_chain(ctx, ReplicationTrigger::kWarmStandby, result);
+  return result;
+}
+
+ReplicaPlan PeerRecachePolicy::plan(const PlanContext& ctx) const {
+  ReplicaPlan result;
+  result.write_class = WriteClass::kAsyncWriteBehind;
+  // Forward the serving peer's ledger stamp verbatim (the caller put it in
+  // ctx.generation): the healed owner must not outrank genuinely fresher
+  // standby generations it may receive concurrently.
+  result.generation = ctx.generation;
+  // Only the authoritative owner — the first eligible chain node — is
+  // healed; deeper standbys are warm standby's job, not the rescue's.
+  for (const NodeId node : *ctx.chain) {
+    if (node == ctx.primary || (*ctx.excluded)(node)) continue;
+    result.targets.push_back({node, ReplicationTrigger::kPeerRecache});
+    break;
+  }
   return result;
 }
 

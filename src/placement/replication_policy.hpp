@@ -46,6 +46,9 @@ enum class ReplicationTrigger : std::uint8_t {
   kHotFanout = 1,    ///< Popularity sketch promoted the file.
   kWarmStandby = 2,  ///< Proactive standby placement / generation repair.
   kLocalFill = 3,    ///< Server recaching its own PFS fetch.
+  kPeerRecache = 4,  ///< A p2p rescue (kPeerGet from a warm peer) healing
+                     ///< the authoritative owner node-to-node instead of
+                     ///< letting it re-fetch from the PFS.
 };
 
 const char* trigger_name(ReplicationTrigger trigger);
@@ -155,6 +158,23 @@ class WarmStandbyPolicy final : public ReplicationPolicy {
 
  private:
   std::uint32_t factor_;
+};
+
+/// Peer-to-peer recache (prefetch extension): a read was rescued over
+/// kPeerGet from a warm peer (ring owner gone stale, or a standby) while
+/// the authoritative owner does not hold the bytes.  The plan heals that
+/// owner with one write-behind put — node-to-node, never via the PFS —
+/// stamped with the generation the serving peer's ledger reported, so the
+/// hop cannot launder a stale replica into a fresh-looking one.  Merged
+/// through merge_plans() like every other producer, a shared successor
+/// that warm standby is also targeting still receives exactly one kPut.
+class PeerRecachePolicy final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "peer_recache";
+  }
+  [[nodiscard]] std::size_t chain_length() const override { return 2; }
+  [[nodiscard]] ReplicaPlan plan(const PlanContext& ctx) const override;
 };
 
 /// The server's own recache of a PFS fetch, expressed in the same

@@ -1,0 +1,35 @@
+#include "prefetch/epoch_prefetch_planner.hpp"
+
+#include <unordered_set>
+
+namespace ftc::prefetch {
+
+PrefetchPlan EpochPrefetchPlanner::plan(
+    const std::vector<std::string>& upcoming, NodeId self,
+    const OwnerResolver& owner_of, const LocalPredicate& already_local) const {
+  PrefetchPlan out;
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(upcoming.size());
+  for (const std::string& path : upcoming) {
+    if (!seen.insert(path).second) {
+      ++out.already_local;  // Duplicate sample: the first pull covers it.
+      continue;
+    }
+    if (already_local(path)) {
+      ++out.already_local;
+      continue;
+    }
+    const NodeId owner = owner_of(path);
+    if (owner == kInvalidNode) {
+      continue;  // No owner to pull from; the demand path handles it.
+    }
+    if (owner == self) {
+      ++out.self_owned;
+      continue;
+    }
+    out.pulls.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace ftc::prefetch

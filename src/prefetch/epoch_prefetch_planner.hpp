@@ -1,0 +1,62 @@
+// epoch_prefetch_planner.hpp - Diff next epoch's sample set against ring
+// placement.
+//
+// The DL shuffle is a pure function of (seed, epoch) — dl::EpochSampler
+// gives every node its upcoming sample set before the epoch starts.  The
+// planner turns that knowledge into work: given the upcoming paths for
+// one node, it answers "which of these will NOT already be here when the
+// trainer asks for them?".  Files the ring places on this node arrive via
+// the normal demand path (a local read caches them authoritatively), and
+// files a previous epoch already staged are done; everything else is a
+// remote-owned file worth pulling node-to-node (kPeerGet) ahead of use.
+//
+// The planner is pure placement arithmetic in the ReplicationPolicy
+// spirit: it never talks to a transport, holds no locks, and resolves
+// ownership through a caller-supplied callback so it works against any
+// ring view (epoch'd membership snapshot, legacy local ring, or a test
+// stub).  The client executes the plan with bounded-depth background
+// pulls; the planner only decides *what* and in *which order* (upcoming
+// read order, so the pipeline stays ahead of the trainer).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftc::prefetch {
+
+/// The planner's verdict for one node at one epoch boundary.
+struct PrefetchPlan {
+  /// Remote-owned upcoming files not yet staged locally, deduplicated, in
+  /// upcoming read order.  These are the kPeerGet pulls to issue.
+  std::vector<std::string> pulls;
+  /// Upcoming files the ring already places on this node — the demand
+  /// path caches them authoritatively, so pulling would be wasted work.
+  /// When placement already matches the sample set this equals the whole
+  /// epoch and `pulls` is empty.
+  std::size_t self_owned = 0;
+  /// Upcoming files a previous epoch (or an earlier duplicate in this
+  /// one) already staged locally.
+  std::size_t already_local = 0;
+};
+
+class EpochPrefetchPlanner {
+ public:
+  /// Resolves a path to its current ring owner (kInvalidNode = no owner,
+  /// e.g. an empty ring — such files are skipped, the demand path owns
+  /// the fallback story).
+  using OwnerResolver = std::function<NodeId(const std::string&)>;
+  /// True when the bytes are already staged on this node.
+  using LocalPredicate = std::function<bool(const std::string&)>;
+
+  /// Pure diff: upcoming sample set minus (self-owned ∪ already-local),
+  /// order-preserving and deduplicated.
+  [[nodiscard]] PrefetchPlan plan(const std::vector<std::string>& upcoming,
+                                  NodeId self, const OwnerResolver& owner_of,
+                                  const LocalPredicate& already_local) const;
+};
+
+}  // namespace ftc::prefetch

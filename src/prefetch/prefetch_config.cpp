@@ -1,0 +1,23 @@
+#include "prefetch/prefetch_config.hpp"
+
+#include <string>
+
+namespace ftc::prefetch {
+
+Status PrefetchConfig::validate() const {
+  if (enabled) {
+    if (depth < 1 || depth > 256) {
+      return Status::invalid_argument(
+          "prefetch.depth must be in [1, 256] (got " + std::to_string(depth) +
+          ")");
+    }
+  }
+  if (p2p && !enabled) {
+    return Status::invalid_argument(
+        "prefetch.p2p requires prefetch.enabled (the peer-get path shares "
+        "the planner's staging and accounting)");
+  }
+  return Status::ok();
+}
+
+}  // namespace ftc::prefetch

@@ -46,6 +46,13 @@ enum class Op : std::uint8_t {
                         ///< separate push, never an inline reply — the
                         ///< proxy must not block its server worker on the
                         ///< nested ping.
+  kPeerGet = 9,    ///< Cache-only peer transfer: serve the file from NVMe
+                   ///< or answer kNotFound — never touch the PFS.  The
+                   ///< prefetch planner's background pulls and the p2p
+                   ///< recache path use it to move bytes node-to-node;
+                   ///< responses carry the server's replica-generation
+                   ///< ledger stamp so a pulled standby copy keeps its
+                   ///< provenance.  Data plane: sheds at the read class.
 };
 
 /// True for the SWIM membership-protocol verbs (probe/indirect/verdict/
@@ -192,6 +199,12 @@ struct RpcResponse {
   /// bounded-load spill and power-of-two-choices decisions; no extra
   /// round trips are ever spent on load discovery.
   std::uint32_t load_hint = 0;
+  /// kPeerGet only: the responder's replica-generation ledger stamp for
+  /// the served path (0 = unstamped / ledger has no entry — also the wire
+  /// default, bit-for-bit identical for every other op).  A puller that
+  /// re-places the bytes forwards this stamp so the generation ledger's
+  /// staleness rules keep holding across node-to-node hops.
+  std::uint64_t replica_generation = 0;
 };
 
 /// Fixed-point scale of RpcResponse::load_hint.

@@ -1,0 +1,161 @@
+// Shuffle-aware epoch-ahead prefetch on the threaded cluster: the client
+// diffs its upcoming sample set against ring placement (prefetch_epoch),
+// pulls remote-owned files node-to-node over kPeerGet with bounded depth,
+// and serves them from the staged map without touching the network again.
+// kPeerGet is cache-only by contract — a miss is kNotFound, never a PFS
+// fetch — so prefetch can never amplify PFS load, and with p2p + warm
+// standbys a mid-epoch kill recovers with zero PFS reads beyond warm-up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "dl/threaded_trainer.hpp"
+
+namespace ftc::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+ClusterConfig prefetch_config(std::uint32_t nodes = 4) {
+  ClusterConfig config;
+  config.node_count = nodes;
+  config.client.mode = FtMode::kHashRingRecache;
+  config.client.rpc_timeout = 50ms;
+  config.client.timeout_limit = 2;
+  config.client.vnodes_per_node = 50;
+  config.client.prefetch.enabled = true;
+  config.client.prefetch.depth = 4;
+  return config;
+}
+
+std::uint64_t total_peer_gets(Cluster& cluster) {
+  std::uint64_t total = 0;
+  for (NodeId n = 0; n < cluster.node_count(); ++n) {
+    total += cluster.server(n).stats_snapshot().peer_gets;
+  }
+  return total;
+}
+
+TEST(EpochPrefetch, StagesRemoteOwnedFilesAndServesThemLocally) {
+  Cluster cluster(prefetch_config());
+  const auto paths = cluster.stage_dataset(32, 64);
+  cluster.warm_caches(paths);
+  const auto pfs_before = cluster.pfs().read_count();
+
+  auto& client = cluster.client(1);
+  client.prefetch_epoch(paths);
+  client.drain_prefetch();
+
+  const auto staged = client.stats_snapshot();
+  EXPECT_GT(staged.prefetch_planned, 0u);
+  EXPECT_EQ(staged.prefetch_pulls, staged.prefetch_planned);
+  EXPECT_EQ(staged.prefetch_hits, staged.prefetch_pulls);  // warm peers
+  EXPECT_EQ(staged.prefetch_misses, 0u);
+  EXPECT_EQ(total_peer_gets(cluster), staged.prefetch_pulls);
+
+  std::size_t staged_count = 0;
+  for (const auto& path : paths) {
+    if (client.has_prefetched(path)) ++staged_count;
+  }
+  EXPECT_EQ(staged_count, staged.prefetch_pulls);
+
+  for (const auto& path : paths) {
+    const auto result = client.read_file(path);
+    ASSERT_TRUE(result.is_ok()) << path;
+    EXPECT_EQ(result.value().size(), 64u) << path;
+  }
+  const auto served = client.stats_snapshot();
+  EXPECT_EQ(served.prefetch_local_hits, staged.prefetch_pulls);
+  // A staged serve is consumed exactly once.
+  for (const auto& path : paths) EXPECT_FALSE(client.has_prefetched(path));
+  // Prefetch + the epoch's reads added zero PFS traffic.
+  EXPECT_EQ(cluster.pfs().read_count(), pfs_before);
+}
+
+TEST(EpochPrefetch, PullMissesAreCacheOnlyNeverPfs) {
+  // Cold peers: every pull misses.  kPeerGet must answer kNotFound from
+  // the cache alone — the PFS stays untouched (the demand path owns the
+  // authoritative fill later).
+  Cluster cluster(prefetch_config());
+  const auto paths = cluster.stage_dataset(16, 64);
+
+  auto& client = cluster.client(0);
+  client.prefetch_epoch(paths);
+  client.drain_prefetch();
+
+  const auto stats = client.stats_snapshot();
+  EXPECT_GT(stats.prefetch_pulls, 0u);
+  EXPECT_EQ(stats.prefetch_misses, stats.prefetch_pulls);  // p2p off
+  EXPECT_EQ(stats.prefetch_hits, 0u);
+  EXPECT_EQ(cluster.pfs().read_count(), 0u);
+  EXPECT_GT(total_peer_gets(cluster), 0u);
+}
+
+TEST(EpochPrefetch, OffByDefaultIsTheLegacyClient) {
+  auto config = prefetch_config();
+  config.client.prefetch = {};  // default-off block
+  Cluster cluster(config);
+  const auto paths = cluster.stage_dataset(16, 64);
+  cluster.warm_caches(paths);
+
+  auto& client = cluster.client(0);
+  client.prefetch_epoch(paths);  // must be a no-op
+  client.drain_prefetch();
+  for (const auto& path : paths) {
+    ASSERT_TRUE(client.read_file(path).is_ok());
+    EXPECT_FALSE(client.has_prefetched(path));
+  }
+
+  const auto stats = client.stats_snapshot();
+  EXPECT_EQ(stats.prefetch_planned, 0u);
+  EXPECT_EQ(stats.prefetch_pulls, 0u);
+  EXPECT_EQ(stats.prefetch_local_hits, 0u);
+  EXPECT_EQ(stats.p2p_rescues, 0u);
+  EXPECT_EQ(total_peer_gets(cluster), 0u);
+}
+
+TEST(EpochPrefetch, PrefetchValidationRequiresRingMode) {
+  auto config = prefetch_config();
+  config.client.mode = FtMode::kPfsRedirect;
+  EXPECT_THROW(Cluster cluster(config), std::invalid_argument);
+}
+
+TEST(EpochPrefetch, TrainerKillRecoversOverPeerGetWithZeroExtraPfs) {
+  // The bench's kill scenario in miniature: epoch-ahead prefetch + p2p +
+  // warm standbys, one mid-epoch kill.  Training completes on the
+  // survivors and the PFS is read exactly once per file (the epoch-0
+  // warm-up) — recovery is node-to-node.
+  auto config = prefetch_config(6);
+  config.client.rpc_timeout = 25ms;
+  config.client.prefetch.p2p = true;
+  config.client.replication.factor = 2;
+  config.client.replication.warm_standby = true;
+  Cluster cluster(config);
+  const auto paths = cluster.stage_dataset(48, 256);
+
+  dl::ThreadedTrainingConfig train;
+  train.epochs = 3;
+  train.prefetch = true;
+  dl::ThreadedTrainingConfig::Injection kill;
+  kill.epoch = 1;
+  kill.after_files = 8;
+  kill.victim = 5;
+  train.injections = {kill};
+
+  const auto result = dl::run_threaded_training(cluster, paths, 256, train);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_EQ(result.integrity_failures, 0u);
+  ASSERT_EQ(result.pfs_reads_per_epoch.size(), 3u);
+  EXPECT_EQ(result.pfs_reads_per_epoch[1], 0u);
+  EXPECT_EQ(result.pfs_reads_per_epoch[2], 0u);
+  // Warm-up fetched each file once; the kill added nothing.
+  EXPECT_EQ(cluster.pfs().read_count(), paths.size());
+  EXPECT_GT(total_peer_gets(cluster), 0u);
+}
+
+}  // namespace
+}  // namespace ftc::cluster

@@ -23,7 +23,7 @@ ExperimentConfig pf_config(bool prefetch) {
   config.pfs.access_latency_tail_mean = 0;
   config.rpc_timeout = 10 * simtime::kMillisecond;
   config.elastic_restart_overhead = 50 * simtime::kMillisecond;
-  config.prefetch = prefetch;
+  config.prefetch.enabled = prefetch;
   return config;
 }
 

@@ -70,7 +70,7 @@ TEST(Validation, DeterministicWithValidation) {
 
 TEST(Validation, WorksWithPrefetchAndReplication) {
   auto config = val_config();
-  config.prefetch = true;
+  config.prefetch.enabled = true;
   config.replication_factor = 2;
   const auto result = run_experiment(config);
   ASSERT_TRUE(result.completed) << result.abort_reason;

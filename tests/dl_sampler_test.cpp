@@ -76,6 +76,61 @@ TEST(EpochSampler, DegenerateRanks) {
   EXPECT_EQ(sampler.shard_size(2, 0), 0u);
 }
 
+TEST(EpochSampler, GoldenPermutation) {
+  // Hardcoded expected output for a fixed (seed, epoch): the permutation
+  // must be identical on every process, platform, and build — the
+  // epoch-ahead prefetch planner assumes each node can independently
+  // recompute every peer's upcoming sample set from (seed, epoch) alone.
+  EpochSampler sampler(16, 2024);
+  EXPECT_EQ(sampler.epoch_permutation(0),
+            (std::vector<std::uint32_t>{3, 10, 0, 9, 7, 14, 1, 4, 15, 2, 6,
+                                        5, 11, 12, 8, 13}));
+  EXPECT_EQ(sampler.epoch_permutation(1),
+            (std::vector<std::uint32_t>{3, 0, 14, 1, 13, 10, 9, 15, 6, 4, 2,
+                                        12, 7, 11, 5, 8}));
+}
+
+TEST(EpochSampler, ShardsBulkMatchesPerRankShard) {
+  // shards() (one permutation, all slices) must agree with the per-rank
+  // shard() the trainer historically used, at every node count.
+  EpochSampler sampler(103, 5);
+  for (std::uint32_t total : {1u, 4u, 8u}) {
+    const auto all = sampler.shards(2, total);
+    ASSERT_EQ(all.size(), total);
+    for (std::uint32_t rank = 0; rank < total; ++rank) {
+      EXPECT_EQ(all[rank], sampler.shard(2, rank, total))
+          << "rank " << rank << "/" << total;
+    }
+  }
+}
+
+TEST(EpochSampler, PerNodeSetsDeterministicAcrossInstancesAndNodeCounts) {
+  // Two independent sampler instances (stand-ins for two processes) must
+  // derive identical per-node sets for the same (seed, epoch), and the
+  // underlying epoch order must not depend on the node count — resharding
+  // from 8 to 7 ranks slices the SAME permutation, so a planner on any
+  // node predicts exactly what each survivor will read.
+  EpochSampler a(64, 42);
+  EpochSampler b(64, 42);
+  for (std::uint32_t total : {7u, 8u}) {
+    for (std::uint32_t rank = 0; rank < total; ++rank) {
+      EXPECT_EQ(a.shard(5, rank, total), b.shard(5, rank, total));
+    }
+  }
+  std::vector<std::uint32_t> concat7;
+  for (std::uint32_t rank = 0; rank < 7; ++rank) {
+    const auto shard = a.shard(5, rank, 7);
+    concat7.insert(concat7.end(), shard.begin(), shard.end());
+  }
+  std::vector<std::uint32_t> concat8;
+  for (std::uint32_t rank = 0; rank < 8; ++rank) {
+    const auto shard = a.shard(5, rank, 8);
+    concat8.insert(concat8.end(), shard.begin(), shard.end());
+  }
+  EXPECT_EQ(concat7, concat8);
+  EXPECT_EQ(concat7, a.epoch_permutation(5));
+}
+
 TEST(EpochSampler, ReshardingAfterNodeLoss) {
   // After an elastic restart the shards over N-1 ranks must still
   // partition the full dataset.

@@ -141,6 +141,34 @@ TEST(ThreadedTraining, TwoSequentialFailures) {
   EXPECT_EQ(result.integrity_failures, 0u);
 }
 
+TEST(ThreadedTraining, PrefetchEpochsMatchLegacySemantics) {
+  // The epoch-ahead pipeline must not change WHAT is read, only how it
+  // travels: same files-read/PFS profile as the legacy demand loop, zero
+  // integrity failures, and the staged serves actually happen.
+  auto cluster_config = make_config(FtMode::kHashRingRecache);
+  cluster_config.client.prefetch.enabled = true;
+  cluster_config.client.prefetch.depth = 4;
+  Cluster cluster(cluster_config);
+  const auto paths = cluster.stage_dataset(kFiles, kBytes);
+  ThreadedTrainingConfig config;
+  config.epochs = 3;
+  config.prefetch = true;
+  const auto result = run_threaded_training(cluster, paths, kBytes, config);
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(result.files_read, 3u * kFiles);
+  EXPECT_EQ(result.integrity_failures, 0u);
+  ASSERT_EQ(result.pfs_reads_per_epoch.size(), 3u);
+  EXPECT_EQ(result.pfs_reads_per_epoch[0], kFiles);  // warm-up epoch
+  EXPECT_EQ(result.pfs_reads_per_epoch[1], 0u);
+  EXPECT_EQ(result.pfs_reads_per_epoch[2], 0u);
+  EXPECT_EQ(result.epoch_seconds.size(), 3u);
+  std::uint64_t staged_serves = 0;
+  for (cluster::NodeId n = 0; n < cluster.node_count(); ++n) {
+    staged_serves += cluster.client(n).stats_snapshot().prefetch_local_hits;
+  }
+  EXPECT_GT(staged_serves, 0u);
+}
+
 TEST(CosmoflowWorkload, PresetMath) {
   CosmoflowWorkload workload;
   EXPECT_EQ(workload.train_file_count(), 524288u / 64u);

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "prefetch/epoch_prefetch_planner.hpp"
+#include "prefetch/prefetch_config.hpp"
+
+namespace ftc::prefetch {
+namespace {
+
+TEST(PrefetchConfig, DefaultIsOffAndValid) {
+  const PrefetchConfig config;
+  EXPECT_FALSE(config.enabled);
+  EXPECT_FALSE(config.p2p);
+  EXPECT_TRUE(config.validate().is_ok());
+}
+
+TEST(PrefetchConfig, DepthBoundsEnforcedOnlyWhenEnabled) {
+  PrefetchConfig config;
+  config.depth = 0;  // nonsense, but the feature is off -> ignored
+  EXPECT_TRUE(config.validate().is_ok());
+  config.enabled = true;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.depth = 1;
+  EXPECT_TRUE(config.validate().is_ok());
+  config.depth = 256;
+  EXPECT_TRUE(config.validate().is_ok());
+  config.depth = 257;
+  EXPECT_FALSE(config.validate().is_ok());
+}
+
+TEST(PrefetchConfig, P2pRequiresEnabled) {
+  PrefetchConfig config;
+  config.p2p = true;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.enabled = true;
+  EXPECT_TRUE(config.validate().is_ok());
+}
+
+std::vector<std::string> paths(std::initializer_list<int> ids) {
+  std::vector<std::string> out;
+  for (int id : ids) out.push_back("/f" + std::to_string(id));
+  return out;
+}
+
+constexpr auto kNeverLocal = [](const std::string&) { return false; };
+
+TEST(EpochPrefetchPlanner, EmptyPlanWhenPlacementMatches) {
+  // Regression: when the ring places every upcoming file on this node,
+  // the diff must be empty — prefetch degenerates to a no-op and the
+  // demand path caches everything authoritatively.
+  EpochPrefetchPlanner planner;
+  const auto upcoming = paths({0, 1, 2, 3, 4});
+  const auto plan = planner.plan(
+      upcoming, /*self=*/3, [](const std::string&) { return NodeId{3}; },
+      kNeverLocal);
+  EXPECT_TRUE(plan.pulls.empty());
+  EXPECT_EQ(plan.self_owned, upcoming.size());
+  EXPECT_EQ(plan.already_local, 0u);
+}
+
+TEST(EpochPrefetchPlanner, PullsRemoteOwnedInUpcomingOrder) {
+  EpochPrefetchPlanner planner;
+  // Owner = file id parsed from "/fN": node 1 owns odd ids.
+  const auto owner_of = [](const std::string& path) {
+    return NodeId{std::stoul(path.substr(2)) % 2 == 0 ? 0u : 1u};
+  };
+  const auto plan = planner.plan(paths({5, 2, 9, 4, 7}), /*self=*/0,
+                                 owner_of, kNeverLocal);
+  EXPECT_EQ(plan.pulls, paths({5, 9, 7}));  // order-preserving
+  EXPECT_EQ(plan.self_owned, 2u);
+}
+
+TEST(EpochPrefetchPlanner, DeduplicatesRepeatedSamples) {
+  EpochPrefetchPlanner planner;
+  const auto plan = planner.plan(paths({1, 1, 2, 1}), /*self=*/0,
+                                 [](const std::string&) { return NodeId{7}; },
+                                 kNeverLocal);
+  EXPECT_EQ(plan.pulls, paths({1, 2}));
+  EXPECT_EQ(plan.already_local, 2u);  // the repeated samples
+}
+
+TEST(EpochPrefetchPlanner, SkipsAlreadyStagedFiles) {
+  EpochPrefetchPlanner planner;
+  const auto plan = planner.plan(
+      paths({0, 1, 2}), /*self=*/0,
+      [](const std::string&) { return NodeId{9}; },
+      [](const std::string& path) { return path == "/f1"; });
+  EXPECT_EQ(plan.pulls, paths({0, 2}));
+  EXPECT_EQ(plan.already_local, 1u);
+}
+
+TEST(EpochPrefetchPlanner, SkipsOwnerlessFiles) {
+  // kInvalidNode = nobody to pull from (empty ring); the demand path owns
+  // the fallback, so the planner must not emit a pull.
+  EpochPrefetchPlanner planner;
+  const auto plan = planner.plan(
+      paths({0, 1}), /*self=*/0,
+      [](const std::string& path) {
+        return path == "/f0" ? kInvalidNode : NodeId{1};
+      },
+      kNeverLocal);
+  EXPECT_EQ(plan.pulls, paths({1}));
+  EXPECT_EQ(plan.self_owned, 0u);
+  EXPECT_EQ(plan.already_local, 0u);
+}
+
+}  // namespace
+}  // namespace ftc::prefetch

@@ -136,6 +136,33 @@ print(f"prefetch smoke: {warm['epochs_per_hour']:.0f} vs "
       f"{kill['server_peer_gets']} kPeerGet serves under kill, 0 extra PFS reads")
 EOF
 
+echo "=== partition-tolerance smoke (bench_partition, reduced load)"
+# Few-second smoke: 8 nodes, 60/40 asymmetric split healed mid-run.  The
+# exit code enforces all four partition gates — majority SLO-goodput >=
+# 0.99x healthy, ZERO stale-epoch writes accepted, at most one false
+# failure confirmation, post-heal convergence <= 2x a single-kill
+# failover.  The artifact is checked too: the zero-stale-writes criterion
+# is the split-brain safety property, so it is asserted independently of
+# the bench's own gating.
+"${build_dir}/bench/bench_partition" \
+  nodes=8 files=24 fresh_files=8 file_kb=16 passes=80 timeout_s=20 \
+  out="${build_dir}/BENCH_partition_smoke.json"
+python3 - "${build_dir}/BENCH_partition_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+fencing = doc["fencing"]
+assert fencing["stale_epoch_puts_accepted"] == 0, (
+    f"split-brain safety violated: {fencing['stale_epoch_puts_accepted']} "
+    "stale-epoch writes accepted")
+part = doc["partition"]
+print(f"partition smoke: availability {part['availability_ratio']:.4f}, "
+      f"{fencing['fenced_writes']} writes fenced / 0 stale accepted, "
+      f"{part['false_confirms']} false confirms, "
+      f"heal {part['post_heal_ms']:.0f}ms vs "
+      f"single-kill {doc['single_kill']['convergence_ms']:.0f}ms")
+EOF
+
 echo "=== thread sanitizer"
 "${source_dir}/scripts/sanitize.sh" thread
 

@@ -36,6 +36,15 @@
 # ordering is what drain_prefetch's exit sweep relies on), interleaved
 # with kill-driven ring surgery, p2p chain hops, and the trainer's staged
 # consume on the owning thread.
+# Partition tolerance rides along in membership_test, rpc_test and
+# cluster_test: the transport's per-link block/duplicate/reorder faults
+# mutate endpoint state under the same mutex the multi-worker dispatch
+# path holds; the SWIM quorum-evidence map and verdict dedup set are
+# touched from probe rounds, async verdict completions and gossiped
+# claims; and the fencing path (epoch check + kStaleView fast-forward
+# with full-dump fallback) runs on server worker threads racing the
+# membership agent's epoch swaps — the split-brain surface where a torn
+# epoch read would admit a stale write.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 

@@ -294,6 +294,10 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
                 c.prefetch_local_hits);
     out.counter("ftc_p2p_rescues_total", node_label, c.p2p_rescues);
     out.counter("ftc_p2p_bytes_total", node_label, c.p2p_bytes);
+    // Partition tolerance (all zero with fencing off / no partitions):
+    out.counter("ftc_client_fenced_puts_total", node_label, c.fenced_puts);
+    out.counter("ftc_client_reconcile_repushes_total", node_label,
+                c.reconcile_repushes);
     const LatencyRecorder::BucketSnapshot lat =
         clients_[n]->latency().cumulative_buckets(kLatencyBoundsUs);
     out.histogram("ftc_client_read_latency_us", node_label, kLatencyBoundsUs,
@@ -326,6 +330,10 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
                 s.peer_get_hits);
     out.counter("ftc_server_peer_get_bytes_total", node_label,
                 s.peer_get_bytes);
+    out.counter("ftc_server_fenced_writes_total", node_label,
+                s.fenced_writes);
+    out.counter("ftc_server_stale_epoch_puts_total", node_label,
+                s.stale_epoch_puts_accepted);
     out.gauge("ftc_server_cache_used_bytes", node_label,
               static_cast<double>(s.used_bytes));
     out.gauge("ftc_server_cache_capacity_bytes", node_label,
@@ -353,6 +361,10 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
     out.counter("ftc_transport_dropped_total", node_label, t.dropped);
     out.counter("ftc_transport_requests_shed_total", node_label,
                 t.requests_shed);
+    out.counter("ftc_transport_partition_dropped_total", node_label,
+                t.partition_dropped);
+    out.counter("ftc_transport_duplicated_total", node_label, t.duplicated);
+    out.counter("ftc_transport_reordered_total", node_label, t.reordered);
 
     if (n < static_cast<NodeId>(agents_.size())) {
       const membership::MembershipAgent::Stats m =
@@ -379,6 +391,12 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
       out.counter("ftc_swim_claims_applied_total", node_label,
                   m.claims_applied);
       out.counter("ftc_swim_fast_forwards_total", node_label, m.fast_forwards);
+      out.counter("ftc_swim_false_suspicions_total", node_label,
+                  m.false_suspicions);
+      out.counter("ftc_swim_confirms_deferred_total", node_label,
+                  m.confirms_deferred);
+      out.counter("ftc_swim_duplicate_verdicts_total", node_label,
+                  m.duplicate_verdicts);
     }
 
     if (n < static_cast<NodeId>(recorders_.size())) {

@@ -1,6 +1,8 @@
 #include "cluster/failure_injector.hpp"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
 
 namespace ftc::cluster {
 
@@ -70,6 +72,108 @@ void GrayFailureInjector::kill(NodeId node) { transport_.kill(node); }
 
 void GrayFailureInjector::revive(NodeId node) { transport_.revive(node); }
 
+void GrayFailureInjector::make_duplicating(NodeId node, double probability) {
+  // Same per-node stream derivation as make_lossy: order-independent
+  // determinism across injectors sharing a seed.
+  std::uint64_t mix =
+      seed_ ^ (static_cast<std::uint64_t>(node) * 0x9E3779B97F4A7C15ULL);
+  transport_.set_duplicate_probability(node, probability, splitmix64(mix));
+}
+
+void GrayFailureInjector::clear_duplicating(NodeId node) {
+  transport_.set_duplicate_probability(node, 0.0);
+}
+
+void GrayFailureInjector::make_reordering(NodeId node, double probability,
+                                          std::uint32_t max_displacement) {
+  std::uint64_t mix =
+      seed_ ^ (static_cast<std::uint64_t>(node) * 0xBF58476D1CE4E5B9ULL);
+  transport_.set_reorder(node, probability, max_displacement, splitmix64(mix));
+}
+
+void GrayFailureInjector::clear_reordering(NodeId node) {
+  transport_.set_reorder(node, 0.0, 1);
+}
+
+void GrayFailureInjector::partition(std::vector<NodeId> side_a,
+                                    std::vector<NodeId> side_b, bool one_way) {
+  manual_partition_ = true;
+  manual_spec_ =
+      PartitionSpec{std::move(side_a), std::move(side_b), one_way};
+  apply_partitions();
+}
+
+void GrayFailureInjector::heal_partition() {
+  if (!manual_partition_) return;
+  manual_partition_ = false;
+  manual_spec_ = PartitionSpec{};
+  apply_partitions();
+}
+
+void GrayFailureInjector::schedule_partition(std::vector<NodeId> side_a,
+                                             std::vector<NodeId> side_b,
+                                             std::uint64_t start_tick,
+                                             std::uint64_t duration_ticks,
+                                             bool one_way) {
+  ScheduledPartition scheduled;
+  scheduled.spec =
+      PartitionSpec{std::move(side_a), std::move(side_b), one_way};
+  scheduled.start_tick = start_tick;
+  scheduled.end_tick = start_tick + (duration_ticks == 0 ? 1 : duration_ticks);
+  scheduled.active = false;
+  scheduled_partitions_.push_back(std::move(scheduled));
+  // An already-due schedule (start_tick <= ticks_) activates on the next
+  // tick — schedules are tick-driven by contract.
+}
+
+bool GrayFailureInjector::partition_active() const {
+  if (manual_partition_) return true;
+  return std::any_of(scheduled_partitions_.begin(),
+                     scheduled_partitions_.end(),
+                     [](const ScheduledPartition& s) { return s.active; });
+}
+
+void GrayFailureInjector::apply_partitions() {
+  // Union of blocked senders per endpoint across every active split.
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> blocks;
+  const auto fold = [&blocks](const PartitionSpec& spec) {
+    // side_a -> side_b traffic is always cut: requests FROM side_a die at
+    // side_b endpoints.  A symmetric split cuts the reverse too.
+    for (const NodeId b : spec.side_b) {
+      blocks[b].insert(spec.side_a.begin(), spec.side_a.end());
+    }
+    if (!spec.one_way) {
+      for (const NodeId a : spec.side_a) {
+        blocks[a].insert(spec.side_b.begin(), spec.side_b.end());
+      }
+    }
+  };
+  if (manual_partition_) fold(manual_spec_);
+  for (const ScheduledPartition& scheduled : scheduled_partitions_) {
+    if (scheduled.active) fold(scheduled.spec);
+  }
+  // Clear endpoints that were blocked before but are not any more.
+  for (const NodeId node : blocked_endpoints_) {
+    if (!blocks.contains(node)) transport_.set_blocked_senders(node, {});
+  }
+  blocked_endpoints_.clear();
+  std::uint64_t link_count = 0;
+  for (auto& [node, senders] : blocks) {
+    link_count += senders.size();
+    transport_.set_blocked_senders(
+        node, std::vector<NodeId>(senders.begin(), senders.end()));
+    blocked_endpoints_.push_back(node);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record_event(
+        link_count > 0 ? obs::RecordKind::kPartitionStart
+                       : obs::RecordKind::kPartitionHeal,
+        obs::TraceContext{}, ftc::kInvalidNode,
+        manual_partition_ && manual_spec_.one_way ? 1 : 0, link_count,
+        link_count > 0 ? "partition" : "heal");
+  }
+}
+
 void GrayFailureInjector::add_flap(NodeId node, std::uint32_t down_ticks,
                                    std::uint32_t up_ticks) {
   FlapSchedule schedule;
@@ -94,6 +198,16 @@ void GrayFailureInjector::remove_flap(NodeId node) {
 
 void GrayFailureInjector::tick() {
   ++ticks_;
+  bool partitions_changed = false;
+  for (ScheduledPartition& scheduled : scheduled_partitions_) {
+    const bool should_be_active =
+        ticks_ >= scheduled.start_tick && ticks_ < scheduled.end_tick;
+    if (should_be_active != scheduled.active) {
+      scheduled.active = should_be_active;
+      partitions_changed = true;
+    }
+  }
+  if (partitions_changed) apply_partitions();
   for (auto& [node, schedule] : flaps_) {
     ++schedule.phase;
     const std::uint32_t limit =

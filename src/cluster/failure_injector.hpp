@@ -29,6 +29,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rpc/transport.hpp"
 
 namespace ftc::cluster {
@@ -85,6 +86,51 @@ class GrayFailureInjector {
   void kill(NodeId node);
   void revive(NodeId node);
 
+  /// Message duplication: requests to `node` are delivered twice with
+  /// probability p (at-least-once fabric re-sends).  Stream derived from
+  /// the injector seed and `node`, like make_lossy.
+  void make_duplicating(NodeId node, double probability);
+  void clear_duplicating(NodeId node);
+
+  /// Bounded reordering: requests to `node` overtake up to
+  /// `max_displacement` earlier arrivals with probability p.
+  void make_reordering(NodeId node, double probability,
+                       std::uint32_t max_displacement);
+  void clear_reordering(NodeId node);
+
+  // --- network partitions ----------------------------------------------
+  /// Severs the fabric between two node sets, effective immediately: with
+  /// `one_way` false (symmetric split / split-brain) no message crosses in
+  /// either direction; with `one_way` true only side_a -> side_b traffic
+  /// is cut (the asymmetric partition that mass-suspects healthy nodes —
+  /// side_a hears side_b fine but its probes never arrive).  Both sides
+  /// stay alive and keep serving within their side.  Composes with
+  /// scheduled partitions; heal_partition() clears the manual split.
+  void partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b,
+                 bool one_way = false);
+
+  /// Restores connectivity cut by partition(); scheduled partitions keep
+  /// their own clocks.
+  void heal_partition();
+
+  /// Deterministic split-brain schedule: the partition activates when
+  /// ticks() reaches `start_tick` and heals `duration_ticks` later.
+  /// Multiple schedules compose (links blocked by any active schedule
+  /// stay blocked).
+  void schedule_partition(std::vector<NodeId> side_a,
+                          std::vector<NodeId> side_b,
+                          std::uint64_t start_tick,
+                          std::uint64_t duration_ticks, bool one_way = false);
+
+  /// True while any manual or scheduled partition is blocking links.
+  [[nodiscard]] bool partition_active() const;
+
+  /// Attaches a recorder for kPartitionStart/kPartitionHeal timeline
+  /// events (not owned; nullptr detaches).
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
   // --- scheduled faults (advance via tick()) ---------------------------
   /// Flapping node: alternates `down_ticks` dead and `up_ticks` alive,
   /// starting at a seed-jittered offset within its first up phase.  The
@@ -115,12 +161,36 @@ class GrayFailureInjector {
     bool down = false;
   };
 
+  struct PartitionSpec {
+    std::vector<NodeId> side_a;
+    std::vector<NodeId> side_b;
+    bool one_way = false;
+  };
+
+  struct ScheduledPartition {
+    PartitionSpec spec;
+    std::uint64_t start_tick = 0;
+    std::uint64_t end_tick = 0;
+    bool active = false;
+  };
+
+  /// Recomputes every endpoint's blocked-sender set as the union over the
+  /// manual partition and all active schedules, and pushes the result to
+  /// the transport (clearing endpoints no longer involved).
+  void apply_partitions();
+
   rpc::Transport& transport_;
   Rng rng_;
   std::uint64_t seed_;
   std::uint64_t ticks_ = 0;
   std::uint64_t flap_transitions_ = 0;
   std::unordered_map<NodeId, FlapSchedule> flaps_;
+  bool manual_partition_ = false;
+  PartitionSpec manual_spec_;
+  std::vector<ScheduledPartition> scheduled_partitions_;
+  /// Endpoints holding a non-empty block set right now (for clearing).
+  std::vector<NodeId> blocked_endpoints_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace ftc::cluster

@@ -183,6 +183,11 @@ struct HvacClient::Mailbox {
     /// A prefetch pull timed out: detector verdict plus a re-queue so
     /// the pull re-resolves against the post-surgery ring.
     kPrefetchTimeout,
+    /// A write-behind kPut was refused kFencedEpoch: the server's ring
+    /// epoch is ahead of the one the put was planned under.  The node is
+    /// alive; drop the path's marking so the next read re-plans against
+    /// the fast-forwarded ring.
+    kFencedPut,
   };
   struct Event {
     NodeId node;
@@ -379,6 +384,9 @@ HvacClient::Stats HvacClient::stats_snapshot() const {
         stats_.prefetch_local_hits.load(std::memory_order_relaxed);
     s.p2p_rescues = stats_.p2p_rescues.load(std::memory_order_relaxed);
     s.p2p_bytes = stats_.p2p_bytes.load(std::memory_order_relaxed);
+    s.fenced_puts = stats_.fenced_puts.load(std::memory_order_relaxed);
+    s.reconcile_repushes =
+        stats_.reconcile_repushes.load(std::memory_order_relaxed);
     return s;
   };
   // Torn-snapshot guard: per-field loads are individually atomic but the
@@ -439,6 +447,14 @@ void HvacClient::ingest_membership(const rpc::RpcResponse& response) {
       // timeouts/flags this client accumulated against the node so it is
       // immediately routable again.
       detector_.reset_node(event.node);
+    }
+    // Post-heal reconciliation scope: a stale-view fast-forward is how a
+    // minority-side client learns the transitions it missed during a
+    // partition.  Remember which nodes those transitions named; warm
+    // re-targets that cross them are the divergent suffix being walked
+    // back onto the healed ring (counted in push_replicas).
+    if (response.view_hint == rpc::ViewHint::kStaleView) {
+      reconcile_touched_.insert(event.node);
     }
   }
 }
@@ -619,7 +635,32 @@ void HvacClient::push_replicas(const std::string& path,
       if (warm_inflight_->load(std::memory_order_relaxed) >= cap) {
         ++stats_.warm_deferred;
       } else {
-        if (warm_restore) ++stats_.warm_invalidations;
+        if (warm_restore) {
+          ++stats_.warm_invalidations;
+          // Post-heal reconciliation: this re-target is partition repair
+          // (not ordinary churn) when its old or new standby set touches
+          // a node named by a stale-view heal delta — the minority's
+          // divergent suffix being re-pushed through the ordinary lazy
+          // re-target machinery.
+          if (!reconcile_touched_.empty()) {
+            const auto crosses = [this](const std::vector<NodeId>& nodes) {
+              return std::any_of(nodes.begin(), nodes.end(),
+                                 [this](NodeId node) {
+                                   return reconcile_touched_.contains(node);
+                                 });
+            };
+            if (crosses(it->second.targets) || crosses(targets)) {
+              ++stats_.reconcile_repushes;
+              if (recorder_ != nullptr) {
+                recorder_->record_event(obs::RecordKind::kPartitionReconcile,
+                                        obs::TraceContext{}, self_,
+                                        static_cast<std::uint32_t>(
+                                            StatusCode::kOk),
+                                        generation, path);
+              }
+            }
+          }
+        }
         warm_fires = true;
         // Mark at issue time, before any put executes: the sync path
         // below may erase the marking on failure, and ordering the other
@@ -672,6 +713,15 @@ void HvacClient::execute_put(const placement::MergedTarget& target,
       ingest_membership(result.value());
       observe_load_hint(backup, result.value());
       detector_.record_success(backup);
+      if (result.value().code == StatusCode::kFencedEpoch) {
+        // Write fence: our epoch lagged the server's.  The stamped
+        // response just fast-forwarded us (ingest above); unmark so the
+        // next read re-plans the standby against the healed ring.  No
+        // replica was placed, so replicas_pushed stays untouched.
+        ++stats_.fenced_puts;
+        if (warm) warm_pushed_.erase(path);
+        return;
+      }
       ++stats_.replicas_pushed;
       if (warm) {
         if (result.value().code == StatusCode::kOk) {
@@ -716,6 +766,9 @@ void HvacClient::execute_put(const placement::MergedTarget& target,
           // this node.  The server is healthy and the file covered — keep
           // the marking, count nothing.
           mailbox->post(backup, Mailbox::Kind::kRpcSuccess);
+        } else if (result.is_ok() &&
+                   result.value().code == StatusCode::kFencedEpoch) {
+          mailbox->post(backup, Mailbox::Kind::kFencedPut, path);
         } else if (!result.is_ok() && timeout_like(result.status())) {
           mailbox->post(backup,
                         warm ? Mailbox::Kind::kWarmTimeout
@@ -1057,6 +1110,14 @@ void HvacClient::drain_mailbox() {
         // moved ownership to the successor (the kill-recovery path).
         prefetch_pending_.push_back(std::move(event.path));
         issue_prefetch_pulls();
+        break;
+      case Mailbox::Kind::kFencedPut:
+        // A fence is liveness proof (the server inspected the epoch and
+        // answered), never a fault signal.  Unmark the path so the next
+        // read re-plans its standbys against the current ring.
+        detector_.record_success(event.node);
+        warm_pushed_.erase(event.path);
+        ++stats_.fenced_puts;
         break;
     }
   }

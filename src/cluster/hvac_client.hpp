@@ -380,6 +380,13 @@ class HvacClient {
     std::uint64_t prefetch_local_hits = 0;  ///< reads served from staging
     std::uint64_t p2p_rescues = 0;  ///< PFS fallbacks averted via kPeerGet
     std::uint64_t p2p_bytes = 0;    ///< bytes received over kPeerGet
+    // Partition tolerance (zero with fencing off / no partitions):
+    std::uint64_t fenced_puts = 0;  ///< kPut/kEvict refused kFencedEpoch;
+                                    ///< the attached delta fast-forwarded
+                                    ///< us before the retry
+    std::uint64_t reconcile_repushes = 0;  ///< post-heal standby re-pushes
+                                           ///< for files whose replica
+                                           ///< chain crossed the heal delta
   };
   /// Value snapshot of the counters.  There is deliberately no reference
   /// accessor: callers can neither mutate the client's counters nor
@@ -559,6 +566,8 @@ class HvacClient {
     std::atomic<std::uint64_t> prefetch_local_hits{0};
     std::atomic<std::uint64_t> p2p_rescues{0};
     std::atomic<std::uint64_t> p2p_bytes{0};
+    std::atomic<std::uint64_t> fenced_puts{0};
+    std::atomic<std::uint64_t> reconcile_repushes{0};
   };
   AtomicStats stats_;
   LatencyRecorder latency_;
@@ -595,6 +604,15 @@ class HvacClient {
     std::vector<NodeId> targets;
   };
   std::unordered_map<std::string, WarmMarking> warm_pushed_;
+  /// Post-heal reconciliation scope: nodes named by ring-event deltas of
+  /// kStaleView fast-forwards.  A warm re-target whose old or new standby
+  /// set touches one of these nodes is counted as a reconcile re-push —
+  /// the minority's divergent suffix being walked back onto the healed
+  /// ring through the ordinary lazy re-target machinery.  Each file
+  /// re-targets at most once per generation (the warm marking adopts the
+  /// new one), so the set accumulating across heals cannot double-count;
+  /// it is bounded by the cluster size.
+  std::unordered_set<NodeId> reconcile_touched_;
   /// In-flight write-behind standby puts (shared with the completion
   /// callbacks, which outlive any single read).  Bounds the write-behind
   /// queue: write_behind_depth for first placements, restore_concurrency

@@ -93,6 +93,35 @@ rpc::RpcResponse HvacServer::handle(const rpc::RpcRequest& request) {
         // Data path: fold the request's piggybacked gossip, serve, then
         // stamp the response with our epoch / gossip / stale-view delta.
         membership_->observe_request(request);
+        // Write fence: a mutating op carrying a ring epoch older than our
+        // view was planned against a placement that no longer exists —
+        // typically by a client stranded on the minority side of a
+        // partition.  Refuse it BEFORE dispatch; the stamped response
+        // carries the kStaleView delta, so the sender fast-forwards and
+        // re-plans against the live ring before retrying.  Reads are
+        // never fenced (a stale reader only risks a miss, not damage).
+        const bool mutating =
+            request.op == rpc::Op::kPut || request.op == rpc::Op::kEvict;
+        if (mutating && request.ring_epoch != rpc::kEpochUnaware &&
+            request.ring_epoch < membership_->epoch()) {
+          if (config_.fencing.enabled) {
+            stats_.fenced_writes.fetch_add(1, std::memory_order_relaxed);
+            if (recorder_ != nullptr) {
+              recorder_->record_event(
+                  obs::RecordKind::kPartitionFence, request.trace.child(),
+                  id_, static_cast<std::uint32_t>(membership_->epoch()),
+                  request.ring_epoch, request.path);
+            }
+            rpc::RpcResponse response;
+            response.code = StatusCode::kFencedEpoch;
+            membership_->stamp_response(request, response);
+            return response;
+          }
+          // Fencing off: accept as before, but count the exposure so the
+          // partition bench can prove the fence closes it.
+          stats_.stale_epoch_puts_accepted.fetch_add(
+              1, std::memory_order_relaxed);
+        }
         rpc::RpcResponse response = dispatch(request);
         membership_->stamp_response(request, response);
         return response;
@@ -150,6 +179,9 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
           " expired_on_arrival=" + std::to_string(s.expired_on_arrival) +
           " pfs_coalesced=" + std::to_string(s.pfs_coalesced) +
           " pfs_breaker_open=" + std::to_string(s.pfs_breaker_open) +
+          " fenced_writes=" + std::to_string(s.fenced_writes) +
+          " stale_epoch_puts_accepted=" +
+          std::to_string(s.stale_epoch_puts_accepted) +
           " used_bytes=" + std::to_string(s.used_bytes) +
           " capacity_bytes=" + std::to_string(cache_.capacity_bytes()) +
           " files=" + std::to_string(cache_.file_count()));
@@ -376,6 +408,9 @@ HvacServer::Stats HvacServer::stats_snapshot() const {
     s.peer_gets = stats_.peer_gets.load(std::memory_order_relaxed);
     s.peer_get_hits = stats_.peer_get_hits.load(std::memory_order_relaxed);
     s.peer_get_bytes = stats_.peer_get_bytes.load(std::memory_order_relaxed);
+    s.fenced_writes = stats_.fenced_writes.load(std::memory_order_relaxed);
+    s.stale_epoch_puts_accepted =
+        stats_.stale_epoch_puts_accepted.load(std::memory_order_relaxed);
     if (pfs_guard_) {
       const PfsFetchGuard::Stats guard = pfs_guard_->stats_snapshot();
       s.pfs_coalesced = guard.coalesced;

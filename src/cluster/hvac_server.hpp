@@ -83,6 +83,21 @@ struct HvacServerConfig {
   /// EWMA smoothing for the reported load.  Valid: in (0, 1].
   double load_report_alpha = 0.2;
 
+  // --- Partition tolerance (defaults to the legacy open door) ---------
+
+  /// Ring-epoch write fencing.  With `enabled`, a mutating RPC (kPut /
+  /// kEvict) whose sender ring epoch lags this node's membership epoch is
+  /// refused kFencedEpoch instead of being applied — a client on the
+  /// minority side of a healed partition cannot smear placement decisions
+  /// derived from a dead ring onto the majority's caches.  The refusal
+  /// response is stamped like any stale-view answer, so the fenced client
+  /// fast-forwards and retries against the current ring in one round
+  /// trip.  Inert without an attached membership agent (legacy senders
+  /// are kEpochUnaware and never fence).  Off = bit-for-bit legacy.
+  struct FencingConfig {
+    bool enabled = false;
+  } fencing;
+
   /// Rejects contradictory knob combinations (used by HvacServer's
   /// throwing constructor; callers may also pre-validate).
   [[nodiscard]] Status validate() const;
@@ -162,6 +177,12 @@ class HvacServer {
     std::uint64_t peer_get_hits = 0;
     /// Payload bytes shipped node-to-node over kPeerGet.
     std::uint64_t peer_get_bytes = 0;
+    /// Mutating RPCs refused kFencedEpoch because the sender's ring epoch
+    /// lagged ours (fencing.enabled only).
+    std::uint64_t fenced_writes = 0;
+    /// Stale-epoch mutating RPCs *accepted* because fencing is off —
+    /// the exposure the fence exists to close (0 with fencing on).
+    std::uint64_t stale_epoch_puts_accepted = 0;
   };
   /// Value snapshot of the lock-free counters plus cache occupancy.  As
   /// with HvacClient, there is deliberately no reference accessor —
@@ -217,6 +238,8 @@ class HvacServer {
     std::atomic<std::uint64_t> peer_gets{0};
     std::atomic<std::uint64_t> peer_get_hits{0};
     std::atomic<std::uint64_t> peer_get_bytes{0};
+    std::atomic<std::uint64_t> fenced_writes{0};
+    std::atomic<std::uint64_t> stale_epoch_puts_accepted{0};
   };
 
   NodeId id_;

@@ -27,6 +27,11 @@ enum class StatusCode : std::uint8_t {
                         ///< work (admission control / open circuit breaker).
                         ///< Never a fault signal — callers back off and
                         ///< retry, they must not count it toward detection.
+  kFencedEpoch = 9,     ///< Mutating RPC carried a ring epoch older than the
+                        ///< server's view: the write was fenced (split-brain
+                        ///< protection).  The response piggybacks a kStaleView
+                        ///< fast-forward; callers refresh their view and
+                        ///< re-place.  Like kBusy, never a fault signal.
 };
 
 /// Human-readable name of a status code ("OK", "TIMEOUT", ...).
@@ -41,6 +46,7 @@ constexpr const char* status_code_name(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kBusy: return "BUSY";
+    case StatusCode::kFencedEpoch: return "FENCED_EPOCH";
   }
   return "UNKNOWN";
 }
@@ -62,6 +68,7 @@ class Status {
   static Status internal(std::string m = {}) { return {StatusCode::kInternal, std::move(m)}; }
   static Status cancelled(std::string m = {}) { return {StatusCode::kCancelled, std::move(m)}; }
   static Status busy(std::string m = {}) { return {StatusCode::kBusy, std::move(m)}; }
+  static Status fenced_epoch(std::string m = {}) { return {StatusCode::kFencedEpoch, std::move(m)}; }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }

@@ -36,7 +36,14 @@ std::optional<RingEvent> VersionedRing::apply(RingEventType type, NodeId node,
   } else {
     master_->remove_node(node);
   }
+  const std::uint64_t previous = epoch_;
   epoch_ = std::max(epoch_ + 1, min_epoch);
+  if (epoch_ > previous + 1) {
+    // min_epoch made the label jump: the skipped labels belong to peer
+    // history this log never recorded, so deltas below the landing label
+    // cannot prove coverage — same collapse as adopt_epoch.
+    sync_floor_ = std::max(sync_floor_, epoch_);
+  }
   snapshot_ = master_->clone_ring();
   current_ = std::make_shared<RingView>(epoch_, snapshot_);
   const RingEvent event{epoch_, type, node, incarnation};
@@ -47,13 +54,27 @@ std::optional<RingEvent> VersionedRing::apply(RingEventType type, NodeId node,
 std::optional<std::vector<RingEvent>> VersionedRing::delta_since(
     std::uint64_t since) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Below the adoption floor the label space has a hole the log cannot
+  // see (adopt_epoch relabels without appending an event): answering
+  // would produce an empty-but-plausible delta and the requester would
+  // fast-forward its label while missing real transitions.
+  if (since < sync_floor_) return std::nullopt;
   return log_.since(since);
+}
+
+std::uint64_t VersionedRing::sync_floor() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sync_floor_;
 }
 
 void VersionedRing::adopt_epoch(std::uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (epoch <= epoch_) return;
   epoch_ = epoch;
+  // The labels we just skipped have no log events behind them; requesters
+  // inside the gap must full-sync (delta_since answers nullopt below the
+  // floor).  Events applied after this resume normal delta service.
+  sync_floor_ = epoch_;
   current_ = std::make_shared<RingView>(epoch_, snapshot_);
 }
 

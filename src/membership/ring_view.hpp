@@ -109,16 +109,28 @@ class VersionedRing {
                                  std::uint64_t incarnation,
                                  std::uint64_t min_epoch = 0);
 
-  /// Events after `since`, oldest first; nullopt when the log has been
-  /// truncated past `since` (caller must full-sync).
+  /// Events after `since`, oldest first; nullopt when the log cannot
+  /// prove coverage — either events past `since` were evicted, or `since`
+  /// lies below the full-sync floor left by a label adoption (see
+  /// adopt_epoch).  Either way the caller must full-sync.
   [[nodiscard]] std::optional<std::vector<RingEvent>> delta_since(
       std::uint64_t since) const;
 
+  /// Lowest epoch label delta_since can still answer (see adopt_epoch).
+  [[nodiscard]] std::uint64_t sync_floor() const;
+
   /// Fast-forwards the epoch LABEL without changing the ring — used after
   /// ingesting a peer's delta whose transitions were all already applied
-  /// locally (gossip raced the delta): the serving sets agree but our
-  /// label lags, and labels must converge for epoch comparison to mean
-  /// anything.  No-op unless `epoch` is ahead.
+  /// locally (gossip raced the delta), or after a full claim dump: the
+  /// serving sets agree but our label lags, and labels must converge for
+  /// epoch comparison to mean anything.  No-op unless `epoch` is ahead.
+  ///
+  /// An effective adoption jumps the label PAST the newest logged event,
+  /// leaving labels in (last event, adopted] with no log coverage.  The
+  /// adopted label becomes the full-sync floor: delta_since for anything
+  /// below it answers nullopt (forcing a full claim dump) instead of an
+  /// empty-looking delta that would let a requester adopt our label while
+  /// silently missing transitions — the large-gap divergence bug.
   void adopt_epoch(std::uint64_t epoch);
 
  private:
@@ -130,6 +142,8 @@ class VersionedRing {
   std::shared_ptr<const RingView> current_;
   EventLog log_;
   std::uint64_t epoch_ = 0;
+  /// Set by adopt_epoch; labels below it are not delta-answerable.
+  std::uint64_t sync_floor_ = 0;
 };
 
 }  // namespace ftc::membership

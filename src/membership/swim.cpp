@@ -4,6 +4,7 @@
 #include <deque>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,9 @@ Status SwimConfig::validate() const {
   }
   if (suspicion_periods == 0) {
     return Status::invalid_argument("suspicion_periods must be >= 1");
+  }
+  if (suspicion_quorum == 0) {
+    return Status::invalid_argument("suspicion_quorum must be >= 1");
   }
   if (claim_retransmits == 0 || max_piggyback == 0) {
     return Status::invalid_argument(
@@ -92,12 +96,33 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
   /// once — either its accept fails, or its kSwimVerdict push arrives.
   /// A positive verdict closes the round immediately; when every slot
   /// drains negative (or the deadline passes with verdicts lost) the
-  /// target becomes a suspect.
+  /// target becomes a suspect.  `incarnation` pins the subject's
+  /// incarnation at round start — a refutation mid-round voids the
+  /// round's negative evidence; `reported` makes verdict handling
+  /// idempotent under duplicated delivery (each proxy's slot is spent at
+  /// most once however many times its push arrives).
   struct IndirectRound {
     int awaiting = 0;
     Clock::time_point deadline;
+    std::uint64_t incarnation = 0;
+    std::vector<NodeId> reported;
   };
   std::unordered_map<NodeId, IndirectRound> indirect_rounds;
+
+  /// Quorum-confirmed suspicion: who has accused `subject` at which
+  /// incarnation.  Evidence arrives on traffic that flows anyway —
+  /// non-alive gossip claims name their sender as an accuser, negative
+  /// kSwimVerdict pushes name the proxy, and local suspicions name us.
+  /// A refutation (higher incarnation) voids all accumulated accusers.
+  struct SuspicionEvidence {
+    std::uint64_t incarnation = 0;
+    std::vector<NodeId> accusers;
+  };
+  std::unordered_map<NodeId, SuspicionEvidence> suspicion_evidence;
+  /// Subjects *we* accused, for the false-suspicion metric: a refutation
+  /// of a node in this set means our evidence was wrong (typically a
+  /// partition, not a death).
+  std::unordered_set<NodeId> my_accusations;
 
   Stats stats;
 
@@ -165,6 +190,52 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
     return dump;
   }
 
+  // ---- suspicion quorum --------------------------------------------------
+
+  void note_accuser_locked(NodeId subject, std::uint64_t incarnation,
+                           NodeId accuser) {
+    if (subject == self || subject == ftc::kInvalidNode ||
+        accuser == ftc::kInvalidNode || accuser == subject) {
+      return;
+    }
+    SuspicionEvidence& evidence = suspicion_evidence[subject];
+    if (incarnation > evidence.incarnation) {
+      evidence.incarnation = incarnation;
+      evidence.accusers.clear();
+    } else if (incarnation < evidence.incarnation) {
+      return;  // stale testimony about a refuted incarnation
+    }
+    if (std::find(evidence.accusers.begin(), evidence.accusers.end(),
+                  accuser) == evidence.accusers.end()) {
+      evidence.accusers.push_back(accuser);
+    }
+    if (accuser == self) my_accusations.insert(subject);
+  }
+
+  /// Accusers needed before this agent originates a confirm.  Capped by
+  /// how many accusers can even exist (serving peers minus the subject),
+  /// so small clusters — and test harnesses — are never deadlocked by a
+  /// quorum larger than the membership.
+  [[nodiscard]] std::size_t quorum_needed_locked() const {
+    const std::size_t peers = table.serving_members().size();
+    const std::size_t cap = peers > 1 ? peers - 1 : 1;
+    return std::min<std::size_t>(
+        std::max<std::uint32_t>(1, config.suspicion_quorum), cap);
+  }
+
+  [[nodiscard]] bool quorum_met_locked(NodeId subject) const {
+    if (config.suspicion_quorum <= 1) return true;  // classic SWIM
+    const auto it = suspicion_evidence.find(subject);
+    if (it == suspicion_evidence.end()) return false;
+    if (it->second.incarnation < table.incarnation(subject)) return false;
+    return it->second.accusers.size() >= quorum_needed_locked();
+  }
+
+  void clear_evidence_locked(NodeId subject) {
+    suspicion_evidence.erase(subject);
+    my_accusations.erase(subject);
+  }
+
   // ---- claim / delta application ----------------------------------------
 
   /// Folds one claim into the table, maps the outcome onto ring events,
@@ -179,11 +250,21 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
     // the rumor and gossip the proof of life.  A node whose endpoint is
     // killed is genuinely dead and must not argue.
     if (node == self && state != MemberState::kAlive &&
-        incarnation >= my_incarnation && !transport.is_killed(self)) {
-      my_incarnation = incarnation + 1;
-      table.apply(MemberState::kAlive, self, my_incarnation);
+        !transport.is_killed(self)) {
+      if (incarnation >= my_incarnation) {
+        my_incarnation = incarnation + 1;
+        table.apply(MemberState::kAlive, self, my_incarnation);
+        enqueue_claim_locked(make_claim_locked(self));
+        ++stats.refutations;
+        return;
+      }
+      // A STALE rumor of our death is still circulating.  The original
+      // refutation's retransmit budget can be long spent — a partition
+      // lets the rumor outlive it on the far side, and if that side's own
+      // gossip about us has also drained, nobody is left to correct them.
+      // Re-announce the existing proof of life with a fresh budget; the
+      // queue supersedes per subject, so sightings cannot pile up.
       enqueue_claim_locked(make_claim_locked(self));
-      ++stats.refutations;
       return;
     }
 
@@ -193,6 +274,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
 
     switch (applied) {
       case Applied::kJoined: {
+        clear_evidence_locked(node);
         if (auto event = ring.apply(RingEventType::kJoin, node, incarnation,
                                     min_epoch)) {
           ++stats.joins;
@@ -213,6 +295,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       }
       case Applied::kConfirmed: {
         ++stats.confirms;
+        clear_evidence_locked(node);
         const RingEventType type =
             config.allow_rejoin && !table.is_terminal(node)
                 ? RingEventType::kProbation
@@ -227,6 +310,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       }
       case Applied::kReinstated: {
         ++stats.reinstatements;
+        clear_evidence_locked(node);
         if (auto event = ring.apply(RingEventType::kReinstate, node,
                                     incarnation, min_epoch)) {
           record_ring_event_locked(*event);
@@ -236,6 +320,13 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
         break;
       }
       case Applied::kRefuted:
+        // The subject minted a higher incarnation: every accusation below
+        // it is void.  If we were among the accusers our verdict was
+        // wrong — typically a severed link, not a death.
+        if (my_accusations.erase(node) > 0) ++stats.false_suspicions;
+        suspicion_evidence.erase(node);
+        enqueue_claim_locked(make_claim_locked(node));
+        break;
       case Applied::kRefreshed:
         enqueue_claim_locked(make_claim_locked(node));
         break;
@@ -244,12 +335,21 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
     }
   }
 
+  /// `from` names the message's sender so non-alive claims double as
+  /// suspicion testimony (quorum evidence rides the gossip that flows
+  /// anyway).  kInvalidNode — e.g. ingesting a response, which carries no
+  /// sender id — folds state without counting an accuser.
   void fold_gossip_locked(const std::vector<rpc::MembershipClaim>& gossip,
-                          std::vector<RingEvent>& events) {
+                          std::vector<RingEvent>& events,
+                          NodeId from = ftc::kInvalidNode) {
     for (const rpc::MembershipClaim& claim : gossip) {
       if (claim.subject == ftc::kInvalidNode) continue;
-      apply_claim_locked(claim_state(claim.state), claim.subject,
-                         claim.incarnation, events);
+      const MemberState state = claim_state(claim.state);
+      if (from != ftc::kInvalidNode && state != MemberState::kAlive &&
+          claim.incarnation >= table.incarnation(claim.subject)) {
+        note_accuser_locked(claim.subject, claim.incarnation, from);
+      }
+      apply_claim_locked(state, claim.subject, claim.incarnation, events);
     }
   }
 
@@ -324,12 +424,23 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       }
       for (const NodeId node : overdue) {
         indirect_rounds.erase(node);
+        note_accuser_locked(node, table.incarnation(node), self);
         apply_claim_locked(MemberState::kSuspect, node,
                            table.incarnation(node), events);
       }
 
       for (const NodeId expired : table.expired_suspects(now)) {
-        // Suspicion ran its course unrefuted: confirm.
+        // Suspicion ran its course unrefuted.  Quorum gate: originating a
+        // confirm needs k distinct accusers on record at the suspect's
+        // current incarnation — a minority cut off from the majority can
+        // never muster them, so it defers (and re-arms the window) instead
+        // of mass-evicting healthy nodes.  Confirms gossiped BY others are
+        // still indisputable and are applied in fold_gossip as usual.
+        if (!quorum_met_locked(expired)) {
+          ++stats.confirms_deferred;
+          table.set_suspect_deadline(expired, now + config.probe_period);
+          continue;
+        }
         apply_claim_locked(MemberState::kFailed, expired,
                            table.incarnation(expired), events);
       }
@@ -339,6 +450,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       request.op = rpc::Op::kSwimPing;
       request.client_node = self;
       request.ring_epoch = ring.epoch();
+      request.ring_fingerprint = ring.view()->fingerprint();
       request.gossip = take_piggyback_locked();
       ++stats.probes_sent;
     }
@@ -382,17 +494,21 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       if (proxies.empty()) {
         // Nobody left to ask: our word alone starts the suspicion.
         std::vector<RingEvent> events;
+        note_accuser_locked(target, table.incarnation(target), self);
         apply_claim_locked(MemberState::kSuspect, target,
                            table.incarnation(target), events);
         return;
       }
-      indirect_rounds[target] =
-          IndirectRound{static_cast<int>(proxies.size()),
-                        Clock::now() + config.indirect_timeout};
+      IndirectRound round;
+      round.awaiting = static_cast<int>(proxies.size());
+      round.deadline = Clock::now() + config.indirect_timeout;
+      round.incarnation = table.incarnation(target);
+      indirect_rounds[target] = std::move(round);
       request.op = rpc::Op::kSwimPingReq;
       request.client_node = self;
       request.subject = target;
       request.ring_epoch = ring.epoch();
+      request.ring_fingerprint = ring.view()->fingerprint();
       request.gossip = take_piggyback_locked();
       stats.indirect_probes_sent += proxies.size();
     }
@@ -423,6 +539,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
     indirect_rounds.erase(it);
     if (transport.is_killed(self)) return;
     std::vector<RingEvent> events;
+    note_accuser_locked(target, table.incarnation(target), self);
     apply_claim_locked(MemberState::kSuspect, target,
                        table.incarnation(target), events);
   }
@@ -440,6 +557,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       verdict.subject = subject;
       verdict.subject_reachable = reachable;
       verdict.ring_epoch = ring.epoch();
+      verdict.ring_fingerprint = ring.view()->fingerprint();
       verdict.gossip = take_piggyback_locked();
       ++stats.verdicts_sent;
     }
@@ -457,27 +575,44 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
                              rpc::RpcResponse& response) {
     const std::uint64_t local_epoch = ring.epoch();
     response.ring_epoch = local_epoch;
-    response.gossip = take_piggyback_locked();
-    if (request.ring_epoch == rpc::kEpochUnaware ||
-        request.ring_epoch >= local_epoch) {
-      return;
-    }
-    response.view_hint = rpc::ViewHint::kStaleView;
-    ++stats.stale_view_hints_sent;
-    if (auto delta = ring.delta_since(request.ring_epoch)) {
-      for (const RingEvent& event : *delta) {
-        response.view_delta.push_back(rpc::RingDelta{
-            event.epoch, static_cast<std::uint8_t>(event.type), event.node,
-            event.incarnation});
-      }
-      ++stats.deltas_served;
-    } else {
-      // Log truncated past the requester's epoch: the delta has a hole,
-      // so ship the full state as claims instead (claims are idempotent
-      // and complete; the requester reconciles and adopts our label).
+    // Epoch labels are per-node counters: after a partition heals, both
+    // sides can present the SAME label for DIFFERENT rings (each burned
+    // its own transitions while split).  The numeric comparison below is
+    // blind to that, so a matching label with a mismatched fingerprint
+    // gets the full-dump treatment — claims are idempotent and the
+    // incarnation gates decide per member which side is right.
+    if (request.ring_epoch == local_epoch && request.ring_fingerprint != 0 &&
+        request.ring_fingerprint != ring.view()->fingerprint()) {
+      response.view_hint = rpc::ViewHint::kStaleView;
+      ++stats.stale_view_hints_sent;
       response.gossip = full_dump_locked();
       ++stats.full_syncs_served;
+      return;
     }
+    if (request.ring_epoch != rpc::kEpochUnaware &&
+        request.ring_epoch < local_epoch) {
+      response.view_hint = rpc::ViewHint::kStaleView;
+      ++stats.stale_view_hints_sent;
+      if (auto delta = ring.delta_since(request.ring_epoch)) {
+        for (const RingEvent& event : *delta) {
+          response.view_delta.push_back(rpc::RingDelta{
+              event.epoch, static_cast<std::uint8_t>(event.type), event.node,
+              event.incarnation});
+        }
+        ++stats.deltas_served;
+      } else {
+        // The retained log cannot cover the requester's gap (truncated,
+        // or our label jumped past the last event via adopt_epoch): ship
+        // the full state as claims instead — claims are idempotent and
+        // complete; the requester reconciles and adopts our label.
+        // Decided BEFORE the piggyback draw so queued claims keep their
+        // retransmit budgets instead of being popped and overwritten.
+        response.gossip = full_dump_locked();
+        ++stats.full_syncs_served;
+        return;
+      }
+    }
+    response.gossip = take_piggyback_locked();
   }
 
   rpc::RpcResponse handle(const rpc::RpcRequest& request) {
@@ -486,7 +621,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       case rpc::Op::kSwimPing: {
         std::lock_guard<std::mutex> lock(mutex);
         std::vector<RingEvent> events;
-        fold_gossip_locked(request.gossip, events);
+        fold_gossip_locked(request.gossip, events, request.client_node);
         response.code = StatusCode::kOk;
         stamp_response_locked(request, response);
         return response;
@@ -498,10 +633,11 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
         {
           std::lock_guard<std::mutex> lock(mutex);
           std::vector<RingEvent> events;
-          fold_gossip_locked(request.gossip, events);
+          fold_gossip_locked(request.gossip, events, request.client_node);
           nested.op = rpc::Op::kSwimPing;
           nested.client_node = self;
           nested.ring_epoch = ring.epoch();
+          nested.ring_fingerprint = ring.view()->fingerprint();
           nested.gossip = take_piggyback_locked();
           // Accepted — NOT a reachability verdict.  That comes back to
           // the origin as a kSwimVerdict push once the nested ping
@@ -526,18 +662,45 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       case rpc::Op::kSwimVerdict: {
         std::lock_guard<std::mutex> lock(mutex);
         std::vector<RingEvent> events;
-        fold_gossip_locked(request.gossip, events);
+        fold_gossip_locked(request.gossip, events, request.client_node);
         ++stats.verdicts_received;
         if (!request.subject_reachable) ++stats.verdicts_unreachable;
         const auto it = indirect_rounds.find(request.subject);
         if (it != indirect_rounds.end()) {
-          if (request.subject_reachable) {
-            // Someone reached the subject: vindicated, round closed.
-            indirect_rounds.erase(it);
-          } else if (--it->second.awaiting <= 0) {
-            indirect_rounds.erase(it);
-            apply_claim_locked(MemberState::kSuspect, request.subject,
-                               table.incarnation(request.subject), events);
+          IndirectRound& round = it->second;
+          const NodeId proxy = request.client_node;
+          if (std::find(round.reported.begin(), round.reported.end(),
+                        proxy) != round.reported.end()) {
+            // Duplicated delivery (at-least-once fabric re-send): this
+            // proxy's slot is already spent — folding it again would let
+            // one proxy's verdict count twice and suspect the subject on
+            // a single opinion.  Gossip above was still folded (claims
+            // are idempotent); the round state must not move.
+            ++stats.duplicate_verdicts;
+          } else {
+            round.reported.push_back(proxy);
+            if (request.subject_reachable) {
+              // Someone reached the subject: vindicated, round closed.
+              indirect_rounds.erase(it);
+            } else {
+              // Negative verdicts are testimony at the incarnation the
+              // round was opened for.
+              note_accuser_locked(request.subject, round.incarnation, proxy);
+              if (--round.awaiting <= 0) {
+                const std::uint64_t opened_at = round.incarnation;
+                indirect_rounds.erase(it);
+                // Incarnation gate: a refutation that landed mid-round
+                // voids the round's negative evidence — suspecting the
+                // subject's NEW incarnation on OLD testimony is exactly
+                // the false-cascade quorum suspicion exists to stop.
+                if (table.incarnation(request.subject) == opened_at) {
+                  note_accuser_locked(request.subject, opened_at, self);
+                  apply_claim_locked(MemberState::kSuspect, request.subject,
+                                     table.incarnation(request.subject),
+                                     events);
+                }
+              }
+            }
           }
         }
         response.code = StatusCode::kOk;
@@ -547,7 +710,7 @@ struct MembershipAgent::Impl : std::enable_shared_from_this<Impl> {
       case rpc::Op::kMembershipSync: {
         std::lock_guard<std::mutex> lock(mutex);
         std::vector<RingEvent> events;
-        fold_gossip_locked(request.gossip, events);
+        fold_gossip_locked(request.gossip, events, request.client_node);
         response.code = StatusCode::kOk;
         response.ring_epoch = ring.epoch();
         // Force full adoption: an explicit sync always ships the whole
@@ -578,6 +741,7 @@ void MembershipAgent::probe_tick() { impl_->probe_tick(); }
 void MembershipAgent::stamp_request(rpc::RpcRequest& request) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   request.ring_epoch = impl_->ring.epoch();
+  request.ring_fingerprint = impl_->ring.view()->fingerprint();
   request.gossip = impl_->take_piggyback_locked();
 }
 
@@ -589,7 +753,7 @@ std::vector<RingEvent> MembershipAgent::ingest(
 void MembershipAgent::observe_request(const rpc::RpcRequest& request) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   std::vector<RingEvent> events;
-  impl_->fold_gossip_locked(request.gossip, events);
+  impl_->fold_gossip_locked(request.gossip, events, request.client_node);
 }
 
 void MembershipAgent::stamp_response(const rpc::RpcRequest& request,
@@ -606,6 +770,8 @@ void MembershipAgent::suspect(NodeId node) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   if (node == impl_->self) return;
   std::vector<RingEvent> events;
+  impl_->note_accuser_locked(node, impl_->table.incarnation(node),
+                             impl_->self);
   impl_->apply_claim_locked(MemberState::kSuspect, node,
                             impl_->table.incarnation(node), events);
 }

@@ -73,6 +73,15 @@ struct SwimConfig {
   std::uint32_t indirect_proxies = 2;
   /// Probe periods a suspicion stays open before confirmation.
   std::uint32_t suspicion_periods = 3;
+  /// Distinct accusers required before this agent *originates* a failure
+  /// confirmation (gossiped confirms from peers are still indisputable).
+  /// 1 (the default) is classic SWIM — any single unrefuted suspicion
+  /// confirms.  Raising it to k makes a minority side of a partition
+  /// (fewer than k possible accusers) defer its confirms indefinitely
+  /// instead of mass-evicting the healthy majority: suspicions still
+  /// open and gossip, but the eviction decision needs k voices.
+  /// Evidence rides existing gossip/verdict traffic — no new RPCs.
+  std::uint32_t suspicion_quorum = 1;
   /// Times each gossip claim is piggybacked before it is dropped
   /// (lambda*log(N) in the paper; a small constant is plenty at our N).
   std::uint32_t claim_retransmits = 6;
@@ -187,6 +196,10 @@ class MembershipAgent {
     std::uint64_t deltas_served = 0;
     std::uint64_t full_syncs_served = 0;
     std::uint64_t fast_forwards = 0;    ///< kStaleView hints acted upon
+    // Partition tolerance (PR 10).
+    std::uint64_t false_suspicions = 0;   ///< nodes we accused that refuted
+    std::uint64_t confirms_deferred = 0;  ///< confirm attempts held for quorum
+    std::uint64_t duplicate_verdicts = 0;  ///< re-delivered kSwimVerdict pushes
   };
   [[nodiscard]] Stats stats_snapshot() const;
 

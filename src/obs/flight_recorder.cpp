@@ -25,6 +25,10 @@ const char* record_kind_name(RecordKind kind) {
     case RecordKind::kWarmPush: return "warm_push";
     case RecordKind::kPrefetchPlan: return "prefetch_plan";
     case RecordKind::kPeerRecache: return "peer_recache";
+    case RecordKind::kPartitionStart: return "partition_start";
+    case RecordKind::kPartitionHeal: return "partition_heal";
+    case RecordKind::kPartitionFence: return "partition_fence";
+    case RecordKind::kPartitionReconcile: return "partition_reconcile";
   }
   return "unknown";
 }

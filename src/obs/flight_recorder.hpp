@@ -79,6 +79,17 @@ enum class RecordKind : std::uint8_t {
   kPeerRecache = 18,   ///< Event: a read was rescued node-to-node over
                        ///< kPeerGet instead of falling back to the PFS
                        ///< (value = serving peer node).
+  // Partition-tolerance events.
+  kPartitionStart = 19,      ///< Event: injector severed a set of links
+                             ///< (value = blocked link count, code = 1 for
+                             ///< a one-way split).
+  kPartitionHeal = 20,       ///< Event: injector restored connectivity.
+  kPartitionFence = 21,      ///< Event: server rejected a stale-epoch write
+                             ///< (value = the write's ring epoch, code =
+                             ///< the server's current epoch, truncated).
+  kPartitionReconcile = 22,  ///< Event: post-heal re-target re-pushed a
+                             ///< replica chain touched by the partition
+                             ///< (value = the file's new generation).
 };
 
 const char* record_kind_name(RecordKind kind);
@@ -90,7 +101,11 @@ constexpr bool record_is_span(RecordKind kind) {
          kind != RecordKind::kSuspicion && kind != RecordKind::kRingUpdate &&
          kind != RecordKind::kLoadSpill && kind != RecordKind::kHotPromotion &&
          kind != RecordKind::kHotDemotion && kind != RecordKind::kWarmPush &&
-         kind != RecordKind::kPrefetchPlan && kind != RecordKind::kPeerRecache;
+         kind != RecordKind::kPrefetchPlan && kind != RecordKind::kPeerRecache &&
+         kind != RecordKind::kPartitionStart &&
+         kind != RecordKind::kPartitionHeal &&
+         kind != RecordKind::kPartitionFence &&
+         kind != RecordKind::kPartitionReconcile;
 }
 
 /// One decoded flight-recorder entry.

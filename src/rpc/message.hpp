@@ -146,6 +146,12 @@ struct RpcRequest {
   bool subject_reachable = false;
   /// Sender's current ring epoch (kEpochUnaware in legacy mode).
   std::uint64_t ring_epoch = kEpochUnaware;
+  /// Sender's ring fingerprint (0 = unstamped).  Epoch labels are local
+  /// counters, so two sides of a healed partition can present the SAME
+  /// number for DIFFERENT rings — the fingerprint is what lets a responder
+  /// see through the label collision and force a full reconciliation
+  /// instead of concluding the views already agree.
+  std::uint64_t ring_fingerprint = 0;
   /// Piggybacked membership claims (empty in legacy mode).
   std::vector<MembershipClaim> gossip;
   /// Absolute deadline after which the sender no longer wants the answer.

@@ -1,5 +1,6 @@
 #include "rpc/transport.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -98,41 +99,82 @@ StatusOr<RpcResponse> Transport::call(NodeId target, RpcRequest request,
       std::lock_guard lock(endpoint.mutex);
       ++endpoint.stats.received;
       if (!is_membership_op(call->request.op)) ++endpoint.stats.received_data;
-      // Admission control: shed at enqueue so a rejection is a fast kBusy
-      // answer, not a queue wait.  Membership traffic is never shed, and a
-      // killed endpoint never sheds (a dead node cannot answer — a fast
-      // rejection would read as liveness and break timeout detection).
-      const std::size_t limit = endpoint.admission.queue_limit;
-      if (limit > 0 && !endpoint.killed &&
-          !is_membership_op(call->request.op)) {
-        const std::size_t bound =
-            call->request.op == Op::kPut ? limit * 2 : limit;
-        if (endpoint.queue.size() >= bound) {
-          ++endpoint.stats.requests_shed;
-          if (endpoint.recorder != nullptr && call->request.trace.sampled) {
-            endpoint.recorder->record_event(
-                obs::RecordKind::kServerShed, call->request.trace.child(),
-                endpoint.node, static_cast<std::uint32_t>(StatusCode::kBusy),
-                endpoint.queue.size(), "admission");
+      // Partition fault: a blocked sender's request dies on the wire — no
+      // admission verdict, no response, the caller times out exactly as if
+      // the link were cut.  Checked before admission so a severed link can
+      // never be mistaken for a fast, live kBusy answer.
+      const bool link_cut =
+          !endpoint.blocked_senders.empty() &&
+          endpoint.blocked_senders.contains(call->request.client_node);
+      if (link_cut) {
+        ++endpoint.stats.dropped;
+        ++endpoint.stats.partition_dropped;
+      } else {
+        // Admission control: shed at enqueue so a rejection is a fast kBusy
+        // answer, not a queue wait.  Membership traffic is never shed, and a
+        // killed endpoint never sheds (a dead node cannot answer — a fast
+        // rejection would read as liveness and break timeout detection).
+        const std::size_t limit = endpoint.admission.queue_limit;
+        if (limit > 0 && !endpoint.killed &&
+            !is_membership_op(call->request.op)) {
+          const std::size_t bound =
+              call->request.op == Op::kPut ? limit * 2 : limit;
+          if (endpoint.queue.size() >= bound) {
+            ++endpoint.stats.requests_shed;
+            if (endpoint.recorder != nullptr && call->request.trace.sampled) {
+              endpoint.recorder->record_event(
+                  obs::RecordKind::kServerShed, call->request.trace.child(),
+                  endpoint.node, static_cast<std::uint32_t>(StatusCode::kBusy),
+                  endpoint.queue.size(), "admission");
+            }
+            RpcResponse busy;
+            busy.code = StatusCode::kBusy;
+            const auto backlog =
+                static_cast<std::uint32_t>(endpoint.queue.size() - bound + 1);
+            busy.retry_after_ms =
+                endpoint.admission.retry_after_base_ms * backlog;
+            // A shed IS load evidence — the one response an overloaded node
+            // is guaranteed to send quickly, so it carries the hint too.
+            if (endpoint.load_report.enabled) {
+              busy.load_hint = encode_load_hint(endpoint.load_ewma);
+            }
+            return busy;
           }
-          RpcResponse busy;
-          busy.code = StatusCode::kBusy;
-          const auto backlog =
-              static_cast<std::uint32_t>(endpoint.queue.size() - bound + 1);
-          busy.retry_after_ms =
-              endpoint.admission.retry_after_base_ms * backlog;
-          // A shed IS load evidence — the one response an overloaded node
-          // is guaranteed to send quickly, so it carries the hint too.
-          if (endpoint.load_report.enabled) {
-            busy.load_hint = encode_load_hint(endpoint.load_ewma);
+        }
+        if (endpoint.recorder != nullptr && call->request.trace.sampled) {
+          call->enqueue_ns = obs::now_ns();
+        }
+        endpoint.queue.push_back(call);
+        // Duplication fault: enqueue a second, untraced delivery of the
+        // same request.  Its promise has no future attached — the server
+        // handles it and the response evaporates, which is exactly what a
+        // fabric-level re-send looks like to an application.
+        if (endpoint.duplicate_probability > 0.0 &&
+            endpoint.duplicate_rng.chance(endpoint.duplicate_probability)) {
+          auto clone = std::make_shared<PendingCall>();
+          clone->request = call->request;
+          endpoint.queue.push_back(std::move(clone));
+          ++endpoint.stats.received;
+          if (!is_membership_op(call->request.op)) {
+            ++endpoint.stats.received_data;
           }
-          return busy;
+          ++endpoint.stats.duplicated;
+        }
+        // Reordering fault: let this arrival overtake up to reorder_depth
+        // queued requests (bounded, seeded — deterministic per sequence).
+        if (endpoint.reorder_probability > 0.0 && endpoint.queue.size() > 1 &&
+            endpoint.reorder_rng.chance(endpoint.reorder_probability)) {
+          const std::size_t depth = std::min<std::size_t>(
+              1 + endpoint.reorder_rng.below(
+                      std::max<std::uint32_t>(1, endpoint.reorder_depth)),
+              endpoint.queue.size() - 1);
+          auto moved = std::move(endpoint.queue.back());
+          endpoint.queue.pop_back();
+          endpoint.queue.insert(endpoint.queue.end() - depth,
+                                std::move(moved));
+          ++endpoint.stats.reordered;
         }
       }
-      if (endpoint.recorder != nullptr && call->request.trace.sampled) {
-        call->enqueue_ns = obs::now_ns();
-      }
-      endpoint.queue.push_back(call);
     }
     endpoint.cv.notify_one();
   }
@@ -252,6 +294,46 @@ void Transport::corrupt_next(NodeId node, std::uint32_t count) {
   if (it == endpoints_.end()) return;
   std::lock_guard lock(it->second->mutex);
   it->second->corruptions_remaining += count;
+}
+
+void Transport::set_blocked_senders(NodeId node,
+                                    std::vector<NodeId> senders) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->blocked_senders.clear();
+  it->second->blocked_senders.insert(senders.begin(), senders.end());
+}
+
+bool Transport::is_sender_blocked(NodeId node, NodeId sender) const {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return false;
+  std::lock_guard lock(it->second->mutex);
+  return it->second->blocked_senders.contains(sender);
+}
+
+void Transport::set_duplicate_probability(NodeId node, double p,
+                                          std::uint64_t seed) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->duplicate_probability = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  it->second->duplicate_rng.reseed(seed);
+}
+
+void Transport::set_reorder(NodeId node, double p,
+                            std::uint32_t max_displacement,
+                            std::uint64_t seed) {
+  std::lock_guard registry_lock(registry_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  std::lock_guard lock(it->second->mutex);
+  it->second->reorder_probability = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  it->second->reorder_depth = max_displacement == 0 ? 1 : max_displacement;
+  it->second->reorder_rng.reseed(seed);
 }
 
 void Transport::set_admission(NodeId node, AdmissionConfig config) {

@@ -11,7 +11,16 @@
 //              gray failure the hedged-read path is built to mask);
 //   - drop_next(): drop exactly N requests then behave (packet-loss blips);
 //   - set_drop_probability(): drop each request with seeded probability p
-//              (lossy link; deterministic per request sequence).
+//              (lossy link; deterministic per request sequence);
+//   - set_blocked_senders(): drop every request whose client_node is in a
+//              per-endpoint block set (a severed LINK, not a dead node —
+//              the building block for symmetric and asymmetric network
+//              partitions; both sides stay alive and serve their side);
+//   - set_duplicate_probability(): deliver some requests twice (at-least-
+//              once fabrics re-send on lost acks; exercises idempotency);
+//   - set_reorder(): displace some arrivals a bounded number of slots
+//              deeper into the FIFO (multi-path fabrics reorder; bounded
+//              so determinism is preserved for a fixed seed).
 //
 // The FT policy above this layer must work with *no* information other
 // than per-request timeouts, matching the paper's autonomous detection.
@@ -29,6 +38,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -128,6 +138,33 @@ class Transport {
   /// end-to-end CRC verification.
   void corrupt_next(NodeId node, std::uint32_t count);
 
+  /// Partition primitive: requests arriving at `node` whose client_node is
+  /// in `senders` are silently dropped at admission (the caller times out,
+  /// exactly as if the link were cut — the endpoint itself stays alive and
+  /// keeps serving everyone else).  Replaces any previous block set; an
+  /// empty vector restores full connectivity.  Directional by design: to
+  /// sever a link both ways, block each endpoint from the other.
+  void set_blocked_senders(NodeId node, std::vector<NodeId> senders);
+
+  /// True when `sender` is currently blocked at `node`'s endpoint.
+  [[nodiscard]] bool is_sender_blocked(NodeId node, NodeId sender) const;
+
+  /// Message-duplication fault: each request accepted at `node` is, with
+  /// probability p in [0, 1], enqueued twice.  The duplicate is handled by
+  /// the server like any request but its response goes nowhere (the caller
+  /// already holds the first delivery's future) — exactly an at-least-once
+  /// fabric re-send.  Seeded per endpoint; p = 0 restores exactly-once.
+  void set_duplicate_probability(NodeId node, double p,
+                                 std::uint64_t seed = 0);
+
+  /// Bounded-reordering fault: each request accepted at `node` is, with
+  /// probability p in [0, 1], inserted up to `max_displacement` slots
+  /// ahead of the back of the FIFO, overtaking requests that arrived
+  /// before it.  Deterministic for a fixed seed and arrival sequence;
+  /// p = 0 restores FIFO delivery.
+  void set_reorder(NodeId node, double p, std::uint32_t max_displacement,
+                   std::uint64_t seed = 0);
+
   /// Server admission control: bounds the endpoint's ingress queue.
   /// Enforced at enqueue so a rejection costs the caller one fast kBusy
   /// response instead of a queue wait.  Class-aware shedding:
@@ -181,6 +218,14 @@ class Transport {
     /// Requests rejected with kBusy by admission control (counted in
     /// `received` too; never includes membership-protocol traffic).
     std::uint64_t requests_shed = 0;
+    /// Requests dropped because their sender was in the endpoint's
+    /// partition block set (counted in `dropped` too).
+    std::uint64_t partition_dropped = 0;
+    /// Extra deliveries manufactured by the duplication fault (each also
+    /// counts in `received`/`received_data`).
+    std::uint64_t duplicated = 0;
+    /// Requests displaced out of FIFO order by the reordering fault.
+    std::uint64_t reordered = 0;
   };
   [[nodiscard]] EndpointStats stats(NodeId node) const;
 
@@ -217,6 +262,13 @@ class Transport {
     std::uint32_t corruptions_remaining = 0;
     double drop_probability = 0.0;
     Rng drop_rng{0};
+    /// Senders currently cut off from this endpoint (partition fault).
+    std::unordered_set<NodeId> blocked_senders;
+    double duplicate_probability = 0.0;
+    Rng duplicate_rng{0};
+    double reorder_probability = 0.0;
+    std::uint32_t reorder_depth = 1;
+    Rng reorder_rng{0};
     EndpointStats stats;
     /// Per-node flight recorder (not owned); nullptr = tracing off.
     obs::FlightRecorder* recorder = nullptr;

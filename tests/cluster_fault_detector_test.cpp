@@ -76,5 +76,129 @@ TEST(FaultDetector, SuccessForUnknownNodeIsNoop) {
   EXPECT_EQ(detector.suppressed_false_positives(), 0u);
 }
 
+using Clock = FaultDetector::Clock;
+using std::chrono::milliseconds;
+
+FaultDetector::Options reinstating_options() {
+  return FaultDetector::Options{.timeout_limit = 2,
+                                .allow_reinstatement = true,
+                                .probe_backoff = milliseconds(50),
+                                .probe_backoff_cap = milliseconds(400),
+                                .max_flaps = 2};
+}
+
+/// Trips the timeout limit for `node` at `now` (2 timeouts with the
+/// options above) and asserts the out-of-service transition fired.
+void trip_limit(FaultDetector& detector, NodeId node, Clock::time_point now) {
+  ASSERT_FALSE(detector.record_timeout(node, now));
+  ASSERT_TRUE(detector.record_timeout(node, now));
+}
+
+TEST(FaultDetectorBackoff, ProbeBackoffDoublesAndStaysCapped) {
+  // A node that never answers its reinstatement probes must not push its
+  // own probe deadline out without bound: the backoff doubles per failed
+  // probe but saturates at probe_backoff_cap, so probing slows to the cap
+  // cadence and never stops.
+  FaultDetector detector(reinstating_options());
+  const Clock::time_point t0{};
+  trip_limit(detector, 1, t0);
+  ASSERT_EQ(detector.health(1), NodeHealth::kProbation);
+
+  // First probe is due one base backoff after probation entry — not a
+  // moment earlier.
+  EXPECT_TRUE(detector.probe_candidates(t0 + milliseconds(49)).empty());
+  EXPECT_EQ(detector.probe_candidates(t0 + milliseconds(50)),
+            std::vector<NodeId>{1});
+
+  // Eight consecutive probe failures: 100, 200, 400, then pinned at the
+  // 400ms cap forever after.
+  for (std::uint32_t failures = 1; failures <= 8; ++failures) {
+    const auto now = t0 + milliseconds(1000) * failures;
+    detector.record_probe_failure(1, now);
+    const auto expected =
+        std::min(milliseconds(50 << failures), milliseconds(400));
+    EXPECT_TRUE(detector.probe_candidates(now + expected - milliseconds(1))
+                    .empty())
+        << "probe " << failures << " due too early";
+    EXPECT_EQ(detector.probe_candidates(now + expected),
+              std::vector<NodeId>{1})
+        << "probe " << failures << " due later than the cap allows";
+  }
+  // Still probation, never terminal: the cap bounds cadence, not patience.
+  EXPECT_EQ(detector.health(1), NodeHealth::kProbation);
+}
+
+TEST(FaultDetectorBackoff, ProbeLaunchSuppressesDuplicates) {
+  FaultDetector detector(reinstating_options());
+  const Clock::time_point t0{};
+  trip_limit(detector, 4, t0);
+  const auto due = t0 + milliseconds(50);
+  ASSERT_EQ(detector.probe_candidates(due), std::vector<NodeId>{4});
+
+  // Launching pessimistically reschedules as if the probe will fail, so a
+  // back-to-back candidate scan cannot launch a second probe.
+  detector.record_probe_launch(4, due);
+  EXPECT_TRUE(detector.probe_candidates(due).empty());
+  // The pessimistic deadline is one doubled step out (100ms), not the
+  // base: a success before then reinstates and makes it moot.
+  EXPECT_EQ(detector.probe_candidates(due + milliseconds(100)),
+            std::vector<NodeId>{4});
+
+  EXPECT_TRUE(detector.record_probe_success(4));
+  EXPECT_EQ(detector.health(4), NodeHealth::kHealthy);
+  EXPECT_TRUE(detector.probe_candidates(due + milliseconds(1000)).empty());
+}
+
+TEST(FaultDetectorBackoff, ReentryRestartsBackoffFromBase) {
+  // A reinstated node that trips the limit again starts a FRESH backoff
+  // ladder — probation re-entry must not inherit the escalated schedule
+  // from the previous episode (the node did come back, after all).
+  FaultDetector detector(reinstating_options());
+  const Clock::time_point t0{};
+  trip_limit(detector, 2, t0);
+  detector.record_probe_failure(2, t0 + milliseconds(100));
+  detector.record_probe_failure(2, t0 + milliseconds(300));
+  ASSERT_TRUE(detector.record_probe_success(2));
+
+  const auto t1 = t0 + milliseconds(5000);
+  trip_limit(detector, 2, t1);
+  EXPECT_TRUE(detector.probe_candidates(t1 + milliseconds(49)).empty());
+  EXPECT_EQ(detector.probe_candidates(t1 + milliseconds(50)),
+            std::vector<NodeId>{2});
+}
+
+TEST(FaultDetectorBackoff, RepeatedFlapsEscalateToTerminalFailure) {
+  // The flap schedule: fail -> reinstate -> fail, repeatedly.  Each
+  // probation re-entry is counted, and past max_flaps the node is
+  // declared terminally dead — a flapper thrashes ring ownership on every
+  // cycle, which is worse than staying down.
+  FaultDetector detector(reinstating_options());  // max_flaps = 2
+  const Clock::time_point t0{};
+
+  trip_limit(detector, 7, t0);  // episode 1
+  ASSERT_TRUE(detector.record_probe_success(7));
+  EXPECT_EQ(detector.flap_count(7), 1u);
+
+  trip_limit(detector, 7, t0 + milliseconds(1000));  // episode 2: flapping
+  EXPECT_EQ(detector.health(7), NodeHealth::kProbation);
+  ASSERT_TRUE(detector.record_probe_success(7));
+  EXPECT_EQ(detector.flap_count(7), 2u);
+  EXPECT_EQ(detector.reinstatements(), 2u);
+
+  // Third trip: flap budget exhausted, straight to kFailed, and no probe
+  // is ever scheduled again.
+  trip_limit(detector, 7, t0 + milliseconds(2000));
+  EXPECT_EQ(detector.health(7), NodeHealth::kFailed);
+  EXPECT_TRUE(detector.is_failed(7));
+  EXPECT_TRUE(detector.probe_candidates(t0 + milliseconds(60000)).empty());
+  EXPECT_FALSE(detector.record_probe_success(7));  // dead is dead
+  EXPECT_TRUE(detector.is_failed(7));
+
+  // Only the membership layer's cluster-wide verdict outranks history.
+  detector.reset_node(7);
+  EXPECT_EQ(detector.health(7), NodeHealth::kHealthy);
+  EXPECT_EQ(detector.flap_count(7), 0u);
+}
+
 }  // namespace
 }  // namespace ftc::cluster

@@ -132,6 +132,51 @@ TEST(VersionedRing, DeltaSinceReturnsMissedEventsInOrder) {
   EXPECT_TRUE(empty->empty());
 }
 
+TEST(VersionedRing, AdoptedLabelGapForcesFullSyncBelowFloor) {
+  // adopt_epoch jumps the label WITHOUT writing log events for the gap, so
+  // a requester whose epoch falls inside the gap must get a full sync —
+  // serving the (empty-looking) delta would silently fast-forward it past
+  // transitions it never saw.  This is the large-gap boundary after a
+  // partition heals: the minority adopts the majority's label in one hop.
+  VersionedRing versioned(make_ring_config(), iota_members(4), 16);
+  ASSERT_TRUE(versioned.apply(RingEventType::kProbation, 1, 0).has_value());
+  versioned.adopt_epoch(10);
+  EXPECT_EQ(versioned.sync_floor(), 10u);
+
+  // Below the floor: not delta-answerable, even though the log still
+  // physically holds the epoch-1 event.
+  EXPECT_FALSE(versioned.delta_since(0).has_value());
+  EXPECT_FALSE(versioned.delta_since(1).has_value());
+  EXPECT_FALSE(versioned.delta_since(9).has_value());
+
+  // At the floor: answerable, and currently empty (nothing happened since
+  // the adoption).
+  auto at_floor = versioned.delta_since(10);
+  ASSERT_TRUE(at_floor.has_value());
+  EXPECT_TRUE(at_floor->empty());
+
+  // Events after the adoption are delta-answerable from the floor on.
+  ASSERT_TRUE(versioned.apply(RingEventType::kProbation, 2, 0).has_value());
+  auto after = versioned.delta_since(10);
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ(after->size(), 1u);
+  EXPECT_EQ((*after)[0].epoch, 11u);
+}
+
+TEST(VersionedRing, MinEpochReplayAlsoRaisesFloor) {
+  // Adopting a peer label through apply(min_epoch) collapses history the
+  // same way adopt_epoch does: the skipped labels must not be
+  // delta-answerable.
+  VersionedRing versioned(make_ring_config(), iota_members(5), 16);
+  ASSERT_TRUE(
+      versioned.apply(RingEventType::kProbation, 3, 0, /*min_epoch=*/7)
+          .has_value());
+  EXPECT_EQ(versioned.epoch(), 7u);
+  // A requester at epoch 3 sits inside the collapsed gap 1..6: the log
+  // cannot prove what it missed, so no delta.
+  EXPECT_FALSE(versioned.delta_since(3).has_value());
+}
+
 TEST(VersionedRing, TruncatedLogForcesFullSync) {
   // Capacity 2: after 4 events, epochs 1 and 2 have been evicted, so a
   // requester at epoch 0 or 1 cannot be answered with a delta.

@@ -478,6 +478,81 @@ TEST(SwimConvergence, DeadNodeNeverArguesItsOwnCase) {
   EXPECT_EQ(harness.agent(1).stats_snapshot().probes_sent, 0u);
 }
 
+// --- Partition tolerance: quorum suspicion + verdict idempotence --------
+
+TEST(SwimQuorum, MinorityBelowQuorumDefersConfirmForever) {
+  // 5 members, quorum 3, symmetric split {0,1} | {2,3,4}: the minority
+  // pair can muster only 2 distinct accusers against any majority node,
+  // so neither may originate a confirmation — the majority stays suspect,
+  // still in the minority's serving set, and the held attempts are
+  // counted.  (The quorum is capped at serving-peers-minus-one so a
+  // 3-node cluster is never deadlocked; a 2-of-5 minority sits below
+  // even that cap, which is exactly the split-brain guarantee.)
+  SwimConfig config = fast_swim();
+  config.suspicion_quorum = 3;
+  SwimHarness harness(5, config);
+  cluster::GrayFailureInjector injector(harness.transport(), /*seed=*/13);
+  injector.partition({0, 1}, {2, 3, 4});
+
+  const auto deferred = [&] {
+    return harness.agent(0).stats_snapshot().confirms_deferred +
+               harness.agent(1).stats_snapshot().confirms_deferred >
+           0;
+  };
+  ASSERT_TRUE(harness.run_until(deferred).has_value());
+  // Give the protocol ample extra time to (wrongly) confirm.
+  for (int i = 0; i < 80; ++i) {
+    harness.tick_all();
+    std::this_thread::sleep_for(1ms);
+  }
+  for (NodeId minority = 0; minority < 2; ++minority) {
+    for (NodeId majority = 2; majority < 5; ++majority) {
+      EXPECT_NE(harness.agent(minority).member_state(majority),
+                MemberState::kFailed)
+          << "agent " << minority << " confirmed " << majority
+          << " without quorum";
+      EXPECT_TRUE(harness.agent(minority).is_serving(majority));
+    }
+  }
+}
+
+TEST(SwimQuorum, QuorumOfDistinctAccusersConfirms) {
+  // 4 members, quorum 3: three survivors are exactly enough accusers, so
+  // the legitimate confirmation still goes through (dead node excluded,
+  // survivors converge).
+  SwimConfig config = fast_swim();
+  config.suspicion_quorum = 3;
+  SwimHarness harness(4, config);
+  harness.transport().kill(3);
+  ASSERT_TRUE(
+      harness.run_until([&] { return harness.converged({3}); }).has_value());
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(harness.agent(n).member_state(3), MemberState::kFailed);
+  }
+}
+
+TEST(SwimVerdict, DuplicatedDeliveryIsIdempotent) {
+  // At-least-once fabric: every RPC delivered to node 0 arrives twice,
+  // including the kSwimVerdict pushes from indirect-probe proxies.  A
+  // re-delivered verdict must not spend the proxy's round slot twice —
+  // one proxy's opinion counting as two would suspect a node on a single
+  // witness.  The protocol must still converge normally, and the dedup
+  // must be visible in the counter.
+  SwimConfig config = fast_swim();
+  SwimHarness harness(4, config);
+  cluster::GrayFailureInjector chaos(harness.transport(), /*seed=*/21);
+  chaos.make_duplicating(0, 1.0);
+  harness.transport().kill(3);
+  ASSERT_TRUE(
+      harness.run_until([&] { return harness.converged({3}); }).has_value());
+  EXPECT_GT(harness.agent(0).stats_snapshot().duplicate_verdicts, 0u);
+  // Idempotence means the duplicated protocol reached the same verdict as
+  // the exactly-once one: node 3 confirmed, everyone else untouched.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(harness.agent(0).member_state(n), MemberState::kAlive);
+  }
+}
+
 TEST(SwimConfigTest, ValidateRejectsNonsense) {
   SwimConfig config;
   EXPECT_TRUE(config.validate().is_ok());
@@ -488,6 +563,9 @@ TEST(SwimConfigTest, ValidateRejectsNonsense) {
   EXPECT_FALSE(config.validate().is_ok());
   config = SwimConfig{};
   config.suspicion_periods = 0;
+  EXPECT_FALSE(config.validate().is_ok());
+  config = SwimConfig{};
+  config.suspicion_quorum = 0;
   EXPECT_FALSE(config.validate().is_ok());
   config = SwimConfig{};
   config.max_piggyback = 0;

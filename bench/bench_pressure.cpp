@@ -1,0 +1,477 @@
+// bench_pressure.cpp - Tiered-store behaviour under cache pressure.
+//
+// The figure benches measure placement; this one measures the store
+// itself, in the regime the tiered design exists for: a dataset several
+// times the RAM tier, epoch-style sequential scans (LRU's worst case),
+// and a reclaim thread demoting under live writes.  Three phases:
+//
+//   scan       One store per eviction policy: a hot set is warmed with
+//              Zipf(zipf_alpha) draws (repeat draws prove reuse), then
+//              `epochs` sequential sweeps stream a dataset 4x RAM (and
+//              larger than RAM+NVMe combined, so the cold tier churns
+//              too), each miss recaching as a training job would.  The
+//              measured quantity is the hot set's hit ratio on a revisit
+//              AFTER the scans.  Under LRU the one-touch stream flushes
+//              the hot set out of both tiers; S3-FIFO's probationary
+//              queue absorbs it, so proven-reuse entries never leave the
+//              main queue.  Gate: s3fifo >= hit_factor x lru.
+//
+//   writes     Put latency with the background reclaim thread churning
+//              (RAM held above the high watermark) versus unpressured.
+//              Writes must never block on reclaim.  Gate: pressured p99
+//              <= max(p99_factor x base, base + p99_slack_us).
+//
+//   warm       A tiered cluster node is killed and warm-restarted from
+//              its surviving NVMe manifest, with one entry deliberately
+//              superseded cluster-side while the node was down.  Gates:
+//              >= warm_fraction of the valid manifest re-serves with
+//              ZERO new PFS reads, and the stale entry is rejected.
+//
+// Writes machine-readable BENCH_pressure.json (override with out=...).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "store/tiered_store.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using ftc::store::PolicyKind;
+using ftc::store::StoreConfig;
+using ftc::store::TieredCacheStore;
+
+struct BenchArgs {
+  /// RAM-tier budget; the dataset is dataset_x times this, the NVMe tier
+  /// nvme_x times (nvme_x < dataset_x keeps the cold tier churning).
+  std::uint32_t ram_kb = 2048;
+  std::uint32_t file_kb = 4;
+  std::uint32_t dataset_x = 4;
+  std::uint32_t nvme_x = 2;
+  std::uint32_t epochs = 4;
+  /// Hot set: `hot_files` ids warmed with `warm_draws_x` x hot_files
+  /// Zipf(zipf_alpha) draws before the scans.
+  std::uint32_t hot_files = 64;
+  std::uint32_t warm_draws_x = 8;
+  double zipf_alpha = 0.8;
+  /// Timed puts per write-latency run.
+  std::uint32_t writes = 4000;
+  /// Warm-restart phase cluster shape.
+  std::uint32_t nodes = 4;
+  std::uint32_t wr_files = 64;
+  std::uint32_t wr_file_kb = 16;
+  std::uint32_t require_hit = 1;
+  std::uint32_t require_p99 = 1;
+  std::uint32_t require_warm = 1;
+  double hit_factor = 1.3;
+  double p99_factor = 1.2;
+  double p99_slack_us = 200.0;
+  double warm_fraction = 0.95;
+  std::uint64_t seed = 42;
+  std::string out = "BENCH_pressure.json";
+};
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr,
+                   "usage: %s [ram_kb=N] [file_kb=N] [dataset_x=N] [nvme_x=N] "
+                   "[epochs=N] [hot_files=N] [warm_draws_x=N] [zipf_alpha=F] "
+                   "[writes=N] [nodes=N] [wr_files=N] "
+                   "[wr_file_kb=N] [require_hit=0|1] [require_p99=0|1] "
+                   "[require_warm=0|1] [hit_factor=F] [p99_factor=F] "
+                   "[p99_slack_us=F] [warm_fraction=F] [seed=N] [out=PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    const auto numeric = [&key, &value]() -> std::uint32_t {
+      try {
+        std::size_t used = 0;
+        const unsigned long parsed = std::stoul(value, &used);
+        if (used == value.size()) return static_cast<std::uint32_t>(parsed);
+      } catch (const std::exception&) {
+      }
+      std::fprintf(stderr, "%s wants a number, got '%s'\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    };
+    const auto fractional = [&key, &value]() -> double {
+      try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used == value.size()) return parsed;
+      } catch (const std::exception&) {
+      }
+      std::fprintf(stderr, "%s wants a number, got '%s'\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    };
+    if (key == "ram_kb") args.ram_kb = numeric();
+    else if (key == "file_kb") args.file_kb = numeric();
+    else if (key == "dataset_x") args.dataset_x = numeric();
+    else if (key == "nvme_x") args.nvme_x = numeric();
+    else if (key == "epochs") args.epochs = numeric();
+    else if (key == "hot_files") args.hot_files = numeric();
+    else if (key == "warm_draws_x") args.warm_draws_x = numeric();
+    else if (key == "zipf_alpha") args.zipf_alpha = fractional();
+    else if (key == "writes") args.writes = numeric();
+    else if (key == "nodes") args.nodes = numeric();
+    else if (key == "wr_files") args.wr_files = numeric();
+    else if (key == "wr_file_kb") args.wr_file_kb = numeric();
+    else if (key == "require_hit") args.require_hit = numeric();
+    else if (key == "require_p99") args.require_p99 = numeric();
+    else if (key == "require_warm") args.require_warm = numeric();
+    else if (key == "hit_factor") args.hit_factor = fractional();
+    else if (key == "p99_factor") args.p99_factor = fractional();
+    else if (key == "p99_slack_us") args.p99_slack_us = fractional();
+    else if (key == "warm_fraction") args.warm_fraction = fractional();
+    else if (key == "seed") args.seed = numeric();
+    else if (key == "out") args.out = value;
+    else {
+      std::fprintf(stderr, "unknown key: %s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::string fmt(double v, int digits = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+// --- scan phase --------------------------------------------------------
+
+struct ScanResult {
+  double hit_ratio = 0.0;   ///< hot-set hits on the post-scan revisit
+  double ram_ratio = 0.0;   ///< survivors still in the RAM tier
+  std::uint64_t warmed = 0; ///< distinct hot ids touched during warm-up
+  std::uint64_t demotions = 0;
+  std::uint64_t evictions = 0;
+};
+
+ScanResult run_scan(const BenchArgs& args, PolicyKind policy) {
+  StoreConfig config;
+  config.tiering = true;
+  config.ram_bytes = std::uint64_t{args.ram_kb} << 10;
+  config.nvme_bytes = config.ram_bytes * args.nvme_x;
+  config.policy = policy;
+  config.background_reclaim = false;  // deterministic hit counts
+  // Tight watermarks: reclaim runs as a steady trickle that tracks the
+  // insert rate instead of rare bulk drains, so victim selection reflects
+  // the policy's ordering, not burst depth.
+  config.low_watermark = 0.85;
+  config.high_watermark = 0.95;
+  TieredCacheStore store(config);
+
+  const std::uint64_t file_bytes = std::uint64_t{args.file_kb} << 10;
+  const auto files = static_cast<std::uint32_t>(
+      config.ram_bytes * args.dataset_x / file_bytes);
+  const std::string payload(file_bytes, 'p');
+
+  const auto access = [&](std::uint32_t f) {
+    const std::string path = "/d/" + std::to_string(f);
+    if (store.get(path).is_ok()) return true;
+    // Miss -> "PFS fetch" + recache, as the training job would.
+    (void)store.put(path, ftc::common::Buffer(payload), file_bytes, 0);
+    return false;
+  };
+
+  // Warm the hot set (the first hot_files dataset members) with Zipf
+  // draws: every policy sees the identical stream, repeat draws are the
+  // reuse signal S3-FIFO's admission control keys on.
+  ftc::bench::ZipfGenerator hot(args.hot_files, args.zipf_alpha, args.seed);
+  std::vector<bool> warmed(args.hot_files, false);
+  for (std::uint32_t d = 0; d < args.warm_draws_x * args.hot_files; ++d) {
+    const auto id = static_cast<std::uint32_t>(hot.next());
+    (void)access(id);
+    warmed[id] = true;
+  }
+
+  // The scan phase: epoch-style sequential sweeps of the full dataset.
+  for (std::uint32_t epoch = 0; epoch < args.epochs; ++epoch) {
+    for (std::uint32_t f = 0; f < files; ++f) (void)access(f);
+  }
+
+  // Revisit: what fraction of the warmed hot set still hits (either
+  // tier)?  Pure gets — misses are NOT recached, so the measurement
+  // does not disturb itself.
+  ScanResult result;
+  std::uint64_t hits = 0, ram = 0;
+  for (std::uint32_t id = 0; id < args.hot_files; ++id) {
+    if (!warmed[id]) continue;
+    ++result.warmed;
+    const std::string path = "/d/" + std::to_string(id);
+    if (store.tier_of(path) == "ram") ++ram;
+    if (store.contains(path)) ++hits;
+  }
+  if (result.warmed > 0) {
+    result.hit_ratio =
+        static_cast<double>(hits) / static_cast<double>(result.warmed);
+    result.ram_ratio =
+        static_cast<double>(ram) / static_cast<double>(result.warmed);
+  }
+  const auto stats = store.stats_snapshot();
+  result.demotions = stats.demotions;
+  result.evictions = stats.evictions;
+  return result;
+}
+
+// --- write-latency phase -----------------------------------------------
+
+struct WriteResult {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t reclaim_runs = 0;
+  std::uint64_t demotions = 0;
+};
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[rank];
+}
+
+WriteResult run_writes(const BenchArgs& args, bool pressured) {
+  const std::uint64_t file_bytes = std::uint64_t{args.file_kb} << 10;
+  StoreConfig config;
+  config.tiering = true;
+  // Unpressured: RAM swallows every write without ever crossing the high
+  // watermark.  Pressured: RAM holds ~64 files, so the reclaim thread
+  // demotes continuously underneath the timed writes.
+  config.ram_bytes = pressured ? file_bytes * 64
+                               : file_bytes * (args.writes + 64);
+  config.nvme_bytes = file_bytes * (args.writes + 64);
+  config.policy = PolicyKind::kS3Fifo;
+  config.background_reclaim = true;
+  TieredCacheStore store(config);
+
+  const std::string payload(file_bytes, 'w');
+  std::vector<double> latencies_us;
+  latencies_us.reserve(args.writes);
+  for (std::uint32_t i = 0; i < args.writes; ++i) {
+    const std::string path = "/w/" + std::to_string(i);
+    const auto start = Clock::now();
+    (void)store.put(path, ftc::common::Buffer(payload), file_bytes, 0);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count());
+  }
+  store.wait_reclaimed();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  WriteResult result;
+  result.p50_us = percentile(latencies_us, 0.50);
+  result.p99_us = percentile(latencies_us, 0.99);
+  const auto stats = store.stats_snapshot();
+  result.reclaim_runs = stats.reclaim_runs;
+  result.demotions = stats.demotions;
+  return result;
+}
+
+// --- warm-restart phase ------------------------------------------------
+
+struct WarmResult {
+  std::size_t held = 0;      ///< valid manifest entries before the kill
+  std::size_t restored = 0;
+  std::uint64_t rejected_stale = 0;
+  std::uint64_t pfs_reads_reserve = 0;  ///< PFS reads during the re-serve
+  double restored_fraction = 0.0;
+};
+
+WarmResult run_warm_restart(const BenchArgs& args) {
+  using ftc::cluster::Cluster;
+  using ftc::cluster::ClusterConfig;
+  using ftc::cluster::NodeId;
+
+  ClusterConfig config;
+  config.node_count = args.nodes;
+  config.client.mode = ftc::cluster::FtMode::kHashRingRecache;
+  config.client.rpc_timeout = std::chrono::milliseconds(5000);
+  config.client.timeout_limit = 2;
+  config.server.async_data_mover = false;
+  config.server.store.tiering = true;
+  config.server.store.ram_bytes = 64ULL << 20;
+  config.server.store.nvme_bytes = 256ULL << 20;
+  config.server.store.background_reclaim = false;
+  Cluster cluster(config);
+
+  const auto paths =
+      cluster.stage_dataset(args.wr_files, args.wr_file_kb * 1024);
+  cluster.warm_caches(paths);
+
+  const NodeId victim = args.nodes / 2;
+  // One deliberately superseded entry: the victim holds generation 5,
+  // but while it is "down" an alive peer's ledger moves on to 7.
+  ftc::rpc::RpcRequest put;
+  put.op = ftc::rpc::Op::kPut;
+  put.path = "/pressure/superseded";
+  put.payload = ftc::common::Buffer(std::string(1024, 's'));
+  put.replica_generation = 5;
+  (void)cluster.server(victim).handle(put);
+  cluster.server(victim).flush_cache_to_cold();
+
+  put.replica_generation = 7;
+  (void)cluster.server(victim == 0 ? 1 : 0).handle(put);
+
+  WarmResult result;
+  result.held = cluster.server(victim).cached_file_count() - 1;  // - stale
+  result.restored = cluster.restart_node_warm(victim);
+  const auto stats = cluster.server(victim).store_stats();
+  result.rejected_stale = stats.manifest_rejected_stale;
+  if (result.held > 0) {
+    result.restored_fraction = static_cast<double>(result.restored) /
+                               static_cast<double>(result.held);
+  }
+
+  const auto pfs_before = cluster.pfs().read_count();
+  for (const auto& path : paths) {
+    (void)cluster.client(0).read_file(path);
+  }
+  result.pfs_reads_reserve = cluster.pfs().read_count() - pfs_before;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+
+  std::printf("%-8s %12s %12s %12s %12s\n", "policy", "hot-set hit",
+              "still in RAM", "demotions", "evictions");
+  const ScanResult lru = run_scan(args, PolicyKind::kLru);
+  const ScanResult s3 = run_scan(args, PolicyKind::kS3Fifo);
+  const ScanResult gdsf = run_scan(args, PolicyKind::kGdsf);
+  for (const auto& [name, r] :
+       {std::pair<const char*, const ScanResult&>{"lru", lru},
+        {"s3fifo", s3},
+        {"gdsf", gdsf}}) {
+    std::printf("%-8s %12s %12s %12llu %12llu\n", name,
+                fmt(r.hit_ratio, 4).c_str(), fmt(r.ram_ratio, 4).c_str(),
+                static_cast<unsigned long long>(r.demotions),
+                static_cast<unsigned long long>(r.evictions));
+  }
+  // LRU's loop pathology can drive its ratio to exactly 0; floor it so
+  // the gate ratio stays finite.
+  const double lru_floor = std::max(lru.hit_ratio, 0.02);
+  const double scan_ratio = s3.hit_ratio / lru_floor;
+
+  const WriteResult base = run_writes(args, /*pressured=*/false);
+  const WriteResult pressured = run_writes(args, /*pressured=*/true);
+  std::printf("writes: base p99 %sus, pressured p99 %sus (%llu reclaim "
+              "runs, %llu demotions underneath)\n",
+              fmt(base.p99_us, 1).c_str(), fmt(pressured.p99_us, 1).c_str(),
+              static_cast<unsigned long long>(pressured.reclaim_runs),
+              static_cast<unsigned long long>(pressured.demotions));
+  const double p99_budget =
+      std::max(args.p99_factor * base.p99_us, base.p99_us + args.p99_slack_us);
+
+  const WarmResult warm = run_warm_restart(args);
+  std::printf("warm restart: %zu/%zu restored (%s), %llu stale rejected, "
+              "%llu PFS reads on re-serve\n",
+              warm.restored, warm.held,
+              fmt(warm.restored_fraction, 3).c_str(),
+              static_cast<unsigned long long>(warm.rejected_stale),
+              static_cast<unsigned long long>(warm.pfs_reads_reserve));
+
+  std::ofstream out(args.out);
+  out << "{\n  \"bench\": \"bench_pressure\",\n";
+  out << "  \"config\": {\"ram_kb\": " << args.ram_kb
+      << ", \"file_kb\": " << args.file_kb
+      << ", \"dataset_x\": " << args.dataset_x
+      << ", \"nvme_x\": " << args.nvme_x << ", \"epochs\": " << args.epochs
+      << ", \"hot_files\": " << args.hot_files
+      << ", \"warm_draws_x\": " << args.warm_draws_x
+      << ", \"zipf_alpha\": " << fmt(args.zipf_alpha, 2)
+      << ", \"writes\": " << args.writes << ", \"nodes\": " << args.nodes
+      << ", \"wr_files\": " << args.wr_files << ", \"seed\": " << args.seed
+      << "},\n";
+  out << "  \"scan\": {\n";
+  for (const auto& [name, r] :
+       {std::pair<const char*, const ScanResult&>{"lru", lru},
+        {"s3fifo", s3},
+        {"gdsf", gdsf}}) {
+    out << "    \"" << name
+        << "\": {\"hot_set_hit_ratio\": " << fmt(r.hit_ratio, 4)
+        << ", \"ram_ratio\": " << fmt(r.ram_ratio, 4)
+        << ", \"warmed\": " << r.warmed
+        << ", \"demotions\": " << r.demotions
+        << ", \"evictions\": " << r.evictions << "},\n";
+  }
+  out << "    \"s3fifo_vs_lru\": " << fmt(scan_ratio, 2) << "\n  },\n";
+  out << "  \"writes\": {\n"
+      << "    \"base\": {\"p50_us\": " << fmt(base.p50_us, 1)
+      << ", \"p99_us\": " << fmt(base.p99_us, 1)
+      << ", \"reclaim_runs\": " << base.reclaim_runs << "},\n"
+      << "    \"pressured\": {\"p50_us\": " << fmt(pressured.p50_us, 1)
+      << ", \"p99_us\": " << fmt(pressured.p99_us, 1)
+      << ", \"reclaim_runs\": " << pressured.reclaim_runs
+      << ", \"demotions\": " << pressured.demotions << "},\n"
+      << "    \"p99_budget_us\": " << fmt(p99_budget, 1) << "\n  },\n";
+  out << "  \"warm\": {\"held\": " << warm.held
+      << ", \"restored\": " << warm.restored
+      << ", \"restored_fraction\": " << fmt(warm.restored_fraction, 3)
+      << ", \"rejected_stale\": " << warm.rejected_stale
+      << ", \"pfs_reads_on_reserve\": " << warm.pfs_reads_reserve << "}\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", args.out.c_str());
+
+  int rc = 0;
+  if (args.require_hit != 0) {
+    if (scan_ratio < args.hit_factor) {
+      std::fprintf(stderr,
+                   "FAIL: s3fifo scan hit ratio %.4f < %.2f x lru (%.4f)\n",
+                   s3.hit_ratio, args.hit_factor, lru_floor);
+      rc = 1;
+    } else {
+      std::printf("scan ok: s3fifo %.4f >= %.2f x lru %.4f\n", s3.hit_ratio,
+                  args.hit_factor, lru_floor);
+    }
+  }
+  if (args.require_p99 != 0) {
+    if (pressured.p99_us > p99_budget) {
+      std::fprintf(stderr,
+                   "FAIL: pressured write p99 %.1fus exceeds budget %.1fus "
+                   "(base %.1fus)\n",
+                   pressured.p99_us, p99_budget, base.p99_us);
+      rc = 1;
+    } else {
+      std::printf("write p99 ok: %.1fus <= %.1fus budget\n", pressured.p99_us,
+                  p99_budget);
+    }
+  }
+  if (args.require_warm != 0) {
+    if (warm.restored_fraction < args.warm_fraction ||
+        warm.pfs_reads_reserve != 0 || warm.rejected_stale != 1) {
+      std::fprintf(stderr,
+                   "FAIL: warm restart restored %.3f (need >= %.2f), "
+                   "%llu PFS reads (need 0), %llu stale rejected (need 1)\n",
+                   warm.restored_fraction, args.warm_fraction,
+                   static_cast<unsigned long long>(warm.pfs_reads_reserve),
+                   static_cast<unsigned long long>(warm.rejected_stale));
+      rc = 1;
+    } else {
+      std::printf("warm ok: %.3f restored, 0 PFS reads, stale rejected\n",
+                  warm.restored_fraction);
+    }
+  }
+  return rc;
+}

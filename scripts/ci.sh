@@ -163,6 +163,41 @@ print(f"partition smoke: availability {part['availability_ratio']:.4f}, "
       f"single-kill {doc['single_kill']['convergence_ms']:.0f}ms")
 EOF
 
+echo "=== tiered-store pressure smoke (bench_pressure, reduced load)"
+# Few-second smoke over the RAM+NVMe tiered store: warm-then-scan
+# hot-set survival (S3-FIFO must beat LRU by the 1.3x gate), write p99
+# under watermark reclaim, and the kill + warm-restart phase (manifest
+# re-serves everything, stale generation rejected, zero PFS reads).
+# The p99 criterion is a wall-clock measurement, so like the obs smoke
+# it gets three attempts: a real regression fails all of them.
+pr_ok=0
+for attempt in 1 2 3; do
+  if "${build_dir}/bench/bench_pressure" \
+    ram_kb=512 writes=800 wr_files=24 epochs=2 \
+    out="${build_dir}/BENCH_pressure_smoke.json"; then
+    pr_ok=1
+    break
+  fi
+  echo "pressure smoke attempt ${attempt} failed (shared-box noise?); retrying"
+done
+[ "${pr_ok}" -eq 1 ]
+python3 - "${build_dir}/BENCH_pressure_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+scan, warm = doc["scan"], doc["warm"]
+assert scan["s3fifo"]["hot_set_hit_ratio"] > scan["lru"]["hot_set_hit_ratio"], (
+    "S3-FIFO did not beat LRU on post-scan hot-set survival")
+assert warm["restored"] == warm["held"], (
+    f"warm restart dropped entries: {warm['restored']}/{warm['held']}")
+assert warm["pfs_reads_on_reserve"] == 0, (
+    f"warm restart touched the PFS {warm['pfs_reads_on_reserve']} times")
+assert warm["rejected_stale"] == 1, "stale-generation manifest row not rejected"
+print(f"pressure smoke: s3fifo keeps {scan['s3fifo']['hot_set_hit_ratio']:.2f} "
+      f"of the hot set vs lru {scan['lru']['hot_set_hit_ratio']:.2f}; "
+      f"warm restart {warm['restored']}/{warm['held']}, 0 PFS reads")
+EOF
+
 echo "=== thread sanitizer"
 "${source_dir}/scripts/sanitize.sh" thread
 

@@ -45,6 +45,13 @@
 # with full-dump fallback) runs on server worker threads racing the
 # membership agent's epoch swaps — the split-brain surface where a torn
 # epoch read would admit a stale write.
+# The tiered store (store_test, TieredStress suite) hammers the RAM+NVMe
+# TieredCacheStore from 8 threads while the background reclaimer demotes
+# under watermark pressure: shard locks, the cold-index mutex and the
+# NVMe device index interleave with promotions (cold hit -> RAM) and the
+# demote-before-cold-write window — the tier-transition surface where a
+# torn byte-accounting update or a double-free of a demoted buffer would
+# surface.
 # Usage: scripts/sanitize.sh [thread|address] [build_dir]
 set -euo pipefail
 
@@ -64,7 +71,7 @@ cmake -B "${build_dir}" -S "${source_dir}" \
   -DFTC_BUILD_BENCH=OFF \
   -DFTC_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "${build_dir}" -j \
-  --target cluster_test rpc_test storage_test membership_test obs_test
+  --target cluster_test rpc_test storage_test store_test membership_test obs_test
 
 # halt_on_error makes a single report fail the run loudly.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -72,7 +79,7 @@ export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 
 status=0
-for test_bin in cluster_test rpc_test storage_test membership_test obs_test; do
+for test_bin in cluster_test rpc_test storage_test store_test membership_test obs_test; do
   echo "=== ${sanitizer}-sanitizer: ${test_bin}"
   if ! "${build_dir}/tests/${test_bin}"; then
     status=1

@@ -43,23 +43,7 @@ Cluster::Cluster(const ClusterConfig& config)
   servers_.reserve(config_.node_count);
   clients_.reserve(config_.node_count);
   for (NodeId n = 0; n < config_.node_count; ++n) {
-    servers_.push_back(std::make_unique<HvacServer>(n, pfs_, config_.server));
-    HvacServer* server = servers_.back().get();
-    transport_.register_endpoint(
-        n,
-        [server](const rpc::RpcRequest& request) {
-          return server->handle(request);
-        },
-        config_.server.endpoint_workers);
-    if (config_.server.admission_control) {
-      transport_.set_admission(
-          n, {config_.server.admission_queue_limit,
-              config_.server.admission_retry_after_ms});
-    }
-    if (config_.server.report_load) {
-      transport_.set_load_reporting(
-          n, {true, config_.server.load_report_alpha});
-    }
+    boot_server(n);
     clients_.push_back(std::make_unique<HvacClient>(
         n, transport_, pfs_, members, config_.client));
   }
@@ -125,6 +109,37 @@ void Cluster::warm_caches(const std::vector<std::string>& paths) {
   for (auto& server : servers_) server->flush_data_mover();
 }
 
+void Cluster::boot_server(NodeId node) {
+  if (config_.server.store.tiering) {
+    if (devices_.size() <= node) devices_.resize(node + 1);
+    // The device is created ONCE per node and reused across server
+    // incarnations — it is the state that survives a crash.
+    if (!devices_[node]) {
+      devices_[node] = std::make_shared<ftc::store::NvmeDevice>(
+          config_.server.store.nvme_bytes,
+          config_.server.store.model_nvme_latency, config_.server.store.nvme);
+    }
+  }
+  auto server = std::make_unique<HvacServer>(
+      node, pfs_, config_.server,
+      config_.server.store.tiering ? devices_[node] : nullptr);
+  if (servers_.size() <= node) servers_.resize(node + 1);
+  servers_[node] = std::move(server);
+  HvacServer* raw = servers_[node].get();
+  transport_.register_endpoint(
+      node,
+      [raw](const rpc::RpcRequest& request) { return raw->handle(request); },
+      config_.server.endpoint_workers);
+  if (config_.server.admission_control) {
+    transport_.set_admission(node, {config_.server.admission_queue_limit,
+                                    config_.server.admission_retry_after_ms});
+  }
+  if (config_.server.report_load) {
+    transport_.set_load_reporting(node,
+                                  {true, config_.server.load_report_alpha});
+  }
+}
+
 void Cluster::fail_node(NodeId node) { transport_.kill(node); }
 
 void Cluster::restore_node(NodeId node, bool lose_cache) {
@@ -132,25 +147,47 @@ void Cluster::restore_node(NodeId node, bool lose_cache) {
   transport_.revive(node);
 }
 
+std::size_t Cluster::restart_node_warm(NodeId node) {
+  if (!config_.server.store.tiering) {
+    // No tiered store = no surviving device; this IS the lost-cache path.
+    restore_node(node, /*lose_cache=*/true);
+    return 0;
+  }
+  // Crash the incumbent: stop its endpoint workers, then destroy the
+  // server object.  RAM tier, counters and freshness ledger die with it;
+  // devices_[node] — the NVMe volume and its manifest — survives.
+  (void)transport_.unregister_endpoint(node);
+  servers_[node].reset();
+  boot_server(node);
+  transport_.revive(node);  // clears any fail_node() preceding the restart
+  if (node < agents_.size()) {
+    servers_[node]->attach_membership(agents_[node].get());
+  }
+  if (config_.obs.tracing && node < recorders_.size()) {
+    servers_[node]->attach_observability(recorders_[node].get());
+  }
+  // Generation authority for manifest validation: the max generation any
+  // other alive node's freshness ledger has accepted for the path — the
+  // in-process stand-in for the rejoin metadata query a real deployment
+  // would make.  Entries below the floor were superseded while this node
+  // was down and are dropped instead of served.
+  const auto authority = [this, node](const std::string& path) {
+    std::uint64_t floor = 0;
+    for (NodeId peer = 0; peer < servers_.size(); ++peer) {
+      if (peer == node || !servers_[peer] || transport_.is_killed(peer)) {
+        continue;
+      }
+      floor = std::max(floor, servers_[peer]->replica_generation_of(path));
+    }
+    return floor;
+  };
+  return servers_[node]->warm_restore(authority);
+}
+
 NodeId Cluster::add_node() {
   const auto node = static_cast<NodeId>(servers_.size());
-  servers_.push_back(std::make_unique<HvacServer>(node, pfs_, config_.server));
+  boot_server(node);
   HvacServer* server = servers_.back().get();
-  transport_.register_endpoint(
-      node,
-      [server](const rpc::RpcRequest& request) {
-        return server->handle(request);
-      },
-      config_.server.endpoint_workers);
-  if (config_.server.admission_control) {
-    transport_.set_admission(node,
-                             {config_.server.admission_queue_limit,
-                              config_.server.admission_retry_after_ms});
-  }
-  if (config_.server.report_load) {
-    transport_.set_load_reporting(node,
-                                  {true, config_.server.load_report_alpha});
-  }
   std::vector<NodeId> members;
   members.reserve(servers_.size());
   for (NodeId n = 0; n <= node; ++n) members.push_back(n);
@@ -337,7 +374,47 @@ void Cluster::collect_metrics(obs::MetricsRegistry::Collection& out) const {
     out.gauge("ftc_server_cache_used_bytes", node_label,
               static_cast<double>(s.used_bytes));
     out.gauge("ftc_server_cache_capacity_bytes", node_label,
-              static_cast<double>(servers_[n]->config().cache_capacity_bytes));
+              static_cast<double>(servers_[n]->cache_capacity_bytes()));
+
+    if (servers_[n]->tiered()) {
+      // Tiered-store series (PR 6 convention: one family per concept,
+      // dimensions as labels).  Absent entirely with tiering off, like
+      // the pfs_guard block above.
+      const ftc::store::StoreStats st = servers_[n]->store_stats();
+      const auto with_tier = [&](const char* tier) {
+        obs::Labels labels = node_label;
+        labels.emplace_back("tier", tier);
+        return labels;
+      };
+      obs::Labels policy_label = node_label;
+      policy_label.emplace_back("policy",
+                                ftc::store::policy_kind_name(
+                                    servers_[n]->config().store.policy));
+      out.gauge("ftc_store_tier_used_bytes", with_tier("ram"),
+                static_cast<double>(st.ram_used_bytes));
+      out.gauge("ftc_store_tier_used_bytes", with_tier("nvme"),
+                static_cast<double>(st.nvme_used_bytes));
+      out.counter("ftc_store_hits_total", with_tier("ram"), st.hot_hits);
+      out.counter("ftc_store_hits_total", with_tier("nvme"), st.cold_hits);
+      out.counter("ftc_store_misses_total", node_label, st.misses);
+      out.counter("ftc_store_demotions_total", node_label, st.demotions);
+      out.counter("ftc_store_promotions_total", node_label, st.promotions);
+      out.counter("ftc_store_evictions_total", policy_label, st.evictions);
+      out.counter("ftc_store_reclaim_runs_total", node_label,
+                  st.reclaim_runs);
+      out.counter("ftc_store_overflow_writes_total", node_label,
+                  st.overflow_writes);
+      out.counter("ftc_store_manifest_restored_total", node_label,
+                  st.manifest_restored);
+      out.counter("ftc_store_manifest_rejected_stale_total", node_label,
+                  st.manifest_rejected_stale);
+      const double lookups =
+          static_cast<double>(st.hot_hits + st.cold_hits + st.misses);
+      out.gauge("ftc_store_hit_ratio", node_label,
+                lookups > 0.0
+                    ? static_cast<double>(st.hot_hits + st.cold_hits) / lookups
+                    : 0.0);
+    }
 
     if (const PfsFetchGuard* guard = servers_[n]->pfs_guard()) {
       const PfsFetchGuard::Stats g = guard->stats_snapshot();

@@ -83,6 +83,16 @@ class Cluster {
   /// on first touch — the gray-failure recovery experiment.
   void restore_node(NodeId node, bool lose_cache = false);
 
+  /// Kill-and-warm-restart (server.store.tiering only): destroys the
+  /// node's server process — RAM tier, counters, freshness ledger all
+  /// lost — and boots a fresh incarnation against the node's surviving
+  /// NVMe device.  The new server rebuilds its cold tier from the
+  /// device's manifest, validating each entry's generation against the
+  /// ledgers of the other alive nodes (the in-process stand-in for a
+  /// metadata query on rejoin).  Returns the number of entries restored.
+  /// Without tiering this degrades to restore_node(node, /*lose=*/true).
+  std::size_t restart_node_warm(NodeId node);
+
   /// Elastic scale-up: provisions a new node (server + client) and
   /// announces it to every existing client.  Returns the new node's id.
   /// In ring mode only ~1/(N+1) of keys migrate to it, each recached from
@@ -119,6 +129,10 @@ class Cluster {
   [[nodiscard]] std::vector<obs::Record> dump_traces() const;
 
  private:
+  /// Constructs node `n`'s server, handing it the node's NVMe device
+  /// (created on first use) when the tiered store is enabled, and
+  /// registers its endpoint with admission/load-report knobs applied.
+  void boot_server(NodeId node);
   /// Attaches node `n`'s recorder to its server, client, transport
   /// endpoint, PFS guard and (if present) membership agent.
   void wire_node_observability(NodeId node);
@@ -132,6 +146,10 @@ class Cluster {
   /// teardown drains async completions that still record spans.
   std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
   rpc::Transport transport_;
+  /// Per-node NVMe volumes (tiered store only; empty slots otherwise).
+  /// Owned here, NOT by the servers, because the device outlives a server
+  /// crash — that lifetime split is what makes warm restarts possible.
+  std::vector<std::shared_ptr<ftc::store::NvmeDevice>> devices_;
   std::vector<std::unique_ptr<HvacServer>> servers_;
   std::vector<std::unique_ptr<HvacClient>> clients_;
   std::vector<std::unique_ptr<membership::MembershipAgent>> agents_;

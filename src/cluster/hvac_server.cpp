@@ -38,18 +38,28 @@ Status HvacServerConfig::validate() const {
   if (report_load && (load_report_alpha <= 0.0 || load_report_alpha > 1.0)) {
     return Status::invalid_argument("load_report_alpha must be in (0, 1]");
   }
+  if (const Status tiered = store.validate(); !tiered.is_ok()) return tiered;
   return Status::ok();
 }
 
 HvacServer::HvacServer(NodeId id, PfsStore& pfs,
-                       const HvacServerConfig& config)
+                       const HvacServerConfig& config,
+                       std::shared_ptr<ftc::store::NvmeDevice> device)
     : id_(id), pfs_(pfs), config_(config),
-      cache_(config.cache_capacity_bytes, config.eviction_policy,
-             config.cache_shards),
       recache_policy_(config.async_data_mover) {
   const Status valid = config_.validate();
   if (!valid.is_ok()) {
     throw std::invalid_argument("HvacServerConfig: " + valid.message());
+  }
+  if (config_.store.tiering) {
+    auto tiered = std::make_unique<ftc::store::TieredCacheStore>(
+        config_.store, std::move(device));
+    tiered_ = tiered.get();
+    cache_ = std::move(tiered);
+  } else {
+    cache_ = std::make_unique<ftc::store::LegacyStoreAdapter>(
+        config_.cache_capacity_bytes, config_.eviction_policy,
+        config_.cache_shards);
   }
   if (config_.pfs_singleflight) {
     pfs_guard_ = std::make_unique<PfsFetchGuard>(config_.pfs_guard);
@@ -156,7 +166,7 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
     }
     case rpc::Op::kEvict: {
       rpc::RpcResponse response;
-      response.code = cache_.erase(request.path) ? StatusCode::kOk
+      response.code = cache_->erase(request.path) ? StatusCode::kOk
                                                  : StatusCode::kNotFound;
       return response;
     }
@@ -183,8 +193,8 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
           " stale_epoch_puts_accepted=" +
           std::to_string(s.stale_epoch_puts_accepted) +
           " used_bytes=" + std::to_string(s.used_bytes) +
-          " capacity_bytes=" + std::to_string(cache_.capacity_bytes()) +
-          " files=" + std::to_string(cache_.file_count()));
+          " capacity_bytes=" + std::to_string(cache_->capacity_bytes()) +
+          " files=" + std::to_string(cache_->file_count()));
       return response;
     }
     case rpc::Op::kPut: {
@@ -211,8 +221,12 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
           it->second = request.replica_generation;
         }
       }
-      const Status put = cache_.put(request.path, request.payload,
-                                    request.payload.size());
+      // The store receives the generation stamp too: the tiered store
+      // persists it into the cold-tier manifest, which is what lets a
+      // warm-restarted node re-validate survivors instead of re-fetching.
+      const Status put =
+          cache_->put(request.path, request.payload, request.payload.size(),
+                      stamped ? request.replica_generation : 0);
       response.code = put.code();
       if (put.is_ok()) {
         stats_.replicas_stored.fetch_add(1, std::memory_order_relaxed);
@@ -232,7 +246,7 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
       // puller that re-places the bytes forwards the right generation.
       rpc::RpcResponse response;
       stats_.peer_gets.fetch_add(1, std::memory_order_relaxed);
-      auto cached = cache_.get(request.path);
+      auto cached = cache_->get(request.path);
       if (!cached.is_ok()) {
         response.code = StatusCode::kNotFound;
         return response;
@@ -270,7 +284,7 @@ rpc::RpcResponse HvacServer::dispatch_impl(const rpc::RpcRequest& request) {
 rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
   rpc::RpcResponse response;
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  auto cached = cache_.get(request.path);
+  auto cached = cache_->get(request.path);
   if (cached.is_ok()) {
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     response.code = StatusCode::kOk;
@@ -291,7 +305,7 @@ rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
     // lost file at one even when arrivals straddle the flight boundary.
     PfsFetchGuard::Outcome outcome = pfs_guard_->fetch(
         request.path, [this, &request]() -> StatusOr<common::Buffer> {
-          auto rechecked = cache_.get(request.path);
+          auto rechecked = cache_->get(request.path);
           if (rechecked.is_ok()) return std::move(rechecked).value();
           auto fetched = pfs_.read(request.path);
           if (!fetched.is_ok()) return fetched.status();
@@ -352,7 +366,11 @@ rpc::RpcResponse HvacServer::handle_read(const rpc::RpcRequest& request) {
 
 void HvacServer::recache(const std::string& path,
                          const common::Buffer& contents) {
-  const Status put = cache_.put(path, contents, contents.size());
+  // A PFS fill carries the path's ledger generation if one exists (the
+  // bytes just read are at least that fresh), 0 otherwise — so manifest
+  // rows written by ordinary fills still survive warm-restart validation.
+  const Status put =
+      cache_->put(path, contents, contents.size(), replica_generation_of(path));
   if (put.is_ok()) {
     stats_.recache_completed.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -369,7 +387,7 @@ void HvacServer::clear_cache() {
   // Drain in-flight recaches first so a mover task cannot repopulate an
   // entry after the clear.
   flush_data_mover();
-  cache_.clear();
+  cache_->clear();
   // The freshness ledger describes entries that no longer exist; keeping
   // it would make a rejoined node refuse the very standbys that should
   // repopulate its empty NVMe.
@@ -401,8 +419,8 @@ HvacServer::Stats HvacServer::stats_snapshot() const {
         stats_.warm_replica_bytes.load(std::memory_order_relaxed);
     s.payload_bytes_copied =
         stats_.payload_bytes_copied.load(std::memory_order_relaxed);
-    s.evictions = cache_.eviction_count();
-    s.used_bytes = cache_.used_bytes();
+    s.evictions = cache_->eviction_count();
+    s.used_bytes = cache_->used_bytes();
     s.expired_on_arrival =
         stats_.expired_on_arrival.load(std::memory_order_relaxed);
     s.peer_gets = stats_.peer_gets.load(std::memory_order_relaxed);
@@ -428,13 +446,45 @@ HvacServer::Stats HvacServer::stats_snapshot() const {
 }
 
 bool HvacServer::has_cached(const std::string& path) const {
-  return cache_.contains(path);
+  return cache_->contains(path);
 }
 
 std::size_t HvacServer::cached_file_count() const {
-  return cache_.file_count();
+  return cache_->file_count();
 }
 
-std::uint64_t HvacServer::cached_bytes() const { return cache_.used_bytes(); }
+std::uint64_t HvacServer::cached_bytes() const { return cache_->used_bytes(); }
+
+std::uint64_t HvacServer::cache_capacity_bytes() const {
+  return cache_->capacity_bytes();
+}
+
+std::uint64_t HvacServer::replica_generation_of(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(generation_mu_);
+  const auto it = replica_generations_.find(path);
+  return it == replica_generations_.end() ? 0 : it->second;
+}
+
+std::size_t HvacServer::warm_restore(
+    const ftc::store::TieredCacheStore::GenerationAuthority& authority) {
+  if (tiered_ == nullptr) return 0;
+  const std::size_t restored = tiered_->restore_from_device(authority);
+  // Seed the freshness ledger from the surviving manifest: without this,
+  // a stale replica push arriving right after the restart would be
+  // accepted over the fresher bytes that just came back from the device.
+  const ftc::store::Manifest manifest = tiered_->device().manifest();
+  std::lock_guard<std::mutex> lock(generation_mu_);
+  for (const auto& entry : manifest.entries) {
+    if (entry.generation == 0) continue;
+    auto& known = replica_generations_[entry.path];
+    if (entry.generation > known) known = entry.generation;
+  }
+  return restored;
+}
+
+void HvacServer::flush_cache_to_cold() {
+  flush_data_mover();
+  if (tiered_ != nullptr) tiered_->flush_hot_to_cold();
+}
 
 }  // namespace ftc::cluster

@@ -31,6 +31,9 @@
 #include "placement/replication_policy.hpp"
 #include "rpc/message.hpp"
 #include "storage/sharded_cache_store.hpp"
+#include "store/store_config.hpp"
+#include "store/store_iface.hpp"
+#include "store/tiered_store.hpp"
 
 namespace ftc::membership {
 class MembershipAgent;
@@ -45,6 +48,13 @@ struct HvacServerConfig {
   storage::EvictionPolicy eviction_policy = storage::EvictionPolicy::kLru;
   /// Lock stripes for the cache store (keys hashed across shards).
   std::size_t cache_shards = storage::ShardedCacheStore::kDefaultShards;
+  /// Tiered RAM+NVMe store (the `store.tiering` knob).  Off = the three
+  /// legacy cache knobs above govern a ShardedCacheStore, bit-for-bit.
+  /// On = the server's cache is a TieredCacheStore configured entirely
+  /// from this block (the legacy knobs are inert) — hot RAM tier, cold
+  /// NVMe tier with demotion/promotion, watermark reclaim, and a
+  /// generation-stamped manifest enabling warm restarts.
+  ftc::store::StoreConfig store;
   /// When false, misses are cached inline before the response returns
   /// (deterministic mode for tests); when true, the data-mover pool does
   /// it in the background as in the original system.
@@ -108,7 +118,12 @@ class HvacServer {
   /// Throws std::invalid_argument when `config.validate()` rejects —
   /// misconfigured overload control must fail loudly at construction,
   /// not silently misprotect under the first storm.
-  HvacServer(NodeId id, PfsStore& pfs, const HvacServerConfig& config);
+  /// `device` is the node's NVMe volume for the tiered store: pass the
+  /// cluster-owned instance so cold-tier bytes survive a server restart
+  /// (warm rejoin), or nullptr for a private volume.  Ignored with
+  /// `config.store.tiering` off.
+  HvacServer(NodeId id, PfsStore& pfs, const HvacServerConfig& config,
+             std::shared_ptr<ftc::store::NvmeDevice> device = nullptr);
   ~HvacServer();
 
   HvacServer(const HvacServer&) = delete;
@@ -202,6 +217,42 @@ class HvacServer {
   [[nodiscard]] bool has_cached(const std::string& path) const;
   [[nodiscard]] std::size_t cached_file_count() const;
   [[nodiscard]] std::uint64_t cached_bytes() const;
+  /// Whole-cache budget of whichever store is live (RAM+NVMe when
+  /// tiered; the legacy knob otherwise).
+  [[nodiscard]] std::uint64_t cache_capacity_bytes() const;
+
+  // --- tiered store (store.tiering only; inert otherwise) --------------
+
+  /// True when this server runs the tiered RAM+NVMe store.
+  [[nodiscard]] bool tiered() const { return tiered_ != nullptr; }
+  /// The tiered store itself (tests / bench introspection); nullptr with
+  /// tiering off.
+  [[nodiscard]] const ftc::store::TieredCacheStore* tiered_store() const {
+    return tiered_;
+  }
+  /// Per-tier telemetry from whichever store is live (the legacy adapter
+  /// reports everything in the RAM row).
+  [[nodiscard]] ftc::store::StoreStats store_stats() const {
+    return cache_->stats_snapshot();
+  }
+
+  /// Highest replica generation this node's freshness ledger has accepted
+  /// for `path` (0 = never stamped).  The cluster harness aggregates this
+  /// across alive nodes as the generation authority for warm restarts.
+  [[nodiscard]] std::uint64_t replica_generation_of(
+      const std::string& path) const;
+
+  /// Warm rejoin: rebuilds the cold tier from the surviving device's
+  /// manifest, dropping entries whose generation the authority says is
+  /// stale, and seeds the freshness ledger from what survived.  Returns
+  /// the number of entries restored; always 0 with tiering off.
+  std::size_t warm_restore(
+      const ftc::store::TieredCacheStore::GenerationAuthority& authority = {});
+
+  /// Clean-shutdown flush: drains the data mover, then demotes every hot
+  /// entry to the NVMe tier so the manifest covers the whole cache before
+  /// a planned restart.  No-op with tiering off.
+  void flush_cache_to_cold();
 
   /// The server's copy of its config (cluster wiring reads the endpoint/
   /// admission knobs from here when registering the node).
@@ -247,7 +298,12 @@ class HvacServer {
   HvacServerConfig config_;
   membership::MembershipAgent* membership_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
-  storage::ShardedCacheStore cache_;  ///< internally lock-striped
+  /// The cache behind the store interface: LegacyStoreAdapter (default,
+  /// bit-for-bit the old ShardedCacheStore) or TieredCacheStore
+  /// (store.tiering).  Both are internally synchronized.
+  std::unique_ptr<ftc::store::StoreIface> cache_;
+  /// Aliases cache_ when it is the tiered store; nullptr otherwise.
+  ftc::store::TieredCacheStore* tiered_ = nullptr;
   AtomicStats stats_;
   /// The recache enqueue's write-class decision, expressed through the
   /// same ReplicationPolicy vocabulary the client's replica pushes use
@@ -256,7 +312,7 @@ class HvacServer {
   /// Replica-freshness ledger: highest stamped generation accepted per
   /// path.  Touched only for generation-stamped kPuts (warm standbys);
   /// the legacy unstamped path never takes this lock.
-  std::mutex generation_mu_;
+  mutable std::mutex generation_mu_;
   std::unordered_map<std::string, std::uint64_t> replica_generations_;
   /// Storm protection for the miss path; null when pfs_singleflight off
   /// (the miss path is then bit-identical to the seed's).

@@ -24,6 +24,25 @@ struct NvmeConfig {
   SimTime op_latency = 80 * simtime::kMicrosecond;
 };
 
+/// Uncontended service time of one read/write of `bytes`: the fixed op
+/// latency plus the bandwidth term.  The DES model layers queueing on
+/// top via its processor-sharing channels; the threaded tiered store
+/// (store::NvmeDevice) sleeps exactly this long per cold-tier access,
+/// so both substrates price NVMe from the same Table II numbers.
+inline SimTime nvme_read_latency(const NvmeConfig& config,
+                                 std::uint64_t bytes) {
+  return config.op_latency +
+         static_cast<SimTime>(static_cast<double>(bytes) /
+                              config.read_bytes_per_second * 1e9);
+}
+
+inline SimTime nvme_write_latency(const NvmeConfig& config,
+                                  std::uint64_t bytes) {
+  return config.op_latency +
+         static_cast<SimTime>(static_cast<double>(bytes) /
+                              config.write_bytes_per_second * 1e9);
+}
+
 class NvmeModel {
  public:
   NvmeModel(sim::Simulator& simulator, const NvmeConfig& config);

@@ -84,22 +84,34 @@ Status ShardedCacheStore::put(const std::string& path,
 
 bool ShardedCacheStore::evict_from_peers(std::size_t owner) {
   const std::size_t n = shards_.size();
+  // Sweep from a SNAPSHOT of the shared hand with a local cursor.  The
+  // previous code advanced evict_hand_ once per probe, so concurrent
+  // stealers interleaving on the counter could each see only a subset of
+  // shards (with an even count, two threads can alternate onto the same
+  // parity class) — n probes landing exclusively on empty shards meant a
+  // spurious kCapacity while evictable bytes sat elsewhere.  A local
+  // cursor guarantees every caller visits all n peers; the shared hand
+  // only advances past shards that actually yielded bytes, so successive
+  // pressure events rotate the first victim instead of re-punishing the
+  // same shard.
   bool progress = true;
   while (used_bytes_.load(std::memory_order_relaxed) > capacity_bytes_ &&
          progress) {
     progress = false;
+    const std::size_t start = evict_hand_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) {
       if (used_bytes_.load(std::memory_order_relaxed) <= capacity_bytes_) {
         break;
       }
-      const std::size_t victim =
-          evict_hand_.fetch_add(1, std::memory_order_relaxed) % n;
+      const std::size_t victim = (start + i) % n;
       if (victim == owner) continue;
       Shard& peer = *shards_[victim];
       std::lock_guard guard(peer.mutex);
+      if (peer.store.file_count() == 0) continue;  // empty: skip quietly
       const std::uint64_t freed = peer.store.evict_any();
       if (freed > 0) {
         used_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+        evict_hand_.store((victim + 1) % n, std::memory_order_relaxed);
         progress = true;
       }
     }

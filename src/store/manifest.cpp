@@ -1,0 +1,81 @@
+#include "store/manifest.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace ftc::store {
+
+namespace {
+
+constexpr const char* kHeader = "ftc-manifest v1";
+
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  const char* first = token.data();
+  const char* last = first + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+std::uint64_t Manifest::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : entries) total += entry.bytes;
+  return total;
+}
+
+std::string Manifest::serialize() const {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const auto& entry : entries) {
+    out << entry.path << '\t' << entry.tier << '\t' << entry.bytes << '\t'
+        << entry.generation << '\n';
+  }
+  out << "end " << entries.size() << '\n';
+  return out.str();
+}
+
+StatusOr<Manifest> Manifest::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::invalid_argument("manifest: bad header");
+  }
+  Manifest manifest;
+  bool saw_footer = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("end ", 0) == 0) {
+      std::uint64_t count = 0;
+      if (!parse_u64(line.substr(4), count) ||
+          count != manifest.entries.size()) {
+        return Status::invalid_argument("manifest: footer count mismatch");
+      }
+      saw_footer = true;
+      break;
+    }
+    ManifestEntry entry;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
+    const std::size_t t3 = t2 == std::string::npos ? t2 : line.find('\t', t2 + 1);
+    if (t3 == std::string::npos) {
+      return Status::invalid_argument("manifest: malformed row: " + line);
+    }
+    entry.path = line.substr(0, t1);
+    entry.tier = line.substr(t1 + 1, t2 - t1 - 1);
+    if (entry.path.empty() ||
+        (entry.tier != "ram" && entry.tier != "nvme")) {
+      return Status::invalid_argument("manifest: malformed row: " + line);
+    }
+    if (!parse_u64(line.substr(t2 + 1, t3 - t2 - 1), entry.bytes) ||
+        !parse_u64(line.substr(t3 + 1), entry.generation)) {
+      return Status::invalid_argument("manifest: malformed row: " + line);
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  if (!saw_footer) {
+    return Status::invalid_argument("manifest: truncated (no footer)");
+  }
+  return manifest;
+}
+
+}  // namespace ftc::store

@@ -1,0 +1,57 @@
+// manifest.hpp - The per-node cache manifest: what the NVMe volume holds.
+//
+// The tiered store keeps the cold tier's index (path -> bytes, generation
+// stamp from the replication ledger) co-located with the data on the
+// NvmeDevice, journal-style: every cold-tier write or erase updates the
+// index in the same critical section, so the manifest is always exactly
+// the set of payloads that would survive a node crash.  A killed node
+// restarted through the SWIM rejoin path re-validates manifest entries by
+// generation (a metadata check) instead of re-fetching its whole shard
+// from the PFS (a payload transfer per file) — that delta is what the
+// warm-restart phase of bench_pressure measures.
+//
+// This header is the serialized exchange format: a versioned text table
+// (one entry per line) with an entry-count footer so truncated files are
+// detected.  Payload bytes are NOT part of the manifest — it is an index,
+// exactly like a filesystem journal describes but does not contain data
+// blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ftc::store {
+
+struct ManifestEntry {
+  std::string path;
+  /// "ram" entries exist only after an explicit flush (clean shutdown);
+  /// a crash manifest holds "nvme" rows exclusively.
+  std::string tier;
+  std::uint64_t bytes = 0;
+  /// Replication-ledger stamp recorded when the entry was written;
+  /// 0 = never stamped (legacy fill path).
+  std::uint64_t generation = 0;
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Versioned text form:
+  ///   ftc-manifest v1
+  ///   <path>\t<tier>\t<bytes>\t<generation>
+  ///   ...
+  ///   end <count>
+  [[nodiscard]] std::string serialize() const;
+
+  /// Inverse of serialize(); kInvalidArgument on a bad header, malformed
+  /// row, or a footer count that disagrees with the rows present (a
+  /// truncated manifest must fail loudly, not restore half a node).
+  static StatusOr<Manifest> parse(const std::string& text);
+};
+
+}  // namespace ftc::store

@@ -137,5 +137,55 @@ TEST(ShardedCacheStore, ConcurrentMixedOpsKeepAccountingExact) {
   EXPECT_LE(cache.used_bytes(), kCapacity);
 }
 
+// Regression for the peer-eviction sweep.  The old evict_from_peers
+// advanced the shared hand once per PROBE, so concurrent stealers
+// interleaving on the counter could each land exclusively on empty
+// shards (with an even shard count, two threads alternate onto one
+// parity class) and report spurious kCapacity while evictable bytes sat
+// in other shards.  With 32 shards holding 10 small files, every one of
+// these 200 concurrent over-budget puts must succeed: each sweep now
+// visits all peers from a snapshot of the hand with a local cursor.
+TEST(ShardedCacheStore, ConcurrentPeerStealNeverSpuriouslyFails) {
+  constexpr std::uint64_t kCapacity = 300;
+  ShardedCacheStore cache(kCapacity, EvictionPolicy::kLru, 32);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache.put(path_of(i), std::string(30, 's'), 30).is_ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kPutsPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, t] {
+      for (int i = 0; i < kPutsPerThread; ++i) {
+        const std::string path =
+            "/steal/" + std::to_string(t) + "/" + std::to_string(i);
+        if (!cache.put(path, std::string(30, 'p'), 30).is_ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.used_bytes(), kCapacity);
+  // Accounting stayed exact through the cross-shard eviction storm.
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (const auto size = cache.size_of(path_of(i))) sum += *size;
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPutsPerThread; ++i) {
+      const std::string path =
+          "/steal/" + std::to_string(t) + "/" + std::to_string(i);
+      if (const auto size = cache.size_of(path)) sum += *size;
+    }
+  }
+  EXPECT_EQ(cache.used_bytes(), sum);
+}
+
 }  // namespace
 }  // namespace ftc::storage

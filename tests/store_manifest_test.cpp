@@ -1,0 +1,66 @@
+// The cache manifest wire format: round trips, and loud failure on
+// anything truncated or malformed (a half-restored node is worse than a
+// cold one).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "store/manifest.hpp"
+
+namespace ftc::store {
+namespace {
+
+Manifest sample() {
+  Manifest manifest;
+  manifest.entries.push_back({"/lustre/a.tfrecord", "nvme", 4096, 7});
+  manifest.entries.push_back({"/lustre/b.tfrecord", "nvme", 128, 0});
+  manifest.entries.push_back({"/lustre/c.tfrecord", "ram", 1 << 20, 42});
+  return manifest;
+}
+
+TEST(Manifest, SerializeParseRoundTrip) {
+  const Manifest original = sample();
+  const auto parsed = Manifest::parse(original.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().entries.size(), original.entries.size());
+  for (std::size_t i = 0; i < original.entries.size(); ++i) {
+    EXPECT_EQ(parsed.value().entries[i].path, original.entries[i].path);
+    EXPECT_EQ(parsed.value().entries[i].tier, original.entries[i].tier);
+    EXPECT_EQ(parsed.value().entries[i].bytes, original.entries[i].bytes);
+    EXPECT_EQ(parsed.value().entries[i].generation,
+              original.entries[i].generation);
+  }
+  EXPECT_EQ(parsed.value().total_bytes(), original.total_bytes());
+}
+
+TEST(Manifest, EmptyRoundTrip) {
+  const auto parsed = Manifest::parse(Manifest{}.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+  EXPECT_EQ(parsed.value().total_bytes(), 0u);
+}
+
+TEST(Manifest, TruncationFailsLoudly) {
+  std::string text = sample().serialize();
+  // Drop the footer entirely — a partially written manifest.
+  const auto footer = text.rfind("end ");
+  ASSERT_NE(footer, std::string::npos);
+  EXPECT_FALSE(Manifest::parse(text.substr(0, footer)).is_ok());
+  // Drop one row but keep the footer — the count disagrees.
+  std::string missing_row = sample().serialize();
+  const auto row = missing_row.find("/lustre/b.tfrecord");
+  const auto row_end = missing_row.find('\n', row);
+  missing_row.erase(row, row_end - row + 1);
+  EXPECT_FALSE(Manifest::parse(missing_row).is_ok());
+}
+
+TEST(Manifest, GarbageRejected) {
+  EXPECT_FALSE(Manifest::parse("").is_ok());
+  EXPECT_FALSE(Manifest::parse("not a manifest\n").is_ok());
+  EXPECT_FALSE(Manifest::parse("ftc-manifest v2\nend 0\n").is_ok());
+  EXPECT_FALSE(
+      Manifest::parse("ftc-manifest v1\n/p\tnvme\tNaN\t0\nend 1\n").is_ok());
+}
+
+}  // namespace
+}  // namespace ftc::store
